@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Ablation A6: GC victim selection — greedy versus cost-benefit — on
+ * an aged device under workloads with different temporal localities.
+ *
+ * Greedy minimizes relocation work per round; cost-benefit ages out
+ * cold data and avoids re-relocating hot blocks under skew. The
+ * smartphone workloads have moderate temporal locality
+ * (Characteristic 5), so the gap is visible but not dramatic — part
+ * of why a simple FTL suffices (Implication 4).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "core/experiment.hh"
+#include "core/report.hh"
+
+using namespace emmcsim;
+
+int
+main(int argc, char **argv)
+{
+    const double scale = bench::parseScale(argc, argv, 0.25);
+    std::cout << "== Ablation A6: GC victim policy on an aged device "
+                 "(scale " << scale << ") ==\n\n";
+
+    core::TablePrinter table({"Workload", "Victim policy", "MRT (ms)",
+                              "GC rounds", "Relocated units",
+                              "Erased blocks"});
+
+    for (const char *app : {"CameraVideo", "Installing"}) {
+        trace::Trace t = bench::makeAppTrace(app, scale);
+        for (ftl::GcVictimPolicy policy :
+             {ftl::GcVictimPolicy::Greedy,
+              ftl::GcVictimPolicy::CostBenefit}) {
+            core::ExperimentOptions opts;
+            opts.capacityScale = 1.0 / 64.0;
+            opts.prefill = 0.70;
+            opts.gcVictimPolicy = policy;
+            core::CaseResult res =
+                core::runCase(t, core::SchemeKind::PS4, opts);
+            const char *name =
+                policy == ftl::GcVictimPolicy::Greedy ? "greedy"
+                                                      : "cost-benefit";
+            table.addRow({app, name, core::fmt(res.meanResponseMs),
+                          core::fmt(res.gcBlockingRounds),
+                          core::fmt(res.gcRelocatedUnits),
+                          core::fmt(res.gcErasedBlocks)});
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\nExpected: on these mostly-uniform overwrite "
+                 "patterns greedy is near-optimal; cost-benefit pays "
+                 "a little extra relocation for age-sorting, which "
+                 "only wins under strong hot/cold skew. Either way "
+                 "the simple policy suffices (Implication 4).\n";
+    return 0;
+}

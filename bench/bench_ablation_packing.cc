@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ablation A4 (Implication 1 / Fig 3): packed write commands and
+ * multi-plane parallelism versus large-request throughput.
+ */
+
+#include <iostream>
+
+#include "analysis/throughput.hh"
+#include "core/experiment.hh"
+#include "core/report.hh"
+#include "host/replayer.hh"
+#include "workload/fixed.hh"
+
+using namespace emmcsim;
+
+namespace {
+
+double
+throughput(std::uint64_t req_bytes, bool packing, bool multiplane)
+{
+    sim::Simulator s;
+    emmc::EmmcConfig cfg = core::schemeConfig(core::SchemeKind::PS4);
+    cfg.packing.enabled = packing;
+    cfg.multiplane = multiplane;
+    auto dev = core::makeDevice(s, core::SchemeKind::PS4, cfg);
+
+    workload::FixedStreamSpec spec;
+    spec.write = true;
+    spec.sizeBytes = req_bytes;
+    spec.count = std::max<std::uint64_t>(8, (32 * sim::kMiB) / req_bytes);
+    spec.gap = 0;
+    host::Replayer rep(s, *dev);
+    trace::Trace out = rep.replay(workload::makeFixedStream(spec));
+    return analysis::sustainedThroughputMBps(out);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "== Ablation A4: packing and multi-plane commands vs "
+                 "write throughput (Implication 1 / Fig 3) ==\n\n";
+
+    core::TablePrinter table({"Req size", "base MB/s", "+packing",
+                              "+multiplane", "+both"});
+    for (std::uint64_t kb : {4, 16, 64, 256, 1024}) {
+        std::uint64_t bytes = kb * sim::kKiB;
+        table.addRow({core::fmt(std::uint64_t{kb}) + "KB",
+                      core::fmt(throughput(bytes, false, false)),
+                      core::fmt(throughput(bytes, true, false)),
+                      core::fmt(throughput(bytes, false, true)),
+                      core::fmt(throughput(bytes, true, true))});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nExpected: packing amortizes per-command overhead "
+                 "(largest effect on small bursty writes); multi-plane "
+                 "commands raise array-side parallelism. The paper's "
+                 "eMMC supports packing but little parallelism "
+                 "(Implication 1: requests split into more than ~2 "
+                 "sub-requests cannot proceed fully in parallel).\n";
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Section II-C reproduction: BIOtracer's measurement overhead.
+ *
+ * The paper argues the tracer perturbs its own measurements by only
+ * ~2%: a 32KB record buffer flushes every ~300 requests at a cost of
+ * ~6 extra I/O operations. We instrument several generated traces and
+ * replay both versions to measure the actual slowdown on the device
+ * model.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "core/report.hh"
+#include "core/scheme.hh"
+#include "host/biotracer.hh"
+#include "host/replayer.hh"
+
+using namespace emmcsim;
+
+int
+main(int argc, char **argv)
+{
+    const double scale = bench::parseScale(argc, argv, 0.5);
+    std::cout << "== BIOtracer overhead (Section II-C; scale " << scale
+              << ") ==\n\n";
+
+    core::TablePrinter table({"Application", "Requests",
+                              "Injected ops", "Op overhead (%)",
+                              "Bare MRT (ms)", "Traced MRT (ms)",
+                              "MRT penalty (%)"});
+
+    for (const char *app : {"Twitter", "GoogleMaps", "Radio",
+                            "Messaging"}) {
+        trace::Trace bare = bench::makeAppTrace(app, scale);
+        host::BioTracerStats stats;
+        trace::Trace traced = host::instrumentTrace(bare, {}, &stats);
+
+        auto replay_mrt = [](const trace::Trace &t) {
+            sim::Simulator s;
+            auto dev = core::makeDevice(s, core::SchemeKind::PS4);
+            host::Replayer rep(s, *dev);
+            rep.replay(t);
+            return dev->stats().responseMs.mean();
+        };
+        double bare_mrt = replay_mrt(bare);
+        double traced_mrt = replay_mrt(traced);
+
+        table.addRow(
+            {app, core::fmt(stats.tracedRequests),
+             core::fmt(stats.injectedOps),
+             core::fmt(100.0 * stats.overheadRatio(), 2),
+             core::fmt(bare_mrt), core::fmt(traced_mrt),
+             core::fmt(100.0 * (traced_mrt - bare_mrt) /
+                           std::max(bare_mrt, 1e-9),
+                       2)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPaper: ~6 extra operations per 300 requests = 2% "
+                 "op overhead; the perturbation of the measured "
+                 "response times is expected to stay in the same "
+                 "low-single-digit band.\n";
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fig 3 reproduction: eMMC throughput versus request size.
+ *
+ * Sequential fixed-size streams are replayed back-to-back on the 4PS
+ * device (the conventional eMMC), with packing enabled as on the
+ * paper's Nexus 5. Reads stop at 256KB — the largest read the paper
+ * observed — while writes sweep to 16MB, where packed commands keep
+ * throughput climbing.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "analysis/throughput.hh"
+#include "core/experiment.hh"
+#include "core/report.hh"
+#include "emmc/device.hh"
+#include "host/replayer.hh"
+#include "workload/fixed.hh"
+
+using namespace emmcsim;
+
+namespace {
+
+/**
+ * Replay one fixed-size stream and return the mean per-request
+ * throughput (size / service time), which is how Fig 3 defines "the
+ * average access rate of requests with that size". Arrivals are
+ * spaced so each request's service time is queue-free; requests
+ * larger than the 512KB Linux limit model already-packed commands.
+ */
+double
+measure(std::uint64_t size_bytes, bool write)
+{
+    sim::Simulator s;
+    auto dev = core::makeDevice(s, core::SchemeKind::PS4);
+
+    workload::FixedStreamSpec spec;
+    spec.name = write ? "seq-write" : "seq-read";
+    spec.write = write;
+    spec.sizeBytes = size_bytes;
+    // Fixed volume (64MB) per point, queue-free spacing.
+    spec.count = std::max<std::uint64_t>(4, (64 * sim::kMiB) / size_bytes);
+    spec.gap = sim::seconds(4);
+    trace::Trace t = workload::makeFixedStream(spec);
+
+    host::Replayer rep(s, *dev);
+    trace::Trace out = rep.replay(t);
+    return analysis::meanRequestThroughputMBps(out, write);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "== Fig 3: the impact of request size on throughput "
+                 "==\n\n";
+    std::cout << "(sequential streams on the 4PS device, packing on; "
+                 "paper: read 13.94->99.65 MB/s, write 5.18->56.15 "
+                 "MB/s over 4KB..16MB)\n\n";
+
+    core::TablePrinter table(
+        {"Req size", "Read MB/s", "Write MB/s"});
+    const std::uint64_t kMaxRead = 256 * sim::kKiB;
+    for (std::uint64_t size = 4 * sim::kKiB; size <= 16 * sim::kMiB;
+         size *= 2) {
+        double rd = size <= kMaxRead ? measure(size, false) : 0.0;
+        double wr = measure(size, true);
+        std::string label =
+            size < sim::kMiB
+                ? core::fmt(static_cast<std::uint64_t>(size / sim::kKiB)) +
+                      "KB"
+                : core::fmt(static_cast<std::uint64_t>(size / sim::kMiB)) +
+                      "MB";
+        table.addRow({label, rd > 0.0 ? core::fmt(rd) : "-",
+                      core::fmt(wr)});
+    }
+    table.print(std::cout);
+    std::cout << "\n(read column ends at 256KB: the largest read "
+                 "request observed in the traces)\n";
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction benches.
+ *
+ * Every bench accepts an optional first argument: the trace scale
+ * factor (default 1.0 = the paper's request counts). Smaller scales
+ * give quick sanity runs with the same distributions.
+ */
+
+#ifndef EMMCSIM_BENCH_BENCH_UTIL_HH
+#define EMMCSIM_BENCH_BENCH_UTIL_HH
+
+#include <cstdlib>
+#include <string>
+
+#include "sim/logging.hh"
+#include "trace/trace.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+
+namespace emmcsim::bench {
+
+/** Fixed seed so every bench run reproduces the same traces. */
+constexpr std::uint64_t kBenchSeed = 2015; // IISWC 2015
+
+/** Parse the optional scale argument (argv[1], default 1.0). */
+inline double
+parseScale(int argc, char **argv, double fallback = 1.0)
+{
+    if (argc > 1) {
+        double s = std::atof(argv[1]);
+        if (s > 0.0)
+            return s;
+    }
+    return fallback;
+}
+
+/** Generate the named application trace at the given scale. */
+inline trace::Trace
+makeAppTrace(const std::string &name, double scale,
+             std::uint64_t seed = kBenchSeed)
+{
+    const workload::AppProfile *p = workload::findProfile(name);
+    if (p == nullptr)
+        sim::fatal("unknown application profile: " + name);
+    workload::TraceGenerator gen(*p, seed);
+    return gen.generate(scale);
+}
+
+} // namespace emmcsim::bench
+
+#endif // EMMCSIM_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * emmcsim_cli: command-line front end to the library.
+ *
+ * Subcommands:
+ *   list                               show the 25 built-in profiles
+ *   generate <app> <out> [scale] [seed]  write a trace file
+ *   analyze <trace-file>               Table III/IV-style report
+ *   replay <trace-file> [scheme]       replay on 4PS/8PS/HPS/HSLC,
+ *                                      print the measured metrics
+ *   compare <app> [scale]              run the Fig 8/9 comparison
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "analysis/distributions.hh"
+#include "sim/logging.hh"
+#include "analysis/size_stats.hh"
+#include "analysis/timing_stats.hh"
+#include "core/experiment.hh"
+#include "core/report.hh"
+#include "host/replayer.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+
+using namespace emmcsim;
+
+namespace {
+
+int
+cmdList()
+{
+    core::TablePrinter table(
+        {"Name", "Requests", "Duration (s)", "Write %", "Description"});
+    for (const workload::AppProfile &p : workload::allProfiles()) {
+        table.addRow({p.name, core::fmt(p.requestCount),
+                      core::fmt(sim::toSeconds(p.duration), 0),
+                      core::fmt(100.0 * p.writeFraction, 1),
+                      p.description});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdGenerate(const std::string &app, const std::string &out,
+            double scale, std::uint64_t seed)
+{
+    const workload::AppProfile *p = workload::findProfile(app);
+    if (p == nullptr) {
+        std::cerr << "unknown application: " << app << "\n";
+        return 1;
+    }
+    workload::TraceGenerator gen(*p, seed);
+    trace::Trace t = gen.generate(scale);
+    t.saveFile(out);
+    std::cout << "wrote " << t.size() << " requests ("
+              << t.totalBytes() / 1024 << " KB) to " << out << "\n";
+    return 0;
+}
+
+void
+printStats(const trace::Trace &t)
+{
+    analysis::SizeStats ss = analysis::computeSizeStats(t);
+    analysis::TimingStats ts = analysis::computeTimingStats(t);
+    core::TablePrinter table({"Metric", "Value"});
+    table.addRow({"Requests", core::fmt(ss.requests)});
+    table.addRow({"Data size (KB)", core::fmt(ss.dataSizeKb, 0)});
+    table.addRow({"Ave size (KB)", core::fmt(ss.aveSizeKb, 1)});
+    table.addRow({"Write requests (%)", core::fmt(ss.writeReqPct, 2)});
+    table.addRow({"Duration (s)", core::fmt(ts.durationSec, 1)});
+    table.addRow({"Arrival rate (req/s)", core::fmt(ts.arrivalRate, 2)});
+    table.addRow({"Spatial locality (%)", core::fmt(ts.spatialPct, 2)});
+    table.addRow(
+        {"Temporal locality (%)", core::fmt(ts.temporalPct, 2)});
+    if (ts.replayed) {
+        table.addRow({"NoWait ratio (%)", core::fmt(ts.noWaitPct, 1)});
+        table.addRow(
+            {"Mean service (ms)", core::fmt(ts.meanServiceMs, 2)});
+        table.addRow(
+            {"Mean response (ms)", core::fmt(ts.meanResponseMs, 2)});
+    }
+    table.print(std::cout);
+}
+
+int
+cmdAnalyze(const std::string &path)
+{
+    trace::Trace t = trace::Trace::loadFile(path);
+    std::string problem = t.validate();
+    if (!problem.empty()) {
+        std::cerr << "invalid trace: " << problem << "\n";
+        return 1;
+    }
+    std::cout << "Trace \"" << t.name() << "\" (" << path << ")\n\n";
+    printStats(t);
+    return 0;
+}
+
+core::SchemeKind
+parseScheme(const std::string &name)
+{
+    for (core::SchemeKind kind : core::extendedSchemes()) {
+        if (core::schemeName(kind) == name)
+            return kind;
+    }
+    sim::fatal("unknown scheme (use 4PS, 8PS, HPS, or HSLC): " + name);
+}
+
+int
+cmdReplay(const std::string &path, const std::string &scheme)
+{
+    trace::Trace t = trace::Trace::loadFile(path);
+    core::SchemeKind kind = parseScheme(scheme);
+    core::CaseResult res = core::runCase(t, kind);
+    std::cout << "Replayed \"" << t.name() << "\" on " << res.scheme
+              << "\n\n";
+    printStats(res.replayed);
+    std::cout << "\nSpace utilization: "
+              << core::fmt(res.spaceUtilization, 3) << "\n";
+    return 0;
+}
+
+int
+cmdCompare(const std::string &app, double scale)
+{
+    const workload::AppProfile *p = workload::findProfile(app);
+    if (p == nullptr) {
+        std::cerr << "unknown application: " << app << "\n";
+        return 1;
+    }
+    workload::TraceGenerator gen(*p, 1);
+    trace::Trace t = gen.generate(scale);
+    core::TablePrinter table(
+        {"Scheme", "MRT (ms)", "Mean serv (ms)", "Space util"});
+    for (core::SchemeKind kind : core::extendedSchemes()) {
+        core::CaseResult res = core::runCase(t, kind);
+        table.addRow({res.scheme, core::fmt(res.meanResponseMs),
+                      core::fmt(res.meanServiceMs),
+                      core::fmt(res.spaceUtilization, 3)});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+usage()
+{
+    std::cerr << "usage:\n"
+                 "  emmcsim_cli list\n"
+                 "  emmcsim_cli generate <app> <out> [scale] [seed]\n"
+                 "  emmcsim_cli analyze <trace-file>\n"
+                 "  emmcsim_cli replay <trace-file> [4PS|8PS|HPS|HSLC]\n"
+                 "  emmcsim_cli compare <app> [scale]\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    if (cmd == "list")
+        return cmdList();
+    if (cmd == "generate" && argc >= 4) {
+        return cmdGenerate(argv[2], argv[3],
+                           argc > 4 ? std::atof(argv[4]) : 1.0,
+                           argc > 5 ? std::strtoull(argv[5], nullptr, 10)
+                                    : 1);
+    }
+    if (cmd == "analyze" && argc >= 3)
+        return cmdAnalyze(argv[2]);
+    if (cmd == "replay" && argc >= 3)
+        return cmdReplay(argv[2], argc > 3 ? argv[3] : "HPS");
+    if (cmd == "compare" && argc >= 3)
+        return cmdCompare(argv[2], argc > 3 ? std::atof(argv[3]) : 0.5);
+    return usage();
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The paper's Section V case study on one workload: build the three
+ * Table V devices, replay the same trace on each, and report mean
+ * response time (Fig 8) and space utilization (Fig 9), plus the
+ * flash-operation breakdown that explains the difference.
+ *
+ * Usage: hps_case_study [app-name] [scale]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/scheme.hh"
+#include "core/report.hh"
+#include "host/replayer.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+
+using namespace emmcsim;
+
+int
+main(int argc, char **argv)
+{
+    const std::string app = argc > 1 ? argv[1] : "Booting";
+    const double scale = argc > 2 ? std::atof(argv[2]) : 0.5;
+
+    const workload::AppProfile *profile = workload::findProfile(app);
+    if (profile == nullptr) {
+        std::cerr << "unknown application: " << app << "\n";
+        return 1;
+    }
+    workload::TraceGenerator gen(*profile, /*seed=*/11);
+    trace::Trace t = gen.generate(scale);
+
+    std::cout << "HPS case study on \"" << app << "\" (" << t.size()
+              << " requests, "
+              << core::fmt(static_cast<double>(t.totalBytes()) /
+                               static_cast<double>(sim::kMiB), 1)
+              << " MB accessed)\n\n";
+
+    core::TablePrinter table({"Scheme", "MRT (ms)", "Mean serv (ms)",
+                              "Space util", "Page reads",
+                              "Page programs", "4KB-pool programs",
+                              "8KB-pool programs"});
+
+    double mrt4 = 0.0;
+    for (core::SchemeKind kind : core::allSchemes()) {
+        sim::Simulator s;
+        auto dev = core::makeDevice(s, kind);
+        host::Replayer rep(s, *dev);
+        rep.replay(t);
+
+        const auto &geom = dev->array().geometry();
+        std::uint64_t programs_4k = 0;
+        std::uint64_t programs_8k = 0;
+        for (std::size_t pool = 0; pool < geom.pools.size(); ++pool) {
+            const flash::ArrayStats &st = dev->array().stats(pool);
+            if (geom.pools[pool].pageBytes == 4096) {
+                programs_4k += st.programs;
+            } else {
+                programs_8k += st.programs;
+            }
+        }
+        const flash::ArrayStats total = dev->array().totalStats();
+        double mrt = dev->stats().responseMs.mean();
+        if (kind == core::SchemeKind::PS4)
+            mrt4 = mrt;
+
+        table.addRow({core::schemeName(kind), core::fmt(mrt),
+                      core::fmt(dev->stats().serviceMs.mean()),
+                      core::fmt(dev->spaceUtilization(), 3),
+                      core::fmt(total.reads), core::fmt(total.programs),
+                      core::fmt(programs_4k), core::fmt(programs_8k)});
+
+        if (kind == core::SchemeKind::HPS) {
+            std::cout << "HPS reduces MRT by "
+                      << core::fmt(100.0 * (mrt4 - mrt) / mrt4, 1)
+                      << "% vs 4PS (paper: up to 86%).\n\n";
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\nReading the table: HPS needs roughly half the "
+                 "page operations of 4PS for multi-page requests "
+                 "(they ride 8KB pages) while its 4KB pool absorbs "
+                 "odd tails, so it keeps 4PS's perfect space "
+                 "utilization — the padding an 8KB-only device "
+                 "cannot avoid.\n";
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Characteristic 4 in action: the same sparse workload replayed with
+ * the eMMC power manager off and on, showing how low-power mode
+ * trades wake-up latency (higher mean service time) for low-power
+ * residency (energy).
+ *
+ * Usage: power_study [app-name] [scale]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/report.hh"
+#include "core/scheme.hh"
+#include "host/replayer.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+
+using namespace emmcsim;
+
+int
+main(int argc, char **argv)
+{
+    const std::string app = argc > 1 ? argv[1] : "YouTube";
+    const double scale = argc > 2 ? std::atof(argv[2]) : 1.0;
+
+    const workload::AppProfile *profile = workload::findProfile(app);
+    if (profile == nullptr) {
+        std::cerr << "unknown application: " << app << "\n";
+        return 1;
+    }
+    workload::TraceGenerator gen(*profile, /*seed=*/5);
+    trace::Trace t = gen.generate(scale);
+
+    std::cout << "Power-mode study on \"" << app << "\" ("
+              << core::fmt(
+                     static_cast<double>(t.size()) /
+                         sim::toSeconds(t.duration()), 2)
+              << " requests/s)\n\n";
+
+    core::TablePrinter table({"Power mode", "Mean serv (ms)",
+                              "MRT (ms)", "Wakeups",
+                              "Low-power residency (%)",
+                              "Energy (mJ, idle intervals)"});
+
+    for (bool enabled : {false, true}) {
+        sim::Simulator s;
+        emmc::EmmcConfig cfg = core::schemeConfig(core::SchemeKind::PS4);
+        cfg.power.enabled = enabled;
+        auto dev = core::makeDevice(s, core::SchemeKind::PS4, cfg);
+        host::Replayer rep(s, *dev);
+        rep.replay(t);
+
+        const emmc::PowerStats &ps = dev->powerStats();
+        sim::Time accounted = ps.activeTime + ps.lowPowerTime;
+        double residency =
+            accounted > 0 ? 100.0 *
+                                static_cast<double>(ps.lowPowerTime) /
+                                static_cast<double>(accounted)
+                          : 0.0;
+        table.addRow({enabled ? "on" : "off",
+                      core::fmt(dev->stats().serviceMs.mean()),
+                      core::fmt(dev->stats().responseMs.mean()),
+                      core::fmt(ps.wakeups), core::fmt(residency, 1),
+                      core::fmt(dev->power().energyMj(), 1)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nThe paper observed exactly this on the Nexus 5: "
+                 "low-rate apps (Idle, CallIn, CallOut, YouTube) show "
+                 "elevated mean service times because the eMMC keeps "
+                 "dropping into its power-saving mode between their "
+                 "requests.\n";
+    return 0;
+}

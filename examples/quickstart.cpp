@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Quickstart: generate a smartphone workload, replay it on the three
+ * Table V eMMC schemes, and print the headline metrics.
+ *
+ * Usage: quickstart [app-name] [scale]
+ *   app-name  One of the 18 applications or 7 combos (default Twitter).
+ *   scale     Request-count scale factor (default 0.2 for a fast run).
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+
+using namespace emmcsim;
+
+int
+main(int argc, char **argv)
+{
+    const std::string app = argc > 1 ? argv[1] : "Twitter";
+    const double scale = argc > 2 ? std::atof(argv[2]) : 0.2;
+
+    const workload::AppProfile *profile = workload::findProfile(app);
+    if (profile == nullptr) {
+        std::cerr << "unknown application: " << app << "\n";
+        std::cerr << "known applications:\n";
+        for (const auto &p : workload::allProfiles())
+            std::cerr << "  " << p.name << "\n";
+        return 1;
+    }
+
+    std::cout << "Generating \"" << profile->name
+              << "\" (" << profile->description << ") at scale " << scale
+              << "...\n";
+    workload::TraceGenerator gen(*profile, /*seed=*/1);
+    trace::Trace t = gen.generate(scale);
+    std::cout << "  " << t.size() << " requests, "
+              << t.totalBytes() / 1024 << " KB accessed, "
+              << core::fmt(sim::toSeconds(t.duration()), 1)
+              << " s duration\n\n";
+
+    core::TablePrinter table({"Scheme", "MRT (ms)", "Mean serv (ms)",
+                              "NoWait %", "Space util"});
+    for (core::SchemeKind kind : core::allSchemes()) {
+        core::CaseResult res = core::runCase(t, kind);
+        table.addRow({res.scheme, core::fmt(res.meanResponseMs),
+                      core::fmt(res.meanServiceMs),
+                      core::fmt(res.noWaitPct, 1),
+                      core::fmt(res.spaceUtilization, 3)});
+    }
+    table.print(std::cout);
+    return 0;
+}

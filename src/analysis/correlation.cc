@@ -1,0 +1,71 @@
+#include "analysis/correlation.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace emmcsim::analysis {
+
+double
+pearson(const std::vector<double> &x, const std::vector<double> &y)
+{
+    if (x.size() != y.size() || x.empty())
+        return 0.0;
+    const double n = static_cast<double>(x.size());
+    double sx = 0.0;
+    double sy = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        sx += x[i];
+        sy += y[i];
+    }
+    const double mx = sx / n;
+    const double my = sy / n;
+    double cov = 0.0;
+    double vx = 0.0;
+    double vy = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double dx = x[i] - mx;
+        const double dy = y[i] - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if (vx <= 0.0 || vy <= 0.0)
+        return 0.0;
+    return cov / std::sqrt(vx * vy);
+}
+
+namespace {
+
+double
+sizeTimingCorrelation(const trace::Trace &t, bool response)
+{
+    std::vector<double> sizes;
+    std::vector<double> times;
+    sizes.reserve(t.size());
+    times.reserve(t.size());
+    for (const auto &r : t.records()) {
+        EMMCSIM_ASSERT(r.replayed(),
+                       "correlation needs a replayed trace");
+        sizes.push_back(static_cast<double>(r.sizeBytes));
+        times.push_back(sim::toMilliseconds(
+            response ? r.responseTime() : r.serviceTime()));
+    }
+    return pearson(sizes, times);
+}
+
+} // namespace
+
+double
+sizeResponseCorrelation(const trace::Trace &t)
+{
+    return sizeTimingCorrelation(t, true);
+}
+
+double
+sizeServiceCorrelation(const trace::Trace &t)
+{
+    return sizeTimingCorrelation(t, false);
+}
+
+} // namespace emmcsim::analysis

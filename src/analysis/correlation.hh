@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Correlation helpers for the paper's Fig 5 observation: "the response
+ * time distributions are strongly correlated to the request size
+ * distributions ... the response time of a request is largely
+ * determined by its size."
+ */
+
+#ifndef EMMCSIM_ANALYSIS_CORRELATION_HH
+#define EMMCSIM_ANALYSIS_CORRELATION_HH
+
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace emmcsim::analysis {
+
+/**
+ * Pearson correlation coefficient of two equally sized samples.
+ * @return r in [-1, 1]; 0 when either sample has zero variance or the
+ *         samples are empty/mismatched.
+ */
+double pearson(const std::vector<double> &x,
+               const std::vector<double> &y);
+
+/**
+ * Correlation between request size and response time over a replayed
+ * trace — the quantitative version of the paper's Fig 5 remark.
+ */
+double sizeResponseCorrelation(const trace::Trace &t);
+
+/**
+ * Correlation between request size and *service* time (excludes queue
+ * wait, so it is even stronger when queues are short).
+ */
+double sizeServiceCorrelation(const trace::Trace &t);
+
+} // namespace emmcsim::analysis
+
+#endif // EMMCSIM_ANALYSIS_CORRELATION_HH

@@ -1,0 +1,114 @@
+#include "analysis/distributions.hh"
+
+#include "sim/logging.hh"
+
+namespace emmcsim::analysis {
+
+const std::vector<double> &
+sizeBucketBoundsKb()
+{
+    static const std::vector<double> bounds = {4,   8,   16,   64,
+                                               256, 1024};
+    return bounds;
+}
+
+const std::vector<std::string> &
+sizeBucketLabels()
+{
+    static const std::vector<std::string> labels = {
+        "<=4KB",     "8KB",       "12-16KB", "20-64KB",
+        "68-256KB",  "260KB-1MB", ">1MB"};
+    return labels;
+}
+
+sim::Histogram
+sizeDistribution(const trace::Trace &t)
+{
+    sim::Histogram h(sizeBucketBoundsKb());
+    for (const auto &r : t.records())
+        h.add(static_cast<double>(r.sizeBytes) / 1024.0);
+    return h;
+}
+
+double
+smallRequestFraction(const trace::Trace &t)
+{
+    if (t.empty())
+        return 0.0;
+    std::uint64_t small = 0;
+    for (const auto &r : t.records()) {
+        if (r.sizeBytes <= sim::kUnitBytes)
+            ++small;
+    }
+    return static_cast<double>(small) / static_cast<double>(t.size());
+}
+
+const std::vector<double> &
+responseBucketBoundsMs()
+{
+    static const std::vector<double> bounds = {1,  2,  4,  8,
+                                               16, 32, 64, 128};
+    return bounds;
+}
+
+const std::vector<std::string> &
+responseBucketLabels()
+{
+    static const std::vector<std::string> labels = {
+        "<=1ms",   "1-2ms",   "2-4ms",   "4-8ms",   "8-16ms",
+        "16-32ms", "32-64ms", "64-128ms", ">128ms"};
+    return labels;
+}
+
+sim::Histogram
+responseDistribution(const trace::Trace &t)
+{
+    sim::Histogram h(responseBucketBoundsMs());
+    for (const auto &r : t.records()) {
+        EMMCSIM_ASSERT(r.replayed(),
+                       "responseDistribution needs a replayed trace");
+        h.add(sim::toMilliseconds(r.responseTime()));
+    }
+    return h;
+}
+
+const std::vector<double> &
+interArrivalBucketBoundsMs()
+{
+    static const std::vector<double> bounds = {1, 4, 16, 64, 256, 1024};
+    return bounds;
+}
+
+const std::vector<std::string> &
+interArrivalBucketLabels()
+{
+    static const std::vector<std::string> labels = {
+        "<=1ms",    "1-4ms",     "4-16ms", "16-64ms",
+        "64-256ms", "256ms-1s",  ">1s"};
+    return labels;
+}
+
+sim::Histogram
+interArrivalDistribution(const trace::Trace &t)
+{
+    sim::Histogram h(interArrivalBucketBoundsMs());
+    for (std::size_t i = 1; i < t.size(); ++i) {
+        h.add(sim::toMilliseconds(t[i].arrival - t[i - 1].arrival));
+    }
+    return h;
+}
+
+double
+interArrivalTailFraction(const trace::Trace &t, double ms)
+{
+    if (t.size() < 2)
+        return 0.0;
+    std::uint64_t tail = 0;
+    for (std::size_t i = 1; i < t.size(); ++i) {
+        if (sim::toMilliseconds(t[i].arrival - t[i - 1].arrival) > ms)
+            ++tail;
+    }
+    return static_cast<double>(tail) / static_cast<double>(t.size() - 1);
+}
+
+} // namespace emmcsim::analysis

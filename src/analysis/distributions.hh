@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Bucketed distributions for the paper's figures:
+ *  - Fig 4 / Fig 7a: request-size distributions,
+ *  - Fig 5 / Fig 7b: response-time distributions,
+ *  - Fig 6 / Fig 7c: inter-arrival-time distributions.
+ */
+
+#ifndef EMMCSIM_ANALYSIS_DISTRIBUTIONS_HH
+#define EMMCSIM_ANALYSIS_DISTRIBUTIONS_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "trace/trace.hh"
+
+namespace emmcsim::analysis {
+
+/** @name Fig 4 request-size buckets. @{ */
+
+/** Upper bounds in KB for the Fig 4 size buckets. */
+const std::vector<double> &sizeBucketBoundsKb();
+
+/** Human-readable labels for the Fig 4 buckets (incl. overflow). */
+const std::vector<std::string> &sizeBucketLabels();
+
+/** Histogram of request sizes over the Fig 4 buckets. */
+sim::Histogram sizeDistribution(const trace::Trace &t);
+
+/** Fraction of single-page (<= 4KB) requests — Characteristic 2. */
+double smallRequestFraction(const trace::Trace &t);
+/** @} */
+
+/** @name Fig 5 response-time buckets. @{ */
+
+/** Upper bounds in ms (powers of two, 1..128) for Fig 5. */
+const std::vector<double> &responseBucketBoundsMs();
+
+/** Labels for the Fig 5 buckets. */
+const std::vector<std::string> &responseBucketLabels();
+
+/**
+ * Histogram of response times over the Fig 5 buckets.
+ * Requires a replayed trace.
+ */
+sim::Histogram responseDistribution(const trace::Trace &t);
+/** @} */
+
+/** @name Fig 6 inter-arrival buckets. @{ */
+
+/** Upper bounds in ms (1, 4, 16, 64, 256, 1024) for Fig 6. */
+const std::vector<double> &interArrivalBucketBoundsMs();
+
+/** Labels for the Fig 6 buckets. */
+const std::vector<std::string> &interArrivalBucketLabels();
+
+/** Histogram of inter-arrival times over the Fig 6 buckets. */
+sim::Histogram interArrivalDistribution(const trace::Trace &t);
+
+/** Fraction of inter-arrivals larger than @p ms milliseconds. */
+double interArrivalTailFraction(const trace::Trace &t, double ms);
+/** @} */
+
+} // namespace emmcsim::analysis
+
+#endif // EMMCSIM_ANALYSIS_DISTRIBUTIONS_HH

@@ -1,0 +1,34 @@
+#include "analysis/locality.hh"
+
+#include <unordered_set>
+
+namespace emmcsim::analysis {
+
+LocalityResult
+computeLocality(const trace::Trace &t)
+{
+    LocalityResult res;
+    if (t.empty())
+        return res;
+
+    std::unordered_set<std::uint64_t> seen_starts;
+    seen_starts.reserve(t.size());
+
+    std::uint64_t prev_end = 0;
+    bool have_prev = false;
+    for (const auto &r : t.records()) {
+        if (have_prev && r.lbaSector == prev_end)
+            ++res.sequentialRequests;
+        if (seen_starts.count(r.lbaSector))
+            ++res.addressHits;
+        seen_starts.insert(r.lbaSector);
+        prev_end = r.endSector();
+        have_prev = true;
+    }
+    const double n = static_cast<double>(t.size());
+    res.spatial = static_cast<double>(res.sequentialRequests) / n;
+    res.temporal = static_cast<double>(res.addressHits) / n;
+    return res;
+}
+
+} // namespace emmcsim::analysis

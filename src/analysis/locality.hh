@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Locality metrics exactly as Section III-C defines them.
+ *
+ * Spatial locality: the percentage of sequential request accesses —
+ * a request is sequential when its starting address equals the ending
+ * address of its immediate predecessor.
+ *
+ * Temporal locality: the percentage of address hits — a hit is counted
+ * when a request re-accesses a starting address that some earlier
+ * request in the trace started at.
+ */
+
+#ifndef EMMCSIM_ANALYSIS_LOCALITY_HH
+#define EMMCSIM_ANALYSIS_LOCALITY_HH
+
+#include "trace/trace.hh"
+
+namespace emmcsim::analysis {
+
+/** Both locality metrics of one trace, as fractions in [0, 1]. */
+struct LocalityResult
+{
+    double spatial = 0.0;
+    double temporal = 0.0;
+    std::uint64_t sequentialRequests = 0;
+    std::uint64_t addressHits = 0;
+};
+
+/** Compute spatial and temporal locality of @p t. */
+LocalityResult computeLocality(const trace::Trace &t);
+
+} // namespace emmcsim::analysis
+
+#endif // EMMCSIM_ANALYSIS_LOCALITY_HH

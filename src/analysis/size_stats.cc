@@ -1,0 +1,52 @@
+#include "analysis/size_stats.hh"
+
+namespace emmcsim::analysis {
+
+SizeStats
+computeSizeStats(const trace::Trace &t)
+{
+    SizeStats s;
+    s.name = t.name();
+    s.requests = t.size();
+    if (t.empty())
+        return s;
+
+    std::uint64_t total_bytes = 0;
+    std::uint64_t write_bytes = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t read_bytes = 0;
+    std::uint64_t max_bytes = 0;
+    for (const auto &r : t.records()) {
+        total_bytes += r.sizeBytes;
+        if (r.isWrite()) {
+            ++writes;
+            write_bytes += r.sizeBytes;
+        } else {
+            ++reads;
+            read_bytes += r.sizeBytes;
+        }
+        max_bytes = std::max<std::uint64_t>(max_bytes, r.sizeBytes);
+    }
+    const double kb = 1.0 / 1024.0;
+    s.dataSizeKb = static_cast<double>(total_bytes) * kb;
+    s.maxSizeKb = static_cast<double>(max_bytes) * kb;
+    s.aveSizeKb = s.dataSizeKb / static_cast<double>(t.size());
+    s.aveReadKb =
+        reads ? static_cast<double>(read_bytes) * kb /
+                    static_cast<double>(reads)
+              : 0.0;
+    s.aveWriteKb =
+        writes ? static_cast<double>(write_bytes) * kb /
+                     static_cast<double>(writes)
+               : 0.0;
+    s.writeReqPct = 100.0 * static_cast<double>(writes) /
+                    static_cast<double>(t.size());
+    s.writeSizePct =
+        total_bytes ? 100.0 * static_cast<double>(write_bytes) /
+                          static_cast<double>(total_bytes)
+                    : 0.0;
+    return s;
+}
+
+} // namespace emmcsim::analysis

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Size-related trace statistics: one row of the paper's Table III.
+ */
+
+#ifndef EMMCSIM_ANALYSIS_SIZE_STATS_HH
+#define EMMCSIM_ANALYSIS_SIZE_STATS_HH
+
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace emmcsim::analysis {
+
+/** All Table III columns for one trace. */
+struct SizeStats
+{
+    std::string name;
+    double dataSizeKb = 0.0;   ///< total bytes accessed, in KB
+    std::uint64_t requests = 0;
+    double maxSizeKb = 0.0;    ///< largest request, KB
+    double aveSizeKb = 0.0;    ///< mean request size, KB
+    double aveReadKb = 0.0;    ///< mean read size, KB
+    double aveWriteKb = 0.0;   ///< mean write size, KB
+    double writeReqPct = 0.0;  ///< % of requests that are writes
+    double writeSizePct = 0.0; ///< % of accessed bytes that are written
+};
+
+/** Compute a Table III row from @p t. */
+SizeStats computeSizeStats(const trace::Trace &t);
+
+} // namespace emmcsim::analysis
+
+#endif // EMMCSIM_ANALYSIS_SIZE_STATS_HH

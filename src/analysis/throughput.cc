@@ -1,0 +1,46 @@
+#include "analysis/throughput.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace emmcsim::analysis {
+
+double
+meanRequestThroughputMBps(const trace::Trace &t, bool write)
+{
+    sim::OnlineStats mbps;
+    for (const auto &r : t.records()) {
+        if (r.isWrite() != write)
+            continue;
+        EMMCSIM_ASSERT(r.replayed(), "throughput needs a replayed trace");
+        const double secs = sim::toSeconds(r.serviceTime());
+        if (secs <= 0.0)
+            continue;
+        mbps.add(static_cast<double>(r.sizeBytes) / 1e6 / secs);
+    }
+    return mbps.mean();
+}
+
+double
+sustainedThroughputMBps(const trace::Trace &t)
+{
+    if (t.empty())
+        return 0.0;
+    sim::Time first = t[0].serviceStart;
+    sim::Time last = 0;
+    std::uint64_t bytes = 0;
+    for (const auto &r : t.records()) {
+        EMMCSIM_ASSERT(r.replayed(), "throughput needs a replayed trace");
+        first = std::min(first, r.serviceStart);
+        last = std::max(last, r.finish);
+        bytes += r.sizeBytes;
+    }
+    const double secs = sim::toSeconds(last - first);
+    if (secs <= 0.0)
+        return 0.0;
+    return static_cast<double>(bytes) / 1e6 / secs;
+}
+
+} // namespace emmcsim::analysis

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Throughput metrics for the Fig 3 reproduction.
+ *
+ * Fig 3 plots, per request size, the average access rate of requests
+ * with that size: effectively size / service time averaged over the
+ * requests, which is what these helpers compute from replayed traces.
+ */
+
+#ifndef EMMCSIM_ANALYSIS_THROUGHPUT_HH
+#define EMMCSIM_ANALYSIS_THROUGHPUT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace emmcsim::analysis {
+
+/** One Fig 3 data point. */
+struct ThroughputPoint
+{
+    std::uint64_t sizeBytes = 0;
+    double readMBps = 0.0;  ///< 0 when no reads of this size exist
+    double writeMBps = 0.0; ///< 0 when no writes of this size exist
+};
+
+/**
+ * Mean per-request throughput (MB/s) of requests of the given kind in
+ * a replayed trace, computed as size / service time per request and
+ * averaged.
+ *
+ * @param t     Replayed trace.
+ * @param write Select writes (true) or reads (false).
+ * @return 0 when no matching requests exist.
+ */
+double meanRequestThroughputMBps(const trace::Trace &t, bool write);
+
+/**
+ * Sustained throughput of a replayed trace: total bytes moved divided
+ * by the busy interval (first service start to last finish).
+ */
+double sustainedThroughputMBps(const trace::Trace &t);
+
+} // namespace emmcsim::analysis
+
+#endif // EMMCSIM_ANALYSIS_THROUGHPUT_HH

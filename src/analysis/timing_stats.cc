@@ -1,0 +1,58 @@
+#include "analysis/timing_stats.hh"
+
+#include "analysis/locality.hh"
+#include "sim/stats.hh"
+
+namespace emmcsim::analysis {
+
+TimingStats
+computeTimingStats(const trace::Trace &t)
+{
+    TimingStats s;
+    s.name = t.name();
+    if (t.empty())
+        return s;
+
+    const double dur_s = sim::toSeconds(t.duration());
+    s.durationSec = dur_s;
+    if (dur_s > 0.0) {
+        s.arrivalRate = static_cast<double>(t.size()) / dur_s;
+        s.accessRateKbps =
+            static_cast<double>(t.totalBytes()) / 1024.0 / dur_s;
+    }
+
+    LocalityResult loc = computeLocality(t);
+    s.spatialPct = 100.0 * loc.spatial;
+    s.temporalPct = 100.0 * loc.temporal;
+
+    sim::OnlineStats gaps;
+    for (std::size_t i = 1; i < t.size(); ++i) {
+        gaps.add(sim::toMilliseconds(t[i].arrival - t[i - 1].arrival));
+    }
+    s.meanInterArrivalMs = gaps.mean();
+
+    bool all_replayed = true;
+    sim::OnlineStats serv;
+    sim::OnlineStats resp;
+    std::uint64_t no_wait = 0;
+    for (const auto &r : t.records()) {
+        if (!r.replayed()) {
+            all_replayed = false;
+            break;
+        }
+        serv.add(sim::toMilliseconds(r.serviceTime()));
+        resp.add(sim::toMilliseconds(r.responseTime()));
+        if (r.serviceStart == r.arrival)
+            ++no_wait;
+    }
+    if (all_replayed) {
+        s.replayed = true;
+        s.meanServiceMs = serv.mean();
+        s.meanResponseMs = resp.mean();
+        s.noWaitPct = 100.0 * static_cast<double>(no_wait) /
+                      static_cast<double>(t.size());
+    }
+    return s;
+}
+
+} // namespace emmcsim::analysis

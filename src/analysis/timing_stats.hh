@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Timing-related trace statistics: one row of the paper's Table IV.
+ *
+ * Service/response/NoWait columns need a *replayed* trace (records
+ * carrying BIOtracer step-2/step-3 timestamps); the arrival columns
+ * and localities only need the raw stream.
+ */
+
+#ifndef EMMCSIM_ANALYSIS_TIMING_STATS_HH
+#define EMMCSIM_ANALYSIS_TIMING_STATS_HH
+
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace emmcsim::analysis {
+
+/** All Table IV columns for one trace. */
+struct TimingStats
+{
+    std::string name;
+    double durationSec = 0.0;     ///< recording duration
+    double arrivalRate = 0.0;     ///< requests per second
+    double accessRateKbps = 0.0;  ///< KB accessed per second
+    double noWaitPct = 0.0;       ///< % of requests served immediately
+    double meanServiceMs = 0.0;   ///< mean service time
+    double meanResponseMs = 0.0;  ///< mean response time
+    double spatialPct = 0.0;      ///< spatial locality (%)
+    double temporalPct = 0.0;     ///< temporal locality (%)
+    double meanInterArrivalMs = 0.0; ///< supporting Characteristic 6
+    bool replayed = false;        ///< service columns are meaningful
+};
+
+/** Compute a Table IV row from @p t. */
+TimingStats computeTimingStats(const trace::Trace &t);
+
+} // namespace emmcsim::analysis
+
+#endif // EMMCSIM_ANALYSIS_TIMING_STATS_HH

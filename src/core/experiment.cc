@@ -1,0 +1,136 @@
+#include "core/experiment.hh"
+
+#include <vector>
+
+#include "ftl/wear.hh"
+#include "host/replayer.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace emmcsim::core {
+
+emmc::EmmcConfig
+applyOptions(emmc::EmmcConfig cfg, const ExperimentOptions &opts)
+{
+    cfg.power.enabled = opts.powerMode;
+    cfg.buffer.enabled = opts.ramBuffer;
+    cfg.buffer.capacityUnits = opts.ramBufferUnits;
+    cfg.packing.enabled = opts.packing;
+    cfg.idleGcEnabled = opts.idleGc;
+    cfg.ftl.gc.victimPolicy = opts.gcVictimPolicy;
+    cfg.ftl.alloc = opts.allocPolicy;
+    cfg.multiplane = opts.multiplane;
+    if (opts.capacityScale != 1.0) {
+        EMMCSIM_ASSERT(opts.capacityScale > 0.0 &&
+                           opts.capacityScale <= 1.0,
+                       "capacityScale must be in (0, 1]");
+        for (auto &pool : cfg.geometry.pools) {
+            pool.blocksPerPlane = std::max<std::uint32_t>(
+                8, static_cast<std::uint32_t>(
+                       static_cast<double>(pool.blocksPerPlane) *
+                       opts.capacityScale));
+        }
+    }
+    return cfg;
+}
+
+namespace {
+
+/**
+ * State-only pre-aging: write the first @p fraction of the logical
+ * space once sequentially and then re-write a random quarter of it,
+ * so blocks contain a realistic mix of valid and stale units.
+ */
+void
+prefillDevice(emmc::EmmcDevice &device, double fraction,
+              std::uint64_t seed)
+{
+    if (fraction <= 0.0)
+        return;
+    EMMCSIM_ASSERT(fraction < 0.9, "prefill fraction too large");
+    ftl::Ftl &ftl = device.ftl();
+    const auto limit = static_cast<std::uint64_t>(
+        static_cast<double>(ftl.logicalUnits()) * fraction);
+
+    std::vector<ftl::PageGroup> groups;
+    constexpr std::uint32_t kChunkUnits = 64;
+    auto install = [&](std::uint64_t u) {
+        groups.clear();
+        device.distributor().splitWrite(
+            static_cast<flash::Lpn>(u), kChunkUnits, groups);
+        for (const auto &g : groups) {
+            // A full pool simply stays full: the rest of the aged
+            // image lands wherever room remains (installGroup skips).
+            ftl.installGroup(g.pool, g.lpns);
+        }
+    };
+    for (std::uint64_t u = 0; u + kChunkUnits <= limit;
+         u += kChunkUnits) {
+        install(u);
+    }
+
+    // Random overwrites create stale units for GC to reclaim.
+    sim::Rng rng(seed);
+    const std::uint64_t rewrites = limit / 4 / kChunkUnits;
+    for (std::uint64_t i = 0; i < rewrites; ++i) {
+        install(static_cast<std::uint64_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(limit - kChunkUnits))));
+    }
+}
+
+} // namespace
+
+CaseResult
+runCase(const trace::Trace &t, SchemeKind kind,
+        const ExperimentOptions &opts)
+{
+    sim::Simulator simulator;
+    emmc::EmmcConfig cfg = applyOptions(schemeConfig(kind), opts);
+    auto device = makeDevice(simulator, kind, cfg);
+
+    prefillDevice(*device, opts.prefill, opts.prefillSeed);
+
+    // Space utilization is measured over the replay only.
+    const ftl::FtlStats before = device->ftl().stats();
+
+    host::Replayer replayer(simulator, *device);
+    trace::Trace replayed = replayer.replay(t);
+
+    const emmc::DeviceStats &ds = device->stats();
+    const ftl::FtlStats after = device->ftl().stats();
+    const ftl::GcStats &gs = device->ftl().gcStats();
+
+    CaseResult res;
+    res.scheme = schemeName(kind);
+    res.traceName = t.name();
+    res.requests = ds.requests;
+    res.meanResponseMs = ds.responseMs.mean();
+    res.meanServiceMs = ds.serviceMs.mean();
+    res.noWaitPct = 100.0 * ds.noWaitRatio();
+
+    const std::uint64_t d_units =
+        after.hostUnitsWritten - before.hostUnitsWritten;
+    const std::uint64_t d_bytes =
+        after.hostBytesConsumed - before.hostBytesConsumed;
+    res.spaceUtilization =
+        d_bytes ? static_cast<double>(d_units * sim::kUnitBytes) /
+                      static_cast<double>(d_bytes)
+                : 1.0;
+
+    res.gcBlockingRounds = gs.blockingRounds;
+    res.gcIdleRounds = gs.idleRounds + gs.idleSteps;
+    res.gcRelocatedUnits = gs.relocatedUnits;
+    res.gcErasedBlocks = gs.erasedBlocks;
+    ftl::WearReport wear = ftl::computeWear(device->array());
+    res.totalErases = wear.totalErases;
+    res.wearSpread = wear.worstSpread;
+    res.writeAmplification =
+        ftl::writeAmplification(device->array(), device->ftl());
+    res.powerWakeups = device->powerStats().wakeups;
+    res.packedCommands = device->packingStats().packedCommands;
+    res.bufferReadHitRate = device->bufferStats().readHitRate();
+    res.replayed = std::move(replayed);
+    return res;
+}
+
+} // namespace emmcsim::core

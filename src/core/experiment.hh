@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Experiment runner: one (trace, scheme) replay with the paper's
+ * measurement conventions, producing everything Figs 8/9 and the
+ * characterization tables need.
+ */
+
+#ifndef EMMCSIM_CORE_EXPERIMENT_HH
+#define EMMCSIM_CORE_EXPERIMENT_HH
+
+#include <string>
+
+#include "core/scheme.hh"
+#include "emmc/device.hh"
+#include "ftl/gc.hh"
+#include "sim/stats.hh"
+#include "trace/trace.hh"
+
+namespace emmcsim::core {
+
+/** Toggles applied on top of the Table V scheme configuration. */
+struct ExperimentOptions
+{
+    /**
+     * Power-mode emulation. Off for the Fig 8/9 device comparison
+     * (pure flash-path timing); on for the Table IV / Fig 5
+     * characterization replays, which model the real device.
+     */
+    bool powerMode = false;
+    /** RAM buffer; the paper disables it in the case study. */
+    bool ramBuffer = false;
+    /** RAM buffer capacity in 4KB units when enabled. */
+    std::uint64_t ramBufferUnits = 256;
+    /** eMMC packed write commands. */
+    bool packing = true;
+    /** Idle-time garbage collection (Implication 2 ablation). */
+    bool idleGc = false;
+    /** GC victim-selection policy. */
+    ftl::GcVictimPolicy gcVictimPolicy = ftl::GcVictimPolicy::Greedy;
+    /** Write-placement policy (dynamic vs SSDsim static allocation). */
+    ftl::AllocPolicy allocPolicy = ftl::AllocPolicy::RoundRobin;
+    /** Plane-level parallelism (multi-plane commands). */
+    bool multiplane = false;
+    /**
+     * Pre-fill fraction of the logical space before the replay, to
+     * age the device so garbage collection actually fires (the
+     * Fig 8/9 runs use 0: a brand-new device, as in the paper).
+     */
+    double prefill = 0.0;
+    /** Seed for the pre-fill pattern. */
+    std::uint64_t prefillSeed = 42;
+    /**
+     * Scale factor applied to blocks-per-plane (1.0 keeps the 32GB
+     * Table V device). Shrinking the device makes GC experiments
+     * reachable with scaled-down traces.
+     */
+    double capacityScale = 1.0;
+};
+
+/** Everything measured from one (trace, scheme) replay. */
+struct CaseResult
+{
+    std::string scheme;
+    std::string traceName;
+
+    double meanResponseMs = 0.0; ///< Fig 8's MRT
+    double meanServiceMs = 0.0;
+    double noWaitPct = 0.0;
+    double spaceUtilization = 1.0; ///< Fig 9 metric
+
+    std::uint64_t requests = 0;
+    std::uint64_t gcBlockingRounds = 0;
+    std::uint64_t gcIdleRounds = 0;
+    std::uint64_t gcRelocatedUnits = 0;
+    std::uint64_t gcErasedBlocks = 0;
+    /** Total block erases (endurance proxy; Section V motivation). */
+    std::uint64_t totalErases = 0;
+    /** Flash bytes programmed per host byte written (1.0 ideal). */
+    double writeAmplification = 0.0;
+    /** Worst per-pool erase-count spread (wear balance). */
+    std::uint32_t wearSpread = 0;
+    std::uint64_t powerWakeups = 0;
+    std::uint64_t packedCommands = 0;
+    double bufferReadHitRate = 0.0;
+
+    /** Replayed trace (timestamps filled) for further analysis. */
+    trace::Trace replayed;
+};
+
+/** Replay @p t on a fresh device of @p kind. */
+CaseResult runCase(const trace::Trace &t, SchemeKind kind,
+                   const ExperimentOptions &opts = {});
+
+/** Apply @p opts to a scheme configuration. */
+emmc::EmmcConfig applyOptions(emmc::EmmcConfig cfg,
+                              const ExperimentOptions &opts);
+
+} // namespace emmcsim::core
+
+#endif // EMMCSIM_CORE_EXPERIMENT_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * HpsDistributor: the paper's hybrid-page-size request distributor.
+ *
+ * Section V: "when the size of a write request is 20 KB, it will be
+ * divided into two 8-KB sub-requests and one 4-KB sub-request." The
+ * split is greedy — unit pairs go to the 8KB pool, a trailing odd unit
+ * to the 4KB pool — so HPS consumes exactly as much flash as a pure
+ * 4KB device (no padding), while serving the bulk of a large request
+ * with half as many page operations.
+ */
+
+#ifndef EMMCSIM_CORE_HPS_HH
+#define EMMCSIM_CORE_HPS_HH
+
+#include "ftl/distributor.hh"
+
+namespace emmcsim::core {
+
+/** The HPS write splitter (Fig 10 layout: pool 0 = 4KB, pool 1 = 8KB). */
+class HpsDistributor : public ftl::RequestDistributor
+{
+  public:
+    /**
+     * @param pool4k Index of the 4KB-page pool.
+     * @param pool8k Index of the 8KB-page pool.
+     */
+    HpsDistributor(std::uint32_t pool4k, std::uint32_t pool8k);
+
+    void splitWrite(flash::Lpn first, std::uint32_t n,
+                    std::vector<ftl::PageGroup> &out) const override;
+
+    std::string name() const override { return "HPS"; }
+
+  private:
+    std::uint32_t pool4k_;
+    std::uint32_t pool8k_;
+};
+
+} // namespace emmcsim::core
+
+#endif // EMMCSIM_CORE_HPS_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * TablePrinter: aligned ASCII tables for the bench/example output.
+ */
+
+#ifndef EMMCSIM_CORE_REPORT_HH
+#define EMMCSIM_CORE_REPORT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace emmcsim::core {
+
+/** Accumulates rows and prints them column-aligned. */
+class TablePrinter
+{
+  public:
+    /** @param headers Column titles. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append one row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with padded columns and a separator under the header. */
+    void print(std::ostream &os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format helper: fixed-decimal double as string. */
+std::string fmt(double value, int decimals = 2);
+
+/** Format helper: integer with no decoration. */
+std::string fmt(std::uint64_t value);
+
+} // namespace emmcsim::core
+
+#endif // EMMCSIM_CORE_REPORT_HH

@@ -1,0 +1,79 @@
+#include "core/scheme.hh"
+
+#include "core/hps.hh"
+#include "sim/logging.hh"
+
+namespace emmcsim::core {
+
+const std::vector<SchemeKind> &
+allSchemes()
+{
+    static const std::vector<SchemeKind> kinds = {
+        SchemeKind::PS4, SchemeKind::PS8, SchemeKind::HPS};
+    return kinds;
+}
+
+const std::vector<SchemeKind> &
+extendedSchemes()
+{
+    static const std::vector<SchemeKind> kinds = {
+        SchemeKind::PS4, SchemeKind::PS8, SchemeKind::HPS,
+        SchemeKind::HSLC};
+    return kinds;
+}
+
+std::string
+schemeName(SchemeKind kind)
+{
+    switch (kind) {
+      case SchemeKind::PS4: return "4PS";
+      case SchemeKind::PS8: return "8PS";
+      case SchemeKind::HPS: return "HPS";
+      case SchemeKind::HSLC: return "HSLC";
+    }
+    sim::panic("unknown scheme kind");
+}
+
+emmc::EmmcConfig
+schemeConfig(SchemeKind kind)
+{
+    switch (kind) {
+      case SchemeKind::PS4: return emmc::make4psConfig();
+      case SchemeKind::PS8: return emmc::make8psConfig();
+      case SchemeKind::HPS: return emmc::makeHpsConfig();
+      case SchemeKind::HSLC: return emmc::makeHpsSlcConfig();
+    }
+    sim::panic("unknown scheme kind");
+}
+
+std::unique_ptr<ftl::RequestDistributor>
+schemeDistributor(SchemeKind kind)
+{
+    switch (kind) {
+      case SchemeKind::PS4:
+        return std::make_unique<ftl::SinglePoolDistributor>(0, 1, "4PS");
+      case SchemeKind::PS8:
+        return std::make_unique<ftl::SinglePoolDistributor>(0, 2, "8PS");
+      case SchemeKind::HPS:
+      case SchemeKind::HSLC:
+        return std::make_unique<HpsDistributor>(emmc::kHps4kPool,
+                                                emmc::kHps8kPool);
+    }
+    sim::panic("unknown scheme kind");
+}
+
+std::unique_ptr<emmc::EmmcDevice>
+makeDevice(sim::Simulator &simulator, SchemeKind kind,
+           const emmc::EmmcConfig &cfg)
+{
+    return std::make_unique<emmc::EmmcDevice>(simulator, cfg,
+                                              schemeDistributor(kind));
+}
+
+std::unique_ptr<emmc::EmmcDevice>
+makeDevice(sim::Simulator &simulator, SchemeKind kind)
+{
+    return makeDevice(simulator, kind, schemeConfig(kind));
+}
+
+} // namespace emmcsim::core

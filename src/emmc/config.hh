@@ -1,0 +1,100 @@
+/**
+ * @file
+ * EmmcConfig: the full configuration of a simulated eMMC device, plus
+ * the Table V geometry/timing presets shared by the 4PS, 8PS and HPS
+ * schemes.
+ *
+ * Table V (all three devices, 32 GB raw):
+ *   - channel x chip x die x plane = 2 x 1 x 2 x 2, 1024 pages/block
+ *   - 4PS: 1024 4KB-page blocks per plane (160us read / 1385us program)
+ *   - 8PS:  512 8KB-page blocks per plane (244us read / 1491us program)
+ *   - HPS:  512 4KB-page blocks + 256 8KB-page blocks per plane
+ *   - erase 3800us everywhere
+ */
+
+#ifndef EMMCSIM_EMMC_CONFIG_HH
+#define EMMCSIM_EMMC_CONFIG_HH
+
+#include <string>
+
+#include "emmc/packing.hh"
+#include "emmc/power.hh"
+#include "emmc/ram_buffer.hh"
+#include "flash/geometry.hh"
+#include "flash/timing.hh"
+#include "ftl/ftl.hh"
+
+namespace emmcsim::emmc {
+
+/** Everything needed to instantiate an EmmcDevice. */
+struct EmmcConfig
+{
+    /** Scheme label for reports ("4PS", "8PS", "HPS"). */
+    std::string name = "4PS";
+
+    flash::Geometry geometry;
+    flash::Timing timing;
+    ftl::FtlConfig ftl;
+    PackingConfig packing;
+    PowerConfig power;
+    BufferConfig buffer;
+
+    /**
+     * Fixed per-command overhead: driver submission, controller
+     * firmware, command/response cycles on the eMMC interface. Paid
+     * once per (possibly packed) command.
+     */
+    sim::Time commandOverhead = sim::microseconds(100);
+
+    /**
+     * Plane-level array parallelism (multi-plane commands). Off by
+     * default: a cost-constrained eMMC serializes array operations per
+     * die (Implication 1: sub-requests of a large request cannot all
+     * proceed in parallel); enabling it is the A5 ablation.
+     */
+    bool multiplane = false;
+
+    /** Run garbage collection during idle gaps (Implication 2). */
+    bool idleGcEnabled = false;
+    /** Idle time before idle GC starts. */
+    sim::Time idleGcDelay = sim::milliseconds(50);
+    /**
+     * Gap between consecutive incremental idle-GC steps. Each step is
+     * a few page relocations; spacing the steps keeps the device
+     * responsive to arrivals while it reclaims in the background.
+     */
+    sim::Time idleGcStepGap = sim::milliseconds(2);
+};
+
+/** @name Table V presets. @{ */
+
+/** Pure 4KB-page device (Table V column 1). */
+EmmcConfig make4psConfig();
+
+/** Pure 8KB-page device (Table V column 2). */
+EmmcConfig make8psConfig();
+
+/**
+ * Hybrid-page-size device (Table V column 3): pool 0 holds the 4KB
+ * blocks, pool 1 the 8KB blocks of every plane (Fig 10).
+ */
+EmmcConfig makeHpsConfig();
+
+/**
+ * HPS with the 4KB pool operated in SLC mode (Implication 5): the
+ * same silicon as HPS, but the 512 4KB-page blocks of each plane use
+ * only their fast pages — SLC-like latencies for the dominant small
+ * requests, at the cost of half that pool's capacity (the device
+ * shrinks from 32 GB to 24 GB).
+ */
+EmmcConfig makeHpsSlcConfig();
+/** @} */
+
+/** Pool index of the 4KB blocks in the HPS layout. */
+constexpr std::uint32_t kHps4kPool = 0;
+/** Pool index of the 8KB blocks in the HPS layout. */
+constexpr std::uint32_t kHps8kPool = 1;
+
+} // namespace emmcsim::emmc
+
+#endif // EMMCSIM_EMMC_CONFIG_HH

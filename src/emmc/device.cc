@@ -1,0 +1,226 @@
+#include "emmc/device.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace emmcsim::emmc {
+
+EmmcDevice::EmmcDevice(sim::Simulator &simulator, const EmmcConfig &cfg,
+                       std::unique_ptr<ftl::RequestDistributor> distributor)
+    : sim_(simulator),
+      cfg_(cfg),
+      dist_(std::move(distributor)),
+      array_(cfg_.geometry, cfg_.timing, cfg_.multiplane),
+      ftl_(array_, cfg_.ftl),
+      packer_(cfg_.packing),
+      power_(cfg_.power),
+      buffer_(cfg_.buffer)
+{
+    EMMCSIM_ASSERT(dist_ != nullptr, "device needs a distributor");
+    // Unmapped reads are timed as if the scheme's own split had laid
+    // the data out (see Ftl::readUnits).
+    ftl_.setPseudoReadDistributor(dist_.get());
+}
+
+void
+EmmcDevice::submit(const IoRequest &request)
+{
+    EMMCSIM_ASSERT(request.sizeBytes > 0 &&
+                       request.sizeBytes % sim::kUnitBytes == 0,
+                   "request size must be a positive 4KB multiple");
+    EMMCSIM_ASSERT(request.lbaSector % sim::kSectorsPerUnit == 0,
+                   "request LBA must be 4KB-aligned");
+    EMMCSIM_ASSERT(request.arrival == sim_.now(),
+                   "submit must run at the request's arrival time");
+
+    ++stats_.requests;
+    if (request.write) {
+        ++stats_.writeRequests;
+        stats_.bytesWritten += request.sizeBytes;
+    } else {
+        ++stats_.readRequests;
+        stats_.bytesRead += request.sizeBytes;
+    }
+
+    bool waited = busy_;
+    if (!waited)
+        ++stats_.noWaitRequests;
+    stats_.queueDepthAtArrival.add(
+        static_cast<double>(queue_.size() + (busy_ ? 1 : 0)));
+
+    queue_.push_back(Queued{request, waited});
+    if (!busy_)
+        startNext();
+}
+
+void
+EmmcDevice::startNext()
+{
+    EMMCSIM_ASSERT(!queue_.empty(), "startNext with empty queue");
+    busy_ = true;
+    const sim::Time now = sim_.now();
+
+    // Decide how many head requests ride this command (packed writes).
+    std::deque<IoRequest> head;
+    for (const Queued &q : queue_)
+        head.push_back(q.request);
+    std::size_t count = packer_.packCount(head);
+
+    std::vector<CompletedRequest> cmd;
+    cmd.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        CompletedRequest c;
+        c.request = queue_.front().request;
+        c.waited = queue_.front().waited;
+        c.packed = count > 1;
+        queue_.pop_front();
+        cmd.push_back(c);
+    }
+
+    // Wake from low power if the idle gap crossed the threshold. The
+    // warm-up is part of *service* time (BIOtracer's step 2 fires when
+    // the command is issued, before the device is warm), which is why
+    // the paper's low-rate apps show long mean service times.
+    const sim::Time service_start = std::max(now, gcBusyUntil_);
+    sim::Time penalty = 0;
+    if (idle_) {
+        penalty = power_.wakePenalty(service_start);
+        idle_ = false;
+    }
+    const sim::Time begin =
+        service_start + penalty + cfg_.commandOverhead;
+
+    sim::Time done = begin;
+    for (CompletedRequest &c : cmd) {
+        c.serviceStart = service_start;
+        sim::Time t = c.request.write ? serveWrite(c.request, begin)
+                                      : serveRead(c.request, begin);
+        done = std::max(done, t);
+    }
+    for (CompletedRequest &c : cmd)
+        c.finish = done;
+
+    ++stats_.commands;
+    stats_.busyTime += done - service_start;
+
+    sim_.schedule(done, [this, cmd = std::move(cmd)]() mutable {
+        finishCommand(std::move(cmd));
+    });
+}
+
+sim::Time
+EmmcDevice::serveRead(const IoRequest &r, sim::Time begin)
+{
+    const flash::Lpn first = r.firstUnit();
+    const std::uint32_t n = r.sizeUnits();
+    if (!buffer_.enabled())
+        return ftl_.readUnits(first, n, begin);
+
+    std::vector<UnitRun> misses;
+    std::vector<UnitRun> evicted;
+    buffer_.read(first, n, misses, evicted);
+    sim::Time done = begin;
+    for (const UnitRun &m : misses)
+        done = std::max(done, ftl_.readUnits(m.first, m.count, begin));
+    done = std::max(done, flushRuns(evicted, begin));
+    return done;
+}
+
+sim::Time
+EmmcDevice::serveWrite(const IoRequest &r, sim::Time begin)
+{
+    const flash::Lpn first = r.firstUnit();
+    const std::uint32_t n = r.sizeUnits();
+    if (!buffer_.enabled()) {
+        scratchGroups_.clear();
+        dist_->splitWrite(first, n, scratchGroups_);
+        sim::Time done = begin;
+        for (const ftl::PageGroup &g : scratchGroups_)
+            done = std::max(done, ftl_.writeGroup(g.pool, g.lpns, begin));
+        return done;
+    }
+
+    std::vector<UnitRun> evicted;
+    buffer_.write(first, n, evicted);
+    return flushRuns(evicted, begin);
+}
+
+sim::Time
+EmmcDevice::flushRuns(const std::vector<UnitRun> &runs, sim::Time begin)
+{
+    sim::Time done = begin;
+    for (const UnitRun &run : runs) {
+        scratchGroups_.clear();
+        dist_->splitWrite(run.first, run.count, scratchGroups_);
+        for (const ftl::PageGroup &g : scratchGroups_)
+            done = std::max(done, ftl_.writeGroup(g.pool, g.lpns, begin));
+    }
+    return done;
+}
+
+void
+EmmcDevice::finishCommand(std::vector<CompletedRequest> done)
+{
+    for (const CompletedRequest &c : done) {
+        double resp = sim::toMilliseconds(c.finish - c.request.arrival);
+        double serv = sim::toMilliseconds(c.finish - c.serviceStart);
+        double wait =
+            sim::toMilliseconds(c.serviceStart - c.request.arrival);
+        stats_.responseMs.add(resp);
+        stats_.serviceMs.add(serv);
+        stats_.waitMs.add(wait);
+        if (onComplete_)
+            onComplete_(c);
+    }
+
+    busy_ = false;
+    if (!queue_.empty()) {
+        startNext();
+        return;
+    }
+
+    idle_ = true;
+    power_.onIdle(sim_.now());
+    if (cfg_.idleGcEnabled) {
+        sim_.scheduleAfter(cfg_.idleGcDelay, [this] { idleGcTick(); });
+    }
+}
+
+void
+EmmcDevice::idleGcTick()
+{
+    if (busy_ || !idle_)
+        return; // a request arrived before the idle window opened
+    const sim::Time now = sim_.now();
+    bool did_work = false;
+    sim::Time done = ftl_.idleGcStep(now, did_work);
+    if (did_work) {
+        gcBusyUntil_ = std::max(gcBusyUntil_, done);
+        // More reclamation may remain; step again after a short gap
+        // so arriving requests interleave freely.
+        sim_.schedule(done + cfg_.idleGcStepGap,
+                      [this] { idleGcTick(); });
+    }
+}
+
+double
+EmmcDevice::utilization(sim::Time now) const
+{
+    if (now <= 0)
+        return 0.0;
+    return static_cast<double>(stats_.busyTime) /
+           static_cast<double>(now);
+}
+
+double
+EmmcDevice::spaceUtilization() const
+{
+    const ftl::FtlStats &fs = ftl_.stats();
+    if (fs.hostBytesConsumed == 0)
+        return 1.0;
+    return static_cast<double>(fs.hostUnitsWritten * sim::kUnitBytes) /
+           static_cast<double>(fs.hostBytesConsumed);
+}
+
+} // namespace emmcsim::emmc

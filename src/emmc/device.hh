@@ -1,0 +1,177 @@
+/**
+ * @file
+ * EmmcDevice: the simulated eMMC controller.
+ *
+ * The device serializes commands at its interface — eMMC 4.51 has no
+ * command queueing, which is what gives the paper's NoWait semantics:
+ * a request waits if and only if another request is being served.
+ * Inside one command, page operations stripe across channels, dies and
+ * planes through the FTL and flash-array timelines.
+ *
+ * Dispatch path per command: optional wake-up from low-power mode,
+ * fixed command overhead, optional packed-write merging, then either a
+ * mapping-driven read or distributor-split page programs (with any
+ * blocking GC inline). Completion fires a simulator event, records the
+ * BIOtracer step-2/step-3 timestamps, and starts the next command.
+ */
+
+#ifndef EMMCSIM_EMMC_DEVICE_HH
+#define EMMCSIM_EMMC_DEVICE_HH
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "emmc/config.hh"
+#include "ftl/distributor.hh"
+#include "emmc/packing.hh"
+#include "emmc/power.hh"
+#include "emmc/ram_buffer.hh"
+#include "emmc/request.hh"
+#include "flash/array.hh"
+#include "ftl/ftl.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+
+namespace emmcsim::emmc {
+
+/** Aggregate device counters. */
+struct DeviceStats
+{
+    std::uint64_t requests = 0;
+    std::uint64_t readRequests = 0;
+    std::uint64_t writeRequests = 0;
+    std::uint64_t bytesRead = 0;
+    std::uint64_t bytesWritten = 0;
+    /** Requests that found the device idle on arrival. */
+    std::uint64_t noWaitRequests = 0;
+    /** Commands issued to the flash backend (packing merges). */
+    std::uint64_t commands = 0;
+    /** Total device busy time (sum of command service intervals). */
+    sim::Time busyTime = 0;
+
+    sim::OnlineStats responseMs; ///< per-request response times (ms)
+    sim::OnlineStats serviceMs;  ///< per-request service times (ms)
+    sim::OnlineStats waitMs;     ///< per-request queue wait times (ms)
+    /** Outstanding requests (incl. in-flight) seen by each arrival. */
+    sim::OnlineStats queueDepthAtArrival;
+
+    double
+    noWaitRatio() const
+    {
+        return requests ? static_cast<double>(noWaitRequests) /
+                              static_cast<double>(requests)
+                        : 0.0;
+    }
+};
+
+/** The simulated eMMC device. */
+class EmmcDevice
+{
+  public:
+    /** Callback fired once per completed request. */
+    using CompletionCallback =
+        std::function<void(const CompletedRequest &)>;
+
+    /**
+     * @param simulator   Event loop the device schedules on.
+     * @param cfg         Full device configuration.
+     * @param distributor Scheme-specific write splitter.
+     */
+    EmmcDevice(sim::Simulator &simulator, const EmmcConfig &cfg,
+               std::unique_ptr<ftl::RequestDistributor> distributor);
+
+    /** Register the completion callback (single consumer). */
+    void setCompletionCallback(CompletionCallback cb)
+    {
+        onComplete_ = std::move(cb);
+    }
+
+    /**
+     * Submit a request. Must be called at simulator time equal to
+     * request.arrival (the replayer schedules arrivals as events).
+     */
+    void submit(const IoRequest &request);
+
+    /** @return true while a command is in flight. */
+    bool busy() const { return busy_; }
+
+    /** Requests waiting behind the in-flight command. */
+    std::size_t queueDepth() const { return queue_.size(); }
+
+    /**
+     * Space utilization: host bytes written / flash bytes consumed for
+     * them (the paper's lifetime proxy, Fig 9). 1.0 when nothing was
+     * written.
+     */
+    double spaceUtilization() const;
+
+    /**
+     * Fraction of wall-clock time the device spent serving commands
+     * up to @p now; 0 when @p now is 0.
+     */
+    double utilization(sim::Time now) const;
+
+    const EmmcConfig &config() const { return cfg_; }
+    const DeviceStats &stats() const { return stats_; }
+    const PackingStats &packingStats() const { return packer_.stats(); }
+    const PowerStats &powerStats() const { return power_.stats(); }
+    const PowerManager &power() const { return power_; }
+    const BufferStats &bufferStats() const { return buffer_.stats(); }
+    const ftl::RequestDistributor &distributor() const { return *dist_; }
+
+    ftl::Ftl &ftl() { return ftl_; }
+    const ftl::Ftl &ftl() const { return ftl_; }
+    flash::FlashArray &array() { return array_; }
+    const flash::FlashArray &array() const { return array_; }
+
+  private:
+    /** Dispatch the next command from the queue head. */
+    void startNext();
+
+    /** Completion handler for the in-flight command. */
+    void finishCommand(std::vector<CompletedRequest> done);
+
+    /** Serve one read request; returns its flash completion time. */
+    sim::Time serveRead(const IoRequest &r, sim::Time begin);
+
+    /** Serve one write request; returns its flash completion time. */
+    sim::Time serveWrite(const IoRequest &r, sim::Time begin);
+
+    /** Flush a run of dirty buffer units to flash. */
+    sim::Time flushRuns(const std::vector<UnitRun> &runs,
+                        sim::Time begin);
+
+    /** Idle-GC event body. */
+    void idleGcTick();
+
+    sim::Simulator &sim_;
+    EmmcConfig cfg_;
+    std::unique_ptr<ftl::RequestDistributor> dist_;
+
+    flash::FlashArray array_;
+    ftl::Ftl ftl_;
+    WritePacker packer_;
+    PowerManager power_;
+    RamBuffer buffer_;
+
+    struct Queued
+    {
+        IoRequest request;
+        bool waited;
+    };
+    std::deque<Queued> queue_;
+    bool busy_ = false;
+    bool idle_ = true;           ///< device has been idle since last work
+    sim::Time gcBusyUntil_ = 0;  ///< idle GC occupies flash until here
+
+    DeviceStats stats_;
+    CompletionCallback onComplete_;
+
+    std::vector<ftl::PageGroup> scratchGroups_;
+};
+
+} // namespace emmcsim::emmc
+
+#endif // EMMCSIM_EMMC_DEVICE_HH

@@ -1,0 +1,36 @@
+#include "emmc/power.hh"
+
+namespace emmcsim::emmc {
+
+bool
+PowerManager::inLowPower(sim::Time now) const
+{
+    return cfg_.enabled && now - idleSince_ >= cfg_.idleThreshold;
+}
+
+sim::Time
+PowerManager::wakePenalty(sim::Time now)
+{
+    if (!cfg_.enabled)
+        return 0;
+    sim::Time idle = now - idleSince_;
+    if (idle >= cfg_.idleThreshold) {
+        // Active until the threshold expired, low power afterwards.
+        stats_.activeTime += cfg_.idleThreshold;
+        stats_.lowPowerTime += idle - cfg_.idleThreshold;
+        ++stats_.wakeups;
+        return cfg_.wakeLatency;
+    }
+    stats_.activeTime += idle;
+    return 0;
+}
+
+double
+PowerManager::energyMj() const
+{
+    double active_s = sim::toSeconds(stats_.activeTime);
+    double low_s = sim::toSeconds(stats_.lowPowerTime);
+    return active_s * cfg_.activeMw + low_s * cfg_.lowPowerMw;
+}
+
+} // namespace emmcsim::emmc

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Block-level request types exchanged between host and eMMC device.
+ */
+
+#ifndef EMMCSIM_EMMC_REQUEST_HH
+#define EMMCSIM_EMMC_REQUEST_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace emmcsim::emmc {
+
+/** One block request as submitted by the host block layer. */
+struct IoRequest
+{
+    /** Host-assigned identifier (trace record index in replays). */
+    std::uint64_t id = 0;
+    /** Arrival time at the device queue. */
+    sim::Time arrival = 0;
+    /** Starting address in 512-byte sectors (4KB-aligned). */
+    std::uint64_t lbaSector = 0;
+    /** Size in bytes (multiple of 4KB). */
+    std::uint64_t sizeBytes = 0;
+    /** True for writes. */
+    bool write = false;
+
+    /** First logical 4KB unit. */
+    std::int64_t
+    firstUnit() const
+    {
+        return static_cast<std::int64_t>(lbaSector /
+                                         sim::kSectorsPerUnit);
+    }
+
+    /** Size in logical 4KB units. */
+    std::uint32_t
+    sizeUnits() const
+    {
+        return static_cast<std::uint32_t>(
+            (sizeBytes + sim::kUnitBytes - 1) / sim::kUnitBytes);
+    }
+};
+
+/** Completion report for one request (BIOtracer steps 2 and 3). */
+struct CompletedRequest
+{
+    IoRequest request;
+    /** When the device actually began serving it (step 2). */
+    sim::Time serviceStart = 0;
+    /** When the device completed it (step 3). */
+    sim::Time finish = 0;
+    /** True when the request found the device busy on arrival. */
+    bool waited = false;
+    /** True when served as part of a packed write command. */
+    bool packed = false;
+};
+
+} // namespace emmcsim::emmc
+
+#endif // EMMCSIM_EMMC_REQUEST_HH

@@ -1,0 +1,183 @@
+#include "flash/array.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace emmcsim::flash {
+
+FlashArray::FlashArray(const Geometry &g, const Timing &t, bool multiplane)
+    : geom_(g), timing_(t), multiplane_(multiplane)
+{
+    geom_.validate();
+    if (timing_.pools.size() != geom_.pools.size())
+        sim::fatal("flash timing pools do not match geometry pools");
+
+    planes_.reserve(geom_.planeCount());
+    for (std::uint32_t p = 0; p < geom_.planeCount(); ++p)
+        planes_.emplace_back(geom_);
+
+    channelFree_.assign(geom_.channels, 0);
+    arrayFree_.assign(multiplane_ ? geom_.planeCount() : geom_.dieCount(),
+                      0);
+    stats_.assign(geom_.pools.size(), ArrayStats{});
+}
+
+BlockPool &
+FlashArray::poolAt(const PageAddr &addr)
+{
+    return planes_.at(planeLinear(geom_, addr)).pool(addr.pool);
+}
+
+std::size_t
+FlashArray::arrayIndex(const PageAddr &addr) const
+{
+    return multiplane_ ? planeLinear(geom_, addr) : dieLinear(geom_, addr);
+}
+
+sim::Time
+FlashArray::reserveChannel(std::uint32_t ch, sim::Time t, sim::Time dur)
+{
+    EMMCSIM_ASSERT(ch < channelFree_.size(), "channel out of range");
+    sim::Time start = std::max(t, channelFree_[ch]);
+    channelFree_[ch] = start + dur;
+    return start;
+}
+
+sim::Time
+FlashArray::reserveArray(std::size_t idx, sim::Time t, sim::Time dur)
+{
+    EMMCSIM_ASSERT(idx < arrayFree_.size(), "array unit out of range");
+    sim::Time start = std::max(t, arrayFree_[idx]);
+    arrayFree_[idx] = start + dur;
+    return start;
+}
+
+OpResult
+FlashArray::read(const PageAddr &addr, sim::Time earliest,
+                 std::uint64_t transfer_bytes)
+{
+    const auto &pt = timing_.pools.at(addr.pool);
+    const std::uint32_t page_bytes = geom_.pools.at(addr.pool).pageBytes;
+    std::uint64_t bytes = transfer_bytes == 0
+                              ? page_bytes
+                              : std::min<std::uint64_t>(transfer_bytes,
+                                                        page_bytes);
+
+    // Array senses the page first, then the channel moves the data out.
+    sim::Time a_start =
+        reserveArray(arrayIndex(addr), earliest, pt.readLatency);
+    sim::Time a_done = a_start + pt.readLatency;
+
+    sim::Time xfer = timing_.pageCmdOverhead + timing_.transferTime(bytes);
+    sim::Time x_start = reserveChannel(addr.channel, a_done, xfer);
+
+    auto &st = stats_.at(addr.pool);
+    ++st.reads;
+    st.bytesRead += bytes;
+    return OpResult{a_start, x_start + xfer};
+}
+
+OpResult
+FlashArray::program(const PageAddr &addr, sim::Time earliest)
+{
+    const auto &pt = timing_.pools.at(addr.pool);
+    const std::uint32_t page_bytes = geom_.pools.at(addr.pool).pageBytes;
+
+    // Data crosses the channel first, then the array programs it.
+    sim::Time xfer =
+        timing_.pageCmdOverhead + timing_.transferTime(page_bytes);
+    sim::Time x_start = reserveChannel(addr.channel, earliest, xfer);
+    sim::Time x_done = x_start + xfer;
+
+    sim::Time a_start =
+        reserveArray(arrayIndex(addr), x_done, pt.programLatency);
+
+    auto &st = stats_.at(addr.pool);
+    ++st.programs;
+    st.bytesProgrammed += page_bytes;
+    return OpResult{x_start, a_start + pt.programLatency};
+}
+
+OpResult
+FlashArray::erase(const PageAddr &addr, sim::Time earliest)
+{
+    // Only the erase command crosses the bus; the array then erases.
+    sim::Time x_start = reserveChannel(addr.channel, earliest,
+                                       timing_.pageCmdOverhead);
+    sim::Time x_done = x_start + timing_.pageCmdOverhead;
+    sim::Time a_start =
+        reserveArray(arrayIndex(addr), x_done, timing_.eraseLatency);
+
+    ++stats_.at(addr.pool).erases;
+    return OpResult{x_start, a_start + timing_.eraseLatency};
+}
+
+OpResult
+FlashArray::copybackRead(const PageAddr &addr, sim::Time earliest)
+{
+    const auto &pt = timing_.pools.at(addr.pool);
+    sim::Time x_start = reserveChannel(addr.channel, earliest,
+                                       timing_.pageCmdOverhead);
+    sim::Time x_done = x_start + timing_.pageCmdOverhead;
+    sim::Time a_start =
+        reserveArray(arrayIndex(addr), x_done, pt.readLatency);
+
+    ++stats_.at(addr.pool).copybackReads;
+    return OpResult{x_start, a_start + pt.readLatency};
+}
+
+OpResult
+FlashArray::copybackProgram(const PageAddr &addr, sim::Time earliest)
+{
+    const auto &pt = timing_.pools.at(addr.pool);
+    sim::Time x_start = reserveChannel(addr.channel, earliest,
+                                       timing_.pageCmdOverhead);
+    sim::Time x_done = x_start + timing_.pageCmdOverhead;
+    sim::Time a_start =
+        reserveArray(arrayIndex(addr), x_done, pt.programLatency);
+
+    ++stats_.at(addr.pool).copybackPrograms;
+    return OpResult{x_start, a_start + pt.programLatency};
+}
+
+sim::Time
+FlashArray::channelFreeAt(std::uint32_t channel) const
+{
+    return channelFree_.at(channel);
+}
+
+sim::Time
+FlashArray::arrayFreeAt(const PageAddr &addr) const
+{
+    return arrayFree_.at(arrayIndex(addr));
+}
+
+sim::Time
+FlashArray::allIdleAt() const
+{
+    sim::Time t = 0;
+    for (sim::Time c : channelFree_)
+        t = std::max(t, c);
+    for (sim::Time a : arrayFree_)
+        t = std::max(t, a);
+    return t;
+}
+
+ArrayStats
+FlashArray::totalStats() const
+{
+    ArrayStats total;
+    for (const auto &s : stats_) {
+        total.reads += s.reads;
+        total.programs += s.programs;
+        total.erases += s.erases;
+        total.copybackReads += s.copybackReads;
+        total.copybackPrograms += s.copybackPrograms;
+        total.bytesRead += s.bytesRead;
+        total.bytesProgrammed += s.bytesProgrammed;
+    }
+    return total;
+}
+
+} // namespace emmcsim::flash

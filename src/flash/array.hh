@@ -1,0 +1,146 @@
+/**
+ * @file
+ * FlashArray: the timed flash device — state plus resource timelines.
+ *
+ * Timing follows the SSDsim resource-reservation model. Two resource
+ * classes exist:
+ *  - channels: shared buses that carry command cycles and data
+ *    transfers (one transfer at a time per channel);
+ *  - array units: the NAND cell arrays, busy during read / program /
+ *    erase. With multi-plane commands enabled the unit of array
+ *    parallelism is the plane; disabled, it is the die (one array op
+ *    per die at a time), which is the conservative eMMC behaviour.
+ *
+ * Read:    [array readLatency on plane] then [cmd + transfer on channel]
+ * Program: [cmd + transfer on channel] then [array programLatency]
+ * Erase:   [cmd on channel] then [array eraseLatency]
+ *
+ * The caller provides an earliest-start time; the array returns when
+ * the operation starts and completes, and advances the timelines.
+ */
+
+#ifndef EMMCSIM_FLASH_ARRAY_HH
+#define EMMCSIM_FLASH_ARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "flash/geometry.hh"
+#include "flash/plane.hh"
+#include "flash/timing.hh"
+#include "sim/types.hh"
+
+namespace emmcsim::flash {
+
+/** Kinds of flash operations the array executes. */
+enum class OpKind { Read, Program, Erase, CopybackRead, CopybackProgram };
+
+/** Timed outcome of one flash operation. */
+struct OpResult
+{
+    sim::Time start = 0;  ///< when the operation began occupying resources
+    sim::Time done = 0;   ///< when its last resource was released
+};
+
+/** Operation counters, kept per pool (page-size class). */
+struct ArrayStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t programs = 0;
+    std::uint64_t erases = 0;
+    std::uint64_t copybackReads = 0;
+    std::uint64_t copybackPrograms = 0;
+    std::uint64_t bytesRead = 0;
+    std::uint64_t bytesProgrammed = 0;
+};
+
+/** The complete flash array: per-plane state plus shared timelines. */
+class FlashArray
+{
+  public:
+    /**
+     * @param g Geometry (validated on construction).
+     * @param t Timing; t.pools must parallel g.pools.
+     * @param multiplane Enable plane-level array parallelism; when
+     *        false, array ops serialize per die.
+     */
+    FlashArray(const Geometry &g, const Timing &t, bool multiplane = true);
+
+    const Geometry &geometry() const { return geom_; }
+    const Timing &timing() const { return timing_; }
+
+    /** Plane state by linear index. */
+    Plane &plane(std::uint32_t linear) { return planes_.at(linear); }
+    const Plane &plane(std::uint32_t linear) const
+    {
+        return planes_.at(linear);
+    }
+
+    /** Pool @p pool of the plane holding @p addr. */
+    BlockPool &poolAt(const PageAddr &addr);
+
+    /**
+     * Execute a page read on @p addr.
+     *
+     * @param addr     Page to read (pool selects the latency class).
+     * @param earliest Earliest allowed start time.
+     * @param transfer_bytes Bytes to move over the channel; clamp to
+     *        the physical page size. Zero keeps the full page.
+     */
+    OpResult read(const PageAddr &addr, sim::Time earliest,
+                  std::uint64_t transfer_bytes = 0);
+
+    /** Execute a page program on @p addr (full-page transfer). */
+    OpResult program(const PageAddr &addr, sim::Time earliest);
+
+    /** Execute a block erase on the block containing @p addr. */
+    OpResult erase(const PageAddr &addr, sim::Time earliest);
+
+    /**
+     * Copyback pair used by garbage collection: data moves inside the
+     * plane without crossing the channel, only the command overhead is
+     * charged on the bus.
+     */
+    OpResult copybackRead(const PageAddr &addr, sim::Time earliest);
+    OpResult copybackProgram(const PageAddr &addr, sim::Time earliest);
+
+    /** When the channel of @p addr becomes free. */
+    sim::Time channelFreeAt(std::uint32_t channel) const;
+    /** When the array unit (plane or die) of @p addr becomes free. */
+    sim::Time arrayFreeAt(const PageAddr &addr) const;
+
+    /** Earliest time every resource in the device is idle. */
+    sim::Time allIdleAt() const;
+
+    /** Per-pool operation counters. */
+    const ArrayStats &stats(std::size_t pool) const
+    {
+        return stats_.at(pool);
+    }
+
+    /** Aggregate counters across pools. */
+    ArrayStats totalStats() const;
+
+  private:
+    /** Index of the array-parallelism unit for @p addr. */
+    std::size_t arrayIndex(const PageAddr &addr) const;
+
+    /** Reserve the channel for @p dur starting no earlier than @p t. */
+    sim::Time reserveChannel(std::uint32_t ch, sim::Time t, sim::Time dur);
+
+    /** Reserve the array unit for @p dur starting no earlier than @p t. */
+    sim::Time reserveArray(std::size_t idx, sim::Time t, sim::Time dur);
+
+    Geometry geom_;
+    Timing timing_;
+    bool multiplane_;
+
+    std::vector<Plane> planes_;
+    std::vector<sim::Time> channelFree_;
+    std::vector<sim::Time> arrayFree_;
+    std::vector<ArrayStats> stats_;
+};
+
+} // namespace emmcsim::flash
+
+#endif // EMMCSIM_FLASH_ARRAY_HH

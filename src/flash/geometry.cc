@@ -1,0 +1,102 @@
+#include "flash/geometry.hh"
+
+#include "sim/logging.hh"
+
+namespace emmcsim::flash {
+
+std::uint32_t
+PoolConfig::unitsPerPage() const
+{
+    return pageBytes / static_cast<std::uint32_t>(sim::kUnitBytes);
+}
+
+std::uint32_t
+Geometry::planeCount() const
+{
+    return channels * chipsPerChannel * diesPerChip * planesPerDie;
+}
+
+std::uint32_t
+Geometry::dieCount() const
+{
+    return channels * chipsPerChannel * diesPerChip;
+}
+
+std::uint64_t
+Geometry::capacityBytes() const
+{
+    std::uint64_t per_plane = 0;
+    for (std::size_t i = 0; i < pools.size(); ++i) {
+        per_plane += static_cast<std::uint64_t>(pools[i].blocksPerPlane) *
+                     poolPagesPerBlock(i) * pools[i].pageBytes;
+    }
+    return per_plane * planeCount();
+}
+
+std::uint32_t
+Geometry::poolPagesPerBlock(std::size_t pool) const
+{
+    const auto &p = pools.at(pool);
+    return p.pagesPerBlockOverride != 0 ? p.pagesPerBlockOverride
+                                        : pagesPerBlock;
+}
+
+std::uint64_t
+Geometry::capacityUnits() const
+{
+    return capacityBytes() / sim::kUnitBytes;
+}
+
+std::uint64_t
+Geometry::blockBytes(std::size_t pool) const
+{
+    return static_cast<std::uint64_t>(pools.at(pool).pageBytes) *
+           poolPagesPerBlock(pool);
+}
+
+void
+Geometry::validate() const
+{
+    if (channels == 0 || chipsPerChannel == 0 || diesPerChip == 0 ||
+        planesPerDie == 0 || pagesPerBlock == 0) {
+        sim::fatal("geometry: all hierarchy dimensions must be positive");
+    }
+    if (pools.empty())
+        sim::fatal("geometry: at least one block pool is required");
+    for (const auto &p : pools) {
+        if (p.pageBytes == 0 || p.pageBytes % sim::kUnitBytes != 0)
+            sim::fatal("geometry: page size must be a multiple of 4KB");
+        if (p.blocksPerPlane == 0)
+            sim::fatal("geometry: pool with zero blocks");
+    }
+}
+
+std::uint32_t
+planeLinear(const Geometry &g, const PageAddr &a)
+{
+    return ((a.channel * g.chipsPerChannel + a.chip) * g.diesPerChip +
+            a.die) * g.planesPerDie + a.plane;
+}
+
+std::uint32_t
+dieLinear(const Geometry &g, const PageAddr &a)
+{
+    return (a.channel * g.chipsPerChannel + a.chip) * g.diesPerChip + a.die;
+}
+
+PageAddr
+addrFromPlaneLinear(const Geometry &g, std::uint32_t plane_linear)
+{
+    EMMCSIM_ASSERT(plane_linear < g.planeCount(),
+                   "plane index out of range");
+    PageAddr a;
+    a.plane = plane_linear % g.planesPerDie;
+    std::uint32_t rest = plane_linear / g.planesPerDie;
+    a.die = rest % g.diesPerChip;
+    rest /= g.diesPerChip;
+    a.chip = rest % g.chipsPerChannel;
+    a.channel = rest / g.chipsPerChannel;
+    return a;
+}
+
+} // namespace emmcsim::flash

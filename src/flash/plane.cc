@@ -1,0 +1,12 @@
+#include "flash/plane.hh"
+
+namespace emmcsim::flash {
+
+Plane::Plane(const Geometry &g)
+{
+    pools_.reserve(g.pools.size());
+    for (std::size_t i = 0; i < g.pools.size(); ++i)
+        pools_.emplace_back(g.pools[i], g.poolPagesPerBlock(i));
+}
+
+} // namespace emmcsim::flash

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Plane: the block pools of one flash plane.
+ *
+ * In a conventional device a plane holds a single pool; in the HPS
+ * device every plane holds a 4KB-page pool and an 8KB-page pool
+ * (Fig 10 of the paper).
+ */
+
+#ifndef EMMCSIM_FLASH_PLANE_HH
+#define EMMCSIM_FLASH_PLANE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "flash/geometry.hh"
+#include "flash/pool.hh"
+
+namespace emmcsim::flash {
+
+/** The per-plane container of block pools. */
+class Plane
+{
+  public:
+    /** Build all pools described by @p g for one plane. */
+    explicit Plane(const Geometry &g);
+
+    /** Number of pools (page-size classes). */
+    std::size_t poolCount() const { return pools_.size(); }
+
+    /** Mutable access to pool @p i. */
+    BlockPool &pool(std::size_t i) { return pools_.at(i); }
+
+    /** Read-only access to pool @p i. */
+    const BlockPool &pool(std::size_t i) const { return pools_.at(i); }
+
+  private:
+    std::vector<BlockPool> pools_;
+};
+
+} // namespace emmcsim::flash
+
+#endif // EMMCSIM_FLASH_PLANE_HH

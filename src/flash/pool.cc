@@ -1,0 +1,205 @@
+#include "flash/pool.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace emmcsim::flash {
+
+BlockPool::BlockPool(const PoolConfig &cfg, std::uint32_t pages_per_block)
+    : pageBytes_(cfg.pageBytes),
+      unitsPerPage_(cfg.unitsPerPage()),
+      blocks_(cfg.blocksPerPlane),
+      pagesPerBlock_(pages_per_block)
+{
+    EMMCSIM_ASSERT(unitsPerPage_ >= 1 && unitsPerPage_ <= 8,
+                   "units per page out of supported range");
+    const std::uint64_t pages = pageCount();
+    lpns_.assign(pages * unitsPerPage_, kNoLpn);
+    valid_.assign(pages, 0);
+    writePtr_.assign(blocks_, 0);
+    blockValid_.assign(blocks_, 0);
+    eraseCnt_.assign(blocks_, 0);
+    lastWriteSeq_.assign(blocks_, 0);
+    isFree_.assign(blocks_, true);
+    freeCount_ = blocks_;
+}
+
+std::uint64_t
+BlockPool::pageCount() const
+{
+    return static_cast<std::uint64_t>(blocks_) * pagesPerBlock_;
+}
+
+bool
+BlockPool::hasFreePage() const
+{
+    if (active_ >= 0 && writePtr_[active_] < pagesPerBlock_)
+        return true;
+    return freeCount_ > 0;
+}
+
+std::uint64_t
+BlockPool::freePageCount() const
+{
+    std::uint64_t n = static_cast<std::uint64_t>(freeCount_) *
+                      pagesPerBlock_;
+    if (active_ >= 0)
+        n += pagesPerBlock_ - writePtr_[active_];
+    return n;
+}
+
+std::uint32_t
+BlockPool::takeFreeBlock()
+{
+    EMMCSIM_ASSERT(freeCount_ > 0, "takeFreeBlock on empty free list");
+    std::uint32_t best = 0;
+    std::uint32_t best_erase = std::numeric_limits<std::uint32_t>::max();
+    bool found = false;
+    for (std::uint32_t b = 0; b < blocks_; ++b) {
+        if (isFree_[b] && eraseCnt_[b] < best_erase) {
+            best = b;
+            best_erase = eraseCnt_[b];
+            found = true;
+        }
+    }
+    EMMCSIM_ASSERT(found, "free count disagrees with free flags");
+    isFree_[best] = false;
+    --freeCount_;
+    return best;
+}
+
+Ppn
+BlockPool::allocatePage()
+{
+    if (active_ < 0 || writePtr_[active_] >= pagesPerBlock_) {
+        EMMCSIM_ASSERT(freeCount_ > 0,
+                       "allocatePage with no free blocks; GC required");
+        active_ = static_cast<std::int32_t>(takeFreeBlock());
+    }
+    std::uint32_t page = writePtr_[active_]++;
+    ++programmed_;
+    lastWriteSeq_[active_] = ++allocSeq_;
+    return static_cast<Ppn>(active_) * pagesPerBlock_ + page;
+}
+
+void
+BlockPool::setUnit(Ppn ppn, std::uint32_t unit, Lpn lpn)
+{
+    EMMCSIM_ASSERT(ppn < pageCount() && unit < unitsPerPage_,
+                   "setUnit out of range");
+    EMMCSIM_ASSERT(lpn >= 0, "setUnit with invalid lpn");
+    std::uint8_t bit = static_cast<std::uint8_t>(1u << unit);
+    EMMCSIM_ASSERT(!(valid_[ppn] & bit), "setUnit on already-valid unit");
+    lpns_[ppn * unitsPerPage_ + unit] = lpn;
+    valid_[ppn] |= bit;
+    ++blockValid_[ppn / pagesPerBlock_];
+    ++validUnits_;
+}
+
+void
+BlockPool::invalidateUnit(Ppn ppn, std::uint32_t unit)
+{
+    EMMCSIM_ASSERT(ppn < pageCount() && unit < unitsPerPage_,
+                   "invalidateUnit out of range");
+    std::uint8_t bit = static_cast<std::uint8_t>(1u << unit);
+    EMMCSIM_ASSERT(valid_[ppn] & bit, "invalidateUnit on stale unit");
+    valid_[ppn] &= static_cast<std::uint8_t>(~bit);
+    std::uint32_t b = static_cast<std::uint32_t>(ppn / pagesPerBlock_);
+    EMMCSIM_ASSERT(blockValid_[b] > 0, "block valid underflow");
+    --blockValid_[b];
+    --validUnits_;
+}
+
+Lpn
+BlockPool::lpnAt(Ppn ppn, std::uint32_t unit) const
+{
+    EMMCSIM_ASSERT(ppn < pageCount() && unit < unitsPerPage_,
+                   "lpnAt out of range");
+    return lpns_[ppn * unitsPerPage_ + unit];
+}
+
+bool
+BlockPool::unitValid(Ppn ppn, std::uint32_t unit) const
+{
+    EMMCSIM_ASSERT(ppn < pageCount() && unit < unitsPerPage_,
+                   "unitValid out of range");
+    return (valid_[ppn] >> unit) & 1u;
+}
+
+std::uint32_t
+BlockPool::validUnitsInPage(Ppn ppn) const
+{
+    EMMCSIM_ASSERT(ppn < pageCount(), "validUnitsInPage out of range");
+    return static_cast<std::uint32_t>(__builtin_popcount(valid_[ppn]));
+}
+
+std::uint32_t
+BlockPool::validUnitsInBlock(std::uint32_t b) const
+{
+    EMMCSIM_ASSERT(b < blocks_, "validUnitsInBlock out of range");
+    return blockValid_[b];
+}
+
+std::uint32_t
+BlockPool::writtenPages(std::uint32_t b) const
+{
+    EMMCSIM_ASSERT(b < blocks_, "writtenPages out of range");
+    return writePtr_[b];
+}
+
+bool
+BlockPool::blockFull(std::uint32_t b) const
+{
+    return writtenPages(b) >= pagesPerBlock_;
+}
+
+std::uint32_t
+BlockPool::eraseCount(std::uint32_t b) const
+{
+    EMMCSIM_ASSERT(b < blocks_, "eraseCount out of range");
+    return eraseCnt_[b];
+}
+
+std::uint64_t
+BlockPool::blockAge(std::uint32_t b) const
+{
+    EMMCSIM_ASSERT(b < blocks_, "blockAge out of range");
+    return allocSeq_ - lastWriteSeq_[b];
+}
+
+void
+BlockPool::eraseBlock(std::uint32_t b)
+{
+    EMMCSIM_ASSERT(b < blocks_, "eraseBlock out of range");
+    EMMCSIM_ASSERT(!isFree_[b], "eraseBlock on free block");
+    EMMCSIM_ASSERT(blockValid_[b] == 0,
+                   "eraseBlock with live units; relocate first");
+    EMMCSIM_ASSERT(active_ != static_cast<std::int32_t>(b),
+                   "eraseBlock on the active block");
+    Ppn first = static_cast<Ppn>(b) * pagesPerBlock_;
+    std::fill(lpns_.begin() +
+                  static_cast<std::ptrdiff_t>(first * unitsPerPage_),
+              lpns_.begin() + static_cast<std::ptrdiff_t>(
+                  (first + pagesPerBlock_) * unitsPerPage_),
+              kNoLpn);
+    std::fill(valid_.begin() + static_cast<std::ptrdiff_t>(first),
+              valid_.begin() +
+                  static_cast<std::ptrdiff_t>(first + pagesPerBlock_),
+              std::uint8_t{0});
+    writePtr_[b] = 0;
+    ++eraseCnt_[b];
+    ++totalErases_;
+    isFree_[b] = true;
+    ++freeCount_;
+}
+
+std::uint32_t
+BlockPool::eraseSpread() const
+{
+    auto [mn, mx] = std::minmax_element(eraseCnt_.begin(), eraseCnt_.end());
+    return *mx - *mn;
+}
+
+} // namespace emmcsim::flash

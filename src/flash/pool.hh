@@ -1,0 +1,167 @@
+/**
+ * @file
+ * BlockPool: the page/block state of one page-size pool inside a plane.
+ *
+ * A pool owns a fixed set of blocks that all share one physical page
+ * size. Pages are tracked at 4KB-unit granularity so that multi-unit
+ * pages (8KB in the HPS scheme) can be partially invalidated: when a
+ * 4KB overwrite hits one half of an 8KB page, only that unit becomes
+ * stale while the sibling unit stays readable.
+ *
+ * The pool implements the mechanics (write pointers, validity, erase
+ * counts, free lists); policy (when to GC, which victim) lives in the
+ * ftl module.
+ */
+
+#ifndef EMMCSIM_FLASH_POOL_HH
+#define EMMCSIM_FLASH_POOL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "flash/geometry.hh"
+
+namespace emmcsim::flash {
+
+/** Logical page number of a 4KB mapping unit; -1 when unmapped. */
+using Lpn = std::int64_t;
+constexpr Lpn kNoLpn = -1;
+
+/** Physical page number within a pool: block * pagesPerBlock + page. */
+using Ppn = std::uint64_t;
+
+/** Page/block state for one pool of one plane. */
+class BlockPool
+{
+  public:
+    /**
+     * @param cfg             Pool configuration (page size, block count).
+     * @param pages_per_block Pages per block (Geometry::pagesPerBlock).
+     */
+    BlockPool(const PoolConfig &cfg, std::uint32_t pages_per_block);
+
+    /** @name Static shape. @{ */
+    std::uint32_t pageBytes() const { return pageBytes_; }
+    std::uint32_t unitsPerPage() const { return unitsPerPage_; }
+    std::uint32_t blockCount() const { return blocks_; }
+    std::uint32_t pagesPerBlock() const { return pagesPerBlock_; }
+    std::uint64_t pageCount() const;
+    /** @} */
+
+    /** @name Allocation. @{ */
+
+    /** @return true when another page can be programmed. */
+    bool hasFreePage() const;
+
+    /** Number of fully erased blocks on the free list. */
+    std::uint32_t freeBlockCount() const { return freeCount_; }
+
+    /** Total unprogrammed pages (active block remainder + free blocks). */
+    std::uint64_t freePageCount() const;
+
+    /**
+     * Take the next programmable page. Opens a new active block (the
+     * free block with the lowest erase count — the paper's "simple
+     * wear-leveling" of Implication 4) when the current one fills.
+     * Panics when no free page exists; callers must GC first.
+     *
+     * @return The physical page number that the caller must program.
+     */
+    Ppn allocatePage();
+
+    /** Block currently being filled, or -1 when none is open. */
+    std::int32_t activeBlock() const { return active_; }
+    /** @} */
+
+    /** @name Unit state. @{ */
+
+    /** Record that @p unit of page @p ppn now holds @p lpn (valid). */
+    void setUnit(Ppn ppn, std::uint32_t unit, Lpn lpn);
+
+    /** Mark @p unit of @p ppn stale. No-op counters stay consistent. */
+    void invalidateUnit(Ppn ppn, std::uint32_t unit);
+
+    /** @return lpn stored in the unit, or kNoLpn when never written. */
+    Lpn lpnAt(Ppn ppn, std::uint32_t unit) const;
+
+    /** @return true when the unit holds live data. */
+    bool unitValid(Ppn ppn, std::uint32_t unit) const;
+
+    /** Valid units remaining in page @p ppn. */
+    std::uint32_t validUnitsInPage(Ppn ppn) const;
+    /** @} */
+
+    /** @name Block state. @{ */
+
+    /** Valid units remaining in block @p b. */
+    std::uint32_t validUnitsInBlock(std::uint32_t b) const;
+
+    /** Pages programmed so far in block @p b. */
+    std::uint32_t writtenPages(std::uint32_t b) const;
+
+    /** @return true when every page of @p b has been programmed. */
+    bool blockFull(std::uint32_t b) const;
+
+    /** Erase cycles block @p b has seen. */
+    std::uint32_t eraseCount(std::uint32_t b) const;
+
+    /**
+     * Age of block @p b: page-allocations elapsed since it was last
+     * programmed. Cost-benefit GC victim selection favours old blocks
+     * (their remaining valid data is cold and worth relocating).
+     */
+    std::uint64_t blockAge(std::uint32_t b) const;
+
+    /**
+     * Erase block @p b: clears all unit state and returns the block to
+     * the free list. Panics if live units remain (callers relocate
+     * valid data first) or if the block is the active block.
+     */
+    void eraseBlock(std::uint32_t b);
+    /** @} */
+
+    /** @name Pool-wide statistics. @{ */
+    std::uint64_t totalErases() const { return totalErases_; }
+    std::uint64_t totalProgrammedPages() const { return programmed_; }
+    std::uint64_t validUnitCount() const { return validUnits_; }
+    /** Spread between max and min per-block erase counts. */
+    std::uint32_t eraseSpread() const;
+    /** @} */
+
+  private:
+    /** Pop the free block with the lowest erase count. */
+    std::uint32_t takeFreeBlock();
+
+    std::uint32_t pageBytes_;
+    std::uint32_t unitsPerPage_;
+    std::uint32_t blocks_;
+    std::uint32_t pagesPerBlock_;
+
+    /** lpn per (page, unit); flat, kNoLpn when unwritten/erased. */
+    std::vector<Lpn> lpns_;
+    /** valid bitmask per page (bit u = unit u live). */
+    std::vector<std::uint8_t> valid_;
+    /** write pointer per block (pages programmed so far). */
+    std::vector<std::uint32_t> writePtr_;
+    /** live units per block. */
+    std::vector<std::uint32_t> blockValid_;
+    /** erase cycles per block. */
+    std::vector<std::uint32_t> eraseCnt_;
+    /** allocation sequence number of the last program per block. */
+    std::vector<std::uint64_t> lastWriteSeq_;
+    /** global allocation sequence counter. */
+    std::uint64_t allocSeq_ = 0;
+    /** true when the block is erased and on the free list. */
+    std::vector<bool> isFree_;
+
+    std::uint32_t freeCount_ = 0;
+    std::int32_t active_ = -1;
+
+    std::uint64_t totalErases_ = 0;
+    std::uint64_t programmed_ = 0;
+    std::uint64_t validUnits_ = 0;
+};
+
+} // namespace emmcsim::flash
+
+#endif // EMMCSIM_FLASH_POOL_HH

@@ -1,0 +1,32 @@
+#include "flash/timing.hh"
+
+#include <cmath>
+
+namespace emmcsim::flash {
+
+sim::Time
+Timing::transferTime(std::uint64_t bytes) const
+{
+    double ns = static_cast<double>(bytes) / (channelMBps * 1e6) * 1e9;
+    return static_cast<sim::Time>(std::llround(ns));
+}
+
+PageTiming
+Timing::page4k()
+{
+    return PageTiming{sim::microseconds(160), sim::microseconds(1385)};
+}
+
+PageTiming
+Timing::page8k()
+{
+    return PageTiming{sim::microseconds(244), sim::microseconds(1491)};
+}
+
+PageTiming
+Timing::page4kSlcMode()
+{
+    return PageTiming{sim::microseconds(45), sim::microseconds(400)};
+}
+
+} // namespace emmcsim::flash

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * NAND and bus timing parameters.
+ *
+ * Per-pool array latencies come straight from the paper's Table V
+ * (which in turn cites Micron MLC datasheets): 4KB pages read in 160us
+ * and program in 1385us; 8KB pages read in 244us and program in
+ * 1491us; block erase takes 3.8ms for both.
+ */
+
+#ifndef EMMCSIM_FLASH_TIMING_HH
+#define EMMCSIM_FLASH_TIMING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace emmcsim::flash {
+
+/** Array-operation latencies for one page-size pool. */
+struct PageTiming
+{
+    sim::Time readLatency = sim::microseconds(160);
+    sim::Time programLatency = sim::microseconds(1385);
+};
+
+/** Timing of the whole flash subsystem. */
+struct Timing
+{
+    /** Per-pool array latencies, parallel to Geometry::pools. */
+    std::vector<PageTiming> pools;
+
+    /** Block erase latency (Table V: 3800 us). */
+    sim::Time eraseLatency = sim::microseconds(3800);
+
+    /**
+     * Per-channel bus bandwidth in MB/s. eMMC 4.51 (HS200) tops out
+     * around 200 MB/s for the host interface; the internal flash
+     * channels are modelled at the same order.
+     */
+    double channelMBps = 200.0;
+
+    /**
+     * Fixed command/address/status overhead charged on the channel for
+     * every page operation. This is what makes many small page ops
+     * slower than few large ones even when the bus is not saturated.
+     */
+    sim::Time pageCmdOverhead = sim::microseconds(25);
+
+    /** Time to shuttle @p bytes across one channel (excl. overhead). */
+    sim::Time transferTime(std::uint64_t bytes) const;
+
+    /** Table V 4KB-page timing preset. */
+    static PageTiming page4k();
+    /** Table V 8KB-page timing preset. */
+    static PageTiming page8k();
+    /**
+     * 4KB page of an MLC block operated in SLC mode (Implication 5):
+     * only the fast pages are used, giving SLC-like latencies at half
+     * the density. Values follow typical MLC-as-SLC datasheets.
+     */
+    static PageTiming page4kSlcMode();
+};
+
+} // namespace emmcsim::flash
+
+#endif // EMMCSIM_FLASH_TIMING_HH

@@ -1,0 +1,337 @@
+#include "ftl/ftl.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "sim/logging.hh"
+
+namespace emmcsim::ftl {
+
+std::uint64_t
+Ftl::exportedUnits(const flash::FlashArray &array, double op_ratio)
+{
+    if (op_ratio < 0.0 || op_ratio >= 1.0)
+        sim::fatal("over-provisioning ratio must be in [0, 1)");
+    auto raw = array.geometry().capacityUnits();
+    return static_cast<std::uint64_t>(
+        static_cast<double>(raw) * (1.0 - op_ratio));
+}
+
+Ftl::Ftl(flash::FlashArray &array, const FtlConfig &cfg)
+    : array_(array),
+      cfg_(cfg),
+      map_(exportedUnits(array, cfg.opRatio)),
+      alloc_(cfg.alloc, array.geometry().planeCount(),
+             static_cast<std::uint32_t>(array.geometry().pools.size()),
+             array.geometry().dieCount()),
+      gc_(array, map_, cfg.gc)
+{
+    if (cfg_.defaultReadPool >= array.geometry().pools.size())
+        sim::fatal("defaultReadPool out of range");
+}
+
+sim::Time
+Ftl::writeGroup(std::uint32_t pool, const std::vector<flash::Lpn> &lpns,
+                sim::Time earliest)
+{
+    const auto &geom = array_.geometry();
+    EMMCSIM_ASSERT(pool < geom.pools.size(), "writeGroup pool range");
+    const std::uint32_t upp = geom.pools[pool].unitsPerPage();
+    EMMCSIM_ASSERT(!lpns.empty() && lpns.size() <= upp,
+                   "writeGroup size must be 1..unitsPerPage");
+
+    // A plane-pool can serve the write if it has pages beyond the GC
+    // reserve or space it can reclaim. A pool whose planes are all
+    // exhausted (live data exceeds the pool's share — possible under
+    // HPS when one size class dominates) overflows into another pool;
+    // the paper never hits this because it replays on new devices.
+    const std::uint64_t reserve_blocks = cfg_.gc.hardFreeBlocks;
+    auto plane_viable = [&](std::uint32_t pl, std::uint32_t k) {
+        const auto &bp = array_.plane(pl).pool(k);
+        const std::uint64_t reserve =
+            reserve_blocks * bp.pagesPerBlock();
+        return bp.freePageCount() > reserve || gc_.canReclaim(pl, k);
+    };
+
+    const std::uint32_t planes = geom.planeCount();
+    std::uint32_t plane = alloc_.nextPlane(pool, lpns.front());
+    std::uint32_t tried = 0;
+    while (tried < planes && !plane_viable(plane, pool)) {
+        plane = (plane + 1) % planes;
+        ++tried;
+    }
+    if (tried == planes) {
+        // Overflow: redirect to another pool that still has room.
+        for (std::uint32_t k = 0; k < geom.pools.size(); ++k) {
+            if (k == pool)
+                continue;
+            bool viable = false;
+            for (std::uint32_t pl = 0; pl < planes && !viable; ++pl)
+                viable = plane_viable(pl, k);
+            if (!viable)
+                continue;
+            ++stats_.overflowRedirects;
+            const std::uint32_t other_upp =
+                geom.pools[k].unitsPerPage();
+            sim::Time done = earliest;
+            for (std::size_t i = 0; i < lpns.size(); i += other_upp) {
+                std::vector<flash::Lpn> chunk(
+                    lpns.begin() + static_cast<std::ptrdiff_t>(i),
+                    lpns.begin() +
+                        static_cast<std::ptrdiff_t>(std::min(
+                            i + other_upp, lpns.size())));
+                done = std::max(done, writeGroup(k, chunk, earliest));
+            }
+            return done;
+        }
+        sim::fatal("device out of reclaimable space in every pool "
+                   "(raise over-provisioning)");
+    }
+
+    sim::Time t = gc_.ensureFreePage(plane, pool, earliest);
+
+    auto &bp = array_.plane(plane).pool(pool);
+    flash::Ppn ppn = bp.allocatePage();
+
+    // Stale out any previous locations of these units.
+    for (flash::Lpn lpn : lpns) {
+        const MapEntry &old = map_.lookup(lpn);
+        if (old.mapped()) {
+            array_.plane(static_cast<std::uint32_t>(old.planeLinear))
+                .pool(old.pool)
+                .invalidateUnit(old.ppn, old.unit);
+        }
+    }
+
+    flash::PageAddr addr = flash::addrFromPlaneLinear(geom, plane);
+    addr.pool = pool;
+    const std::uint32_t ppb = geom.poolPagesPerBlock(pool);
+    addr.block = static_cast<std::uint32_t>(ppn / ppb);
+    addr.page = static_cast<std::uint32_t>(ppn % ppb);
+    flash::OpResult res = array_.program(addr, t);
+
+    for (std::uint32_t u = 0; u < lpns.size(); ++u) {
+        bp.setUnit(ppn, u, lpns[u]);
+        MapEntry e;
+        e.planeLinear = static_cast<std::int32_t>(plane);
+        e.pool = static_cast<std::uint16_t>(pool);
+        e.ppn = ppn;
+        e.unit = static_cast<std::uint16_t>(u);
+        map_.set(lpns[u], e);
+    }
+
+    stats_.hostUnitsWritten += lpns.size();
+    stats_.hostBytesConsumed += geom.pools[pool].pageBytes;
+    ++stats_.hostProgramOps;
+    return res.done;
+}
+
+sim::Time
+Ftl::readUnits(flash::Lpn start, std::uint32_t n, sim::Time earliest)
+{
+    EMMCSIM_ASSERT(start >= 0, "readUnits negative lpn");
+    EMMCSIM_ASSERT(static_cast<std::uint64_t>(start) + n <=
+                       map_.logicalUnits(),
+                   "readUnits past logical capacity");
+    if (n == 0)
+        return earliest;
+
+    const auto &geom = array_.geometry();
+    sim::Time done = earliest;
+
+    // Time one pseudo page read: a deterministic location in the pool
+    // holding unit_count units of never-written data.
+    auto read_pseudo = [&](std::uint32_t pool, flash::Lpn first_lpn,
+                           std::uint32_t unit_count) {
+        const std::uint32_t upp = geom.pools[pool].unitsPerPage();
+        const std::uint32_t ppb = geom.poolPagesPerBlock(pool);
+        const std::uint64_t pool_pages =
+            static_cast<std::uint64_t>(geom.pools[pool].blocksPerPlane) *
+            ppb;
+        const std::uint64_t pseudo =
+            static_cast<std::uint64_t>(first_lpn) / upp;
+        // Spread consecutive pseudo pages over dies first, mirroring
+        // the die-interleaved order the write allocator would have
+        // used to lay this data out.
+        const std::uint32_t dies = geom.dieCount();
+        const auto die = static_cast<std::uint32_t>(pseudo % dies);
+        const auto plane_in_die = static_cast<std::uint32_t>(
+            (pseudo / dies) % geom.planesPerDie);
+        flash::PageAddr a = flash::addrFromPlaneLinear(
+            geom, die * geom.planesPerDie + plane_in_die);
+        a.pool = pool;
+        const flash::Ppn ppn = pseudo % pool_pages;
+        a.block = static_cast<std::uint32_t>(ppn / ppb);
+        a.page = static_cast<std::uint32_t>(ppn % ppb);
+        const std::uint64_t bytes =
+            static_cast<std::uint64_t>(unit_count) * sim::kUnitBytes;
+        done = std::max(done, array_.read(a, earliest, bytes).done);
+        ++stats_.hostReadOps;
+    };
+
+    // Time a run of unmapped units: as laid out by the scheme's own
+    // write split when a pseudo-read distributor is installed,
+    // otherwise as pages of the default pool.
+    std::vector<PageGroup> pseudo_groups;
+    auto read_unmapped_run = [&](flash::Lpn run_start,
+                                 std::uint32_t run_len) {
+        if (pseudoDist_ != nullptr) {
+            pseudo_groups.clear();
+            pseudoDist_->splitWrite(run_start, run_len, pseudo_groups);
+            for (const PageGroup &g : pseudo_groups) {
+                read_pseudo(g.pool, g.lpns.front(),
+                            static_cast<std::uint32_t>(g.lpns.size()));
+            }
+            return;
+        }
+        const std::uint32_t pool = cfg_.defaultReadPool;
+        const std::uint32_t upp = geom.pools[pool].unitsPerPage();
+        std::uint32_t i = 0;
+        while (i < run_len) {
+            std::uint32_t take = std::min(upp, run_len - i);
+            read_pseudo(pool, run_start + i, take);
+            i += take;
+        }
+    };
+
+    // Group mapped units by the physical page that holds them;
+    // accumulate unmapped units into maximal runs.
+    struct Group
+    {
+        flash::PageAddr addr;
+        std::uint32_t units = 0;
+    };
+    std::unordered_map<std::uint64_t, Group> groups;
+    groups.reserve(n);
+
+    flash::Lpn run_start = 0;
+    std::uint32_t run_len = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        flash::Lpn lpn = start + i;
+        const MapEntry &e = map_.lookup(lpn);
+        if (!e.mapped()) {
+            if (run_len == 0)
+                run_start = lpn;
+            ++run_len;
+            continue;
+        }
+        if (run_len > 0) {
+            read_unmapped_run(run_start, run_len);
+            run_len = 0;
+        }
+        const auto plane = static_cast<std::uint32_t>(e.planeLinear);
+        std::uint64_t key = (static_cast<std::uint64_t>(plane) << 40) ^
+                            (static_cast<std::uint64_t>(e.pool) << 36) ^
+                            e.ppn;
+        auto [it, fresh] = groups.try_emplace(key);
+        if (fresh) {
+            flash::PageAddr a = flash::addrFromPlaneLinear(geom, plane);
+            a.pool = e.pool;
+            const std::uint32_t eppb = geom.poolPagesPerBlock(e.pool);
+            a.block = static_cast<std::uint32_t>(e.ppn / eppb);
+            a.page = static_cast<std::uint32_t>(e.ppn % eppb);
+            it->second.addr = a;
+        }
+        ++it->second.units;
+    }
+    if (run_len > 0)
+        read_unmapped_run(run_start, run_len);
+
+    for (const auto &[key, g] : groups) {
+        (void)key;
+        std::uint64_t bytes =
+            static_cast<std::uint64_t>(g.units) * sim::kUnitBytes;
+        flash::OpResult res = array_.read(g.addr, earliest, bytes);
+        done = std::max(done, res.done);
+        ++stats_.hostReadOps;
+    }
+    stats_.hostUnitsRead += n;
+    return done;
+}
+
+bool
+Ftl::installGroup(std::uint32_t pool,
+                  const std::vector<flash::Lpn> &lpns)
+{
+    const auto &geom = array_.geometry();
+    EMMCSIM_ASSERT(pool < geom.pools.size(), "installGroup pool range");
+    const std::uint32_t upp = geom.pools[pool].unitsPerPage();
+    EMMCSIM_ASSERT(!lpns.empty() && lpns.size() <= upp,
+                   "installGroup size must be 1..unitsPerPage");
+
+    // Find a plane with space, starting from the allocator's choice.
+    // The GC free-block reserve is never consumed: garbage collection
+    // needs at least hardFreeBlocks erased blocks to relocate into.
+    const std::uint32_t planes = geom.planeCount();
+    std::uint32_t plane = alloc_.nextPlane(pool, lpns.front());
+    std::uint32_t tried = 0;
+    auto has_room = [&](const flash::BlockPool &bp) {
+        const std::uint64_t reserve =
+            static_cast<std::uint64_t>(cfg_.gc.hardFreeBlocks) *
+            bp.pagesPerBlock();
+        return bp.freePageCount() > reserve;
+    };
+    while (!has_room(array_.plane(plane).pool(pool))) {
+        plane = (plane + 1) % planes;
+        if (++tried >= planes)
+            return false; // pool full: aged devices stay full here
+    }
+
+    auto &bp = array_.plane(plane).pool(pool);
+    flash::Ppn ppn = bp.allocatePage();
+    for (flash::Lpn lpn : lpns) {
+        const MapEntry &old = map_.lookup(lpn);
+        if (old.mapped()) {
+            array_.plane(static_cast<std::uint32_t>(old.planeLinear))
+                .pool(old.pool)
+                .invalidateUnit(old.ppn, old.unit);
+        }
+    }
+    for (std::uint32_t u = 0; u < lpns.size(); ++u) {
+        bp.setUnit(ppn, u, lpns[u]);
+        MapEntry e;
+        e.planeLinear = static_cast<std::int32_t>(plane);
+        e.pool = static_cast<std::uint16_t>(pool);
+        e.ppn = ppn;
+        e.unit = static_cast<std::uint16_t>(u);
+        map_.set(lpns[u], e);
+    }
+    return true;
+}
+
+void
+Ftl::trim(flash::Lpn start, std::uint32_t n)
+{
+    for (std::uint32_t i = 0; i < n; ++i) {
+        flash::Lpn lpn = start + i;
+        const MapEntry &e = map_.lookup(lpn);
+        if (e.mapped()) {
+            array_.plane(static_cast<std::uint32_t>(e.planeLinear))
+                .pool(e.pool)
+                .invalidateUnit(e.ppn, e.unit);
+            map_.clear(lpn);
+        }
+    }
+}
+
+sim::Time
+Ftl::idleGcStep(sim::Time now, bool &did_work)
+{
+    return gc_.idleStep(now, did_work);
+}
+
+sim::Time
+Ftl::idleGc(sim::Time now, sim::Time deadline)
+{
+    sim::Time t = now;
+    while (t < deadline) {
+        bool did_work = false;
+        sim::Time done = gc_.idleStep(t, did_work);
+        if (!did_work)
+            break;
+        t = done;
+    }
+    return t - now;
+}
+
+} // namespace emmcsim::ftl

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Ftl: the flash translation layer facade used by the eMMC controller.
+ *
+ * The FTL exports a flat space of 4KB logical units (a slice of the raw
+ * capacity, the rest being over-provisioning), maps them onto physical
+ * pages through PageMap, places writes with PlaneAllocator, and keeps
+ * free space ahead of demand with GarbageCollector.
+ *
+ * The controller hands the FTL *page groups*: a write of one physical
+ * page worth of logical units into a chosen pool. How a block request
+ * is cut into page groups is scheme policy (4PS / 8PS / HPS) and lives
+ * in the request distributor, not here.
+ */
+
+#ifndef EMMCSIM_FTL_FTL_HH
+#define EMMCSIM_FTL_FTL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "flash/array.hh"
+#include "ftl/allocator.hh"
+#include "ftl/distributor.hh"
+#include "ftl/gc.hh"
+#include "ftl/mapping.hh"
+#include "sim/types.hh"
+
+namespace emmcsim::ftl {
+
+/** FTL configuration. */
+struct FtlConfig
+{
+    /** Write-placement policy. */
+    AllocPolicy alloc = AllocPolicy::RoundRobin;
+    /** Garbage-collection thresholds. */
+    GcConfig gc;
+    /** Fraction of raw capacity reserved as over-provisioning. */
+    double opRatio = 0.07;
+    /**
+     * Pool used to time reads of never-written logical units (replays
+     * on a brand-new device read data the trace wrote before
+     * collection began; the device still performs a real page read).
+     */
+    std::uint32_t defaultReadPool = 0;
+};
+
+/** Host-visible FTL counters. */
+struct FtlStats
+{
+    std::uint64_t hostUnitsWritten = 0;  ///< 4KB units of host data
+    std::uint64_t hostBytesConsumed = 0; ///< flash bytes used for them
+    std::uint64_t hostUnitsRead = 0;
+    std::uint64_t hostReadOps = 0;    ///< physical page reads issued
+    std::uint64_t hostProgramOps = 0; ///< physical page programs issued
+    /** Write groups redirected because their pool was exhausted. */
+    std::uint64_t overflowRedirects = 0;
+};
+
+/** The flash translation layer. */
+class Ftl
+{
+  public:
+    /**
+     * @param array Flash array this FTL manages (must outlive the FTL).
+     * @param cfg   Configuration.
+     */
+    Ftl(flash::FlashArray &array, const FtlConfig &cfg);
+
+    /** Number of exported logical 4KB units. */
+    std::uint64_t logicalUnits() const { return map_.logicalUnits(); }
+
+    /**
+     * Write one physical page of pool @p pool holding @p lpns.
+     *
+     * The group may be smaller than the page's unit capacity; the
+     * remainder of the page is padding (wasted space), which is how a
+     * pure-8KB device loses utilization on odd-sized requests.
+     *
+     * @param pool     Target page-size pool.
+     * @param lpns     Logical units stored in the page (1..unitsPerPage).
+     * @param earliest Earliest start time for the flash operations.
+     * @return Completion time of the program (after any blocking GC).
+     */
+    sim::Time writeGroup(std::uint32_t pool,
+                         const std::vector<flash::Lpn> &lpns,
+                         sim::Time earliest);
+
+    /**
+     * Read @p n logical units starting at @p start.
+     *
+     * Units sharing a physical page are fetched with a single page
+     * read. Unmapped units (data written before the trace began) are
+     * timed as if they had been laid out by the pseudo-read
+     * distributor's split — set by the device to its own scheme
+     * distributor — or, when none is set, as reads from the default
+     * pool.
+     *
+     * @return Completion time of the last page read.
+     */
+    sim::Time readUnits(flash::Lpn start, std::uint32_t n,
+                        sim::Time earliest);
+
+    /**
+     * Install the distributor used to time unmapped reads. The
+     * pointer is borrowed; the owner must outlive the FTL's use.
+     */
+    void setPseudoReadDistributor(const RequestDistributor *dist)
+    {
+        pseudoDist_ = dist;
+    }
+
+    /**
+     * Discard @p n logical units starting at @p start (Ext4 discard /
+     * eMMC TRIM). State-only: mappings drop and units invalidate.
+     */
+    void trim(flash::Lpn start, std::uint32_t n);
+
+    /**
+     * State-only page install used to pre-age a device before a
+     * replay: places the group like writeGroup but charges no flash
+     * time and no host-write accounting, and never garbage-collects.
+     *
+     * @retval true  The group was installed.
+     * @retval false The pool has no room left outside the GC reserve
+     *         (the caller may skip this group; an aged device's full
+     *         region simply stays full).
+     */
+    bool installGroup(std::uint32_t pool,
+                      const std::vector<flash::Lpn> &lpns);
+
+    /**
+     * Run idle garbage collection until @p deadline or until every
+     * pool meets the soft threshold.
+     * @return Flash-time consumed.
+     */
+    sim::Time idleGc(sim::Time now, sim::Time deadline);
+
+    /**
+     * Run a single incremental idle-GC step (a few page relocations,
+     * possibly an erase). The device calls this once per idle tick so
+     * an arriving request waits at most one step.
+     *
+     * @param did_work Set true when the step did anything.
+     * @return Completion time (== @p now when idle GC is satisfied).
+     */
+    sim::Time idleGcStep(sim::Time now, bool &did_work);
+
+    const FtlStats &stats() const { return stats_; }
+    const GcStats &gcStats() const { return gc_.stats(); }
+    const PageMap &map() const { return map_; }
+    flash::FlashArray &array() { return array_; }
+    const FtlConfig &config() const { return cfg_; }
+
+  private:
+    static std::uint64_t exportedUnits(const flash::FlashArray &array,
+                                       double op_ratio);
+
+    flash::FlashArray &array_;
+    FtlConfig cfg_;
+    PageMap map_;
+    PlaneAllocator alloc_;
+    GarbageCollector gc_;
+    FtlStats stats_;
+    const RequestDistributor *pseudoDist_ = nullptr;
+};
+
+} // namespace emmcsim::ftl
+
+#endif // EMMCSIM_FTL_FTL_HH

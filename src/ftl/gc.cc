@@ -1,0 +1,320 @@
+#include "ftl/gc.hh"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace emmcsim::ftl {
+
+GarbageCollector::GarbageCollector(flash::FlashArray &array, PageMap &map,
+                                   GcConfig cfg)
+    : array_(array), map_(map), cfg_(cfg)
+{
+    EMMCSIM_ASSERT(cfg_.hardFreeBlocks >= 1,
+                   "GC needs at least one reserved free block");
+    EMMCSIM_ASSERT(cfg_.softFreeBlocks >= cfg_.hardFreeBlocks,
+                   "soft GC threshold below hard threshold");
+}
+
+std::int32_t
+GarbageCollector::pickVictim(const flash::BlockPool &pool) const
+{
+    const std::uint32_t full_valid =
+        pool.pagesPerBlock() * pool.unitsPerPage();
+    std::int32_t victim = -1;
+    double best_score = -1.0;
+    for (std::uint32_t b = 0; b < pool.blockCount(); ++b) {
+        if (!pool.blockFull(b))
+            continue;
+        if (static_cast<std::int32_t>(b) == pool.activeBlock())
+            continue;
+        std::uint32_t valid = pool.validUnitsInBlock(b);
+        // Only blocks with at least one page worth of stale units net
+        // free space after relocation; collecting anything fuller
+        // would spin without progress.
+        if (valid + pool.unitsPerPage() > full_valid)
+            continue;
+
+        double score = 0.0;
+        switch (cfg_.victimPolicy) {
+          case GcVictimPolicy::Greedy:
+            // Higher score for fewer valid units.
+            score = static_cast<double>(full_valid - valid);
+            break;
+          case GcVictimPolicy::CostBenefit: {
+            double invalid = static_cast<double>(full_valid - valid);
+            double age = static_cast<double>(pool.blockAge(b)) + 1.0;
+            score = age * invalid /
+                    (2.0 * static_cast<double>(valid) + 1.0);
+            break;
+          }
+        }
+        if (score > best_score) {
+            best_score = score;
+            victim = static_cast<std::int32_t>(b);
+        }
+    }
+    return victim;
+}
+
+sim::Time
+GarbageCollector::collectOne(std::uint32_t plane_linear, std::uint32_t pool,
+                             sim::Time earliest)
+{
+    auto &bp = array_.plane(plane_linear).pool(pool);
+    std::int32_t victim = pickVictim(bp);
+    if (victim < 0) {
+        sim::fatal("GC cannot find a victim block: device is full of "
+                   "valid data (raise over-provisioning)");
+    }
+    const std::uint32_t vb = static_cast<std::uint32_t>(victim);
+    const std::uint32_t ppb = bp.pagesPerBlock();
+    const std::uint32_t upp = bp.unitsPerPage();
+
+    flash::PageAddr base = flash::addrFromPlaneLinear(array_.geometry(),
+                                                      plane_linear);
+    base.pool = pool;
+
+    // Gather the victim's live units, reading each source page once.
+    struct LiveUnit
+    {
+        flash::Lpn lpn;
+        flash::Ppn srcPpn;
+        std::uint32_t srcUnit;
+    };
+    std::vector<LiveUnit> live;
+    sim::Time t = earliest;
+    for (std::uint32_t pg = 0; pg < ppb; ++pg) {
+        flash::Ppn ppn = static_cast<flash::Ppn>(vb) * ppb + pg;
+        if (bp.validUnitsInPage(ppn) == 0)
+            continue;
+        flash::PageAddr src = base;
+        src.block = vb;
+        src.page = pg;
+        t = std::max(t, array_.copybackRead(src, t).done);
+        for (std::uint32_t u = 0; u < upp; ++u) {
+            if (bp.unitValid(ppn, u))
+                live.push_back(LiveUnit{bp.lpnAt(ppn, u), ppn, u});
+        }
+    }
+
+    // Compact the live units into fresh pages of the same plane-pool.
+    std::size_t i = 0;
+    while (i < live.size()) {
+        flash::Ppn dst = bp.allocatePage();
+        flash::PageAddr dst_addr = base;
+        dst_addr.block = static_cast<std::uint32_t>(dst / ppb);
+        dst_addr.page = static_cast<std::uint32_t>(dst % ppb);
+        t = std::max(t, array_.copybackProgram(dst_addr, t).done);
+        for (std::uint32_t u = 0; u < upp && i < live.size(); ++u, ++i) {
+            const LiveUnit &lu = live[i];
+            const MapEntry &cur = map_.lookup(lu.lpn);
+            EMMCSIM_ASSERT(
+                cur.mapped() &&
+                    cur.planeLinear ==
+                        static_cast<std::int32_t>(plane_linear) &&
+                    cur.pool == pool && cur.ppn == lu.srcPpn &&
+                    cur.unit == lu.srcUnit,
+                "map and pool state diverged during GC");
+            bp.invalidateUnit(lu.srcPpn, lu.srcUnit);
+            bp.setUnit(dst, u, lu.lpn);
+            MapEntry e;
+            e.planeLinear = static_cast<std::int32_t>(plane_linear);
+            e.pool = static_cast<std::uint16_t>(pool);
+            e.ppn = dst;
+            e.unit = static_cast<std::uint16_t>(u);
+            map_.set(lu.lpn, e);
+            ++stats_.relocatedUnits;
+        }
+    }
+
+    // The victim now holds no live units; erase it.
+    flash::PageAddr vaddr = base;
+    vaddr.block = vb;
+    vaddr.page = 0;
+    t = std::max(t, array_.erase(vaddr, t).done);
+    bp.eraseBlock(vb);
+    ++stats_.erasedBlocks;
+    return t;
+}
+
+sim::Time
+GarbageCollector::ensureFreePage(std::uint32_t plane_linear,
+                                 std::uint32_t pool, sim::Time earliest)
+{
+    auto &bp = array_.plane(plane_linear).pool(pool);
+    sim::Time t = earliest;
+    // Reclaim while the free *pages* (free blocks plus the active
+    // block's remainder) are down to the reserve. Triggering on pages
+    // rather than whole blocks guarantees a collection round can
+    // always relocate its victim's survivors (at most one block's
+    // worth) into the space that remains.
+    const std::uint64_t reserve_pages =
+        static_cast<std::uint64_t>(cfg_.hardFreeBlocks) *
+        bp.pagesPerBlock();
+    std::uint32_t rounds = 0;
+    while (bp.freePageCount() <= reserve_pages) {
+        EMMCSIM_ASSERT(rounds++ <= 2 * bp.blockCount(),
+                       "blocking GC is not making progress (plane " +
+                           std::to_string(plane_linear) + ", pool " +
+                           std::to_string(pool) + ", free " +
+                           std::to_string(bp.freeBlockCount()) + ")");
+        sim::Time done = collectOne(plane_linear, pool, t);
+        stats_.blockingTime += done - t;
+        ++stats_.blockingRounds;
+        t = done;
+    }
+    return t;
+}
+
+bool
+GarbageCollector::canReclaim(std::uint32_t plane_linear,
+                             std::uint32_t pool) const
+{
+    return pickVictim(array_.plane(plane_linear).pool(pool)) >= 0;
+}
+
+bool
+GarbageCollector::findNeedyPool(double min_invalid,
+                                std::uint32_t &plane_out,
+                                std::uint32_t &pool_out) const
+{
+    const auto &geom = array_.geometry();
+    std::uint32_t best_free = std::numeric_limits<std::uint32_t>::max();
+    bool found = false;
+    for (std::uint32_t p = 0; p < geom.planeCount(); ++p) {
+        for (std::uint32_t k = 0; k < geom.pools.size(); ++k) {
+            const auto &bp = array_.plane(p).pool(k);
+            std::uint32_t fr = bp.freeBlockCount();
+            if (fr >= cfg_.softFreeBlocks || fr >= best_free)
+                continue;
+            if (!bp.hasFreePage())
+                continue; // relocation has nowhere to go
+            std::int32_t victim = pickVictim(bp);
+            if (victim < 0)
+                continue;
+            const double full = static_cast<double>(
+                bp.pagesPerBlock() * bp.unitsPerPage());
+            const double invalid =
+                full - static_cast<double>(bp.validUnitsInBlock(
+                           static_cast<std::uint32_t>(victim)));
+            if (invalid / full < min_invalid)
+                continue; // not worth the relocation traffic
+            best_free = fr;
+            plane_out = p;
+            pool_out = k;
+            found = true;
+        }
+    }
+    return found;
+}
+
+sim::Time
+GarbageCollector::idleRound(sim::Time earliest, bool &did_work)
+{
+    did_work = false;
+    std::uint32_t plane = 0;
+    std::uint32_t pool = 0;
+    if (!findNeedyPool(cfg_.idleMinInvalidFraction, plane, pool))
+        return earliest;
+
+    sim::Time done = collectOne(plane, pool, earliest);
+    stats_.idleTime += done - earliest;
+    ++stats_.idleRounds;
+    did_work = true;
+    return done;
+}
+
+sim::Time
+GarbageCollector::relocateSome(std::uint32_t plane_linear,
+                               std::uint32_t pool, std::uint32_t victim,
+                               std::uint32_t max_pages,
+                               sim::Time earliest)
+{
+    auto &bp = array_.plane(plane_linear).pool(pool);
+    const std::uint32_t ppb = bp.pagesPerBlock();
+    const std::uint32_t upp = bp.unitsPerPage();
+
+    flash::PageAddr base =
+        flash::addrFromPlaneLinear(array_.geometry(), plane_linear);
+    base.pool = pool;
+
+    sim::Time t = earliest;
+    std::uint32_t moved = 0;
+    for (std::uint32_t pg = 0; pg < ppb && moved < max_pages; ++pg) {
+        flash::Ppn src_ppn = static_cast<flash::Ppn>(victim) * ppb + pg;
+        if (bp.validUnitsInPage(src_ppn) == 0)
+            continue;
+        if (!bp.hasFreePage())
+            break;
+
+        flash::PageAddr src = base;
+        src.block = victim;
+        src.page = pg;
+        t = std::max(t, array_.copybackRead(src, t).done);
+
+        // One destination page per source page; an incremental step
+        // does not compact across pages (slightly less dense, far
+        // simpler preemption).
+        flash::Ppn dst = bp.allocatePage();
+        flash::PageAddr dst_addr = base;
+        dst_addr.block = static_cast<std::uint32_t>(dst / ppb);
+        dst_addr.page = static_cast<std::uint32_t>(dst % ppb);
+        t = std::max(t, array_.copybackProgram(dst_addr, t).done);
+
+        std::uint32_t dst_unit = 0;
+        for (std::uint32_t u = 0; u < upp; ++u) {
+            if (!bp.unitValid(src_ppn, u))
+                continue;
+            flash::Lpn lpn = bp.lpnAt(src_ppn, u);
+            bp.invalidateUnit(src_ppn, u);
+            bp.setUnit(dst, dst_unit, lpn);
+            MapEntry e;
+            e.planeLinear = static_cast<std::int32_t>(plane_linear);
+            e.pool = static_cast<std::uint16_t>(pool);
+            e.ppn = dst;
+            e.unit = static_cast<std::uint16_t>(dst_unit);
+            map_.set(lpn, e);
+            ++dst_unit;
+            ++stats_.relocatedUnits;
+        }
+        ++moved;
+    }
+
+    if (bp.blockFull(victim) && bp.validUnitsInBlock(victim) == 0 &&
+        static_cast<std::int32_t>(victim) != bp.activeBlock()) {
+        flash::PageAddr vaddr = base;
+        vaddr.block = victim;
+        vaddr.page = 0;
+        t = std::max(t, array_.erase(vaddr, t).done);
+        bp.eraseBlock(victim);
+        ++stats_.erasedBlocks;
+    }
+    return t;
+}
+
+sim::Time
+GarbageCollector::idleStep(sim::Time earliest, bool &did_work)
+{
+    did_work = false;
+    std::uint32_t plane = 0;
+    std::uint32_t pool = 0;
+    if (!findNeedyPool(cfg_.idleMinInvalidFraction, plane, pool))
+        return earliest;
+
+    std::int32_t victim = pickVictim(array_.plane(plane).pool(pool));
+    EMMCSIM_ASSERT(victim >= 0, "needy pool without victim");
+    sim::Time done =
+        relocateSome(plane, pool, static_cast<std::uint32_t>(victim),
+                     cfg_.idleStepPages, earliest);
+    if (done == earliest)
+        return earliest;
+    stats_.idleTime += done - earliest;
+    ++stats_.idleSteps;
+    did_work = true;
+    return done;
+}
+
+} // namespace emmcsim::ftl

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Garbage collector: greedy victim selection with block compaction.
+ *
+ * Two triggers exist, mirroring the paper's Implication 2:
+ *  - blocking GC: the write path calls ensureFreePage() and pays the
+ *    reclamation latency inline, like a conventional SSD FTL;
+ *  - idle GC: the eMMC controller calls idleRound() during request
+ *    gaps (smartphone inter-arrival times are frequently longer than a
+ *    full GC round), hiding reclamation from the user.
+ */
+
+#ifndef EMMCSIM_FTL_GC_HH
+#define EMMCSIM_FTL_GC_HH
+
+#include <cstdint>
+
+#include "flash/array.hh"
+#include "ftl/mapping.hh"
+#include "sim/types.hh"
+
+namespace emmcsim::ftl {
+
+/** Victim-selection policies. */
+enum class GcVictimPolicy
+{
+    /** Fewest valid units (min relocation work right now). */
+    Greedy,
+    /**
+     * Cost-benefit: maximize age * invalid / (2 * valid). Prefers
+     * older blocks whose surviving data is cold, reducing repeated
+     * relocation of hot data under skewed workloads.
+     */
+    CostBenefit,
+};
+
+/** Garbage-collection thresholds (per plane-pool, in blocks). */
+struct GcConfig
+{
+    /** Blocking GC keeps at least this many free blocks. */
+    std::uint32_t hardFreeBlocks = 2;
+    /** Idle GC works toward this many free blocks. */
+    std::uint32_t softFreeBlocks = 8;
+    /** Victim-selection policy. */
+    GcVictimPolicy victimPolicy = GcVictimPolicy::Greedy;
+    /**
+     * Idle GC only touches victims whose invalid fraction is at least
+     * this large. Without the guard, a device whose live data simply
+     * exceeds the soft watermark would grind forever relocating
+     * almost-fully-valid blocks for no net gain.
+     */
+    double idleMinInvalidFraction = 0.15;
+    /**
+     * Pages relocated per incremental idle-GC step. Small steps keep
+     * the reclamation preemptible: an arriving request waits at most
+     * one step, not a whole block collection.
+     */
+    std::uint32_t idleStepPages = 8;
+};
+
+/** Counters describing reclamation work done so far. */
+struct GcStats
+{
+    std::uint64_t blockingRounds = 0;
+    std::uint64_t idleRounds = 0;
+    std::uint64_t idleSteps = 0;
+    std::uint64_t relocatedUnits = 0;
+    std::uint64_t erasedBlocks = 0;
+    sim::Time blockingTime = 0; ///< flash time spent in blocking GC
+    sim::Time idleTime = 0;     ///< flash time spent in idle GC
+};
+
+/** Greedy garbage collector over all plane-pools of a flash array. */
+class GarbageCollector
+{
+  public:
+    /**
+     * @param array Flash array (state + timing).
+     * @param map   Page map updated as units are relocated.
+     * @param cfg   Thresholds.
+     */
+    GarbageCollector(flash::FlashArray &array, PageMap &map, GcConfig cfg);
+
+    /**
+     * Make sure pool @p pool of plane @p plane_linear can allocate a
+     * page, running blocking GC rounds when the free-block count falls
+     * below the hard threshold.
+     *
+     * @param earliest Earliest time the GC flash operations may start.
+     * @return Completion time of any GC work (== @p earliest if none).
+     */
+    sim::Time ensureFreePage(std::uint32_t plane_linear,
+                             std::uint32_t pool, sim::Time earliest);
+
+    /**
+     * Run one idle GC round on the neediest plane-pool below the soft
+     * threshold (a full block collection; used when preemption does
+     * not matter).
+     *
+     * @param earliest  Earliest start for the flash operations.
+     * @param did_work  Set true when a round actually ran.
+     * @return Completion time (== @p earliest when nothing ran).
+     */
+    sim::Time idleRound(sim::Time earliest, bool &did_work);
+
+    /**
+     * Run one *incremental* idle GC step: relocate up to
+     * idleStepPages valid pages out of the current victim of the
+     * neediest pool, erasing the victim once it drains. Steps are a
+     * few milliseconds, so background reclamation never holds up an
+     * arriving request for long.
+     *
+     * @param earliest  Earliest start for the flash operations.
+     * @param did_work  Set true when the step did anything.
+     * @return Completion time (== @p earliest when nothing ran).
+     */
+    sim::Time idleStep(sim::Time earliest, bool &did_work);
+
+    /**
+     * @return true when pool @p pool of plane @p plane_linear holds a
+     *         victim whose collection would net free space.
+     */
+    bool canReclaim(std::uint32_t plane_linear, std::uint32_t pool) const;
+
+    const GcConfig &config() const { return cfg_; }
+    const GcStats &stats() const { return stats_; }
+
+  private:
+    /**
+     * Pick the victim block in @p pool: a full, non-active block with
+     * the fewest valid units.
+     * @return Block index, or -1 when no eligible victim exists.
+     */
+    std::int32_t pickVictim(const flash::BlockPool &pool) const;
+
+    /**
+     * Collect one block in (plane, pool): relocate live units within
+     * the plane using copyback, then erase the victim.
+     * @return Completion time of the erase.
+     */
+    sim::Time collectOne(std::uint32_t plane_linear, std::uint32_t pool,
+                         sim::Time earliest);
+
+    /**
+     * Find the neediest plane-pool below the soft watermark with an
+     * eligible victim.
+     * @param min_invalid Minimum invalid fraction a victim must have.
+     * @retval true when @p plane_out / @p pool_out were set.
+     */
+    bool findNeedyPool(double min_invalid, std::uint32_t &plane_out,
+                       std::uint32_t &pool_out) const;
+
+    /**
+     * Relocate up to @p max_pages valid pages from @p victim of the
+     * given plane-pool; erase it when no valid units remain.
+     * @return Completion time of the last flash operation.
+     */
+    sim::Time relocateSome(std::uint32_t plane_linear,
+                           std::uint32_t pool, std::uint32_t victim,
+                           std::uint32_t max_pages, sim::Time earliest);
+
+    flash::FlashArray &array_;
+    PageMap &map_;
+    GcConfig cfg_;
+    GcStats stats_;
+};
+
+} // namespace emmcsim::ftl
+
+#endif // EMMCSIM_FTL_GC_HH

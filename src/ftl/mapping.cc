@@ -1,0 +1,56 @@
+#include "ftl/mapping.hh"
+
+#include "sim/logging.hh"
+
+namespace emmcsim::ftl {
+
+PageMap::PageMap(std::uint64_t logical_units)
+{
+    entries_.assign(logical_units, MapEntry{});
+}
+
+void
+PageMap::checkRange(flash::Lpn lpn) const
+{
+    EMMCSIM_ASSERT(lpn >= 0 &&
+                       static_cast<std::uint64_t>(lpn) < entries_.size(),
+                   "lpn out of logical range");
+}
+
+bool
+PageMap::mapped(flash::Lpn lpn) const
+{
+    checkRange(lpn);
+    return entries_[static_cast<std::size_t>(lpn)].mapped();
+}
+
+const MapEntry &
+PageMap::lookup(flash::Lpn lpn) const
+{
+    checkRange(lpn);
+    return entries_[static_cast<std::size_t>(lpn)];
+}
+
+void
+PageMap::set(flash::Lpn lpn, const MapEntry &e)
+{
+    checkRange(lpn);
+    EMMCSIM_ASSERT(e.mapped(), "setting unmapped entry; use clear()");
+    auto &slot = entries_[static_cast<std::size_t>(lpn)];
+    if (!slot.mapped())
+        ++mappedCount_;
+    slot = e;
+}
+
+void
+PageMap::clear(flash::Lpn lpn)
+{
+    checkRange(lpn);
+    auto &slot = entries_[static_cast<std::size_t>(lpn)];
+    if (slot.mapped()) {
+        --mappedCount_;
+        slot = MapEntry{};
+    }
+}
+
+} // namespace emmcsim::ftl

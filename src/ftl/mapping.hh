@@ -1,0 +1,68 @@
+/**
+ * @file
+ * PageMap: logical-to-physical mapping at 4KB-unit granularity.
+ *
+ * Every logical page number (LPN, one 4KB unit) maps to a physical
+ * location (plane, pool, physical page, unit-within-page). Multi-unit
+ * physical pages (8KB) hold two adjacent mapping entries pointing at
+ * the same page with different unit slots, which is the essence of the
+ * HPS design: the map does not force page size to be uniform.
+ */
+
+#ifndef EMMCSIM_FTL_MAPPING_HH
+#define EMMCSIM_FTL_MAPPING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "flash/pool.hh"
+
+namespace emmcsim::ftl {
+
+/** Physical location of one logical 4KB unit. */
+struct MapEntry
+{
+    std::int32_t planeLinear = -1; ///< -1 when unmapped
+    std::uint16_t pool = 0;
+    std::uint16_t unit = 0;
+    flash::Ppn ppn = 0;
+
+    bool mapped() const { return planeLinear >= 0; }
+    bool operator==(const MapEntry &o) const = default;
+};
+
+/** Flat LPN -> MapEntry table. */
+class PageMap
+{
+  public:
+    /** @param logical_units Number of exported 4KB logical units. */
+    explicit PageMap(std::uint64_t logical_units);
+
+    /** Number of exported logical units. */
+    std::uint64_t logicalUnits() const { return entries_.size(); }
+
+    /** @return true when @p lpn has a physical location. */
+    bool mapped(flash::Lpn lpn) const;
+
+    /** Current location of @p lpn (entry.mapped() may be false). */
+    const MapEntry &lookup(flash::Lpn lpn) const;
+
+    /** Point @p lpn at a new physical location. */
+    void set(flash::Lpn lpn, const MapEntry &e);
+
+    /** Drop the mapping for @p lpn (trim/discard). */
+    void clear(flash::Lpn lpn);
+
+    /** Count of currently mapped units. */
+    std::uint64_t mappedCount() const { return mappedCount_; }
+
+  private:
+    void checkRange(flash::Lpn lpn) const;
+
+    std::vector<MapEntry> entries_;
+    std::uint64_t mappedCount_ = 0;
+};
+
+} // namespace emmcsim::ftl
+
+#endif // EMMCSIM_FTL_MAPPING_HH

@@ -1,0 +1,64 @@
+#include "ftl/wear.hh"
+
+#include <algorithm>
+#include <limits>
+
+namespace emmcsim::ftl {
+
+WearReport
+computeWear(const flash::FlashArray &array)
+{
+    WearReport rep;
+    rep.minEraseCount = std::numeric_limits<std::uint32_t>::max();
+    std::uint64_t blocks = 0;
+    std::uint64_t erase_sum = 0;
+
+    const auto &geom = array.geometry();
+    for (std::uint32_t p = 0; p < geom.planeCount(); ++p) {
+        for (std::size_t k = 0; k < geom.pools.size(); ++k) {
+            const flash::BlockPool &pool = array.plane(p).pool(k);
+            rep.totalErases += pool.totalErases();
+            rep.worstSpread =
+                std::max(rep.worstSpread, pool.eraseSpread());
+            for (std::uint32_t b = 0; b < pool.blockCount(); ++b) {
+                std::uint32_t e = pool.eraseCount(b);
+                rep.maxEraseCount = std::max(rep.maxEraseCount, e);
+                rep.minEraseCount = std::min(rep.minEraseCount, e);
+                erase_sum += e;
+                ++blocks;
+            }
+        }
+    }
+    if (blocks == 0) {
+        rep.minEraseCount = 0;
+    } else {
+        rep.meanEraseCount =
+            static_cast<double>(erase_sum) / static_cast<double>(blocks);
+    }
+    for (std::size_t k = 0; k < geom.pools.size(); ++k)
+        rep.bytesProgrammed += array.stats(k).bytesProgrammed;
+    return rep;
+}
+
+double
+writeAmplification(const flash::FlashArray &array, const Ftl &ftl)
+{
+    const std::uint64_t host_bytes =
+        ftl.stats().hostUnitsWritten * sim::kUnitBytes;
+    if (host_bytes == 0)
+        return 0.0;
+
+    // Physically programmed bytes: host pages (with padding) plus GC
+    // copyback programs.
+    std::uint64_t programmed = 0;
+    const auto &geom = array.geometry();
+    for (std::size_t k = 0; k < geom.pools.size(); ++k) {
+        const flash::ArrayStats &st = array.stats(k);
+        programmed += st.bytesProgrammed +
+                      st.copybackPrograms * geom.pools[k].pageBytes;
+    }
+    return static_cast<double>(programmed) /
+           static_cast<double>(host_bytes);
+}
+
+} // namespace emmcsim::ftl

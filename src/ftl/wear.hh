@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Wear and endurance accounting across the whole flash array.
+ *
+ * Section V motivates HPS partly through lifetime: with the same
+ * capacity, a pure-8KB device holds fewer pages, so small random
+ * writes consume its free pages sooner, trigger more garbage
+ * collection, and burn more erase cycles. These helpers aggregate the
+ * per-block erase counters into the metrics that argument needs:
+ * total erases, write amplification, and the wear spread that the
+ * simple wear-leveler (Implication 4) keeps small.
+ */
+
+#ifndef EMMCSIM_FTL_WEAR_HH
+#define EMMCSIM_FTL_WEAR_HH
+
+#include <cstdint>
+
+#include "flash/array.hh"
+#include "ftl/ftl.hh"
+
+namespace emmcsim::ftl {
+
+/** Array-wide wear summary. */
+struct WearReport
+{
+    /** Total block erases across all plane-pools. */
+    std::uint64_t totalErases = 0;
+    /** Highest per-block erase count. */
+    std::uint32_t maxEraseCount = 0;
+    /** Lowest per-block erase count. */
+    std::uint32_t minEraseCount = 0;
+    /** Mean per-block erase count. */
+    double meanEraseCount = 0.0;
+    /** Worst per-pool spread between max and min (wear balance). */
+    std::uint32_t worstSpread = 0;
+    /** Flash bytes programmed (host + GC relocation + padding). */
+    std::uint64_t bytesProgrammed = 0;
+};
+
+/** Aggregate the wear counters of every plane-pool of @p array. */
+WearReport computeWear(const flash::FlashArray &array);
+
+/**
+ * Write amplification: flash bytes physically programmed per host
+ * byte written. Padding (8PS half-pages) and GC relocation both
+ * inflate it; 1.0 is the ideal.
+ *
+ * @return 0 when no host data has been written.
+ */
+double writeAmplification(const flash::FlashArray &array,
+                          const Ftl &ftl);
+
+} // namespace emmcsim::ftl
+
+#endif // EMMCSIM_FTL_WEAR_HH

@@ -1,0 +1,49 @@
+#include "host/biotracer.hh"
+
+#include "sim/logging.hh"
+
+namespace emmcsim::host {
+
+trace::Trace
+instrumentTrace(const trace::Trace &input, const BioTracerConfig &cfg,
+                BioTracerStats *stats_out)
+{
+    EMMCSIM_ASSERT(cfg.bytesPerRecord > 0, "record size must be > 0");
+    const std::uint64_t records_per_flush =
+        std::max<std::uint64_t>(1, cfg.bufferBytes / cfg.bytesPerRecord);
+
+    BioTracerStats stats;
+    trace::Trace out(input.name());
+    std::uint64_t buffered = 0;
+    std::int64_t log_unit = cfg.logRegionUnit;
+    const std::uint64_t flush_units =
+        cfg.flushOpBytes / sim::kUnitBytes;
+
+    for (const auto &r : input.records()) {
+        out.push(r);
+        ++stats.tracedRequests;
+        if (++buffered < records_per_flush)
+            continue;
+
+        // Buffer full: the tracer appends it to the log file, which
+        // costs a handful of synchronous writes right now.
+        buffered = 0;
+        ++stats.bufferFlushes;
+        for (std::uint32_t i = 0; i < cfg.flushOps; ++i) {
+            trace::TraceRecord flush;
+            flush.arrival = r.arrival;
+            flush.lbaSector = static_cast<std::uint64_t>(log_unit) *
+                              sim::kSectorsPerUnit;
+            flush.sizeBytes = cfg.flushOpBytes;
+            flush.op = trace::OpType::Write;
+            out.push(flush);
+            log_unit += static_cast<std::int64_t>(flush_units);
+            ++stats.injectedOps;
+        }
+    }
+    if (stats_out != nullptr)
+        *stats_out = stats;
+    return out;
+}
+
+} // namespace emmcsim::host

@@ -1,0 +1,62 @@
+#include "host/replayer.hh"
+
+#include "sim/logging.hh"
+
+namespace emmcsim::host {
+
+Replayer::Replayer(sim::Simulator &simulator, emmc::EmmcDevice &device)
+    : sim_(simulator), device_(device)
+{
+}
+
+trace::Trace
+Replayer::replay(const trace::Trace &input, const ReplayOptions &opts)
+{
+    trace::Trace out = input;
+
+    const std::uint64_t logical_units = device_.ftl().logicalUnits();
+
+    device_.setCompletionCallback(
+        [&out](const emmc::CompletedRequest &c) {
+            trace::TraceRecord &r = out[c.request.id];
+            r.serviceStart = c.serviceStart;
+            r.finish = c.finish;
+        });
+
+    for (std::size_t i = 0; i < input.size(); ++i) {
+        const trace::TraceRecord &r = input[i];
+
+        emmc::IoRequest req;
+        req.id = i;
+        req.arrival = r.arrival;
+        req.sizeBytes = r.sizeBytes;
+        req.write = r.isWrite();
+        req.lbaSector = r.lbaSector;
+
+        const std::uint64_t units = req.sizeUnits();
+        std::uint64_t unit =
+            req.lbaSector / sim::kSectorsPerUnit;
+        if (unit + units > logical_units) {
+            if (!opts.wrapAddresses) {
+                sim::fatal("trace addresses device beyond its logical "
+                           "capacity; enable wrapAddresses");
+            }
+            unit = unit % (logical_units - units + 1);
+        }
+        req.lbaSector = unit * sim::kSectorsPerUnit;
+
+        sim_.schedule(r.arrival,
+                      [this, req] { device_.submit(req); });
+    }
+
+    sim_.run();
+    device_.setCompletionCallback(nullptr);
+
+    for (const auto &r : out.records()) {
+        EMMCSIM_ASSERT(r.replayed(),
+                       "replay finished with incomplete requests");
+    }
+    return out;
+}
+
+} // namespace emmcsim::host

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Replayer: open-loop trace replay onto a simulated eMMC device.
+ *
+ * Arrivals are scheduled at their trace timestamps regardless of how
+ * the device keeps up (open loop) — the same methodology the paper
+ * uses when replaying its traces on SSDsim. The replayer plays the
+ * role of BIOtracer in reverse: it stamps each completed request with
+ * the step-2 (service start) and step-3 (finish) times the device
+ * reports.
+ */
+
+#ifndef EMMCSIM_HOST_REPLAYER_HH
+#define EMMCSIM_HOST_REPLAYER_HH
+
+#include "emmc/device.hh"
+#include "sim/simulator.hh"
+#include "trace/trace.hh"
+
+namespace emmcsim::host {
+
+/** Replay options. */
+struct ReplayOptions
+{
+    /**
+     * Fold request addresses into the device's logical space (traces
+     * can address a larger region than one device exports).
+     */
+    bool wrapAddresses = true;
+};
+
+/** Drives one device with one trace. */
+class Replayer
+{
+  public:
+    /**
+     * @param simulator The event loop (shared with the device).
+     * @param device    Target device; its completion callback is taken
+     *        over for the duration of the replay.
+     */
+    Replayer(sim::Simulator &simulator, emmc::EmmcDevice &device);
+
+    /**
+     * Replay @p input to completion.
+     *
+     * @return A copy of @p input whose records carry the measured
+     *         serviceStart / finish timestamps.
+     */
+    trace::Trace replay(const trace::Trace &input,
+                        const ReplayOptions &opts = {});
+
+  private:
+    sim::Simulator &sim_;
+    emmc::EmmcDevice &device_;
+};
+
+} // namespace emmcsim::host
+
+#endif // EMMCSIM_HOST_REPLAYER_HH

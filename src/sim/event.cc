@@ -1,0 +1,65 @@
+#include "sim/event.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace emmcsim::sim {
+
+EventId
+EventQueue::schedule(Time when, EventAction action)
+{
+    EMMCSIM_ASSERT(when >= 0, "event scheduled at negative time");
+    EventId id = nextId_++;
+    cancelled_.push_back(false);
+    actions_.push_back(std::move(action));
+    heap_.push(Entry{when, id});
+    ++liveCount_;
+    return id;
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    if (id >= cancelled_.size() || cancelled_[id])
+        return false;
+    cancelled_[id] = true;
+    actions_[id] = nullptr; // release captured state eagerly
+    if (liveCount_ > 0)
+        --liveCount_;
+    return true;
+}
+
+void
+EventQueue::skipDead() const
+{
+    while (!heap_.empty() && cancelled_[heap_.top().id])
+        heap_.pop();
+}
+
+Time
+EventQueue::nextTime() const
+{
+    skipDead();
+    if (heap_.empty())
+        return kTimeNever;
+    return heap_.top().when;
+}
+
+bool
+EventQueue::pop(Time &when_out, EventAction &action_out)
+{
+    skipDead();
+    if (heap_.empty())
+        return false;
+    Entry e = heap_.top();
+    heap_.pop();
+    cancelled_[e.id] = true; // fired events cannot be cancelled later
+    --liveCount_;
+    when_out = e.when;
+    action_out = std::move(actions_[e.id]);
+    actions_[e.id] = nullptr; // release captured state eagerly
+    return true;
+}
+
+} // namespace emmcsim::sim

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Event and EventQueue: the discrete-event core of the simulator.
+ *
+ * Events are (time, sequence, action) triples kept in a binary heap.
+ * The sequence number makes ordering deterministic for events scheduled
+ * at the same tick: they fire in scheduling order (FIFO), which the
+ * replayer relies on when a trace contains simultaneous arrivals.
+ */
+
+#ifndef EMMCSIM_SIM_EVENT_HH
+#define EMMCSIM_SIM_EVENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace emmcsim::sim {
+
+/** Callable body of a scheduled event. */
+using EventAction = std::function<void()>;
+
+/** Opaque handle identifying a scheduled event (used to cancel). */
+using EventId = std::uint64_t;
+
+/**
+ * A time-ordered queue of events.
+ *
+ * This class owns no clock of its own; Simulator advances time by
+ * popping the earliest event. Cancellation is lazy: cancelled events
+ * stay in the heap but are skipped when popped.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    /**
+     * Schedule an action at an absolute time.
+     *
+     * @param when   Absolute simulated time; must not be in the past
+     *               relative to the last popped event.
+     * @param action Callback to run when the event fires.
+     * @return Handle usable with cancel().
+     */
+    EventId schedule(Time when, EventAction action);
+
+    /**
+     * Cancel a previously scheduled event.
+     *
+     * @retval true  The event existed and was cancelled.
+     * @retval false The event already fired or was already cancelled.
+     */
+    bool cancel(EventId id);
+
+    /** @return true when no live events remain. */
+    bool empty() const { return liveCount_ == 0; }
+
+    /** @return number of live (non-cancelled, unfired) events. */
+    std::size_t size() const { return liveCount_; }
+
+    /** @return time of the earliest live event; kTimeNever if empty. */
+    Time nextTime() const;
+
+    /**
+     * Pop the earliest live event without running it (the caller
+     * advances its clock first, then invokes the action).
+     *
+     * @param when_out   Receives the event's firing time.
+     * @param action_out Receives the event's action.
+     * @retval true  An event was popped.
+     * @retval false The queue was empty.
+     */
+    bool pop(Time &when_out, EventAction &action_out);
+
+    /** Total number of events ever scheduled (for stats/tests). */
+    std::uint64_t scheduledCount() const { return nextId_; }
+
+  private:
+    struct Entry
+    {
+        Time when;
+        EventId id;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.id > b.id;
+        }
+    };
+
+    /** Skip cancelled entries at the heap top. */
+    void skipDead() const;
+
+    mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::vector<EventAction> actions_; ///< indexed by EventId
+    std::vector<bool> cancelled_;
+    EventId nextId_ = 0;
+    std::size_t liveCount_ = 0;
+};
+
+} // namespace emmcsim::sim
+
+#endif // EMMCSIM_SIM_EVENT_HH

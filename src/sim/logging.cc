@@ -1,0 +1,44 @@
+#include "sim/logging.hh"
+
+namespace emmcsim::sim {
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    const char *tag = "info";
+    switch (level) {
+      case LogLevel::Info: tag = "info"; break;
+      case LogLevel::Warn: tag = "warn"; break;
+      case LogLevel::Fatal: tag = "fatal"; break;
+      case LogLevel::Panic: tag = "panic"; break;
+    }
+    std::fprintf(stderr, "[%s] %s\n", tag, msg.c_str());
+}
+
+void
+inform(const std::string &msg)
+{
+    logMessage(LogLevel::Info, msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    logMessage(LogLevel::Warn, msg);
+}
+
+void
+fatal(const std::string &msg)
+{
+    logMessage(LogLevel::Fatal, msg);
+    std::exit(1);
+}
+
+void
+panic(const std::string &msg)
+{
+    logMessage(LogLevel::Panic, msg);
+    std::abort();
+}
+
+} // namespace emmcsim::sim

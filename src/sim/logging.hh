@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Minimal gem5-style logging and assertion helpers.
+ *
+ * panic() is for internal invariant violations (simulator bugs); fatal()
+ * is for user errors such as inconsistent configurations. Both format a
+ * message to stderr; panic aborts, fatal exits with status 1.
+ */
+
+#ifndef EMMCSIM_SIM_LOGGING_HH
+#define EMMCSIM_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace emmcsim::sim {
+
+/** Severity labels used by the message helpers. */
+enum class LogLevel { Info, Warn, Fatal, Panic };
+
+/**
+ * Emit a formatted message to stderr with a severity prefix.
+ *
+ * @param level Severity tag to print.
+ * @param msg   Fully formatted message body.
+ */
+void logMessage(LogLevel level, const std::string &msg);
+
+/** Print an informational message. */
+void inform(const std::string &msg);
+
+/** Print a warning; the simulation continues. */
+void warn(const std::string &msg);
+
+/** Report an unrecoverable user/configuration error and exit(1). */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Report an internal simulator bug and abort(). */
+[[noreturn]] void panic(const std::string &msg);
+
+/**
+ * Assert a simulator invariant; panics with location info on failure.
+ * Enabled in all build types (the simulator is cheap enough).
+ */
+#define EMMCSIM_ASSERT(cond, msg)                                          \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::emmcsim::sim::panic(std::string(__FILE__) + ":" +            \
+                                  std::to_string(__LINE__) + ": " + (msg)); \
+        }                                                                  \
+    } while (0)
+
+} // namespace emmcsim::sim
+
+#endif // EMMCSIM_SIM_LOGGING_HH

@@ -1,0 +1,71 @@
+#include "sim/random.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace emmcsim::sim {
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    EMMCSIM_ASSERT(lo <= hi, "uniformInt with empty range");
+    std::uniform_int_distribution<std::int64_t> d(lo, hi);
+    return d(engine_);
+}
+
+double
+Rng::uniformReal(double lo, double hi)
+{
+    EMMCSIM_ASSERT(lo <= hi, "uniformReal with empty range");
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(engine_);
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    std::bernoulli_distribution d(p);
+    return d(engine_);
+}
+
+double
+Rng::exponential(double mean)
+{
+    EMMCSIM_ASSERT(mean > 0.0, "exponential with non-positive mean");
+    std::exponential_distribution<double> d(1.0 / mean);
+    return d(engine_);
+}
+
+double
+Rng::logUniform(double lo, double hi)
+{
+    EMMCSIM_ASSERT(lo > 0.0 && lo < hi, "logUniform needs 0 < lo < hi");
+    double u = uniformReal(std::log(lo), std::log(hi));
+    return std::exp(u);
+}
+
+std::size_t
+Rng::weightedIndex(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        EMMCSIM_ASSERT(w >= 0.0, "negative weight");
+        total += w;
+    }
+    EMMCSIM_ASSERT(total > 0.0, "weightedIndex with all-zero weights");
+    double x = uniformReal(0.0, total);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (x < acc)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+} // namespace emmcsim::sim

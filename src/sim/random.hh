@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Deterministic random-number utilities for workload generation.
+ *
+ * A thin wrapper around std::mt19937_64 with the handful of draws the
+ * trace generator needs. Everything is seeded explicitly so that every
+ * generated trace is reproducible from (profile, seed).
+ */
+
+#ifndef EMMCSIM_SIM_RANDOM_HH
+#define EMMCSIM_SIM_RANDOM_HH
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace emmcsim::sim {
+
+/** Deterministic RNG facade used throughout the workload generator. */
+class Rng
+{
+  public:
+    /** @param seed Seed for the underlying engine. */
+    explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform real in [lo, hi). */
+    double uniformReal(double lo, double hi);
+
+    /** Bernoulli trial with probability @p p of true. */
+    bool chance(double p);
+
+    /** Exponentially distributed real with mean @p mean (> 0). */
+    double exponential(double mean);
+
+    /**
+     * Log-uniform real in [lo, hi): uniform in log space, so each
+     * decade is equally likely. Requires 0 < lo < hi.
+     */
+    double logUniform(double lo, double hi);
+
+    /**
+     * Draw an index from a discrete distribution given by non-negative
+     * weights. Weights need not be normalized; at least one must be
+     * positive.
+     */
+    std::size_t weightedIndex(const std::vector<double> &weights);
+
+    /** Access the raw engine (for std:: distributions in tests). */
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace emmcsim::sim
+
+#endif // EMMCSIM_SIM_RANDOM_HH

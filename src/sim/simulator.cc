@@ -1,0 +1,61 @@
+#include "sim/simulator.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace emmcsim::sim {
+
+EventId
+Simulator::schedule(Time when, EventAction action)
+{
+    EMMCSIM_ASSERT(when >= now_, "event scheduled in the past");
+    return events_.schedule(when, std::move(action));
+}
+
+EventId
+Simulator::scheduleAfter(Time delay, EventAction action)
+{
+    EMMCSIM_ASSERT(delay >= 0, "negative event delay");
+    return events_.schedule(now_ + delay, std::move(action));
+}
+
+std::uint64_t
+Simulator::run()
+{
+    std::uint64_t n = 0;
+    Time t;
+    EventAction action;
+    while (events_.pop(t, action)) {
+        EMMCSIM_ASSERT(t >= now_, "event queue went backwards");
+        now_ = t;
+        action();
+        ++n;
+    }
+    executed_ += n;
+    return n;
+}
+
+std::uint64_t
+Simulator::runUntil(Time deadline)
+{
+    std::uint64_t n = 0;
+    while (true) {
+        Time next = events_.nextTime();
+        if (next == kTimeNever || next > deadline)
+            break;
+        Time t;
+        EventAction action;
+        events_.pop(t, action);
+        EMMCSIM_ASSERT(t >= now_, "event queue went backwards");
+        now_ = t;
+        action();
+        ++n;
+    }
+    executed_ += n;
+    if (now_ < deadline)
+        now_ = deadline;
+    return n;
+}
+
+} // namespace emmcsim::sim

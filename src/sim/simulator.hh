@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Simulator: the event loop and the global simulated clock.
+ */
+
+#ifndef EMMCSIM_SIM_SIMULATOR_HH
+#define EMMCSIM_SIM_SIMULATOR_HH
+
+#include <cstdint>
+
+#include "sim/event.hh"
+#include "sim/types.hh"
+
+namespace emmcsim::sim {
+
+/**
+ * Discrete-event simulator.
+ *
+ * Components schedule callbacks on the simulator and read the current
+ * time with now(). Time only advances inside run()/runUntil() as events
+ * are popped in timestamp order.
+ */
+class Simulator
+{
+  public:
+    Simulator() = default;
+
+    /** Current simulated time. */
+    Time now() const { return now_; }
+
+    /**
+     * Schedule an action at an absolute time (>= now()).
+     * @return Handle usable with cancel().
+     */
+    EventId schedule(Time when, EventAction action);
+
+    /** Schedule an action @p delay after now(). */
+    EventId scheduleAfter(Time delay, EventAction action);
+
+    /** Cancel a scheduled event; see EventQueue::cancel. */
+    bool cancel(EventId id) { return events_.cancel(id); }
+
+    /**
+     * Run until the event queue drains.
+     * @return number of events executed.
+     */
+    std::uint64_t run();
+
+    /**
+     * Run until the queue drains or the clock passes @p deadline.
+     * Events at exactly @p deadline still fire.
+     * @return number of events executed.
+     */
+    std::uint64_t runUntil(Time deadline);
+
+    /** @return true if events remain. */
+    bool pending() const { return !events_.empty(); }
+
+    /** Time of the next pending event; kTimeNever if none. */
+    Time nextEventTime() const { return events_.nextTime(); }
+
+    /** Events executed so far. */
+    std::uint64_t executedCount() const { return executed_; }
+
+  private:
+    EventQueue events_;
+    Time now_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace emmcsim::sim
+
+#endif // EMMCSIM_SIM_SIMULATOR_HH

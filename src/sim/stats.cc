@@ -1,0 +1,160 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace emmcsim::sim {
+
+void
+OnlineStats::add(double x)
+{
+    ++count_;
+    sum_ += x;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+OnlineStats::merge(const OnlineStats &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    double na = static_cast<double>(count_);
+    double nb = static_cast<double>(other.count_);
+    double delta = other.mean_ - mean_;
+    double n = na + nb;
+    mean_ += delta * nb / n;
+    m2_ += other.m2_ + delta * delta * na * nb / n;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+OnlineStats::reset()
+{
+    *this = OnlineStats();
+}
+
+double
+OnlineStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+double
+OnlineStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds))
+{
+    for (std::size_t i = 1; i < bounds_.size(); ++i) {
+        EMMCSIM_ASSERT(bounds_[i] > bounds_[i - 1],
+                       "histogram bounds must be strictly increasing");
+    }
+    counts_.assign(bounds_.size() + 1, 0);
+}
+
+void
+Histogram::add(double x)
+{
+    addN(x, 1);
+}
+
+void
+Histogram::addN(double x, std::uint64_t n)
+{
+    // Bucket i holds samples in (bounds[i-1], bounds[i]]: the paper's
+    // ranges are inclusive on the upper end ("<= 4KB"), so find the
+    // first bound >= x.
+    auto ge = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+    auto idx = static_cast<std::size_t>(ge - bounds_.begin());
+    counts_[idx] += n;
+    total_ += n;
+}
+
+double
+Histogram::fractionAt(std::size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(counts_[i]) / static_cast<double>(total_);
+}
+
+double
+Histogram::upperBoundAt(std::size_t i) const
+{
+    if (i < bounds_.size())
+        return bounds_[i];
+    return std::numeric_limits<double>::infinity();
+}
+
+std::vector<double>
+Histogram::fractions() const
+{
+    std::vector<double> out(counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        out[i] = fractionAt(i);
+    return out;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    total_ = 0;
+}
+
+void
+Percentiles::add(double x)
+{
+    values_.push_back(x);
+    sorted_ = false;
+}
+
+double
+Percentiles::percentile(double p) const
+{
+    if (values_.empty())
+        return 0.0;
+    EMMCSIM_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range");
+    if (!sorted_) {
+        std::sort(values_.begin(), values_.end());
+        sorted_ = true;
+    }
+    if (p <= 0.0)
+        return values_.front();
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(values_.size())));
+    if (rank == 0)
+        rank = 1;
+    if (rank > values_.size())
+        rank = values_.size();
+    return values_[rank - 1];
+}
+
+std::string
+formatDouble(double x, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, x);
+    return std::string(buf);
+}
+
+} // namespace emmcsim::sim

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Statistics primitives: online summary stats and bucketed histograms.
+ *
+ * These back every table and figure reproduction: OnlineStats produces
+ * the mean/min/max columns, Histogram the Fig 4/5/6 distributions.
+ */
+
+#ifndef EMMCSIM_SIM_STATS_HH
+#define EMMCSIM_SIM_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace emmcsim::sim {
+
+/**
+ * Streaming count/mean/variance/min/max accumulator (Welford's method).
+ */
+class OnlineStats
+{
+  public:
+    OnlineStats() = default;
+
+    /** Fold one sample into the accumulator. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const OnlineStats &other);
+
+    /** Remove all samples. */
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    /** Mean of the samples; 0 when empty. */
+    double mean() const { return count_ ? mean_ : 0.0; }
+    /** Population variance; 0 when fewer than 2 samples. */
+    double variance() const;
+    /** Population standard deviation. */
+    double stddev() const;
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+    /** Smallest sample; +inf when empty. */
+    double min() const { return min_; }
+    /** Largest sample; -inf when empty. */
+    double max() const { return max_; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * A histogram over explicit, caller-supplied bucket upper bounds.
+ *
+ * Buckets are [prev_bound, bound); a final implicit overflow bucket
+ * catches samples >= the last bound. This matches how the paper buckets
+ * request sizes (Fig 4) and times (Figs 5, 6): a fixed set of ranges
+ * with an open-ended tail.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param upper_bounds Strictly increasing bucket upper bounds.
+     *        An empty vector yields a single catch-all bucket.
+     */
+    explicit Histogram(std::vector<double> upper_bounds);
+
+    /** Fold one sample into its bucket. */
+    void add(double x);
+
+    /** Add @p n samples of value @p x. */
+    void addN(double x, std::uint64_t n);
+
+    /** Number of buckets including the overflow bucket. */
+    std::size_t bucketCount() const { return counts_.size(); }
+
+    /** Raw count in bucket @p i. */
+    std::uint64_t bucketCountAt(std::size_t i) const { return counts_[i]; }
+
+    /** Fraction of all samples in bucket @p i; 0 when empty. */
+    double fractionAt(std::size_t i) const;
+
+    /** Total number of samples. */
+    std::uint64_t total() const { return total_; }
+
+    /** Upper bound of bucket @p i; +inf for the overflow bucket. */
+    double upperBoundAt(std::size_t i) const;
+
+    /** All per-bucket fractions, in bucket order. */
+    std::vector<double> fractions() const;
+
+    /** Zero all buckets. */
+    void reset();
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Exact percentile calculator: stores all samples, sorts on demand.
+ * Suited to trace-sized data sets (tens of thousands of samples).
+ */
+class Percentiles
+{
+  public:
+    Percentiles() = default;
+
+    /** Add one sample. */
+    void add(double x);
+
+    /**
+     * Percentile by nearest-rank.
+     * @param p in [0, 100]. Returns 0 when no samples were added.
+     */
+    double percentile(double p) const;
+
+    /** Number of stored samples. */
+    std::size_t count() const { return values_.size(); }
+
+  private:
+    mutable std::vector<double> values_;
+    mutable bool sorted_ = true;
+};
+
+/** Format @p x with @p decimals digits (reporting helper). */
+std::string formatDouble(double x, int decimals);
+
+} // namespace emmcsim::sim
+
+#endif // EMMCSIM_SIM_STATS_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Fundamental simulation types: the simulated clock and byte-size helpers.
+ *
+ * The whole simulator runs on a single integer nanosecond clock. All NAND
+ * latencies in the paper (Table V) are given in microseconds and all trace
+ * timing in milliseconds, so nanoseconds give comfortable headroom on both
+ * ends while staying exact (no floating-point time).
+ */
+
+#ifndef EMMCSIM_SIM_TYPES_HH
+#define EMMCSIM_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace emmcsim::sim {
+
+/** Simulated time in nanoseconds since the start of the run. */
+using Time = std::int64_t;
+
+/** A time value meaning "never" / "not yet recorded". */
+constexpr Time kTimeNever = -1;
+
+/** @name Time-unit constructors. @{ */
+constexpr Time
+nanoseconds(std::int64_t n)
+{
+    return n;
+}
+
+constexpr Time
+microseconds(std::int64_t us)
+{
+    return us * 1000;
+}
+
+constexpr Time
+milliseconds(std::int64_t ms)
+{
+    return ms * 1000 * 1000;
+}
+
+constexpr Time
+seconds(std::int64_t s)
+{
+    return s * 1000 * 1000 * 1000;
+}
+/** @} */
+
+/** @name Time-unit readers (double-valued, for reporting only). @{ */
+constexpr double
+toMicroseconds(Time t)
+{
+    return static_cast<double>(t) / 1e3;
+}
+
+constexpr double
+toMilliseconds(Time t)
+{
+    return static_cast<double>(t) / 1e6;
+}
+
+constexpr double
+toSeconds(Time t)
+{
+    return static_cast<double>(t) / 1e9;
+}
+/** @} */
+
+/** @name Byte-size helpers. @{ */
+constexpr std::uint64_t kKiB = 1024;
+constexpr std::uint64_t kMiB = 1024 * kKiB;
+constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+constexpr std::uint64_t
+kib(std::uint64_t n)
+{
+    return n * kKiB;
+}
+
+constexpr std::uint64_t
+mib(std::uint64_t n)
+{
+    return n * kMiB;
+}
+/** @} */
+
+/**
+ * Size of one logical block address (LBA) sector. Block-level traces are
+ * addressed in 512-byte sectors, as on the Nexus 5.
+ */
+constexpr std::uint64_t kSectorBytes = 512;
+
+/**
+ * Size of one logical mapping unit. The paper's file system aligns every
+ * request to the 4KB flash page, so the FTL maps in 4KB units.
+ */
+constexpr std::uint64_t kUnitBytes = 4 * kKiB;
+
+/** Sectors per 4KB mapping unit. */
+constexpr std::uint64_t kSectorsPerUnit = kUnitBytes / kSectorBytes;
+
+} // namespace emmcsim::sim
+
+#endif // EMMCSIM_SIM_TYPES_HH

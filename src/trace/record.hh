@@ -1,0 +1,91 @@
+/**
+ * @file
+ * TraceRecord: one block-level I/O request as BIOtracer records it.
+ *
+ * BIOtracer (Fig 2 of the paper) captures three timestamps per request:
+ * arrival at the block layer (step 1), service start when the request
+ * is actually issued to the eMMC device (step 2), and finish when the
+ * driver completes it (step 3). Plus the logical address, size, and
+ * access type taken at the block layer.
+ */
+
+#ifndef EMMCSIM_TRACE_RECORD_HH
+#define EMMCSIM_TRACE_RECORD_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace emmcsim::trace {
+
+/** Access type of a block request. */
+enum class OpType : std::uint8_t { Read, Write };
+
+/** One block-level request with BIOtracer's three timestamps. */
+struct TraceRecord
+{
+    /** Arrival at the block layer, ns from trace start (step 1). */
+    sim::Time arrival = 0;
+    /** Starting logical block address in 512-byte sectors. */
+    std::uint64_t lbaSector = 0;
+    /** Request size in bytes (4KB-aligned at file-system level). */
+    std::uint64_t sizeBytes = 0;
+    /** Read or write. */
+    OpType op = OpType::Read;
+
+    /** Issue time to the device (step 2); kTimeNever if not replayed. */
+    sim::Time serviceStart = sim::kTimeNever;
+    /** Completion time (step 3); kTimeNever if not replayed. */
+    sim::Time finish = sim::kTimeNever;
+
+    /** @return true for writes. */
+    bool isWrite() const { return op == OpType::Write; }
+
+    /** Request size in 4KB mapping units (rounded up). */
+    std::uint64_t
+    sizeUnits() const
+    {
+        return (sizeBytes + sim::kUnitBytes - 1) / sim::kUnitBytes;
+    }
+
+    /** First 4KB logical unit covered by the request. */
+    std::int64_t
+    firstUnit() const
+    {
+        return static_cast<std::int64_t>(lbaSector /
+                                         sim::kSectorsPerUnit);
+    }
+
+    /** One-past-the-last sector (the successor's address if seq.). */
+    std::uint64_t
+    endSector() const
+    {
+        return lbaSector + sizeBytes / sim::kSectorBytes;
+    }
+
+    /** Response time; requires replay timestamps. */
+    sim::Time
+    responseTime() const
+    {
+        return finish - arrival;
+    }
+
+    /** Service time; requires replay timestamps. */
+    sim::Time
+    serviceTime() const
+    {
+        return finish - serviceStart;
+    }
+
+    /** @return true when both replay timestamps are present. */
+    bool
+    replayed() const
+    {
+        return serviceStart != sim::kTimeNever &&
+               finish != sim::kTimeNever;
+    }
+};
+
+} // namespace emmcsim::trace
+
+#endif // EMMCSIM_TRACE_RECORD_HH

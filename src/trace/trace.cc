@@ -1,0 +1,184 @@
+#include "trace/trace.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace emmcsim::trace {
+
+void
+Trace::push(const TraceRecord &r)
+{
+    if (!records_.empty() && r.arrival < records_.back().arrival)
+        sim::panic("trace records must be pushed in arrival order");
+    records_.push_back(r);
+}
+
+sim::Time
+Trace::duration() const
+{
+    if (records_.empty())
+        return 0;
+    sim::Time end = records_.back().arrival;
+    for (const auto &r : records_) {
+        if (r.finish != sim::kTimeNever)
+            end = std::max(end, r.finish);
+    }
+    return end;
+}
+
+std::uint64_t
+Trace::totalBytes() const
+{
+    std::uint64_t n = 0;
+    for (const auto &r : records_)
+        n += r.sizeBytes;
+    return n;
+}
+
+std::uint64_t
+Trace::writtenBytes() const
+{
+    std::uint64_t n = 0;
+    for (const auto &r : records_)
+        if (r.isWrite())
+            n += r.sizeBytes;
+    return n;
+}
+
+std::uint64_t
+Trace::writeCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &r : records_)
+        if (r.isWrite())
+            ++n;
+    return n;
+}
+
+std::uint64_t
+Trace::maxRequestBytes() const
+{
+    std::uint64_t n = 0;
+    for (const auto &r : records_)
+        n = std::max(n, r.sizeBytes);
+    return n;
+}
+
+std::string
+Trace::validate() const
+{
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+        const auto &r = records_[i];
+        if (r.arrival < 0)
+            return "record " + std::to_string(i) + ": negative arrival";
+        if (i > 0 && r.arrival < records_[i - 1].arrival)
+            return "record " + std::to_string(i) + ": arrival not sorted";
+        if (r.sizeBytes == 0)
+            return "record " + std::to_string(i) + ": zero size";
+        if (r.sizeBytes % sim::kUnitBytes != 0) {
+            return "record " + std::to_string(i) +
+                   ": size not 4KB-aligned";
+        }
+        if (r.lbaSector % sim::kSectorsPerUnit != 0) {
+            return "record " + std::to_string(i) +
+                   ": lba not 4KB-aligned";
+        }
+        if (r.replayed() &&
+            (r.serviceStart < r.arrival || r.finish < r.serviceStart)) {
+            return "record " + std::to_string(i) +
+                   ": timestamps out of order";
+        }
+    }
+    return "";
+}
+
+void
+Trace::sortByArrival()
+{
+    std::stable_sort(records_.begin(), records_.end(),
+                     [](const TraceRecord &a, const TraceRecord &b) {
+                         return a.arrival < b.arrival;
+                     });
+}
+
+void
+Trace::save(std::ostream &os) const
+{
+    os << "# emmctrace v1\n";
+    os << "# name: " << name_ << "\n";
+    os << "# records: " << records_.size() << "\n";
+    for (const auto &r : records_) {
+        os << r.arrival << ' ' << r.lbaSector << ' ' << r.sizeBytes << ' '
+           << (r.isWrite() ? 'W' : 'R');
+        if (r.replayed())
+            os << ' ' << r.serviceStart << ' ' << r.finish;
+        os << '\n';
+    }
+}
+
+void
+Trace::saveFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        sim::fatal("cannot open trace file for writing: " + path);
+    save(os);
+    if (!os)
+        sim::fatal("error while writing trace file: " + path);
+}
+
+Trace
+Trace::load(std::istream &is)
+{
+    Trace t;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        if (line[0] == '#') {
+            const std::string name_key = "# name: ";
+            if (line.rfind(name_key, 0) == 0)
+                t.setName(line.substr(name_key.size()));
+            continue;
+        }
+        std::istringstream ss(line);
+        TraceRecord r;
+        char op = 0;
+        if (!(ss >> r.arrival >> r.lbaSector >> r.sizeBytes >> op)) {
+            sim::fatal("malformed trace line " + std::to_string(lineno) +
+                       ": " + line);
+        }
+        if (op == 'W' || op == 'w') {
+            r.op = OpType::Write;
+        } else if (op == 'R' || op == 'r') {
+            r.op = OpType::Read;
+        } else {
+            sim::fatal("bad op on trace line " + std::to_string(lineno));
+        }
+        sim::Time svc = sim::kTimeNever;
+        sim::Time fin = sim::kTimeNever;
+        if (ss >> svc >> fin) {
+            r.serviceStart = svc;
+            r.finish = fin;
+        }
+        t.records_.push_back(r);
+    }
+    t.sortByArrival();
+    return t;
+}
+
+Trace
+Trace::loadFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        sim::fatal("cannot open trace file: " + path);
+    return load(is);
+}
+
+} // namespace emmcsim::trace

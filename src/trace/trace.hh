@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Trace: an ordered collection of block-level requests plus metadata,
+ * with a plain-text serialization format.
+ *
+ * Format (one record per line, '#' comments / header):
+ * @code
+ * # emmctrace v1
+ * # name: Twitter
+ * <arrival_ns> <lba_sector> <size_bytes> <R|W> [<service_ns> <finish_ns>]
+ * @endcode
+ */
+
+#ifndef EMMCSIM_TRACE_TRACE_HH
+#define EMMCSIM_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/record.hh"
+
+namespace emmcsim::trace {
+
+/** A named, arrival-ordered sequence of trace records. */
+class Trace
+{
+  public:
+    Trace() = default;
+
+    /** @param name Application / workload label (e.g. "Twitter"). */
+    explicit Trace(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+
+    /** Append a record; arrivals must be non-decreasing. */
+    void push(const TraceRecord &r);
+
+    std::size_t size() const { return records_.size(); }
+    bool empty() const { return records_.empty(); }
+
+    const TraceRecord &operator[](std::size_t i) const
+    {
+        return records_[i];
+    }
+    TraceRecord &operator[](std::size_t i) { return records_[i]; }
+
+    const std::vector<TraceRecord> &records() const { return records_; }
+    std::vector<TraceRecord> &records() { return records_; }
+
+    /** Recording duration: last arrival (or finish when replayed). */
+    sim::Time duration() const;
+
+    /** Total bytes accessed (reads + writes). */
+    std::uint64_t totalBytes() const;
+
+    /** Total bytes written. */
+    std::uint64_t writtenBytes() const;
+
+    /** Number of write requests. */
+    std::uint64_t writeCount() const;
+
+    /** Largest request in bytes. */
+    std::uint64_t maxRequestBytes() const;
+
+    /**
+     * Check structural invariants: sorted arrivals, positive 4KB-
+     * aligned sizes, sector-aligned LBAs.
+     * @return empty string when valid, else a description.
+     */
+    std::string validate() const;
+
+    /** Re-sort records by arrival (stable). */
+    void sortByArrival();
+
+    /** Serialize to a stream in the text format. */
+    void save(std::ostream &os) const;
+
+    /** Serialize to a file; sim::fatal on I/O failure. */
+    void saveFile(const std::string &path) const;
+
+    /**
+     * Parse from a stream.
+     * @return the parsed trace; sim::fatal on malformed input.
+     */
+    static Trace load(std::istream &is);
+
+    /** Parse from a file; sim::fatal on I/O failure. */
+    static Trace loadFile(const std::string &path);
+
+  private:
+    std::string name_;
+    std::vector<TraceRecord> records_;
+};
+
+} // namespace emmcsim::trace
+
+#endif // EMMCSIM_TRACE_TRACE_HH

@@ -1,0 +1,91 @@
+#include "workload/combo.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+
+namespace emmcsim::workload {
+
+trace::Trace
+combineTraces(const trace::Trace &a, const trace::Trace &b,
+              const std::string &name)
+{
+    trace::Trace out(name);
+    std::size_t ia = 0;
+    std::size_t ib = 0;
+    while (ia < a.size() || ib < b.size()) {
+        bool take_a;
+        if (ia >= a.size()) {
+            take_a = false;
+        } else if (ib >= b.size()) {
+            take_a = true;
+        } else {
+            take_a = a[ia].arrival <= b[ib].arrival;
+        }
+        trace::TraceRecord r = take_a ? a[ia++] : b[ib++];
+        r.serviceStart = sim::kTimeNever;
+        r.finish = sim::kTimeNever;
+        out.push(r);
+    }
+    return out;
+}
+
+namespace {
+
+/** Expand the Section III-D abbreviations to profile names. */
+std::string
+expandAbbrev(const std::string &abbrev)
+{
+    if (abbrev == "WB")
+        return "WebBrowsing";
+    if (abbrev == "FB")
+        return "Facebook";
+    if (abbrev == "Msg")
+        return "Messaging";
+    return abbrev; // Music, Radio, ... already full names
+}
+
+/** Drop records arriving after @p limit. */
+trace::Trace
+trimTo(const trace::Trace &t, sim::Time limit)
+{
+    trace::Trace out(t.name());
+    for (const auto &r : t.records()) {
+        if (r.arrival > limit)
+            break;
+        out.push(r);
+    }
+    return out;
+}
+
+} // namespace
+
+trace::Trace
+generateComboByMerge(const std::string &name, std::uint64_t seed,
+                     double scale)
+{
+    auto slash = name.find('/');
+    if (slash == std::string::npos)
+        sim::fatal("combo name must look like \"Music/WB\": " + name);
+
+    const std::string first = expandAbbrev(name.substr(0, slash));
+    const std::string second = expandAbbrev(name.substr(slash + 1));
+    const AppProfile *pa = findProfile(first);
+    const AppProfile *pb = findProfile(second);
+    if (pa == nullptr)
+        sim::fatal("unknown application in combo: " + first);
+    if (pb == nullptr)
+        sim::fatal("unknown application in combo: " + second);
+
+    TraceGenerator ga(*pa, seed * 2 + 1);
+    TraceGenerator gb(*pb, seed * 2 + 2);
+    trace::Trace ta = ga.generate(scale);
+    trace::Trace tb = gb.generate(scale);
+
+    sim::Time overlap = std::min(ta.duration(), tb.duration());
+    return combineTraces(trimTo(ta, overlap), trimTo(tb, overlap), name);
+}
+
+} // namespace emmcsim::workload

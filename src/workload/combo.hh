@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Combo workloads: concurrent application streams (Section III-D).
+ *
+ * Two ways exist to obtain a combo trace:
+ *  - combineTraces() time-interleaves two independently generated
+ *    application streams, the mechanistic model of two apps running
+ *    concurrently;
+ *  - comboProfiles() (profile.hh) generates directly from the
+ *    paper's published combo-trace statistics, which is what the
+ *    table-reproduction benches use.
+ */
+
+#ifndef EMMCSIM_WORKLOAD_COMBO_HH
+#define EMMCSIM_WORKLOAD_COMBO_HH
+
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace emmcsim::workload {
+
+/**
+ * Merge two traces by arrival time into one request stream.
+ *
+ * Replay timestamps are dropped (the merged stream has not been
+ * replayed). The shorter stream simply ends early, like a user
+ * stopping one app.
+ *
+ * @param a    First stream.
+ * @param b    Second stream.
+ * @param name Name of the merged trace (e.g. "Music/WB").
+ */
+trace::Trace combineTraces(const trace::Trace &a, const trace::Trace &b,
+                           const std::string &name);
+
+/**
+ * Generate the named combo by merging its two component apps
+ * ("Music/WB" => Music + WebBrowsing), both generated at @p scale
+ * from @p seed-derived seeds. Component durations are trimmed to the
+ * shorter one so the two apps genuinely overlap.
+ */
+trace::Trace generateComboByMerge(const std::string &name,
+                                  std::uint64_t seed, double scale = 1.0);
+
+} // namespace emmcsim::workload
+
+#endif // EMMCSIM_WORKLOAD_COMBO_HH

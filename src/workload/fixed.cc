@@ -1,0 +1,44 @@
+#include "workload/fixed.hh"
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace emmcsim::workload {
+
+trace::Trace
+makeFixedStream(const FixedStreamSpec &spec)
+{
+    EMMCSIM_ASSERT(spec.sizeBytes > 0 &&
+                       spec.sizeBytes % sim::kUnitBytes == 0,
+                   "fixed stream size must be a 4KB multiple");
+    const std::uint64_t units = spec.sizeBytes / sim::kUnitBytes;
+    EMMCSIM_ASSERT(spec.regionUnits >= units,
+                   "region smaller than one request");
+
+    sim::Rng rng(spec.seed);
+    trace::Trace t(spec.name);
+    sim::Time now = 0;
+    std::int64_t next = spec.startUnit;
+    for (std::uint64_t i = 0; i < spec.count; ++i) {
+        std::int64_t unit;
+        if (spec.sequential) {
+            unit = next;
+            next += static_cast<std::int64_t>(units);
+        } else {
+            unit = spec.startUnit +
+                   rng.uniformInt(0, static_cast<std::int64_t>(
+                                         spec.regionUnits - units));
+        }
+        trace::TraceRecord r;
+        r.arrival = now;
+        r.lbaSector =
+            static_cast<std::uint64_t>(unit) * sim::kSectorsPerUnit;
+        r.sizeBytes = spec.sizeBytes;
+        r.op = spec.write ? trace::OpType::Write : trace::OpType::Read;
+        t.push(r);
+        now += spec.gap;
+    }
+    return t;
+}
+
+} // namespace emmcsim::workload

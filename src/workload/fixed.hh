@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fixed-pattern synthetic streams for microbenchmarks and the Fig 3
+ * throughput sweep.
+ */
+
+#ifndef EMMCSIM_WORKLOAD_FIXED_HH
+#define EMMCSIM_WORKLOAD_FIXED_HH
+
+#include <cstdint>
+
+#include "trace/trace.hh"
+
+namespace emmcsim::workload {
+
+/** Parameters of a fixed-size request stream. */
+struct FixedStreamSpec
+{
+    std::string name = "fixed";
+    bool write = false;
+    /** Request size in bytes (4KB multiple). */
+    std::uint64_t sizeBytes = sim::kib(4);
+    /** Number of requests. */
+    std::uint64_t count = 64;
+    /** Inter-arrival gap; 0 queues everything back-to-back. */
+    sim::Time gap = 0;
+    /** Sequential addressing; false gives uniform-random addresses. */
+    bool sequential = true;
+    /** First unit of the stream's address region. */
+    std::int64_t startUnit = 0;
+    /** Size of the random-addressing region in units. */
+    std::uint64_t regionUnits = 1 << 20;
+    /** RNG seed for random addressing. */
+    std::uint64_t seed = 1;
+};
+
+/** Build a trace of identical requests per @p spec. */
+trace::Trace makeFixedStream(const FixedStreamSpec &spec);
+
+} // namespace emmcsim::workload
+
+#endif // EMMCSIM_WORKLOAD_FIXED_HH

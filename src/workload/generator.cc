@@ -1,0 +1,160 @@
+#include "workload/generator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace emmcsim::workload {
+
+namespace {
+
+/** Analytic mean of a log-uniform distribution on [lo, hi]. */
+double
+logUniformMean(double lo, double hi)
+{
+    if (hi <= lo)
+        return lo;
+    return (hi - lo) / std::log(hi / lo);
+}
+
+} // namespace
+
+TraceGenerator::TraceGenerator(const AppProfile &profile,
+                               std::uint64_t seed)
+    : profile_(profile), rng_(seed)
+{
+    EMMCSIM_ASSERT(profile_.requestCount > 0, "profile without requests");
+    EMMCSIM_ASSERT(!profile_.readSizes.empty() &&
+                       !profile_.writeSizes.empty(),
+                   "profile without size distributions");
+
+    for (const auto &b : profile_.readSizes)
+        readWeights_.push_back(b.weight);
+    for (const auto &b : profile_.writeSizes)
+        writeWeights_.push_back(b.weight);
+
+    // Solve the gap-mode log-uniform range so the mixture's mean
+    // inter-arrival matches duration / requestCount.
+    const double mean_ns =
+        static_cast<double>(profile_.meanInterArrival());
+    const double burst_lo = static_cast<double>(profile_.burstGapLo);
+    const double burst_hi = static_cast<double>(profile_.burstGapHi);
+    const double burst_mean = logUniformMean(burst_lo, burst_hi);
+    double f = std::clamp(profile_.burstFraction, 0.0, 0.999);
+
+    double gap_mean = mean_ns;
+    if (mean_ns > burst_mean) {
+        gap_mean = (mean_ns - f * burst_mean) / (1.0 - f);
+    } else {
+        // The app is so dense that even pure burst pacing overshoots;
+        // use the mean directly with a narrow spread.
+        f = 0.0;
+        gap_mean = mean_ns;
+    }
+    // Log-uniform on [a, K*a] has mean a*(K-1)/ln(K); K fixes the
+    // spread (about 2.5 decades, matching the wide Fig 6 tails).
+    constexpr double kSpread = 256.0;
+    const double a =
+        gap_mean * std::log(kSpread) / (kSpread - 1.0);
+    gapLoNs_ = std::max(1.0, a);
+    gapHiNs_ = gapLoNs_ * kSpread;
+    if (profile_.burstFraction != f) {
+        // Record the degraded burst fraction for sampleGap().
+        profile_.burstFraction = f;
+    }
+}
+
+std::uint32_t
+TraceGenerator::sampleSize(const std::vector<SizeBucket> &buckets)
+{
+    const auto &weights = (&buckets == &profile_.readSizes)
+                              ? readWeights_
+                              : writeWeights_;
+    std::size_t i = rng_.weightedIndex(weights);
+    const SizeBucket &b = buckets[i];
+    return static_cast<std::uint32_t>(
+        rng_.uniformInt(b.loUnits, b.hiUnits));
+}
+
+sim::Time
+TraceGenerator::sampleGap()
+{
+    double ns;
+    if (rng_.chance(profile_.burstFraction)) {
+        ns = rng_.logUniform(
+            static_cast<double>(profile_.burstGapLo),
+            static_cast<double>(profile_.burstGapHi));
+    } else {
+        ns = rng_.logUniform(gapLoNs_, gapHiNs_);
+    }
+    return static_cast<sim::Time>(std::llround(ns));
+}
+
+trace::Trace
+TraceGenerator::generate(double scale)
+{
+    EMMCSIM_ASSERT(scale > 0.0, "non-positive generation scale");
+    const auto n = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::llround(
+               static_cast<double>(profile_.requestCount) * scale)));
+
+    trace::Trace t(profile_.name);
+
+    // History ring of previous start units for temporal re-access.
+    constexpr std::size_t kHistory = 512;
+    std::vector<std::int64_t> history;
+    history.reserve(kHistory);
+    std::size_t history_next = 0;
+
+    const std::uint64_t footprint = profile_.footprintUnits;
+    const double p_seq = std::clamp(profile_.spatialLocality, 0.0, 0.95);
+    const double p_reuse_given_not_seq =
+        std::clamp(profile_.temporalLocality / (1.0 - p_seq), 0.0, 0.95);
+
+    sim::Time now = 0;
+    std::int64_t prev_end = -1;
+
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const bool write = rng_.chance(profile_.writeFraction);
+        const std::uint32_t units = sampleSize(
+            write ? profile_.writeSizes : profile_.readSizes);
+
+        std::int64_t start;
+        if (prev_end >= 0 && rng_.chance(p_seq) &&
+            static_cast<std::uint64_t>(prev_end) + units <= footprint) {
+            start = prev_end; // sequential continuation
+        } else if (!history.empty() &&
+                   rng_.chance(p_reuse_given_not_seq)) {
+            // Temporal re-access of an earlier start address.
+            start = history[static_cast<std::size_t>(rng_.uniformInt(
+                0, static_cast<std::int64_t>(history.size()) - 1))];
+            if (static_cast<std::uint64_t>(start) + units > footprint)
+                start = 0;
+        } else {
+            start = rng_.uniformInt(
+                0, static_cast<std::int64_t>(footprint - units));
+        }
+
+        trace::TraceRecord r;
+        r.arrival = now;
+        r.lbaSector = static_cast<std::uint64_t>(start) *
+                      sim::kSectorsPerUnit;
+        r.sizeBytes = static_cast<std::uint64_t>(units) *
+                      sim::kUnitBytes;
+        r.op = write ? trace::OpType::Write : trace::OpType::Read;
+        t.push(r);
+
+        if (history.size() < kHistory) {
+            history.push_back(start);
+        } else {
+            history[history_next] = start;
+            history_next = (history_next + 1) % kHistory;
+        }
+        prev_end = start + units;
+        now += sampleGap();
+    }
+    return t;
+}
+
+} // namespace emmcsim::workload

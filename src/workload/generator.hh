@@ -1,0 +1,73 @@
+/**
+ * @file
+ * TraceGenerator: turns an AppProfile into a block-level trace.
+ *
+ * Mechanics per request:
+ *  - inter-arrival: a two-mode mixture — a burst mode (log-uniform in
+ *    the profile's burst range, the sub-millisecond clusters of Fig 6)
+ *    and a gap mode whose log-uniform range is solved so the overall
+ *    mean inter-arrival equals duration / requestCount (Table IV's
+ *    arrival rate);
+ *  - type: Bernoulli on the profile's write fraction (Table III);
+ *  - size: drawn from the Fig 4-shaped bucket distribution;
+ *  - address: with p = spatialLocality the request continues exactly
+ *    where its predecessor ended (the paper's sequential-access
+ *    definition); with p = temporalLocality it re-issues a previously
+ *    seen start address (an address hit); otherwise it lands uniformly
+ *    in the app's footprint.
+ *
+ * Everything is deterministic in (profile, seed).
+ */
+
+#ifndef EMMCSIM_WORKLOAD_GENERATOR_HH
+#define EMMCSIM_WORKLOAD_GENERATOR_HH
+
+#include <cstdint>
+
+#include "sim/random.hh"
+#include "trace/trace.hh"
+#include "workload/profile.hh"
+
+namespace emmcsim::workload {
+
+/** Generates reproducible traces from application profiles. */
+class TraceGenerator
+{
+  public:
+    /**
+     * @param profile Application model.
+     * @param seed    RNG seed; same (profile, seed) => same trace.
+     */
+    TraceGenerator(const AppProfile &profile, std::uint64_t seed);
+
+    /**
+     * Generate a trace.
+     *
+     * @param scale Request-count scale factor (1.0 reproduces the
+     *        paper's request counts; smaller values give quick test
+     *        traces with the same distributions).
+     */
+    trace::Trace generate(double scale = 1.0);
+
+  private:
+    /** Sample one request size in units from a bucket distribution. */
+    std::uint32_t sampleSize(const std::vector<SizeBucket> &buckets);
+
+    /** Sample the next inter-arrival gap in ns. */
+    sim::Time sampleGap();
+
+    AppProfile profile_;
+    sim::Rng rng_;
+
+    // Gap-mode log-uniform range solved from the profile in the ctor.
+    double gapLoNs_ = 1.0;
+    double gapHiNs_ = 2.0;
+
+    // Cached per-distribution weight vectors for weightedIndex().
+    std::vector<double> readWeights_;
+    std::vector<double> writeWeights_;
+};
+
+} // namespace emmcsim::workload
+
+#endif // EMMCSIM_WORKLOAD_GENERATOR_HH

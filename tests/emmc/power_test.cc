@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Unit tests for the low-power state machine (Characteristic 4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "emmc/power.hh"
+
+using namespace emmcsim;
+using namespace emmcsim::emmc;
+
+namespace {
+
+PowerConfig
+enabledCfg()
+{
+    PowerConfig cfg;
+    cfg.enabled = true;
+    cfg.idleThreshold = sim::milliseconds(200);
+    cfg.wakeLatency = sim::milliseconds(5);
+    return cfg;
+}
+
+} // namespace
+
+TEST(PowerManager, DisabledNeverPenalizes)
+{
+    PowerManager pm(PowerConfig{});
+    pm.onIdle(0);
+    EXPECT_EQ(pm.wakePenalty(sim::seconds(100)), 0);
+    EXPECT_FALSE(pm.inLowPower(sim::seconds(100)));
+    EXPECT_EQ(pm.stats().wakeups, 0u);
+}
+
+TEST(PowerManager, ShortIdleStaysWarm)
+{
+    PowerManager pm(enabledCfg());
+    pm.onIdle(0);
+    EXPECT_EQ(pm.wakePenalty(sim::milliseconds(100)), 0);
+    EXPECT_EQ(pm.stats().wakeups, 0u);
+}
+
+TEST(PowerManager, LongIdlePaysWakeLatency)
+{
+    PowerManager pm(enabledCfg());
+    pm.onIdle(0);
+    EXPECT_EQ(pm.wakePenalty(sim::milliseconds(500)),
+              sim::milliseconds(5));
+    EXPECT_EQ(pm.stats().wakeups, 1u);
+}
+
+TEST(PowerManager, ThresholdBoundaryEntersLowPower)
+{
+    PowerManager pm(enabledCfg());
+    pm.onIdle(0);
+    EXPECT_TRUE(pm.inLowPower(sim::milliseconds(200)));
+    EXPECT_FALSE(pm.inLowPower(sim::milliseconds(199)));
+}
+
+TEST(PowerManager, ResidencyAccounting)
+{
+    PowerManager pm(enabledCfg());
+    pm.onIdle(0);
+    pm.wakePenalty(sim::milliseconds(500));
+    // 200ms active (pre-threshold) + 300ms low power.
+    EXPECT_EQ(pm.stats().activeTime, sim::milliseconds(200));
+    EXPECT_EQ(pm.stats().lowPowerTime, sim::milliseconds(300));
+}
+
+TEST(PowerManager, RepeatedCyclesAccumulate)
+{
+    PowerManager pm(enabledCfg());
+    sim::Time t = 0;
+    for (int i = 0; i < 3; ++i) {
+        pm.onIdle(t);
+        t += sim::milliseconds(400);
+        pm.wakePenalty(t);
+        t += sim::milliseconds(10);
+    }
+    EXPECT_EQ(pm.stats().wakeups, 3u);
+    EXPECT_EQ(pm.stats().lowPowerTime, 3 * sim::milliseconds(200));
+}
+
+TEST(PowerManager, EnergyReflectsResidency)
+{
+    PowerConfig cfg = enabledCfg();
+    cfg.activeMw = 100.0;
+    cfg.lowPowerMw = 1.0;
+    PowerManager pm(cfg);
+    pm.onIdle(0);
+    pm.wakePenalty(sim::seconds(1)); // 0.2s active, 0.8s low power
+    EXPECT_NEAR(pm.energyMj(), 0.2 * 100.0 + 0.8 * 1.0, 1e-9);
+}
+
+TEST(PowerManager, ShortIdleCountsActiveResidency)
+{
+    PowerManager pm(enabledCfg());
+    pm.onIdle(0);
+    pm.wakePenalty(sim::milliseconds(50));
+    EXPECT_EQ(pm.stats().activeTime, sim::milliseconds(50));
+    EXPECT_EQ(pm.stats().lowPowerTime, 0);
+}

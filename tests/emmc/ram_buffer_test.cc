@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit tests for the controller RAM buffer (Implication 3 ablation).
+ */
+
+#include <gtest/gtest.h>
+
+#include "emmc/ram_buffer.hh"
+
+using namespace emmcsim;
+using namespace emmcsim::emmc;
+
+namespace {
+
+BufferConfig
+cfg(std::uint64_t units, bool read_allocate = true)
+{
+    BufferConfig c;
+    c.enabled = true;
+    c.capacityUnits = units;
+    c.readAllocate = read_allocate;
+    return c;
+}
+
+} // namespace
+
+TEST(RamBuffer, WriteThenReadHits)
+{
+    RamBuffer b(cfg(16));
+    std::vector<UnitRun> ev;
+    b.write(10, 4, ev);
+    EXPECT_TRUE(ev.empty());
+
+    std::vector<UnitRun> misses;
+    std::vector<UnitRun> ev2;
+    EXPECT_EQ(b.read(10, 4, misses, ev2), 4u);
+    EXPECT_TRUE(misses.empty());
+    EXPECT_DOUBLE_EQ(b.stats().readHitRate(), 1.0);
+}
+
+TEST(RamBuffer, ColdReadMisses)
+{
+    RamBuffer b(cfg(16));
+    std::vector<UnitRun> misses;
+    std::vector<UnitRun> ev;
+    EXPECT_EQ(b.read(0, 4, misses, ev), 0u);
+    ASSERT_EQ(misses.size(), 1u);
+    EXPECT_EQ(misses[0].first, 0);
+    EXPECT_EQ(misses[0].count, 4u);
+}
+
+TEST(RamBuffer, ReadAllocateMakesReReadHit)
+{
+    RamBuffer b(cfg(16));
+    std::vector<UnitRun> misses;
+    std::vector<UnitRun> ev;
+    b.read(0, 2, misses, ev);
+    misses.clear();
+    EXPECT_EQ(b.read(0, 2, misses, ev), 2u);
+    EXPECT_TRUE(misses.empty());
+}
+
+TEST(RamBuffer, NoReadAllocateKeepsMissing)
+{
+    RamBuffer b(cfg(16, false));
+    std::vector<UnitRun> misses;
+    std::vector<UnitRun> ev;
+    b.read(0, 2, misses, ev);
+    misses.clear();
+    EXPECT_EQ(b.read(0, 2, misses, ev), 0u);
+    EXPECT_EQ(b.residentUnits(), 0u);
+}
+
+TEST(RamBuffer, PartialHitSplitsMissRuns)
+{
+    RamBuffer b(cfg(16));
+    std::vector<UnitRun> ev;
+    b.write(2, 1, ev); // unit 2 cached
+    std::vector<UnitRun> misses;
+    b.read(0, 5, misses, ev); // 0,1 miss; 2 hits; 3,4 miss
+    ASSERT_EQ(misses.size(), 2u);
+    EXPECT_EQ(misses[0].first, 0);
+    EXPECT_EQ(misses[0].count, 2u);
+    EXPECT_EQ(misses[1].first, 3);
+    EXPECT_EQ(misses[1].count, 2u);
+}
+
+TEST(RamBuffer, EvictionIsLru)
+{
+    RamBuffer b(cfg(4));
+    std::vector<UnitRun> ev;
+    b.write(0, 4, ev); // fills capacity: 0,1,2,3
+    EXPECT_TRUE(ev.empty());
+    // Touch 0 so 1 becomes LRU.
+    std::vector<UnitRun> misses;
+    b.read(0, 1, misses, ev);
+    b.write(100, 1, ev); // evicts unit 1 (dirty)
+    ASSERT_EQ(ev.size(), 1u);
+    EXPECT_EQ(ev[0].first, 1);
+    EXPECT_EQ(ev[0].count, 1u);
+}
+
+TEST(RamBuffer, EvictionCoalescesRuns)
+{
+    RamBuffer b(cfg(4));
+    std::vector<UnitRun> ev;
+    b.write(0, 4, ev);
+    b.write(100, 4, ev); // evicts 0..3 as one run
+    ASSERT_EQ(ev.size(), 1u);
+    EXPECT_EQ(ev[0].first, 0);
+    EXPECT_EQ(ev[0].count, 4u);
+    EXPECT_EQ(b.stats().evictedDirty, 4u);
+}
+
+TEST(RamBuffer, CleanEvictionsAreSilent)
+{
+    RamBuffer b(cfg(2));
+    std::vector<UnitRun> misses;
+    std::vector<UnitRun> ev;
+    b.read(0, 2, misses, ev); // 0,1 cached clean
+    b.read(10, 2, misses, ev); // evicts 0,1 clean
+    EXPECT_TRUE(ev.empty());
+}
+
+TEST(RamBuffer, OverwriteCountsWriteHit)
+{
+    RamBuffer b(cfg(8));
+    std::vector<UnitRun> ev;
+    b.write(0, 2, ev);
+    b.write(0, 2, ev);
+    EXPECT_EQ(b.stats().writeHits, 2u);
+    EXPECT_EQ(b.residentUnits(), 2u);
+}
+
+TEST(RamBuffer, FlushAllReturnsDirtyOnly)
+{
+    RamBuffer b(cfg(8));
+    std::vector<UnitRun> misses;
+    std::vector<UnitRun> ev;
+    b.write(0, 2, ev);       // dirty 0,1
+    b.read(10, 2, misses, ev); // clean 10,11
+    std::vector<UnitRun> flushed;
+    b.flushAll(flushed);
+    ASSERT_EQ(flushed.size(), 1u);
+    EXPECT_EQ(flushed[0].first, 0);
+    EXPECT_EQ(flushed[0].count, 2u);
+    EXPECT_EQ(b.residentUnits(), 0u);
+}
+
+TEST(RamBuffer, HitRateZeroWhenNoLookups)
+{
+    RamBuffer b(cfg(8));
+    EXPECT_DOUBLE_EQ(b.stats().readHitRate(), 0.0);
+}

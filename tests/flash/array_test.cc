@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Unit tests for FlashArray timing: resource reservation on channels
+ * and array units, Table V latencies, and op statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "flash/array.hh"
+#include "sim/types.hh"
+
+using namespace emmcsim;
+using namespace emmcsim::flash;
+
+namespace {
+
+Geometry
+geom2x2(std::vector<PoolConfig> pools = {PoolConfig{4096, 8}})
+{
+    Geometry g;
+    g.channels = 2;
+    g.chipsPerChannel = 1;
+    g.diesPerChip = 2;
+    g.planesPerDie = 2;
+    g.pagesPerBlock = 16;
+    g.pools = std::move(pools);
+    return g;
+}
+
+Timing
+timing4k()
+{
+    Timing t;
+    t.pools = {Timing::page4k()};
+    return t;
+}
+
+PageAddr
+addrAtPlane(const Geometry &g, std::uint32_t plane, std::uint32_t pool = 0,
+            std::uint32_t block = 0, std::uint32_t page = 0)
+{
+    PageAddr a = addrFromPlaneLinear(g, plane);
+    a.pool = pool;
+    a.block = block;
+    a.page = page;
+    return a;
+}
+
+} // namespace
+
+TEST(FlashArrayTiming, ReadLatencyBreakdown)
+{
+    Geometry g = geom2x2();
+    Timing t = timing4k();
+    FlashArray arr(g, t, true);
+
+    OpResult r = arr.read(addrAtPlane(g, 0), 0);
+    EXPECT_EQ(r.start, 0);
+    // array read + cmd overhead + 4KB transfer
+    sim::Time expect = t.pools[0].readLatency + t.pageCmdOverhead +
+                       t.transferTime(4096);
+    EXPECT_EQ(r.done, expect);
+}
+
+TEST(FlashArrayTiming, PartialTransferShortensRead)
+{
+    Geometry g = geom2x2({PoolConfig{8192, 8}});
+    Timing t;
+    t.pools = {Timing::page8k()};
+    FlashArray arr(g, t, true);
+
+    OpResult full = arr.read(addrAtPlane(g, 0), 0);
+    FlashArray arr2(g, t, true);
+    OpResult half = arr2.read(addrAtPlane(g, 0), 0, 4096);
+    EXPECT_LT(half.done, full.done);
+    EXPECT_EQ(full.done - half.done, t.transferTime(4096));
+}
+
+TEST(FlashArrayTiming, TransferClampedToPageSize)
+{
+    Geometry g = geom2x2();
+    Timing t = timing4k();
+    FlashArray arr(g, t, true);
+    OpResult a = arr.read(addrAtPlane(g, 0), 0, 1 << 20);
+    FlashArray arr2(g, t, true);
+    OpResult b = arr2.read(addrAtPlane(g, 0), 0, 4096);
+    EXPECT_EQ(a.done, b.done);
+}
+
+TEST(FlashArrayTiming, ProgramLatencyBreakdown)
+{
+    Geometry g = geom2x2();
+    Timing t = timing4k();
+    FlashArray arr(g, t, true);
+
+    OpResult r = arr.program(addrAtPlane(g, 0), 0);
+    sim::Time expect = t.pageCmdOverhead + t.transferTime(4096) +
+                       t.pools[0].programLatency;
+    EXPECT_EQ(r.done, expect);
+}
+
+TEST(FlashArrayTiming, EraseLatency)
+{
+    Geometry g = geom2x2();
+    Timing t = timing4k();
+    FlashArray arr(g, t, true);
+    OpResult r = arr.erase(addrAtPlane(g, 0), 0);
+    EXPECT_EQ(r.done, t.pageCmdOverhead + t.eraseLatency);
+}
+
+TEST(FlashArrayTiming, SamePlaneOpsSerialize)
+{
+    Geometry g = geom2x2();
+    Timing t = timing4k();
+    FlashArray arr(g, t, true);
+
+    OpResult a = arr.read(addrAtPlane(g, 0), 0);
+    OpResult b = arr.read(addrAtPlane(g, 0, 0, 0, 1), 0);
+    // The second read's array phase waits for the first.
+    EXPECT_GE(b.done - a.done, 0);
+    EXPECT_GE(b.done, t.pools[0].readLatency * 2);
+}
+
+TEST(FlashArrayTiming, DifferentPlanesOverlapWithMultiplane)
+{
+    Geometry g = geom2x2();
+    Timing t = timing4k();
+    FlashArray arr(g, t, true);
+
+    // Planes 0 and 1 share a die but multiplane lets arrays overlap;
+    // the channel still serializes the two transfers.
+    OpResult a = arr.read(addrAtPlane(g, 0), 0);
+    OpResult b = arr.read(addrAtPlane(g, 1), 0);
+    sim::Time xfer = t.pageCmdOverhead + t.transferTime(4096);
+    EXPECT_EQ(a.done, t.pools[0].readLatency + xfer);
+    EXPECT_EQ(b.done, a.done + xfer);
+}
+
+TEST(FlashArrayTiming, SameDieSerializesWithoutMultiplane)
+{
+    Geometry g = geom2x2();
+    Timing t = timing4k();
+    FlashArray arr(g, t, false);
+
+    OpResult a = arr.read(addrAtPlane(g, 0), 0);
+    (void)a;
+    OpResult b = arr.read(addrAtPlane(g, 1), 0); // same die
+    // Second array phase starts only after the first finishes.
+    EXPECT_GE(b.done, 2 * t.pools[0].readLatency);
+
+    FlashArray arr2(g, t, false);
+    arr2.read(addrAtPlane(g, 0), 0);
+    OpResult c = arr2.read(addrAtPlane(g, 2), 0); // other die, same ch
+    EXPECT_LT(c.done, b.done);
+}
+
+TEST(FlashArrayTiming, DifferentChannelsFullyParallel)
+{
+    Geometry g = geom2x2();
+    Timing t = timing4k();
+    FlashArray arr(g, t, true);
+
+    OpResult a = arr.read(addrAtPlane(g, 0), 0); // channel 0
+    OpResult b = arr.read(addrAtPlane(g, 4), 0); // channel 1
+    EXPECT_EQ(a.done, b.done);
+}
+
+TEST(FlashArrayTiming, EarliestStartRespected)
+{
+    Geometry g = geom2x2();
+    Timing t = timing4k();
+    FlashArray arr(g, t, true);
+    OpResult r = arr.read(addrAtPlane(g, 0), sim::milliseconds(5));
+    EXPECT_EQ(r.start, sim::milliseconds(5));
+}
+
+TEST(FlashArrayTiming, CopybackSkipsDataTransfer)
+{
+    Geometry g = geom2x2();
+    Timing t = timing4k();
+    FlashArray arr(g, t, true);
+    OpResult cb = arr.copybackRead(addrAtPlane(g, 0), 0);
+    EXPECT_EQ(cb.done, t.pageCmdOverhead + t.pools[0].readLatency);
+
+    FlashArray arr2(g, t, true);
+    OpResult cp = arr2.copybackProgram(addrAtPlane(g, 0), 0);
+    EXPECT_EQ(cp.done, t.pageCmdOverhead + t.pools[0].programLatency);
+}
+
+TEST(FlashArrayTiming, Table5LatenciesApplied)
+{
+    EXPECT_EQ(Timing::page4k().readLatency, sim::microseconds(160));
+    EXPECT_EQ(Timing::page4k().programLatency, sim::microseconds(1385));
+    EXPECT_EQ(Timing::page8k().readLatency, sim::microseconds(244));
+    EXPECT_EQ(Timing::page8k().programLatency, sim::microseconds(1491));
+    EXPECT_EQ(Timing{}.eraseLatency, sim::microseconds(3800));
+}
+
+TEST(FlashArrayStats, CountsPerPool)
+{
+    Geometry g = geom2x2({PoolConfig{4096, 4}, PoolConfig{8192, 4}});
+    Timing t;
+    t.pools = {Timing::page4k(), Timing::page8k()};
+    FlashArray arr(g, t, true);
+
+    arr.read(addrAtPlane(g, 0, 0), 0);
+    arr.program(addrAtPlane(g, 0, 1), 0);
+    arr.erase(addrAtPlane(g, 1, 1), 0);
+
+    EXPECT_EQ(arr.stats(0).reads, 1u);
+    EXPECT_EQ(arr.stats(0).programs, 0u);
+    EXPECT_EQ(arr.stats(1).programs, 1u);
+    EXPECT_EQ(arr.stats(1).erases, 1u);
+    EXPECT_EQ(arr.totalStats().reads, 1u);
+    EXPECT_EQ(arr.totalStats().programs, 1u);
+    EXPECT_EQ(arr.totalStats().erases, 1u);
+    EXPECT_EQ(arr.totalStats().bytesRead, 4096u);
+    EXPECT_EQ(arr.totalStats().bytesProgrammed, 8192u);
+}
+
+TEST(FlashArrayStats, AllIdleAtTracksLatestResource)
+{
+    Geometry g = geom2x2();
+    Timing t = timing4k();
+    FlashArray arr(g, t, true);
+    EXPECT_EQ(arr.allIdleAt(), 0);
+    OpResult r = arr.program(addrAtPlane(g, 3), 0);
+    EXPECT_EQ(arr.allIdleAt(), r.done);
+}
+
+TEST(FlashArrayTiming, TransferTimeMatchesBandwidth)
+{
+    Timing t;
+    t.channelMBps = 200.0;
+    // 200 MB/s => 4096 bytes in 20.48 us.
+    EXPECT_NEAR(static_cast<double>(t.transferTime(4096)), 20480.0, 1.0);
+}
+
+/** Parameterized: throughput ordering of page sizes for large
+ * transfers (8KB pages move more data per array op). */
+class ArrayPageSizeSweep
+    : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(ArrayPageSizeSweep, BackToBackProgramsRespectArrayLatency)
+{
+    const std::uint32_t page_bytes = GetParam();
+    Geometry g = geom2x2({PoolConfig{page_bytes, 8}});
+    Timing t;
+    t.pools = {page_bytes == 4096 ? Timing::page4k()
+                                  : Timing::page8k()};
+    FlashArray arr(g, t, true);
+
+    sim::Time done = 0;
+    const int n = 16;
+    for (int i = 0; i < n; ++i) {
+        OpResult r = arr.program(
+            addrAtPlane(g, 0, 0, 0, static_cast<std::uint32_t>(i)), 0);
+        done = r.done;
+    }
+    // All to one plane: total time >= n * programLatency.
+    EXPECT_GE(done, n * t.pools[0].programLatency);
+}
+
+INSTANTIATE_TEST_SUITE_P(PageSizes, ArrayPageSizeSweep,
+                         ::testing::Values(4096u, 8192u));

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for flash geometry and physical addressing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "emmc/config.hh"
+#include "flash/geometry.hh"
+
+using namespace emmcsim;
+using namespace emmcsim::flash;
+
+namespace {
+
+Geometry
+smallGeom()
+{
+    Geometry g;
+    g.channels = 2;
+    g.chipsPerChannel = 1;
+    g.diesPerChip = 2;
+    g.planesPerDie = 2;
+    g.pagesPerBlock = 16;
+    g.pools = {PoolConfig{4096, 8}};
+    return g;
+}
+
+} // namespace
+
+TEST(PoolConfig, UnitsPerPage)
+{
+    EXPECT_EQ((PoolConfig{4096, 1}).unitsPerPage(), 1u);
+    EXPECT_EQ((PoolConfig{8192, 1}).unitsPerPage(), 2u);
+    EXPECT_EQ((PoolConfig{16384, 1}).unitsPerPage(), 4u);
+}
+
+TEST(Geometry, PlaneAndDieCounts)
+{
+    Geometry g = smallGeom();
+    EXPECT_EQ(g.planeCount(), 8u);
+    EXPECT_EQ(g.dieCount(), 4u);
+}
+
+TEST(Geometry, CapacitySinglePool)
+{
+    Geometry g = smallGeom();
+    // 8 planes * 8 blocks * 16 pages * 4KB
+    EXPECT_EQ(g.capacityBytes(), 8ull * 8 * 16 * 4096);
+    EXPECT_EQ(g.capacityUnits(), 8ull * 8 * 16);
+}
+
+TEST(Geometry, CapacityMultiPool)
+{
+    Geometry g = smallGeom();
+    g.pools = {PoolConfig{4096, 8}, PoolConfig{8192, 4}};
+    // per plane: 8*16*4KB + 4*16*8KB = 512KB + 512KB
+    EXPECT_EQ(g.capacityBytes(), 8ull * (512 + 512) * 1024);
+}
+
+TEST(Geometry, BlockBytes)
+{
+    Geometry g = smallGeom();
+    g.pools = {PoolConfig{4096, 8}, PoolConfig{8192, 4}};
+    EXPECT_EQ(g.blockBytes(0), 16ull * 4096);
+    EXPECT_EQ(g.blockBytes(1), 16ull * 8192);
+}
+
+TEST(Geometry, Table5CapacitiesAreAll32GB)
+{
+    // All three paper schemes must export identical raw capacity.
+    auto g4 = emmc::make4psConfig().geometry;
+    auto g8 = emmc::make8psConfig().geometry;
+    auto gh = emmc::makeHpsConfig().geometry;
+    const std::uint64_t gib32 = 32ull << 30;
+    EXPECT_EQ(g4.capacityBytes(), gib32);
+    EXPECT_EQ(g8.capacityBytes(), gib32);
+    EXPECT_EQ(gh.capacityBytes(), gib32);
+}
+
+TEST(Geometry, Table5Hierarchy)
+{
+    auto g = emmc::make4psConfig().geometry;
+    EXPECT_EQ(g.channels, 2u);
+    EXPECT_EQ(g.chipsPerChannel, 1u);
+    EXPECT_EQ(g.diesPerChip, 2u);
+    EXPECT_EQ(g.planesPerDie, 2u);
+    EXPECT_EQ(g.pagesPerBlock, 1024u);
+}
+
+TEST(Geometry, HpsPoolLayoutMatchesFig10)
+{
+    auto g = emmc::makeHpsConfig().geometry;
+    ASSERT_EQ(g.pools.size(), 2u);
+    EXPECT_EQ(g.pools[emmc::kHps4kPool].pageBytes, 4096u);
+    EXPECT_EQ(g.pools[emmc::kHps4kPool].blocksPerPlane, 512u);
+    EXPECT_EQ(g.pools[emmc::kHps8kPool].pageBytes, 8192u);
+    EXPECT_EQ(g.pools[emmc::kHps8kPool].blocksPerPlane, 256u);
+}
+
+TEST(Addressing, PlaneLinearRoundTrips)
+{
+    Geometry g = smallGeom();
+    for (std::uint32_t p = 0; p < g.planeCount(); ++p) {
+        PageAddr a = addrFromPlaneLinear(g, p);
+        EXPECT_EQ(planeLinear(g, a), p);
+    }
+}
+
+TEST(Addressing, PlaneLinearOrdering)
+{
+    Geometry g = smallGeom();
+    PageAddr a;
+    a.channel = 0;
+    a.chip = 0;
+    a.die = 0;
+    a.plane = 0;
+    EXPECT_EQ(planeLinear(g, a), 0u);
+    a.plane = 1;
+    EXPECT_EQ(planeLinear(g, a), 1u);
+    a.plane = 0;
+    a.die = 1;
+    EXPECT_EQ(planeLinear(g, a), 2u);
+    a.die = 0;
+    a.channel = 1;
+    EXPECT_EQ(planeLinear(g, a), 4u);
+}
+
+TEST(Addressing, DieLinear)
+{
+    Geometry g = smallGeom();
+    PageAddr a;
+    a.channel = 1;
+    a.die = 1;
+    EXPECT_EQ(dieLinear(g, a), 3u);
+    a.die = 0;
+    EXPECT_EQ(dieLinear(g, a), 2u);
+}
+
+TEST(Addressing, PlanesOfSameDieShareDieLinear)
+{
+    Geometry g = smallGeom();
+    PageAddr a = addrFromPlaneLinear(g, 2);
+    PageAddr b = addrFromPlaneLinear(g, 3);
+    EXPECT_EQ(dieLinear(g, a), dieLinear(g, b));
+    PageAddr c = addrFromPlaneLinear(g, 4);
+    EXPECT_NE(dieLinear(g, a), dieLinear(g, c));
+}

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Unit and property tests for BlockPool state transitions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "flash/pool.hh"
+
+using namespace emmcsim::flash;
+
+namespace {
+
+BlockPool
+makePool(std::uint32_t page_bytes = 4096, std::uint32_t blocks = 4,
+         std::uint32_t pages = 8)
+{
+    return BlockPool(PoolConfig{page_bytes, blocks}, pages);
+}
+
+} // namespace
+
+TEST(BlockPool, FreshPoolIsEmpty)
+{
+    BlockPool p = makePool();
+    EXPECT_EQ(p.freeBlockCount(), 4u);
+    EXPECT_EQ(p.freePageCount(), 32u);
+    EXPECT_TRUE(p.hasFreePage());
+    EXPECT_EQ(p.validUnitCount(), 0u);
+    EXPECT_EQ(p.activeBlock(), -1);
+}
+
+TEST(BlockPool, AllocateAdvancesWritePointer)
+{
+    BlockPool p = makePool();
+    Ppn a = p.allocatePage();
+    Ppn b = p.allocatePage();
+    EXPECT_EQ(b, a + 1);
+    EXPECT_EQ(p.totalProgrammedPages(), 2u);
+    EXPECT_EQ(p.freePageCount(), 30u);
+}
+
+TEST(BlockPool, AllocateOpensNewBlockWhenFull)
+{
+    BlockPool p = makePool(4096, 2, 4);
+    for (int i = 0; i < 4; ++i)
+        p.allocatePage();
+    std::int32_t first = p.activeBlock();
+    EXPECT_TRUE(p.blockFull(static_cast<std::uint32_t>(first)));
+    p.allocatePage();
+    EXPECT_NE(p.activeBlock(), first);
+    EXPECT_EQ(p.freeBlockCount(), 0u);
+}
+
+TEST(BlockPool, SetAndInvalidateUnit)
+{
+    BlockPool p = makePool();
+    Ppn ppn = p.allocatePage();
+    p.setUnit(ppn, 0, 77);
+    EXPECT_TRUE(p.unitValid(ppn, 0));
+    EXPECT_EQ(p.lpnAt(ppn, 0), 77);
+    EXPECT_EQ(p.validUnitsInPage(ppn), 1u);
+    EXPECT_EQ(p.validUnitCount(), 1u);
+
+    p.invalidateUnit(ppn, 0);
+    EXPECT_FALSE(p.unitValid(ppn, 0));
+    EXPECT_EQ(p.validUnitsInPage(ppn), 0u);
+    EXPECT_EQ(p.validUnitCount(), 0u);
+    // The lpn record remains until erase (useful for debugging).
+    EXPECT_EQ(p.lpnAt(ppn, 0), 77);
+}
+
+TEST(BlockPool, MultiUnitPageTracksUnitsIndependently)
+{
+    BlockPool p = makePool(8192); // 2 units per page
+    EXPECT_EQ(p.unitsPerPage(), 2u);
+    Ppn ppn = p.allocatePage();
+    p.setUnit(ppn, 0, 10);
+    p.setUnit(ppn, 1, 11);
+    EXPECT_EQ(p.validUnitsInPage(ppn), 2u);
+    p.invalidateUnit(ppn, 0);
+    EXPECT_FALSE(p.unitValid(ppn, 0));
+    EXPECT_TRUE(p.unitValid(ppn, 1));
+    EXPECT_EQ(p.lpnAt(ppn, 1), 11);
+    EXPECT_EQ(p.validUnitsInPage(ppn), 1u);
+}
+
+TEST(BlockPool, BlockValidCounts)
+{
+    BlockPool p = makePool(4096, 2, 4);
+    for (int i = 0; i < 4; ++i) {
+        Ppn ppn = p.allocatePage();
+        p.setUnit(ppn, 0, i);
+    }
+    EXPECT_EQ(p.validUnitsInBlock(0), 4u);
+    p.invalidateUnit(1, 0);
+    EXPECT_EQ(p.validUnitsInBlock(0), 3u);
+}
+
+TEST(BlockPool, EraseResetsBlock)
+{
+    BlockPool p = makePool(4096, 2, 4);
+    for (int i = 0; i < 4; ++i) {
+        Ppn ppn = p.allocatePage();
+        p.setUnit(ppn, 0, i);
+    }
+    for (int i = 0; i < 4; ++i)
+        p.invalidateUnit(static_cast<Ppn>(i), 0);
+    // Open the other block so block 0 is not active.
+    p.allocatePage();
+    p.eraseBlock(0);
+
+    EXPECT_EQ(p.eraseCount(0), 1u);
+    EXPECT_EQ(p.totalErases(), 1u);
+    EXPECT_EQ(p.writtenPages(0), 0u);
+    EXPECT_EQ(p.lpnAt(0, 0), kNoLpn);
+    EXPECT_EQ(p.freeBlockCount(), 1u);
+}
+
+TEST(BlockPool, WearLevelingPicksLeastErasedFreeBlock)
+{
+    BlockPool p = makePool(4096, 3, 2);
+    // Fill block A (the first active), then erase it twice so it has
+    // a higher erase count than the untouched blocks.
+    Ppn a0 = p.allocatePage();
+    p.allocatePage();
+    std::uint32_t block_a =
+        static_cast<std::uint32_t>(a0 / p.pagesPerBlock());
+    // Move active to a new block.
+    Ppn b0 = p.allocatePage();
+    std::uint32_t block_b =
+        static_cast<std::uint32_t>(b0 / p.pagesPerBlock());
+    EXPECT_NE(block_a, block_b);
+    p.eraseBlock(block_a);
+    // Fill block B and the rest of current blocks to force new opens.
+    p.allocatePage(); // fills block B (2 pages/block)
+    // Next allocate must open the least-erased free block, not A.
+    Ppn c0 = p.allocatePage();
+    std::uint32_t block_c =
+        static_cast<std::uint32_t>(c0 / p.pagesPerBlock());
+    EXPECT_NE(block_c, block_a);
+    EXPECT_EQ(p.eraseCount(block_c), 0u);
+}
+
+TEST(BlockPool, EraseSpread)
+{
+    BlockPool p = makePool(4096, 2, 1);
+    p.allocatePage();           // block X active, full
+    p.allocatePage();           // block Y active, full
+    p.eraseBlock(0);            // whichever; spread becomes 1
+    EXPECT_EQ(p.eraseSpread(), 1u);
+}
+
+TEST(BlockPool, FreePageCountIncludesActiveRemainder)
+{
+    BlockPool p = makePool(4096, 2, 4);
+    p.allocatePage();
+    // 3 left in active + 4 in the free block.
+    EXPECT_EQ(p.freePageCount(), 7u);
+    EXPECT_EQ(p.freeBlockCount(), 1u);
+}
+
+TEST(BlockPoolDeath, SetUnitTwicePanics)
+{
+    BlockPool p = makePool();
+    Ppn ppn = p.allocatePage();
+    p.setUnit(ppn, 0, 1);
+    EXPECT_DEATH(p.setUnit(ppn, 0, 2), "already-valid");
+}
+
+TEST(BlockPoolDeath, InvalidateStaleUnitPanics)
+{
+    BlockPool p = makePool();
+    Ppn ppn = p.allocatePage();
+    EXPECT_DEATH(p.invalidateUnit(ppn, 0), "stale");
+}
+
+TEST(BlockPoolDeath, EraseWithLiveUnitsPanics)
+{
+    BlockPool p = makePool(4096, 2, 1);
+    Ppn ppn = p.allocatePage(); // block full (1 page per block)
+    p.setUnit(ppn, 0, 5);
+    p.allocatePage(); // move active elsewhere
+    EXPECT_DEATH(p.eraseBlock(static_cast<std::uint32_t>(
+                     ppn / p.pagesPerBlock())),
+                 "live units");
+}
+
+TEST(BlockPoolDeath, EraseActiveBlockPanics)
+{
+    BlockPool p = makePool();
+    p.allocatePage();
+    EXPECT_DEATH(
+        p.eraseBlock(static_cast<std::uint32_t>(p.activeBlock())),
+        "active");
+}
+
+TEST(BlockPoolDeath, AllocateWhenExhaustedPanics)
+{
+    BlockPool p = makePool(4096, 1, 2);
+    p.allocatePage();
+    p.allocatePage();
+    EXPECT_DEATH(p.allocatePage(), "GC required");
+}
+
+/** Property sweep: conservation of pages across many write/erase
+ * cycles, for both page sizes. */
+class BlockPoolPageSize : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(BlockPoolPageSize, ConservationUnderChurn)
+{
+    const std::uint32_t page_bytes = GetParam();
+    BlockPool p(PoolConfig{page_bytes, 8}, 16);
+    const std::uint32_t upp = p.unitsPerPage();
+    const std::uint64_t total_pages = p.pageCount();
+
+    Lpn next_lpn = 0;
+    std::vector<std::pair<Ppn, std::uint32_t>> live; // (ppn, unit)
+
+    for (int round = 0; round < 5; ++round) {
+        // Write until only one free block remains.
+        while (p.freeBlockCount() > 1) {
+            Ppn ppn = p.allocatePage();
+            for (std::uint32_t u = 0; u < upp; ++u) {
+                p.setUnit(ppn, u, next_lpn++);
+                live.emplace_back(ppn, u);
+            }
+        }
+        // Invalidate everything and erase all full, inactive blocks.
+        for (auto [ppn, u] : live)
+            p.invalidateUnit(ppn, u);
+        live.clear();
+        for (std::uint32_t b = 0; b < p.blockCount(); ++b) {
+            if (p.blockFull(b) && p.validUnitsInBlock(b) == 0 &&
+                static_cast<std::int32_t>(b) != p.activeBlock()) {
+                p.eraseBlock(b);
+            }
+        }
+        // Invariant: free + written pages == total pages.
+        std::uint64_t written = 0;
+        for (std::uint32_t b = 0; b < p.blockCount(); ++b)
+            written += p.writtenPages(b);
+        EXPECT_EQ(written + p.freePageCount(), total_pages);
+        EXPECT_EQ(p.validUnitCount(), 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(PageSizes, BlockPoolPageSize,
+                         ::testing::Values(4096u, 8192u));

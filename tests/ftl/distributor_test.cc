@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Unit and property tests for the write distributors, including the
+ * HPS splitter's defining examples from the paper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/hps.hh"
+#include "ftl/distributor.hh"
+
+using namespace emmcsim;
+using namespace emmcsim::ftl;
+
+namespace {
+
+std::vector<PageGroup>
+split(const RequestDistributor &d, flash::Lpn first, std::uint32_t n)
+{
+    std::vector<PageGroup> out;
+    d.splitWrite(first, n, out);
+    return out;
+}
+
+/** Total units across all groups. */
+std::uint32_t
+totalUnits(const std::vector<PageGroup> &groups)
+{
+    std::uint32_t n = 0;
+    for (const auto &g : groups)
+        n += static_cast<std::uint32_t>(g.lpns.size());
+    return n;
+}
+
+/** Check the groups cover exactly [first, first+n) in order. */
+void
+expectCovers(const std::vector<PageGroup> &groups, flash::Lpn first,
+             std::uint32_t n)
+{
+    flash::Lpn expect = first;
+    for (const auto &g : groups) {
+        for (flash::Lpn lpn : g.lpns)
+            EXPECT_EQ(lpn, expect++);
+    }
+    EXPECT_EQ(expect, first + n);
+}
+
+} // namespace
+
+TEST(SinglePoolDistributor, OneUnitPerPage)
+{
+    SinglePoolDistributor d(0, 1, "4PS");
+    auto groups = split(d, 100, 5);
+    ASSERT_EQ(groups.size(), 5u);
+    for (const auto &g : groups) {
+        EXPECT_EQ(g.pool, 0u);
+        EXPECT_EQ(g.lpns.size(), 1u);
+    }
+    expectCovers(groups, 100, 5);
+}
+
+TEST(SinglePoolDistributor, TwoUnitPagesWithOddTail)
+{
+    SinglePoolDistributor d(0, 2, "8PS");
+    auto groups = split(d, 0, 5);
+    ASSERT_EQ(groups.size(), 3u);
+    EXPECT_EQ(groups[0].lpns.size(), 2u);
+    EXPECT_EQ(groups[1].lpns.size(), 2u);
+    EXPECT_EQ(groups[2].lpns.size(), 1u); // padded physical page
+    expectCovers(groups, 0, 5);
+}
+
+TEST(SinglePoolDistributor, NameIsLabel)
+{
+    SinglePoolDistributor d(3, 2, "8PS");
+    EXPECT_EQ(d.name(), "8PS");
+    auto groups = split(d, 0, 2);
+    EXPECT_EQ(groups[0].pool, 3u);
+}
+
+TEST(HpsDistributor, PaperExample20KB)
+{
+    // 20KB = 5 units => two 8KB sub-requests + one 4KB sub-request.
+    core::HpsDistributor d(0, 1);
+    auto groups = split(d, 0, 5);
+    ASSERT_EQ(groups.size(), 3u);
+    EXPECT_EQ(groups[0].pool, 1u);
+    EXPECT_EQ(groups[0].lpns.size(), 2u);
+    EXPECT_EQ(groups[1].pool, 1u);
+    EXPECT_EQ(groups[1].lpns.size(), 2u);
+    EXPECT_EQ(groups[2].pool, 0u);
+    EXPECT_EQ(groups[2].lpns.size(), 1u);
+    expectCovers(groups, 0, 5);
+}
+
+TEST(HpsDistributor, SingleUnitGoesTo4kPool)
+{
+    core::HpsDistributor d(0, 1);
+    auto groups = split(d, 42, 1);
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_EQ(groups[0].pool, 0u);
+    EXPECT_EQ(groups[0].lpns, (std::vector<flash::Lpn>{42}));
+}
+
+TEST(HpsDistributor, EvenRequestUsesOnly8kPool)
+{
+    core::HpsDistributor d(0, 1);
+    auto groups = split(d, 10, 8);
+    ASSERT_EQ(groups.size(), 4u);
+    for (const auto &g : groups) {
+        EXPECT_EQ(g.pool, 1u);
+        EXPECT_EQ(g.lpns.size(), 2u);
+    }
+    expectCovers(groups, 10, 8);
+}
+
+TEST(HpsDistributor, NameIsHps)
+{
+    core::HpsDistributor d(0, 1);
+    EXPECT_EQ(d.name(), "HPS");
+}
+
+/**
+ * Property sweep over request sizes: every distributor covers the
+ * exact unit range, and the flash consumption matches the analytic
+ * padding model (4PS/HPS none, 8PS ceil-to-8KB).
+ */
+class DistributorSweep : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(DistributorSweep, CoverageAndConsumption)
+{
+    const std::uint32_t n = GetParam();
+
+    SinglePoolDistributor d4(0, 1, "4PS");
+    SinglePoolDistributor d8(0, 2, "8PS");
+    core::HpsDistributor dh(0, 1);
+
+    auto g4 = split(d4, 1000, n);
+    auto g8 = split(d8, 1000, n);
+    auto gh = split(dh, 1000, n);
+
+    expectCovers(g4, 1000, n);
+    expectCovers(g8, 1000, n);
+    expectCovers(gh, 1000, n);
+    EXPECT_EQ(totalUnits(g4), n);
+    EXPECT_EQ(totalUnits(g8), n);
+    EXPECT_EQ(totalUnits(gh), n);
+
+    // Consumption: pages * page size.
+    auto consumed = [](const std::vector<PageGroup> &gs,
+                       std::uint32_t upp4, std::uint32_t upp8) {
+        std::uint64_t bytes = 0;
+        for (const auto &g : gs)
+            bytes += (g.pool == 1 ? upp8 : upp4) * 4096ull;
+        return bytes;
+    };
+    // 4PS: one-unit pages in pool 0.
+    EXPECT_EQ(consumed(g4, 1, 2), n * 4096ull);
+    // 8PS: all groups in pool 0 with 2-unit pages.
+    std::uint64_t bytes8 = 0;
+    for (const auto &g : g8) {
+        (void)g;
+        bytes8 += 8192;
+    }
+    EXPECT_EQ(bytes8, ((n + 1) / 2) * 8192ull);
+    // HPS: pairs in pool 1 (8KB each) + optional 4KB tail = exactly n
+    // units of flash.
+    EXPECT_EQ(consumed(gh, 1, 2), n * 4096ull);
+}
+
+INSTANTIATE_TEST_SUITE_P(RequestSizes, DistributorSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 7u, 8u,
+                                           16u, 33u, 64u, 127u, 1024u));

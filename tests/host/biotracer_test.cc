@@ -1,0 +1,113 @@
+/**
+ * @file
+ * BIOtracer instrumentation tests (Section II-B / II-C).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/scheme.hh"
+#include "emmc/device.hh"
+#include "host/biotracer.hh"
+#include "host/replayer.hh"
+#include "workload/fixed.hh"
+
+using namespace emmcsim;
+using namespace emmcsim::host;
+
+namespace {
+
+trace::Trace
+stream(std::uint64_t count, sim::Time gap = sim::milliseconds(1))
+{
+    workload::FixedStreamSpec spec;
+    spec.count = count;
+    spec.gap = gap;
+    return workload::makeFixedStream(spec);
+}
+
+} // namespace
+
+TEST(BioTracer, PaperDefaultsFlushEvery300Requests)
+{
+    BioTracerConfig cfg;
+    // 32KB / 109B per record = 300 records per flush ("about 300
+    // request records", Section II-A).
+    EXPECT_EQ(cfg.bufferBytes / cfg.bytesPerRecord, 300u);
+}
+
+TEST(BioTracer, InjectsFlushWrites)
+{
+    BioTracerStats stats;
+    trace::Trace out = instrumentTrace(stream(600), {}, &stats);
+    EXPECT_EQ(stats.tracedRequests, 600u);
+    EXPECT_EQ(stats.bufferFlushes, 2u);
+    EXPECT_EQ(stats.injectedOps, 12u);
+    EXPECT_EQ(out.size(), 612u);
+    EXPECT_EQ(out.validate(), "");
+}
+
+TEST(BioTracer, OverheadMatchesPaperTwoPercent)
+{
+    BioTracerStats stats;
+    instrumentTrace(stream(5000), {}, &stats);
+    // 6 extra ops per ~293 requests ~ 2%.
+    EXPECT_NEAR(stats.overheadRatio(), 0.02, 0.005);
+}
+
+TEST(BioTracer, NoFlushForShortTrace)
+{
+    BioTracerStats stats;
+    trace::Trace out = instrumentTrace(stream(100), {}, &stats);
+    EXPECT_EQ(stats.bufferFlushes, 0u);
+    EXPECT_EQ(out.size(), 100u);
+}
+
+TEST(BioTracer, FlushWritesTargetLogRegion)
+{
+    BioTracerConfig cfg;
+    cfg.bufferBytes = 10 * cfg.bytesPerRecord; // flush every 10 reqs
+    BioTracerStats stats;
+    trace::Trace out = instrumentTrace(stream(10), cfg, &stats);
+    ASSERT_EQ(out.size(), 10u + cfg.flushOps);
+    for (std::size_t i = 10; i < out.size(); ++i) {
+        EXPECT_TRUE(out[i].isWrite());
+        EXPECT_GE(out[i].firstUnit(), cfg.logRegionUnit);
+        // Flush shares the arrival of the triggering request.
+        EXPECT_EQ(out[i].arrival, out[9].arrival);
+    }
+}
+
+TEST(BioTracer, FlushRegionAdvancesLikeAppendingLog)
+{
+    BioTracerConfig cfg;
+    cfg.bufferBytes = 5 * cfg.bytesPerRecord;
+    trace::Trace out = instrumentTrace(stream(10), cfg, nullptr);
+    // Two flushes of 6 appends each; log addresses strictly increase.
+    std::int64_t last = -1;
+    for (const auto &r : out.records()) {
+        if (r.firstUnit() >= cfg.logRegionUnit) {
+            EXPECT_GT(r.firstUnit(), last);
+            last = r.firstUnit();
+        }
+    }
+}
+
+TEST(BioTracer, InstrumentedReplayOverheadIsSmall)
+{
+    // Replay the same stream bare and instrumented; the makespan
+    // penalty should be in the paper's few-percent band.
+    auto replay_makespan = [](const trace::Trace &t) {
+        sim::Simulator s;
+        auto dev = core::makeDevice(s, core::SchemeKind::PS4);
+        Replayer rep(s, *dev);
+        trace::Trace out = rep.replay(t);
+        return out.duration();
+    };
+    trace::Trace bare = stream(2000, sim::milliseconds(2));
+    trace::Trace traced = instrumentTrace(bare);
+    sim::Time t_bare = replay_makespan(bare);
+    sim::Time t_traced = replay_makespan(traced);
+    EXPECT_GE(t_traced, t_bare);
+    EXPECT_LT(static_cast<double>(t_traced - t_bare),
+              0.05 * static_cast<double>(t_bare));
+}

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Unit tests for the event queue and simulator loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event.hh"
+#include "sim/simulator.hh"
+
+using namespace emmcsim::sim;
+
+TEST(EventQueue, StartsEmpty)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_EQ(q.nextTime(), kTimeNever);
+}
+
+TEST(EventQueue, PopReturnsFalseWhenEmpty)
+{
+    EventQueue q;
+    Time t;
+    EventAction a;
+    EXPECT_FALSE(q.pop(t, a));
+}
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+
+    Time t;
+    EventAction a;
+    while (q.pop(t, a))
+        a();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeFiresInScheduleOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    Time t;
+    EventAction a;
+    while (q.pop(t, a))
+        a();
+    ASSERT_EQ(order.size(), 16u);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, NextTimeReportsEarliest)
+{
+    EventQueue q;
+    q.schedule(50, [] {});
+    q.schedule(40, [] {});
+    EXPECT_EQ(q.nextTime(), 40);
+}
+
+TEST(EventQueue, CancelPreventsFiring)
+{
+    EventQueue q;
+    bool fired = false;
+    EventId id = q.schedule(10, [&] { fired = true; });
+    EXPECT_TRUE(q.cancel(id));
+    Time t;
+    EventAction a;
+    EXPECT_FALSE(q.pop(t, a));
+    EXPECT_FALSE(fired);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelTwiceFails)
+{
+    EventQueue q;
+    EventId id = q.schedule(10, [] {});
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelUnknownIdFails)
+{
+    EventQueue q;
+    EXPECT_FALSE(q.cancel(1234));
+}
+
+TEST(EventQueue, CancelMiddleKeepsOthers)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(10, [&] { order.push_back(1); });
+    EventId mid = q.schedule(20, [&] { order.push_back(2); });
+    q.schedule(30, [&] { order.push_back(3); });
+    q.cancel(mid);
+    Time t;
+    EventAction a;
+    while (q.pop(t, a))
+        a();
+    EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, SizeTracksLiveEvents)
+{
+    EventQueue q;
+    EventId a = q.schedule(1, [] {});
+    q.schedule(2, [] {});
+    EXPECT_EQ(q.size(), 2u);
+    q.cancel(a);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(Simulator, NowAdvancesWithEvents)
+{
+    Simulator s;
+    Time seen = -1;
+    s.schedule(100, [&] { seen = s.now(); });
+    s.run();
+    EXPECT_EQ(seen, 100);
+    EXPECT_EQ(s.now(), 100);
+}
+
+TEST(Simulator, NowIsCurrentInsideNestedEvents)
+{
+    // Regression test: now() must be updated *before* an event action
+    // runs, or submissions scheduled for "now" see a stale clock.
+    Simulator s;
+    std::vector<Time> seen;
+    s.schedule(10, [&] {
+        seen.push_back(s.now());
+        s.schedule(25, [&] { seen.push_back(s.now()); });
+    });
+    s.run();
+    EXPECT_EQ(seen, (std::vector<Time>{10, 25}));
+}
+
+TEST(Simulator, ScheduleAfterUsesDelay)
+{
+    Simulator s;
+    Time fired = -1;
+    s.schedule(5, [&] {
+        s.scheduleAfter(7, [&] { fired = s.now(); });
+    });
+    s.run();
+    EXPECT_EQ(fired, 12);
+}
+
+TEST(Simulator, RunReturnsEventCount)
+{
+    Simulator s;
+    for (int i = 0; i < 5; ++i)
+        s.schedule(i, [] {});
+    EXPECT_EQ(s.run(), 5u);
+    EXPECT_EQ(s.executedCount(), 5u);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline)
+{
+    Simulator s;
+    int fired = 0;
+    s.schedule(10, [&] { ++fired; });
+    s.schedule(20, [&] { ++fired; });
+    s.schedule(30, [&] { ++fired; });
+    EXPECT_EQ(s.runUntil(20), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(s.now(), 20);
+    EXPECT_TRUE(s.pending());
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle)
+{
+    Simulator s;
+    s.runUntil(500);
+    EXPECT_EQ(s.now(), 500);
+}
+
+TEST(Simulator, EventsAtDeadlineStillFire)
+{
+    Simulator s;
+    bool fired = false;
+    s.schedule(20, [&] { fired = true; });
+    s.runUntil(20);
+    EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, CancelScheduledEvent)
+{
+    Simulator s;
+    bool fired = false;
+    EventId id = s.schedule(10, [&] { fired = true; });
+    EXPECT_TRUE(s.cancel(id));
+    s.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, PendingReflectsQueue)
+{
+    Simulator s;
+    EXPECT_FALSE(s.pending());
+    s.schedule(1, [] {});
+    EXPECT_TRUE(s.pending());
+    s.run();
+    EXPECT_FALSE(s.pending());
+}
+
+TEST(Simulator, ManyEventsStaySorted)
+{
+    Simulator s;
+    Time last = -1;
+    bool monotonic = true;
+    // Deterministic pseudo-random times.
+    std::uint64_t x = 12345;
+    for (int i = 0; i < 2000; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        Time when = static_cast<Time>(x % 100000);
+        s.schedule(when, [&, when] {
+            if (when < last)
+                monotonic = false;
+            last = when;
+        });
+    }
+    s.run();
+    EXPECT_TRUE(monotonic);
+}

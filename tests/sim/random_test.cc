@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Unit and property tests for the RNG facade. Distribution properties
+ * are checked statistically with generous tolerances and fixed seeds,
+ * so they are deterministic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/random.hh"
+#include "sim/stats.hh"
+
+using namespace emmcsim::sim;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(7);
+    Rng b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniformInt(0, 1000000), b.uniformInt(0, 1000000));
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.uniformInt(0, 1000000) == b.uniformInt(0, 1000000))
+            ++same;
+    }
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformIntInRange)
+{
+    Rng r(3);
+    for (int i = 0; i < 1000; ++i) {
+        auto x = r.uniformInt(-5, 5);
+        EXPECT_GE(x, -5);
+        EXPECT_LE(x, 5);
+    }
+}
+
+TEST(Rng, UniformIntDegenerateRange)
+{
+    Rng r(4);
+    EXPECT_EQ(r.uniformInt(9, 9), 9);
+}
+
+TEST(Rng, UniformRealInRange)
+{
+    Rng r(5);
+    for (int i = 0; i < 1000; ++i) {
+        double x = r.uniformReal(2.0, 3.0);
+        EXPECT_GE(x, 2.0);
+        EXPECT_LT(x, 3.0);
+    }
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(6);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+        EXPECT_FALSE(r.chance(-1.0));
+        EXPECT_TRUE(r.chance(2.0));
+    }
+}
+
+TEST(Rng, ChanceFrequency)
+{
+    Rng r(7);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        if (r.chance(0.3))
+            ++hits;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng r(8);
+    OnlineStats s;
+    for (int i = 0; i < 50000; ++i)
+        s.add(r.exponential(4.0));
+    EXPECT_NEAR(s.mean(), 4.0, 0.1);
+    EXPECT_GE(s.min(), 0.0);
+}
+
+TEST(Rng, LogUniformBoundsAndMean)
+{
+    Rng r(9);
+    OnlineStats s;
+    const double lo = 10.0;
+    const double hi = 1000.0;
+    for (int i = 0; i < 50000; ++i) {
+        double x = r.logUniform(lo, hi);
+        EXPECT_GE(x, lo);
+        EXPECT_LE(x, hi);
+        s.add(x);
+    }
+    // Analytic mean of log-uniform: (hi - lo) / ln(hi / lo).
+    double expected = (hi - lo) / std::log(hi / lo);
+    EXPECT_NEAR(s.mean(), expected, expected * 0.05);
+}
+
+TEST(Rng, LogUniformEachDecadeEquallyLikely)
+{
+    Rng r(10);
+    int low_decade = 0;
+    const int n = 30000;
+    for (int i = 0; i < n; ++i) {
+        if (r.logUniform(1.0, 100.0) <= 10.0)
+            ++low_decade;
+    }
+    EXPECT_NEAR(static_cast<double>(low_decade) / n, 0.5, 0.03);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights)
+{
+    Rng r(11);
+    std::vector<double> w = {1.0, 3.0, 0.0, 6.0};
+    std::vector<int> counts(w.size(), 0);
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        ++counts[r.weightedIndex(w)];
+    EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.02);
+    EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.02);
+    EXPECT_EQ(counts[2], 0);
+    EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.02);
+}
+
+TEST(Rng, WeightedIndexSingleEntry)
+{
+    Rng r(12);
+    std::vector<double> w = {2.5};
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(r.weightedIndex(w), 0u);
+}

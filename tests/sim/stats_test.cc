@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Unit tests for the statistics primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/stats.hh"
+
+using namespace emmcsim::sim;
+
+TEST(OnlineStats, EmptyDefaults)
+{
+    OnlineStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(OnlineStats, SingleSample)
+{
+    OnlineStats s;
+    s.add(42.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(s.min(), 42.0);
+    EXPECT_DOUBLE_EQ(s.max(), 42.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, MeanAndVariance)
+{
+    OnlineStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeMatchesCombined)
+{
+    OnlineStats a;
+    OnlineStats b;
+    OnlineStats all;
+    for (int i = 0; i < 10; ++i) {
+        a.add(i);
+        all.add(i);
+    }
+    for (int i = 10; i < 30; ++i) {
+        b.add(i * 0.5);
+        all.add(i * 0.5);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty)
+{
+    OnlineStats a;
+    a.add(1.0);
+    OnlineStats empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 1u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(OnlineStats, ResetClears)
+{
+    OnlineStats s;
+    s.add(5.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Histogram, BucketAssignmentInclusiveUpperBound)
+{
+    Histogram h({4.0, 8.0, 16.0});
+    h.add(4.0);  // bucket 0 (<= 4)
+    h.add(4.1);  // bucket 1
+    h.add(8.0);  // bucket 1 (<= 8)
+    h.add(16.0); // bucket 2
+    h.add(16.5); // overflow bucket 3
+    EXPECT_EQ(h.bucketCountAt(0), 1u);
+    EXPECT_EQ(h.bucketCountAt(1), 2u);
+    EXPECT_EQ(h.bucketCountAt(2), 1u);
+    EXPECT_EQ(h.bucketCountAt(3), 1u);
+    EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, FractionsSumToOne)
+{
+    Histogram h({1.0, 2.0, 3.0});
+    for (double x : {0.5, 1.5, 2.5, 3.5, 0.1, 2.9})
+        h.add(x);
+    double sum = 0.0;
+    for (double f : h.fractions())
+        sum += f;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Histogram, EmptyHistogramFractionsZero)
+{
+    Histogram h({1.0});
+    EXPECT_DOUBLE_EQ(h.fractionAt(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.fractionAt(1), 0.0);
+}
+
+TEST(Histogram, AddNWeightsSamples)
+{
+    Histogram h({10.0});
+    h.addN(5.0, 7);
+    EXPECT_EQ(h.bucketCountAt(0), 7u);
+    EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(Histogram, OverflowBoundIsInfinite)
+{
+    Histogram h({1.0, 2.0});
+    EXPECT_DOUBLE_EQ(h.upperBoundAt(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.upperBoundAt(1), 2.0);
+    EXPECT_TRUE(std::isinf(h.upperBoundAt(2)));
+}
+
+TEST(Histogram, ResetZeroes)
+{
+    Histogram h({1.0});
+    h.add(0.5);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.bucketCountAt(0), 0u);
+}
+
+TEST(Histogram, NoBoundsMeansSingleBucket)
+{
+    Histogram h({});
+    h.add(-5.0);
+    h.add(1e12);
+    EXPECT_EQ(h.bucketCount(), 1u);
+    EXPECT_EQ(h.bucketCountAt(0), 2u);
+}
+
+TEST(Percentiles, EmptyReturnsZero)
+{
+    Percentiles p;
+    EXPECT_DOUBLE_EQ(p.percentile(50), 0.0);
+}
+
+TEST(Percentiles, NearestRank)
+{
+    Percentiles p;
+    for (int i = 1; i <= 100; ++i)
+        p.add(i);
+    EXPECT_DOUBLE_EQ(p.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(p.percentile(50), 50.0);
+    EXPECT_DOUBLE_EQ(p.percentile(95), 95.0);
+    EXPECT_DOUBLE_EQ(p.percentile(100), 100.0);
+}
+
+TEST(Percentiles, UnsortedInput)
+{
+    Percentiles p;
+    for (double x : {5.0, 1.0, 4.0, 2.0, 3.0})
+        p.add(x);
+    EXPECT_DOUBLE_EQ(p.percentile(100), 5.0);
+    EXPECT_DOUBLE_EQ(p.percentile(20), 1.0);
+}
+
+TEST(Percentiles, AddAfterQueryStillWorks)
+{
+    Percentiles p;
+    p.add(1.0);
+    EXPECT_DOUBLE_EQ(p.percentile(100), 1.0);
+    p.add(10.0);
+    EXPECT_DOUBLE_EQ(p.percentile(100), 10.0);
+}
+
+TEST(FormatDouble, FixedDecimals)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatDouble(2.0, 0), "2");
+    EXPECT_EQ(formatDouble(-1.5, 1), "-1.5");
+}

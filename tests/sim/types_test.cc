@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Unit tests for the fundamental time and size helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/types.hh"
+
+using namespace emmcsim::sim;
+
+TEST(Types, TimeConstructors)
+{
+    EXPECT_EQ(nanoseconds(7), 7);
+    EXPECT_EQ(microseconds(3), 3000);
+    EXPECT_EQ(milliseconds(2), 2'000'000);
+    EXPECT_EQ(seconds(1), 1'000'000'000);
+}
+
+TEST(Types, TimeReaders)
+{
+    EXPECT_DOUBLE_EQ(toMicroseconds(microseconds(160)), 160.0);
+    EXPECT_DOUBLE_EQ(toMilliseconds(milliseconds(5)), 5.0);
+    EXPECT_DOUBLE_EQ(toSeconds(seconds(40)), 40.0);
+    EXPECT_DOUBLE_EQ(toMilliseconds(microseconds(1500)), 1.5);
+}
+
+TEST(Types, RoundTripComposition)
+{
+    // Table V latencies survive unit round trips exactly.
+    for (std::int64_t us : {160, 244, 1385, 1491, 3800})
+        EXPECT_DOUBLE_EQ(toMicroseconds(microseconds(us)),
+                         static_cast<double>(us));
+}
+
+TEST(Types, ByteHelpers)
+{
+    EXPECT_EQ(kib(4), 4096u);
+    EXPECT_EQ(mib(1), 1048576u);
+    EXPECT_EQ(kKiB * 1024, kMiB);
+    EXPECT_EQ(kMiB * 1024, kGiB);
+}
+
+TEST(Types, SectorAndUnitConstants)
+{
+    EXPECT_EQ(kSectorBytes, 512u);
+    EXPECT_EQ(kUnitBytes, 4096u);
+    EXPECT_EQ(kSectorsPerUnit, 8u);
+}
+
+TEST(Types, NeverSentinelIsNegative)
+{
+    EXPECT_LT(kTimeNever, 0);
+}

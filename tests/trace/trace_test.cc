@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Trace container and serialization tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/trace.hh"
+
+using namespace emmcsim;
+using namespace emmcsim::trace;
+
+namespace {
+
+TraceRecord
+rec(sim::Time arrival, std::uint64_t unit, std::uint64_t units,
+    OpType op)
+{
+    TraceRecord r;
+    r.arrival = arrival;
+    r.lbaSector = unit * sim::kSectorsPerUnit;
+    r.sizeBytes = units * sim::kUnitBytes;
+    r.op = op;
+    return r;
+}
+
+Trace
+sampleTrace()
+{
+    Trace t("Sample");
+    t.push(rec(0, 0, 1, OpType::Read));
+    t.push(rec(1000, 8, 4, OpType::Write));
+    t.push(rec(5000, 0, 2, OpType::Write));
+    return t;
+}
+
+} // namespace
+
+TEST(TraceRecord, DerivedFields)
+{
+    TraceRecord r = rec(10, 5, 3, OpType::Write);
+    EXPECT_TRUE(r.isWrite());
+    EXPECT_EQ(r.sizeUnits(), 3u);
+    EXPECT_EQ(r.firstUnit(), 5);
+    EXPECT_EQ(r.endSector(), (5 + 3) * sim::kSectorsPerUnit);
+    EXPECT_FALSE(r.replayed());
+}
+
+TEST(TraceRecord, TimingAccessors)
+{
+    TraceRecord r = rec(100, 0, 1, OpType::Read);
+    r.serviceStart = 150;
+    r.finish = 400;
+    EXPECT_TRUE(r.replayed());
+    EXPECT_EQ(r.responseTime(), 300);
+    EXPECT_EQ(r.serviceTime(), 250);
+}
+
+TEST(Trace, AggregateQueries)
+{
+    Trace t = sampleTrace();
+    EXPECT_EQ(t.size(), 3u);
+    EXPECT_EQ(t.totalBytes(), 7 * sim::kUnitBytes);
+    EXPECT_EQ(t.writtenBytes(), 6 * sim::kUnitBytes);
+    EXPECT_EQ(t.writeCount(), 2u);
+    EXPECT_EQ(t.maxRequestBytes(), 4 * sim::kUnitBytes);
+    EXPECT_EQ(t.duration(), 5000);
+}
+
+TEST(Trace, DurationIncludesReplayFinish)
+{
+    Trace t = sampleTrace();
+    t[2].serviceStart = 5000;
+    t[2].finish = 9000;
+    EXPECT_EQ(t.duration(), 9000);
+}
+
+TEST(Trace, ValidateAcceptsGoodTrace)
+{
+    EXPECT_EQ(sampleTrace().validate(), "");
+}
+
+TEST(Trace, ValidateCatchesUnsorted)
+{
+    Trace t = sampleTrace();
+    t[2].arrival = 1; // now out of order
+    EXPECT_NE(t.validate().find("not sorted"), std::string::npos);
+}
+
+TEST(Trace, ValidateCatchesMisalignment)
+{
+    Trace t = sampleTrace();
+    t[0].sizeBytes = 1000;
+    EXPECT_NE(t.validate().find("4KB-aligned"), std::string::npos);
+    Trace t2 = sampleTrace();
+    t2[0].lbaSector = 1;
+    EXPECT_NE(t2.validate().find("lba"), std::string::npos);
+}
+
+TEST(Trace, ValidateCatchesBadTimestamps)
+{
+    Trace t = sampleTrace();
+    t[0].serviceStart = 10;
+    t[0].finish = 5;
+    EXPECT_NE(t.validate().find("timestamps"), std::string::npos);
+}
+
+TEST(Trace, SortByArrivalIsStable)
+{
+    Trace t;
+    t.records().push_back(rec(100, 1, 1, OpType::Read));
+    t.records().push_back(rec(50, 2, 1, OpType::Read));
+    t.records().push_back(rec(100, 3, 1, OpType::Read));
+    t.sortByArrival();
+    EXPECT_EQ(t[0].firstUnit(), 2);
+    EXPECT_EQ(t[1].firstUnit(), 1);
+    EXPECT_EQ(t[2].firstUnit(), 3);
+}
+
+TEST(TraceDeath, PushOutOfOrderPanics)
+{
+    Trace t = sampleTrace();
+    EXPECT_DEATH(t.push(rec(10, 0, 1, OpType::Read)), "arrival order");
+}
+
+TEST(TraceIo, RoundTripWithoutTimestamps)
+{
+    Trace t = sampleTrace();
+    std::stringstream ss;
+    t.save(ss);
+    Trace back = Trace::load(ss);
+    EXPECT_EQ(back.name(), "Sample");
+    ASSERT_EQ(back.size(), t.size());
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        EXPECT_EQ(back[i].arrival, t[i].arrival);
+        EXPECT_EQ(back[i].lbaSector, t[i].lbaSector);
+        EXPECT_EQ(back[i].sizeBytes, t[i].sizeBytes);
+        EXPECT_EQ(back[i].op, t[i].op);
+        EXPECT_FALSE(back[i].replayed());
+    }
+}
+
+TEST(TraceIo, RoundTripWithTimestamps)
+{
+    Trace t = sampleTrace();
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        t[i].serviceStart = t[i].arrival + 10;
+        t[i].finish = t[i].arrival + 500;
+    }
+    std::stringstream ss;
+    t.save(ss);
+    Trace back = Trace::load(ss);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        EXPECT_EQ(back[i].serviceStart, t[i].serviceStart);
+        EXPECT_EQ(back[i].finish, t[i].finish);
+    }
+}
+
+TEST(TraceIo, LoadSkipsCommentsAndBlankLines)
+{
+    std::stringstream ss;
+    ss << "# emmctrace v1\n# name: X\n\n0 0 4096 R\n\n# trailing\n";
+    Trace t = Trace::load(ss);
+    EXPECT_EQ(t.name(), "X");
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_FALSE(t[0].isWrite());
+}
+
+TEST(TraceIo, LoadSortsUnorderedInput)
+{
+    std::stringstream ss;
+    ss << "500 0 4096 W\n100 8 4096 R\n";
+    Trace t = Trace::load(ss);
+    EXPECT_EQ(t[0].arrival, 100);
+    EXPECT_EQ(t[1].arrival, 500);
+}
+
+TEST(TraceIo, LowercaseOpsAccepted)
+{
+    std::stringstream ss;
+    ss << "0 0 4096 r\n10 0 4096 w\n";
+    Trace t = Trace::load(ss);
+    EXPECT_FALSE(t[0].isWrite());
+    EXPECT_TRUE(t[1].isWrite());
+}
+
+TEST(TraceIo, FileRoundTrip)
+{
+    Trace t = sampleTrace();
+    const std::string path = testing::TempDir() + "/trace_io_test.txt";
+    t.saveFile(path);
+    Trace back = Trace::loadFile(path);
+    EXPECT_EQ(back.size(), t.size());
+    EXPECT_EQ(back.name(), "Sample");
+}
+
+TEST(TraceIoDeath, MalformedLineFatal)
+{
+    std::stringstream ss;
+    ss << "0 zero 4096 R\n";
+    EXPECT_DEATH(Trace::load(ss), "malformed");
+}
+
+TEST(TraceIoDeath, BadOpFatal)
+{
+    std::stringstream ss;
+    ss << "0 0 4096 X\n";
+    EXPECT_DEATH(Trace::load(ss), "bad op");
+}
+
+TEST(TraceIoDeath, MissingFileFatal)
+{
+    EXPECT_DEATH(Trace::loadFile("/nonexistent/path/trace.txt"),
+                 "cannot open");
+}

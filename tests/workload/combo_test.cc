@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Combo composition tests: merging and the named combo generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/combo.hh"
+#include "workload/fixed.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+
+using namespace emmcsim;
+using namespace emmcsim::workload;
+
+namespace {
+
+trace::Trace
+streamAt(std::string name, sim::Time start_gap, std::uint64_t count)
+{
+    FixedStreamSpec spec;
+    spec.name = std::move(name);
+    spec.count = count;
+    spec.gap = start_gap;
+    return makeFixedStream(spec);
+}
+
+} // namespace
+
+TEST(CombineTraces, MergesByArrival)
+{
+    trace::Trace a = streamAt("A", 100, 3); // arrivals 0,100,200
+    trace::Trace b = streamAt("B", 70, 3);  // arrivals 0,70,140
+    trace::Trace m = combineTraces(a, b, "A/B");
+    EXPECT_EQ(m.name(), "A/B");
+    ASSERT_EQ(m.size(), 6u);
+    for (std::size_t i = 1; i < m.size(); ++i)
+        EXPECT_LE(m[i - 1].arrival, m[i].arrival);
+    EXPECT_EQ(m.validate(), "");
+}
+
+TEST(CombineTraces, KeepsAllRequests)
+{
+    trace::Trace a = streamAt("A", 10, 5);
+    trace::Trace b = streamAt("B", 10, 7);
+    trace::Trace m = combineTraces(a, b, "A/B");
+    EXPECT_EQ(m.size(), 12u);
+    EXPECT_EQ(m.totalBytes(), a.totalBytes() + b.totalBytes());
+}
+
+TEST(CombineTraces, DropsReplayTimestamps)
+{
+    trace::Trace a = streamAt("A", 10, 2);
+    a[0].serviceStart = 5;
+    a[0].finish = 20;
+    trace::Trace m = combineTraces(a, streamAt("B", 10, 2), "A/B");
+    for (const auto &r : m.records())
+        EXPECT_FALSE(r.replayed());
+}
+
+TEST(CombineTraces, EmptySideIsIdentityOnRecords)
+{
+    trace::Trace a = streamAt("A", 10, 4);
+    trace::Trace empty("E");
+    trace::Trace m = combineTraces(a, empty, "A/E");
+    EXPECT_EQ(m.size(), 4u);
+}
+
+TEST(GenerateComboByMerge, ExpandsAbbreviations)
+{
+    trace::Trace t = generateComboByMerge("Music/WB", 1, 0.02);
+    EXPECT_EQ(t.name(), "Music/WB");
+    EXPECT_GT(t.size(), 0u);
+    EXPECT_EQ(t.validate(), "");
+}
+
+TEST(GenerateComboByMerge, MergeHasMoreRequestsThanEitherComponent)
+{
+    // Over the overlapping window the merge contains both streams.
+    trace::Trace t = generateComboByMerge("FB/Msg", 3, 0.05);
+    const AppProfile *fb = findProfile("Facebook");
+    ASSERT_NE(fb, nullptr);
+    // The combo is denser than Facebook alone over the same window.
+    double combo_rate = static_cast<double>(t.size()) /
+                        sim::toSeconds(t.duration());
+    double fb_rate = static_cast<double>(fb->requestCount) /
+                     sim::toSeconds(fb->duration);
+    EXPECT_GT(combo_rate, fb_rate);
+}
+
+TEST(GenerateComboByMergeDeath, RejectsBadNames)
+{
+    EXPECT_DEATH(generateComboByMerge("MusicWB", 1, 0.1),
+                 "combo name");
+    EXPECT_DEATH(generateComboByMerge("Music/Nope", 1, 0.1),
+                 "unknown application");
+}
+
+TEST(FixedStream, SequentialAddressesAdvance)
+{
+    FixedStreamSpec spec;
+    spec.sizeBytes = sim::kib(8);
+    spec.count = 4;
+    spec.sequential = true;
+    trace::Trace t = makeFixedStream(spec);
+    ASSERT_EQ(t.size(), 4u);
+    for (std::size_t i = 1; i < 4; ++i)
+        EXPECT_EQ(t[i].lbaSector, t[i - 1].endSector());
+}
+
+TEST(FixedStream, RandomAddressesStayInRegion)
+{
+    FixedStreamSpec spec;
+    spec.sequential = false;
+    spec.count = 200;
+    spec.regionUnits = 64;
+    trace::Trace t = makeFixedStream(spec);
+    for (const auto &r : t.records())
+        EXPECT_LT(r.lbaSector / sim::kSectorsPerUnit, 64u);
+}
+
+TEST(FixedStream, GapSpacingApplied)
+{
+    FixedStreamSpec spec;
+    spec.count = 3;
+    spec.gap = sim::milliseconds(7);
+    trace::Trace t = makeFixedStream(spec);
+    EXPECT_EQ(t[1].arrival - t[0].arrival, sim::milliseconds(7));
+}
+
+TEST(FixedStream, WriteFlagPropagates)
+{
+    FixedStreamSpec spec;
+    spec.write = true;
+    spec.count = 2;
+    trace::Trace t = makeFixedStream(spec);
+    EXPECT_TRUE(t[0].isWrite());
+}

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Generator tests: determinism, structural validity, and statistical
+ * agreement with the profile targets (write fraction, mean sizes,
+ * mean inter-arrival, localities).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/locality.hh"
+#include "analysis/size_stats.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+
+using namespace emmcsim;
+using namespace emmcsim::workload;
+
+namespace {
+
+trace::Trace
+gen(const std::string &name, double scale = 1.0, std::uint64_t seed = 1)
+{
+    const AppProfile *p = findProfile(name);
+    EXPECT_NE(p, nullptr);
+    TraceGenerator g(*p, seed);
+    return g.generate(scale);
+}
+
+} // namespace
+
+TEST(TraceGenerator, DeterministicForSameSeed)
+{
+    trace::Trace a = gen("Twitter", 0.05, 9);
+    trace::Trace b = gen("Twitter", 0.05, 9);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].arrival, b[i].arrival);
+        EXPECT_EQ(a[i].lbaSector, b[i].lbaSector);
+        EXPECT_EQ(a[i].sizeBytes, b[i].sizeBytes);
+        EXPECT_EQ(a[i].op, b[i].op);
+    }
+}
+
+TEST(TraceGenerator, SeedsChangeTheTrace)
+{
+    trace::Trace a = gen("Twitter", 0.05, 1);
+    trace::Trace b = gen("Twitter", 0.05, 2);
+    bool differs = a.size() != b.size();
+    for (std::size_t i = 0; !differs && i < a.size(); ++i)
+        differs = a[i].lbaSector != b[i].lbaSector;
+    EXPECT_TRUE(differs);
+}
+
+TEST(TraceGenerator, OutputIsStructurallyValid)
+{
+    for (const char *name : {"Twitter", "Movie", "Booting", "FB/Msg"}) {
+        trace::Trace t = gen(name, 0.1);
+        EXPECT_EQ(t.validate(), "") << name;
+        EXPECT_EQ(t.name(), name);
+    }
+}
+
+TEST(TraceGenerator, ScaleControlsRequestCount)
+{
+    const AppProfile *p = findProfile("Twitter");
+    TraceGenerator g(*p, 1);
+    trace::Trace t = g.generate(0.1);
+    EXPECT_NEAR(static_cast<double>(t.size()),
+                0.1 * static_cast<double>(p->requestCount), 2.0);
+}
+
+TEST(TraceGenerator, FullScaleMatchesRequestCount)
+{
+    trace::Trace t = gen("Email", 1.0);
+    EXPECT_EQ(t.size(), findProfile("Email")->requestCount);
+}
+
+TEST(TraceGenerator, WriteFractionMatchesProfile)
+{
+    trace::Trace t = gen("Twitter", 1.0);
+    double frac = static_cast<double>(t.writeCount()) /
+                  static_cast<double>(t.size());
+    EXPECT_NEAR(frac, findProfile("Twitter")->writeFraction, 0.02);
+}
+
+TEST(TraceGenerator, MeanSizesMatchProfile)
+{
+    trace::Trace t = gen("Messaging", 1.0);
+    analysis::SizeStats s = analysis::computeSizeStats(t);
+    EXPECT_NEAR(s.aveReadKb, 23.0, 4.0);
+    EXPECT_NEAR(s.aveWriteKb, 10.5, 1.5);
+}
+
+TEST(TraceGenerator, DurationMatchesProfile)
+{
+    const AppProfile *p = findProfile("Twitter");
+    trace::Trace t = gen("Twitter", 1.0);
+    double expect_s = sim::toSeconds(p->duration);
+    EXPECT_NEAR(sim::toSeconds(t.duration()), expect_s, 0.2 * expect_s);
+}
+
+TEST(TraceGenerator, LocalitiesMatchProfile)
+{
+    const AppProfile *p = findProfile("Twitter");
+    trace::Trace t = gen("Twitter", 1.0);
+    analysis::LocalityResult loc = analysis::computeLocality(t);
+    EXPECT_NEAR(loc.spatial, p->spatialLocality, 0.05);
+    EXPECT_NEAR(loc.temporal, p->temporalLocality, 0.08);
+}
+
+TEST(TraceGenerator, AddressesStayInFootprint)
+{
+    const AppProfile *p = findProfile("Movie");
+    trace::Trace t = gen("Movie", 0.5);
+    for (const auto &r : t.records()) {
+        EXPECT_LE(r.lbaSector / sim::kSectorsPerUnit + r.sizeUnits(),
+                  p->footprintUnits);
+    }
+}
+
+TEST(TraceGenerator, SizesRespectProfileCaps)
+{
+    const AppProfile *p = findProfile("Messaging"); // max 128KB
+    trace::Trace t = gen("Messaging", 1.0);
+    (void)p;
+    EXPECT_LE(t.maxRequestBytes(), sim::kib(128));
+}
+
+/** Parameterized sweep: every one of the 25 profiles generates a
+ * valid trace whose headline statistics track its targets. */
+class GeneratorAllProfiles
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(GeneratorAllProfiles, StatisticsTrackProfile)
+{
+    const AppProfile *p = findProfile(GetParam());
+    ASSERT_NE(p, nullptr);
+    TraceGenerator g(*p, 17);
+    // Scale long traces down for test speed, but keep enough samples.
+    const double scale =
+        p->requestCount > 8000 ? 0.25 : 1.0;
+    trace::Trace t = g.generate(scale);
+
+    EXPECT_EQ(t.validate(), "");
+    double wf = static_cast<double>(t.writeCount()) /
+                static_cast<double>(t.size());
+    EXPECT_NEAR(wf, p->writeFraction, 0.04);
+
+    analysis::LocalityResult loc = analysis::computeLocality(t);
+    EXPECT_NEAR(loc.spatial, p->spatialLocality, 0.06);
+    EXPECT_NEAR(loc.temporal, p->temporalLocality, 0.12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All25, GeneratorAllProfiles,
+    ::testing::Values("Idle", "CallIn", "CallOut", "Booting", "Movie",
+                      "Music", "AngryBirds", "CameraVideo",
+                      "GoogleMaps", "Messaging", "Twitter", "Email",
+                      "Facebook", "Amazon", "YouTube", "Radio",
+                      "Installing", "WebBrowsing", "Music/WB",
+                      "Radio/WB", "Music/FB", "Radio/FB", "Music/Msg",
+                      "Radio/Msg", "FB/Msg"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name) {
+            if (c == '/')
+                c = '_';
+        }
+        return name;
+    });

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Profile catalog tests: the 25 profiles exist and carry the paper's
+ * published numbers; the size-distribution builder hits its targets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/profile.hh"
+
+using namespace emmcsim;
+using namespace emmcsim::workload;
+
+TEST(Profiles, CatalogSizes)
+{
+    EXPECT_EQ(individualProfiles().size(), 18u);
+    EXPECT_EQ(comboProfiles().size(), 7u);
+    EXPECT_EQ(allProfiles().size(), 25u);
+}
+
+TEST(Profiles, Table1NamesPresent)
+{
+    for (const char *name :
+         {"Idle", "CallIn", "CallOut", "Booting", "Movie", "Music",
+          "AngryBirds", "CameraVideo", "GoogleMaps", "Messaging",
+          "Twitter", "Email", "Facebook", "Amazon", "YouTube", "Radio",
+          "Installing", "WebBrowsing"}) {
+        EXPECT_NE(findProfile(name), nullptr) << name;
+    }
+}
+
+TEST(Profiles, ComboNamesPresent)
+{
+    for (const char *name : {"Music/WB", "Radio/WB", "Music/FB",
+                             "Radio/FB", "Music/Msg", "Radio/Msg",
+                             "FB/Msg"}) {
+        EXPECT_NE(findProfile(name), nullptr) << name;
+    }
+}
+
+TEST(Profiles, UnknownNameReturnsNull)
+{
+    EXPECT_EQ(findProfile("Snapchat"), nullptr);
+}
+
+TEST(Profiles, Table3RequestCounts)
+{
+    EXPECT_EQ(findProfile("Twitter")->requestCount, 13807u);
+    EXPECT_EQ(findProfile("Booting")->requestCount, 18417u);
+    EXPECT_EQ(findProfile("Idle")->requestCount, 6932u);
+    EXPECT_EQ(findProfile("FB/Msg")->requestCount, 15602u);
+}
+
+TEST(Profiles, Table3WriteFractions)
+{
+    EXPECT_NEAR(findProfile("CallIn")->writeFraction, 0.9993, 1e-9);
+    EXPECT_NEAR(findProfile("Movie")->writeFraction, 0.0540, 1e-9);
+    EXPECT_NEAR(findProfile("Booting")->writeFraction, 0.3307, 1e-9);
+}
+
+TEST(Profiles, Table4Durations)
+{
+    EXPECT_EQ(findProfile("Booting")->duration, sim::seconds(40));
+    EXPECT_EQ(findProfile("Idle")->duration, sim::seconds(29363));
+}
+
+TEST(Profiles, Table4Localities)
+{
+    const AppProfile *p = findProfile("Twitter");
+    EXPECT_NEAR(p->spatialLocality, 0.2657, 1e-9);
+    EXPECT_NEAR(p->temporalLocality, 0.5290, 1e-9);
+}
+
+TEST(Profiles, MeanSizesTrackTable3)
+{
+    // Ave R / Ave W sizes should be reproduced by the bucket builder
+    // within a few percent (Table III, KB -> units is /4).
+    struct Expect
+    {
+        const char *name;
+        double aveReadKb;
+        double aveWriteKb;
+    };
+    for (const Expect &e :
+         {Expect{"Twitter", 35.5, 10.5}, Expect{"Movie", 27.5, 17.0},
+          Expect{"Messaging", 23.0, 10.5},
+          Expect{"CameraVideo", 38.5, 736.5}}) {
+        const AppProfile *p = findProfile(e.name);
+        ASSERT_NE(p, nullptr);
+        double mean_r = sizeBucketsMean(p->readSizes) * 4.0;
+        double mean_w = sizeBucketsMean(p->writeSizes) * 4.0;
+        EXPECT_NEAR(mean_r, e.aveReadKb, 0.15 * e.aveReadKb) << e.name;
+        EXPECT_NEAR(mean_w, e.aveWriteKb, 0.15 * e.aveWriteKb)
+            << e.name;
+    }
+}
+
+TEST(Profiles, MeanInterArrivalMatchesArrivalRate)
+{
+    // Table IV: Twitter 16.13 req/s => ~62 ms mean inter-arrival.
+    const AppProfile *p = findProfile("Twitter");
+    EXPECT_NEAR(sim::toMilliseconds(p->meanInterArrival()), 62.0, 1.0);
+}
+
+TEST(Profiles, FootprintLargerThanMaxRequest)
+{
+    for (const AppProfile &p : allProfiles()) {
+        std::uint64_t max_units = 0;
+        for (const auto &b : p.writeSizes)
+            max_units = std::max<std::uint64_t>(max_units, b.hiUnits);
+        EXPECT_GT(p.footprintUnits, 2 * max_units) << p.name;
+    }
+}
+
+TEST(BuildSizeBuckets, WeightsSumToOne)
+{
+    auto buckets = buildSizeBuckets(5.0, 256, 0.5);
+    double total = 0.0;
+    for (const auto &b : buckets)
+        total += b.weight;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(BuildSizeBuckets, SmallFractionPinned)
+{
+    auto buckets = buildSizeBuckets(8.0, 1024, 0.45);
+    ASSERT_FALSE(buckets.empty());
+    EXPECT_EQ(buckets[0].loUnits, 1u);
+    EXPECT_EQ(buckets[0].hiUnits, 1u);
+    EXPECT_NEAR(buckets[0].weight, 0.45, 1e-9);
+}
+
+TEST(BuildSizeBuckets, MeanHitsTarget)
+{
+    for (double target : {2.0, 4.5, 10.0, 40.0, 180.0}) {
+        auto buckets = buildSizeBuckets(target, 4096, 0.45);
+        EXPECT_NEAR(sizeBucketsMean(buckets), target, 0.1 * target)
+            << target;
+    }
+}
+
+TEST(BuildSizeBuckets, RespectsMaxUnits)
+{
+    auto buckets = buildSizeBuckets(3.0, 32, 0.5);
+    for (const auto &b : buckets)
+        EXPECT_LE(b.hiUnits, 32u);
+}
+
+TEST(BuildSizeBuckets, SingleUnitDegenerate)
+{
+    auto buckets = buildSizeBuckets(1.0, 1, 0.5);
+    ASSERT_EQ(buckets.size(), 1u);
+    EXPECT_DOUBLE_EQ(buckets[0].weight, 1.0);
+}
+
+TEST(BuildSizeBuckets, ReadCapAt256Kb)
+{
+    // Profiles cap read sizes at 64 units (Fig 3: max read 256KB).
+    for (const AppProfile &p : allProfiles()) {
+        for (const auto &b : p.readSizes)
+            EXPECT_LE(b.hiUnits, 64u) << p.name;
+    }
+}

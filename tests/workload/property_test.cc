@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Property suites over generated workloads: serialization round-trips,
+ * distribution sanity, combo-merge conservation, and scale linearity,
+ * swept across applications and seeds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/distributions.hh"
+#include "analysis/size_stats.hh"
+#include "workload/combo.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+
+using namespace emmcsim;
+using namespace emmcsim::workload;
+
+namespace {
+
+trace::Trace
+gen(const std::string &name, double scale, std::uint64_t seed)
+{
+    const AppProfile *p = findProfile(name);
+    EXPECT_NE(p, nullptr);
+    TraceGenerator g(*p, seed);
+    return g.generate(scale);
+}
+
+} // namespace
+
+/** (app, seed) sweep. */
+class TraceProperties
+    : public ::testing::TestWithParam<std::tuple<std::string, int>>
+{
+  protected:
+    trace::Trace
+    make()
+    {
+        return gen(std::get<0>(GetParam()), 0.1,
+                   static_cast<std::uint64_t>(std::get<1>(GetParam())));
+    }
+};
+
+TEST_P(TraceProperties, SerializationRoundTripsExactly)
+{
+    trace::Trace t = make();
+    std::stringstream ss;
+    t.save(ss);
+    trace::Trace back = trace::Trace::load(ss);
+    ASSERT_EQ(back.size(), t.size());
+    EXPECT_EQ(back.name(), t.name());
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        EXPECT_EQ(back[i].arrival, t[i].arrival);
+        EXPECT_EQ(back[i].lbaSector, t[i].lbaSector);
+        EXPECT_EQ(back[i].sizeBytes, t[i].sizeBytes);
+        EXPECT_EQ(back[i].op, t[i].op);
+    }
+}
+
+TEST_P(TraceProperties, DistributionFractionsSumToOne)
+{
+    trace::Trace t = make();
+    for (const sim::Histogram &h :
+         {analysis::sizeDistribution(t),
+          analysis::interArrivalDistribution(t)}) {
+        if (h.total() == 0)
+            continue;
+        double sum = 0.0;
+        for (double f : h.fractions())
+            sum += f;
+        EXPECT_NEAR(sum, 1.0, 1e-9);
+    }
+}
+
+TEST_P(TraceProperties, SizesAreAlignedAndPositive)
+{
+    trace::Trace t = make();
+    for (const auto &r : t.records()) {
+        EXPECT_GT(r.sizeBytes, 0u);
+        EXPECT_EQ(r.sizeBytes % sim::kUnitBytes, 0u);
+        EXPECT_EQ(r.lbaSector % sim::kSectorsPerUnit, 0u);
+    }
+}
+
+TEST_P(TraceProperties, SizeStatsInternallyConsistent)
+{
+    trace::Trace t = make();
+    analysis::SizeStats s = analysis::computeSizeStats(t);
+    // write% of requests and mean sizes must reconstruct the data mix.
+    double writes = s.writeReqPct / 100.0 *
+                    static_cast<double>(s.requests);
+    double reads = static_cast<double>(s.requests) - writes;
+    double rebuilt = writes * s.aveWriteKb + reads * s.aveReadKb;
+    EXPECT_NEAR(rebuilt, s.dataSizeKb, 0.01 * s.dataSizeKb + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AppsAndSeeds, TraceProperties,
+    ::testing::Combine(::testing::Values("Twitter", "Movie", "Booting",
+                                         "CameraVideo", "Idle",
+                                         "Music/FB"),
+                       ::testing::Values(1, 42, 1234)),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, int>>
+           &info) {
+        std::string name = std::get<0>(info.param);
+        for (char &c : name) {
+            if (c == '/')
+                c = '_';
+        }
+        return name + "_s" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(ComboMergeProperty, ConservesRequestsAndBytes)
+{
+    for (std::uint64_t seed : {1ull, 7ull}) {
+        trace::Trace a = gen("Music", 0.05, seed);
+        trace::Trace b = gen("WebBrowsing", 0.05, seed + 100);
+        trace::Trace m = combineTraces(a, b, "Music/WB");
+        EXPECT_EQ(m.size(), a.size() + b.size());
+        EXPECT_EQ(m.totalBytes(), a.totalBytes() + b.totalBytes());
+        EXPECT_EQ(m.writeCount(), a.writeCount() + b.writeCount());
+        EXPECT_EQ(m.validate(), "");
+    }
+}
+
+TEST(ScaleProperty, RequestCountScalesLinearly)
+{
+    const AppProfile *p = findProfile("GoogleMaps");
+    TraceGenerator g1(*p, 5);
+    TraceGenerator g2(*p, 5);
+    trace::Trace small = g1.generate(0.05);
+    trace::Trace large = g2.generate(0.20);
+    EXPECT_NEAR(static_cast<double>(large.size()),
+                4.0 * static_cast<double>(small.size()),
+                0.01 * static_cast<double>(large.size()) + 2.0);
+}
+
+TEST(ScaleProperty, DistributionShapeIsScaleInvariant)
+{
+    const AppProfile *p = findProfile("Facebook");
+    TraceGenerator g1(*p, 9);
+    TraceGenerator g2(*p, 9);
+    sim::Histogram ha =
+        analysis::sizeDistribution(g1.generate(0.3));
+    sim::Histogram hb =
+        analysis::sizeDistribution(g2.generate(1.0));
+    for (std::size_t i = 0; i < ha.bucketCount(); ++i)
+        EXPECT_NEAR(ha.fractionAt(i), hb.fractionAt(i), 0.05) << i;
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_gc"
+  "../bench/bench_ablation_gc.pdb"
+  "CMakeFiles/bench_ablation_gc.dir/bench_ablation_gc.cc.o"
+  "CMakeFiles/bench_ablation_gc.dir/bench_ablation_gc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

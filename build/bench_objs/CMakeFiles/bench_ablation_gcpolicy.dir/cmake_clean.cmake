@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_gcpolicy"
+  "../bench/bench_ablation_gcpolicy.pdb"
+  "CMakeFiles/bench_ablation_gcpolicy.dir/bench_ablation_gcpolicy.cc.o"
+  "CMakeFiles/bench_ablation_gcpolicy.dir/bench_ablation_gcpolicy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gcpolicy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_packing"
+  "../bench/bench_ablation_packing.pdb"
+  "CMakeFiles/bench_ablation_packing.dir/bench_ablation_packing.cc.o"
+  "CMakeFiles/bench_ablation_packing.dir/bench_ablation_packing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

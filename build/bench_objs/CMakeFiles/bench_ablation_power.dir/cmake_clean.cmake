@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_power"
+  "../bench/bench_ablation_power.pdb"
+  "CMakeFiles/bench_ablation_power.dir/bench_ablation_power.cc.o"
+  "CMakeFiles/bench_ablation_power.dir/bench_ablation_power.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_endurance"
+  "../bench/bench_ext_endurance.pdb"
+  "CMakeFiles/bench_ext_endurance.dir/bench_ext_endurance.cc.o"
+  "CMakeFiles/bench_ext_endurance.dir/bench_ext_endurance.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_endurance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_slc"
+  "../bench/bench_ext_slc.pdb"
+  "CMakeFiles/bench_ext_slc.dir/bench_ext_slc.cc.o"
+  "CMakeFiles/bench_ext_slc.dir/bench_ext_slc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_slc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

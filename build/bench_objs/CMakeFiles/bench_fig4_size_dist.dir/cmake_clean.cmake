@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_size_dist"
+  "../bench/bench_fig4_size_dist.pdb"
+  "CMakeFiles/bench_fig4_size_dist.dir/bench_fig4_size_dist.cc.o"
+  "CMakeFiles/bench_fig4_size_dist.dir/bench_fig4_size_dist.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_size_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_resp_dist"
+  "../bench/bench_fig5_resp_dist.pdb"
+  "CMakeFiles/bench_fig5_resp_dist.dir/bench_fig5_resp_dist.cc.o"
+  "CMakeFiles/bench_fig5_resp_dist.dir/bench_fig5_resp_dist.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_resp_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

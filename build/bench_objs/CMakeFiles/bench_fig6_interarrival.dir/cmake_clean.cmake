@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_interarrival"
+  "../bench/bench_fig6_interarrival.pdb"
+  "CMakeFiles/bench_fig6_interarrival.dir/bench_fig6_interarrival.cc.o"
+  "CMakeFiles/bench_fig6_interarrival.dir/bench_fig6_interarrival.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_interarrival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_combo"
+  "../bench/bench_fig7_combo.pdb"
+  "CMakeFiles/bench_fig7_combo.dir/bench_fig7_combo.cc.o"
+  "CMakeFiles/bench_fig7_combo.dir/bench_fig7_combo.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_combo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

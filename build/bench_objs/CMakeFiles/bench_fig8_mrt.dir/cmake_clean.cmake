@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_mrt"
+  "../bench/bench_fig8_mrt.pdb"
+  "CMakeFiles/bench_fig8_mrt.dir/bench_fig8_mrt.cc.o"
+  "CMakeFiles/bench_fig8_mrt.dir/bench_fig8_mrt.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_mrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

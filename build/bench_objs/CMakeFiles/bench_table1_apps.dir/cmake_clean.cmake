@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_apps"
+  "../bench/bench_table1_apps.pdb"
+  "CMakeFiles/bench_table1_apps.dir/bench_table1_apps.cc.o"
+  "CMakeFiles/bench_table1_apps.dir/bench_table1_apps.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

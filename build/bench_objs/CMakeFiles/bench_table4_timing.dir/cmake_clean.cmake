@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_timing"
+  "../bench/bench_table4_timing.pdb"
+  "CMakeFiles/bench_table4_timing.dir/bench_table4_timing.cc.o"
+  "CMakeFiles/bench_table4_timing.dir/bench_table4_timing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_configs"
+  "../bench/bench_table5_configs.pdb"
+  "CMakeFiles/bench_table5_configs.dir/bench_table5_configs.cc.o"
+  "CMakeFiles/bench_table5_configs.dir/bench_table5_configs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

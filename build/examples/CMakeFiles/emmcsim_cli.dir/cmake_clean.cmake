@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emmcsim_cli.dir/emmcsim_cli.cpp.o"
+  "CMakeFiles/emmcsim_cli.dir/emmcsim_cli.cpp.o.d"
+  "emmcsim_cli"
+  "emmcsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emmcsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

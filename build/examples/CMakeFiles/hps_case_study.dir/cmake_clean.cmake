@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hps_case_study.dir/hps_case_study.cpp.o"
+  "CMakeFiles/hps_case_study.dir/hps_case_study.cpp.o.d"
+  "hps_case_study"
+  "hps_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hps_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

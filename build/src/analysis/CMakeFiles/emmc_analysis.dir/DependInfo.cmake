@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/characteristics.cc" "src/analysis/CMakeFiles/emmc_analysis.dir/characteristics.cc.o" "gcc" "src/analysis/CMakeFiles/emmc_analysis.dir/characteristics.cc.o.d"
+  "/root/repo/src/analysis/correlation.cc" "src/analysis/CMakeFiles/emmc_analysis.dir/correlation.cc.o" "gcc" "src/analysis/CMakeFiles/emmc_analysis.dir/correlation.cc.o.d"
+  "/root/repo/src/analysis/distributions.cc" "src/analysis/CMakeFiles/emmc_analysis.dir/distributions.cc.o" "gcc" "src/analysis/CMakeFiles/emmc_analysis.dir/distributions.cc.o.d"
+  "/root/repo/src/analysis/locality.cc" "src/analysis/CMakeFiles/emmc_analysis.dir/locality.cc.o" "gcc" "src/analysis/CMakeFiles/emmc_analysis.dir/locality.cc.o.d"
+  "/root/repo/src/analysis/size_stats.cc" "src/analysis/CMakeFiles/emmc_analysis.dir/size_stats.cc.o" "gcc" "src/analysis/CMakeFiles/emmc_analysis.dir/size_stats.cc.o.d"
+  "/root/repo/src/analysis/throughput.cc" "src/analysis/CMakeFiles/emmc_analysis.dir/throughput.cc.o" "gcc" "src/analysis/CMakeFiles/emmc_analysis.dir/throughput.cc.o.d"
+  "/root/repo/src/analysis/timing_stats.cc" "src/analysis/CMakeFiles/emmc_analysis.dir/timing_stats.cc.o" "gcc" "src/analysis/CMakeFiles/emmc_analysis.dir/timing_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/emmc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/emmc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

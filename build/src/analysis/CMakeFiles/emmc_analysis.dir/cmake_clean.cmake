@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emmc_analysis.dir/characteristics.cc.o"
+  "CMakeFiles/emmc_analysis.dir/characteristics.cc.o.d"
+  "CMakeFiles/emmc_analysis.dir/correlation.cc.o"
+  "CMakeFiles/emmc_analysis.dir/correlation.cc.o.d"
+  "CMakeFiles/emmc_analysis.dir/distributions.cc.o"
+  "CMakeFiles/emmc_analysis.dir/distributions.cc.o.d"
+  "CMakeFiles/emmc_analysis.dir/locality.cc.o"
+  "CMakeFiles/emmc_analysis.dir/locality.cc.o.d"
+  "CMakeFiles/emmc_analysis.dir/size_stats.cc.o"
+  "CMakeFiles/emmc_analysis.dir/size_stats.cc.o.d"
+  "CMakeFiles/emmc_analysis.dir/throughput.cc.o"
+  "CMakeFiles/emmc_analysis.dir/throughput.cc.o.d"
+  "CMakeFiles/emmc_analysis.dir/timing_stats.cc.o"
+  "CMakeFiles/emmc_analysis.dir/timing_stats.cc.o.d"
+  "libemmc_analysis.a"
+  "libemmc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emmc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/emmc_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/emmc_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/hps.cc" "src/core/CMakeFiles/emmc_core.dir/hps.cc.o" "gcc" "src/core/CMakeFiles/emmc_core.dir/hps.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/emmc_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/emmc_core.dir/report.cc.o.d"
+  "/root/repo/src/core/scheme.cc" "src/core/CMakeFiles/emmc_core.dir/scheme.cc.o" "gcc" "src/core/CMakeFiles/emmc_core.dir/scheme.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/emmc/CMakeFiles/emmc_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/emmc_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/emmc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/emmc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/emmc_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/emmc_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/emmc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/emmc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emmc_core.dir/experiment.cc.o"
+  "CMakeFiles/emmc_core.dir/experiment.cc.o.d"
+  "CMakeFiles/emmc_core.dir/hps.cc.o"
+  "CMakeFiles/emmc_core.dir/hps.cc.o.d"
+  "CMakeFiles/emmc_core.dir/report.cc.o"
+  "CMakeFiles/emmc_core.dir/report.cc.o.d"
+  "CMakeFiles/emmc_core.dir/scheme.cc.o"
+  "CMakeFiles/emmc_core.dir/scheme.cc.o.d"
+  "libemmc_core.a"
+  "libemmc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emmc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/emmc/config.cc" "src/emmc/CMakeFiles/emmc_device.dir/config.cc.o" "gcc" "src/emmc/CMakeFiles/emmc_device.dir/config.cc.o.d"
+  "/root/repo/src/emmc/device.cc" "src/emmc/CMakeFiles/emmc_device.dir/device.cc.o" "gcc" "src/emmc/CMakeFiles/emmc_device.dir/device.cc.o.d"
+  "/root/repo/src/emmc/packing.cc" "src/emmc/CMakeFiles/emmc_device.dir/packing.cc.o" "gcc" "src/emmc/CMakeFiles/emmc_device.dir/packing.cc.o.d"
+  "/root/repo/src/emmc/power.cc" "src/emmc/CMakeFiles/emmc_device.dir/power.cc.o" "gcc" "src/emmc/CMakeFiles/emmc_device.dir/power.cc.o.d"
+  "/root/repo/src/emmc/ram_buffer.cc" "src/emmc/CMakeFiles/emmc_device.dir/ram_buffer.cc.o" "gcc" "src/emmc/CMakeFiles/emmc_device.dir/ram_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ftl/CMakeFiles/emmc_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/emmc_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/emmc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

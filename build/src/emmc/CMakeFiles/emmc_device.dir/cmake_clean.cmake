@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emmc_device.dir/config.cc.o"
+  "CMakeFiles/emmc_device.dir/config.cc.o.d"
+  "CMakeFiles/emmc_device.dir/device.cc.o"
+  "CMakeFiles/emmc_device.dir/device.cc.o.d"
+  "CMakeFiles/emmc_device.dir/packing.cc.o"
+  "CMakeFiles/emmc_device.dir/packing.cc.o.d"
+  "CMakeFiles/emmc_device.dir/power.cc.o"
+  "CMakeFiles/emmc_device.dir/power.cc.o.d"
+  "CMakeFiles/emmc_device.dir/ram_buffer.cc.o"
+  "CMakeFiles/emmc_device.dir/ram_buffer.cc.o.d"
+  "libemmc_device.a"
+  "libemmc_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emmc_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

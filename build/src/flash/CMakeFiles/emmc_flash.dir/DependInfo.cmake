@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flash/array.cc" "src/flash/CMakeFiles/emmc_flash.dir/array.cc.o" "gcc" "src/flash/CMakeFiles/emmc_flash.dir/array.cc.o.d"
+  "/root/repo/src/flash/geometry.cc" "src/flash/CMakeFiles/emmc_flash.dir/geometry.cc.o" "gcc" "src/flash/CMakeFiles/emmc_flash.dir/geometry.cc.o.d"
+  "/root/repo/src/flash/plane.cc" "src/flash/CMakeFiles/emmc_flash.dir/plane.cc.o" "gcc" "src/flash/CMakeFiles/emmc_flash.dir/plane.cc.o.d"
+  "/root/repo/src/flash/pool.cc" "src/flash/CMakeFiles/emmc_flash.dir/pool.cc.o" "gcc" "src/flash/CMakeFiles/emmc_flash.dir/pool.cc.o.d"
+  "/root/repo/src/flash/timing.cc" "src/flash/CMakeFiles/emmc_flash.dir/timing.cc.o" "gcc" "src/flash/CMakeFiles/emmc_flash.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/emmc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emmc_flash.dir/array.cc.o"
+  "CMakeFiles/emmc_flash.dir/array.cc.o.d"
+  "CMakeFiles/emmc_flash.dir/geometry.cc.o"
+  "CMakeFiles/emmc_flash.dir/geometry.cc.o.d"
+  "CMakeFiles/emmc_flash.dir/plane.cc.o"
+  "CMakeFiles/emmc_flash.dir/plane.cc.o.d"
+  "CMakeFiles/emmc_flash.dir/pool.cc.o"
+  "CMakeFiles/emmc_flash.dir/pool.cc.o.d"
+  "CMakeFiles/emmc_flash.dir/timing.cc.o"
+  "CMakeFiles/emmc_flash.dir/timing.cc.o.d"
+  "libemmc_flash.a"
+  "libemmc_flash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emmc_flash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libemmc_flash.a"
+)

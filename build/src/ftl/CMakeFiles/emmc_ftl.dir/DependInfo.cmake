@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ftl/allocator.cc" "src/ftl/CMakeFiles/emmc_ftl.dir/allocator.cc.o" "gcc" "src/ftl/CMakeFiles/emmc_ftl.dir/allocator.cc.o.d"
+  "/root/repo/src/ftl/distributor.cc" "src/ftl/CMakeFiles/emmc_ftl.dir/distributor.cc.o" "gcc" "src/ftl/CMakeFiles/emmc_ftl.dir/distributor.cc.o.d"
+  "/root/repo/src/ftl/ftl.cc" "src/ftl/CMakeFiles/emmc_ftl.dir/ftl.cc.o" "gcc" "src/ftl/CMakeFiles/emmc_ftl.dir/ftl.cc.o.d"
+  "/root/repo/src/ftl/gc.cc" "src/ftl/CMakeFiles/emmc_ftl.dir/gc.cc.o" "gcc" "src/ftl/CMakeFiles/emmc_ftl.dir/gc.cc.o.d"
+  "/root/repo/src/ftl/mapping.cc" "src/ftl/CMakeFiles/emmc_ftl.dir/mapping.cc.o" "gcc" "src/ftl/CMakeFiles/emmc_ftl.dir/mapping.cc.o.d"
+  "/root/repo/src/ftl/wear.cc" "src/ftl/CMakeFiles/emmc_ftl.dir/wear.cc.o" "gcc" "src/ftl/CMakeFiles/emmc_ftl.dir/wear.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flash/CMakeFiles/emmc_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/emmc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emmc_ftl.dir/allocator.cc.o"
+  "CMakeFiles/emmc_ftl.dir/allocator.cc.o.d"
+  "CMakeFiles/emmc_ftl.dir/distributor.cc.o"
+  "CMakeFiles/emmc_ftl.dir/distributor.cc.o.d"
+  "CMakeFiles/emmc_ftl.dir/ftl.cc.o"
+  "CMakeFiles/emmc_ftl.dir/ftl.cc.o.d"
+  "CMakeFiles/emmc_ftl.dir/gc.cc.o"
+  "CMakeFiles/emmc_ftl.dir/gc.cc.o.d"
+  "CMakeFiles/emmc_ftl.dir/mapping.cc.o"
+  "CMakeFiles/emmc_ftl.dir/mapping.cc.o.d"
+  "CMakeFiles/emmc_ftl.dir/wear.cc.o"
+  "CMakeFiles/emmc_ftl.dir/wear.cc.o.d"
+  "libemmc_ftl.a"
+  "libemmc_ftl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emmc_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emmc_host.dir/biotracer.cc.o"
+  "CMakeFiles/emmc_host.dir/biotracer.cc.o.d"
+  "CMakeFiles/emmc_host.dir/replayer.cc.o"
+  "CMakeFiles/emmc_host.dir/replayer.cc.o.d"
+  "libemmc_host.a"
+  "libemmc_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emmc_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emmc_sim.dir/event.cc.o"
+  "CMakeFiles/emmc_sim.dir/event.cc.o.d"
+  "CMakeFiles/emmc_sim.dir/logging.cc.o"
+  "CMakeFiles/emmc_sim.dir/logging.cc.o.d"
+  "CMakeFiles/emmc_sim.dir/random.cc.o"
+  "CMakeFiles/emmc_sim.dir/random.cc.o.d"
+  "CMakeFiles/emmc_sim.dir/simulator.cc.o"
+  "CMakeFiles/emmc_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/emmc_sim.dir/stats.cc.o"
+  "CMakeFiles/emmc_sim.dir/stats.cc.o.d"
+  "libemmc_sim.a"
+  "libemmc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emmc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emmc_trace.dir/trace.cc.o"
+  "CMakeFiles/emmc_trace.dir/trace.cc.o.d"
+  "libemmc_trace.a"
+  "libemmc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emmc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

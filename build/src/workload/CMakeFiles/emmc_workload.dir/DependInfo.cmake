@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/combo.cc" "src/workload/CMakeFiles/emmc_workload.dir/combo.cc.o" "gcc" "src/workload/CMakeFiles/emmc_workload.dir/combo.cc.o.d"
+  "/root/repo/src/workload/fixed.cc" "src/workload/CMakeFiles/emmc_workload.dir/fixed.cc.o" "gcc" "src/workload/CMakeFiles/emmc_workload.dir/fixed.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/workload/CMakeFiles/emmc_workload.dir/generator.cc.o" "gcc" "src/workload/CMakeFiles/emmc_workload.dir/generator.cc.o.d"
+  "/root/repo/src/workload/profile.cc" "src/workload/CMakeFiles/emmc_workload.dir/profile.cc.o" "gcc" "src/workload/CMakeFiles/emmc_workload.dir/profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/emmc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/emmc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emmc_workload.dir/combo.cc.o"
+  "CMakeFiles/emmc_workload.dir/combo.cc.o.d"
+  "CMakeFiles/emmc_workload.dir/fixed.cc.o"
+  "CMakeFiles/emmc_workload.dir/fixed.cc.o.d"
+  "CMakeFiles/emmc_workload.dir/generator.cc.o"
+  "CMakeFiles/emmc_workload.dir/generator.cc.o.d"
+  "CMakeFiles/emmc_workload.dir/profile.cc.o"
+  "CMakeFiles/emmc_workload.dir/profile.cc.o.d"
+  "libemmc_workload.a"
+  "libemmc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emmc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emmc_test.dir/emmc/config_test.cc.o"
+  "CMakeFiles/emmc_test.dir/emmc/config_test.cc.o.d"
+  "CMakeFiles/emmc_test.dir/emmc/device_test.cc.o"
+  "CMakeFiles/emmc_test.dir/emmc/device_test.cc.o.d"
+  "CMakeFiles/emmc_test.dir/emmc/packing_test.cc.o"
+  "CMakeFiles/emmc_test.dir/emmc/packing_test.cc.o.d"
+  "CMakeFiles/emmc_test.dir/emmc/power_test.cc.o"
+  "CMakeFiles/emmc_test.dir/emmc/power_test.cc.o.d"
+  "CMakeFiles/emmc_test.dir/emmc/ram_buffer_test.cc.o"
+  "CMakeFiles/emmc_test.dir/emmc/ram_buffer_test.cc.o.d"
+  "emmc_test"
+  "emmc_test.pdb"
+  "emmc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emmc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/flash/array_test.cc" "tests/CMakeFiles/flash_test.dir/flash/array_test.cc.o" "gcc" "tests/CMakeFiles/flash_test.dir/flash/array_test.cc.o.d"
+  "/root/repo/tests/flash/geometry_test.cc" "tests/CMakeFiles/flash_test.dir/flash/geometry_test.cc.o" "gcc" "tests/CMakeFiles/flash_test.dir/flash/geometry_test.cc.o.d"
+  "/root/repo/tests/flash/pool_test.cc" "tests/CMakeFiles/flash_test.dir/flash/pool_test.cc.o" "gcc" "tests/CMakeFiles/flash_test.dir/flash/pool_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/emmc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/emmc_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/emmc/CMakeFiles/emmc_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/emmc_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/emmc_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/emmc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/emmc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/emmc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/emmc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

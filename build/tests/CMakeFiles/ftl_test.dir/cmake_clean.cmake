@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_test.dir/ftl/allocator_test.cc.o"
+  "CMakeFiles/ftl_test.dir/ftl/allocator_test.cc.o.d"
+  "CMakeFiles/ftl_test.dir/ftl/distributor_test.cc.o"
+  "CMakeFiles/ftl_test.dir/ftl/distributor_test.cc.o.d"
+  "CMakeFiles/ftl_test.dir/ftl/ftl_test.cc.o"
+  "CMakeFiles/ftl_test.dir/ftl/ftl_test.cc.o.d"
+  "CMakeFiles/ftl_test.dir/ftl/fuzz_test.cc.o"
+  "CMakeFiles/ftl_test.dir/ftl/fuzz_test.cc.o.d"
+  "CMakeFiles/ftl_test.dir/ftl/gc_test.cc.o"
+  "CMakeFiles/ftl_test.dir/ftl/gc_test.cc.o.d"
+  "CMakeFiles/ftl_test.dir/ftl/mapping_test.cc.o"
+  "CMakeFiles/ftl_test.dir/ftl/mapping_test.cc.o.d"
+  "ftl_test"
+  "ftl_test.pdb"
+  "ftl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -6,16 +6,22 @@
  *   list                               show the 25 built-in profiles
  *   generate <app> <out> [scale] [seed]  write a trace file
  *   analyze <trace-file>               Table III/IV-style report
- *   replay <trace-file> [scheme]       replay on 4PS/8PS/HPS/HSLC,
- *                                      print the measured metrics
+ *   replay <trace-file> [scheme] [--audit [N]]
+ *                                      replay on 4PS/8PS/HPS/HSLC,
+ *                                      print the measured metrics;
+ *                                      --audit runs full invariant
+ *                                      audits every N events (default
+ *                                      10000) and reports the outcome
  *   compare <app> [scale]              run the Fig 8/9 comparison
  */
 
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "analysis/distributions.hh"
+#include "check/audit.hh"
 #include "sim/logging.hh"
 #include "analysis/size_stats.hh"
 #include "analysis/timing_stats.hh"
@@ -111,16 +117,25 @@ parseScheme(const std::string &name)
 }
 
 int
-cmdReplay(const std::string &path, const std::string &scheme)
+cmdReplay(const std::string &path, const std::string &scheme,
+          std::uint64_t audit_every)
 {
     trace::Trace t = trace::Trace::loadFile(path);
     core::SchemeKind kind = parseScheme(scheme);
-    core::CaseResult res = core::runCase(t, kind);
+    core::ExperimentOptions opts;
+    opts.auditEveryEvents = audit_every;
+    core::CaseResult res = core::runCase(t, kind, opts);
     std::cout << "Replayed \"" << t.name() << "\" on " << res.scheme
               << "\n\n";
     printStats(res.replayed);
     std::cout << "\nSpace utilization: "
               << core::fmt(res.spaceUtilization, 3) << "\n";
+    if (audit_every > 0) {
+        std::cout << "\n";
+        core::printAuditReport(std::cout, res.audit);
+        if (!res.audit.clean())
+            return 3;
+    }
     return 0;
 }
 
@@ -153,9 +168,40 @@ usage()
                  "  emmcsim_cli list\n"
                  "  emmcsim_cli generate <app> <out> [scale] [seed]\n"
                  "  emmcsim_cli analyze <trace-file>\n"
-                 "  emmcsim_cli replay <trace-file> [4PS|8PS|HPS|HSLC]\n"
+                 "  emmcsim_cli replay <trace-file> [4PS|8PS|HPS|HSLC] "
+                 "[--audit [N]]\n"
                  "  emmcsim_cli compare <app> [scale]\n";
     return 2;
+}
+
+/**
+ * Strip "--audit [N]" from @p args.
+ * @return audit interval in events; 0 when the flag is absent.
+ */
+std::uint64_t
+extractAuditFlag(std::vector<std::string> &args)
+{
+    constexpr std::uint64_t kDefaultInterval = 10000;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] != "--audit")
+            continue;
+        std::uint64_t every = kDefaultInterval;
+        std::size_t consumed = 1;
+        if (i + 1 < args.size()) {
+            char *end = nullptr;
+            const std::uint64_t n =
+                std::strtoull(args[i + 1].c_str(), &end, 10);
+            if (end != nullptr && *end == '\0' && n > 0) {
+                every = n;
+                consumed = 2;
+            }
+        }
+        args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                   args.begin() +
+                       static_cast<std::ptrdiff_t>(i + consumed));
+        return every;
+    }
+    return 0;
 }
 
 } // namespace
@@ -163,22 +209,31 @@ usage()
 int
 main(int argc, char **argv)
 {
-    if (argc < 2)
+    std::vector<std::string> args(argv + 1, argv + argc);
+    const std::uint64_t audit_every = extractAuditFlag(args);
+    if (args.empty())
         return usage();
-    const std::string cmd = argv[1];
+    const std::string cmd = args[0];
     if (cmd == "list")
         return cmdList();
-    if (cmd == "generate" && argc >= 4) {
-        return cmdGenerate(argv[2], argv[3],
-                           argc > 4 ? std::atof(argv[4]) : 1.0,
-                           argc > 5 ? std::strtoull(argv[5], nullptr, 10)
-                                    : 1);
+    if (cmd == "generate" && args.size() >= 3) {
+        return cmdGenerate(
+            args[1], args[2],
+            args.size() > 3 ? std::atof(args[3].c_str()) : 1.0,
+            args.size() > 4
+                ? std::strtoull(args[4].c_str(), nullptr, 10)
+                : 1);
     }
-    if (cmd == "analyze" && argc >= 3)
-        return cmdAnalyze(argv[2]);
-    if (cmd == "replay" && argc >= 3)
-        return cmdReplay(argv[2], argc > 3 ? argv[3] : "HPS");
-    if (cmd == "compare" && argc >= 3)
-        return cmdCompare(argv[2], argc > 3 ? std::atof(argv[3]) : 0.5);
+    if (cmd == "analyze" && args.size() >= 2)
+        return cmdAnalyze(args[1]);
+    if (cmd == "replay" && args.size() >= 2) {
+        return cmdReplay(args[1], args.size() > 2 ? args[2] : "HPS",
+                         audit_every);
+    }
+    if (cmd == "compare" && args.size() >= 2) {
+        return cmdCompare(args[1], args.size() > 2
+                                       ? std::atof(args[2].c_str())
+                                       : 0.5);
+    }
     return usage();
 }

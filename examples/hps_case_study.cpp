@@ -5,12 +5,20 @@
  * response time (Fig 8) and space utilization (Fig 9), plus the
  * flash-operation breakdown that explains the difference.
  *
- * Usage: hps_case_study [app-name] [scale]
+ * Usage: hps_case_study [app-name] [scale] [--audit]
+ *
+ * --audit runs the check/ invariant auditor during each replay
+ * (periodic full audits plus a final one) and fails the run when any
+ * violation is found — the regression gate for the simulator's
+ * bookkeeping.
  */
 
 #include <cstdlib>
 #include <iostream>
+#include <string>
+#include <vector>
 
+#include "check/audit.hh"
 #include "core/scheme.hh"
 #include "core/report.hh"
 #include "host/replayer.hh"
@@ -22,8 +30,17 @@ using namespace emmcsim;
 int
 main(int argc, char **argv)
 {
-    const std::string app = argc > 1 ? argv[1] : "Booting";
-    const double scale = argc > 2 ? std::atof(argv[2]) : 0.5;
+    bool audit = false;
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--audit")
+            audit = true;
+        else
+            args.emplace_back(argv[i]);
+    }
+    const std::string app = !args.empty() ? args[0] : "Booting";
+    const double scale =
+        args.size() > 1 ? std::atof(args[1].c_str()) : 0.5;
 
     const workload::AppProfile *profile = workload::findProfile(app);
     if (profile == nullptr) {
@@ -45,11 +62,31 @@ main(int argc, char **argv)
                               "8KB-pool programs"});
 
     double mrt4 = 0.0;
+    std::uint64_t audit_violations = 0;
     for (core::SchemeKind kind : core::allSchemes()) {
         sim::Simulator s;
         auto dev = core::makeDevice(s, kind);
+
+        std::unique_ptr<check::DeviceAuditor> auditor;
+        if (audit) {
+            check::AuditOptions audit_opts;
+            audit_opts.everyEvents = 5000;
+            auditor = std::make_unique<check::DeviceAuditor>(s, *dev,
+                                                             audit_opts);
+        }
+
         host::Replayer rep(s, *dev);
         rep.replay(t);
+
+        if (auditor) {
+            auditor->runFullAudit();
+            auditor->detach();
+            std::cout << "Invariant audit (" << core::schemeName(kind)
+                      << "):\n";
+            core::printAuditReport(std::cout, auditor->report());
+            std::cout << "\n";
+            audit_violations += auditor->report().totalViolations();
+        }
 
         const auto &geom = dev->array().geometry();
         std::uint64_t programs_4k = 0;
@@ -87,5 +124,11 @@ main(int argc, char **argv)
                  "odd tails, so it keeps 4PS's perfect space "
                  "utilization — the padding an 8KB-only device "
                  "cannot avoid.\n";
+
+    if (audit && audit_violations > 0) {
+        std::cerr << "\nAUDIT FAILED: " << audit_violations
+                  << " invariant violation(s) detected.\n";
+        return 4;
+    }
     return 0;
 }

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Run clang-tidy over the emmcsim sources using the repo's .clang-tidy
+# profile and the compile database exported by CMake.
+#
+# Usage: scripts/lint.sh [build-dir]
+#
+# Exits 0 with a SKIPPED note when clang-tidy is not installed, so the
+# script is safe to call from environments without LLVM tooling; CI
+# installs clang-tidy explicitly and therefore gets the real run.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+tidy_bin="${CLANG_TIDY:-}"
+if [[ -z "$tidy_bin" ]]; then
+    for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+                clang-tidy-15 clang-tidy-14; do
+        if command -v "$cand" >/dev/null 2>&1; then
+            tidy_bin="$cand"
+            break
+        fi
+    done
+fi
+if [[ -z "$tidy_bin" ]]; then
+    echo "lint.sh: SKIPPED (clang-tidy not installed)"
+    exit 0
+fi
+
+# The compile database comes from CMAKE_EXPORT_COMPILE_COMMANDS (on by
+# default in the top-level CMakeLists). Configure if it is missing.
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+    echo "lint.sh: configuring $build_dir for compile_commands.json"
+    cmake -B "$build_dir" -S "$repo_root" >/dev/null
+fi
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+    echo "lint.sh: ERROR: no compile_commands.json in $build_dir" >&2
+    exit 1
+fi
+
+mapfile -t sources < <(
+    find "$repo_root/src" "$repo_root/examples" "$repo_root/bench" \
+         -name '*.cc' -o -name '*.cpp' | sort
+)
+echo "lint.sh: $tidy_bin over ${#sources[@]} files"
+
+# Prefer run-clang-tidy (parallel) when it ships with the install.
+runner="${tidy_bin/clang-tidy/run-clang-tidy}"
+if command -v "$runner" >/dev/null 2>&1; then
+    "$runner" -clang-tidy-binary "$tidy_bin" -p "$build_dir" -quiet \
+        "${sources[@]}"
+else
+    "$tidy_bin" -p "$build_dir" --quiet "${sources[@]}"
+fi
+echo "lint.sh: OK"

@@ -1,0 +1,317 @@
+#include "check/invariants.hh"
+
+#include <utility>
+
+#include "emmc/device.hh"
+#include "flash/array.hh"
+#include "flash/pool.hh"
+#include "ftl/ftl.hh"
+#include "ftl/mapping.hh"
+#include "sim/simulator.hh"
+#include "trace/trace.hh"
+
+namespace emmcsim::check {
+
+CheckContext::CheckContext(std::string checker)
+    : checker_(std::move(checker))
+{
+}
+
+void
+CheckContext::check(bool ok, const std::string &detail)
+{
+    if (ok)
+        pass();
+    else
+        fail(detail);
+}
+
+void
+CheckContext::fail(const std::string &detail)
+{
+    ++checksRun_;
+    ++failures_;
+    if (violations_.size() < kMaxRecorded)
+        violations_.push_back(detail);
+}
+
+void
+checkMappingBijection(const ftl::Ftl &ftl, CheckContext &ctx)
+{
+    const ftl::PageMap &map = ftl.map();
+    const flash::FlashArray &array = ftl.array();
+    const flash::Geometry &geom = array.geometry();
+    const auto planes = geom.planeCount();
+    const auto pool_count = static_cast<std::uint32_t>(geom.pools.size());
+
+    const std::uint64_t units = map.logicalUnits();
+    for (std::uint64_t lpn = 0; lpn < units; ++lpn) {
+        const ftl::MapEntry &e =
+            map.lookup(static_cast<flash::Lpn>(lpn));
+        if (!e.mapped()) {
+            ctx.pass();
+            continue;
+        }
+        const auto plane = static_cast<std::uint32_t>(e.planeLinear);
+        if (plane >= planes || e.pool >= pool_count) {
+            ctx.fail("lpn " + std::to_string(lpn) +
+                     " maps outside the array (plane " +
+                     std::to_string(plane) + ", pool " +
+                     std::to_string(e.pool) + ")");
+            continue;
+        }
+        const flash::BlockPool &pool = array.plane(plane).pool(e.pool);
+        if (e.ppn >= pool.pageCount() || e.unit >= pool.unitsPerPage()) {
+            ctx.fail("lpn " + std::to_string(lpn) +
+                     " maps outside its pool (ppn " +
+                     std::to_string(e.ppn) + ", unit " +
+                     std::to_string(e.unit) + ")");
+            continue;
+        }
+        if (!pool.unitValid(e.ppn, e.unit)) {
+            ctx.fail("lpn " + std::to_string(lpn) +
+                     " maps to a stale unit (plane " +
+                     std::to_string(plane) + ", pool " +
+                     std::to_string(e.pool) + ", ppn " +
+                     std::to_string(e.ppn) + ", unit " +
+                     std::to_string(e.unit) + ")");
+            continue;
+        }
+        const flash::Lpn stored = pool.lpnAt(e.ppn, e.unit);
+        if (stored != static_cast<flash::Lpn>(lpn)) {
+            ctx.fail("lpn " + std::to_string(lpn) +
+                     " maps to a unit holding lpn " +
+                     std::to_string(stored));
+            continue;
+        }
+        ctx.pass();
+    }
+}
+
+void
+checkUnitConservation(const ftl::Ftl &ftl, CheckContext &ctx)
+{
+    const flash::FlashArray &array = ftl.array();
+    const flash::Geometry &geom = array.geometry();
+
+    std::uint64_t valid_units = 0;
+    for (std::uint32_t pl = 0; pl < geom.planeCount(); ++pl) {
+        for (std::size_t k = 0; k < geom.pools.size(); ++k)
+            valid_units += array.plane(pl).pool(k).validUnitCount();
+    }
+    ctx.check(valid_units == ftl.map().mappedCount(),
+              "unit conservation: " + std::to_string(valid_units) +
+                  " valid physical units vs " +
+                  std::to_string(ftl.map().mappedCount()) +
+                  " mapped logical units");
+}
+
+void
+checkPoolAccounting(const flash::BlockPool &pool,
+                    const std::string &label, CheckContext &ctx)
+{
+    const std::uint32_t ppb = pool.pagesPerBlock();
+    const std::uint32_t upp = pool.unitsPerPage();
+    const std::int32_t active = pool.activeBlock();
+
+    std::uint32_t free_flags = 0;
+    std::uint64_t valid_sum = 0;
+    for (std::uint32_t b = 0; b < pool.blockCount(); ++b) {
+        const bool is_free = pool.blockFree(b);
+        if (is_free)
+            ++free_flags;
+        const std::uint32_t wp = pool.writtenPages(b);
+        if (wp > ppb)
+            ctx.fail(label + ": block " + std::to_string(b) +
+                     " write pointer " + std::to_string(wp) +
+                     " beyond pages-per-block");
+        else
+            ctx.pass();
+
+        const std::uint32_t block_valid = pool.validUnitsInBlock(b);
+        valid_sum += block_valid;
+        if (is_free && (wp != 0 || block_valid != 0)) {
+            ctx.fail(label + ": free block " + std::to_string(b) +
+                     " still holds data (" + std::to_string(wp) +
+                     " written pages, " + std::to_string(block_valid) +
+                     " valid units)");
+        } else {
+            ctx.pass();
+        }
+
+        // Re-derive the block's valid-unit count from per-page state.
+        std::uint32_t derived = 0;
+        bool beyond_wp = false;
+        bool lpn_bad = false;
+        for (std::uint32_t p = 0; p < ppb; ++p) {
+            const auto ppn = static_cast<flash::Ppn>(b) * ppb + p;
+            const std::uint32_t v = pool.validUnitsInPage(ppn);
+            derived += v;
+            if (p >= wp && v != 0)
+                beyond_wp = true;
+            if (p < wp || v != 0) {
+                for (std::uint32_t u = 0; u < upp; ++u) {
+                    if (pool.unitValid(ppn, u) &&
+                        pool.lpnAt(ppn, u) < 0)
+                        lpn_bad = true;
+                }
+            }
+        }
+        if (derived != block_valid)
+            ctx.fail(label + ": block " + std::to_string(b) +
+                     " counter says " + std::to_string(block_valid) +
+                     " valid units but pages hold " +
+                     std::to_string(derived));
+        else
+            ctx.pass();
+        if (beyond_wp)
+            ctx.fail(label + ": block " + std::to_string(b) +
+                     " has valid units beyond its write pointer");
+        else
+            ctx.pass();
+        if (lpn_bad)
+            ctx.fail(label + ": block " + std::to_string(b) +
+                     " has a valid unit without a stored lpn");
+        else
+            ctx.pass();
+    }
+
+    ctx.check(free_flags == pool.freeBlockCount(),
+              label + ": free-block counter " +
+                  std::to_string(pool.freeBlockCount()) +
+                  " disagrees with " + std::to_string(free_flags) +
+                  " free flags");
+    ctx.check(valid_sum == pool.validUnitCount(),
+              label + ": pool valid-unit counter " +
+                  std::to_string(pool.validUnitCount()) +
+                  " disagrees with per-block sum " +
+                  std::to_string(valid_sum));
+
+    if (active >= 0) {
+        const auto b = static_cast<std::uint32_t>(active);
+        ctx.check(b < pool.blockCount(),
+                  label + ": active block out of range");
+        if (b < pool.blockCount())
+            ctx.check(!pool.blockFree(b),
+                      label + ": active block sits on the free list");
+    }
+    std::uint64_t expect_free =
+        static_cast<std::uint64_t>(pool.freeBlockCount()) * ppb;
+    if (active >= 0 &&
+        static_cast<std::uint32_t>(active) < pool.blockCount()) {
+        expect_free +=
+            ppb - pool.writtenPages(static_cast<std::uint32_t>(active));
+    }
+    ctx.check(pool.freePageCount() == expect_free,
+              label + ": freePageCount " +
+                  std::to_string(pool.freePageCount()) +
+                  " disagrees with derived " +
+                  std::to_string(expect_free));
+}
+
+void
+checkArrayAccounting(const flash::FlashArray &array, CheckContext &ctx)
+{
+    const flash::Geometry &geom = array.geometry();
+    for (std::uint32_t pl = 0; pl < geom.planeCount(); ++pl) {
+        for (std::size_t k = 0; k < geom.pools.size(); ++k) {
+            checkPoolAccounting(array.plane(pl).pool(k),
+                                "plane " + std::to_string(pl) +
+                                    " pool " + std::to_string(k),
+                                ctx);
+        }
+    }
+}
+
+void
+checkEventQueue(const sim::Simulator &simulator, CheckContext &ctx)
+{
+    const sim::EventQueue &q = simulator.events();
+
+    std::vector<std::string> violations;
+    const std::uint64_t run = q.auditInvariants(violations);
+    // auditInvariants counts every predicate; re-split into pass/fail.
+    ctx.pass(run - violations.size());
+    for (const std::string &v : violations)
+        ctx.fail(v);
+
+    const sim::Time next = q.nextTime();
+    ctx.check(next == sim::kTimeNever || next >= simulator.now(),
+              "simulator clock passed the next pending event");
+    ctx.check(simulator.executedCount() + q.size() <=
+                  q.scheduledCount(),
+              "executed + pending events exceed ever-scheduled count");
+}
+
+void
+checkDeviceLifecycle(const emmc::EmmcDevice &device, CheckContext &ctx)
+{
+    const emmc::DeviceStats &st = device.stats();
+
+    ctx.check(st.readRequests + st.writeRequests == st.requests,
+              "read + write request counters do not sum to total");
+    ctx.check(st.noWaitRequests <= st.requests,
+              "more NoWait requests than requests");
+    ctx.check(st.responseMs.count() <= st.requests,
+              "more completions than submissions");
+    ctx.check(st.serviceMs.count() == st.responseMs.count() &&
+                  st.waitMs.count() == st.responseMs.count(),
+              "per-request latency series diverged in length");
+    ctx.check(st.queueDepthAtArrival.count() == st.requests,
+              "queue-depth series missed an arrival");
+    ctx.check(st.busyTime >= 0, "negative device busy time");
+    ctx.check(device.busy() || device.queueDepth() == 0,
+              "idle device holds queued requests");
+}
+
+void
+checkTrace(const trace::Trace &trace, std::uint64_t logical_units,
+           CheckContext &ctx)
+{
+    sim::Time prev_arrival = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const trace::TraceRecord &r = trace[i];
+        const std::string where =
+            "record " + std::to_string(i) + " of \"" + trace.name() +
+            "\"";
+
+        if (r.arrival < prev_arrival)
+            ctx.fail(where + ": arrival went backwards");
+        else
+            ctx.pass();
+        prev_arrival = r.arrival;
+
+        if (r.sizeBytes == 0 || r.sizeBytes % sim::kUnitBytes != 0)
+            ctx.fail(where + ": size is not a positive 4KB multiple");
+        else
+            ctx.pass();
+
+        if (r.lbaSector % sim::kSectorsPerUnit != 0)
+            ctx.fail(where + ": LBA is not 4KB-aligned");
+        else
+            ctx.pass();
+
+        if (logical_units != 0) {
+            const auto first =
+                static_cast<std::uint64_t>(r.firstUnit());
+            if (first + r.sizeUnits() > logical_units)
+                ctx.fail(where + ": request past logical capacity");
+            else
+                ctx.pass();
+        }
+
+        if (r.serviceStart != sim::kTimeNever ||
+            r.finish != sim::kTimeNever) {
+            if (!r.replayed())
+                ctx.fail(where + ": half-filled replay timestamps");
+            else if (r.arrival > r.serviceStart ||
+                     r.serviceStart > r.finish)
+                ctx.fail(where + ": BIOtracer timestamps out of order "
+                                 "(arrival <= service <= finish)");
+            else
+                ctx.pass();
+        }
+    }
+}
+
+} // namespace emmcsim::check

@@ -1,7 +1,9 @@
 #include "core/experiment.hh"
 
+#include <memory>
 #include <vector>
 
+#include "check/audit.hh"
 #include "ftl/wear.hh"
 #include "host/replayer.hh"
 #include "sim/logging.hh"
@@ -93,6 +95,16 @@ runCase(const trace::Trace &t, SchemeKind kind,
     // Space utilization is measured over the replay only.
     const ftl::FtlStats before = device->ftl().stats();
 
+    // Periodic invariant audits ride the simulator's post-event hook;
+    // a final audit after the drain validates the end state.
+    std::unique_ptr<check::DeviceAuditor> auditor;
+    if (opts.auditEveryEvents > 0) {
+        check::AuditOptions audit_opts;
+        audit_opts.everyEvents = opts.auditEveryEvents;
+        auditor = std::make_unique<check::DeviceAuditor>(
+            simulator, *device, audit_opts);
+    }
+
     host::Replayer replayer(simulator, *device);
     trace::Trace replayed = replayer.replay(t);
 
@@ -130,6 +142,11 @@ runCase(const trace::Trace &t, SchemeKind kind,
     res.packedCommands = device->packingStats().packedCommands;
     res.bufferReadHitRate = device->bufferStats().readHitRate();
     res.replayed = std::move(replayed);
+    if (auditor) {
+        auditor->runFullAudit();
+        auditor->detach();
+        res.audit = auditor->report();
+    }
     return res;
 }
 

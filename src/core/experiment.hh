@@ -10,6 +10,7 @@
 
 #include <string>
 
+#include "check/audit.hh"
 #include "core/scheme.hh"
 #include "emmc/device.hh"
 #include "ftl/gc.hh"
@@ -55,6 +56,12 @@ struct ExperimentOptions
      * reachable with scaled-down traces.
      */
     double capacityScale = 1.0;
+    /**
+     * Run full invariant audits (check/) every N executed events
+     * during the replay, plus one final audit after it drains. 0
+     * disables auditing entirely (no overhead on the replay).
+     */
+    std::uint64_t auditEveryEvents = 0;
 };
 
 /** Everything measured from one (trace, scheme) replay. */
@@ -85,6 +92,12 @@ struct CaseResult
 
     /** Replayed trace (timestamps filled) for further analysis. */
     trace::Trace replayed;
+
+    /**
+     * Invariant-audit outcome (empty unless auditEveryEvents was
+     * set); the final audit always runs once after the replay.
+     */
+    check::AuditReport audit;
 };
 
 /** Replay @p t on a fresh device of @p kind. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <ostream>
 
+#include "check/audit.hh"
 #include "sim/logging.hh"
 #include "sim/stats.hh"
 
@@ -61,6 +62,31 @@ std::string
 fmt(std::uint64_t value)
 {
     return std::to_string(value);
+}
+
+void
+printAuditReport(std::ostream &os, const check::AuditReport &report)
+{
+    TablePrinter table({"Checker", "Checks", "Violations"});
+    for (const check::CheckerSummary &c : report.checkers)
+        table.addRow({c.name, fmt(c.checksRun), fmt(c.failures)});
+    table.print(os);
+
+    for (const check::CheckerSummary &c : report.checkers) {
+        for (const std::string &v : c.violations)
+            os << "  ! " << v << '\n';
+        if (c.failures > c.violations.size()) {
+            os << "  ! (" << c.failures - c.violations.size()
+               << " further " << c.name << " violations not recorded)\n";
+        }
+    }
+
+    os << "Audit: " << report.passes << " pass(es), "
+       << report.totalChecks() << " checks, ";
+    if (report.clean())
+        os << "clean.\n";
+    else
+        os << report.totalViolations() << " VIOLATIONS.\n";
 }
 
 } // namespace emmcsim::core

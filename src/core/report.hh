@@ -10,6 +10,10 @@
 #include <string>
 #include <vector>
 
+namespace emmcsim::check {
+struct AuditReport;
+}
+
 namespace emmcsim::core {
 
 /** Accumulates rows and prints them column-aligned. */
@@ -37,6 +41,13 @@ std::string fmt(double value, int decimals = 2);
 
 /** Format helper: integer with no decoration. */
 std::string fmt(std::uint64_t value);
+
+/**
+ * Render an invariant-audit summary: one row per checker (passes
+ * aggregated), recorded violation details underneath, and a verdict
+ * line ("audit clean" / "N violations").
+ */
+void printAuditReport(std::ostream &os, const check::AuditReport &report);
 
 } // namespace emmcsim::core
 

@@ -163,6 +163,13 @@ void
 EmmcDevice::finishCommand(std::vector<CompletedRequest> done)
 {
     for (const CompletedRequest &c : done) {
+        // BIOtracer step ordering: arrival (1) <= service start (2)
+        // <= finish (3). A violation means the dispatch path mis-
+        // computed a timestamp and every latency statistic is suspect.
+        EMMCSIM_DCHECK(c.request.arrival <= c.serviceStart,
+                       "request served before it arrived");
+        EMMCSIM_DCHECK(c.serviceStart <= c.finish,
+                       "request finished before service started");
         double resp = sim::toMilliseconds(c.finish - c.request.arrival);
         double serv = sim::toMilliseconds(c.finish - c.serviceStart);
         double wait =
@@ -177,14 +184,18 @@ EmmcDevice::finishCommand(std::vector<CompletedRequest> done)
     busy_ = false;
     if (!queue_.empty()) {
         startNext();
-        return;
+    } else {
+        idle_ = true;
+        power_.onIdle(sim_.now());
+        if (cfg_.idleGcEnabled) {
+            sim_.scheduleAfter(cfg_.idleGcDelay,
+                               [this] { idleGcTick(); });
+        }
     }
-
-    idle_ = true;
-    power_.onIdle(sim_.now());
-    if (cfg_.idleGcEnabled) {
-        sim_.scheduleAfter(cfg_.idleGcDelay, [this] { idleGcTick(); });
-    }
+    // Audit after the queue settled: the device is either busy with
+    // the next command or idle with an empty queue.
+    if (auditHook_)
+        auditHook_(*this);
 }
 
 void

@@ -88,6 +88,18 @@ class EmmcDevice
         onComplete_ = std::move(cb);
     }
 
+    /** Hook invoked after each completed command (audit support). */
+    using AuditHook = std::function<void(const EmmcDevice &)>;
+
+    /**
+     * Install a debug hook fired at every command completion, after
+     * the per-request lifecycle checks. The audit subsystem uses it to
+     * revalidate queue and statistics bookkeeping at command
+     * granularity; a null @p hook uninstalls. The hook must not
+     * mutate the device.
+     */
+    void setAuditHook(AuditHook hook) { auditHook_ = std::move(hook); }
+
     /**
      * Submit a request. Must be called at simulator time equal to
      * request.arrival (the replayer schedules arrivals as events).
@@ -168,6 +180,7 @@ class EmmcDevice
 
     DeviceStats stats_;
     CompletionCallback onComplete_;
+    AuditHook auditHook_;
 
     std::vector<ftl::PageGroup> scratchGroups_;
 };

@@ -202,4 +202,39 @@ BlockPool::eraseSpread() const
     return *mx - *mn;
 }
 
+bool
+BlockPool::blockFree(std::uint32_t b) const
+{
+    EMMCSIM_ASSERT(b < blocks_, "blockFree out of range");
+    return isFree_[b];
+}
+
+void
+BlockPool::corruptUnitForTest(Ppn ppn, std::uint32_t unit, Lpn lpn,
+                              bool valid)
+{
+    EMMCSIM_ASSERT(ppn < pageCount() && unit < unitsPerPage_,
+                   "corruptUnitForTest out of range");
+    lpns_[ppn * unitsPerPage_ + unit] = lpn;
+    std::uint8_t bit = static_cast<std::uint8_t>(1u << unit);
+    if (valid)
+        valid_[ppn] |= bit;
+    else
+        valid_[ppn] &= static_cast<std::uint8_t>(~bit);
+}
+
+void
+BlockPool::corruptValidUnitsForTest(std::int64_t delta)
+{
+    validUnits_ = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(validUnits_) + delta);
+}
+
+void
+BlockPool::corruptFreeCountForTest(std::int64_t delta)
+{
+    freeCount_ = static_cast<std::uint32_t>(
+        static_cast<std::int64_t>(freeCount_) + delta);
+}
+
 } // namespace emmcsim::flash

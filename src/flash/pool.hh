@@ -128,6 +128,27 @@ class BlockPool
     std::uint32_t eraseSpread() const;
     /** @} */
 
+    /** @name Audit support and test hooks. @{ */
+
+    /** @return true when block @p b sits erased on the free list. */
+    bool blockFree(std::uint32_t b) const;
+
+    /**
+     * Test hook: overwrite one unit's raw state (stored lpn + valid
+     * bit) without maintaining any counter, planting exactly the kind
+     * of silent corruption the check/ subsystem must detect. Never
+     * call outside tests.
+     */
+    void corruptUnitForTest(Ppn ppn, std::uint32_t unit, Lpn lpn,
+                            bool valid);
+
+    /** Test hook: skew the pool-wide valid-unit counter. */
+    void corruptValidUnitsForTest(std::int64_t delta);
+
+    /** Test hook: skew the free-block counter. */
+    void corruptFreeCountForTest(std::int64_t delta);
+    /** @} */
+
   private:
     /** Pop the free block with the lowest erase count. */
     std::uint32_t takeFreeBlock();

@@ -123,6 +123,7 @@ Ftl::writeGroup(std::uint32_t pool, const std::vector<flash::Lpn> &lpns,
     stats_.hostUnitsWritten += lpns.size();
     stats_.hostBytesConsumed += geom.pools[pool].pageBytes;
     ++stats_.hostProgramOps;
+    notifyAudit();
     return res.done;
 }
 
@@ -296,6 +297,7 @@ Ftl::installGroup(std::uint32_t pool,
         e.unit = static_cast<std::uint16_t>(u);
         map_.set(lpns[u], e);
     }
+    notifyAudit();
     return true;
 }
 
@@ -312,12 +314,16 @@ Ftl::trim(flash::Lpn start, std::uint32_t n)
             map_.clear(lpn);
         }
     }
+    notifyAudit();
 }
 
 sim::Time
 Ftl::idleGcStep(sim::Time now, bool &did_work)
 {
-    return gc_.idleStep(now, did_work);
+    sim::Time done = gc_.idleStep(now, did_work);
+    if (did_work)
+        notifyAudit();
+    return done;
 }
 
 sim::Time

@@ -17,6 +17,7 @@
 #define EMMCSIM_FTL_FTL_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "flash/array.hh"
@@ -150,9 +151,37 @@ class Ftl
     const GcStats &gcStats() const { return gc_.stats(); }
     const PageMap &map() const { return map_; }
     flash::FlashArray &array() { return array_; }
+    const flash::FlashArray &array() const { return array_; }
     const FtlConfig &config() const { return cfg_; }
 
+    /** Hook invoked after each mutating FTL operation (audit support). */
+    using AuditHook = std::function<void(const Ftl &)>;
+
+    /**
+     * Install a debug hook fired after every state-mutating operation
+     * (writeGroup, installGroup, trim, idle-GC steps). The audit
+     * subsystem uses it to validate mapping and free-space accounting
+     * at mutation granularity; a null @p hook uninstalls. The hook
+     * must not mutate the FTL.
+     */
+    void setAuditHook(AuditHook hook) { auditHook_ = std::move(hook); }
+
+    /**
+     * Test hook: mutable access to the page map so tests can plant
+     * mapping corruptions for the check/ subsystem to catch. Never
+     * call outside tests.
+     */
+    PageMap &mapForTest() { return map_; }
+
   private:
+    /** Fire the audit hook after a mutating operation. */
+    void
+    notifyAudit() const
+    {
+        if (auditHook_)
+            auditHook_(*this);
+    }
+
     static std::uint64_t exportedUnits(const flash::FlashArray &array,
                                        double op_ratio);
 
@@ -163,6 +192,7 @@ class Ftl
     GarbageCollector gc_;
     FtlStats stats_;
     const RequestDistributor *pseudoDist_ = nullptr;
+    AuditHook auditHook_;
 };
 
 } // namespace emmcsim::ftl

@@ -12,6 +12,13 @@ Replayer::Replayer(sim::Simulator &simulator, emmc::EmmcDevice &device)
 trace::Trace
 Replayer::replay(const trace::Trace &input, const ReplayOptions &opts)
 {
+    // Validate before scheduling anything: a malformed trace (arrivals
+    // out of order, zero-sized or misaligned requests) would fail deep
+    // inside the device with a far less actionable message.
+    std::string problem = input.validate();
+    if (!problem.empty())
+        sim::fatal("replay: invalid input trace: " + problem);
+
     trace::Trace out = input;
 
     const std::uint64_t logical_units = device_.ftl().logicalUnits();
@@ -55,6 +62,10 @@ Replayer::replay(const trace::Trace &input, const ReplayOptions &opts)
     for (const auto &r : out.records()) {
         EMMCSIM_ASSERT(r.replayed(),
                        "replay finished with incomplete requests");
+        EMMCSIM_DCHECK(r.arrival <= r.serviceStart &&
+                           r.serviceStart <= r.finish,
+                       "replayed record has inverted BIOtracer "
+                       "timestamps");
     }
     return out;
 }

@@ -54,12 +54,65 @@ EventQueue::pop(Time &when_out, EventAction &action_out)
         return false;
     Entry e = heap_.top();
     heap_.pop();
+    EMMCSIM_DCHECK(e.when >= lastPopTime_, "event popped out of order");
+    lastPopTime_ = e.when;
     cancelled_[e.id] = true; // fired events cannot be cancelled later
     --liveCount_;
     when_out = e.when;
     action_out = std::move(actions_[e.id]);
     actions_[e.id] = nullptr; // release captured state eagerly
     return true;
+}
+
+std::uint64_t
+EventQueue::auditInvariants(std::vector<std::string> &violations) const
+{
+    std::uint64_t checks = 0;
+    auto check = [&](bool ok, const char *what) {
+        ++checks;
+        if (!ok)
+            violations.emplace_back(what);
+    };
+
+    check(cancelled_.size() == nextId_,
+          "event queue: cancellation ledger does not cover issued ids");
+    check(actions_.size() == nextId_,
+          "event queue: action table does not cover issued ids");
+
+    // Live-count conservation: every issued id is either retired
+    // (fired or cancelled) or still live in the heap.
+    std::size_t live = 0;
+    for (EventId id = 0; id < nextId_; ++id) {
+        if (!cancelled_[id])
+            ++live;
+    }
+    check(live == liveCount_,
+          "event queue: live-event count disagrees with the ledger");
+    check(heap_.size() >= liveCount_,
+          "event queue: heap lost live entries");
+
+    // Stale handles: a retired id must not keep its action (captured
+    // state would leak and a late fire would run a dead callback).
+    bool stale = false;
+    for (EventId id = 0; id < nextId_ && id < actions_.size(); ++id) {
+        if (cancelled_[id] && actions_[id] != nullptr)
+            stale = true;
+    }
+    check(!stale, "event queue: retired event still holds its action");
+
+    // Time monotonicity: nothing pending may fire before the last
+    // popped event (nextTime skips cancelled entries).
+    Time next = nextTime();
+    check(next == kTimeNever || next >= lastPopTime_,
+          "event queue: pending event earlier than last popped event");
+    return checks;
+}
+
+void
+EventQueue::corruptLiveCountForTest(std::int64_t delta)
+{
+    liveCount_ = static_cast<std::size_t>(
+        static_cast<std::int64_t>(liveCount_) + delta);
 }
 
 } // namespace emmcsim::sim

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <string>
 #include <vector>
 
 #include "sim/types.hh"
@@ -79,6 +80,26 @@ class EventQueue
     /** Total number of events ever scheduled (for stats/tests). */
     std::uint64_t scheduledCount() const { return nextId_; }
 
+    /** Firing time of the most recently popped event; 0 before any. */
+    Time lastPopTime() const { return lastPopTime_; }
+
+    /**
+     * Append a description of every internal-consistency violation to
+     * @p violations: live-count bookkeeping vs the issued-id ledger,
+     * stale handles (retired ids still holding actions), and a heap
+     * front older than the last popped event (time went backwards).
+     *
+     * @return number of individual predicates evaluated.
+     */
+    std::uint64_t auditInvariants(std::vector<std::string> &violations) const;
+
+    /**
+     * Test hook: skew the live-event counter so tests can prove
+     * auditInvariants() catches bookkeeping drift. Never call outside
+     * tests.
+     */
+    void corruptLiveCountForTest(std::int64_t delta);
+
   private:
     struct Entry
     {
@@ -105,6 +126,7 @@ class EventQueue
     std::vector<bool> cancelled_;
     EventId nextId_ = 0;
     std::size_t liveCount_ = 0;
+    Time lastPopTime_ = 0;
 };
 
 } // namespace emmcsim::sim

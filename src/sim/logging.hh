@@ -51,6 +51,28 @@ void warn(const std::string &msg);
         }                                                                  \
     } while (0)
 
+/**
+ * EMMCSIM_DCHECK: a debug-only EMMCSIM_ASSERT for checks too hot for
+ * release builds (per-event, per-unit paths). Active in Debug builds
+ * (no NDEBUG) and in sanitizer builds (EMMCSIM_FORCE_DCHECKS, set by
+ * the EMMCSIM_SANITIZE CMake option); compiled out otherwise without
+ * evaluating its arguments.
+ */
+#if !defined(NDEBUG) || defined(EMMCSIM_FORCE_DCHECKS)
+#define EMMCSIM_DCHECKS_ENABLED 1
+#else
+#define EMMCSIM_DCHECKS_ENABLED 0
+#endif
+
+#if EMMCSIM_DCHECKS_ENABLED
+#define EMMCSIM_DCHECK(cond, msg) EMMCSIM_ASSERT(cond, msg)
+#else
+#define EMMCSIM_DCHECK(cond, msg)                                          \
+    do {                                                                   \
+        (void)sizeof((cond));                                              \
+    } while (0)
+#endif
+
 } // namespace emmcsim::sim
 
 #endif // EMMCSIM_SIM_LOGGING_HH

@@ -31,8 +31,9 @@ Simulator::run()
         now_ = t;
         action();
         ++n;
+        ++executed_;
+        firePostEventHook();
     }
-    executed_ += n;
     return n;
 }
 
@@ -51,11 +52,32 @@ Simulator::runUntil(Time deadline)
         now_ = t;
         action();
         ++n;
+        ++executed_;
+        firePostEventHook();
     }
-    executed_ += n;
     if (now_ < deadline)
         now_ = deadline;
     return n;
+}
+
+void
+Simulator::setPostEventHook(PostEventHook hook, std::uint64_t interval)
+{
+    EMMCSIM_ASSERT(interval >= 1, "post-event hook interval must be >= 1");
+    postEventHook_ = std::move(hook);
+    hookInterval_ = interval;
+    sinceHook_ = 0;
+}
+
+void
+Simulator::firePostEventHook()
+{
+    if (!postEventHook_)
+        return;
+    if (++sinceHook_ < hookInterval_)
+        return;
+    sinceHook_ = 0;
+    postEventHook_(*this);
 }
 
 } // namespace emmcsim::sim

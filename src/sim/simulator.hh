@@ -7,6 +7,7 @@
 #define EMMCSIM_SIM_SIMULATOR_HH
 
 #include <cstdint>
+#include <functional>
 
 #include "sim/event.hh"
 #include "sim/types.hh"
@@ -62,10 +63,30 @@ class Simulator
     /** Events executed so far. */
     std::uint64_t executedCount() const { return executed_; }
 
+    /** Read-only view of the event queue (audit support). */
+    const EventQueue &events() const { return events_; }
+
+    /** Hook invoked from the event loop (audit support). */
+    using PostEventHook = std::function<void(const Simulator &)>;
+
+    /**
+     * Install a debug hook called after every @p interval executed
+     * events. The audit subsystem uses this to revalidate simulator
+     * and device bookkeeping mid-run; a null @p hook uninstalls.
+     */
+    void setPostEventHook(PostEventHook hook, std::uint64_t interval = 1);
+
   private:
+    /** Run the post-event hook when its interval elapses. */
+    void firePostEventHook();
+
     EventQueue events_;
     Time now_ = 0;
     std::uint64_t executed_ = 0;
+
+    PostEventHook postEventHook_;
+    std::uint64_t hookInterval_ = 1;
+    std::uint64_t sinceHook_ = 0;
 };
 
 } // namespace emmcsim::sim

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Extension E3: performance under NAND faults.
+ *
+ * The paper's Table V devices assume a perfect medium; real eMMC parts
+ * spend latency on ECC read retries and firmware-level relocation as
+ * the raw bit-error rate (RBER) climbs with wear and retention. This
+ * bench replays the same workload on 4PS / 8PS / HPS under a seeded
+ * fault injector while sweeping the base RBER, and reports how the
+ * mean response time and the p99 tail degrade — plus the recovery
+ * work (retry rounds, corrected reads, host retries) that buys the
+ * graceful part of the degradation.
+ *
+ * A second sweep raises the program-failure probability to show the
+ * relocation / bad-block-retirement path: data survives, blocks
+ * retire, and only spare exhaustion turns the device read-only.
+ *
+ * Usage: bench_ext_reliability [trace-scale]
+ */
+
+#include <iostream>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+
+using namespace emmcsim;
+
+namespace {
+
+core::ExperimentOptions
+baseOptions()
+{
+    core::ExperimentOptions opts;
+    opts.capacityScale = 0.05; // ~1.6GB devices; replay stays quick
+    return opts;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double scale = argc > 1 ? std::atof(argv[1]) : 0.05;
+    if (scale <= 0.0)
+        scale = 0.05;
+
+    const workload::AppProfile *profile =
+        workload::findProfile("Booting");
+    if (profile == nullptr) {
+        std::cerr << "profile lookup failed\n";
+        return 1;
+    }
+    workload::TraceGenerator gen(*profile, /*seed=*/29);
+    trace::Trace t = gen.generate(scale);
+
+    std::cout << "== Extension E3: response time under NAND faults ("
+              << t.size() << " requests, seeded injector) ==\n\n";
+
+    // --- Sweep 1: read-path degradation vs base RBER. -------------
+    // The ECC threshold is 2e-4: the first point is fault-free, the
+    // second is comfortably correctable, the later ones push reads
+    // into the retry ladder with increasing frequency.
+    const double rbers[] = {0.0, 1e-4, 3e-4, 6e-4, 1.2e-3};
+
+    core::TablePrinter read_table(
+        {"Scheme", "Base RBER", "MRT (ms)", "p99 (ms)", "Retry rounds",
+         "Corrected", "Uncorrectable", "Host retries", "Failed"});
+    for (core::SchemeKind kind : core::allSchemes()) {
+        for (double rber : rbers) {
+            core::ExperimentOptions opts = baseOptions();
+            if (rber > 0.0) {
+                opts.fault.enabled = true;
+                opts.fault.seed = 5;
+                opts.fault.baseRber = rber;
+            }
+            core::CaseResult res = core::runCase(t, kind, opts);
+            read_table.addRow(
+                {res.scheme, core::fmt(rber, 5),
+                 core::fmt(res.meanResponseMs),
+                 core::fmt(res.p99ResponseMs),
+                 core::fmt(res.readRetryRounds),
+                 core::fmt(res.correctedReads),
+                 core::fmt(res.uncorrectableReads),
+                 core::fmt(res.hostRetries),
+                 core::fmt(res.hostFailedRequests)});
+        }
+    }
+    read_table.print(std::cout);
+
+    std::cout << "\nReading the table: every retry round is a full "
+                 "page re-sense, so MRT and the p99 tail climb "
+                 "monotonically with RBER; 8PS pays the most per "
+                 "retry (its 244us page reads are the largest unit "
+                 "of repeated work). Below the 2e-4 ECC threshold "
+                 "the fault machinery is latency-neutral.\n\n";
+
+    // --- Sweep 2: program failures, relocation, retirement. -------
+    const double pfails[] = {1e-4, 1e-3, 5e-3};
+
+    core::TablePrinter write_table(
+        {"Scheme", "P(program fail)", "MRT (ms)", "Program fails",
+         "Relocated", "Retired blocks", "Erase fails", "Read-only"});
+    for (core::SchemeKind kind : core::allSchemes()) {
+        for (double pfail : pfails) {
+            core::ExperimentOptions opts = baseOptions();
+            opts.fault.enabled = true;
+            opts.fault.seed = 5;
+            opts.fault.programFailProb = pfail;
+            opts.fault.eraseFailProb = pfail / 10.0;
+            core::CaseResult res = core::runCase(t, kind, opts);
+            write_table.addRow(
+                {res.scheme, core::fmt(pfail, 4),
+                 core::fmt(res.meanResponseMs),
+                 core::fmt(res.programFailures),
+                 core::fmt(res.relocatedPrograms),
+                 core::fmt(res.retiredBlocks),
+                 core::fmt(res.eraseFailures),
+                 res.deviceReadOnly ? "yes" : "no"});
+        }
+    }
+    write_table.print(std::cout);
+
+    std::cout << "\nReading the table: every program failure re-issues "
+                 "its page to a fresh block (no data loss) and marks "
+                 "the old one suspect; GC drains suspects into the "
+                 "grown-bad-block table. Retirement consumes the "
+                 "spare budget — only when a plane-pool exhausts it "
+                 "does the device degrade to read-only, and even then "
+                 "reads keep being served.\n";
+    return 0;
+}

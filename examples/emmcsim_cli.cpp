@@ -15,9 +15,12 @@
  *   compare <app> [scale]              run the Fig 8/9 comparison
  */
 
+#include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/distributions.hh"
@@ -92,10 +95,30 @@ printStats(const trace::Trace &t)
     table.print(std::cout);
 }
 
+/**
+ * Load a trace through the structured-error API: malformed input or an
+ * unopenable file prints the offending line and reason instead of
+ * aborting the process.
+ * @retval true on success.
+ */
+bool
+loadTraceOrReport(const std::string &path, trace::Trace &t)
+{
+    trace::TraceLoadError err;
+    if (!trace::Trace::tryLoadFile(path, t, err)) {
+        std::cerr << "error: cannot load trace " << path << ": "
+                  << err.message() << "\n";
+        return false;
+    }
+    return true;
+}
+
 int
 cmdAnalyze(const std::string &path)
 {
-    trace::Trace t = trace::Trace::loadFile(path);
+    trace::Trace t;
+    if (!loadTraceOrReport(path, t))
+        return 1;
     std::string problem = t.validate();
     if (!problem.empty()) {
         std::cerr << "invalid trace: " << problem << "\n";
@@ -106,31 +129,64 @@ cmdAnalyze(const std::string &path)
     return 0;
 }
 
-core::SchemeKind
-parseScheme(const std::string &name)
+bool
+parseScheme(const std::string &name, core::SchemeKind &kind)
 {
-    for (core::SchemeKind kind : core::extendedSchemes()) {
-        if (core::schemeName(kind) == name)
-            return kind;
+    for (core::SchemeKind k : core::extendedSchemes()) {
+        if (core::schemeName(k) == name) {
+            kind = k;
+            return true;
+        }
     }
-    sim::fatal("unknown scheme (use 4PS, 8PS, HPS, or HSLC): " + name);
+    return false;
 }
 
 int
 cmdReplay(const std::string &path, const std::string &scheme,
-          std::uint64_t audit_every)
+          const core::ExperimentOptions &opts)
 {
-    trace::Trace t = trace::Trace::loadFile(path);
-    core::SchemeKind kind = parseScheme(scheme);
-    core::ExperimentOptions opts;
-    opts.auditEveryEvents = audit_every;
+    trace::Trace t;
+    if (!loadTraceOrReport(path, t))
+        return 1;
+    core::SchemeKind kind = core::SchemeKind::HPS;
+    if (!parseScheme(scheme, kind)) {
+        std::cerr << "error: unknown scheme (use 4PS, 8PS, HPS, or "
+                     "HSLC): "
+                  << scheme << "\n";
+        return 2;
+    }
     core::CaseResult res = core::runCase(t, kind, opts);
     std::cout << "Replayed \"" << t.name() << "\" on " << res.scheme
               << "\n\n";
     printStats(res.replayed);
     std::cout << "\nSpace utilization: "
               << core::fmt(res.spaceUtilization, 3) << "\n";
-    if (audit_every > 0) {
+    if (opts.fault.enabled) {
+        core::TablePrinter table({"Reliability metric", "Value"});
+        table.addRow({"p99 response (ms)",
+                      core::fmt(res.p99ResponseMs, 2)});
+        table.addRow({"Corrected reads", core::fmt(res.correctedReads)});
+        table.addRow(
+            {"Uncorrectable reads", core::fmt(res.uncorrectableReads)});
+        table.addRow(
+            {"Read-retry rounds", core::fmt(res.readRetryRounds)});
+        table.addRow(
+            {"Program failures", core::fmt(res.programFailures)});
+        table.addRow({"Erase failures", core::fmt(res.eraseFailures)});
+        table.addRow(
+            {"Relocated programs", core::fmt(res.relocatedPrograms)});
+        table.addRow({"Retired blocks", core::fmt(res.retiredBlocks)});
+        table.addRow({"Host retries", core::fmt(res.hostRetries)});
+        table.addRow(
+            {"Host failed requests", core::fmt(res.hostFailedRequests)});
+        table.addRow({"Host retry penalty (ms)",
+                      core::fmt(res.hostRetryPenaltyMs, 2)});
+        table.addRow(
+            {"Device read-only", res.deviceReadOnly ? "yes" : "no"});
+        std::cout << "\n";
+        table.print(std::cout);
+    }
+    if (opts.auditEveryEvents > 0) {
         std::cout << "\n";
         core::printAuditReport(std::cout, res.audit);
         if (!res.audit.clean())
@@ -164,44 +220,111 @@ cmdCompare(const std::string &app, double scale)
 int
 usage()
 {
-    std::cerr << "usage:\n"
-                 "  emmcsim_cli list\n"
-                 "  emmcsim_cli generate <app> <out> [scale] [seed]\n"
-                 "  emmcsim_cli analyze <trace-file>\n"
-                 "  emmcsim_cli replay <trace-file> [4PS|8PS|HPS|HSLC] "
-                 "[--audit [N]]\n"
-                 "  emmcsim_cli compare <app> [scale]\n";
+    std::cerr
+        << "usage:\n"
+           "  emmcsim_cli list\n"
+           "  emmcsim_cli generate <app> <out> [scale] [seed]\n"
+           "  emmcsim_cli analyze <trace-file>\n"
+           "  emmcsim_cli replay <trace-file> [4PS|8PS|HPS|HSLC]\n"
+           "      [--audit[=N]]           full invariant audits every N "
+           "events (default 10000)\n"
+           "      [--fault-rber=X]        enable NAND fault injection "
+           "at base RBER X\n"
+           "      [--fault-seed=N]        fault-injection RNG seed "
+           "(default 1)\n"
+           "      [--fault-program-fail=X] program-status failure "
+           "probability\n"
+           "      [--fault-erase-fail=X]  erase failure probability\n"
+           "      [--retries=N]           host retry budget per failed "
+           "request (default 3)\n"
+           "  emmcsim_cli compare <app> [scale]\n";
     return 2;
 }
 
-/**
- * Strip "--audit [N]" from @p args.
- * @return audit interval in events; 0 when the flag is absent.
- */
-std::uint64_t
-extractAuditFlag(std::vector<std::string> &args)
+int
+usageError(const std::string &what)
 {
-    constexpr std::uint64_t kDefaultInterval = 10000;
+    std::cerr << "error: " << what << "\n\n";
+    return usage();
+}
+
+/** Strict unsigned parse: the whole string must be digits. */
+bool
+parseU64(const std::string &s, std::uint64_t &v)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    const std::uint64_t n = std::strtoull(s.c_str(), &end, 10);
+    if (errno != 0 || end == nullptr || *end != '\0' ||
+        s.find_first_not_of("0123456789") != std::string::npos)
+        return false;
+    v = n;
+    return true;
+}
+
+/** Strict double parse: the whole string must be consumed. */
+bool
+parseF64(const std::string &s, double &v)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    const double x = std::strtod(s.c_str(), &end);
+    if (errno != 0 || end == nullptr || *end != '\0')
+        return false;
+    v = x;
+    return true;
+}
+
+/**
+ * Split @p args into positional arguments and "--name[=value]" flags.
+ * Flags listed in @p value_flags may also take their value as the next
+ * token ("--flag value"). Unknown flags are a usage error.
+ * @retval true on success.
+ */
+bool
+splitArgs(const std::vector<std::string> &args,
+          const std::vector<std::string> &known_flags,
+          const std::vector<std::string> &value_flags,
+          std::vector<std::string> &positionals,
+          std::vector<std::pair<std::string, std::string>> &flags,
+          std::string &problem)
+{
+    auto contains = [](const std::vector<std::string> &v,
+                       const std::string &s) {
+        return std::find(v.begin(), v.end(), s) != v.end();
+    };
     for (std::size_t i = 0; i < args.size(); ++i) {
-        if (args[i] != "--audit")
+        const std::string &a = args[i];
+        if (a.rfind("--", 0) != 0) {
+            positionals.push_back(a);
             continue;
-        std::uint64_t every = kDefaultInterval;
-        std::size_t consumed = 1;
-        if (i + 1 < args.size()) {
-            char *end = nullptr;
-            const std::uint64_t n =
-                std::strtoull(args[i + 1].c_str(), &end, 10);
-            if (end != nullptr && *end == '\0' && n > 0) {
-                every = n;
-                consumed = 2;
-            }
         }
-        args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
-                   args.begin() +
-                       static_cast<std::ptrdiff_t>(i + consumed));
-        return every;
+        std::string name = a;
+        std::string value;
+        bool has_value = false;
+        const std::size_t eq = a.find('=');
+        if (eq != std::string::npos) {
+            name = a.substr(0, eq);
+            value = a.substr(eq + 1);
+            has_value = true;
+        }
+        if (!contains(known_flags, name)) {
+            problem = "unknown flag: " + name;
+            return false;
+        }
+        if (!has_value && contains(value_flags, name) &&
+            i + 1 < args.size() &&
+            args[i + 1].rfind("--", 0) != 0) {
+            value = args[++i];
+            has_value = true;
+        }
+        flags.emplace_back(name, has_value ? value : std::string());
     }
-    return 0;
+    return true;
 }
 
 } // namespace
@@ -209,31 +332,100 @@ extractAuditFlag(std::vector<std::string> &args)
 int
 main(int argc, char **argv)
 {
-    std::vector<std::string> args(argv + 1, argv + argc);
-    const std::uint64_t audit_every = extractAuditFlag(args);
-    if (args.empty())
+    const std::vector<std::string> raw(argv + 1, argv + argc);
+    if (raw.empty())
         return usage();
-    const std::string cmd = args[0];
-    if (cmd == "list")
+    const std::string cmd = raw[0];
+    const std::vector<std::string> rest(raw.begin() + 1, raw.end());
+
+    // Per-subcommand flag tables; anything else is a usage error.
+    std::vector<std::string> known;
+    std::vector<std::string> valued;
+    if (cmd == "replay") {
+        known = {"--audit", "--fault-rber", "--fault-seed",
+                 "--fault-program-fail", "--fault-erase-fail",
+                 "--retries"};
+        valued = known;
+    }
+    std::vector<std::string> pos;
+    std::vector<std::pair<std::string, std::string>> flags;
+    std::string problem;
+    if (!splitArgs(rest, known, valued, pos, flags, problem))
+        return usageError(problem);
+
+    if (cmd == "list") {
+        if (!pos.empty())
+            return usageError("list takes no arguments");
         return cmdList();
-    if (cmd == "generate" && args.size() >= 3) {
-        return cmdGenerate(
-            args[1], args[2],
-            args.size() > 3 ? std::atof(args[3].c_str()) : 1.0,
-            args.size() > 4
-                ? std::strtoull(args[4].c_str(), nullptr, 10)
-                : 1);
     }
-    if (cmd == "analyze" && args.size() >= 2)
-        return cmdAnalyze(args[1]);
-    if (cmd == "replay" && args.size() >= 2) {
-        return cmdReplay(args[1], args.size() > 2 ? args[2] : "HPS",
-                         audit_every);
+    if (cmd == "generate") {
+        if (pos.size() < 2 || pos.size() > 4)
+            return usageError(
+                "generate needs <app> <out> [scale] [seed]");
+        double scale = 1.0;
+        std::uint64_t seed = 1;
+        if (pos.size() > 2 && (!parseF64(pos[2], scale) || scale <= 0))
+            return usageError("bad scale: " + pos[2]);
+        if (pos.size() > 3 && !parseU64(pos[3], seed))
+            return usageError("bad seed: " + pos[3]);
+        return cmdGenerate(pos[0], pos[1], scale, seed);
     }
-    if (cmd == "compare" && args.size() >= 2) {
-        return cmdCompare(args[1], args.size() > 2
-                                       ? std::atof(args[2].c_str())
-                                       : 0.5);
+    if (cmd == "analyze") {
+        if (pos.size() != 1)
+            return usageError("analyze needs exactly <trace-file>");
+        return cmdAnalyze(pos[0]);
     }
-    return usage();
+    if (cmd == "replay") {
+        if (pos.empty() || pos.size() > 2)
+            return usageError(
+                "replay needs <trace-file> [4PS|8PS|HPS|HSLC]");
+        core::ExperimentOptions opts;
+        for (const auto &[name, value] : flags) {
+            if (name == "--audit") {
+                opts.auditEveryEvents = 10000;
+                if (!value.empty() &&
+                    (!parseU64(value, opts.auditEveryEvents) ||
+                     opts.auditEveryEvents == 0))
+                    return usageError("bad --audit interval: " + value);
+            } else if (name == "--fault-rber") {
+                opts.fault.enabled = true;
+                if (!parseF64(value, opts.fault.baseRber) ||
+                    opts.fault.baseRber < 0)
+                    return usageError("bad --fault-rber: " + value);
+            } else if (name == "--fault-seed") {
+                opts.fault.enabled = true;
+                if (!parseU64(value, opts.fault.seed))
+                    return usageError("bad --fault-seed: " + value);
+            } else if (name == "--fault-program-fail") {
+                opts.fault.enabled = true;
+                if (!parseF64(value, opts.fault.programFailProb) ||
+                    opts.fault.programFailProb < 0 ||
+                    opts.fault.programFailProb > 1)
+                    return usageError("bad --fault-program-fail: " +
+                                      value);
+            } else if (name == "--fault-erase-fail") {
+                opts.fault.enabled = true;
+                if (!parseF64(value, opts.fault.eraseFailProb) ||
+                    opts.fault.eraseFailProb < 0 ||
+                    opts.fault.eraseFailProb > 1)
+                    return usageError("bad --fault-erase-fail: " +
+                                      value);
+            } else if (name == "--retries") {
+                std::uint64_t n = 0;
+                if (!parseU64(value, n) || n > 1000)
+                    return usageError("bad --retries: " + value);
+                opts.hostMaxRetries = static_cast<std::uint32_t>(n);
+            }
+        }
+        return cmdReplay(pos[0], pos.size() > 1 ? pos[1] : "HPS", opts);
+    }
+    if (cmd == "compare") {
+        if (pos.empty() || pos.size() > 2)
+            return usageError("compare needs <app> [scale]");
+        double scale = 0.5;
+        if (pos.size() > 1 && (!parseF64(pos[1], scale) || scale <= 0))
+            return usageError("bad scale: " + pos[1]);
+        return cmdCompare(pos[0], scale);
+    }
+    return usageError("unknown command: " + cmd);
 }

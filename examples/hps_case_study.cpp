@@ -6,19 +6,25 @@
  * flash-operation breakdown that explains the difference.
  *
  * Usage: hps_case_study [app-name] [scale] [--audit]
+ *                       [--fault-rber=X] [--fault-seed=N]
+ *                       [--fault-program-fail=X] [--fault-erase-fail=X]
  *
  * --audit runs the check/ invariant auditor during each replay
  * (periodic full audits plus a final one) and fails the run when any
  * violation is found — the regression gate for the simulator's
- * bookkeeping.
+ * bookkeeping. The --fault-* flags turn on seeded NAND fault
+ * injection, exercising the read-retry / relocation / retirement
+ * paths under the same audits.
  */
 
+#include <cerrno>
 #include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "check/audit.hh"
+#include "core/experiment.hh"
 #include "core/scheme.hh"
 #include "core/report.hh"
 #include "host/replayer.hh"
@@ -27,20 +33,104 @@
 
 using namespace emmcsim;
 
+namespace {
+
+int
+usage()
+{
+    std::cerr << "usage: hps_case_study [app-name] [scale] [--audit]\n"
+                 "         [--fault-rber=X] [--fault-seed=N]\n"
+                 "         [--fault-program-fail=X] "
+                 "[--fault-erase-fail=X]\n";
+    return 2;
+}
+
+int
+usageError(const std::string &what)
+{
+    std::cerr << "error: " << what << "\n";
+    return usage();
+}
+
+bool
+parseU64(const std::string &s, std::uint64_t &v)
+{
+    if (s.empty() ||
+        s.find_first_not_of("0123456789") != std::string::npos)
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    v = std::strtoull(s.c_str(), &end, 10);
+    return errno == 0 && end != nullptr && *end == '\0';
+}
+
+bool
+parseF64(const std::string &s, double &v)
+{
+    if (s.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    v = std::strtod(s.c_str(), &end);
+    return errno == 0 && end != nullptr && *end == '\0';
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     bool audit = false;
+    fault::FaultConfig fault_cfg;
     std::vector<std::string> args;
     for (int i = 1; i < argc; ++i) {
-        if (std::string(argv[i]) == "--audit")
+        const std::string a(argv[i]);
+        if (a.rfind("--", 0) != 0) {
+            args.push_back(a);
+            continue;
+        }
+        std::string name = a;
+        std::string value;
+        const std::size_t eq = a.find('=');
+        if (eq != std::string::npos) {
+            name = a.substr(0, eq);
+            value = a.substr(eq + 1);
+        }
+        if (name == "--audit") {
+            if (eq != std::string::npos)
+                return usageError("--audit takes no value");
             audit = true;
-        else
-            args.emplace_back(argv[i]);
+        } else if (name == "--fault-rber") {
+            fault_cfg.enabled = true;
+            if (!parseF64(value, fault_cfg.baseRber) ||
+                fault_cfg.baseRber < 0)
+                return usageError("bad --fault-rber: " + value);
+        } else if (name == "--fault-seed") {
+            fault_cfg.enabled = true;
+            if (!parseU64(value, fault_cfg.seed))
+                return usageError("bad --fault-seed: " + value);
+        } else if (name == "--fault-program-fail") {
+            fault_cfg.enabled = true;
+            if (!parseF64(value, fault_cfg.programFailProb) ||
+                fault_cfg.programFailProb < 0 ||
+                fault_cfg.programFailProb > 1)
+                return usageError("bad --fault-program-fail: " + value);
+        } else if (name == "--fault-erase-fail") {
+            fault_cfg.enabled = true;
+            if (!parseF64(value, fault_cfg.eraseFailProb) ||
+                fault_cfg.eraseFailProb < 0 ||
+                fault_cfg.eraseFailProb > 1)
+                return usageError("bad --fault-erase-fail: " + value);
+        } else {
+            return usageError("unknown flag: " + name);
+        }
     }
+    if (args.size() > 2)
+        return usageError("too many positional arguments");
     const std::string app = !args.empty() ? args[0] : "Booting";
-    const double scale =
-        args.size() > 1 ? std::atof(args[1].c_str()) : 0.5;
+    double scale = 0.5;
+    if (args.size() > 1 && (!parseF64(args[1], scale) || scale <= 0))
+        return usageError("bad scale: " + args[1]);
 
     const workload::AppProfile *profile = workload::findProfile(app);
     if (profile == nullptr) {
@@ -65,7 +155,9 @@ main(int argc, char **argv)
     std::uint64_t audit_violations = 0;
     for (core::SchemeKind kind : core::allSchemes()) {
         sim::Simulator s;
-        auto dev = core::makeDevice(s, kind);
+        emmc::EmmcConfig cfg = core::schemeConfig(kind);
+        cfg.fault = fault_cfg;
+        auto dev = core::makeDevice(s, kind, cfg);
 
         std::unique_ptr<check::DeviceAuditor> auditor;
         if (audit) {
@@ -109,6 +201,22 @@ main(int argc, char **argv)
                       core::fmt(dev->spaceUtilization(), 3),
                       core::fmt(total.reads), core::fmt(total.programs),
                       core::fmt(programs_4k), core::fmt(programs_8k)});
+
+        if (fault_cfg.enabled) {
+            const fault::FaultStats &fs = dev->faultInjector().stats();
+            std::cout << core::schemeName(kind)
+                      << " fault path: " << fs.correctedReads
+                      << " corrected reads, " << fs.uncorrectableReads
+                      << " uncorrectable, " << fs.programFailures
+                      << " program fails, " << fs.eraseFailures
+                      << " erase fails, "
+                      << dev->ftl().badBlocks().totalRetired()
+                      << " retired blocks, "
+                      << rep.stats().retriesScheduled
+                      << " host retries"
+                      << (dev->ftl().readOnly() ? " (read-only)" : "")
+                      << "\n\n";
+        }
 
         if (kind == core::SchemeKind::HPS) {
             std::cout << "HPS reduces MRT by "

@@ -77,6 +77,14 @@ registerDeviceCheckers(Auditor &auditor, const emmc::EmmcDevice &device)
                        [&device](CheckContext &ctx) {
                            checkDeviceLifecycle(device, ctx);
                        });
+    auditor.addChecker("flash.retired-blocks",
+                       [&device](CheckContext &ctx) {
+                           checkRetiredBlocks(device.ftl(), ctx);
+                       });
+    auditor.addChecker("ftl.spare-accounting",
+                       [&device](CheckContext &ctx) {
+                           checkSpareAccounting(device.ftl(), ctx);
+                       });
 }
 
 void

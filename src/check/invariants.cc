@@ -265,6 +265,119 @@ checkDeviceLifecycle(const emmc::EmmcDevice &device, CheckContext &ctx)
 }
 
 void
+checkRetiredBlocks(const ftl::Ftl &ftl, CheckContext &ctx)
+{
+    const flash::FlashArray &array = ftl.array();
+    const flash::Geometry &geom = array.geometry();
+    for (std::uint32_t pl = 0; pl < geom.planeCount(); ++pl) {
+        for (std::size_t k = 0; k < geom.pools.size(); ++k) {
+            const flash::BlockPool &pool = array.plane(pl).pool(k);
+            const std::string label = "plane " + std::to_string(pl) +
+                                      " pool " + std::to_string(k);
+            std::uint32_t flagged = 0;
+            for (std::uint32_t b = 0; b < pool.blockCount(); ++b) {
+                if (!pool.blockRetired(b)) {
+                    ctx.pass();
+                    continue;
+                }
+                ++flagged;
+                const std::string where =
+                    label + ": retired block " + std::to_string(b);
+                ctx.check(!pool.blockFree(b),
+                          where + " sits on the free list");
+                ctx.check(pool.activeBlock() !=
+                              static_cast<std::int32_t>(b),
+                          where + " is the active block");
+                ctx.check(pool.writtenPages(b) == pool.pagesPerBlock(),
+                          where + " is not sealed (allocatable pages "
+                                  "remain)");
+                ctx.check(pool.validUnitsInBlock(b) == 0,
+                          where + " still holds valid data");
+                ctx.check(!pool.blockSuspect(b),
+                          where + " is still flagged suspect");
+            }
+            ctx.check(flagged == pool.retiredBlockCount(),
+                      label + ": retired counter " +
+                          std::to_string(pool.retiredBlockCount()) +
+                          " disagrees with " + std::to_string(flagged) +
+                          " retired flags");
+        }
+    }
+}
+
+void
+checkSpareAccounting(const ftl::Ftl &ftl, CheckContext &ctx)
+{
+    const ftl::BadBlockManager &bbm = ftl.badBlocks();
+    const flash::FlashArray &array = ftl.array();
+    const flash::Geometry &geom = array.geometry();
+
+    std::uint64_t pool_total = 0;
+    bool any_exhausted = false;
+    for (std::uint32_t pl = 0; pl < geom.planeCount(); ++pl) {
+        for (std::uint32_t k = 0;
+             k < static_cast<std::uint32_t>(geom.pools.size()); ++k) {
+            const std::uint32_t in_pool =
+                array.plane(pl).pool(k).retiredBlockCount();
+            const std::uint32_t in_bbm = bbm.retiredCount(pl, k);
+            pool_total += in_pool;
+            ctx.check(in_pool == in_bbm,
+                      "plane " + std::to_string(pl) + " pool " +
+                          std::to_string(k) + ": pool retired " +
+                          std::to_string(in_pool) +
+                          " blocks but the bad-block table recorded " +
+                          std::to_string(in_bbm));
+            if (in_bbm >= bbm.config().spareBlocksPerPlanePool)
+                any_exhausted = true;
+        }
+    }
+
+    ctx.check(bbm.totalRetired() == pool_total,
+              "bad-block table length " +
+                  std::to_string(bbm.totalRetired()) +
+                  " disagrees with " + std::to_string(pool_total) +
+                  " retired blocks across the pools");
+
+    for (const ftl::BadBlockEntry &e : bbm.table()) {
+        const bool in_range =
+            e.planeLinear < geom.planeCount() &&
+            e.pool < geom.pools.size() &&
+            e.block <
+                array.plane(e.planeLinear).pool(e.pool).blockCount();
+        if (!in_range) {
+            ctx.fail("bad-block table entry outside the array (plane " +
+                     std::to_string(e.planeLinear) + ", pool " +
+                     std::to_string(e.pool) + ", block " +
+                     std::to_string(e.block) + ")");
+            continue;
+        }
+        ctx.check(array.plane(e.planeLinear)
+                      .pool(e.pool)
+                      .blockRetired(e.block),
+                  "bad-block table names block " +
+                      std::to_string(e.block) + " of plane " +
+                      std::to_string(e.planeLinear) + " pool " +
+                      std::to_string(e.pool) +
+                      " which is not retired");
+    }
+
+    // Spare exhaustion must imply read-only; the converse holds unless
+    // the FTL separately declared space exhaustion.
+    if (any_exhausted)
+        ctx.check(bbm.readOnly(),
+                  "a plane-pool exhausted its spares but the device "
+                  "still accepts writes");
+    else
+        ctx.pass();
+    if (bbm.readOnlyCause() == ftl::ReadOnlyCause::SpareExhaustion)
+        ctx.check(any_exhausted,
+                  "device is read-only for spare exhaustion but no "
+                  "plane-pool spent its budget");
+    else
+        ctx.pass();
+}
+
+void
 checkTrace(const trace::Trace &trace, std::uint64_t logical_units,
            CheckContext &ctx)
 {

@@ -139,6 +139,26 @@ void checkDeviceLifecycle(const emmc::EmmcDevice &device,
                           CheckContext &ctx);
 
 /**
+ * Retired-block hygiene: every block the pools flag retired is off the
+ * free list, not the active block, fully sealed (write pointer at the
+ * block end, so the allocator can never hand out a page in it) and
+ * holds no valid unit; conversely the pools' retired counters match
+ * the per-block flags. Together with the mapping bijection this proves
+ * relocation moved every live unit out before retirement.
+ */
+void checkRetiredBlocks(const ftl::Ftl &ftl, CheckContext &ctx);
+
+/**
+ * Spare-pool conservation: the bad-block manager's per-plane-pool
+ * retirement counters equal the pools' retired-block counts, the
+ * grown-bad-block table length equals the total, every table entry
+ * names a block that really is retired, and the read-only transition
+ * fires exactly when some plane-pool exhausted its spare budget (or
+ * space exhaustion was declared).
+ */
+void checkSpareAccounting(const ftl::Ftl &ftl, CheckContext &ctx);
+
+/**
  * Trace record validation: monotone non-decreasing arrivals, nonzero
  * 4KB-multiple sizes, unit-aligned LBAs (in range of the device when
  * @p logical_units is nonzero), and — for replayed records — the

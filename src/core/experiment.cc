@@ -22,6 +22,7 @@ applyOptions(emmc::EmmcConfig cfg, const ExperimentOptions &opts)
     cfg.ftl.gc.victimPolicy = opts.gcVictimPolicy;
     cfg.ftl.alloc = opts.allocPolicy;
     cfg.multiplane = opts.multiplane;
+    cfg.fault = opts.fault;
     if (opts.capacityScale != 1.0) {
         EMMCSIM_ASSERT(opts.capacityScale > 0.0 &&
                            opts.capacityScale <= 1.0,
@@ -106,7 +107,9 @@ runCase(const trace::Trace &t, SchemeKind kind,
     }
 
     host::Replayer replayer(simulator, *device);
-    trace::Trace replayed = replayer.replay(t);
+    host::ReplayOptions replay_opts;
+    replay_opts.maxRetries = opts.hostMaxRetries;
+    trace::Trace replayed = replayer.replay(t, replay_opts);
 
     const emmc::DeviceStats &ds = device->stats();
     const ftl::FtlStats after = device->ftl().stats();
@@ -141,6 +144,27 @@ runCase(const trace::Trace &t, SchemeKind kind,
     res.powerWakeups = device->powerStats().wakeups;
     res.packedCommands = device->packingStats().packedCommands;
     res.bufferReadHitRate = device->bufferStats().readHitRate();
+
+    // Reliability columns: tail latency plus injector / FTL / host
+    // error-path counters (all zero when injection is off).
+    sim::Percentiles resp;
+    for (const auto &r : replayed.records())
+        resp.add(sim::toMilliseconds(r.finish - r.arrival));
+    res.p99ResponseMs = resp.percentile(99.0);
+    const fault::FaultStats &fstats = device->faultInjector().stats();
+    res.correctedReads = fstats.correctedReads;
+    res.uncorrectableReads = fstats.uncorrectableReads;
+    res.readRetryRounds = fstats.retryRounds;
+    res.programFailures = fstats.programFailures;
+    res.eraseFailures = fstats.eraseFailures;
+    res.relocatedPrograms = after.relocatedPrograms;
+    res.retiredBlocks = device->ftl().badBlocks().totalRetired();
+    res.hostRetries = replayer.stats().retriesScheduled;
+    res.hostFailedRequests = replayer.stats().failedRequests;
+    res.hostRetryPenaltyMs =
+        sim::toMilliseconds(replayer.stats().retryPenalty);
+    res.deviceReadOnly = device->ftl().readOnly();
+
     res.replayed = std::move(replayed);
     if (auditor) {
         auditor->runFullAudit();

@@ -62,6 +62,13 @@ struct ExperimentOptions
      * disables auditing entirely (no overhead on the replay).
      */
     std::uint64_t auditEveryEvents = 0;
+    /**
+     * Seeded NAND fault injection (disabled by default: the replay is
+     * byte-identical to a device without the fault subsystem).
+     */
+    fault::FaultConfig fault;
+    /** Host retry budget for device-reported errors. */
+    std::uint32_t hostMaxRetries = 3;
 };
 
 /** Everything measured from one (trace, scheme) replay. */
@@ -89,6 +96,22 @@ struct CaseResult
     std::uint64_t powerWakeups = 0;
     std::uint64_t packedCommands = 0;
     double bufferReadHitRate = 0.0;
+
+    /** @name Reliability columns (all zero with fault injection off).
+     * @{ */
+    double p99ResponseMs = 0.0; ///< response-time tail
+    std::uint64_t correctedReads = 0;      ///< retry ladder recovered
+    std::uint64_t uncorrectableReads = 0;  ///< data lost
+    std::uint64_t readRetryRounds = 0;     ///< extra sensing rounds
+    std::uint64_t programFailures = 0;
+    std::uint64_t eraseFailures = 0;
+    std::uint64_t relocatedPrograms = 0;
+    std::uint64_t retiredBlocks = 0; ///< grown bad blocks
+    std::uint64_t hostRetries = 0;   ///< host-side resubmissions
+    std::uint64_t hostFailedRequests = 0;
+    double hostRetryPenaltyMs = 0.0;
+    bool deviceReadOnly = false; ///< degraded before the replay ended
+    /** @} */
 
     /** Replayed trace (timestamps filled) for further analysis. */
     trace::Trace replayed;

@@ -20,6 +20,7 @@
 #include "emmc/packing.hh"
 #include "emmc/power.hh"
 #include "emmc/ram_buffer.hh"
+#include "fault/injector.hh"
 #include "flash/geometry.hh"
 #include "flash/timing.hh"
 #include "ftl/ftl.hh"
@@ -38,6 +39,8 @@ struct EmmcConfig
     PackingConfig packing;
     PowerConfig power;
     BufferConfig buffer;
+    /** NAND fault injection (disabled by default: zero-overhead). */
+    fault::FaultConfig fault;
 
     /**
      * Fixed per-command overhead: driver submission, controller

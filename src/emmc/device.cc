@@ -11,6 +11,7 @@ EmmcDevice::EmmcDevice(sim::Simulator &simulator, const EmmcConfig &cfg,
     : sim_(simulator),
       cfg_(cfg),
       dist_(std::move(distributor)),
+      injector_(cfg_.fault),
       array_(cfg_.geometry, cfg_.timing, cfg_.multiplane),
       ftl_(array_, cfg_.ftl),
       packer_(cfg_.packing),
@@ -21,6 +22,10 @@ EmmcDevice::EmmcDevice(sim::Simulator &simulator, const EmmcConfig &cfg,
     // Unmapped reads are timed as if the scheme's own split had laid
     // the data out (see Ftl::readUnits).
     ftl_.setPseudoReadDistributor(dist_.get());
+    // Only an enabled injector is attached, so a default-configured
+    // device runs the exact pre-fault code path (dormant neutrality).
+    if (injector_.enabled())
+        array_.attachFaultInjector(&injector_);
 }
 
 void
@@ -94,8 +99,9 @@ EmmcDevice::startNext()
     sim::Time done = begin;
     for (CompletedRequest &c : cmd) {
         c.serviceStart = service_start;
-        sim::Time t = c.request.write ? serveWrite(c.request, begin)
-                                      : serveRead(c.request, begin);
+        sim::Time t = c.request.write
+                          ? serveWrite(c.request, begin, c.status)
+                          : serveRead(c.request, begin, c.status);
         done = std::max(done, t);
     }
     for (CompletedRequest &c : cmd)
@@ -110,51 +116,83 @@ EmmcDevice::startNext()
 }
 
 sim::Time
-EmmcDevice::serveRead(const IoRequest &r, sim::Time begin)
+EmmcDevice::serveRead(const IoRequest &r, sim::Time begin,
+                      RequestStatus &status)
 {
     const flash::Lpn first = r.firstUnit();
     const std::uint32_t n = r.sizeUnits();
-    if (!buffer_.enabled())
-        return ftl_.readUnits(first, n, begin);
-
-    std::vector<UnitRun> misses;
-    std::vector<UnitRun> evicted;
-    buffer_.read(first, n, misses, evicted);
+    std::uint32_t lost = 0;
     sim::Time done = begin;
-    for (const UnitRun &m : misses)
-        done = std::max(done, ftl_.readUnits(m.first, m.count, begin));
-    done = std::max(done, flushRuns(evicted, begin));
+    if (!buffer_.enabled()) {
+        ftl::ReadResult res = ftl_.readUnits(first, n, begin);
+        lost = res.uncorrectablePages;
+        done = res.done;
+    } else {
+        std::vector<UnitRun> misses;
+        std::vector<UnitRun> evicted;
+        buffer_.read(first, n, misses, evicted);
+        for (const UnitRun &m : misses) {
+            ftl::ReadResult res = ftl_.readUnits(m.first, m.count, begin);
+            lost += res.uncorrectablePages;
+            done = std::max(done, res.done);
+        }
+        // Eviction write-backs piggyback on the read; their rejection
+        // (read-only device) is reported on the evicted writes' own
+        // requests, not on this read.
+        bool accepted = true;
+        done = std::max(done, flushRuns(evicted, begin, accepted));
+    }
+    if (lost > 0) {
+        status = RequestStatus::ReadError;
+        ++stats_.readErrorRequests;
+    }
     return done;
 }
 
 sim::Time
-EmmcDevice::serveWrite(const IoRequest &r, sim::Time begin)
+EmmcDevice::serveWrite(const IoRequest &r, sim::Time begin,
+                       RequestStatus &status)
 {
     const flash::Lpn first = r.firstUnit();
     const std::uint32_t n = r.sizeUnits();
+    bool accepted = true;
+    sim::Time done = begin;
     if (!buffer_.enabled()) {
         scratchGroups_.clear();
         dist_->splitWrite(first, n, scratchGroups_);
-        sim::Time done = begin;
-        for (const ftl::PageGroup &g : scratchGroups_)
-            done = std::max(done, ftl_.writeGroup(g.pool, g.lpns, begin));
-        return done;
+        for (const ftl::PageGroup &g : scratchGroups_) {
+            ftl::WriteResult w = ftl_.writeGroup(g.pool, g.lpns, begin);
+            accepted = accepted && w.accepted;
+            done = std::max(done, w.done);
+        }
+    } else if (ftl_.readOnly()) {
+        // Refuse to buffer data that can never reach flash.
+        accepted = false;
+    } else {
+        std::vector<UnitRun> evicted;
+        buffer_.write(first, n, evicted);
+        done = flushRuns(evicted, begin, accepted);
     }
-
-    std::vector<UnitRun> evicted;
-    buffer_.write(first, n, evicted);
-    return flushRuns(evicted, begin);
+    if (!accepted) {
+        status = RequestStatus::WriteRejected;
+        ++stats_.writeRejectedRequests;
+    }
+    return done;
 }
 
 sim::Time
-EmmcDevice::flushRuns(const std::vector<UnitRun> &runs, sim::Time begin)
+EmmcDevice::flushRuns(const std::vector<UnitRun> &runs, sim::Time begin,
+                      bool &accepted)
 {
     sim::Time done = begin;
     for (const UnitRun &run : runs) {
         scratchGroups_.clear();
         dist_->splitWrite(run.first, run.count, scratchGroups_);
-        for (const ftl::PageGroup &g : scratchGroups_)
-            done = std::max(done, ftl_.writeGroup(g.pool, g.lpns, begin));
+        for (const ftl::PageGroup &g : scratchGroups_) {
+            ftl::WriteResult w = ftl_.writeGroup(g.pool, g.lpns, begin);
+            accepted = accepted && w.accepted;
+            done = std::max(done, w.done);
+        }
     }
     return done;
 }

@@ -46,6 +46,10 @@ struct DeviceStats
     std::uint64_t bytesWritten = 0;
     /** Requests that found the device idle on arrival. */
     std::uint64_t noWaitRequests = 0;
+    /** Reads completed with at least one uncorrectable page. */
+    std::uint64_t readErrorRequests = 0;
+    /** Writes refused because the device degraded to read-only. */
+    std::uint64_t writeRejectedRequests = 0;
     /** Commands issued to the flash backend (packing merges). */
     std::uint64_t commands = 0;
     /** Total device busy time (sum of command service intervals). */
@@ -132,6 +136,12 @@ class EmmcDevice
     const PowerManager &power() const { return power_; }
     const BufferStats &bufferStats() const { return buffer_.stats(); }
     const ftl::RequestDistributor &distributor() const { return *dist_; }
+    /** NAND fault injector (inert unless cfg.fault.enabled). */
+    fault::FaultInjector &faultInjector() { return injector_; }
+    const fault::FaultInjector &faultInjector() const
+    {
+        return injector_;
+    }
 
     ftl::Ftl &ftl() { return ftl_; }
     const ftl::Ftl &ftl() const { return ftl_; }
@@ -145,15 +155,28 @@ class EmmcDevice
     /** Completion handler for the in-flight command. */
     void finishCommand(std::vector<CompletedRequest> done);
 
-    /** Serve one read request; returns its flash completion time. */
-    sim::Time serveRead(const IoRequest &r, sim::Time begin);
+    /**
+     * Serve one read request; returns its flash completion time and
+     * reports ReadError through @p status when any page stayed
+     * uncorrectable after the retry ladder.
+     */
+    sim::Time serveRead(const IoRequest &r, sim::Time begin,
+                        RequestStatus &status);
 
-    /** Serve one write request; returns its flash completion time. */
-    sim::Time serveWrite(const IoRequest &r, sim::Time begin);
+    /**
+     * Serve one write request; returns its flash completion time and
+     * reports WriteRejected through @p status when the device is
+     * read-only.
+     */
+    sim::Time serveWrite(const IoRequest &r, sim::Time begin,
+                         RequestStatus &status);
 
-    /** Flush a run of dirty buffer units to flash. */
+    /**
+     * Flush a run of dirty buffer units to flash. Clears @p accepted
+     * when any group was rejected (read-only device).
+     */
     sim::Time flushRuns(const std::vector<UnitRun> &runs,
-                        sim::Time begin);
+                        sim::Time begin, bool &accepted);
 
     /** Idle-GC event body. */
     void idleGcTick();
@@ -162,6 +185,7 @@ class EmmcDevice
     EmmcConfig cfg_;
     std::unique_ptr<ftl::RequestDistributor> dist_;
 
+    fault::FaultInjector injector_; ///< attached to array_ when enabled
     flash::FlashArray array_;
     ftl::Ftl ftl_;
     WritePacker packer_;

@@ -43,6 +43,16 @@ struct IoRequest
     }
 };
 
+/** Device-reported outcome of one request. */
+enum class RequestStatus : std::uint8_t
+{
+    Ok = 0,
+    /** Some page of the read was uncorrectable (data lost). */
+    ReadError,
+    /** Write refused: the device degraded to read-only mode. */
+    WriteRejected,
+};
+
 /** Completion report for one request (BIOtracer steps 2 and 3). */
 struct CompletedRequest
 {
@@ -55,6 +65,10 @@ struct CompletedRequest
     bool waited = false;
     /** True when served as part of a packed write command. */
     bool packed = false;
+    /** Outcome (Ok unless fault injection is active). */
+    RequestStatus status = RequestStatus::Ok;
+
+    bool ok() const { return status == RequestStatus::Ok; }
 };
 
 } // namespace emmcsim::emmc

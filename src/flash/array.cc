@@ -53,6 +53,17 @@ FlashArray::reserveArray(std::size_t idx, sim::Time t, sim::Time dur)
     return start;
 }
 
+fault::ReadFault
+FlashArray::evalReadFault(const PageAddr &addr)
+{
+    if (fault_ == nullptr || !fault_->enabled())
+        return {};
+    const BlockPool &bp =
+        planes_.at(planeLinear(geom_, addr)).pool(addr.pool);
+    return fault_->onRead(bp.eraseCount(addr.block),
+                          bp.blockAge(addr.block));
+}
+
 OpResult
 FlashArray::read(const PageAddr &addr, sim::Time earliest,
                  std::uint64_t transfer_bytes)
@@ -64,10 +75,18 @@ FlashArray::read(const PageAddr &addr, sim::Time earliest,
                               : std::min<std::uint64_t>(transfer_bytes,
                                                         page_bytes);
 
+    // Each retry level re-senses the page with shifted read voltages,
+    // extending the array occupancy; the data crosses the channel once
+    // (either the finally-corrected page or the failed read-out).
+    const fault::ReadFault rf = evalReadFault(addr);
+    sim::Time sense = pt.readLatency;
+    if (rf.retries > 0)
+        sense += static_cast<sim::Time>(rf.retries) *
+                 fault_->config().readRetryLatency;
+
     // Array senses the page first, then the channel moves the data out.
-    sim::Time a_start =
-        reserveArray(arrayIndex(addr), earliest, pt.readLatency);
-    sim::Time a_done = a_start + pt.readLatency;
+    sim::Time a_start = reserveArray(arrayIndex(addr), earliest, sense);
+    sim::Time a_done = a_start + sense;
 
     sim::Time xfer = timing_.pageCmdOverhead + timing_.transferTime(bytes);
     sim::Time x_start = reserveChannel(addr.channel, a_done, xfer);
@@ -75,7 +94,14 @@ FlashArray::read(const PageAddr &addr, sim::Time earliest,
     auto &st = stats_.at(addr.pool);
     ++st.reads;
     st.bytesRead += bytes;
-    return OpResult{a_start, x_start + xfer};
+
+    OpResult res{a_start, x_start + xfer};
+    res.retries = rf.retries;
+    if (rf.uncorrectable)
+        res.status = OpStatus::Uncorrectable;
+    else if (rf.retries > 0)
+        res.status = OpStatus::Corrected;
+    return res;
 }
 
 OpResult
@@ -96,7 +122,12 @@ FlashArray::program(const PageAddr &addr, sim::Time earliest)
     auto &st = stats_.at(addr.pool);
     ++st.programs;
     st.bytesProgrammed += page_bytes;
-    return OpResult{x_start, a_start + pt.programLatency};
+
+    OpResult res{x_start, a_start + pt.programLatency};
+    if (fault_ != nullptr && fault_->enabled() &&
+        fault_->programFails(poolAt(addr).eraseCount(addr.block)))
+        res.status = OpStatus::ProgramFail;
+    return res;
 }
 
 OpResult
@@ -110,21 +141,40 @@ FlashArray::erase(const PageAddr &addr, sim::Time earliest)
         reserveArray(arrayIndex(addr), x_done, timing_.eraseLatency);
 
     ++stats_.at(addr.pool).erases;
-    return OpResult{x_start, a_start + timing_.eraseLatency};
+
+    OpResult res{x_start, a_start + timing_.eraseLatency};
+    if (fault_ != nullptr && fault_->enabled() &&
+        fault_->eraseFails(poolAt(addr).eraseCount(addr.block)))
+        res.status = OpStatus::EraseFail;
+    return res;
 }
 
 OpResult
 FlashArray::copybackRead(const PageAddr &addr, sim::Time earliest)
 {
     const auto &pt = timing_.pools.at(addr.pool);
+
+    // The retry ladder applies to copyback sensing just as it does to
+    // host reads; GC relocating data out of a worn block pays for it.
+    const fault::ReadFault rf = evalReadFault(addr);
+    sim::Time sense = pt.readLatency;
+    if (rf.retries > 0)
+        sense += static_cast<sim::Time>(rf.retries) *
+                 fault_->config().readRetryLatency;
+
     sim::Time x_start = reserveChannel(addr.channel, earliest,
                                        timing_.pageCmdOverhead);
     sim::Time x_done = x_start + timing_.pageCmdOverhead;
-    sim::Time a_start =
-        reserveArray(arrayIndex(addr), x_done, pt.readLatency);
+    sim::Time a_start = reserveArray(arrayIndex(addr), x_done, sense);
 
     ++stats_.at(addr.pool).copybackReads;
-    return OpResult{x_start, a_start + pt.readLatency};
+    OpResult res{x_start, a_start + sense};
+    res.retries = rf.retries;
+    if (rf.uncorrectable)
+        res.status = OpStatus::Uncorrectable;
+    else if (rf.retries > 0)
+        res.status = OpStatus::Corrected;
+    return res;
 }
 
 OpResult
@@ -138,7 +188,11 @@ FlashArray::copybackProgram(const PageAddr &addr, sim::Time earliest)
         reserveArray(arrayIndex(addr), x_done, pt.programLatency);
 
     ++stats_.at(addr.pool).copybackPrograms;
-    return OpResult{x_start, a_start + pt.programLatency};
+    OpResult res{x_start, a_start + pt.programLatency};
+    if (fault_ != nullptr && fault_->enabled() &&
+        fault_->programFails(poolAt(addr).eraseCount(addr.block)))
+        res.status = OpStatus::ProgramFail;
+    return res;
 }
 
 sim::Time

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/injector.hh"
 #include "flash/geometry.hh"
 #include "flash/plane.hh"
 #include "flash/timing.hh"
@@ -35,11 +36,26 @@ namespace emmcsim::flash {
 /** Kinds of flash operations the array executes. */
 enum class OpKind { Read, Program, Erase, CopybackRead, CopybackProgram };
 
+/** Completion status of one flash operation. */
+enum class OpStatus : std::uint8_t
+{
+    Ok,            ///< succeeded on the first attempt
+    Corrected,     ///< read recovered by the retry ladder
+    Uncorrectable, ///< read failed past the last retry level
+    ProgramFail,   ///< program reported a status failure
+    EraseFail,     ///< erase failed; block must be retired
+};
+
 /** Timed outcome of one flash operation. */
 struct OpResult
 {
     sim::Time start = 0;  ///< when the operation began occupying resources
     sim::Time done = 0;   ///< when its last resource was released
+    OpStatus status = OpStatus::Ok;
+    std::uint32_t retries = 0; ///< read-retry rounds charged (reads)
+
+    bool ok() const { return status == OpStatus::Ok ||
+                             status == OpStatus::Corrected; }
 };
 
 /** Operation counters, kept per pool (page-size class). */
@@ -68,6 +84,20 @@ class FlashArray
 
     const Geometry &geometry() const { return geom_; }
     const Timing &timing() const { return timing_; }
+
+    /**
+     * Attach a fault injector (borrowed; must outlive the array).
+     * Null (the default) keeps the perfect-medium behaviour: every
+     * operation returns OpStatus::Ok with the original timing.
+     */
+    void attachFaultInjector(fault::FaultInjector *injector)
+    {
+        fault_ = injector;
+    }
+
+    /** The attached injector, or nullptr. */
+    fault::FaultInjector *faultInjector() { return fault_; }
+    const fault::FaultInjector *faultInjector() const { return fault_; }
 
     /** Plane state by linear index. */
     Plane &plane(std::uint32_t linear) { return planes_.at(linear); }
@@ -131,9 +161,13 @@ class FlashArray
     /** Reserve the array unit for @p dur starting no earlier than @p t. */
     sim::Time reserveArray(std::size_t idx, sim::Time t, sim::Time dur);
 
+    /** Read-path fault evaluation for @p addr (no-fault when detached). */
+    fault::ReadFault evalReadFault(const PageAddr &addr);
+
     Geometry geom_;
     Timing timing_;
     bool multiplane_;
+    fault::FaultInjector *fault_ = nullptr;
 
     std::vector<Plane> planes_;
     std::vector<sim::Time> channelFree_;

@@ -23,6 +23,8 @@ BlockPool::BlockPool(const PoolConfig &cfg, std::uint32_t pages_per_block)
     eraseCnt_.assign(blocks_, 0);
     lastWriteSeq_.assign(blocks_, 0);
     isFree_.assign(blocks_, true);
+    suspect_.assign(blocks_, false);
+    retired_.assign(blocks_, false);
     freeCount_ = blocks_;
 }
 
@@ -174,6 +176,7 @@ BlockPool::eraseBlock(std::uint32_t b)
 {
     EMMCSIM_ASSERT(b < blocks_, "eraseBlock out of range");
     EMMCSIM_ASSERT(!isFree_[b], "eraseBlock on free block");
+    EMMCSIM_ASSERT(!retired_[b], "eraseBlock on retired block");
     EMMCSIM_ASSERT(blockValid_[b] == 0,
                    "eraseBlock with live units; relocate first");
     EMMCSIM_ASSERT(active_ != static_cast<std::int32_t>(b),
@@ -193,6 +196,68 @@ BlockPool::eraseBlock(std::uint32_t b)
     ++totalErases_;
     isFree_[b] = true;
     ++freeCount_;
+}
+
+void
+BlockPool::markSuspect(std::uint32_t b)
+{
+    EMMCSIM_ASSERT(b < blocks_, "markSuspect out of range");
+    EMMCSIM_ASSERT(!retired_[b], "markSuspect on retired block");
+    EMMCSIM_ASSERT(!isFree_[b], "markSuspect on free block");
+    suspect_[b] = true;
+}
+
+bool
+BlockPool::blockSuspect(std::uint32_t b) const
+{
+    EMMCSIM_ASSERT(b < blocks_, "blockSuspect out of range");
+    return suspect_[b];
+}
+
+void
+BlockPool::sealBlock(std::uint32_t b)
+{
+    EMMCSIM_ASSERT(b < blocks_, "sealBlock out of range");
+    EMMCSIM_ASSERT(!isFree_[b], "sealBlock on free block");
+    EMMCSIM_ASSERT(!retired_[b], "sealBlock on retired block");
+    writePtr_[b] = pagesPerBlock_;
+    if (active_ == static_cast<std::int32_t>(b))
+        active_ = -1;
+}
+
+void
+BlockPool::retireBlock(std::uint32_t b)
+{
+    EMMCSIM_ASSERT(b < blocks_, "retireBlock out of range");
+    EMMCSIM_ASSERT(!isFree_[b], "retireBlock on free block");
+    EMMCSIM_ASSERT(!retired_[b], "retireBlock on retired block");
+    EMMCSIM_ASSERT(blockValid_[b] == 0,
+                   "retireBlock with live units; relocate first");
+    EMMCSIM_ASSERT(active_ != static_cast<std::int32_t>(b),
+                   "retireBlock on the active block");
+    Ppn first = static_cast<Ppn>(b) * pagesPerBlock_;
+    std::fill(lpns_.begin() +
+                  static_cast<std::ptrdiff_t>(first * unitsPerPage_),
+              lpns_.begin() + static_cast<std::ptrdiff_t>(
+                  (first + pagesPerBlock_) * unitsPerPage_),
+              kNoLpn);
+    std::fill(valid_.begin() + static_cast<std::ptrdiff_t>(first),
+              valid_.begin() +
+                  static_cast<std::ptrdiff_t>(first + pagesPerBlock_),
+              std::uint8_t{0});
+    // The write pointer stays at the end: a retired block is "full" of
+    // nothing, keeping it out of every allocation and victim scan.
+    writePtr_[b] = pagesPerBlock_;
+    suspect_[b] = false;
+    retired_[b] = true;
+    ++retiredCount_;
+}
+
+bool
+BlockPool::blockRetired(std::uint32_t b) const
+{
+    EMMCSIM_ASSERT(b < blocks_, "blockRetired out of range");
+    return retired_[b];
 }
 
 std::uint32_t
@@ -235,6 +300,13 @@ BlockPool::corruptFreeCountForTest(std::int64_t delta)
 {
     freeCount_ = static_cast<std::uint32_t>(
         static_cast<std::int64_t>(freeCount_) + delta);
+}
+
+void
+BlockPool::corruptRetiredForTest(std::uint32_t b, bool retired)
+{
+    EMMCSIM_ASSERT(b < blocks_, "corruptRetiredForTest out of range");
+    retired_[b] = retired;
 }
 
 } // namespace emmcsim::flash

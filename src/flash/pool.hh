@@ -120,6 +120,43 @@ class BlockPool
     void eraseBlock(std::uint32_t b);
     /** @} */
 
+    /** @name Reliability state (bad-block handling). @{ */
+
+    /**
+     * Flag @p b suspect after a program-status failure. Suspect blocks
+     * stay readable (their already-programmed pages are intact) but
+     * must not be reused: the GC scrub path relocates their survivors
+     * and retires them instead of erasing.
+     */
+    void markSuspect(std::uint32_t b);
+
+    /** @return true when @p b carries the suspect flag. */
+    bool blockSuspect(std::uint32_t b) const;
+
+    /**
+     * Seal @p b: advance its write pointer to the end so no further
+     * page lands in it (the block reads as "full"). Used after a
+     * program failure on a partially-written block; if @p b is the
+     * active block, the pool is left with no active block and the next
+     * allocation opens a fresh one.
+     */
+    void sealBlock(std::uint32_t b);
+
+    /**
+     * Retire @p b permanently (grown bad block): clears all unit state
+     * like an erase but never returns the block to the free list — it
+     * no longer counts toward free space and can never be allocated.
+     * Panics if live units remain or the block is active or free.
+     */
+    void retireBlock(std::uint32_t b);
+
+    /** @return true when @p b has been retired. */
+    bool blockRetired(std::uint32_t b) const;
+
+    /** Number of retired (grown bad) blocks in this pool. */
+    std::uint32_t retiredBlockCount() const { return retiredCount_; }
+    /** @} */
+
     /** @name Pool-wide statistics. @{ */
     std::uint64_t totalErases() const { return totalErases_; }
     std::uint64_t totalProgrammedPages() const { return programmed_; }
@@ -147,6 +184,9 @@ class BlockPool
 
     /** Test hook: skew the free-block counter. */
     void corruptFreeCountForTest(std::int64_t delta);
+
+    /** Test hook: raw retired flag without any state cleanup. */
+    void corruptRetiredForTest(std::uint32_t b, bool retired);
     /** @} */
 
   private:
@@ -174,8 +214,13 @@ class BlockPool
     std::uint64_t allocSeq_ = 0;
     /** true when the block is erased and on the free list. */
     std::vector<bool> isFree_;
+    /** true after a program failure; await scrub + retirement. */
+    std::vector<bool> suspect_;
+    /** true for grown bad blocks; never allocated again. */
+    std::vector<bool> retired_;
 
     std::uint32_t freeCount_ = 0;
+    std::uint32_t retiredCount_ = 0;
     std::int32_t active_ = -1;
 
     std::uint64_t totalErases_ = 0;

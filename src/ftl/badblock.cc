@@ -1,0 +1,66 @@
+#include "ftl/badblock.hh"
+
+#include "sim/logging.hh"
+
+namespace emmcsim::ftl {
+
+BadBlockManager::BadBlockManager(std::uint32_t planes,
+                                 std::uint32_t pools,
+                                 const BbmConfig &cfg)
+    : cfg_(cfg), pools_(pools)
+{
+    EMMCSIM_ASSERT(planes > 0 && pools > 0,
+                   "bad-block manager needs a non-empty array");
+    EMMCSIM_ASSERT(cfg_.spareBlocksPerPlanePool > 0,
+                   "spare budget must be at least one block");
+    retired_.assign(static_cast<std::size_t>(planes) * pools, 0);
+}
+
+void
+BadBlockManager::recordRetirement(std::uint32_t plane_linear,
+                                  std::uint32_t pool,
+                                  std::uint32_t block, RetireCause cause)
+{
+    const std::size_t idx =
+        static_cast<std::size_t>(plane_linear) * pools_ + pool;
+    EMMCSIM_ASSERT(idx < retired_.size(),
+                   "retirement outside the managed array");
+    ++retired_[idx];
+    table_.push_back(BadBlockEntry{plane_linear, pool, block, cause});
+    if (cause == RetireCause::ProgramFail)
+        ++stats_.retiredProgram;
+    else
+        ++stats_.retiredErase;
+
+    if (retired_[idx] >= cfg_.spareBlocksPerPlanePool &&
+        readOnlyCause_ == ReadOnlyCause::None) {
+        readOnlyCause_ = ReadOnlyCause::SpareExhaustion;
+        sim::warn("plane " + std::to_string(plane_linear) + " pool " +
+                  std::to_string(pool) +
+                  " exhausted its spare blocks; device is now "
+                  "read-only");
+    }
+}
+
+std::uint32_t
+BadBlockManager::retiredCount(std::uint32_t plane_linear,
+                              std::uint32_t pool) const
+{
+    const std::size_t idx =
+        static_cast<std::size_t>(plane_linear) * pools_ + pool;
+    EMMCSIM_ASSERT(idx < retired_.size(),
+                   "retiredCount outside the managed array");
+    return retired_[idx];
+}
+
+void
+BadBlockManager::declareSpaceExhausted()
+{
+    if (readOnlyCause_ != ReadOnlyCause::None)
+        return;
+    readOnlyCause_ = ReadOnlyCause::SpaceExhaustion;
+    sim::warn("device out of reclaimable space in every pool; "
+              "device is now read-only");
+}
+
+} // namespace emmcsim::ftl

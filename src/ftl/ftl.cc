@@ -24,13 +24,16 @@ Ftl::Ftl(flash::FlashArray &array, const FtlConfig &cfg)
       alloc_(cfg.alloc, array.geometry().planeCount(),
              static_cast<std::uint32_t>(array.geometry().pools.size()),
              array.geometry().dieCount()),
-      gc_(array, map_, cfg.gc)
+      bbm_(array.geometry().planeCount(),
+           static_cast<std::uint32_t>(array.geometry().pools.size()),
+           cfg.bbm),
+      gc_(array, map_, cfg.gc, bbm_)
 {
     if (cfg_.defaultReadPool >= array.geometry().pools.size())
         sim::fatal("defaultReadPool out of range");
 }
 
-sim::Time
+WriteResult
 Ftl::writeGroup(std::uint32_t pool, const std::vector<flash::Lpn> &lpns,
                 sim::Time earliest)
 {
@@ -39,6 +42,14 @@ Ftl::writeGroup(std::uint32_t pool, const std::vector<flash::Lpn> &lpns,
     const std::uint32_t upp = geom.pools[pool].unitsPerPage();
     EMMCSIM_ASSERT(!lpns.empty() && lpns.size() <= upp,
                    "writeGroup size must be 1..unitsPerPage");
+
+    // Graceful degradation: a read-only device (spares or space
+    // exhausted) rejects writes with a structured error; existing data
+    // stays mapped and readable.
+    if (bbm_.readOnly()) {
+        ++stats_.rejectedWrites;
+        return WriteResult{earliest, false};
+    }
 
     // A plane-pool can serve the write if it has pages beyond the GC
     // reserve or space it can reclaim. A pool whose planes are all
@@ -56,11 +67,22 @@ Ftl::writeGroup(std::uint32_t pool, const std::vector<flash::Lpn> &lpns,
     const std::uint32_t planes = geom.planeCount();
     std::uint32_t plane = alloc_.nextPlane(pool, lpns.front());
     std::uint32_t tried = 0;
-    while (tried < planes && !plane_viable(plane, pool)) {
+    sim::Time t = earliest;
+    bool placed = false;
+    while (tried < planes) {
+        if (plane_viable(plane, pool)) {
+            t = gc_.ensureFreePage(plane, pool, earliest);
+            // Erase failures during the GC round can leave the plane
+            // with nothing allocatable after all; move on then.
+            if (array_.plane(plane).pool(pool).hasFreePage()) {
+                placed = true;
+                break;
+            }
+        }
         plane = (plane + 1) % planes;
         ++tried;
     }
-    if (tried == planes) {
+    if (!placed) {
         // Overflow: redirect to another pool that still has room.
         for (std::uint32_t k = 0; k < geom.pools.size(); ++k) {
             if (k == pool)
@@ -73,27 +95,68 @@ Ftl::writeGroup(std::uint32_t pool, const std::vector<flash::Lpn> &lpns,
             ++stats_.overflowRedirects;
             const std::uint32_t other_upp =
                 geom.pools[k].unitsPerPage();
-            sim::Time done = earliest;
+            WriteResult out{earliest, true};
             for (std::size_t i = 0; i < lpns.size(); i += other_upp) {
                 std::vector<flash::Lpn> chunk(
                     lpns.begin() + static_cast<std::ptrdiff_t>(i),
                     lpns.begin() +
                         static_cast<std::ptrdiff_t>(std::min(
                             i + other_upp, lpns.size())));
-                done = std::max(done, writeGroup(k, chunk, earliest));
+                WriteResult w = writeGroup(k, chunk, earliest);
+                out.done = std::max(out.done, w.done);
+                out.accepted = out.accepted && w.accepted;
             }
-            return done;
+            return out;
         }
-        sim::fatal("device out of reclaimable space in every pool "
-                   "(raise over-provisioning)");
+        bbm_.declareSpaceExhausted();
+        ++stats_.rejectedWrites;
+        notifyAudit();
+        return WriteResult{earliest, false};
     }
-
-    sim::Time t = gc_.ensureFreePage(plane, pool, earliest);
 
     auto &bp = array_.plane(plane).pool(pool);
     flash::Ppn ppn = bp.allocatePage();
 
-    // Stale out any previous locations of these units.
+    flash::PageAddr addr = flash::addrFromPlaneLinear(geom, plane);
+    addr.pool = pool;
+    const std::uint32_t ppb = geom.poolPagesPerBlock(pool);
+    addr.block = static_cast<std::uint32_t>(ppn / ppb);
+    addr.page = static_cast<std::uint32_t>(ppn % ppb);
+    flash::OpResult res = array_.program(addr, t);
+
+    // Program-failure relocation: flag the failed block suspect, seal
+    // it (no further page may land there; the GC scrub path drains and
+    // retires it) and re-issue the page to a fresh block.
+    std::uint32_t attempts = 0;
+    while (res.status == flash::OpStatus::ProgramFail) {
+        bbm_.noteProgramFailure();
+        const auto bad = static_cast<std::uint32_t>(ppn / ppb);
+        bp.markSuspect(bad);
+        bp.sealBlock(bad);
+        EMMCSIM_ASSERT(++attempts <= 16,
+                       "host-write relocation not converging under "
+                       "program failures");
+        t = gc_.ensureFreePage(plane, pool, res.done);
+        if (!bp.hasFreePage()) {
+            // Nowhere left to re-issue the page: degrade to read-only
+            // with the old data still mapped (nothing was invalidated
+            // yet), rather than losing the write silently.
+            bbm_.declareSpaceExhausted();
+            ++stats_.rejectedWrites;
+            notifyAudit();
+            return WriteResult{res.done, false};
+        }
+        ppn = bp.allocatePage();
+        addr.block = static_cast<std::uint32_t>(ppn / ppb);
+        addr.page = static_cast<std::uint32_t>(ppn % ppb);
+        res = array_.program(addr, t);
+        ++stats_.relocatedPrograms;
+        bbm_.noteRelocatedProgram();
+    }
+
+    // Stale out any previous locations of these units. This happens
+    // only after the program succeeded, so every rejection path above
+    // leaves the old mapping fully intact.
     for (flash::Lpn lpn : lpns) {
         const MapEntry &old = map_.lookup(lpn);
         if (old.mapped()) {
@@ -102,13 +165,6 @@ Ftl::writeGroup(std::uint32_t pool, const std::vector<flash::Lpn> &lpns,
                 .invalidateUnit(old.ppn, old.unit);
         }
     }
-
-    flash::PageAddr addr = flash::addrFromPlaneLinear(geom, plane);
-    addr.pool = pool;
-    const std::uint32_t ppb = geom.poolPagesPerBlock(pool);
-    addr.block = static_cast<std::uint32_t>(ppn / ppb);
-    addr.page = static_cast<std::uint32_t>(ppn % ppb);
-    flash::OpResult res = array_.program(addr, t);
 
     for (std::uint32_t u = 0; u < lpns.size(); ++u) {
         bp.setUnit(ppn, u, lpns[u]);
@@ -124,10 +180,10 @@ Ftl::writeGroup(std::uint32_t pool, const std::vector<flash::Lpn> &lpns,
     stats_.hostBytesConsumed += geom.pools[pool].pageBytes;
     ++stats_.hostProgramOps;
     notifyAudit();
-    return res.done;
+    return WriteResult{res.done, true};
 }
 
-sim::Time
+ReadResult
 Ftl::readUnits(flash::Lpn start, std::uint32_t n, sim::Time earliest)
 {
     EMMCSIM_ASSERT(start >= 0, "readUnits negative lpn");
@@ -135,10 +191,11 @@ Ftl::readUnits(flash::Lpn start, std::uint32_t n, sim::Time earliest)
                        map_.logicalUnits(),
                    "readUnits past logical capacity");
     if (n == 0)
-        return earliest;
+        return ReadResult{earliest, 0};
 
     const auto &geom = array_.geometry();
     sim::Time done = earliest;
+    std::uint32_t uncorrectable = 0;
 
     // Time one pseudo page read: a deterministic location in the pool
     // holding unit_count units of never-written data.
@@ -166,7 +223,10 @@ Ftl::readUnits(flash::Lpn start, std::uint32_t n, sim::Time earliest)
         a.page = static_cast<std::uint32_t>(ppn % ppb);
         const std::uint64_t bytes =
             static_cast<std::uint64_t>(unit_count) * sim::kUnitBytes;
-        done = std::max(done, array_.read(a, earliest, bytes).done);
+        flash::OpResult res = array_.read(a, earliest, bytes);
+        if (res.status == flash::OpStatus::Uncorrectable)
+            ++uncorrectable;
+        done = std::max(done, res.done);
         ++stats_.hostReadOps;
     };
 
@@ -243,11 +303,14 @@ Ftl::readUnits(flash::Lpn start, std::uint32_t n, sim::Time earliest)
         std::uint64_t bytes =
             static_cast<std::uint64_t>(g.units) * sim::kUnitBytes;
         flash::OpResult res = array_.read(g.addr, earliest, bytes);
+        if (res.status == flash::OpStatus::Uncorrectable)
+            ++uncorrectable;
         done = std::max(done, res.done);
         ++stats_.hostReadOps;
     }
     stats_.hostUnitsRead += n;
-    return done;
+    stats_.uncorrectableReads += uncorrectable;
+    return ReadResult{done, uncorrectable};
 }
 
 bool

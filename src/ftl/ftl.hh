@@ -22,6 +22,7 @@
 
 #include "flash/array.hh"
 #include "ftl/allocator.hh"
+#include "ftl/badblock.hh"
 #include "ftl/distributor.hh"
 #include "ftl/gc.hh"
 #include "ftl/mapping.hh"
@@ -36,6 +37,8 @@ struct FtlConfig
     AllocPolicy alloc = AllocPolicy::RoundRobin;
     /** Garbage-collection thresholds. */
     GcConfig gc;
+    /** Grown-bad-block spare budget. */
+    BbmConfig bbm;
     /** Fraction of raw capacity reserved as over-provisioning. */
     double opRatio = 0.07;
     /**
@@ -56,6 +59,30 @@ struct FtlStats
     std::uint64_t hostProgramOps = 0; ///< physical page programs issued
     /** Write groups redirected because their pool was exhausted. */
     std::uint64_t overflowRedirects = 0;
+    /** Host pages re-issued to a fresh block after a program failure. */
+    std::uint64_t relocatedPrograms = 0;
+    /** Page reads that remained uncorrectable after the retry ladder. */
+    std::uint64_t uncorrectableReads = 0;
+    /** Write groups rejected because the device is read-only. */
+    std::uint64_t rejectedWrites = 0;
+};
+
+/** Timed outcome of one write group. */
+struct WriteResult
+{
+    /** Completion time of the program (== earliest when rejected). */
+    sim::Time done = 0;
+    /** False when the device is read-only and the data did not land. */
+    bool accepted = true;
+};
+
+/** Timed outcome of one multi-unit read. */
+struct ReadResult
+{
+    /** Completion time of the last page read. */
+    sim::Time done = 0;
+    /** Page reads whose data was lost (ECC + retry ladder failed). */
+    std::uint32_t uncorrectablePages = 0;
 };
 
 /** The flash translation layer. */
@@ -78,14 +105,19 @@ class Ftl
      * remainder of the page is padding (wasted space), which is how a
      * pure-8KB device loses utilization on odd-sized requests.
      *
+     * A program-status failure re-issues the page to a fresh block
+     * and marks the failed one suspect; a read-only device (spares or
+     * space exhausted) rejects the group instead of panicking.
+     *
      * @param pool     Target page-size pool.
      * @param lpns     Logical units stored in the page (1..unitsPerPage).
      * @param earliest Earliest start time for the flash operations.
-     * @return Completion time of the program (after any blocking GC).
+     * @return Completion time (after any blocking GC) and whether the
+     *         data landed.
      */
-    sim::Time writeGroup(std::uint32_t pool,
-                         const std::vector<flash::Lpn> &lpns,
-                         sim::Time earliest);
+    WriteResult writeGroup(std::uint32_t pool,
+                           const std::vector<flash::Lpn> &lpns,
+                           sim::Time earliest);
 
     /**
      * Read @p n logical units starting at @p start.
@@ -97,10 +129,11 @@ class Ftl
      * distributor — or, when none is set, as reads from the default
      * pool.
      *
-     * @return Completion time of the last page read.
+     * @return Completion time of the last page read plus the count of
+     *         uncorrectable page reads (lost data) among them.
      */
-    sim::Time readUnits(flash::Lpn start, std::uint32_t n,
-                        sim::Time earliest);
+    ReadResult readUnits(flash::Lpn start, std::uint32_t n,
+                         sim::Time earliest);
 
     /**
      * Install the distributor used to time unmapped reads. The
@@ -147,6 +180,12 @@ class Ftl
      */
     sim::Time idleGcStep(sim::Time now, bool &did_work);
 
+    /** @return true once the device stopped accepting writes. */
+    bool readOnly() const { return bbm_.readOnly(); }
+
+    /** Grown-bad-block bookkeeping. */
+    const BadBlockManager &badBlocks() const { return bbm_; }
+
     const FtlStats &stats() const { return stats_; }
     const GcStats &gcStats() const { return gc_.stats(); }
     const PageMap &map() const { return map_; }
@@ -189,6 +228,7 @@ class Ftl
     FtlConfig cfg_;
     PageMap map_;
     PlaneAllocator alloc_;
+    BadBlockManager bbm_; ///< must precede gc_ (GC holds a reference)
     GarbageCollector gc_;
     FtlStats stats_;
     const RequestDistributor *pseudoDist_ = nullptr;

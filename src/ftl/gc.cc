@@ -9,8 +9,8 @@
 namespace emmcsim::ftl {
 
 GarbageCollector::GarbageCollector(flash::FlashArray &array, PageMap &map,
-                                   GcConfig cfg)
-    : array_(array), map_(map), cfg_(cfg)
+                                   GcConfig cfg, BadBlockManager &bbm)
+    : array_(array), map_(map), cfg_(cfg), bbm_(bbm)
 {
     EMMCSIM_ASSERT(cfg_.hardFreeBlocks >= 1,
                    "GC needs at least one reserved free block");
@@ -29,6 +29,12 @@ GarbageCollector::pickVictim(const flash::BlockPool &pool) const
         if (!pool.blockFull(b))
             continue;
         if (static_cast<std::int32_t>(b) == pool.activeBlock())
+            continue;
+        // Retired blocks hold nothing and must never be touched again;
+        // suspect blocks are drained by the scrub path, whose
+        // retirement nets no free block (space-driven GC would spin on
+        // them).
+        if (pool.blockRetired(b) || pool.blockSuspect(b))
             continue;
         std::uint32_t valid = pool.validUnitsInBlock(b);
         // Only blocks with at least one page worth of stale units net
@@ -103,11 +109,7 @@ GarbageCollector::collectOne(std::uint32_t plane_linear, std::uint32_t pool,
     // Compact the live units into fresh pages of the same plane-pool.
     std::size_t i = 0;
     while (i < live.size()) {
-        flash::Ppn dst = bp.allocatePage();
-        flash::PageAddr dst_addr = base;
-        dst_addr.block = static_cast<std::uint32_t>(dst / ppb);
-        dst_addr.page = static_cast<std::uint32_t>(dst % ppb);
-        t = std::max(t, array_.copybackProgram(dst_addr, t).done);
+        flash::Ppn dst = copybackProgramChecked(bp, base, ppb, t);
         for (std::uint32_t u = 0; u < upp && i < live.size(); ++u, ++i) {
             const LiveUnit &lu = live[i];
             const MapEntry &cur = map_.lookup(lu.lpn);
@@ -130,13 +132,73 @@ GarbageCollector::collectOne(std::uint32_t plane_linear, std::uint32_t pool,
         }
     }
 
-    // The victim now holds no live units; erase it.
-    flash::PageAddr vaddr = base;
-    vaddr.block = vb;
+    // The victim now holds no live units; reclaim (erase or retire) it.
+    return reclaimBlock(plane_linear, pool, vb, t);
+}
+
+flash::Ppn
+GarbageCollector::copybackProgramChecked(flash::BlockPool &bp,
+                                         flash::PageAddr base,
+                                         std::uint32_t ppb, sim::Time &t)
+{
+    std::uint32_t attempts = 0;
+    for (;;) {
+        flash::Ppn dst = bp.allocatePage();
+        flash::PageAddr dst_addr = base;
+        dst_addr.block = static_cast<std::uint32_t>(dst / ppb);
+        dst_addr.page = static_cast<std::uint32_t>(dst % ppb);
+        flash::OpResult pr = array_.copybackProgram(dst_addr, t);
+        t = std::max(t, pr.done);
+        if (pr.status != flash::OpStatus::ProgramFail)
+            return dst;
+        // The failed page is lost (it was allocated but holds
+        // nothing); the block is flagged for scrub-and-retire and the
+        // data re-issued to the next page. Unlike the host write
+        // path, GC does not seal the block: sealing mid-collection
+        // would burn the thin free reserve relocation depends on.
+        bbm_.noteProgramFailure();
+        bp.markSuspect(dst_addr.block);
+        bbm_.noteRelocatedProgram();
+        EMMCSIM_ASSERT(++attempts <= 16,
+                       "GC copyback relocation not converging under "
+                       "program failures");
+        EMMCSIM_ASSERT(bp.hasFreePage(),
+                       "GC ran out of relocation space mid-collection");
+    }
+}
+
+sim::Time
+GarbageCollector::reclaimBlock(std::uint32_t plane_linear,
+                               std::uint32_t pool, std::uint32_t b,
+                               sim::Time earliest)
+{
+    auto &bp = array_.plane(plane_linear).pool(pool);
+    flash::PageAddr vaddr =
+        flash::addrFromPlaneLinear(array_.geometry(), plane_linear);
+    vaddr.pool = pool;
+    vaddr.block = b;
     vaddr.page = 0;
-    t = std::max(t, array_.erase(vaddr, t).done);
-    bp.eraseBlock(vb);
-    ++stats_.erasedBlocks;
+    flash::OpResult er = array_.erase(vaddr, earliest);
+    sim::Time t = std::max(earliest, er.done);
+
+    if (er.status == flash::OpStatus::EraseFail) {
+        bbm_.noteEraseFailure();
+        bp.retireBlock(b);
+        bbm_.recordRetirement(plane_linear, pool, b,
+                              RetireCause::EraseFail);
+        ++stats_.retiredBlocks;
+    } else if (bp.blockSuspect(b)) {
+        // A program-failed block is retired even when its erase
+        // succeeds: the failure showed its cells can no longer be
+        // trusted to program.
+        bp.retireBlock(b);
+        bbm_.recordRetirement(plane_linear, pool, b,
+                              RetireCause::ProgramFail);
+        ++stats_.retiredBlocks;
+    } else {
+        bp.eraseBlock(b);
+        ++stats_.erasedBlocks;
+    }
     return t;
 }
 
@@ -156,6 +218,11 @@ GarbageCollector::ensureFreePage(std::uint32_t plane_linear,
         bp.pagesPerBlock();
     std::uint32_t rounds = 0;
     while (bp.freePageCount() <= reserve_pages) {
+        // Erase failures can shrink the pool until nothing reclaimable
+        // remains; stop rebuilding the reserve then and let callers
+        // dig into what is left (graceful degradation, not a panic).
+        if (pickVictim(bp) < 0)
+            break;
         EMMCSIM_ASSERT(rounds++ <= 2 * bp.blockCount(),
                        "blocking GC is not making progress (plane " +
                            std::to_string(plane_linear) + ", pool " +
@@ -258,11 +325,7 @@ GarbageCollector::relocateSome(std::uint32_t plane_linear,
         // One destination page per source page; an incremental step
         // does not compact across pages (slightly less dense, far
         // simpler preemption).
-        flash::Ppn dst = bp.allocatePage();
-        flash::PageAddr dst_addr = base;
-        dst_addr.block = static_cast<std::uint32_t>(dst / ppb);
-        dst_addr.page = static_cast<std::uint32_t>(dst % ppb);
-        t = std::max(t, array_.copybackProgram(dst_addr, t).done);
+        flash::Ppn dst = copybackProgramChecked(bp, base, ppb, t);
 
         std::uint32_t dst_unit = 0;
         for (std::uint32_t u = 0; u < upp; ++u) {
@@ -285,20 +348,57 @@ GarbageCollector::relocateSome(std::uint32_t plane_linear,
 
     if (bp.blockFull(victim) && bp.validUnitsInBlock(victim) == 0 &&
         static_cast<std::int32_t>(victim) != bp.activeBlock()) {
-        flash::PageAddr vaddr = base;
-        vaddr.block = victim;
-        vaddr.page = 0;
-        t = std::max(t, array_.erase(vaddr, t).done);
-        bp.eraseBlock(victim);
-        ++stats_.erasedBlocks;
+        t = reclaimBlock(plane_linear, pool, victim, t);
     }
     return t;
+}
+
+sim::Time
+GarbageCollector::scrubStep(sim::Time earliest, bool &did_work)
+{
+    did_work = false;
+    const auto &geom = array_.geometry();
+    for (std::uint32_t p = 0; p < geom.planeCount(); ++p) {
+        for (std::uint32_t k = 0; k < geom.pools.size(); ++k) {
+            auto &bp = array_.plane(p).pool(k);
+            // Scrubbing relocates data without freeing a block, so it
+            // must not eat into the reserve the write path needs.
+            const std::uint64_t reserve =
+                static_cast<std::uint64_t>(cfg_.hardFreeBlocks) *
+                bp.pagesPerBlock();
+            if (bp.freePageCount() <= reserve)
+                continue;
+            for (std::uint32_t b = 0; b < bp.blockCount(); ++b) {
+                if (!bp.blockSuspect(b))
+                    continue;
+                if (!bp.blockFull(b) ||
+                    static_cast<std::int32_t>(b) == bp.activeBlock())
+                    continue;
+                sim::Time done = relocateSome(
+                    p, k, b, cfg_.idleStepPages, earliest);
+                if (done == earliest)
+                    continue;
+                ++stats_.scrubSteps;
+                did_work = true;
+                return done;
+            }
+        }
+    }
+    return earliest;
 }
 
 sim::Time
 GarbageCollector::idleStep(sim::Time earliest, bool &did_work)
 {
     did_work = false;
+    // Draining suspect blocks toward retirement takes priority over
+    // space reclamation: a suspect block is one program failure away
+    // from losing data in a real part.
+    sim::Time scrubbed = scrubStep(earliest, did_work);
+    if (did_work) {
+        stats_.idleTime += scrubbed - earliest;
+        return scrubbed;
+    }
     std::uint32_t plane = 0;
     std::uint32_t pool = 0;
     if (!findNeedyPool(cfg_.idleMinInvalidFraction, plane, pool))

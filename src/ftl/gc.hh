@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "flash/array.hh"
+#include "ftl/badblock.hh"
 #include "ftl/mapping.hh"
 #include "sim/types.hh"
 
@@ -66,6 +67,10 @@ struct GcStats
     std::uint64_t idleSteps = 0;
     std::uint64_t relocatedUnits = 0;
     std::uint64_t erasedBlocks = 0;
+    /** Blocks retired instead of erased (grown bad blocks). */
+    std::uint64_t retiredBlocks = 0;
+    /** Incremental scrub steps draining suspect blocks. */
+    std::uint64_t scrubSteps = 0;
     sim::Time blockingTime = 0; ///< flash time spent in blocking GC
     sim::Time idleTime = 0;     ///< flash time spent in idle GC
 };
@@ -78,13 +83,17 @@ class GarbageCollector
      * @param array Flash array (state + timing).
      * @param map   Page map updated as units are relocated.
      * @param cfg   Thresholds.
+     * @param bbm   Grown-bad-block bookkeeping (shared with the FTL).
      */
-    GarbageCollector(flash::FlashArray &array, PageMap &map, GcConfig cfg);
+    GarbageCollector(flash::FlashArray &array, PageMap &map, GcConfig cfg,
+                     BadBlockManager &bbm);
 
     /**
      * Make sure pool @p pool of plane @p plane_linear can allocate a
      * page, running blocking GC rounds when the free-block count falls
-     * below the hard threshold.
+     * below the hard threshold. When erase failures eat the reserve
+     * faster than GC can rebuild it, the loop stops once no victim
+     * remains; callers must re-check hasFreePage() before allocating.
      *
      * @param earliest Earliest time the GC flash operations may start.
      * @return Completion time of any GC work (== @p earliest if none).
@@ -152,16 +161,48 @@ class GarbageCollector
 
     /**
      * Relocate up to @p max_pages valid pages from @p victim of the
-     * given plane-pool; erase it when no valid units remain.
+     * given plane-pool; erase (or retire) it when no valid units
+     * remain.
      * @return Completion time of the last flash operation.
      */
     sim::Time relocateSome(std::uint32_t plane_linear,
                            std::uint32_t pool, std::uint32_t victim,
                            std::uint32_t max_pages, sim::Time earliest);
 
+    /**
+     * Allocate a destination page and copyback-program it, re-issuing
+     * the program to a fresh page (and flagging the failed block
+     * suspect) on a program-status failure.
+     *
+     * @param t In/out flash-time cursor.
+     * @return The physical page the data finally landed in.
+     */
+    flash::Ppn copybackProgramChecked(flash::BlockPool &bp,
+                                      flash::PageAddr base,
+                                      std::uint32_t ppb, sim::Time &t);
+
+    /**
+     * Reclaim drained block @p b: attempt the erase and either return
+     * the block to the free list or — on an erase failure or a
+     * suspect flag — retire it into the grown-bad-block table.
+     * @return Completion time of the erase attempt.
+     */
+    sim::Time reclaimBlock(std::uint32_t plane_linear, std::uint32_t pool,
+                           std::uint32_t b, sim::Time earliest);
+
+    /**
+     * One incremental scrub step: find a full suspect block whose pool
+     * still has relocation room, move up to idleStepPages of its live
+     * pages, and retire it once empty.
+     * @param did_work Set true when the step did anything.
+     * @return Completion time (== @p earliest when nothing ran).
+     */
+    sim::Time scrubStep(sim::Time earliest, bool &did_work);
+
     flash::FlashArray &array_;
     PageMap &map_;
     GcConfig cfg_;
+    BadBlockManager &bbm_;
     GcStats stats_;
 };
 

@@ -1,5 +1,8 @@
 #include "host/replayer.hh"
 
+#include <algorithm>
+#include <vector>
+
 #include "sim/logging.hh"
 
 namespace emmcsim::host {
@@ -20,14 +23,50 @@ Replayer::replay(const trace::Trace &input, const ReplayOptions &opts)
         sim::fatal("replay: invalid input trace: " + problem);
 
     trace::Trace out = input;
+    stats_ = ReplayStats{};
 
     const std::uint64_t logical_units = device_.ftl().logicalUnits();
 
+    // Per-request retry bookkeeping: attempts used so far and the
+    // finish time of the first attempt (to price the retry penalty).
+    std::vector<std::uint32_t> attempts(input.size(), 0);
+    std::vector<sim::Time> firstFinish(input.size(), -1);
+
     device_.setCompletionCallback(
-        [&out](const emmc::CompletedRequest &c) {
-            trace::TraceRecord &r = out[c.request.id];
+        [this, &out, &opts, &attempts,
+         &firstFinish](const emmc::CompletedRequest &c) {
+            const std::uint64_t id = c.request.id;
+            trace::TraceRecord &r = out[id];
             r.serviceStart = c.serviceStart;
             r.finish = c.finish;
+            if (firstFinish[id] < 0)
+                firstFinish[id] = c.finish;
+
+            if (c.ok()) {
+                if (attempts[id] > 0) {
+                    ++stats_.recoveredRequests;
+                    stats_.retryPenalty += c.finish - firstFinish[id];
+                }
+                return;
+            }
+
+            ++stats_.errorCompletions;
+            if (attempts[id] >= opts.maxRetries) {
+                ++stats_.failedRequests;
+                stats_.retryPenalty += c.finish - firstFinish[id];
+                return;
+            }
+
+            // Resubmit with exponential backoff, like the block
+            // layer requeueing a failed bio.
+            const std::uint32_t shift = std::min(attempts[id], 20u);
+            const sim::Time delay = opts.retryBackoff << shift;
+            ++attempts[id];
+            ++stats_.retriesScheduled;
+            emmc::IoRequest retry = c.request;
+            retry.arrival = c.finish + delay;
+            sim_.schedule(retry.arrival,
+                          [this, retry] { device_.submit(retry); });
         });
 
     for (std::size_t i = 0; i < input.size(); ++i) {

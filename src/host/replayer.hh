@@ -27,6 +27,29 @@ struct ReplayOptions
      * can address a larger region than one device exports).
      */
     bool wrapAddresses = true;
+    /**
+     * Bounded retry on device-reported errors (uncorrectable reads,
+     * rejected writes), mirroring the block layer's requeue policy.
+     * 0 disables resubmission.
+     */
+    std::uint32_t maxRetries = 3;
+    /** First retry delay; doubles per attempt (exponential backoff). */
+    sim::Time retryBackoff = sim::milliseconds(1);
+};
+
+/** Host-side error-recovery counters for one replay. */
+struct ReplayStats
+{
+    /** Completions that reported an error (any attempt). */
+    std::uint64_t errorCompletions = 0;
+    /** Resubmissions scheduled by the retry policy. */
+    std::uint64_t retriesScheduled = 0;
+    /** Requests that succeeded on a retry attempt. */
+    std::uint64_t recoveredRequests = 0;
+    /** Requests still failing after the retry budget. */
+    std::uint64_t failedRequests = 0;
+    /** Extra latency requests accrued across their retry attempts. */
+    sim::Time retryPenalty = 0;
 };
 
 /** Drives one device with one trace. */
@@ -49,9 +72,13 @@ class Replayer
     trace::Trace replay(const trace::Trace &input,
                         const ReplayOptions &opts = {});
 
+    /** Error/retry counters of the most recent replay() call. */
+    const ReplayStats &stats() const { return stats_; }
+
   private:
     sim::Simulator &sim_;
     emmc::EmmcDevice &device_;
+    ReplayStats stats_;
 };
 
 } // namespace emmcsim::host

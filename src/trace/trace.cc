@@ -130,9 +130,20 @@ Trace::saveFile(const std::string &path) const
         sim::fatal("error while writing trace file: " + path);
 }
 
-Trace
-Trace::load(std::istream &is)
+std::string
+TraceLoadError::message() const
 {
+    if (reason.empty())
+        return "";
+    if (line == 0)
+        return reason;
+    return "line " + std::to_string(line) + ": " + reason;
+}
+
+bool
+Trace::tryLoad(std::istream &is, Trace &out, TraceLoadError &err)
+{
+    err = TraceLoadError{};
     Trace t;
     std::string line;
     std::size_t lineno = 0;
@@ -150,35 +161,85 @@ Trace::load(std::istream &is)
         TraceRecord r;
         char op = 0;
         if (!(ss >> r.arrival >> r.lbaSector >> r.sizeBytes >> op)) {
-            sim::fatal("malformed trace line " + std::to_string(lineno) +
-                       ": " + line);
+            err.line = lineno;
+            err.reason = "malformed record (expected \"<arrival_ns> "
+                         "<lba_sector> <size_bytes> <R|W>\"): " +
+                         line;
+            return false;
         }
         if (op == 'W' || op == 'w') {
             r.op = OpType::Write;
         } else if (op == 'R' || op == 'r') {
             r.op = OpType::Read;
         } else {
-            sim::fatal("bad op on trace line " + std::to_string(lineno));
+            err.line = lineno;
+            err.reason = std::string("bad op '") + op +
+                         "' (expected R or W)";
+            return false;
+        }
+        if (r.arrival < 0) {
+            err.line = lineno;
+            err.reason = "negative arrival time";
+            return false;
         }
         sim::Time svc = sim::kTimeNever;
         sim::Time fin = sim::kTimeNever;
-        if (ss >> svc >> fin) {
+        if (ss >> svc) {
+            if (!(ss >> fin)) {
+                err.line = lineno;
+                err.reason =
+                    "service timestamp without a finish timestamp";
+                return false;
+            }
             r.serviceStart = svc;
             r.finish = fin;
+        } else {
+            ss.clear();
+        }
+        std::string extra;
+        if (ss >> extra) {
+            err.line = lineno;
+            err.reason = "trailing garbage after record: " + extra;
+            return false;
         }
         t.records_.push_back(r);
     }
     t.sortByArrival();
+    out = std::move(t);
+    return true;
+}
+
+bool
+Trace::tryLoadFile(const std::string &path, Trace &out,
+                   TraceLoadError &err)
+{
+    std::ifstream is(path);
+    if (!is) {
+        err.line = 0;
+        err.reason = "cannot open trace file: " + path;
+        return false;
+    }
+    return tryLoad(is, out, err);
+}
+
+Trace
+Trace::load(std::istream &is)
+{
+    Trace t;
+    TraceLoadError err;
+    if (!tryLoad(is, t, err))
+        sim::fatal("trace load failed: " + err.message());
     return t;
 }
 
 Trace
 Trace::loadFile(const std::string &path)
 {
-    std::ifstream is(path);
-    if (!is)
-        sim::fatal("cannot open trace file: " + path);
-    return load(is);
+    Trace t;
+    TraceLoadError err;
+    if (!tryLoadFile(path, t, err))
+        sim::fatal("trace load failed: " + err.message());
+    return t;
 }
 
 } // namespace emmcsim::trace

@@ -23,6 +23,24 @@
 
 namespace emmcsim::trace {
 
+/**
+ * Structured description of a trace-parsing failure: which line broke
+ * and why. Callers that cannot tolerate sim::fatal (the CLI, tests)
+ * use the tryLoad API and decide themselves how to report it.
+ */
+struct TraceLoadError
+{
+    /** 1-based line of the offending record; 0 for file-level errors. */
+    std::size_t line = 0;
+    /** Human-readable failure description; empty means success. */
+    std::string reason;
+
+    bool ok() const { return reason.empty(); }
+
+    /** "line N: reason" (or just the reason for file-level errors). */
+    std::string message() const;
+};
+
 /** A named, arrival-ordered sequence of trace records. */
 class Trace
 {
@@ -89,6 +107,22 @@ class Trace
 
     /** Parse from a file; sim::fatal on I/O failure. */
     static Trace loadFile(const std::string &path);
+
+    /**
+     * Parse from a stream without dying on malformed input.
+     *
+     * @param out Receives the parsed trace on success (unspecified on
+     *        failure).
+     * @param err Filled with the offending line and reason on failure;
+     *        reset to success otherwise.
+     * @retval true on success.
+     */
+    static bool tryLoad(std::istream &is, Trace &out,
+                        TraceLoadError &err);
+
+    /** tryLoad from a file; unopenable files are file-level errors. */
+    static bool tryLoadFile(const std::string &path, Trace &out,
+                            TraceLoadError &err);
 
   private:
     std::string name_;

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * FaultInjector unit tests: the neutrality contract of a disabled
+ * injector, the wear/retention RBER curve, the read-retry ladder,
+ * seed-determinism of the fault stream, and the forced-fault hooks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fault/injector.hh"
+
+using namespace emmcsim;
+using namespace emmcsim::fault;
+
+namespace {
+
+/** Enabled config with every probabilistic knob at zero. */
+FaultConfig
+quietConfig()
+{
+    FaultConfig cfg;
+    cfg.enabled = true;
+    cfg.seed = 17;
+    return cfg;
+}
+
+} // namespace
+
+TEST(FaultInjector, DisabledInjectorIsInert)
+{
+    FaultConfig cfg; // enabled == false by default
+    cfg.baseRber = 0.5;
+    cfg.programFailProb = 1.0;
+    cfg.eraseFailProb = 1.0;
+    FaultInjector inj(cfg);
+    EXPECT_FALSE(inj.enabled());
+
+    for (int i = 0; i < 100; ++i) {
+        const ReadFault f = inj.onRead(1000, 1000);
+        EXPECT_EQ(f.retries, 0u);
+        EXPECT_FALSE(f.uncorrectable);
+        EXPECT_FALSE(inj.programFails(1000));
+        EXPECT_FALSE(inj.eraseFails(1000));
+    }
+    // Disabled means not even the counters move.
+    EXPECT_EQ(inj.stats().readsEvaluated, 0u);
+    EXPECT_EQ(inj.stats().programsEvaluated, 0u);
+    EXPECT_EQ(inj.stats().erasesEvaluated, 0u);
+}
+
+TEST(FaultInjector, BelowThresholdReadsAreCleanAndDrawFree)
+{
+    FaultConfig cfg = quietConfig();
+    cfg.baseRber = 1e-4; // half the default 2e-4 ECC threshold
+    FaultInjector a(cfg);
+    cfg.seed = 999; // a different stream must not matter: no draws
+    FaultInjector b(cfg);
+
+    for (int i = 0; i < 200; ++i) {
+        const ReadFault fa = a.onRead(0, 0);
+        const ReadFault fb = b.onRead(0, 0);
+        EXPECT_EQ(fa.retries, 0u);
+        EXPECT_FALSE(fa.uncorrectable);
+        EXPECT_EQ(fb.retries, 0u);
+    }
+    EXPECT_EQ(a.stats().cleanReads, 200u);
+    EXPECT_EQ(a.stats().correctedReads, 0u);
+    EXPECT_EQ(a.stats().uncorrectableReads, 0u);
+    EXPECT_EQ(a.stats().retryRounds, 0u);
+}
+
+TEST(FaultInjector, RberCurveGrowsWithWearAndAge)
+{
+    FaultConfig cfg = quietConfig();
+    cfg.baseRber = 1e-5;
+    cfg.wearRberFactor = 1e-3;
+    cfg.retentionRberPerAge = 1e-9;
+    FaultInjector inj(cfg);
+
+    EXPECT_DOUBLE_EQ(inj.rberAt(0, 0), 1e-5);
+    EXPECT_GT(inj.rberAt(100, 0), inj.rberAt(10, 0));
+    EXPECT_GT(inj.rberAt(0, 5000), inj.rberAt(0, 50));
+    // Both terms compose additively.
+    EXPECT_GT(inj.rberAt(100, 5000), inj.rberAt(100, 0));
+}
+
+TEST(FaultInjector, LadderCorrectsModerateRber)
+{
+    // rber sits between the level-0 threshold (2e-4) and the level-1
+    // threshold (3.2e-4): the default read may fail, but retry level 1
+    // always recovers — nothing can be uncorrectable.
+    FaultConfig cfg = quietConfig();
+    cfg.baseRber = 3e-4;
+    FaultInjector inj(cfg);
+
+    for (int i = 0; i < 500; ++i) {
+        const ReadFault f = inj.onRead(0, 0);
+        EXPECT_FALSE(f.uncorrectable);
+        EXPECT_LE(f.retries, 1u);
+    }
+    const FaultStats &st = inj.stats();
+    EXPECT_EQ(st.readsEvaluated, 500u);
+    EXPECT_EQ(st.cleanReads + st.correctedReads, 500u);
+    EXPECT_EQ(st.uncorrectableReads, 0u);
+    // pFail ~0.39 at level 0: both outcomes must actually occur.
+    EXPECT_GT(st.cleanReads, 0u);
+    EXPECT_GT(st.correctedReads, 0u);
+    EXPECT_EQ(st.retryRounds, st.correctedReads);
+}
+
+TEST(FaultInjector, ExtremeRberExhaustsTheLadder)
+{
+    // rber is ~38x the deepest ladder threshold: survival probability
+    // is exp(-37) per level — uncorrectable for all practical purposes.
+    FaultConfig cfg = quietConfig();
+    cfg.baseRber = 0.05;
+    FaultInjector inj(cfg);
+
+    for (int i = 0; i < 100; ++i) {
+        const ReadFault f = inj.onRead(0, 0);
+        EXPECT_TRUE(f.uncorrectable);
+        EXPECT_EQ(f.retries, cfg.readRetryLevels);
+    }
+    EXPECT_EQ(inj.stats().uncorrectableReads, 100u);
+    EXPECT_EQ(inj.stats().retryRounds, 100u * cfg.readRetryLevels);
+}
+
+TEST(FaultInjector, SameSeedReplaysTheSameFaultSequence)
+{
+    FaultConfig cfg = quietConfig();
+    cfg.baseRber = 3e-4;
+    cfg.programFailProb = 0.3;
+    cfg.eraseFailProb = 0.3;
+    FaultInjector a(cfg);
+    FaultInjector b(cfg);
+
+    for (int i = 0; i < 300; ++i) {
+        const auto wear = static_cast<std::uint32_t>(i % 7);
+        const ReadFault ra = a.onRead(wear, i);
+        const ReadFault rb = b.onRead(wear, i);
+        EXPECT_EQ(ra.retries, rb.retries) << "read " << i;
+        EXPECT_EQ(ra.uncorrectable, rb.uncorrectable) << "read " << i;
+        EXPECT_EQ(a.programFails(wear), b.programFails(wear)) << i;
+        EXPECT_EQ(a.eraseFails(wear), b.eraseFails(wear)) << i;
+    }
+    EXPECT_EQ(a.stats().correctedReads, b.stats().correctedReads);
+    EXPECT_EQ(a.stats().programFailures, b.stats().programFailures);
+    EXPECT_EQ(a.stats().eraseFailures, b.stats().eraseFailures);
+}
+
+TEST(FaultInjector, ForcedFaultsConsumeNoRngDraws)
+{
+    FaultConfig cfg = quietConfig();
+    cfg.baseRber = 3e-4; // above threshold: every read draws
+    FaultInjector plain(cfg);
+    FaultInjector forced(cfg);
+
+    // Plant one of each forced fault up front; the probabilistic
+    // stream both injectors see afterwards must stay aligned.
+    forced.forceReadFailures(1);
+    forced.forceProgramFailures(1);
+    forced.forceEraseFailures(1);
+
+    const ReadFault f = forced.onRead(0, 0);
+    EXPECT_TRUE(f.uncorrectable);
+    EXPECT_EQ(f.retries, cfg.readRetryLevels);
+    EXPECT_TRUE(forced.programFails(0));
+    EXPECT_TRUE(forced.eraseFails(0));
+    EXPECT_EQ(forced.stats().forcedFaults, 3u);
+
+    for (int i = 0; i < 200; ++i) {
+        const ReadFault ra = plain.onRead(0, 0);
+        const ReadFault rb = forced.onRead(0, 0);
+        EXPECT_EQ(ra.retries, rb.retries) << "read " << i;
+        EXPECT_EQ(ra.uncorrectable, rb.uncorrectable) << "read " << i;
+    }
+}
+
+TEST(FaultInjector, ProgramAndEraseFailuresFollowTheirProbabilities)
+{
+    FaultConfig cfg = quietConfig();
+    cfg.programFailProb = 1.0;
+    cfg.eraseFailProb = 1.0;
+    FaultInjector certain(cfg);
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_TRUE(certain.programFails(0));
+        EXPECT_TRUE(certain.eraseFails(0));
+    }
+    EXPECT_EQ(certain.stats().programFailures, 20u);
+    EXPECT_EQ(certain.stats().eraseFailures, 20u);
+
+    cfg.programFailProb = 0.0;
+    cfg.eraseFailProb = 0.0;
+    FaultInjector never(cfg);
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_FALSE(never.programFails(1000000));
+        EXPECT_FALSE(never.eraseFails(1000000));
+    }
+    EXPECT_EQ(never.stats().programFailures, 0u);
+    EXPECT_EQ(never.stats().eraseFailures, 0u);
+}
+
+TEST(FaultInjector, WearScalesProgramFailureRate)
+{
+    FaultConfig cfg = quietConfig();
+    cfg.programFailProb = 0.01;
+    cfg.wearFailFactor = 1.0; // p grows linearly with erase count
+    FaultInjector fresh(cfg);
+    FaultInjector worn(cfg);
+
+    int fresh_fails = 0;
+    int worn_fails = 0;
+    for (int i = 0; i < 2000; ++i) {
+        fresh_fails += fresh.programFails(0) ? 1 : 0;
+        worn_fails += worn.programFails(99) ? 1 : 0; // p = 1.0, clamped
+    }
+    EXPECT_EQ(worn_fails, 2000);
+    EXPECT_LT(fresh_fails, 200); // ~20 expected at p = 0.01
+}
+
+TEST(FaultInjectorDeath, ConfigValidation)
+{
+    FaultConfig bad_rber;
+    bad_rber.baseRber = 1.5;
+    EXPECT_DEATH(FaultInjector{bad_rber}, "baseRber");
+
+    FaultConfig bad_gain;
+    bad_gain.retryThresholdGain = 1.0;
+    EXPECT_DEATH(FaultInjector{bad_gain}, "retryThresholdGain");
+
+    FaultConfig bad_prob;
+    bad_prob.programFailProb = 2.0;
+    EXPECT_DEATH(FaultInjector{bad_prob}, "probabilities");
+
+    FaultConfig bad_thresh;
+    bad_thresh.eccRberThreshold = 0.0;
+    EXPECT_DEATH(FaultInjector{bad_thresh}, "eccRberThreshold");
+}

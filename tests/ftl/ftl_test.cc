@@ -77,10 +77,10 @@ TEST(Ftl, LogicalUnitsRespectOverProvisioning)
 TEST(Ftl, WriteThenReadMapsUnits)
 {
     FtlUnderTest t;
-    sim::Time w = t.ftl.writeGroup(0, {5}, 0);
+    sim::Time w = t.ftl.writeGroup(0, {5}, 0).done;
     EXPECT_GT(w, 0);
     EXPECT_TRUE(t.ftl.map().mapped(5));
-    sim::Time r = t.ftl.readUnits(5, 1, w);
+    sim::Time r = t.ftl.readUnits(5, 1, w).done;
     EXPECT_GT(r, w);
     EXPECT_EQ(t.ftl.stats().hostUnitsWritten, 1u);
     EXPECT_EQ(t.ftl.stats().hostUnitsRead, 1u);
@@ -133,7 +133,7 @@ TEST(Ftl, ReadSplitAcrossPagesIssuesMultipleOps)
 TEST(Ftl, UnmappedReadStillCostsTime)
 {
     FtlUnderTest t;
-    sim::Time r = t.ftl.readUnits(0, 4, 0);
+    sim::Time r = t.ftl.readUnits(0, 4, 0).done;
     EXPECT_GT(r, 0);
     EXPECT_EQ(t.ftl.stats().hostReadOps, 4u);
 }
@@ -152,7 +152,7 @@ TEST(Ftl, UnmappedReadUsesPseudoDistributorSplit)
 TEST(Ftl, ZeroUnitReadIsFree)
 {
     FtlUnderTest t;
-    EXPECT_EQ(t.ftl.readUnits(0, 0, 77), 77);
+    EXPECT_EQ(t.ftl.readUnits(0, 0, 77).done, 77);
     EXPECT_EQ(t.ftl.stats().hostReadOps, 0u);
 }
 
@@ -231,7 +231,7 @@ TEST(Ftl, PoolOverflowRedirectsToOtherPool)
     // Write 64 distinct pairs; beyond the pool's live capacity the
     // FTL must redirect.
     for (int i = 0; i < 32; ++i, lpn += 2)
-        now = t.ftl.writeGroup(1, {lpn, lpn + 1}, now);
+        now = t.ftl.writeGroup(1, {lpn, lpn + 1}, now).done;
     EXPECT_GT(t.ftl.stats().overflowRedirects, 0u);
     // All data remains addressable.
     for (flash::Lpn u = 0; u < lpn; ++u)

@@ -143,12 +143,12 @@ TEST_P(FtlFuzz, RandomTrafficKeepsInvariants)
             groups.clear();
             dist.splitWrite(start, n, groups);
             for (const PageGroup &g : groups) {
-                t = rig.ftl.writeGroup(g.pool, g.lpns, t);
+                t = rig.ftl.writeGroup(g.pool, g.lpns, t).done;
                 for (flash::Lpn lpn : g.lpns)
                     live.insert(lpn);
             }
         } else if (op < 9) { // read (mapped or not)
-            sim::Time done = rig.ftl.readUnits(start, n, t);
+            sim::Time done = rig.ftl.readUnits(start, n, t).done;
             ASSERT_GE(done, t);
         } else { // trim
             rig.ftl.trim(start, n);

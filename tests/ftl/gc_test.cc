@@ -72,7 +72,7 @@ TEST(GarbageCollector, TriggersUnderWritePressure)
     // and GC must reclaim stale pages.
     for (int round = 0; round < 10; ++round) {
         for (flash::Lpn lpn = 0; lpn < 8; ++lpn)
-            t = rig.ftl.writeGroup(0, {lpn}, t);
+            t = rig.ftl.writeGroup(0, {lpn}, t).done;
     }
     EXPECT_GT(rig.ftl.gcStats().blockingRounds, 0u);
     EXPECT_GT(rig.ftl.gcStats().erasedBlocks, 0u);
@@ -84,7 +84,7 @@ TEST(GarbageCollector, DataSurvivesRelocation)
     sim::Time t = 0;
     for (int round = 0; round < 20; ++round) {
         for (flash::Lpn lpn = 0; lpn < 8; ++lpn)
-            t = rig.ftl.writeGroup(0, {lpn}, t);
+            t = rig.ftl.writeGroup(0, {lpn}, t).done;
         // After each round every logical unit must still resolve to a
         // live physical unit holding its lpn.
         for (flash::Lpn lpn = 0; lpn < 8; ++lpn) {
@@ -106,7 +106,7 @@ TEST(GarbageCollector, GcConsumesFlashTime)
     sim::Time t = 0;
     for (int round = 0; round < 10; ++round) {
         for (flash::Lpn lpn = 0; lpn < 8; ++lpn)
-            t = rig.ftl.writeGroup(0, {lpn}, t);
+            t = rig.ftl.writeGroup(0, {lpn}, t).done;
     }
     EXPECT_GT(rig.ftl.gcStats().blockingTime, 0);
 }
@@ -117,7 +117,7 @@ TEST(GarbageCollector, RelocationCountsUnits)
     sim::Time t = 0;
     for (int round = 0; round < 10; ++round) {
         for (flash::Lpn lpn = 0; lpn < 8; ++lpn)
-            t = rig.ftl.writeGroup(0, {lpn}, t);
+            t = rig.ftl.writeGroup(0, {lpn}, t).done;
     }
     // Greedy victims of a cyclic overwrite pattern are mostly stale,
     // so relocation traffic stays bounded.
@@ -134,7 +134,7 @@ TEST(GarbageCollector, IdleGcRaisesFreeBlocks)
     // before blocking GC does all the work.
     for (int round = 0; round < 3; ++round) {
         for (flash::Lpn lpn = 0; lpn < 8; ++lpn)
-            t = rig.ftl.writeGroup(0, {lpn}, t);
+            t = rig.ftl.writeGroup(0, {lpn}, t).done;
     }
     auto &pool = rig.array.plane(0).pool(0);
     std::uint32_t before = pool.freeBlockCount();
@@ -160,7 +160,7 @@ TEST(GarbageCollector, WearStaysBalanced)
     sim::Time t = 0;
     for (int round = 0; round < 50; ++round) {
         for (flash::Lpn lpn = 0; lpn < 8; ++lpn)
-            t = rig.ftl.writeGroup(0, {lpn}, t);
+            t = rig.ftl.writeGroup(0, {lpn}, t).done;
     }
     // Simple wear leveling (min-erase free-block pick) keeps the
     // erase spread small under uniform churn.
@@ -172,13 +172,15 @@ TEST(GarbageCollectorDeath, ThresholdsValidated)
     GcRig rig;
     flash::FlashArray arr(GcRig::makeGeom(), GcRig::makeTiming(), true);
     PageMap map(8);
+    BadBlockManager bbm(1, 1, BbmConfig{});
     GcConfig bad;
     bad.hardFreeBlocks = 0;
-    EXPECT_DEATH(GarbageCollector(arr, map, bad), "reserved free block");
+    EXPECT_DEATH(GarbageCollector(arr, map, bad, bbm),
+                 "reserved free block");
     GcConfig inverted;
     inverted.hardFreeBlocks = 4;
     inverted.softFreeBlocks = 2;
-    EXPECT_DEATH(GarbageCollector(arr, map, inverted),
+    EXPECT_DEATH(GarbageCollector(arr, map, inverted, bbm),
                  "soft GC threshold");
 }
 
@@ -194,7 +196,8 @@ TEST(GcVictimPolicy, CostBenefitPrefersOldBlocks)
     cfg.hardFreeBlocks = 1;
     cfg.softFreeBlocks = 4;
     cfg.victimPolicy = GcVictimPolicy::CostBenefit;
-    GarbageCollector gc(arr, map, cfg);
+    BadBlockManager bbm(1, 1, BbmConfig{});
+    GarbageCollector gc(arr, map, cfg, bbm);
 
     auto &bp = arr.plane(0).pool(0);
     // Fill block A (old) and block B (young), then open block C so
@@ -232,7 +235,8 @@ TEST(GcVictimPolicy, GreedyPrefersEmptierBlock)
     GcConfig cfg;
     cfg.hardFreeBlocks = 1;
     cfg.softFreeBlocks = 4;
-    GarbageCollector gc(arr, map, cfg);
+    BadBlockManager bbm(1, 1, BbmConfig{});
+    GarbageCollector gc(arr, map, cfg, bbm);
 
     auto &bp = arr.plane(0).pool(0);
     std::vector<flash::Ppn> pages;
@@ -266,7 +270,7 @@ TEST(Wear, ReportAggregatesPools)
     sim::Time t = 0;
     for (int round = 0; round < 10; ++round) {
         for (flash::Lpn lpn = 0; lpn < 8; ++lpn)
-            t = rig.ftl.writeGroup(0, {lpn}, t);
+            t = rig.ftl.writeGroup(0, {lpn}, t).done;
     }
     WearReport rep = computeWear(rig.array);
     EXPECT_EQ(rep.totalErases, rig.ftl.gcStats().erasedBlocks);
@@ -281,7 +285,7 @@ TEST(Wear, WriteAmplificationAtLeastOne)
     sim::Time t = 0;
     for (int round = 0; round < 10; ++round) {
         for (flash::Lpn lpn = 0; lpn < 8; ++lpn)
-            t = rig.ftl.writeGroup(0, {lpn}, t);
+            t = rig.ftl.writeGroup(0, {lpn}, t).done;
     }
     double wa = writeAmplification(rig.array, rig.ftl);
     // GC relocation means strictly more flash programs than host data.

@@ -196,6 +196,102 @@ TEST(TraceIo, FileRoundTrip)
     EXPECT_EQ(back.name(), "Sample");
 }
 
+TEST(TraceIoErrors, TryLoadAcceptsGoodInput)
+{
+    std::stringstream ss;
+    ss << "# name: Y\n0 0 4096 R\n10 8 4096 W 12 900\n";
+    Trace t;
+    TraceLoadError err;
+    ASSERT_TRUE(Trace::tryLoad(ss, t, err));
+    EXPECT_TRUE(err.ok());
+    EXPECT_EQ(err.message(), "");
+    EXPECT_EQ(t.name(), "Y");
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_TRUE(t[1].replayed());
+}
+
+TEST(TraceIoErrors, MalformedRecordReportsLineAndReason)
+{
+    std::stringstream ss;
+    ss << "0 0 4096 R\n1000 zero 4096 W\n";
+    Trace t;
+    TraceLoadError err;
+    EXPECT_FALSE(Trace::tryLoad(ss, t, err));
+    EXPECT_FALSE(err.ok());
+    EXPECT_EQ(err.line, 2u);
+    EXPECT_NE(err.reason.find("malformed record"), std::string::npos);
+    EXPECT_NE(err.message().find("line 2: "), std::string::npos);
+}
+
+TEST(TraceIoErrors, BadOpReportsTheOffendingCharacter)
+{
+    std::stringstream ss;
+    ss << "0 0 4096 X\n";
+    Trace t;
+    TraceLoadError err;
+    EXPECT_FALSE(Trace::tryLoad(ss, t, err));
+    EXPECT_EQ(err.line, 1u);
+    EXPECT_NE(err.reason.find("bad op 'X'"), std::string::npos);
+}
+
+TEST(TraceIoErrors, NegativeArrivalRejected)
+{
+    std::stringstream ss;
+    ss << "-5 0 4096 R\n";
+    Trace t;
+    TraceLoadError err;
+    EXPECT_FALSE(Trace::tryLoad(ss, t, err));
+    EXPECT_EQ(err.line, 1u);
+    EXPECT_NE(err.reason.find("negative arrival"), std::string::npos);
+}
+
+TEST(TraceIoErrors, LoneServiceTimestampRejected)
+{
+    // 5 tokens: a service start without its finish partner.
+    std::stringstream ss;
+    ss << "# header\n\n0 0 4096 R 100\n";
+    Trace t;
+    TraceLoadError err;
+    EXPECT_FALSE(Trace::tryLoad(ss, t, err));
+    EXPECT_EQ(err.line, 3u) << "comments and blanks still count";
+    EXPECT_NE(err.reason.find("without a finish"), std::string::npos);
+}
+
+TEST(TraceIoErrors, TrailingGarbageRejected)
+{
+    std::stringstream ss;
+    ss << "0 0 4096 R 100 200 junk\n";
+    Trace t;
+    TraceLoadError err;
+    EXPECT_FALSE(Trace::tryLoad(ss, t, err));
+    EXPECT_EQ(err.line, 1u);
+    EXPECT_NE(err.reason.find("trailing garbage"), std::string::npos);
+    EXPECT_NE(err.reason.find("junk"), std::string::npos);
+}
+
+TEST(TraceIoErrors, UnopenableFileReportsPath)
+{
+    Trace t;
+    TraceLoadError err;
+    EXPECT_FALSE(
+        Trace::tryLoadFile("/nonexistent/path/trace.txt", t, err));
+    EXPECT_EQ(err.line, 0u);
+    EXPECT_NE(err.reason.find("cannot open"), std::string::npos);
+    // Without a line number the message is just the reason.
+    EXPECT_EQ(err.message(), err.reason);
+}
+
+TEST(TraceIoErrors, FailedLoadLeavesOutputUntouched)
+{
+    Trace t = sampleTrace();
+    std::stringstream ss;
+    ss << "0 0 4096 R\nbroken\n";
+    TraceLoadError err;
+    EXPECT_FALSE(Trace::tryLoad(ss, t, err));
+    EXPECT_EQ(t.size(), 3u) << "partial parse must not leak into out";
+    EXPECT_EQ(t.name(), "Sample");
+}
+
 TEST(TraceIoDeath, MalformedLineFatal)
 {
     std::stringstream ss;

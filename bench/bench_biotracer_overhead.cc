@@ -7,6 +7,16 @@
  * ~6 extra I/O operations. We instrument several generated traces and
  * replay both versions to measure the actual slowdown on the device
  * model.
+ *
+ * Each replay runs under an obs::DeviceObserver, and the injected-op
+ * count is cross-checked against the observability layer: the delta of
+ * the "emmc.requests" counter between the traced and bare replays must
+ * equal the instrumenter's own tally. Mean response times are read
+ * back from the "emmc.response_ms" registry summary, so the numbers
+ * printed here are the same ones any --metrics-json consumer sees.
+ *
+ * Accepts --metrics-json=FILE to dump every replay's full snapshot as
+ * one emmcsim-run-report-v1 document (two runs per application).
  */
 
 #include <iostream>
@@ -16,44 +26,79 @@
 #include "core/scheme.hh"
 #include "host/biotracer.hh"
 #include "host/replayer.hh"
+#include "obs/observer.hh"
+#include "obs/report.hh"
 
 using namespace emmcsim;
 
 int
 main(int argc, char **argv)
 {
-    const double scale = bench::parseScale(argc, argv, 0.5);
-    std::cout << "== BIOtracer overhead (Section II-C; scale " << scale
-              << ") ==\n\n";
+    const bench::BenchArgs args = bench::parseBenchArgs(argc, argv, 0.5);
+    std::cout << "== BIOtracer overhead (Section II-C; scale "
+              << args.scale << ") ==\n\n";
 
     core::TablePrinter table({"Application", "Requests",
                               "Injected ops", "Op overhead (%)",
                               "Bare MRT (ms)", "Traced MRT (ms)",
                               "MRT penalty (%)"});
 
+    obs::RunReport report;
+    bool cross_check_ok = true;
+
     for (const char *app : {"Twitter", "GoogleMaps", "Radio",
                             "Messaging"}) {
-        trace::Trace bare = bench::makeAppTrace(app, scale);
+        trace::Trace bare = bench::makeAppTrace(app, args.scale);
         host::BioTracerStats stats;
         trace::Trace traced = host::instrumentTrace(bare, {}, &stats);
 
-        auto replay_mrt = [](const trace::Trace &t) {
+        auto replay_case = [&](const trace::Trace &t,
+                               const std::string &run_name) {
             sim::Simulator s;
             auto dev = core::makeDevice(s, core::SchemeKind::PS4);
             host::Replayer rep(s, *dev);
+            obs::ObserverOptions obs_opts;
+            obs_opts.metrics = true;
+            obs_opts.replayStats = &rep.stats();
+            obs::DeviceObserver observer(s, *dev, obs_opts);
             rep.replay(t);
-            return dev->stats().responseMs.mean();
+            observer.finish();
+            if (!args.metricsJson.empty())
+                report.addRun(run_name, observer.snapshot());
+            return observer.snapshot();
         };
-        double bare_mrt = replay_mrt(bare);
-        double traced_mrt = replay_mrt(traced);
+        const obs::MetricsSnapshot bare_snap =
+            replay_case(bare, std::string(app) + "_bare");
+        const obs::MetricsSnapshot traced_snap =
+            replay_case(traced, std::string(app) + "_traced");
+
+        // Cross-check: the device-side request counter must account
+        // for exactly the tracer's injected flush writes.
+        const std::uint64_t obs_injected =
+            traced_snap.counterValue("emmc.requests") -
+            bare_snap.counterValue("emmc.requests");
+        if (obs_injected != stats.injectedOps) {
+            std::cerr << "CROSS-CHECK FAILED for " << app
+                      << ": instrumenter says " << stats.injectedOps
+                      << " injected ops, obs counters say "
+                      << obs_injected << "\n";
+            cross_check_ok = false;
+        }
+
+        const auto *bare_mrt =
+            bare_snap.findSummary("emmc.response_ms");
+        const auto *traced_mrt =
+            traced_snap.findSummary("emmc.response_ms");
+        const double bare_ms = bare_mrt ? bare_mrt->mean : 0.0;
+        const double traced_ms = traced_mrt ? traced_mrt->mean : 0.0;
 
         table.addRow(
             {app, core::fmt(stats.tracedRequests),
-             core::fmt(stats.injectedOps),
+             core::fmt(obs_injected),
              core::fmt(100.0 * stats.overheadRatio(), 2),
-             core::fmt(bare_mrt), core::fmt(traced_mrt),
-             core::fmt(100.0 * (traced_mrt - bare_mrt) /
-                           std::max(bare_mrt, 1e-9),
+             core::fmt(bare_ms), core::fmt(traced_ms),
+             core::fmt(100.0 * (traced_ms - bare_ms) /
+                           std::max(bare_ms, 1e-9),
                        2)});
     }
     table.print(std::cout);
@@ -62,5 +107,18 @@ main(int argc, char **argv)
                  "op overhead; the perturbation of the measured "
                  "response times is expected to stay in the same "
                  "low-single-digit band.\n";
+
+    if (!args.metricsJson.empty()) {
+        report.setMeta("tool", "bench_biotracer_overhead");
+        report.setMeta("scale", args.scale);
+        report.writeJsonFile(args.metricsJson);
+        std::cout << "\nwrote metrics report (" << report.runCount()
+                  << " runs) to " << args.metricsJson << "\n";
+    }
+
+    if (!cross_check_ok) {
+        std::cerr << "\nobs cross-check failed\n";
+        return 1;
+    }
     return 0;
 }

@@ -23,16 +23,53 @@ namespace emmcsim::bench {
 /** Fixed seed so every bench run reproduces the same traces. */
 constexpr std::uint64_t kBenchSeed = 2015; // IISWC 2015
 
+/** Parsed bench command line: positional scale + observability flags. */
+struct BenchArgs
+{
+    /** Trace scale factor (positional, default per bench). */
+    double scale = 1.0;
+    /** Run-report JSON output (--metrics-json=FILE; empty = off). */
+    std::string metricsJson;
+    /** Chrome trace output (--trace-out=FILE; empty = off). */
+    std::string traceOut;
+};
+
+/**
+ * Parse the bench command line: an optional positional scale plus the
+ * shared observability flags. Unknown flags abort with sim::fatal so a
+ * typo doesn't silently run the default configuration.
+ */
+inline BenchArgs
+parseBenchArgs(int argc, char **argv, double fallback_scale = 1.0)
+{
+    BenchArgs args;
+    args.scale = fallback_scale;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a.rfind("--metrics-json=", 0) == 0) {
+            args.metricsJson = a.substr(15);
+            if (args.metricsJson.empty())
+                sim::fatal("--metrics-json needs a file");
+        } else if (a.rfind("--trace-out=", 0) == 0) {
+            args.traceOut = a.substr(12);
+            if (args.traceOut.empty())
+                sim::fatal("--trace-out needs a file");
+        } else if (a.rfind("--", 0) == 0) {
+            sim::fatal("unknown bench flag: " + a);
+        } else {
+            const double s = std::atof(a.c_str());
+            if (s > 0.0)
+                args.scale = s;
+        }
+    }
+    return args;
+}
+
 /** Parse the optional scale argument (argv[1], default 1.0). */
 inline double
 parseScale(int argc, char **argv, double fallback = 1.0)
 {
-    if (argc > 1) {
-        double s = std::atof(argv[1]);
-        if (s > 0.0)
-            return s;
-    }
-    return fallback;
+    return parseBenchArgs(argc, argv, fallback).scale;
 }
 
 /** Generate the named application trace at the given scale. */

@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <utility>
@@ -31,6 +32,7 @@
 #include "core/experiment.hh"
 #include "core/report.hh"
 #include "host/replayer.hh"
+#include "obs/report.hh"
 #include "workload/generator.hh"
 #include "workload/profile.hh"
 
@@ -141,9 +143,31 @@ parseScheme(const std::string &name, core::SchemeKind &kind)
     return false;
 }
 
+/** Observability output files requested on the command line. */
+struct ObsOutputs
+{
+    std::string metricsJson; ///< run-report JSON (--metrics-json)
+    std::string chromeTrace; ///< Chrome trace_event JSON (--trace-out)
+    std::string biotracerCsv; ///< emmctrace text (--trace-csv)
+};
+
+/** Write @p content to @p path; prints an error on failure. */
+bool
+writeFileOrReport(const std::string &path, const std::string &content)
+{
+    std::ofstream os(path);
+    if (os)
+        os << content;
+    if (!os) {
+        std::cerr << "error: cannot write " << path << "\n";
+        return false;
+    }
+    return true;
+}
+
 int
 cmdReplay(const std::string &path, const std::string &scheme,
-          const core::ExperimentOptions &opts)
+          const core::ExperimentOptions &opts, const ObsOutputs &outs)
 {
     trace::Trace t;
     if (!loadTraceOrReport(path, t))
@@ -192,6 +216,32 @@ cmdReplay(const std::string &path, const std::string &scheme,
         if (!res.audit.clean())
             return 3;
     }
+
+    if (!outs.metricsJson.empty()) {
+        obs::RunReport report;
+        report.setMeta("tool", "emmcsim_cli");
+        report.setMeta("command", "replay");
+        report.setMeta("trace", t.name());
+        report.setMeta("trace_file", path);
+        report.setMeta("scheme", res.scheme);
+        report.setMeta("requests", res.requests);
+        report.addRun("replay", res.obs.metrics, res.obs.series);
+        report.writeJsonFile(outs.metricsJson);
+        std::cout << "\nwrote metrics report to " << outs.metricsJson
+                  << "\n";
+    }
+    if (!outs.chromeTrace.empty()) {
+        if (!writeFileOrReport(outs.chromeTrace, res.obs.chromeTrace))
+            return 1;
+        std::cout << "wrote Chrome trace to " << outs.chromeTrace
+                  << "\n";
+    }
+    if (!outs.biotracerCsv.empty()) {
+        if (!writeFileOrReport(outs.biotracerCsv, res.obs.biotracerTrace))
+            return 1;
+        std::cout << "wrote replayed trace to " << outs.biotracerCsv
+                  << "\n";
+    }
     return 0;
 }
 
@@ -237,7 +287,18 @@ usage()
            "      [--fault-erase-fail=X]  erase failure probability\n"
            "      [--retries=N]           host retry budget per failed "
            "request (default 3)\n"
-           "  emmcsim_cli compare <app> [scale]\n";
+           "      [--metrics-json=FILE]   write the run-report JSON "
+           "(all registry metrics)\n"
+           "      [--trace-out=FILE]      record request/flash spans, "
+           "write Chrome trace JSON\n"
+           "      [--trace-csv=FILE]      write the replayed trace in "
+           "emmctrace text format\n"
+           "      [--sample-window-ms=N]  record windowed metric "
+           "series every N ms\n"
+           "  emmcsim_cli compare <app> [scale]\n"
+           "\n"
+           "  EMMCSIM_LOG=[level][,comp=level...] controls logging "
+           "(debug|info|warn), e.g. EMMCSIM_LOG=warn,gc=debug\n";
     return 2;
 }
 
@@ -344,7 +405,8 @@ main(int argc, char **argv)
     if (cmd == "replay") {
         known = {"--audit", "--fault-rber", "--fault-seed",
                  "--fault-program-fail", "--fault-erase-fail",
-                 "--retries"};
+                 "--retries", "--metrics-json", "--trace-out",
+                 "--trace-csv", "--sample-window-ms"};
         valued = known;
     }
     std::vector<std::string> pos;
@@ -380,6 +442,7 @@ main(int argc, char **argv)
             return usageError(
                 "replay needs <trace-file> [4PS|8PS|HPS|HSLC]");
         core::ExperimentOptions opts;
+        ObsOutputs outs;
         for (const auto &[name, value] : flags) {
             if (name == "--audit") {
                 opts.auditEveryEvents = 10000;
@@ -415,9 +478,35 @@ main(int argc, char **argv)
                 if (!parseU64(value, n) || n > 1000)
                     return usageError("bad --retries: " + value);
                 opts.hostMaxRetries = static_cast<std::uint32_t>(n);
+            } else if (name == "--metrics-json") {
+                if (value.empty())
+                    return usageError("--metrics-json needs a file");
+                outs.metricsJson = value;
+                opts.obs.metrics = true;
+            } else if (name == "--trace-out") {
+                if (value.empty())
+                    return usageError("--trace-out needs a file");
+                outs.chromeTrace = value;
+                opts.obs.traceSpans = true;
+            } else if (name == "--trace-csv") {
+                if (value.empty())
+                    return usageError("--trace-csv needs a file");
+                outs.biotracerCsv = value;
+                opts.obs.traceSpans = true;
+            } else if (name == "--sample-window-ms") {
+                std::uint64_t ms = 0;
+                if (!parseU64(value, ms) || ms == 0)
+                    return usageError("bad --sample-window-ms: " +
+                                      value);
+                opts.obs.sampleWindow =
+                    sim::milliseconds(static_cast<std::int64_t>(ms));
             }
         }
-        return cmdReplay(pos[0], pos.size() > 1 ? pos[1] : "HPS", opts);
+        if (opts.obs.sampleWindow > 0 && outs.metricsJson.empty())
+            return usageError(
+                "--sample-window-ms requires --metrics-json");
+        return cmdReplay(pos[0], pos.size() > 1 ? pos[1] : "HPS", opts,
+                         outs);
     }
     if (cmd == "compare") {
         if (pos.empty() || pos.size() > 2)

@@ -8,6 +8,12 @@
  * Usage: hps_case_study [app-name] [scale] [--audit]
  *                       [--fault-rber=X] [--fault-seed=N]
  *                       [--fault-program-fail=X] [--fault-erase-fail=X]
+ *                       [--metrics-json=FILE] [--trace-out=FILE]
+ *
+ * --metrics-json writes one emmcsim-run-report-v1 JSON file holding a
+ * full metrics snapshot per scheme (one "runs" entry each), so the
+ * Fig 8/9 numbers and every counter behind them are machine-readable.
+ * --trace-out writes the HPS replay's spans as Chrome trace JSON.
  *
  * --audit runs the check/ invariant auditor during each replay
  * (periodic full audits plus a final one) and fails the run when any
@@ -23,11 +29,15 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+
 #include "check/audit.hh"
 #include "core/experiment.hh"
 #include "core/scheme.hh"
 #include "core/report.hh"
 #include "host/replayer.hh"
+#include "obs/observer.hh"
+#include "obs/report.hh"
 #include "workload/generator.hh"
 #include "workload/profile.hh"
 
@@ -41,7 +51,8 @@ usage()
     std::cerr << "usage: hps_case_study [app-name] [scale] [--audit]\n"
                  "         [--fault-rber=X] [--fault-seed=N]\n"
                  "         [--fault-program-fail=X] "
-                 "[--fault-erase-fail=X]\n";
+                 "[--fault-erase-fail=X]\n"
+                 "         [--metrics-json=FILE] [--trace-out=FILE]\n";
     return 2;
 }
 
@@ -82,6 +93,8 @@ main(int argc, char **argv)
 {
     bool audit = false;
     fault::FaultConfig fault_cfg;
+    std::string metrics_json;
+    std::string trace_out;
     std::vector<std::string> args;
     for (int i = 1; i < argc; ++i) {
         const std::string a(argv[i]);
@@ -121,6 +134,14 @@ main(int argc, char **argv)
                 fault_cfg.eraseFailProb < 0 ||
                 fault_cfg.eraseFailProb > 1)
                 return usageError("bad --fault-erase-fail: " + value);
+        } else if (name == "--metrics-json") {
+            if (value.empty())
+                return usageError("--metrics-json needs a file");
+            metrics_json = value;
+        } else if (name == "--trace-out") {
+            if (value.empty())
+                return usageError("--trace-out needs a file");
+            trace_out = value;
         } else {
             return usageError("unknown flag: " + name);
         }
@@ -153,6 +174,7 @@ main(int argc, char **argv)
 
     double mrt4 = 0.0;
     std::uint64_t audit_violations = 0;
+    obs::RunReport obs_report;
     for (core::SchemeKind kind : core::allSchemes()) {
         sim::Simulator s;
         emmc::EmmcConfig cfg = core::schemeConfig(kind);
@@ -168,7 +190,41 @@ main(int argc, char **argv)
         }
 
         host::Replayer rep(s, *dev);
+
+        // One observer per scheme: each run snapshots into its own
+        // report entry; HPS additionally records spans for --trace-out.
+        const bool trace_this =
+            !trace_out.empty() && kind == core::SchemeKind::HPS;
+        std::unique_ptr<obs::DeviceObserver> observer;
+        if (!metrics_json.empty() || trace_this) {
+            obs::ObserverOptions obs_opts;
+            obs_opts.metrics = !metrics_json.empty();
+            obs_opts.trace = trace_this;
+            obs_opts.replayStats = &rep.stats();
+            observer = std::make_unique<obs::DeviceObserver>(s, *dev,
+                                                             obs_opts);
+        }
+
         rep.replay(t);
+
+        if (observer) {
+            observer->finish();
+            if (!metrics_json.empty())
+                obs_report.addRun(core::schemeName(kind),
+                                  observer->snapshot());
+            if (trace_this) {
+                std::ofstream os(trace_out);
+                if (os)
+                    observer->tracer().exportChromeTrace(os);
+                if (!os) {
+                    std::cerr << "error: cannot write " << trace_out
+                              << "\n";
+                    return 1;
+                }
+                std::cout << "wrote Chrome trace of the HPS replay to "
+                          << trace_out << "\n\n";
+            }
+        }
 
         if (auditor) {
             auditor->runFullAudit();
@@ -232,6 +288,18 @@ main(int argc, char **argv)
                  "odd tails, so it keeps 4PS's perfect space "
                  "utilization — the padding an 8KB-only device "
                  "cannot avoid.\n";
+
+    if (!metrics_json.empty()) {
+        obs_report.setMeta("tool", "hps_case_study");
+        obs_report.setMeta("app", app);
+        obs_report.setMeta("scale", scale);
+        obs_report.setMeta("trace", t.name());
+        obs_report.setMeta("requests",
+                           static_cast<std::uint64_t>(t.size()));
+        obs_report.writeJsonFile(metrics_json);
+        std::cout << "\nwrote metrics report (" << obs_report.runCount()
+                  << " runs) to " << metrics_json << "\n";
+    }
 
     if (audit && audit_violations > 0) {
         std::cerr << "\nAUDIT FAILED: " << audit_violations

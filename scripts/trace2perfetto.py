@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Convert an emmctrace v1 text file into a Chrome trace_event JSON
+file loadable by Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+
+Usage:
+    trace2perfetto.py INPUT.trace OUTPUT.json
+        Convert a replayed emmctrace (with serviceStart/finish
+        timestamps) into trace_event JSON. Each request becomes one
+        complete ("X") slice on the request track; queue waits
+        (arrival < serviceStart) become async "b"/"e" pairs, matching
+        the simulator's own --trace-out export.
+
+    trace2perfetto.py --check FILE.json
+        Validate that FILE.json is a structurally sound Chrome trace:
+        parses as JSON, has a traceEvents list, every event carries
+        the required keys for its phase, and "b"/"e" pairs balance.
+        Exits non-zero with a diagnostic on the first violation.
+
+Only the Python standard library is used.
+"""
+
+import json
+import sys
+
+US_PER_NS = 1e-3
+PID = 1
+REQUEST_TID = 1
+
+
+def parse_emmctrace(path):
+    """Parse an emmctrace v1 file into (name, records)."""
+    name = ""
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        first = fh.readline()
+        if not first.startswith("# emmctrace v1"):
+            raise ValueError(f"{path}: not an emmctrace v1 file")
+        for lineno, line in enumerate(fh, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if line.startswith("# name:"):
+                    name = line[len("# name:"):].strip()
+                continue
+            parts = line.split()
+            if len(parts) not in (4, 6):
+                raise ValueError(
+                    f"{path}:{lineno}: expected 4 or 6 fields, "
+                    f"got {len(parts)}")
+            rec = {
+                "arrival": int(parts[0]),
+                "lba_sector": int(parts[1]),
+                "size_bytes": int(parts[2]),
+                "op": parts[3],
+            }
+            if rec["op"] not in ("R", "W"):
+                raise ValueError(
+                    f"{path}:{lineno}: bad op {parts[3]!r}")
+            if len(parts) == 6:
+                rec["service_start"] = int(parts[4])
+                rec["finish"] = int(parts[5])
+            records.append(rec)
+    return name, records
+
+
+def convert(name, records):
+    """Build the Chrome trace_event document for parsed records."""
+    events = [
+        {"ph": "M", "pid": PID, "tid": REQUEST_TID,
+         "name": "process_name",
+         "args": {"name": name or "emmctrace"}},
+        {"ph": "M", "pid": PID, "tid": REQUEST_TID,
+         "name": "thread_name", "args": {"name": "emmc requests"}},
+    ]
+    replayed = 0
+    for i, rec in enumerate(records):
+        if "finish" not in rec:
+            continue
+        replayed += 1
+        arrival_us = rec["arrival"] * US_PER_NS
+        start_us = rec["service_start"] * US_PER_NS
+        finish_us = rec["finish"] * US_PER_NS
+        if rec["service_start"] > rec["arrival"]:
+            common = {"cat": "queue", "name": "queued", "pid": PID,
+                      "tid": REQUEST_TID, "id": i}
+            events.append(dict(common, ph="b", ts=arrival_us))
+            events.append(dict(common, ph="e", ts=start_us))
+        events.append({
+            "ph": "X", "cat": "request",
+            "name": "write" if rec["op"] == "W" else "read",
+            "pid": PID, "tid": REQUEST_TID,
+            "ts": start_us, "dur": finish_us - start_us,
+            "args": {"id": i, "lba_sector": rec["lba_sector"],
+                     "size_bytes": rec["size_bytes"]},
+        })
+    if replayed == 0:
+        print("warning: no replayed records (no timestamps); "
+              "emitting metadata only", file=sys.stderr)
+    return {"displayTimeUnit": "ns", "traceEvents": events}
+
+
+REQUIRED_KEYS = {
+    "X": ("name", "ts", "dur", "pid", "tid"),
+    "b": ("name", "ts", "id", "pid", "tid"),
+    "e": ("name", "ts", "id", "pid", "tid"),
+    "M": ("name", "pid"),
+}
+
+
+def check(path):
+    """Validate a Chrome trace JSON file; raise ValueError on issues."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError(f"{path}: missing traceEvents")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError(f"{path}: traceEvents is not a list")
+    open_async = {}
+    counts = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError(f"{path}: event {i} is not an object")
+        ph = ev.get("ph")
+        if ph not in REQUIRED_KEYS:
+            raise ValueError(f"{path}: event {i}: unknown phase {ph!r}")
+        counts[ph] = counts.get(ph, 0) + 1
+        for k in REQUIRED_KEYS[ph]:
+            if k not in ev:
+                raise ValueError(
+                    f"{path}: event {i} (ph={ph}): missing key {k!r}")
+        if ph == "X" and ev["dur"] < 0:
+            raise ValueError(f"{path}: event {i}: negative duration")
+        if ph in ("b", "e"):
+            key = (ev.get("cat"), ev["name"], ev["id"])
+            if ph == "b":
+                open_async[key] = open_async.get(key, 0) + 1
+            else:
+                if open_async.get(key, 0) <= 0:
+                    raise ValueError(
+                        f"{path}: event {i}: 'e' without matching "
+                        f"'b' for {key}")
+                open_async[key] -= 1
+    dangling = {k: n for k, n in open_async.items() if n > 0}
+    if dangling:
+        raise ValueError(
+            f"{path}: {len(dangling)} unclosed async span(s), "
+            f"e.g. {next(iter(dangling))}")
+    summary = ", ".join(f"{n} {ph}" for ph, n in sorted(counts.items()))
+    print(f"{path}: OK ({len(events)} events: {summary})")
+
+
+def main(argv):
+    if len(argv) == 3 and argv[1] == "--check":
+        try:
+            check(argv[2])
+        except (ValueError, OSError, json.JSONDecodeError) as e:
+            print(f"check failed: {e}", file=sys.stderr)
+            return 1
+        return 0
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    try:
+        name, records = parse_emmctrace(argv[1])
+        doc = convert(name, records)
+    except (ValueError, OSError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+    with open(argv[2], "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+        fh.write("\n")
+    n = sum(1 for ev in doc["traceEvents"] if ev["ph"] == "X")
+    print(f"wrote {argv[2]}: {n} request slices from {argv[1]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -106,10 +106,9 @@ DeviceAuditor::DeviceAuditor(sim::Simulator &simulator,
     registerDeviceCheckers(auditor_, device_);
 
     if (opts.everyEvents > 0) {
-        sim_.setPostEventHook(
+        simHook_ = sim_.addPostEventHook(
             [this](const sim::Simulator &) { auditor_.runAll(); },
             opts.everyEvents);
-        attachedSim_ = true;
     }
     if (opts.onCommandFinish) {
         device_.setAuditHook(
@@ -131,9 +130,9 @@ DeviceAuditor::~DeviceAuditor()
 void
 DeviceAuditor::detach()
 {
-    if (attachedSim_) {
-        sim_.setPostEventHook(nullptr);
-        attachedSim_ = false;
+    if (simHook_ != 0) {
+        sim_.removePostEventHook(simHook_);
+        simHook_ = 0;
     }
     if (attachedDevice_) {
         device_.setAuditHook(nullptr);

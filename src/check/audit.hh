@@ -21,10 +21,8 @@
 #include <vector>
 
 #include "check/invariants.hh"
+#include "sim/simulator.hh"
 
-namespace emmcsim::sim {
-class Simulator;
-}
 namespace emmcsim::emmc {
 class EmmcDevice;
 }
@@ -152,7 +150,8 @@ class DeviceAuditor
     sim::Simulator &sim_;
     emmc::EmmcDevice &device_;
     Auditor auditor_;
-    bool attachedSim_ = false;
+    /** Simulator hook handle; 0 when not attached. */
+    sim::Simulator::HookId simHook_ = 0;
     bool attachedDevice_ = false;
     bool attachedFtl_ = false;
 };

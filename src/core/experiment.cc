@@ -1,11 +1,13 @@
 #include "core/experiment.hh"
 
 #include <memory>
+#include <sstream>
 #include <vector>
 
 #include "check/audit.hh"
 #include "ftl/wear.hh"
 #include "host/replayer.hh"
+#include "obs/observer.hh"
 #include "sim/logging.hh"
 #include "sim/random.hh"
 
@@ -107,6 +109,20 @@ runCase(const trace::Trace &t, SchemeKind kind,
     }
 
     host::Replayer replayer(simulator, *device);
+
+    // Observability rides the trace / op / post-event hooks; with no
+    // request the observer is never built and the hooks stay null.
+    std::unique_ptr<obs::DeviceObserver> observer;
+    if (opts.obs.any()) {
+        obs::ObserverOptions obs_opts;
+        obs_opts.metrics = opts.obs.metrics;
+        obs_opts.trace = opts.obs.traceSpans;
+        obs_opts.sampleWindow = opts.obs.sampleWindow;
+        obs_opts.replayStats = &replayer.stats();
+        observer = std::make_unique<obs::DeviceObserver>(
+            simulator, *device, obs_opts);
+    }
+
     host::ReplayOptions replay_opts;
     replay_opts.maxRetries = opts.hostMaxRetries;
     trace::Trace replayed = replayer.replay(t, replay_opts);
@@ -166,6 +182,20 @@ runCase(const trace::Trace &t, SchemeKind kind,
     res.deviceReadOnly = device->ftl().readOnly();
 
     res.replayed = std::move(replayed);
+    if (observer) {
+        observer->finish();
+        res.obs.enabled = true;
+        res.obs.metrics = observer->snapshot();
+        res.obs.series = observer->series();
+        if (opts.obs.traceSpans) {
+            std::ostringstream chrome;
+            observer->tracer().exportChromeTrace(chrome);
+            res.obs.chromeTrace = chrome.str();
+            std::ostringstream bt;
+            observer->tracer().exportBiotracerCsv(bt, t.name());
+            res.obs.biotracerTrace = bt.str();
+        }
+    }
     if (auditor) {
         auditor->runFullAudit();
         auditor->detach();

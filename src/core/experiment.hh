@@ -14,10 +14,28 @@
 #include "core/scheme.hh"
 #include "emmc/device.hh"
 #include "ftl/gc.hh"
+#include "obs/metrics.hh"
+#include "obs/sampler.hh"
 #include "sim/stats.hh"
 #include "trace/trace.hh"
 
 namespace emmcsim::core {
+
+/** Observability recorded during a replay (src/obs). */
+struct ObsRequest
+{
+    /** Register the metrics registry and snapshot it at end of run. */
+    bool metrics = false;
+    /** Record request / flash-op spans for trace export. */
+    bool traceSpans = false;
+    /** Sampler window in ns; > 0 records windowed series. */
+    sim::Time sampleWindow = 0;
+
+    bool any() const
+    {
+        return metrics || traceSpans || sampleWindow > 0;
+    }
+};
 
 /** Toggles applied on top of the Table V scheme configuration. */
 struct ExperimentOptions
@@ -69,6 +87,11 @@ struct ExperimentOptions
     fault::FaultConfig fault;
     /** Host retry budget for device-reported errors. */
     std::uint32_t hostMaxRetries = 3;
+    /**
+     * Observability: metrics / series / trace spans (all off by
+     * default, leaving the replay byte-identical to the pre-obs code).
+     */
+    ObsRequest obs;
 };
 
 /** Everything measured from one (trace, scheme) replay. */
@@ -115,6 +138,22 @@ struct CaseResult
 
     /** Replayed trace (timestamps filled) for further analysis. */
     trace::Trace replayed;
+
+    /** Observability artifacts (value-only; the device is gone). */
+    struct ObsArtifacts
+    {
+        /** True when any ObsRequest field was set. */
+        bool enabled = false;
+        /** End-of-run metric values (metrics / sampleWindow modes). */
+        obs::MetricsSnapshot metrics;
+        /** Windowed series (empty unless sampleWindow > 0). */
+        obs::SeriesSet series;
+        /** Chrome trace_event JSON (traceSpans mode). */
+        std::string chromeTrace;
+        /** emmctrace text with BIOtracer timestamps (traceSpans). */
+        std::string biotracerTrace;
+    };
+    ObsArtifacts obs;
 
     /**
      * Invariant-audit outcome (empty unless auditEveryEvents was

@@ -215,6 +215,8 @@ EmmcDevice::finishCommand(std::vector<CompletedRequest> done)
         stats_.responseMs.add(resp);
         stats_.serviceMs.add(serv);
         stats_.waitMs.add(wait);
+        if (traceHook_)
+            traceHook_(c);
         if (onComplete_)
             onComplete_(c);
     }

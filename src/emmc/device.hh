@@ -104,6 +104,18 @@ class EmmcDevice
      */
     void setAuditHook(AuditHook hook) { auditHook_ = std::move(hook); }
 
+    /** Observer fired once per completed request (obs support). */
+    using TraceHook = std::function<void(const CompletedRequest &)>;
+
+    /**
+     * Install an observability hook fired for every completed request,
+     * independently of the completion callback (which the replayer
+     * owns). The obs::RequestTracer and latency recorders subscribe
+     * here; a null @p hook uninstalls. The hook must not mutate the
+     * device — with none installed the dispatch path is unchanged.
+     */
+    void setTraceHook(TraceHook hook) { traceHook_ = std::move(hook); }
+
     /**
      * Submit a request. Must be called at simulator time equal to
      * request.arrival (the replayer schedules arrivals as events).
@@ -205,6 +217,7 @@ class EmmcDevice
     DeviceStats stats_;
     CompletionCallback onComplete_;
     AuditHook auditHook_;
+    TraceHook traceHook_;
 
     std::vector<ftl::PageGroup> scratchGroups_;
 };

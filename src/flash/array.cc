@@ -101,7 +101,7 @@ FlashArray::read(const PageAddr &addr, sim::Time earliest,
         res.status = OpStatus::Uncorrectable;
     else if (rf.retries > 0)
         res.status = OpStatus::Corrected;
-    return res;
+    return notifyOp(OpKind::Read, addr, res);
 }
 
 OpResult
@@ -127,7 +127,7 @@ FlashArray::program(const PageAddr &addr, sim::Time earliest)
     if (fault_ != nullptr && fault_->enabled() &&
         fault_->programFails(poolAt(addr).eraseCount(addr.block)))
         res.status = OpStatus::ProgramFail;
-    return res;
+    return notifyOp(OpKind::Program, addr, res);
 }
 
 OpResult
@@ -146,7 +146,7 @@ FlashArray::erase(const PageAddr &addr, sim::Time earliest)
     if (fault_ != nullptr && fault_->enabled() &&
         fault_->eraseFails(poolAt(addr).eraseCount(addr.block)))
         res.status = OpStatus::EraseFail;
-    return res;
+    return notifyOp(OpKind::Erase, addr, res);
 }
 
 OpResult
@@ -174,7 +174,7 @@ FlashArray::copybackRead(const PageAddr &addr, sim::Time earliest)
         res.status = OpStatus::Uncorrectable;
     else if (rf.retries > 0)
         res.status = OpStatus::Corrected;
-    return res;
+    return notifyOp(OpKind::CopybackRead, addr, res);
 }
 
 OpResult
@@ -192,7 +192,7 @@ FlashArray::copybackProgram(const PageAddr &addr, sim::Time earliest)
     if (fault_ != nullptr && fault_->enabled() &&
         fault_->programFails(poolAt(addr).eraseCount(addr.block)))
         res.status = OpStatus::ProgramFail;
-    return res;
+    return notifyOp(OpKind::CopybackProgram, addr, res);
 }
 
 sim::Time

@@ -23,6 +23,7 @@
 #define EMMCSIM_FLASH_ARRAY_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "fault/injector.hh"
@@ -99,6 +100,19 @@ class FlashArray
     fault::FaultInjector *faultInjector() { return fault_; }
     const fault::FaultInjector *faultInjector() const { return fault_; }
 
+    /** Observer fired once per executed flash operation (obs support). */
+    using OpHook =
+        std::function<void(OpKind, const PageAddr &, const OpResult &)>;
+
+    /**
+     * Install an observability hook fired after every read / program /
+     * erase / copyback with the operation's address and timed result.
+     * The obs::RequestTracer uses it to build per-die span lanes; a
+     * null @p hook uninstalls. The hook must not issue flash
+     * operations — with none installed the timing paths are unchanged.
+     */
+    void setOpHook(OpHook hook) { opHook_ = std::move(hook); }
+
     /** Plane state by linear index. */
     Plane &plane(std::uint32_t linear) { return planes_.at(linear); }
     const Plane &plane(std::uint32_t linear) const
@@ -164,10 +178,20 @@ class FlashArray
     /** Read-path fault evaluation for @p addr (no-fault when detached). */
     fault::ReadFault evalReadFault(const PageAddr &addr);
 
+    /** Fire the op hook (if any) and pass @p res through. */
+    OpResult
+    notifyOp(OpKind kind, const PageAddr &addr, const OpResult &res)
+    {
+        if (opHook_)
+            opHook_(kind, addr, res);
+        return res;
+    }
+
     Geometry geom_;
     Timing timing_;
     bool multiplane_;
     fault::FaultInjector *fault_ = nullptr;
+    OpHook opHook_;
 
     std::vector<Plane> planes_;
     std::vector<sim::Time> channelFree_;

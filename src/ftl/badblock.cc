@@ -35,10 +35,10 @@ BadBlockManager::recordRetirement(std::uint32_t plane_linear,
     if (retired_[idx] >= cfg_.spareBlocksPerPlanePool &&
         readOnlyCause_ == ReadOnlyCause::None) {
         readOnlyCause_ = ReadOnlyCause::SpareExhaustion;
-        sim::warn("plane " + std::to_string(plane_linear) + " pool " +
-                  std::to_string(pool) +
-                  " exhausted its spare blocks; device is now "
-                  "read-only");
+        sim::warn("bbm", "plane " + std::to_string(plane_linear) +
+                             " pool " + std::to_string(pool) +
+                             " exhausted its spare blocks; device is "
+                             "now read-only");
     }
 }
 
@@ -59,8 +59,8 @@ BadBlockManager::declareSpaceExhausted()
     if (readOnlyCause_ != ReadOnlyCause::None)
         return;
     readOnlyCause_ = ReadOnlyCause::SpaceExhaustion;
-    sim::warn("device out of reclaimable space in every pool; "
-              "device is now read-only");
+    sim::warn("bbm", "device out of reclaimable space in every pool; "
+                     "device is now read-only");
 }
 
 } // namespace emmcsim::ftl

@@ -233,6 +233,14 @@ GarbageCollector::ensureFreePage(std::uint32_t plane_linear,
         ++stats_.blockingRounds;
         t = done;
     }
+    if (rounds > 0) {
+        EMMCSIM_LOG_DEBUG(
+            "gc", "blocking GC: " + std::to_string(rounds) +
+                      " round(s) on plane " +
+                      std::to_string(plane_linear) + " pool " +
+                      std::to_string(pool) + ", " +
+                      std::to_string(t - earliest) + " ns");
+    }
     return t;
 }
 
@@ -291,6 +299,10 @@ GarbageCollector::idleRound(sim::Time earliest, bool &did_work)
     stats_.idleTime += done - earliest;
     ++stats_.idleRounds;
     did_work = true;
+    EMMCSIM_LOG_DEBUG("gc", "idle GC round on plane " +
+                                std::to_string(plane) + " pool " +
+                                std::to_string(pool) + ", " +
+                                std::to_string(done - earliest) + " ns");
     return done;
 }
 
@@ -380,6 +392,10 @@ GarbageCollector::scrubStep(sim::Time earliest, bool &did_work)
                     continue;
                 ++stats_.scrubSteps;
                 did_work = true;
+                EMMCSIM_LOG_DEBUG(
+                    "gc", "scrub step on plane " + std::to_string(p) +
+                              " pool " + std::to_string(k) +
+                              " suspect block " + std::to_string(b));
                 return done;
             }
         }

@@ -54,6 +54,11 @@ Replayer::replay(const trace::Trace &input, const ReplayOptions &opts)
             if (attempts[id] >= opts.maxRetries) {
                 ++stats_.failedRequests;
                 stats_.retryPenalty += c.finish - firstFinish[id];
+                EMMCSIM_LOG_DEBUG(
+                    "replay", "request " + std::to_string(id) +
+                                  " failed permanently after " +
+                                  std::to_string(attempts[id]) +
+                                  " retry attempt(s)");
                 return;
             }
 
@@ -65,6 +70,12 @@ Replayer::replay(const trace::Trace &input, const ReplayOptions &opts)
             ++stats_.retriesScheduled;
             emmc::IoRequest retry = c.request;
             retry.arrival = c.finish + delay;
+            EMMCSIM_LOG_DEBUG(
+                "replay", "request " + std::to_string(id) +
+                              " errored; retry " +
+                              std::to_string(attempts[id]) + "/" +
+                              std::to_string(opts.maxRetries) + " at " +
+                              std::to_string(retry.arrival) + " ns");
             sim_.schedule(retry.arrival,
                           [this, retry] { device_.submit(retry); });
         });

@@ -1,0 +1,205 @@
+#include "obs/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "sim/logging.hh"
+
+namespace emmcsim::obs {
+
+JsonWriter::JsonWriter(std::ostream &os) : os_(os) {}
+
+void
+JsonWriter::preValue()
+{
+    EMMCSIM_ASSERT(!rootDone_, "JsonWriter: value after root completed");
+    if (stack_.empty())
+        return;
+    EMMCSIM_ASSERT(stack_.back() != Frame::Object || !expectKey_,
+                   "JsonWriter: object value requires a key first");
+    if (stack_.back() == Frame::Array) {
+        if (hasSibling_.back())
+            os_ << ',';
+        hasSibling_.back() = true;
+    }
+    // Object values: the comma was emitted by key().
+    if (stack_.back() == Frame::Object)
+        expectKey_ = true;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    preValue();
+    os_ << '{';
+    stack_.push_back(Frame::Object);
+    hasSibling_.push_back(false);
+    expectKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    EMMCSIM_ASSERT(!stack_.empty() && stack_.back() == Frame::Object,
+                   "JsonWriter: endObject without beginObject");
+    EMMCSIM_ASSERT(expectKey_, "JsonWriter: endObject after dangling key");
+    os_ << '}';
+    stack_.pop_back();
+    hasSibling_.pop_back();
+    expectKey_ = !stack_.empty() && stack_.back() == Frame::Object;
+    if (stack_.empty())
+        rootDone_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    preValue();
+    os_ << '[';
+    stack_.push_back(Frame::Array);
+    hasSibling_.push_back(false);
+    expectKey_ = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    EMMCSIM_ASSERT(!stack_.empty() && stack_.back() == Frame::Array,
+                   "JsonWriter: endArray without beginArray");
+    os_ << ']';
+    stack_.pop_back();
+    hasSibling_.pop_back();
+    expectKey_ = !stack_.empty() && stack_.back() == Frame::Object;
+    if (stack_.empty())
+        rootDone_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view name)
+{
+    EMMCSIM_ASSERT(!stack_.empty() && stack_.back() == Frame::Object,
+                   "JsonWriter: key outside an object");
+    EMMCSIM_ASSERT(expectKey_, "JsonWriter: two keys in a row");
+    if (hasSibling_.back())
+        os_ << ',';
+    hasSibling_.back() = true;
+    os_ << '"' << escape(name) << "\":";
+    expectKey_ = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view s)
+{
+    preValue();
+    os_ << '"' << escape(s) << '"';
+    if (stack_.empty())
+        rootDone_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *s)
+{
+    return value(std::string_view(s));
+}
+
+JsonWriter &
+JsonWriter::value(double d)
+{
+    preValue();
+    os_ << formatNumber(d);
+    if (stack_.empty())
+        rootDone_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    preValue();
+    os_ << v;
+    if (stack_.empty())
+        rootDone_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    preValue();
+    os_ << v;
+    if (stack_.empty())
+        rootDone_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool b)
+{
+    preValue();
+    os_ << (b ? "true" : "false");
+    if (stack_.empty())
+        rootDone_ = true;
+    return *this;
+}
+
+bool
+JsonWriter::done() const
+{
+    return rootDone_ && stack_.empty();
+}
+
+std::string
+JsonWriter::formatNumber(double d)
+{
+    // JSON has no inf/nan; observability values that reach here
+    // non-finite (e.g. min() of an empty OnlineStats) render as 0 so
+    // the artifact stays parseable. Callers filter where it matters.
+    if (!std::isfinite(d))
+        return "0";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.9g", d);
+    // %.9g covers every value the simulator produces (ns fit in 2^63
+    // only via the integer overloads); widen when it does not
+    // round-trip closely enough.
+    double back = 0.0;
+    std::sscanf(buf, "%lf", &back);
+    if (back != d)
+        std::snprintf(buf, sizeof(buf), "%.17g", d);
+    return buf;
+}
+
+std::string
+JsonWriter::escape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace emmcsim::obs

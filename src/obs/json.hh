@@ -1,0 +1,90 @@
+/**
+ * @file
+ * JsonWriter: a minimal streaming JSON emitter.
+ *
+ * Both observability exports (the run report and the Chrome
+ * trace_event file) must be valid JSON parsed by external tools
+ * (python, Perfetto), so string escaping and number formatting live in
+ * one audited place instead of ad-hoc << chains. The writer keeps a
+ * context stack and panics on structural misuse (value without key
+ * inside an object, unbalanced end calls) — exporter bugs surface in
+ * tests, not as silently corrupt artifacts.
+ */
+
+#ifndef EMMCSIM_OBS_JSON_HH
+#define EMMCSIM_OBS_JSON_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace emmcsim::obs {
+
+/** Streaming JSON writer with structural validation. */
+class JsonWriter
+{
+  public:
+    /** @param os Sink; must outlive the writer. */
+    explicit JsonWriter(std::ostream &os);
+
+    /** Emit '{'. Usable as a document root or anywhere a value fits. */
+    JsonWriter &beginObject();
+    /** Emit '}'. */
+    JsonWriter &endObject();
+    /** Emit '['. */
+    JsonWriter &beginArray();
+    /** Emit ']'. */
+    JsonWriter &endArray();
+
+    /** Emit an object key; the next call must produce its value. */
+    JsonWriter &key(std::string_view name);
+
+    /** @name Scalar values. @{ */
+    JsonWriter &value(std::string_view s);
+    JsonWriter &value(const char *s);
+    JsonWriter &value(double d);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(bool b);
+    /** @} */
+
+    /** Shorthand: key() followed by value(). */
+    template <typename T>
+    JsonWriter &
+    field(std::string_view name, T v)
+    {
+        key(name);
+        return value(v);
+    }
+
+    /** @return true once the root value is complete and balanced. */
+    bool done() const;
+
+    /**
+     * Format @p d the way value(double) does: shortest round-trippable
+     * decimal via %.17g probing down from %.9g; non-finite values
+     * (invalid JSON) become 0 with a "inf"/"nan" guard upstream.
+     */
+    static std::string formatNumber(double d);
+
+    /** JSON-escape @p s (without surrounding quotes). */
+    static std::string escape(std::string_view s);
+
+  private:
+    enum class Frame { Object, Array };
+
+    /** Emit a comma when this value follows a sibling. */
+    void preValue();
+
+    std::ostream &os_;
+    std::vector<Frame> stack_;
+    std::vector<bool> hasSibling_;
+    bool expectKey_ = false;  ///< inside an object, next call is key()
+    bool rootDone_ = false;
+};
+
+} // namespace emmcsim::obs
+
+#endif // EMMCSIM_OBS_JSON_HH

@@ -1,0 +1,250 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace emmcsim::obs {
+
+std::uint64_t
+MetricsSnapshot::counterValue(std::string_view name) const
+{
+    for (const Counter &c : counters) {
+        if (c.name == name)
+            return c.value;
+    }
+    return 0;
+}
+
+bool
+MetricsSnapshot::hasCounter(std::string_view name) const
+{
+    return std::any_of(counters.begin(), counters.end(),
+                       [&](const Counter &c) { return c.name == name; });
+}
+
+double
+MetricsSnapshot::gaugeValue(std::string_view name) const
+{
+    for (const Gauge &g : gauges) {
+        if (g.name == name)
+            return g.value;
+    }
+    return 0.0;
+}
+
+const MetricsSnapshot::Summary *
+MetricsSnapshot::findSummary(std::string_view name) const
+{
+    for (const Summary &s : summaries) {
+        if (s.name == name)
+            return &s;
+    }
+    return nullptr;
+}
+
+std::string
+Registry::checkName(std::string_view name)
+{
+    if (name.empty())
+        return "empty metric name";
+    bool segment_open = false;
+    for (char c : name) {
+        if (c == '.') {
+            if (!segment_open)
+                return "empty name segment in \"" + std::string(name) +
+                       "\"";
+            segment_open = false;
+            continue;
+        }
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        if (!ok)
+            return "invalid character '" + std::string(1, c) +
+                   "' in metric name \"" + std::string(name) + "\"";
+        segment_open = true;
+    }
+    if (!segment_open)
+        return "trailing dot in metric name \"" + std::string(name) +
+               "\"";
+    return {};
+}
+
+void
+Registry::reserveName(const std::string &name)
+{
+    const std::string objection = checkName(name);
+    if (!objection.empty())
+        sim::panic("obs registry: " + objection);
+    if (has(name))
+        sim::panic("obs registry: duplicate metric name \"" + name +
+                   "\"");
+}
+
+void
+Registry::counter(std::string name, CounterFn fn)
+{
+    EMMCSIM_ASSERT(fn != nullptr, "counter source must be callable");
+    reserveName(name);
+    counters_.push_back(CounterEntry{std::move(name), std::move(fn)});
+}
+
+void
+Registry::gauge(std::string name, GaugeFn fn, bool sampled)
+{
+    EMMCSIM_ASSERT(fn != nullptr, "gauge source must be callable");
+    reserveName(name);
+    gauges_.push_back(GaugeEntry{std::move(name), std::move(fn), sampled});
+}
+
+void
+Registry::summary(std::string name, const sim::OnlineStats *stats)
+{
+    EMMCSIM_ASSERT(stats != nullptr, "summary source must be non-null");
+    reserveName(name);
+    summaries_.push_back(SummaryEntry{std::move(name), stats});
+}
+
+void
+Registry::histogram(std::string name, const sim::Histogram *hist)
+{
+    EMMCSIM_ASSERT(hist != nullptr, "histogram source must be non-null");
+    reserveName(name);
+    HistEntry entry;
+    entry.name = std::move(name);
+    entry.hist = hist;
+    histograms_.push_back(std::move(entry));
+}
+
+sim::Histogram &
+Registry::makeHistogram(std::string name,
+                        std::vector<double> upper_bounds)
+{
+    reserveName(name);
+    HistEntry entry;
+    entry.name = std::move(name);
+    entry.owned =
+        std::make_unique<sim::Histogram>(std::move(upper_bounds));
+    entry.hist = entry.owned.get();
+    histograms_.push_back(std::move(entry));
+    return *histograms_.back().owned;
+}
+
+bool
+Registry::has(std::string_view name) const
+{
+    auto by_name = [&](const auto &e) { return e.name == name; };
+    return std::any_of(counters_.begin(), counters_.end(), by_name) ||
+           std::any_of(gauges_.begin(), gauges_.end(), by_name) ||
+           std::any_of(summaries_.begin(), summaries_.end(), by_name) ||
+           std::any_of(histograms_.begin(), histograms_.end(), by_name);
+}
+
+std::size_t
+Registry::size() const
+{
+    return counters_.size() + gauges_.size() + summaries_.size() +
+           histograms_.size();
+}
+
+std::vector<std::string>
+Registry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(size());
+    for (const auto &e : counters_)
+        out.push_back(e.name);
+    for (const auto &e : gauges_)
+        out.push_back(e.name);
+    for (const auto &e : summaries_)
+        out.push_back(e.name);
+    for (const auto &e : histograms_)
+        out.push_back(e.name);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+void
+Registry::clear()
+{
+    counters_.clear();
+    gauges_.clear();
+    summaries_.clear();
+    histograms_.clear();
+}
+
+MetricsSnapshot
+Registry::snapshot() const
+{
+    MetricsSnapshot snap;
+    snap.counters.reserve(counters_.size());
+    for (const auto &e : counters_)
+        snap.counters.push_back({e.name, e.fn()});
+
+    snap.gauges.reserve(gauges_.size());
+    for (const auto &e : gauges_)
+        snap.gauges.push_back({e.name, e.fn()});
+
+    snap.summaries.reserve(summaries_.size());
+    for (const auto &e : summaries_) {
+        MetricsSnapshot::Summary s;
+        s.name = e.name;
+        s.count = e.stats->count();
+        s.mean = e.stats->mean();
+        s.stddev = e.stats->stddev();
+        // min/max are +/-inf on empty sources, which JSON cannot hold.
+        s.min = s.count ? e.stats->min() : 0.0;
+        s.max = s.count ? e.stats->max() : 0.0;
+        s.sum = e.stats->sum();
+        snap.summaries.push_back(std::move(s));
+    }
+
+    snap.histograms.reserve(histograms_.size());
+    for (const auto &e : histograms_) {
+        MetricsSnapshot::Distribution d;
+        d.name = e.name;
+        const sim::Histogram &h = *e.hist;
+        d.counts.reserve(h.bucketCount());
+        for (std::size_t i = 0; i < h.bucketCount(); ++i) {
+            if (i + 1 < h.bucketCount())
+                d.upperBounds.push_back(h.upperBoundAt(i));
+            d.counts.push_back(h.bucketCountAt(i));
+        }
+        d.total = h.total();
+        d.p50 = h.p50();
+        d.p95 = h.p95();
+        d.p99 = h.p99();
+        snap.histograms.push_back(std::move(d));
+    }
+    return snap;
+}
+
+std::vector<std::string>
+Registry::sampledNames() const
+{
+    std::vector<std::string> out;
+    out.reserve(counters_.size() + gauges_.size());
+    for (const auto &e : counters_)
+        out.push_back(e.name);
+    for (const auto &e : gauges_) {
+        if (e.sampled)
+            out.push_back(e.name);
+    }
+    return out;
+}
+
+std::vector<double>
+Registry::sampledValues() const
+{
+    std::vector<double> out;
+    out.reserve(counters_.size() + gauges_.size());
+    for (const auto &e : counters_)
+        out.push_back(static_cast<double>(e.fn()));
+    for (const auto &e : gauges_) {
+        if (e.sampled)
+            out.push_back(e.fn());
+    }
+    return out;
+}
+
+} // namespace emmcsim::obs

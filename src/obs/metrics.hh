@@ -1,0 +1,199 @@
+/**
+ * @file
+ * obs::Registry: a named catalogue of every metric a simulation run
+ * exposes — counters, gauges, distribution summaries, and histograms.
+ *
+ * The registry is *pull-based*: subsystems keep their existing stats
+ * structs (DeviceStats, FtlStats, GcStats, ...) and the registry holds
+ * read-only closures over them. Registering therefore costs nothing on
+ * the simulation's hot paths — values are only materialized when a
+ * snapshot is taken (end of run, or each sampler window). That is what
+ * makes the observability layer zero-cost-when-off: a run that never
+ * builds a registry executes exactly the pre-obs code.
+ *
+ * Names are hierarchical, dot-separated, lowercase:
+ * "ftl.gc.pages_moved", "emmc.queue_depth". Registering a duplicate or
+ * malformed name panics — metric names are a public, machine-consumed
+ * interface and collisions would silently merge unrelated series.
+ */
+
+#ifndef EMMCSIM_OBS_METRICS_HH
+#define EMMCSIM_OBS_METRICS_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/stats.hh"
+
+namespace emmcsim::obs {
+
+/** Value-only snapshot of a registry (safe to keep after the sources
+ * it was read from are destroyed). */
+struct MetricsSnapshot
+{
+    struct Counter
+    {
+        std::string name;
+        std::uint64_t value = 0;
+    };
+
+    struct Gauge
+    {
+        std::string name;
+        double value = 0.0;
+    };
+
+    /** Summary of one OnlineStats source. */
+    struct Summary
+    {
+        std::string name;
+        std::uint64_t count = 0;
+        double mean = 0.0;
+        double stddev = 0.0;
+        double min = 0.0; ///< 0 when the source was empty
+        double max = 0.0; ///< 0 when the source was empty
+        double sum = 0.0;
+    };
+
+    /** Bucketized distribution with latency-quantile estimates. */
+    struct Distribution
+    {
+        std::string name;
+        std::vector<double> upperBounds; ///< finite bounds only
+        std::vector<std::uint64_t> counts; ///< bounds + overflow bucket
+        std::uint64_t total = 0;
+        double p50 = 0.0;
+        double p95 = 0.0;
+        double p99 = 0.0;
+    };
+
+    std::vector<Counter> counters;      ///< registration order
+    std::vector<Gauge> gauges;          ///< registration order
+    std::vector<Summary> summaries;     ///< registration order
+    std::vector<Distribution> histograms; ///< registration order
+
+    /** Counter value by name; 0 when absent (see hasCounter). */
+    std::uint64_t counterValue(std::string_view name) const;
+    bool hasCounter(std::string_view name) const;
+    /** Gauge value by name; 0 when absent. */
+    double gaugeValue(std::string_view name) const;
+    /** Summary by name; nullptr when absent. */
+    const Summary *findSummary(std::string_view name) const;
+};
+
+/** The metric catalogue for one simulation run. */
+class Registry
+{
+  public:
+    /** Monotonic integer source (read on snapshot/sample). */
+    using CounterFn = std::function<std::uint64_t()>;
+    /** Point-in-time double source (read on snapshot/sample). */
+    using GaugeFn = std::function<double()>;
+
+    Registry() = default;
+
+    // The registry hands out stable names checked for collisions; a
+    // copy would silently fork the catalogue.
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    /**
+     * Register a counter. @p fn must stay valid for the registry's
+     * lifetime and be cheap (it runs once per sampler window).
+     */
+    void counter(std::string name, CounterFn fn);
+
+    /**
+     * Register a gauge.
+     * @param sampled When false, the gauge is read only for full
+     *        snapshots, never per sampler window — for sources that
+     *        walk large state (e.g. wear scans over every block).
+     */
+    void gauge(std::string name, GaugeFn fn, bool sampled = true);
+
+    /** Register an OnlineStats summary source (borrowed pointer). */
+    void summary(std::string name, const sim::OnlineStats *stats);
+
+    /** Register a Histogram source (borrowed pointer). */
+    void histogram(std::string name, const sim::Histogram *hist);
+
+    /**
+     * Create a histogram owned by the registry (for producers that
+     * have no stats struct of their own, e.g. latency recorders).
+     * @return Reference valid for the registry's lifetime.
+     */
+    sim::Histogram &makeHistogram(std::string name,
+                                  std::vector<double> upper_bounds);
+
+    /** @return true when @p name is registered (any kind). */
+    bool has(std::string_view name) const;
+
+    /** Total registered metrics across all kinds. */
+    std::size_t size() const;
+
+    /** All registered names, sorted. */
+    std::vector<std::string> names() const;
+
+    /** Drop every registration (start of a new run phase). */
+    void clear();
+
+    /** Materialize every metric's current value. */
+    MetricsSnapshot snapshot() const;
+
+    /**
+     * Names of the per-window sampled metrics, in sample order:
+     * all counters, then gauges registered with sampled == true.
+     */
+    std::vector<std::string> sampledNames() const;
+
+    /** Current values of the sampled metrics, in sampledNames order. */
+    std::vector<double> sampledValues() const;
+
+    /**
+     * Validate a metric name: non-empty dot-separated segments of
+     * [a-z0-9_] with no leading/trailing/double dots.
+     * @return empty string when valid, else the objection.
+     */
+    static std::string checkName(std::string_view name);
+
+  private:
+    struct CounterEntry
+    {
+        std::string name;
+        CounterFn fn;
+    };
+    struct GaugeEntry
+    {
+        std::string name;
+        GaugeFn fn;
+        bool sampled = true;
+    };
+    struct SummaryEntry
+    {
+        std::string name;
+        const sim::OnlineStats *stats = nullptr;
+    };
+    struct HistEntry
+    {
+        std::string name;
+        const sim::Histogram *hist = nullptr;
+        /** Set when the registry owns the histogram. */
+        std::unique_ptr<sim::Histogram> owned;
+    };
+
+    /** Panic on malformed or duplicate @p name. */
+    void reserveName(const std::string &name);
+
+    std::vector<CounterEntry> counters_;
+    std::vector<GaugeEntry> gauges_;
+    std::vector<SummaryEntry> summaries_;
+    std::vector<HistEntry> histograms_;
+};
+
+} // namespace emmcsim::obs
+
+#endif // EMMCSIM_OBS_METRICS_HH

@@ -1,0 +1,174 @@
+#include "obs/report.hh"
+
+#include <fstream>
+#include <ostream>
+
+#include "obs/json.hh"
+#include "sim/logging.hh"
+
+namespace emmcsim::obs {
+
+RunReport::MetaEntry &
+RunReport::metaSlot(std::string key)
+{
+    for (MetaEntry &e : meta_) {
+        if (e.key == key)
+            return e;
+    }
+    meta_.push_back(MetaEntry{});
+    meta_.back().key = std::move(key);
+    return meta_.back();
+}
+
+void
+RunReport::setMeta(std::string key, std::string value)
+{
+    MetaEntry &e = metaSlot(std::move(key));
+    e.kind = MetaEntry::Kind::Str;
+    e.s = std::move(value);
+}
+
+void
+RunReport::setMeta(std::string key, const char *value)
+{
+    setMeta(std::move(key), std::string(value));
+}
+
+void
+RunReport::setMeta(std::string key, std::uint64_t value)
+{
+    MetaEntry &e = metaSlot(std::move(key));
+    e.kind = MetaEntry::Kind::UInt;
+    e.u = value;
+}
+
+void
+RunReport::setMeta(std::string key, double value)
+{
+    MetaEntry &e = metaSlot(std::move(key));
+    e.kind = MetaEntry::Kind::Dbl;
+    e.d = value;
+}
+
+void
+RunReport::addRun(std::string name, MetricsSnapshot metrics,
+                  SeriesSet series)
+{
+    for (const Run &r : runs_) {
+        EMMCSIM_ASSERT(r.name != name,
+                       "RunReport: duplicate run name \"" + name + "\"");
+    }
+    Run run;
+    run.name = std::move(name);
+    run.metrics = std::move(metrics);
+    run.series = std::move(series);
+    runs_.push_back(std::move(run));
+}
+
+void
+RunReport::writeJson(std::ostream &os) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", kRunReportSchema);
+
+    w.key("meta").beginObject();
+    for (const MetaEntry &e : meta_) {
+        switch (e.kind) {
+          case MetaEntry::Kind::Str:
+            w.field(e.key, std::string_view(e.s));
+            break;
+          case MetaEntry::Kind::UInt:
+            w.field(e.key, e.u);
+            break;
+          case MetaEntry::Kind::Dbl:
+            w.field(e.key, e.d);
+            break;
+        }
+    }
+    w.endObject();
+
+    w.key("runs").beginArray();
+    for (const Run &r : runs_) {
+        w.beginObject();
+        w.field("name", std::string_view(r.name));
+
+        w.key("counters").beginObject();
+        for (const auto &c : r.metrics.counters)
+            w.field(c.name, c.value);
+        w.endObject();
+
+        w.key("gauges").beginObject();
+        for (const auto &g : r.metrics.gauges)
+            w.field(g.name, g.value);
+        w.endObject();
+
+        w.key("summaries").beginObject();
+        for (const auto &s : r.metrics.summaries) {
+            w.key(s.name).beginObject();
+            w.field("count", s.count);
+            w.field("mean", s.mean);
+            w.field("stddev", s.stddev);
+            w.field("min", s.min);
+            w.field("max", s.max);
+            w.field("sum", s.sum);
+            w.endObject();
+        }
+        w.endObject();
+
+        w.key("histograms").beginObject();
+        for (const auto &h : r.metrics.histograms) {
+            w.key(h.name).beginObject();
+            w.key("upper_bounds").beginArray();
+            for (double b : h.upperBounds)
+                w.value(b);
+            w.endArray();
+            w.key("counts").beginArray();
+            for (std::uint64_t c : h.counts)
+                w.value(c);
+            w.endArray();
+            w.field("total", h.total);
+            w.field("p50", h.p50);
+            w.field("p95", h.p95);
+            w.field("p99", h.p99);
+            w.endObject();
+        }
+        w.endObject();
+
+        if (r.series.window > 0) {
+            w.key("series").beginObject();
+            w.field("window_ns",
+                    static_cast<std::uint64_t>(r.series.window));
+            w.key("metrics").beginObject();
+            for (std::size_t i = 0; i < r.series.names.size(); ++i) {
+                w.key(r.series.names[i]).beginArray();
+                for (double v : r.series.values[i])
+                    w.value(v);
+                w.endArray();
+            }
+            w.endObject();
+            w.endObject();
+        }
+
+        w.endObject();
+    }
+    w.endArray();
+
+    w.endObject();
+    os << '\n';
+    EMMCSIM_ASSERT(w.done(), "run report export left JSON unbalanced");
+}
+
+void
+RunReport::writeJsonFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        sim::fatal("cannot open report file for writing: " + path);
+    writeJson(os);
+    os.flush();
+    if (!os)
+        sim::fatal("failed writing report file: " + path);
+}
+
+} // namespace emmcsim::obs

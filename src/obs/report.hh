@@ -1,0 +1,107 @@
+/**
+ * @file
+ * obs::RunReport: the unified machine-readable run artifact.
+ *
+ * One report describes one tool invocation: shared metadata (tool,
+ * trace, scheme, seed, ...) plus one entry per simulated run, each
+ * carrying a full metrics snapshot and, when a sampler ran, its
+ * windowed series. The CLI, the HPS case study and the benchmarks all
+ * emit this same schema ("emmcsim-run-report-v1"), so downstream
+ * scripts parse one format regardless of which binary produced it.
+ *
+ * JSON layout:
+ * @code
+ * {
+ *   "schema": "emmcsim-run-report-v1",
+ *   "meta": { "tool": "emmcsim_cli", "seed": 42, ... },
+ *   "runs": [ {
+ *     "name": "replay",
+ *     "counters":   { "emmc.requests": 1000, ... },
+ *     "gauges":     { "emmc.queue_depth": 0, ... },
+ *     "summaries":  { "emmc.response_ms": {"count":..,"mean":..,...} },
+ *     "histograms": { "...": {"upper_bounds":[..],"counts":[..],
+ *                             "total":..,"p50":..,"p95":..,"p99":..} },
+ *     "series":     { "window_ns": ..,
+ *                     "metrics": { "emmc.requests": [..], ... } }
+ *   } ]
+ * }
+ * @endcode
+ * The "series" key is omitted for runs sampled with no window.
+ */
+
+#ifndef EMMCSIM_OBS_REPORT_HH
+#define EMMCSIM_OBS_REPORT_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "obs/sampler.hh"
+
+namespace emmcsim::obs {
+
+/** Schema identifier emitted in every report. */
+inline constexpr const char *kRunReportSchema = "emmcsim-run-report-v1";
+
+/** Collects run results and serializes the report JSON. */
+class RunReport
+{
+  public:
+    RunReport() = default;
+
+    /** @name Report-wide metadata (last set wins per key). @{ */
+    void setMeta(std::string key, std::string value);
+    void setMeta(std::string key, const char *value);
+    void setMeta(std::string key, std::uint64_t value);
+    void setMeta(std::string key, double value);
+    /** @} */
+
+    /**
+     * Append one run's results.
+     * @param name    Run label, unique within the report (e.g. the
+     *        scheme name, or "replay" for single-run tools).
+     * @param metrics Value snapshot taken at end of run.
+     * @param series  Sampler output; an empty SeriesSet (window 0)
+     *        omits the "series" key.
+     */
+    void addRun(std::string name, MetricsSnapshot metrics,
+                SeriesSet series = {});
+
+    std::size_t runCount() const { return runs_.size(); }
+
+    /** Serialize the report. */
+    void writeJson(std::ostream &os) const;
+
+    /** Serialize to @p path; sim::fatal on I/O failure. */
+    void writeJsonFile(const std::string &path) const;
+
+  private:
+    struct MetaEntry
+    {
+        enum class Kind { Str, UInt, Dbl };
+        std::string key;
+        Kind kind = Kind::Str;
+        std::string s;
+        std::uint64_t u = 0;
+        double d = 0.0;
+    };
+
+    struct Run
+    {
+        std::string name;
+        MetricsSnapshot metrics;
+        SeriesSet series;
+    };
+
+    /** Insert-or-replace slot for @p key. */
+    MetaEntry &metaSlot(std::string key);
+
+    std::vector<MetaEntry> meta_;
+    std::vector<Run> runs_;
+};
+
+} // namespace emmcsim::obs
+
+#endif // EMMCSIM_OBS_REPORT_HH

@@ -1,0 +1,63 @@
+#include "obs/sampler.hh"
+
+#include "sim/logging.hh"
+
+namespace emmcsim::obs {
+
+Sampler::Sampler(const Registry &registry, sim::Time window)
+    : registry_(registry), window_(window), nextBoundary_(window)
+{
+    EMMCSIM_ASSERT(window > 0, "sampler window must be positive");
+    names_ = registry_.sampledNames();
+    values_.resize(names_.size());
+}
+
+void
+Sampler::sampleNow()
+{
+    const std::vector<double> vals = registry_.sampledValues();
+    EMMCSIM_ASSERT(vals.size() == names_.size(),
+                   "registry changed size while a sampler was attached");
+    for (std::size_t i = 0; i < vals.size(); ++i)
+        values_[i].push_back(vals[i]);
+    ++windows_;
+}
+
+void
+Sampler::observe(sim::Time now)
+{
+    if (finished_)
+        return;
+    // One sample per elapsed boundary: counters are monotonic, so a
+    // quiet stretch spanning several windows just repeats the value —
+    // consumers differencing adjacent entries correctly see zero rate.
+    while (now >= nextBoundary_) {
+        sampleNow();
+        nextBoundary_ += window_;
+    }
+}
+
+void
+Sampler::finish(sim::Time now)
+{
+    if (finished_)
+        return;
+    observe(now);
+    // Record the trailing partial window so the series always covers
+    // the full run; its boundary is `now` itself.
+    if (now > nextBoundary_ - window_)
+        sampleNow();
+    finished_ = true;
+}
+
+SeriesSet
+Sampler::series() const
+{
+    SeriesSet out;
+    out.window = window_;
+    out.names = names_;
+    out.values = values_;
+    return out;
+}
+
+} // namespace emmcsim::obs

@@ -2,17 +2,155 @@
 
 namespace emmcsim::sim {
 
+namespace {
+
+const char *
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Panic: return "panic";
+    }
+    return "info";
+}
+
+bool
+parseLevelName(std::string_view name, LogLevel &out)
+{
+    if (name == "debug") {
+        out = LogLevel::Debug;
+    } else if (name == "info") {
+        out = LogLevel::Info;
+    } else if (name == "warn") {
+        out = LogLevel::Warn;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+/** The mutable process-wide configuration behind logConfig(). */
+LogConfig &
+mutableConfig()
+{
+    static LogConfig cfg = [] {
+        const char *spec = std::getenv("EMMCSIM_LOG");
+        if (spec == nullptr)
+            return LogConfig();
+        std::string error;
+        LogConfig parsed = LogConfig::parse(spec, &error);
+        if (!error.empty()) {
+            std::fprintf(stderr, "[warn] EMMCSIM_LOG: %s\n",
+                         error.c_str());
+        }
+        return parsed;
+    }();
+    return cfg;
+}
+
+/** Parse EMMCSIM_LOG at startup so a malformed spec warns even in
+ * runs that never reach a log call. */
+[[maybe_unused]] const bool kLogConfigParsed = (mutableConfig(), true);
+
+} // namespace
+
+LogConfig
+LogConfig::parse(std::string_view spec, std::string *error)
+{
+    LogConfig cfg;
+    if (error != nullptr)
+        error->clear();
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string_view::npos)
+            comma = spec.size();
+        std::string_view entry = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (entry.empty())
+            continue;
+
+        std::size_t eq = entry.find('=');
+        LogLevel level = LogLevel::Info;
+        if (eq == std::string_view::npos) {
+            if (!parseLevelName(entry, level)) {
+                if (error != nullptr && error->empty())
+                    *error = "unknown level \"" + std::string(entry) +
+                             "\" (use debug, info, or warn)";
+                continue;
+            }
+            cfg.default_ = level;
+            continue;
+        }
+        std::string_view component = entry.substr(0, eq);
+        std::string_view name = entry.substr(eq + 1);
+        if (component.empty() || !parseLevelName(name, level)) {
+            if (error != nullptr && error->empty())
+                *error = "malformed entry \"" + std::string(entry) +
+                         "\" (expected component=debug|info|warn)";
+            continue;
+        }
+        // Later entries win, matching how PATH-style lists are read.
+        bool found = false;
+        for (auto &[comp, lvl] : cfg.components_) {
+            if (comp == component) {
+                lvl = level;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            cfg.components_.emplace_back(std::string(component), level);
+    }
+    return cfg;
+}
+
+LogLevel
+LogConfig::levelFor(std::string_view component) const
+{
+    for (const auto &[comp, lvl] : components_) {
+        if (comp == component)
+            return lvl;
+    }
+    return default_;
+}
+
+const LogConfig &
+logConfig()
+{
+    return mutableConfig();
+}
+
+void
+setLogConfig(LogConfig cfg)
+{
+    mutableConfig() = std::move(cfg);
+}
+
+bool
+logEnabled(std::string_view component, LogLevel level)
+{
+    if (level >= LogLevel::Fatal)
+        return true;
+    return logConfig().enabled(component, level);
+}
+
 void
 logMessage(LogLevel level, const std::string &msg)
 {
-    const char *tag = "info";
-    switch (level) {
-      case LogLevel::Info: tag = "info"; break;
-      case LogLevel::Warn: tag = "warn"; break;
-      case LogLevel::Fatal: tag = "fatal"; break;
-      case LogLevel::Panic: tag = "panic"; break;
-    }
-    std::fprintf(stderr, "[%s] %s\n", tag, msg.c_str());
+    std::fprintf(stderr, "[%s] %s\n", levelTag(level), msg.c_str());
+}
+
+void
+logMessage(LogLevel level, std::string_view component,
+           const std::string &msg)
+{
+    std::fprintf(stderr, "[%s:%.*s] %s\n", levelTag(level),
+                 static_cast<int>(component.size()), component.data(),
+                 msg.c_str());
 }
 
 void
@@ -22,9 +160,30 @@ inform(const std::string &msg)
 }
 
 void
+inform(std::string_view component, const std::string &msg)
+{
+    if (logEnabled(component, LogLevel::Info))
+        logMessage(LogLevel::Info, component, msg);
+}
+
+void
 warn(const std::string &msg)
 {
     logMessage(LogLevel::Warn, msg);
+}
+
+void
+warn(std::string_view component, const std::string &msg)
+{
+    if (logEnabled(component, LogLevel::Warn))
+        logMessage(LogLevel::Warn, component, msg);
+}
+
+void
+debug(std::string_view component, const std::string &msg)
+{
+    if (logEnabled(component, LogLevel::Debug))
+        logMessage(LogLevel::Debug, component, msg);
 }
 
 void

@@ -5,6 +5,16 @@
  * panic() is for internal invariant violations (simulator bugs); fatal()
  * is for user errors such as inconsistent configurations. Both format a
  * message to stderr; panic aborts, fatal exits with status 1.
+ *
+ * Debug logging is component-scoped and off by default. The EMMCSIM_LOG
+ * environment variable selects per-component verbosity:
+ *
+ *   EMMCSIM_LOG=debug              everything at debug
+ *   EMMCSIM_LOG=ftl=debug,gc=info  per-component thresholds
+ *   EMMCSIM_LOG=warn,gc=debug      default warn, gc chatty
+ *
+ * Components are short lowercase tags ("gc", "replayer", "bbm", ...).
+ * Use EMMCSIM_LOG_DEBUG so disabled sites never format their message.
  */
 
 #ifndef EMMCSIM_SIM_LOGGING_HH
@@ -13,11 +23,68 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 namespace emmcsim::sim {
 
-/** Severity labels used by the message helpers. */
-enum class LogLevel { Info, Warn, Fatal, Panic };
+/** Severity labels used by the message helpers (ascending order). */
+enum class LogLevel { Debug, Info, Warn, Fatal, Panic };
+
+/**
+ * Per-component minimum-severity thresholds, parsed from an
+ * EMMCSIM_LOG-style spec string. Messages below a component's
+ * threshold are suppressed; fatal/panic are never suppressed.
+ */
+class LogConfig
+{
+  public:
+    /** Default configuration: Info threshold for every component. */
+    LogConfig() = default;
+
+    /**
+     * Parse a spec of comma-separated entries. Each entry is either a
+     * bare level name (sets the default threshold) or
+     * "component=level". Levels: debug, info, warn.
+     *
+     * @param spec  The spec string; empty yields the default config.
+     * @param error Optional; receives a description of the first
+     *        malformed entry (which is skipped, not fatal — a bad env
+     *        var must not kill the simulator).
+     */
+    static LogConfig parse(std::string_view spec,
+                           std::string *error = nullptr);
+
+    /** Threshold for @p component (the default when not listed). */
+    LogLevel levelFor(std::string_view component) const;
+
+    /** @return true when @p level passes @p component's threshold. */
+    bool
+    enabled(std::string_view component, LogLevel level) const
+    {
+        return level >= levelFor(component);
+    }
+
+    /** Default threshold for components without an override. */
+    LogLevel defaultLevel() const { return default_; }
+
+  private:
+    LogLevel default_ = LogLevel::Info;
+    std::vector<std::pair<std::string, LogLevel>> components_;
+};
+
+/**
+ * The process-wide log configuration, parsed from EMMCSIM_LOG on
+ * first use (malformed entries produce one warning and are skipped).
+ */
+const LogConfig &logConfig();
+
+/** Replace the process-wide configuration (tests, CLI overrides). */
+void setLogConfig(LogConfig cfg);
+
+/** @return true when a message would actually be emitted. */
+bool logEnabled(std::string_view component, LogLevel level);
 
 /**
  * Emit a formatted message to stderr with a severity prefix.
@@ -27,17 +94,47 @@ enum class LogLevel { Info, Warn, Fatal, Panic };
  */
 void logMessage(LogLevel level, const std::string &msg);
 
+/** Component-scoped variant: prints "[level:component] msg". */
+void logMessage(LogLevel level, std::string_view component,
+                const std::string &msg);
+
 /** Print an informational message. */
 void inform(const std::string &msg);
 
+/** Component-scoped informational message (threshold-filtered). */
+void inform(std::string_view component, const std::string &msg);
+
 /** Print a warning; the simulation continues. */
 void warn(const std::string &msg);
+
+/** Component-scoped warning (threshold-filtered). */
+void warn(std::string_view component, const std::string &msg);
+
+/**
+ * Component-scoped debug message; suppressed unless EMMCSIM_LOG
+ * raised the component to debug. Prefer EMMCSIM_LOG_DEBUG at call
+ * sites so the message string is only built when enabled.
+ */
+void debug(std::string_view component, const std::string &msg);
 
 /** Report an unrecoverable user/configuration error and exit(1). */
 [[noreturn]] void fatal(const std::string &msg);
 
 /** Report an internal simulator bug and abort(). */
 [[noreturn]] void panic(const std::string &msg);
+
+/**
+ * Debug-log macro that skips message construction when the component
+ * is not at debug verbosity (string building would otherwise dominate
+ * the cost of disabled log sites on hot paths).
+ */
+#define EMMCSIM_LOG_DEBUG(component, msg_expr)                             \
+    do {                                                                   \
+        if (::emmcsim::sim::logEnabled((component),                        \
+                                       ::emmcsim::sim::LogLevel::Debug)) { \
+            ::emmcsim::sim::debug((component), (msg_expr));                \
+        }                                                                  \
+    } while (0)
 
 /**
  * Assert a simulator invariant; panics with location info on failure.

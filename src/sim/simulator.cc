@@ -32,7 +32,7 @@ Simulator::run()
         action();
         ++n;
         ++executed_;
-        firePostEventHook();
+        firePostEventHooks();
     }
     return n;
 }
@@ -53,31 +53,64 @@ Simulator::runUntil(Time deadline)
         action();
         ++n;
         ++executed_;
-        firePostEventHook();
+        firePostEventHooks();
     }
     if (now_ < deadline)
         now_ = deadline;
     return n;
 }
 
-void
-Simulator::setPostEventHook(PostEventHook hook, std::uint64_t interval)
+Simulator::HookId
+Simulator::addPostEventHook(PostEventHook hook, std::uint64_t interval)
 {
     EMMCSIM_ASSERT(interval >= 1, "post-event hook interval must be >= 1");
-    postEventHook_ = std::move(hook);
-    hookInterval_ = interval;
-    sinceHook_ = 0;
+    EMMCSIM_ASSERT(hook != nullptr, "post-event hook must be callable");
+    HookEntry entry;
+    entry.id = nextHookId_++;
+    entry.interval = interval;
+    entry.hook = std::move(hook);
+    hooks_.push_back(std::move(entry));
+    return hooks_.back().id;
 }
 
 void
-Simulator::firePostEventHook()
+Simulator::removePostEventHook(HookId id)
 {
-    if (!postEventHook_)
-        return;
-    if (++sinceHook_ < hookInterval_)
-        return;
-    sinceHook_ = 0;
-    postEventHook_(*this);
+    for (std::size_t i = 0; i < hooks_.size(); ++i) {
+        if (hooks_[i].id == id) {
+            hooks_.erase(hooks_.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+            return;
+        }
+    }
+}
+
+void
+Simulator::setPostEventHook(PostEventHook hook, std::uint64_t interval)
+{
+    if (legacyHookId_ != 0) {
+        removePostEventHook(legacyHookId_);
+        legacyHookId_ = 0;
+    }
+    if (hook != nullptr)
+        legacyHookId_ = addPostEventHook(std::move(hook), interval);
+}
+
+void
+Simulator::firePostEventHooks()
+{
+    // Hooks may not add/remove hooks from inside a callback (they are
+    // observers); index-based iteration keeps that contract checkable.
+    const std::size_t n = hooks_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        HookEntry &entry = hooks_[i];
+        if (++entry.since < entry.interval)
+            continue;
+        entry.since = 0;
+        entry.hook(*this);
+        EMMCSIM_DCHECK(hooks_.size() == n,
+                       "post-event hook mutated the hook list");
+    }
 }
 
 } // namespace emmcsim::sim

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "sim/event.hh"
 #include "sim/types.hh"
@@ -66,27 +67,52 @@ class Simulator
     /** Read-only view of the event queue (audit support). */
     const EventQueue &events() const { return events_; }
 
-    /** Hook invoked from the event loop (audit support). */
+    /** Hook invoked from the event loop (audit / observability). */
     using PostEventHook = std::function<void(const Simulator &)>;
 
+    /** Identifies one registered post-event hook. */
+    using HookId = std::uint64_t;
+
     /**
-     * Install a debug hook called after every @p interval executed
-     * events. The audit subsystem uses this to revalidate simulator
-     * and device bookkeeping mid-run; a null @p hook uninstalls.
+     * Register a hook called after every @p interval executed events.
+     * Multiple independent hooks may coexist (the invariant auditor
+     * and the metrics sampler each own one); they fire in
+     * registration order. Hooks must not mutate the simulator.
+     *
+     * @return Handle for removePostEventHook().
+     */
+    HookId addPostEventHook(PostEventHook hook, std::uint64_t interval = 1);
+
+    /** Unregister a hook; unknown ids are ignored (idempotent). */
+    void removePostEventHook(HookId id);
+
+    /**
+     * Single-slot convenience used by older callers: replaces the
+     * previously set() hook (hooks registered through
+     * addPostEventHook are unaffected); null uninstalls.
      */
     void setPostEventHook(PostEventHook hook, std::uint64_t interval = 1);
 
   private:
-    /** Run the post-event hook when its interval elapses. */
-    void firePostEventHook();
+    /** One registered post-event hook and its firing cadence. */
+    struct HookEntry
+    {
+        HookId id = 0;
+        std::uint64_t interval = 1;
+        std::uint64_t since = 0;
+        PostEventHook hook;
+    };
+
+    /** Run each post-event hook whose interval elapsed. */
+    void firePostEventHooks();
 
     EventQueue events_;
     Time now_ = 0;
     std::uint64_t executed_ = 0;
 
-    PostEventHook postEventHook_;
-    std::uint64_t hookInterval_ = 1;
-    std::uint64_t sinceHook_ = 0;
+    std::vector<HookEntry> hooks_;
+    HookId nextHookId_ = 1;
+    HookId legacyHookId_ = 0; ///< slot managed by setPostEventHook
 };
 
 } // namespace emmcsim::sim

@@ -114,6 +114,39 @@ Histogram::fractions() const
     return out;
 }
 
+double
+Histogram::percentileEstimate(double p) const
+{
+    EMMCSIM_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range");
+    if (total_ == 0)
+        return 0.0;
+    // Nearest-rank target, then linear interpolation within the
+    // bucket that holds it (the same convention Percentiles uses, so
+    // estimates converge on the exact answer as buckets shrink).
+    auto rank = static_cast<std::uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(total_)));
+    if (rank == 0)
+        rank = 1;
+    std::uint64_t before = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] == 0)
+            continue;
+        if (before + counts_[i] < rank) {
+            before += counts_[i];
+            continue;
+        }
+        if (i >= bounds_.size())
+            return bounds_.empty() ? 0.0 : bounds_.back();
+        const double hi = bounds_[i];
+        const double lo =
+            i > 0 ? bounds_[i - 1] : std::min(0.0, bounds_[0]);
+        const double within = static_cast<double>(rank - before) /
+                              static_cast<double>(counts_[i]);
+        return lo + within * (hi - lo);
+    }
+    return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
 void
 Histogram::reset()
 {
@@ -125,6 +158,23 @@ void
 Percentiles::add(double x)
 {
     values_.push_back(x);
+    sorted_ = false;
+}
+
+void
+Percentiles::merge(const Percentiles &other)
+{
+    if (other.values_.empty())
+        return;
+    if (&other == this) {
+        // Self-merge doubles every sample; copy first because insert
+        // from the growing vector itself would invalidate iterators.
+        std::vector<double> copy = values_;
+        values_.insert(values_.end(), copy.begin(), copy.end());
+    } else {
+        values_.insert(values_.end(), other.values_.begin(),
+                       other.values_.end());
+    }
     sorted_ = false;
 }
 

@@ -97,6 +97,24 @@ class Histogram
     /** All per-bucket fractions, in bucket order. */
     std::vector<double> fractions() const;
 
+    /**
+     * Percentile estimate from the bucket counts alone: find the
+     * bucket holding the nearest-rank sample and interpolate linearly
+     * inside it. The first bucket interpolates from min(0, bound);
+     * samples landing in the open-ended overflow bucket report the
+     * last finite bound (the estimate saturates there — callers that
+     * need an exact tail must keep the samples, e.g. Percentiles).
+     *
+     * @param p in [0, 100]. Returns 0 when the histogram is empty.
+     */
+    double percentileEstimate(double p) const;
+
+    /** @name Latency-quantile shorthands (bucket-bound estimates). @{ */
+    double p50() const { return percentileEstimate(50.0); }
+    double p95() const { return percentileEstimate(95.0); }
+    double p99() const { return percentileEstimate(99.0); }
+    /** @} */
+
     /** Zero all buckets. */
     void reset();
 
@@ -117,6 +135,9 @@ class Percentiles
 
     /** Add one sample. */
     void add(double x);
+
+    /** Fold another calculator's samples into this one. */
+    void merge(const Percentiles &other);
 
     /**
      * Percentile by nearest-rank.

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for the component-scoped logging configuration: EMMCSIM_LOG
+ * spec parsing, per-component thresholds, and the suppression rules
+ * (fatal/panic never filtered, malformed entries skipped not fatal).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+namespace emmcsim::sim {
+namespace {
+
+TEST(LogConfigTest, DefaultThresholdIsInfo)
+{
+    LogConfig cfg;
+    EXPECT_EQ(cfg.defaultLevel(), LogLevel::Info);
+    EXPECT_FALSE(cfg.enabled("anything", LogLevel::Debug));
+    EXPECT_TRUE(cfg.enabled("anything", LogLevel::Info));
+    EXPECT_TRUE(cfg.enabled("anything", LogLevel::Warn));
+}
+
+TEST(LogConfigTest, BareLevelSetsDefault)
+{
+    LogConfig cfg = LogConfig::parse("debug");
+    EXPECT_EQ(cfg.defaultLevel(), LogLevel::Debug);
+    EXPECT_TRUE(cfg.enabled("gc", LogLevel::Debug));
+
+    cfg = LogConfig::parse("warn");
+    EXPECT_FALSE(cfg.enabled("gc", LogLevel::Info));
+    EXPECT_TRUE(cfg.enabled("gc", LogLevel::Warn));
+}
+
+TEST(LogConfigTest, PerComponentEntriesOverrideDefault)
+{
+    LogConfig cfg = LogConfig::parse("warn,gc=debug,replay=info");
+    EXPECT_TRUE(cfg.enabled("gc", LogLevel::Debug));
+    EXPECT_TRUE(cfg.enabled("replay", LogLevel::Info));
+    EXPECT_FALSE(cfg.enabled("replay", LogLevel::Debug));
+    // Unlisted components fall back to the default threshold.
+    EXPECT_FALSE(cfg.enabled("bbm", LogLevel::Info));
+    EXPECT_TRUE(cfg.enabled("bbm", LogLevel::Warn));
+}
+
+TEST(LogConfigTest, LaterEntriesWin)
+{
+    LogConfig cfg = LogConfig::parse("gc=debug,gc=warn");
+    EXPECT_FALSE(cfg.enabled("gc", LogLevel::Debug));
+    EXPECT_TRUE(cfg.enabled("gc", LogLevel::Warn));
+}
+
+TEST(LogConfigTest, FatalAndPanicNeverSuppressed)
+{
+    LogConfig cfg = LogConfig::parse("warn");
+    EXPECT_TRUE(cfg.enabled("gc", LogLevel::Fatal));
+    EXPECT_TRUE(cfg.enabled("gc", LogLevel::Panic));
+}
+
+TEST(LogConfigTest, MalformedEntriesAreSkippedNotFatal)
+{
+    std::string error;
+    LogConfig cfg = LogConfig::parse("bogus,gc=debug", &error);
+    EXPECT_FALSE(error.empty());
+    // The valid entry still applies.
+    EXPECT_TRUE(cfg.enabled("gc", LogLevel::Debug));
+
+    error.clear();
+    cfg = LogConfig::parse("gc=notalevel", &error);
+    EXPECT_FALSE(error.empty());
+    EXPECT_EQ(cfg.levelFor("gc"), cfg.defaultLevel());
+
+    // Well-formed specs report no error.
+    error.clear();
+    LogConfig::parse("debug,gc=info", &error);
+    EXPECT_TRUE(error.empty());
+}
+
+TEST(LogConfigTest, EmptySpecIsDefault)
+{
+    std::string error;
+    LogConfig cfg = LogConfig::parse("", &error);
+    EXPECT_TRUE(error.empty());
+    EXPECT_EQ(cfg.defaultLevel(), LogLevel::Info);
+}
+
+TEST(LogConfigTest, ProcessConfigCanBeReplaced)
+{
+    const LogConfig saved = logConfig();
+    setLogConfig(LogConfig::parse("gc=debug"));
+    EXPECT_TRUE(logEnabled("gc", LogLevel::Debug));
+    EXPECT_FALSE(logEnabled("other", LogLevel::Debug));
+    setLogConfig(saved);
+}
+
+} // namespace
+} // namespace emmcsim::sim

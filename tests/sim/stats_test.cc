@@ -194,3 +194,81 @@ TEST(FormatDouble, FixedDecimals)
     EXPECT_EQ(formatDouble(2.0, 0), "2");
     EXPECT_EQ(formatDouble(-1.5, 1), "-1.5");
 }
+
+TEST(Percentiles, MergeCombinesSamples)
+{
+    Percentiles a;
+    Percentiles b;
+    for (int i = 1; i <= 50; ++i)
+        a.add(i);
+    for (int i = 51; i <= 100; ++i)
+        b.add(i);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.percentile(50), 50.0);
+    EXPECT_DOUBLE_EQ(a.percentile(100), 100.0);
+    // The source is untouched.
+    EXPECT_DOUBLE_EQ(b.percentile(0), 51.0);
+}
+
+TEST(Percentiles, MergeEmptyIsNoop)
+{
+    Percentiles a;
+    a.add(7.0);
+    Percentiles empty;
+    a.merge(empty);
+    EXPECT_DOUBLE_EQ(a.percentile(100), 7.0);
+}
+
+TEST(Percentiles, SelfMergeDoublesSamples)
+{
+    Percentiles a;
+    a.add(1.0);
+    a.add(2.0);
+    a.merge(a);
+    EXPECT_DOUBLE_EQ(a.percentile(100), 2.0);
+    // 4 samples now: nearest-rank p50 is the 2nd.
+    EXPECT_DOUBLE_EQ(a.percentile(50), 1.0);
+}
+
+TEST(HistogramPercentile, EmptyIsZero)
+{
+    Histogram h({1.0, 2.0});
+    EXPECT_DOUBLE_EQ(h.percentileEstimate(50), 0.0);
+    EXPECT_DOUBLE_EQ(h.p99(), 0.0);
+}
+
+TEST(HistogramPercentile, InterpolatesWithinBucket)
+{
+    // 100 samples all in the (1, 2] bucket: every quantile lands
+    // inside it, linearly interpolated between the bucket bounds.
+    Histogram h({1.0, 2.0, 4.0});
+    h.addN(1.5, 100);
+    const double p50 = h.percentileEstimate(50);
+    EXPECT_GT(p50, 1.0);
+    EXPECT_LE(p50, 2.0);
+    EXPECT_LT(h.percentileEstimate(1), p50);
+    EXPECT_LE(h.percentileEstimate(100), 2.0);
+}
+
+TEST(HistogramPercentile, SpreadSamplesOrdered)
+{
+    Histogram h({1.0, 2.0, 4.0, 8.0});
+    h.addN(0.5, 50);
+    h.addN(1.5, 30);
+    h.addN(3.0, 15);
+    h.addN(6.0, 5);
+    const double p50 = h.percentileEstimate(50);
+    const double p95 = h.percentileEstimate(95);
+    const double p99 = h.percentileEstimate(99);
+    EXPECT_LE(p50, 1.0);
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+    EXPECT_LE(p99, 8.0);
+}
+
+TEST(HistogramPercentile, OverflowBucketClampsToLastBound)
+{
+    Histogram h({1.0, 2.0});
+    h.addN(100.0, 10);
+    EXPECT_DOUBLE_EQ(h.percentileEstimate(99), 2.0);
+}

@@ -13,35 +13,54 @@
 #include "bench_util.hh"
 #include "core/experiment.hh"
 #include "core/report.hh"
+#include "core/sweep.hh"
 
 using namespace emmcsim;
 
 int
 main(int argc, char **argv)
 {
-    const double scale = bench::parseScale(argc, argv, 0.5);
+    const bench::BenchArgs args =
+        bench::parseBenchArgs(argc, argv, 0.5);
+    const double scale = args.scale;
     std::cout << "== Ablation A7: dynamic vs static write allocation "
                  "(scale " << scale << ") ==\n\n";
 
     core::TablePrinter table({"Workload", "Allocation", "MRT (ms)",
                               "Mean serv (ms)"});
 
-    for (const char *app :
-         {"CameraVideo", "Installing", "Booting", "Twitter"}) {
-        trace::Trace t = bench::makeAppTrace(app, scale);
+    const std::vector<std::string> apps = {"CameraVideo", "Installing",
+                                           "Booting", "Twitter"};
+    std::vector<trace::Trace> traces;
+    traces.reserve(apps.size());
+    for (const std::string &app : apps)
+        traces.push_back(bench::makeAppTrace(app, scale));
+
+    std::vector<core::SweepCase> cases;
+    for (std::size_t ti = 0; ti < traces.size(); ++ti) {
         for (ftl::AllocPolicy policy :
-             {ftl::AllocPolicy::RoundRobin, ftl::AllocPolicy::StaticLpn}) {
-            core::ExperimentOptions opts;
-            opts.allocPolicy = policy;
-            core::CaseResult res =
-                core::runCase(t, core::SchemeKind::PS4, opts);
-            table.addRow({app,
-                          policy == ftl::AllocPolicy::RoundRobin
-                              ? "dynamic (round-robin)"
-                              : "static (lpn % planes)",
-                          core::fmt(res.meanResponseMs),
-                          core::fmt(res.meanServiceMs)});
+             {ftl::AllocPolicy::RoundRobin,
+              ftl::AllocPolicy::StaticLpn}) {
+            core::SweepCase c;
+            c.label = apps[ti];
+            c.trace = &traces[ti];
+            c.kind = core::SchemeKind::PS4;
+            c.opts.allocPolicy = policy;
+            cases.push_back(std::move(c));
         }
+    }
+    const std::vector<core::CaseResult> results =
+        core::runCases(cases, args.jobs);
+
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const core::CaseResult &res = results[i];
+        table.addRow(
+            {cases[i].label,
+             cases[i].opts.allocPolicy == ftl::AllocPolicy::RoundRobin
+                 ? "dynamic (round-robin)"
+                 : "static (lpn % planes)",
+             core::fmt(res.meanResponseMs),
+             core::fmt(res.meanServiceMs)});
     }
     table.print(std::cout);
 

@@ -13,32 +13,55 @@
 #include "bench_util.hh"
 #include "core/experiment.hh"
 #include "core/report.hh"
+#include "core/sweep.hh"
 
 using namespace emmcsim;
 
 int
 main(int argc, char **argv)
 {
-    const double scale = bench::parseScale(argc, argv, 0.5);
+    const bench::BenchArgs args =
+        bench::parseBenchArgs(argc, argv, 0.5);
+    const double scale = args.scale;
     std::cout << "== Ablation A2: RAM buffer size vs hit rate "
                  "(Implication 3; scale " << scale << ") ==\n\n";
 
     core::TablePrinter table({"Workload", "Buffer", "Read hit rate (%)",
                               "MRT (ms)"});
 
-    for (const char *app : {"Twitter", "Facebook", "Movie"}) {
-        trace::Trace t = bench::makeAppTrace(app, scale);
-        core::ExperimentOptions base;
-        core::CaseResult off = core::runCase(t, core::SchemeKind::PS4,
-                                             base);
-        table.addRow({app, "off", "-", core::fmt(off.meanResponseMs)});
-        for (std::uint64_t mb : {1, 4, 16, 64}) {
-            core::ExperimentOptions opts;
-            opts.ramBuffer = true;
-            opts.ramBufferUnits = mb * sim::kMiB / sim::kUnitBytes;
-            core::CaseResult res =
-                core::runCase(t, core::SchemeKind::PS4, opts);
-            table.addRow({app, core::fmt(mb) + "MB",
+    const std::vector<std::string> apps = {"Twitter", "Facebook",
+                                           "Movie"};
+    const std::vector<std::uint64_t> sizes_mb = {0, 1, 4, 16, 64};
+    std::vector<trace::Trace> traces;
+    traces.reserve(apps.size());
+    for (const std::string &app : apps)
+        traces.push_back(bench::makeAppTrace(app, scale));
+
+    std::vector<core::SweepCase> cases;
+    for (std::size_t ti = 0; ti < traces.size(); ++ti) {
+        for (std::uint64_t mb : sizes_mb) {
+            core::SweepCase c;
+            c.label = apps[ti];
+            c.trace = &traces[ti];
+            c.kind = core::SchemeKind::PS4;
+            if (mb > 0) {
+                c.opts.ramBuffer = true;
+                c.opts.ramBufferUnits = mb * sim::kMiB / sim::kUnitBytes;
+            }
+            cases.push_back(std::move(c));
+        }
+    }
+    const std::vector<core::CaseResult> results =
+        core::runCases(cases, args.jobs);
+
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const core::CaseResult &res = results[i];
+        const std::uint64_t mb = sizes_mb[i % sizes_mb.size()];
+        if (mb == 0) {
+            table.addRow({cases[i].label, "off", "-",
+                          core::fmt(res.meanResponseMs)});
+        } else {
+            table.addRow({cases[i].label, core::fmt(mb) + "MB",
                           core::fmt(100.0 * res.bufferReadHitRate, 1),
                           core::fmt(res.meanResponseMs)});
         }

@@ -15,34 +15,53 @@
 #include "bench_util.hh"
 #include "core/experiment.hh"
 #include "core/report.hh"
+#include "core/sweep.hh"
 
 using namespace emmcsim;
 
 int
 main(int argc, char **argv)
 {
-    const double scale = bench::parseScale(argc, argv, 0.25);
+    const bench::BenchArgs args =
+        bench::parseBenchArgs(argc, argv, 0.25);
+    const double scale = args.scale;
     std::cout << "== Ablation A1: blocking GC vs idle-time GC "
                  "(Implication 2; scale " << scale << ") ==\n\n";
 
     core::TablePrinter table({"Workload", "Policy", "MRT (ms)",
                               "Blocking GC rounds", "Idle GC steps"});
 
-    for (const char *app : {"Messaging", "Twitter", "Installing"}) {
-        trace::Trace t = bench::makeAppTrace(app, scale);
+    const std::vector<std::string> apps = {"Messaging", "Twitter",
+                                           "Installing"};
+    std::vector<trace::Trace> traces;
+    traces.reserve(apps.size());
+    for (const std::string &app : apps)
+        traces.push_back(bench::makeAppTrace(app, scale));
+
+    std::vector<core::SweepCase> cases;
+    for (std::size_t ti = 0; ti < traces.size(); ++ti) {
         for (bool idle_gc : {false, true}) {
-            core::ExperimentOptions opts;
-            opts.capacityScale = 1.0 / 64.0; // ~512MB device
-            opts.prefill = 0.70;             // aged: GC pressure exists
-            opts.idleGc = idle_gc;
-            core::CaseResult res =
-                core::runCase(t, core::SchemeKind::PS4, opts);
-            table.addRow(
-                {app, idle_gc ? "idle-time GC" : "threshold GC",
-                 core::fmt(res.meanResponseMs),
-                 core::fmt(res.gcBlockingRounds),
-                 core::fmt(res.gcIdleRounds)});
+            core::SweepCase c;
+            c.label = apps[ti];
+            c.trace = &traces[ti];
+            c.kind = core::SchemeKind::PS4;
+            c.opts.capacityScale = 1.0 / 64.0; // ~512MB device
+            c.opts.prefill = 0.70; // aged: GC pressure exists
+            c.opts.idleGc = idle_gc;
+            cases.push_back(std::move(c));
         }
+    }
+    const std::vector<core::CaseResult> results =
+        core::runCases(cases, args.jobs);
+
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const core::CaseResult &res = results[i];
+        table.addRow({cases[i].label,
+                      cases[i].opts.idleGc ? "idle-time GC"
+                                           : "threshold GC",
+                      core::fmt(res.meanResponseMs),
+                      core::fmt(res.gcBlockingRounds),
+                      core::fmt(res.gcIdleRounds)});
     }
     table.print(std::cout);
 

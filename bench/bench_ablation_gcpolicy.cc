@@ -15,13 +15,16 @@
 #include "bench_util.hh"
 #include "core/experiment.hh"
 #include "core/report.hh"
+#include "core/sweep.hh"
 
 using namespace emmcsim;
 
 int
 main(int argc, char **argv)
 {
-    const double scale = bench::parseScale(argc, argv, 0.25);
+    const bench::BenchArgs args =
+        bench::parseBenchArgs(argc, argv, 0.25);
+    const double scale = args.scale;
     std::cout << "== Ablation A6: GC victim policy on an aged device "
                  "(scale " << scale << ") ==\n\n";
 
@@ -29,25 +32,42 @@ main(int argc, char **argv)
                               "GC rounds", "Relocated units",
                               "Erased blocks"});
 
-    for (const char *app : {"CameraVideo", "Installing"}) {
-        trace::Trace t = bench::makeAppTrace(app, scale);
+    const std::vector<std::string> apps = {"CameraVideo",
+                                           "Installing"};
+    std::vector<trace::Trace> traces;
+    traces.reserve(apps.size());
+    for (const std::string &app : apps)
+        traces.push_back(bench::makeAppTrace(app, scale));
+
+    std::vector<core::SweepCase> cases;
+    for (std::size_t ti = 0; ti < traces.size(); ++ti) {
         for (ftl::GcVictimPolicy policy :
              {ftl::GcVictimPolicy::Greedy,
               ftl::GcVictimPolicy::CostBenefit}) {
-            core::ExperimentOptions opts;
-            opts.capacityScale = 1.0 / 64.0;
-            opts.prefill = 0.70;
-            opts.gcVictimPolicy = policy;
-            core::CaseResult res =
-                core::runCase(t, core::SchemeKind::PS4, opts);
-            const char *name =
-                policy == ftl::GcVictimPolicy::Greedy ? "greedy"
-                                                      : "cost-benefit";
-            table.addRow({app, name, core::fmt(res.meanResponseMs),
-                          core::fmt(res.gcBlockingRounds),
-                          core::fmt(res.gcRelocatedUnits),
-                          core::fmt(res.gcErasedBlocks)});
+            core::SweepCase c;
+            c.label = apps[ti];
+            c.trace = &traces[ti];
+            c.kind = core::SchemeKind::PS4;
+            c.opts.capacityScale = 1.0 / 64.0;
+            c.opts.prefill = 0.70;
+            c.opts.gcVictimPolicy = policy;
+            cases.push_back(std::move(c));
         }
+    }
+    const std::vector<core::CaseResult> results =
+        core::runCases(cases, args.jobs);
+
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const core::CaseResult &res = results[i];
+        const char *name =
+            cases[i].opts.gcVictimPolicy == ftl::GcVictimPolicy::Greedy
+                ? "greedy"
+                : "cost-benefit";
+        table.addRow({cases[i].label, name,
+                      core::fmt(res.meanResponseMs),
+                      core::fmt(res.gcBlockingRounds),
+                      core::fmt(res.gcRelocatedUnits),
+                      core::fmt(res.gcErasedBlocks)});
     }
     table.print(std::cout);
 

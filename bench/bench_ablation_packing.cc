@@ -7,8 +7,10 @@
 #include <iostream>
 
 #include "analysis/throughput.hh"
+#include "bench_util.hh"
 #include "core/experiment.hh"
 #include "core/report.hh"
+#include "core/sweep.hh"
 #include "host/replayer.hh"
 #include "workload/fixed.hh"
 
@@ -38,20 +40,33 @@ throughput(std::uint64_t req_bytes, bool packing, bool multiplane)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
     std::cout << "== Ablation A4: packing and multi-plane commands vs "
                  "write throughput (Implication 1 / Fig 3) ==\n\n";
 
+    // Each table cell is an independent fixed-stream replay; fan the
+    // 5x4 matrix out over the sweep pool and print in cell order.
+    const std::vector<std::uint64_t> sizes_kb = {4, 16, 64, 256, 1024};
+    const std::vector<std::pair<bool, bool>> modes = {
+        {false, false}, {true, false}, {false, true}, {true, true}};
+    const std::size_t cells = sizes_kb.size() * modes.size();
+    const std::vector<double> tp = core::runOrdered(
+        cells, args.jobs, [&](std::size_t i) {
+            const std::uint64_t bytes =
+                sizes_kb[i / modes.size()] * sim::kKiB;
+            const auto &[packing, multiplane] = modes[i % modes.size()];
+            return throughput(bytes, packing, multiplane);
+        });
+
     core::TablePrinter table({"Req size", "base MB/s", "+packing",
                               "+multiplane", "+both"});
-    for (std::uint64_t kb : {4, 16, 64, 256, 1024}) {
-        std::uint64_t bytes = kb * sim::kKiB;
-        table.addRow({core::fmt(std::uint64_t{kb}) + "KB",
-                      core::fmt(throughput(bytes, false, false)),
-                      core::fmt(throughput(bytes, true, false)),
-                      core::fmt(throughput(bytes, false, true)),
-                      core::fmt(throughput(bytes, true, true))});
+    for (std::size_t r = 0; r < sizes_kb.size(); ++r) {
+        const std::size_t base = r * modes.size();
+        table.addRow({core::fmt(std::uint64_t{sizes_kb[r]}) + "KB",
+                      core::fmt(tp[base]), core::fmt(tp[base + 1]),
+                      core::fmt(tp[base + 2]), core::fmt(tp[base + 3])});
     }
     table.print(std::cout);
 

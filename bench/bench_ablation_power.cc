@@ -9,30 +9,57 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hh"
 #include "core/experiment.hh"
 #include "core/report.hh"
 #include "core/scheme.hh"
+#include "core/sweep.hh"
 #include "host/replayer.hh"
 
 using namespace emmcsim;
 
+namespace {
+
+/** One table cell: a replay with one power threshold. */
+struct PowerCell
+{
+    double mrtMs = 0.0;
+    std::uint64_t wakeups = 0;
+    double lowPowerPct = 0.0;
+};
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    const double scale = bench::parseScale(argc, argv, 0.5);
+    const bench::BenchArgs args =
+        bench::parseBenchArgs(argc, argv, 0.5);
+    const double scale = args.scale;
     std::cout << "== Ablation A3: power-saving threshold sweep "
                  "(Characteristic 4; scale " << scale << ") ==\n\n";
 
-    core::TablePrinter table({"Workload", "Threshold (ms)", "MRT (ms)",
-                              "Wakeups", "Low-power residency (%)"});
+    const std::vector<std::string> apps = {"YouTube", "WebBrowsing",
+                                           "Twitter"};
+    const std::vector<sim::Time> thresholds = {
+        sim::milliseconds(50), sim::milliseconds(200),
+        sim::milliseconds(1000), sim::milliseconds(5000)};
 
-    for (const char *app : {"YouTube", "WebBrowsing", "Twitter"}) {
-        trace::Trace t = bench::makeAppTrace(app, scale);
-        for (sim::Time threshold :
-             {sim::milliseconds(50), sim::milliseconds(200),
-              sim::milliseconds(1000), sim::milliseconds(5000)}) {
+    std::vector<trace::Trace> traces;
+    traces.reserve(apps.size());
+    for (const std::string &app : apps)
+        traces.push_back(bench::makeAppTrace(app, scale));
+
+    // CaseResult does not carry power stats, so the cells go through
+    // runOrdered directly with a purpose-built row struct.
+    const std::size_t cells = apps.size() * thresholds.size();
+    const std::vector<PowerCell> rows = core::runOrdered(
+        cells, args.jobs, [&](std::size_t i) {
+            const trace::Trace &t = traces[i / thresholds.size()];
+            const sim::Time threshold =
+                thresholds[i % thresholds.size()];
             sim::Simulator s;
             emmc::EmmcConfig cfg =
                 core::schemeConfig(core::SchemeKind::PS4);
@@ -43,18 +70,28 @@ main(int argc, char **argv)
             rep.replay(t);
 
             const emmc::PowerStats &ps = dev->powerStats();
-            double resid =
+            PowerCell cell;
+            cell.mrtMs = dev->stats().responseMs.mean();
+            cell.wakeups = ps.wakeups;
+            cell.lowPowerPct =
                 ps.lowPowerTime + ps.activeTime > 0
                     ? 100.0 * static_cast<double>(ps.lowPowerTime) /
                           static_cast<double>(ps.lowPowerTime +
                                               ps.activeTime)
                     : 0.0;
-            table.addRow({app,
-                          core::fmt(sim::toMilliseconds(threshold), 0),
-                          core::fmt(dev->stats().responseMs.mean()),
-                          core::fmt(ps.wakeups),
-                          core::fmt(resid, 1)});
-        }
+            return cell;
+        });
+
+    core::TablePrinter table({"Workload", "Threshold (ms)", "MRT (ms)",
+                              "Wakeups", "Low-power residency (%)"});
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        table.addRow(
+            {apps[i / thresholds.size()],
+             core::fmt(
+                 sim::toMilliseconds(thresholds[i % thresholds.size()]),
+                 0),
+             core::fmt(rows[i].mrtMs), core::fmt(rows[i].wakeups),
+             core::fmt(rows[i].lowPowerPct, 1)});
     }
     table.print(std::cout);
 

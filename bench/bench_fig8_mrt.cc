@@ -13,13 +13,15 @@
 #include "bench_util.hh"
 #include "core/experiment.hh"
 #include "core/report.hh"
+#include "core/sweep.hh"
 
 using namespace emmcsim;
 
 int
 main(int argc, char **argv)
 {
-    const double scale = bench::parseScale(argc, argv);
+    const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
+    const double scale = args.scale;
     std::cout << "== Fig 8: performance comparison among 4PS / 8PS / "
                  "HPS (MRT in ms, scale " << scale << ") ==\n\n";
 
@@ -36,13 +38,32 @@ main(int argc, char **argv)
     double sum_gain = 0.0;
     std::size_t count = 0;
 
-    for (const workload::AppProfile &p :
-         workload::individualProfiles()) {
-        trace::Trace t = bench::makeAppTrace(p.name, scale);
+    // One sweep job per (app, scheme); traces are generated up front
+    // and shared read-only, results come back in submission order.
+    std::vector<trace::Trace> traces;
+    const auto &profiles = workload::individualProfiles();
+    traces.reserve(profiles.size());
+    for (const workload::AppProfile &p : profiles)
+        traces.push_back(bench::makeAppTrace(p.name, scale));
+
+    std::vector<core::SweepCase> cases;
+    for (std::size_t ti = 0; ti < traces.size(); ++ti) {
+        for (core::SchemeKind kind : core::allSchemes()) {
+            core::SweepCase c;
+            c.label = profiles[ti].name + "/" + core::schemeName(kind);
+            c.trace = &traces[ti];
+            c.kind = kind;
+            cases.push_back(std::move(c));
+        }
+    }
+    const std::vector<core::CaseResult> results =
+        core::runCases(cases, args.jobs);
+
+    for (std::size_t ti = 0; ti < profiles.size(); ++ti) {
+        const workload::AppProfile &p = profiles[ti];
         double mrt[3];
-        int i = 0;
-        for (core::SchemeKind kind : core::allSchemes())
-            mrt[i++] = core::runCase(t, kind).meanResponseMs;
+        for (std::size_t k = 0; k < 3; ++k)
+            mrt[k] = results[ti * 3 + k].meanResponseMs;
 
         double gain = 100.0 * (mrt[0] - mrt[2]) / mrt[0];
         worst_gain = std::min(worst_gain, gain);

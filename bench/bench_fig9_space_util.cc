@@ -11,13 +11,15 @@
 #include "bench_util.hh"
 #include "core/experiment.hh"
 #include "core/report.hh"
+#include "core/sweep.hh"
 
 using namespace emmcsim;
 
 int
 main(int argc, char **argv)
 {
-    const double scale = bench::parseScale(argc, argv);
+    const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
+    const double scale = args.scale;
     std::cout << "== Fig 9: space utilization normalized to 4PS "
                  "(scale " << scale << ") ==\n\n";
 
@@ -28,13 +30,32 @@ main(int argc, char **argv)
     std::string best_app;
     std::size_t count = 0;
 
-    for (const workload::AppProfile &p :
-         workload::individualProfiles()) {
-        trace::Trace t = bench::makeAppTrace(p.name, scale);
+    // (app, scheme) cases fan out over the sweep pool; the ordered
+    // results keep the table byte-identical for any --jobs value.
+    std::vector<trace::Trace> traces;
+    const auto &profiles = workload::individualProfiles();
+    traces.reserve(profiles.size());
+    for (const workload::AppProfile &p : profiles)
+        traces.push_back(bench::makeAppTrace(p.name, scale));
+
+    std::vector<core::SweepCase> cases;
+    for (std::size_t ti = 0; ti < traces.size(); ++ti) {
+        for (core::SchemeKind kind : core::allSchemes()) {
+            core::SweepCase c;
+            c.label = profiles[ti].name + "/" + core::schemeName(kind);
+            c.trace = &traces[ti];
+            c.kind = kind;
+            cases.push_back(std::move(c));
+        }
+    }
+    const std::vector<core::CaseResult> results =
+        core::runCases(cases, args.jobs);
+
+    for (std::size_t ti = 0; ti < profiles.size(); ++ti) {
+        const workload::AppProfile &p = profiles[ti];
         double util[3];
-        int i = 0;
-        for (core::SchemeKind kind : core::allSchemes())
-            util[i++] = core::runCase(t, kind).spaceUtilization;
+        for (std::size_t k = 0; k < 3; ++k)
+            util[k] = results[ti * 3 + k].spaceUtilization;
 
         double norm8 = util[1] / util[0];
         double normh = util[2] / util[0];

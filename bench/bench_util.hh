@@ -10,9 +10,10 @@
 #ifndef EMMCSIM_BENCH_BENCH_UTIL_HH
 #define EMMCSIM_BENCH_BENCH_UTIL_HH
 
-#include <cstdlib>
 #include <string>
 
+#include "core/cli_util.hh"
+#include "core/sweep.hh"
 #include "sim/logging.hh"
 #include "trace/trace.hh"
 #include "workload/generator.hh"
@@ -23,11 +24,14 @@ namespace emmcsim::bench {
 /** Fixed seed so every bench run reproduces the same traces. */
 constexpr std::uint64_t kBenchSeed = 2015; // IISWC 2015
 
-/** Parsed bench command line: positional scale + observability flags. */
+/** Parsed bench command line: positional scale + shared flags. */
 struct BenchArgs
 {
     /** Trace scale factor (positional, default per bench). */
     double scale = 1.0;
+    /** Sweep worker threads (--jobs=N; 0 = hardware concurrency).
+     * Output is byte-identical for every value. */
+    unsigned jobs = 0;
     /** Run-report JSON output (--metrics-json=FILE; empty = off). */
     std::string metricsJson;
     /** Chrome trace output (--trace-out=FILE; empty = off). */
@@ -36,8 +40,10 @@ struct BenchArgs
 
 /**
  * Parse the bench command line: an optional positional scale plus the
- * shared observability flags. Unknown flags abort with sim::fatal so a
- * typo doesn't silently run the default configuration.
+ * shared flags. Unknown flags and malformed values abort with
+ * sim::fatal so a typo doesn't silently run the default
+ * configuration. The scale uses the strict core::parseF64 contract —
+ * "0.5x" or "+1" are errors, not silently-accepted prefixes.
  */
 inline BenchArgs
 parseBenchArgs(int argc, char **argv, double fallback_scale = 1.0)
@@ -54,12 +60,14 @@ parseBenchArgs(int argc, char **argv, double fallback_scale = 1.0)
             args.traceOut = a.substr(12);
             if (args.traceOut.empty())
                 sim::fatal("--trace-out needs a file");
+        } else if (a.rfind("--jobs=", 0) == 0) {
+            if (!core::parseJobs(a.substr(7), args.jobs))
+                sim::fatal("bad --jobs: " + a.substr(7));
         } else if (a.rfind("--", 0) == 0) {
             sim::fatal("unknown bench flag: " + a);
         } else {
-            const double s = std::atof(a.c_str());
-            if (s > 0.0)
-                args.scale = s;
+            if (!core::parseF64(a, args.scale) || args.scale <= 0.0)
+                sim::fatal("bad bench scale: " + a);
         }
     }
     return args;

@@ -13,11 +13,12 @@
  *                                      audits every N events (default
  *                                      10000) and reports the outcome
  *   compare <app> [scale]              run the Fig 8/9 comparison
+ *   sweep [app ...] [--schemes=L] [--ablate=L] [--jobs=N] ...
+ *                                      fan out app x scheme x ablation
+ *                                      replays over a worker pool
  */
 
 #include <algorithm>
-#include <cerrno>
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -29,8 +30,10 @@
 #include "sim/logging.hh"
 #include "analysis/size_stats.hh"
 #include "analysis/timing_stats.hh"
+#include "core/cli_util.hh"
 #include "core/experiment.hh"
 #include "core/report.hh"
+#include "core/sweep.hh"
 #include "host/replayer.hh"
 #include "obs/report.hh"
 #include "workload/generator.hh"
@@ -267,6 +270,157 @@ cmdCompare(const std::string &app, double scale)
     return 0;
 }
 
+/** One ablation variant applied on top of the Table V scheme. */
+struct SweepVariant
+{
+    std::string name;
+    core::ExperimentOptions opts;
+};
+
+/** Map an --ablate toggle name to its experiment options. */
+bool
+parseVariant(const std::string &name, SweepVariant &out)
+{
+    core::ExperimentOptions opts;
+    if (name == "baseline") {
+        // Table V device as-is.
+    } else if (name == "nopack") {
+        opts.packing = false;
+    } else if (name == "idlegc") {
+        opts.idleGc = true;
+    } else if (name == "multiplane") {
+        opts.multiplane = true;
+    } else if (name == "costbenefit") {
+        opts.gcVictimPolicy = ftl::GcVictimPolicy::CostBenefit;
+    } else if (name == "static-alloc") {
+        opts.allocPolicy = ftl::AllocPolicy::StaticLpn;
+    } else {
+        return false;
+    }
+    out.name = name;
+    out.opts = opts;
+    return true;
+}
+
+/** Split a comma-separated flag value ("a,b,c"); skips empties. */
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        std::size_t comma = s.find(',', pos);
+        if (comma == std::string::npos)
+            comma = s.size();
+        if (comma > pos)
+            out.push_back(s.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+/** Parsed `sweep` invocation. */
+struct SweepArgs
+{
+    std::vector<std::string> apps; ///< empty = all individual profiles
+    std::vector<core::SchemeKind> schemes;
+    std::vector<SweepVariant> variants;
+    double scale = 0.25;
+    std::uint64_t seed = 1;
+    unsigned jobs = 0; ///< 0 = one worker per hardware thread
+    std::string metricsJson;
+};
+
+/**
+ * Fan the (app x scheme x variant) product out over a core::Sweep
+ * worker pool and print one table row per case, in the deterministic
+ * product order. Traces are generated once per app up front and
+ * shared read-only by the workers, so every run replays identical
+ * input regardless of --jobs.
+ */
+int
+cmdSweep(const SweepArgs &sa)
+{
+    std::vector<const workload::AppProfile *> profiles;
+    if (sa.apps.empty()) {
+        for (const workload::AppProfile &p :
+             workload::individualProfiles())
+            profiles.push_back(&p);
+    } else {
+        for (const std::string &app : sa.apps) {
+            const workload::AppProfile *p = workload::findProfile(app);
+            if (p == nullptr) {
+                std::cerr << "unknown application: " << app << "\n";
+                return 1;
+            }
+            profiles.push_back(p);
+        }
+    }
+
+    std::vector<trace::Trace> traces;
+    traces.reserve(profiles.size());
+    for (const workload::AppProfile *p : profiles) {
+        workload::TraceGenerator gen(*p, sa.seed);
+        traces.push_back(gen.generate(sa.scale));
+    }
+
+    std::vector<core::SweepCase> cases;
+    for (std::size_t ti = 0; ti < traces.size(); ++ti) {
+        for (core::SchemeKind kind : sa.schemes) {
+            for (const SweepVariant &variant : sa.variants) {
+                core::SweepCase c;
+                c.label = profiles[ti]->name + "/" +
+                          core::schemeName(kind) + "/" + variant.name;
+                c.trace = &traces[ti];
+                c.kind = kind;
+                c.opts = variant.opts;
+                c.opts.obs.metrics = !sa.metricsJson.empty();
+                cases.push_back(std::move(c));
+            }
+        }
+    }
+
+    std::cout << "Sweep: " << cases.size() << " cases ("
+              << profiles.size() << " apps x " << sa.schemes.size()
+              << " schemes x " << sa.variants.size()
+              << " variants) on " << core::effectiveJobs(sa.jobs)
+              << " workers, scale " << sa.scale << ", seed " << sa.seed
+              << "\n\n";
+
+    const std::vector<core::CaseResult> results =
+        core::runCases(cases, sa.jobs);
+
+    core::TablePrinter table({"Case", "MRT (ms)", "Mean serv (ms)",
+                              "Space util", "WA", "GC rounds",
+                              "p99 resp (ms)"});
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const core::CaseResult &res = results[i];
+        table.addRow({cases[i].label, core::fmt(res.meanResponseMs),
+                      core::fmt(res.meanServiceMs),
+                      core::fmt(res.spaceUtilization, 3),
+                      core::fmt(res.writeAmplification, 3),
+                      core::fmt(res.gcBlockingRounds),
+                      core::fmt(res.p99ResponseMs)});
+    }
+    table.print(std::cout);
+
+    if (!sa.metricsJson.empty()) {
+        obs::RunReport report;
+        report.setMeta("tool", "emmcsim_cli");
+        report.setMeta("command", "sweep");
+        report.setMeta("scale", sa.scale);
+        report.setMeta("seed", sa.seed);
+        report.setMeta("cases",
+                       static_cast<std::uint64_t>(cases.size()));
+        for (std::size_t i = 0; i < results.size(); ++i)
+            report.addRun(cases[i].label, results[i].obs.metrics);
+        report.writeJsonFile(sa.metricsJson);
+        std::cout << "\nwrote metrics report (" << report.runCount()
+                  << " runs) to " << sa.metricsJson << "\n";
+    }
+    return 0;
+}
+
 int
 usage()
 {
@@ -296,6 +450,23 @@ usage()
            "      [--sample-window-ms=N]  record windowed metric "
            "series every N ms\n"
            "  emmcsim_cli compare <app> [scale]\n"
+           "  emmcsim_cli sweep [app ...]\n"
+           "      [--schemes=4PS,8PS,HPS,HSLC] schemes to replay "
+           "(default 4PS,8PS,HPS)\n"
+           "      [--ablate=LIST]         ablation variants per case: "
+           "baseline, nopack,\n"
+           "                              idlegc, multiplane, "
+           "costbenefit, static-alloc\n"
+           "      [--scale=X]             trace scale factor (default "
+           "0.25)\n"
+           "      [--seed=N]              trace-generator seed "
+           "(default 1)\n"
+           "      [--jobs=N]              worker threads (default: one "
+           "per hardware thread);\n"
+           "                              results are byte-identical "
+           "for every N\n"
+           "      [--metrics-json=FILE]   run-report JSON, one run per "
+           "case\n"
            "\n"
            "  EMMCSIM_LOG=[level][,comp=level...] controls logging "
            "(debug|info|warn), e.g. EMMCSIM_LOG=warn,gc=debug\n";
@@ -309,36 +480,11 @@ usageError(const std::string &what)
     return usage();
 }
 
-/** Strict unsigned parse: the whole string must be digits. */
-bool
-parseU64(const std::string &s, std::uint64_t &v)
-{
-    if (s.empty())
-        return false;
-    char *end = nullptr;
-    errno = 0;
-    const std::uint64_t n = std::strtoull(s.c_str(), &end, 10);
-    if (errno != 0 || end == nullptr || *end != '\0' ||
-        s.find_first_not_of("0123456789") != std::string::npos)
-        return false;
-    v = n;
-    return true;
-}
-
-/** Strict double parse: the whole string must be consumed. */
-bool
-parseF64(const std::string &s, double &v)
-{
-    if (s.empty())
-        return false;
-    char *end = nullptr;
-    errno = 0;
-    const double x = std::strtod(s.c_str(), &end);
-    if (errno != 0 || end == nullptr || *end != '\0')
-        return false;
-    v = x;
-    return true;
-}
+// Number parsing is shared with the other binaries (core/cli_util.hh)
+// so every CLI rejects the same malformed inputs.
+using core::parseF64;
+using core::parseJobs;
+using core::parseU64;
 
 /**
  * Split @p args into positional arguments and "--name[=value]" flags.
@@ -407,6 +553,10 @@ main(int argc, char **argv)
                  "--fault-program-fail", "--fault-erase-fail",
                  "--retries", "--metrics-json", "--trace-out",
                  "--trace-csv", "--sample-window-ms"};
+        valued = known;
+    } else if (cmd == "sweep") {
+        known = {"--schemes", "--ablate", "--scale", "--seed",
+                 "--jobs", "--metrics-json"};
         valued = known;
     }
     std::vector<std::string> pos;
@@ -515,6 +665,53 @@ main(int argc, char **argv)
         if (pos.size() > 1 && (!parseF64(pos[1], scale) || scale <= 0))
             return usageError("bad scale: " + pos[1]);
         return cmdCompare(pos[0], scale);
+    }
+    if (cmd == "sweep") {
+        SweepArgs sa;
+        sa.apps = pos;
+        for (const auto &[name, value] : flags) {
+            if (name == "--schemes") {
+                for (const std::string &s : splitList(value)) {
+                    core::SchemeKind kind;
+                    if (!parseScheme(s, kind))
+                        return usageError("bad --schemes entry: " + s);
+                    sa.schemes.push_back(kind);
+                }
+                if (sa.schemes.empty())
+                    return usageError("--schemes needs a list");
+            } else if (name == "--ablate") {
+                for (const std::string &s : splitList(value)) {
+                    SweepVariant variant;
+                    if (!parseVariant(s, variant))
+                        return usageError("bad --ablate entry: " + s);
+                    sa.variants.push_back(std::move(variant));
+                }
+                if (sa.variants.empty())
+                    return usageError("--ablate needs a list");
+            } else if (name == "--scale") {
+                if (!parseF64(value, sa.scale) || sa.scale <= 0)
+                    return usageError("bad --scale: " + value);
+            } else if (name == "--seed") {
+                if (!parseU64(value, sa.seed))
+                    return usageError("bad --seed: " + value);
+            } else if (name == "--jobs") {
+                if (!parseJobs(value, sa.jobs))
+                    return usageError("bad --jobs: " + value);
+            } else if (name == "--metrics-json") {
+                if (value.empty())
+                    return usageError("--metrics-json needs a file");
+                sa.metricsJson = value;
+            }
+        }
+        if (sa.schemes.empty())
+            sa.schemes.assign(core::allSchemes().begin(),
+                              core::allSchemes().end());
+        if (sa.variants.empty()) {
+            SweepVariant baseline;
+            parseVariant("baseline", baseline);
+            sa.variants.push_back(std::move(baseline));
+        }
+        return cmdSweep(sa);
     }
     return usageError("unknown command: " + cmd);
 }

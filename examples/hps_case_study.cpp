@@ -5,10 +5,16 @@
  * response time (Fig 8) and space utilization (Fig 9), plus the
  * flash-operation breakdown that explains the difference.
  *
- * Usage: hps_case_study [app-name] [scale] [--audit]
+ * Usage: hps_case_study [app-name] [scale] [--audit] [--jobs=N]
  *                       [--fault-rber=X] [--fault-seed=N]
  *                       [--fault-program-fail=X] [--fault-erase-fail=X]
  *                       [--metrics-json=FILE] [--trace-out=FILE]
+ *
+ * The three scheme replays are independent, so they run on a
+ * core::Sweep worker pool (--jobs=N, default one worker per hardware
+ * thread). Results are collected in scheme order and all output is
+ * printed afterwards, so stdout and every artifact are byte-identical
+ * whatever the worker count.
  *
  * --metrics-json writes one emmcsim-run-report-v1 JSON file holding a
  * full metrics snapshot per scheme (one "runs" entry each), so the
@@ -23,20 +29,16 @@
  * paths under the same audits.
  */
 
-#include <cerrno>
-#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include <fstream>
-
-#include "check/audit.hh"
+#include "core/cli_util.hh"
 #include "core/experiment.hh"
-#include "core/scheme.hh"
 #include "core/report.hh"
-#include "host/replayer.hh"
-#include "obs/observer.hh"
+#include "core/scheme.hh"
+#include "core/sweep.hh"
 #include "obs/report.hh"
 #include "workload/generator.hh"
 #include "workload/profile.hh"
@@ -49,7 +51,7 @@ int
 usage()
 {
     std::cerr << "usage: hps_case_study [app-name] [scale] [--audit]\n"
-                 "         [--fault-rber=X] [--fault-seed=N]\n"
+                 "         [--jobs=N] [--fault-rber=X] [--fault-seed=N]\n"
                  "         [--fault-program-fail=X] "
                  "[--fault-erase-fail=X]\n"
                  "         [--metrics-json=FILE] [--trace-out=FILE]\n";
@@ -63,35 +65,13 @@ usageError(const std::string &what)
     return usage();
 }
 
-bool
-parseU64(const std::string &s, std::uint64_t &v)
-{
-    if (s.empty() ||
-        s.find_first_not_of("0123456789") != std::string::npos)
-        return false;
-    errno = 0;
-    char *end = nullptr;
-    v = std::strtoull(s.c_str(), &end, 10);
-    return errno == 0 && end != nullptr && *end == '\0';
-}
-
-bool
-parseF64(const std::string &s, double &v)
-{
-    if (s.empty())
-        return false;
-    errno = 0;
-    char *end = nullptr;
-    v = std::strtod(s.c_str(), &end);
-    return errno == 0 && end != nullptr && *end == '\0';
-}
-
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     bool audit = false;
+    unsigned jobs = 0; // 0 = one worker per hardware thread
     fault::FaultConfig fault_cfg;
     std::string metrics_json;
     std::string trace_out;
@@ -113,24 +93,27 @@ main(int argc, char **argv)
             if (eq != std::string::npos)
                 return usageError("--audit takes no value");
             audit = true;
+        } else if (name == "--jobs") {
+            if (!core::parseJobs(value, jobs))
+                return usageError("bad --jobs: " + value);
         } else if (name == "--fault-rber") {
             fault_cfg.enabled = true;
-            if (!parseF64(value, fault_cfg.baseRber) ||
+            if (!core::parseF64(value, fault_cfg.baseRber) ||
                 fault_cfg.baseRber < 0)
                 return usageError("bad --fault-rber: " + value);
         } else if (name == "--fault-seed") {
             fault_cfg.enabled = true;
-            if (!parseU64(value, fault_cfg.seed))
+            if (!core::parseU64(value, fault_cfg.seed))
                 return usageError("bad --fault-seed: " + value);
         } else if (name == "--fault-program-fail") {
             fault_cfg.enabled = true;
-            if (!parseF64(value, fault_cfg.programFailProb) ||
+            if (!core::parseF64(value, fault_cfg.programFailProb) ||
                 fault_cfg.programFailProb < 0 ||
                 fault_cfg.programFailProb > 1)
                 return usageError("bad --fault-program-fail: " + value);
         } else if (name == "--fault-erase-fail") {
             fault_cfg.enabled = true;
-            if (!parseF64(value, fault_cfg.eraseFailProb) ||
+            if (!core::parseF64(value, fault_cfg.eraseFailProb) ||
                 fault_cfg.eraseFailProb < 0 ||
                 fault_cfg.eraseFailProb > 1)
                 return usageError("bad --fault-erase-fail: " + value);
@@ -150,7 +133,8 @@ main(int argc, char **argv)
         return usageError("too many positional arguments");
     const std::string app = !args.empty() ? args[0] : "Booting";
     double scale = 0.5;
-    if (args.size() > 1 && (!parseF64(args[1], scale) || scale <= 0))
+    if (args.size() > 1 &&
+        (!core::parseF64(args[1], scale) || scale <= 0))
         return usageError("bad scale: " + args[1]);
 
     const workload::AppProfile *profile = workload::findProfile(app);
@@ -167,6 +151,25 @@ main(int argc, char **argv)
                                static_cast<double>(sim::kMiB), 1)
               << " MB accessed)\n\n";
 
+    // One sweep job per Table V scheme; the trace is shared read-only.
+    std::vector<core::SweepCase> cases;
+    for (core::SchemeKind kind : core::allSchemes()) {
+        core::SweepCase c;
+        c.label = core::schemeName(kind);
+        c.trace = &t;
+        c.kind = kind;
+        if (audit)
+            c.opts.auditEveryEvents = 5000;
+        c.opts.fault = fault_cfg;
+        c.opts.obs.metrics = !metrics_json.empty();
+        // The HPS replay additionally records spans for --trace-out.
+        c.opts.obs.traceSpans =
+            !trace_out.empty() && kind == core::SchemeKind::HPS;
+        cases.push_back(std::move(c));
+    }
+    const std::vector<core::CaseResult> results =
+        core::runCases(cases, jobs);
+
     core::TablePrinter table({"Scheme", "MRT (ms)", "Mean serv (ms)",
                               "Space util", "Page reads",
                               "Page programs", "4KB-pool programs",
@@ -175,102 +178,54 @@ main(int argc, char **argv)
     double mrt4 = 0.0;
     std::uint64_t audit_violations = 0;
     obs::RunReport obs_report;
-    for (core::SchemeKind kind : core::allSchemes()) {
-        sim::Simulator s;
-        emmc::EmmcConfig cfg = core::schemeConfig(kind);
-        cfg.fault = fault_cfg;
-        auto dev = core::makeDevice(s, kind, cfg);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const core::CaseResult &res = results[i];
+        const core::SchemeKind kind = cases[i].kind;
 
-        std::unique_ptr<check::DeviceAuditor> auditor;
+        if (cases[i].opts.obs.traceSpans) {
+            std::ofstream os(trace_out);
+            if (os)
+                os << res.obs.chromeTrace;
+            if (!os) {
+                std::cerr << "error: cannot write " << trace_out
+                          << "\n";
+                return 1;
+            }
+            std::cout << "wrote Chrome trace of the HPS replay to "
+                      << trace_out << "\n\n";
+        }
+        if (!metrics_json.empty())
+            obs_report.addRun(res.scheme, res.obs.metrics);
+
         if (audit) {
-            check::AuditOptions audit_opts;
-            audit_opts.everyEvents = 5000;
-            auditor = std::make_unique<check::DeviceAuditor>(s, *dev,
-                                                             audit_opts);
-        }
-
-        host::Replayer rep(s, *dev);
-
-        // One observer per scheme: each run snapshots into its own
-        // report entry; HPS additionally records spans for --trace-out.
-        const bool trace_this =
-            !trace_out.empty() && kind == core::SchemeKind::HPS;
-        std::unique_ptr<obs::DeviceObserver> observer;
-        if (!metrics_json.empty() || trace_this) {
-            obs::ObserverOptions obs_opts;
-            obs_opts.metrics = !metrics_json.empty();
-            obs_opts.trace = trace_this;
-            obs_opts.replayStats = &rep.stats();
-            observer = std::make_unique<obs::DeviceObserver>(s, *dev,
-                                                             obs_opts);
-        }
-
-        rep.replay(t);
-
-        if (observer) {
-            observer->finish();
-            if (!metrics_json.empty())
-                obs_report.addRun(core::schemeName(kind),
-                                  observer->snapshot());
-            if (trace_this) {
-                std::ofstream os(trace_out);
-                if (os)
-                    observer->tracer().exportChromeTrace(os);
-                if (!os) {
-                    std::cerr << "error: cannot write " << trace_out
-                              << "\n";
-                    return 1;
-                }
-                std::cout << "wrote Chrome trace of the HPS replay to "
-                          << trace_out << "\n\n";
-            }
-        }
-
-        if (auditor) {
-            auditor->runFullAudit();
-            auditor->detach();
-            std::cout << "Invariant audit (" << core::schemeName(kind)
-                      << "):\n";
-            core::printAuditReport(std::cout, auditor->report());
+            std::cout << "Invariant audit (" << res.scheme << "):\n";
+            core::printAuditReport(std::cout, res.audit);
             std::cout << "\n";
-            audit_violations += auditor->report().totalViolations();
+            audit_violations += res.audit.totalViolations();
         }
 
-        const auto &geom = dev->array().geometry();
-        std::uint64_t programs_4k = 0;
-        std::uint64_t programs_8k = 0;
-        for (std::size_t pool = 0; pool < geom.pools.size(); ++pool) {
-            const flash::ArrayStats &st = dev->array().stats(pool);
-            if (geom.pools[pool].pageBytes == 4096) {
-                programs_4k += st.programs;
-            } else {
-                programs_8k += st.programs;
-            }
-        }
-        const flash::ArrayStats total = dev->array().totalStats();
-        double mrt = dev->stats().responseMs.mean();
+        const double mrt = res.meanResponseMs;
         if (kind == core::SchemeKind::PS4)
             mrt4 = mrt;
 
-        table.addRow({core::schemeName(kind), core::fmt(mrt),
-                      core::fmt(dev->stats().serviceMs.mean()),
-                      core::fmt(dev->spaceUtilization(), 3),
-                      core::fmt(total.reads), core::fmt(total.programs),
-                      core::fmt(programs_4k), core::fmt(programs_8k)});
+        table.addRow({res.scheme, core::fmt(mrt),
+                      core::fmt(res.meanServiceMs),
+                      core::fmt(res.spaceUtilization, 3),
+                      core::fmt(res.pageReads),
+                      core::fmt(res.pagePrograms),
+                      core::fmt(res.programs4kPool),
+                      core::fmt(res.programs8kPool)});
 
         if (fault_cfg.enabled) {
-            const fault::FaultStats &fs = dev->faultInjector().stats();
-            std::cout << core::schemeName(kind)
-                      << " fault path: " << fs.correctedReads
-                      << " corrected reads, " << fs.uncorrectableReads
-                      << " uncorrectable, " << fs.programFailures
-                      << " program fails, " << fs.eraseFailures
-                      << " erase fails, "
-                      << dev->ftl().badBlocks().totalRetired()
-                      << " retired blocks, "
-                      << rep.stats().retriesScheduled
+            std::cout << res.scheme
+                      << " fault path: " << res.correctedReads
+                      << " corrected reads, " << res.uncorrectableReads
+                      << " uncorrectable, " << res.programFailures
+                      << " program fails, " << res.eraseFailures
+                      << " erase fails, " << res.retiredBlocks
+                      << " retired blocks, " << res.hostRetries
                       << " host retries"
-                      << (dev->ftl().readOnly() ? " (read-only)" : "")
+                      << (res.deviceReadOnly ? " (read-only)" : "")
                       << "\n\n";
         }
 

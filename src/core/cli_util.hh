@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Audited command-line number parsing, shared by the example CLIs and
+ * the benches.
+ *
+ * These used to be copy-pasted per binary with drifting edge-case
+ * behavior (overflow handling, leading '+'/whitespace, inf/nan). One
+ * strict contract now applies everywhere:
+ *
+ *   parseU64: decimal digits only. Rejects empty strings, signs,
+ *   whitespace, hex, partial parses, and values > UINT64_MAX.
+ *
+ *   parseF64: plain decimal/scientific notation starting with a
+ *   digit, '-' or '.'. Rejects empty strings, leading whitespace or
+ *   '+', hex floats ("0x1p3"), "inf"/"nan" tokens, partial parses,
+ *   and anything that overflows/underflows to a non-finite or
+ *   ERANGE result. A flag value that survives parseF64 is a finite
+ *   double spelled the way a person would type it.
+ */
+
+#ifndef EMMCSIM_CORE_CLI_UTIL_HH
+#define EMMCSIM_CORE_CLI_UTIL_HH
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace emmcsim::core {
+
+/**
+ * Strict unsigned decimal parse of the whole string.
+ * @retval true and sets @p v when @p s is a valid in-range u64.
+ */
+inline bool
+parseU64(const std::string &s, std::uint64_t &v)
+{
+    if (s.empty() ||
+        s.find_first_not_of("0123456789") != std::string::npos)
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long n = std::strtoull(s.c_str(), &end, 10);
+    if (errno == ERANGE || end != s.c_str() + s.size())
+        return false;
+    v = n;
+    return true;
+}
+
+/**
+ * Strict finite-double parse of the whole string.
+ * @retval true and sets @p v when @p s is a plain finite double.
+ */
+inline bool
+parseF64(const std::string &s, double &v)
+{
+    if (s.empty())
+        return false;
+    // strtod would skip leading whitespace and accept "+1", "inf",
+    // "nan", and hex floats; a CLI flag should accept none of those.
+    const unsigned char first = static_cast<unsigned char>(s[0]);
+    if (!std::isdigit(first) && s[0] != '-' && s[0] != '.')
+        return false;
+    if (s.find_first_of("xX") != std::string::npos)
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const double x = std::strtod(s.c_str(), &end);
+    if (errno != 0 || end != s.c_str() + s.size() ||
+        !std::isfinite(x))
+        return false;
+    v = x;
+    return true;
+}
+
+/**
+ * Parse a --jobs=N value: an integer in [1, 1024]. 0 is rejected —
+ * "use the hardware" is spelled by omitting the flag.
+ * @retval true and sets @p jobs on success.
+ */
+inline bool
+parseJobs(const std::string &s, unsigned &jobs)
+{
+    std::uint64_t n = 0;
+    if (!parseU64(s, n) || n == 0 || n > 1024)
+        return false;
+    jobs = static_cast<unsigned>(n);
+    return true;
+}
+
+} // namespace emmcsim::core
+
+#endif // EMMCSIM_CORE_CLI_UTIL_HH

@@ -161,6 +161,19 @@ runCase(const trace::Trace &t, SchemeKind kind,
     res.packedCommands = device->packingStats().packedCommands;
     res.bufferReadHitRate = device->bufferStats().readHitRate();
 
+    const flash::Geometry &geom = device->array().geometry();
+    for (std::size_t pool = 0; pool < geom.pools.size(); ++pool) {
+        const flash::ArrayStats &pst = device->array().stats(pool);
+        if (geom.pools[pool].pageBytes == 4096) {
+            res.programs4kPool += pst.programs;
+        } else {
+            res.programs8kPool += pst.programs;
+        }
+    }
+    const flash::ArrayStats total_ops = device->array().totalStats();
+    res.pageReads = total_ops.reads;
+    res.pagePrograms = total_ops.programs;
+
     // Reliability columns: tail latency plus injector / FTL / host
     // error-path counters (all zero when injection is off).
     sim::Percentiles resp;

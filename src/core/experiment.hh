@@ -120,6 +120,14 @@ struct CaseResult
     std::uint64_t packedCommands = 0;
     double bufferReadHitRate = 0.0;
 
+    /** @name Flash-operation breakdown (the case-study columns).
+     * @{ */
+    std::uint64_t pageReads = 0;    ///< array page reads, all pools
+    std::uint64_t pagePrograms = 0; ///< array page programs, all pools
+    std::uint64_t programs4kPool = 0; ///< programs into 4KB-page pools
+    std::uint64_t programs8kPool = 0; ///< programs into 8KB-page pools
+    /** @} */
+
     /** @name Reliability columns (all zero with fault injection off).
      * @{ */
     double p99ResponseMs = 0.0; ///< response-time tail

@@ -1,0 +1,91 @@
+#include "core/sweep.hh"
+
+#include "sim/logging.hh"
+
+namespace emmcsim::core {
+
+unsigned
+effectiveJobs(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned jobs)
+{
+    const unsigned n = effectiveJobs(jobs);
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    task_cv_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::post(std::function<void()> task)
+{
+    EMMCSIM_ASSERT(task != nullptr, "ThreadPool::post: empty task");
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    task_cv_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock,
+                  [this] { return queue_.empty() && active_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            task_cv_.wait(
+                lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ set and nothing left to do
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++active_;
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --active_;
+            if (queue_.empty() && active_ == 0)
+                idle_cv_.notify_all();
+        }
+    }
+}
+
+std::vector<CaseResult>
+runCases(const std::vector<SweepCase> &cases, unsigned jobs)
+{
+    return runOrdered(cases.size(), jobs, [&cases](std::size_t i) {
+        const SweepCase &c = cases[i];
+        EMMCSIM_ASSERT(c.trace != nullptr,
+                       "SweepCase \"" + c.label + "\" has no trace");
+        return runCase(*c.trace, c.kind, c.opts);
+    });
+}
+
+} // namespace emmcsim::core

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * core::Sweep: parallel execution of independent replay cases.
+ *
+ * The Section V comparison and every figure/table bench replay many
+ * independent (trace, scheme, options) cases. Each runCase() builds
+ * its own simulator and device, reads a shared const trace, and
+ * returns a value-only CaseResult, so cases are embarrassingly
+ * parallel. This header provides:
+ *
+ *   - ThreadPool: a fixed-size worker pool (the "sweep engine"),
+ *   - runOrdered(): run N indexed jobs on the pool and return their
+ *     results in submission order, so downstream output (tables,
+ *     run-report JSON) is byte-identical regardless of worker count,
+ *   - SweepCase / runCases(): the (trace, scheme, options) job model
+ *     used by the CLI sweep mode, the HPS case study and the benches.
+ *
+ * Determinism contract: a job must depend only on its own inputs
+ * (trace contents, options, seeds), never on execution order or wall
+ * clock. runCase() satisfies this — simulated time is event-driven
+ * and all randomness is seeded — so `--jobs=1` and `--jobs=N` produce
+ * identical result vectors.
+ */
+
+#ifndef EMMCSIM_CORE_SWEEP_HH
+#define EMMCSIM_CORE_SWEEP_HH
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/scheme.hh"
+#include "trace/trace.hh"
+
+namespace emmcsim::core {
+
+/**
+ * Resolve a --jobs request: 0 means "use the hardware", anything else
+ * is taken literally. Never returns 0.
+ */
+unsigned effectiveJobs(unsigned requested);
+
+/**
+ * A fixed-size pool of worker threads draining a FIFO task queue.
+ *
+ * post() may be called from the owning thread only; tasks themselves
+ * must not post. wait() blocks until every posted task has finished.
+ * The destructor drains the queue before joining the workers.
+ */
+class ThreadPool
+{
+  public:
+    /** @param jobs Worker count; 0 = effectiveJobs(0). */
+    explicit ThreadPool(unsigned jobs = 0);
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Drains outstanding tasks, then joins the workers. */
+    ~ThreadPool();
+
+    /** Number of worker threads. */
+    unsigned workerCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /** Enqueue one task (owning thread only). */
+    void post(std::function<void()> task);
+
+    /** Block until the queue is empty and no task is running. */
+    void wait();
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable task_cv_; ///< workers: "queue non-empty"
+    std::condition_variable idle_cv_; ///< wait(): "everything done"
+    std::deque<std::function<void()>> queue_;
+    std::size_t active_ = 0; ///< tasks currently executing
+    bool stop_ = false;
+    std::vector<std::thread> workers_; ///< last: joined before members die
+};
+
+/**
+ * Run @p fn(0) .. @p fn(count-1) on up to @p jobs workers and return
+ * the results indexed by job — submission order, independent of
+ * completion order. @p fn is invoked concurrently from several
+ * threads and must be safe to call that way (runCase() is: all its
+ * state is per-call). If jobs throw, the exception of the
+ * lowest-indexed failing job is rethrown after all jobs finish.
+ */
+template <typename Fn>
+auto
+runOrdered(std::size_t count, unsigned jobs, Fn &&fn)
+    -> std::vector<std::invoke_result_t<Fn &, std::size_t>>
+{
+    using R = std::invoke_result_t<Fn &, std::size_t>;
+    std::vector<std::optional<R>> slots(count);
+    std::vector<std::exception_ptr> errors(count);
+    {
+        ThreadPool pool(jobs);
+        for (std::size_t i = 0; i < count; ++i) {
+            pool.post([&slots, &errors, &fn, i] {
+                try {
+                    slots[i].emplace(fn(i));
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                }
+            });
+        }
+        pool.wait();
+    }
+    for (const std::exception_ptr &e : errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
+    std::vector<R> out;
+    out.reserve(count);
+    for (std::optional<R> &slot : slots)
+        out.push_back(std::move(*slot));
+    return out;
+}
+
+/**
+ * One replay job in a sweep: which trace on which device, with which
+ * experiment toggles. The trace is shared by pointer — replays only
+ * read it — and must outlive the runCases() call.
+ */
+struct SweepCase
+{
+    /** Report label, e.g. "Twitter/HPS" or a scheme name. */
+    std::string label;
+    const trace::Trace *trace = nullptr;
+    SchemeKind kind = SchemeKind::HPS;
+    ExperimentOptions opts;
+};
+
+/**
+ * Replay every case on a pool of @p jobs workers (0 = hardware
+ * concurrency) and return the results in submission order.
+ */
+std::vector<CaseResult> runCases(const std::vector<SweepCase> &cases,
+                                 unsigned jobs = 0);
+
+} // namespace emmcsim::core
+
+#endif // EMMCSIM_CORE_SWEEP_HH

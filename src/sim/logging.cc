@@ -1,5 +1,8 @@
 #include "sim/logging.hh"
 
+#include <mutex>
+#include <shared_mutex>
+
 namespace emmcsim::sim {
 
 namespace {
@@ -32,28 +35,52 @@ parseLevelName(std::string_view name, LogLevel &out)
     return true;
 }
 
-/** The mutable process-wide configuration behind logConfig(). */
-LogConfig &
-mutableConfig()
+/**
+ * Process-wide log state. Sweep workers log concurrently, so the
+ * configuration sits behind a reader/writer lock (reads vastly
+ * outnumber setLogConfig calls) and message emission behind a
+ * separate mutex so multi-part lines never interleave.
+ */
+struct LogState
 {
-    static LogConfig cfg = [] {
+    std::shared_mutex configMutex;
+    LogConfig config;
+    std::mutex ioMutex;
+
+    LogState()
+    {
         const char *spec = std::getenv("EMMCSIM_LOG");
         if (spec == nullptr)
-            return LogConfig();
+            return;
         std::string error;
-        LogConfig parsed = LogConfig::parse(spec, &error);
+        config = LogConfig::parse(spec, &error);
         if (!error.empty()) {
             std::fprintf(stderr, "[warn] EMMCSIM_LOG: %s\n",
                          error.c_str());
         }
-        return parsed;
-    }();
-    return cfg;
+    }
+};
+
+LogState &
+logState()
+{
+    static LogState state; // magic-static init is thread-safe
+    return state;
 }
 
 /** Parse EMMCSIM_LOG at startup so a malformed spec warns even in
  * runs that never reach a log call. */
-[[maybe_unused]] const bool kLogConfigParsed = (mutableConfig(), true);
+[[maybe_unused]] const bool kLogConfigParsed = (logState(), true);
+
+/** Format the line once and write it with a single call under the
+ * I/O lock, so concurrent workers cannot interleave fragments. */
+void
+emitLine(std::string line)
+{
+    line.push_back('\n');
+    std::lock_guard<std::mutex> lock(logState().ioMutex);
+    std::fwrite(line.data(), 1, line.size(), stderr);
+}
 
 } // namespace
 
@@ -118,16 +145,20 @@ LogConfig::levelFor(std::string_view component) const
     return default_;
 }
 
-const LogConfig &
+LogConfig
 logConfig()
 {
-    return mutableConfig();
+    LogState &state = logState();
+    std::shared_lock<std::shared_mutex> lock(state.configMutex);
+    return state.config;
 }
 
 void
 setLogConfig(LogConfig cfg)
 {
-    mutableConfig() = std::move(cfg);
+    LogState &state = logState();
+    std::unique_lock<std::shared_mutex> lock(state.configMutex);
+    state.config = std::move(cfg);
 }
 
 bool
@@ -135,22 +166,32 @@ logEnabled(std::string_view component, LogLevel level)
 {
     if (level >= LogLevel::Fatal)
         return true;
-    return logConfig().enabled(component, level);
+    LogState &state = logState();
+    std::shared_lock<std::shared_mutex> lock(state.configMutex);
+    return state.config.enabled(component, level);
 }
 
 void
 logMessage(LogLevel level, const std::string &msg)
 {
-    std::fprintf(stderr, "[%s] %s\n", levelTag(level), msg.c_str());
+    std::string line = "[";
+    line += levelTag(level);
+    line += "] ";
+    line += msg;
+    emitLine(std::move(line));
 }
 
 void
 logMessage(LogLevel level, std::string_view component,
            const std::string &msg)
 {
-    std::fprintf(stderr, "[%s:%.*s] %s\n", levelTag(level),
-                 static_cast<int>(component.size()), component.data(),
-                 msg.c_str());
+    std::string line = "[";
+    line += levelTag(level);
+    line += ":";
+    line += component;
+    line += "] ";
+    line += msg;
+    emitLine(std::move(line));
 }
 
 void

@@ -75,19 +75,29 @@ class LogConfig
 };
 
 /**
- * The process-wide log configuration, parsed from EMMCSIM_LOG on
- * first use (malformed entries produce one warning and are skipped).
+ * Snapshot of the process-wide log configuration, parsed from
+ * EMMCSIM_LOG on first use (malformed entries produce one warning and
+ * are skipped). Returned by value: sweep workers query concurrently
+ * while setLogConfig may replace the configuration, so handing out a
+ * reference to the shared object would be a data race.
  */
-const LogConfig &logConfig();
+LogConfig logConfig();
 
-/** Replace the process-wide configuration (tests, CLI overrides). */
+/**
+ * Replace the process-wide configuration (tests, CLI overrides).
+ * Safe to call while worker threads log; they see either the old or
+ * the new configuration, never a torn one.
+ */
 void setLogConfig(LogConfig cfg);
 
 /** @return true when a message would actually be emitted. */
 bool logEnabled(std::string_view component, LogLevel level);
 
 /**
- * Emit a formatted message to stderr with a severity prefix.
+ * Emit a formatted message to stderr with a severity prefix. The
+ * whole line is formatted first and written with one call under an
+ * internal lock, so lines from concurrent sweep workers never
+ * interleave mid-fragment.
  *
  * @param level Severity tag to print.
  * @param msg   Fully formatted message body.

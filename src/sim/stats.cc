@@ -123,6 +123,9 @@ Histogram::percentileEstimate(double p) const
     // Nearest-rank target, then linear interpolation within the
     // bucket that holds it (the same convention Percentiles uses, so
     // estimates converge on the exact answer as buckets shrink).
+    // p=0 maps to rank 1 with no interpolation offset: the estimate
+    // is the lower edge of the first occupied bucket, matching
+    // Percentiles::percentile(0) returning the minimum sample.
     auto rank = static_cast<std::uint64_t>(
         std::ceil(p / 100.0 * static_cast<double>(total_)));
     if (rank == 0)
@@ -140,6 +143,8 @@ Histogram::percentileEstimate(double p) const
         const double hi = bounds_[i];
         const double lo =
             i > 0 ? bounds_[i - 1] : std::min(0.0, bounds_[0]);
+        if (p <= 0.0)
+            return lo;
         const double within = static_cast<double>(rank - before) /
                               static_cast<double>(counts_[i]);
         return lo + within * (hi - lo);
@@ -181,9 +186,9 @@ Percentiles::merge(const Percentiles &other)
 double
 Percentiles::percentile(double p) const
 {
+    EMMCSIM_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range");
     if (values_.empty())
         return 0.0;
-    EMMCSIM_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range");
     if (!sorted_) {
         std::sort(values_.begin(), values_.end());
         sorted_ = true;

@@ -27,7 +27,13 @@ class OnlineStats
     /** Fold one sample into the accumulator. */
     void add(double x);
 
-    /** Merge another accumulator into this one. */
+    /**
+     * Merge another accumulator into this one (Chan's parallel
+     * update). An empty operand on either side is an identity, and
+     * the operation is associative up to floating-point rounding —
+     * the properties the sweep relies on to aggregate per-worker
+     * accumulators in any grouping.
+     */
     void merge(const OnlineStats &other);
 
     /** Remove all samples. */
@@ -105,7 +111,15 @@ class Histogram
      * last finite bound (the estimate saturates there — callers that
      * need an exact tail must keep the samples, e.g. Percentiles).
      *
-     * @param p in [0, 100]. Returns 0 when the histogram is empty.
+     * Edge cases are pinned down because sweep workers merge these
+     * into figure tails: an empty histogram returns 0 for every p;
+     * p=0 returns the lower edge of the first occupied bucket
+     * (mirroring Percentiles::percentile(0) = min); p=100 returns
+     * the upper bound of the last occupied bucket (saturating to the
+     * last finite bound for overflow samples); a single sample
+     * reports its bucket's upper bound for every p > 0.
+     *
+     * @param p in [0, 100] (asserted). Returns 0 when empty.
      */
     double percentileEstimate(double p) const;
 
@@ -136,12 +150,22 @@ class Percentiles
     /** Add one sample. */
     void add(double x);
 
-    /** Fold another calculator's samples into this one. */
+    /**
+     * Fold another calculator's samples into this one. Empty operands
+     * are identities and the fold is exactly associative (it only
+     * concatenates samples), so sweep aggregation order is free.
+     */
     void merge(const Percentiles &other);
 
     /**
-     * Percentile by nearest-rank.
-     * @param p in [0, 100]. Returns 0 when no samples were added.
+     * Percentile by nearest-rank: p=0 returns the minimum sample,
+     * p=100 the maximum, and a single sample is every percentile.
+     * Sorts lazily through mutable state, so concurrent calls on one
+     * shared instance are not safe — sweep workers each own their
+     * accumulator and merge on the collecting thread.
+     *
+     * @param p in [0, 100] (asserted). Returns 0 when no samples
+     *        were added.
      */
     double percentile(double p) const;
 

@@ -272,3 +272,140 @@ TEST(HistogramPercentile, OverflowBucketClampsToLastBound)
     h.addN(100.0, 10);
     EXPECT_DOUBLE_EQ(h.percentileEstimate(99), 2.0);
 }
+
+TEST(HistogramPercentile, ZeroPercentileIsLowerEdge)
+{
+    // p=0 mirrors Percentiles::percentile(0) = min: the lower edge of
+    // the first occupied bucket, not an interpolated interior point.
+    Histogram h({1.0, 2.0, 4.0});
+    h.addN(1.5, 10);
+    EXPECT_DOUBLE_EQ(h.percentileEstimate(0), 1.0);
+    Histogram first({1.0, 2.0});
+    first.addN(0.5, 3);
+    EXPECT_DOUBLE_EQ(first.percentileEstimate(0), 0.0);
+}
+
+TEST(HistogramPercentile, SingleSampleEveryPercentile)
+{
+    Histogram h({1.0, 2.0, 4.0});
+    h.add(3.0); // bucket (2, 4]
+    EXPECT_DOUBLE_EQ(h.percentileEstimate(0), 2.0);
+    EXPECT_DOUBLE_EQ(h.percentileEstimate(50), 4.0);
+    EXPECT_DOUBLE_EQ(h.percentileEstimate(100), 4.0);
+}
+
+TEST(HistogramPercentile, EmptyIsZeroForAllP)
+{
+    Histogram h({1.0, 2.0});
+    EXPECT_DOUBLE_EQ(h.percentileEstimate(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentileEstimate(100), 0.0);
+    Histogram catchall({});
+    EXPECT_DOUBLE_EQ(catchall.percentileEstimate(50), 0.0);
+}
+
+TEST(Percentiles, SingleSampleEveryPercentile)
+{
+    Percentiles p;
+    p.add(3.5);
+    EXPECT_DOUBLE_EQ(p.percentile(0), 3.5);
+    EXPECT_DOUBLE_EQ(p.percentile(50), 3.5);
+    EXPECT_DOUBLE_EQ(p.percentile(100), 3.5);
+}
+
+TEST(Percentiles, EmptyReturnsZeroAtExtremes)
+{
+    Percentiles p;
+    EXPECT_DOUBLE_EQ(p.percentile(0), 0.0);
+    EXPECT_DOUBLE_EQ(p.percentile(100), 0.0);
+}
+
+// The sweep aggregates per-worker accumulators in whatever grouping
+// the collection loop produces, so merge must be associative with
+// empty operands acting as identities.
+
+TEST(OnlineStats, MergeEmptyBothSidesIsIdentity)
+{
+    OnlineStats a;
+    for (double x : {2.0, 4.0, 9.0})
+        a.add(x);
+    const OnlineStats before = a;
+    OnlineStats empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), before.count());
+    EXPECT_DOUBLE_EQ(a.mean(), before.mean());
+    EXPECT_DOUBLE_EQ(a.variance(), before.variance());
+    EXPECT_DOUBLE_EQ(a.min(), before.min());
+    EXPECT_DOUBLE_EQ(a.max(), before.max());
+    EXPECT_DOUBLE_EQ(a.sum(), before.sum());
+
+    OnlineStats lhs;
+    lhs.merge(a);
+    EXPECT_EQ(lhs.count(), a.count());
+    EXPECT_DOUBLE_EQ(lhs.mean(), a.mean());
+    EXPECT_DOUBLE_EQ(lhs.variance(), a.variance());
+}
+
+TEST(OnlineStats, MergeIsAssociative)
+{
+    auto fill = [](OnlineStats &s, int lo, int hi, double scale) {
+        for (int i = lo; i < hi; ++i)
+            s.add(i * scale);
+    };
+    OnlineStats a1, b1, c1, a2, b2, c2;
+    fill(a1, 0, 13, 1.0);
+    fill(a2, 0, 13, 1.0);
+    fill(b1, 13, 40, 0.25);
+    fill(b2, 13, 40, 0.25);
+    fill(c1, 40, 55, -2.0);
+    fill(c2, 40, 55, -2.0);
+
+    // (a + b) + c
+    a1.merge(b1);
+    a1.merge(c1);
+    // a + (b + c)
+    b2.merge(c2);
+    a2.merge(b2);
+
+    EXPECT_EQ(a1.count(), a2.count());
+    EXPECT_DOUBLE_EQ(a1.min(), a2.min());
+    EXPECT_DOUBLE_EQ(a1.max(), a2.max());
+    EXPECT_NEAR(a1.mean(), a2.mean(), 1e-12);
+    EXPECT_NEAR(a1.variance(), a2.variance(), 1e-9);
+    EXPECT_NEAR(a1.sum(), a2.sum(), 1e-9);
+}
+
+TEST(Percentiles, MergeIsAssociativeAndOrderFree)
+{
+    auto fill = [](Percentiles &p, int lo, int hi) {
+        for (int i = lo; i < hi; ++i)
+            p.add(i);
+    };
+    Percentiles a1, b1, c1, a2, b2, c2;
+    fill(a1, 0, 10);
+    fill(a2, 0, 10);
+    fill(b1, 10, 35);
+    fill(b2, 10, 35);
+    fill(c1, 35, 60);
+    fill(c2, 35, 60);
+
+    a1.merge(b1);
+    a1.merge(c1);
+    b2.merge(c2);
+    a2.merge(b2);
+
+    ASSERT_EQ(a1.count(), a2.count());
+    for (double p : {0.0, 25.0, 50.0, 75.0, 100.0})
+        EXPECT_DOUBLE_EQ(a1.percentile(p), a2.percentile(p));
+}
+
+TEST(Percentiles, MergeIntoEmptyIsIdentity)
+{
+    Percentiles src;
+    for (double x : {3.0, 1.0, 2.0})
+        src.add(x);
+    Percentiles dst;
+    dst.merge(src);
+    EXPECT_EQ(dst.count(), src.count());
+    EXPECT_DOUBLE_EQ(dst.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(dst.percentile(100), 3.0);
+}

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Run the simulator-core micro-benchmark suite and write the result as
+# BENCH_simcore.json, the perf baseline subsequent PRs compare against.
+#
+# The JSON (google-benchmark format) carries, per benchmark:
+#   - items_per_second   events/sec through the event core
+#   - arena_high_water   peak live events (peak-RSS proxy: the arena's
+#                        memory footprint tracks this, not lifetime
+#                        events)
+#   - arena_slots / heap_compactions where the benchmark reports them
+#
+# Usage: scripts/run_benchmarks.sh [output.json]
+#   BUILD_DIR=<dir>           build tree to use (default: build)
+#   EMMCSIM_BENCH_ARGS=...    extra google-benchmark flags (e.g.
+#                             --benchmark_repetitions=5)
+
+set -euo pipefail
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${1:-BENCH_simcore.json}"
+BENCH="$BUILD_DIR/bench/bench_micro_sim"
+
+if [ ! -x "$BENCH" ]; then
+    echo "error: $BENCH not built (cmake --build $BUILD_DIR --target bench_micro_sim)" >&2
+    exit 1
+fi
+
+# shellcheck disable=SC2086  # intentional word splitting of extra args
+"$BENCH" \
+    --benchmark_out="$OUT" \
+    --benchmark_out_format=json \
+    ${EMMCSIM_BENCH_ARGS:-}
+
+echo "wrote $OUT"

@@ -241,6 +241,18 @@ checkEventQueue(const sim::Simulator &simulator, CheckContext &ctx)
     ctx.check(simulator.executedCount() + q.size() <=
                   q.scheduledCount(),
               "executed + pending events exceed ever-scheduled count");
+
+    // Generation-ledger arena accounting: every slot is live, free,
+    // or the one currently firing (audits may run inside an action);
+    // the high-water mark bounds the arena, and the arena is bounded
+    // by peak-live events (slot recycling), not lifetime events.
+    ctx.check(q.size() + q.freeSlots() + q.inFlightSlots() ==
+                  q.arenaSlots(),
+              "event arena: live + free slots do not cover the arena");
+    ctx.check(q.arenaHighWater() <= q.arenaSlots(),
+              "event arena: high-water mark exceeds the arena");
+    ctx.check(q.arenaSlots() <= q.scheduledCount(),
+              "event arena: more slots than events ever scheduled");
 }
 
 void

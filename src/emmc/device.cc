@@ -67,12 +67,15 @@ EmmcDevice::startNext()
     const sim::Time now = sim_.now();
 
     // Decide how many head requests ride this command (packed writes).
-    std::deque<IoRequest> head;
+    // Scratch containers are members so a long replay reuses their
+    // storage instead of reallocating per command.
+    scratchHead_.clear();
     for (const Queued &q : queue_)
-        head.push_back(q.request);
-    std::size_t count = packer_.packCount(head);
+        scratchHead_.push_back(q.request);
+    std::size_t count = packer_.packCount(scratchHead_);
 
-    std::vector<CompletedRequest> cmd;
+    std::vector<CompletedRequest> cmd = std::move(scratchCmd_);
+    cmd.clear();
     cmd.reserve(count);
     for (std::size_t i = 0; i < count; ++i) {
         CompletedRequest c;
@@ -110,9 +113,15 @@ EmmcDevice::startNext()
     ++stats_.commands;
     stats_.busyTime += done - service_start;
 
-    sim_.schedule(done, [this, cmd = std::move(cmd)]() mutable {
+    // Completion closure: {this, vector} = 32 bytes, comfortably
+    // inside the event arena's inline budget (no per-event heap
+    // allocation on the command path).
+    auto fire = [this, cmd = std::move(cmd)]() mutable {
         finishCommand(std::move(cmd));
-    });
+    };
+    static_assert(sim::InlineAction::fits<decltype(fire)>(),
+                  "command-completion capture must stay inline");
+    sim_.schedule(done, std::move(fire));
 }
 
 sim::Time
@@ -220,6 +229,12 @@ EmmcDevice::finishCommand(std::vector<CompletedRequest> done)
         if (onComplete_)
             onComplete_(c);
     }
+
+    // Hand the batch storage back to the scratch pool before the next
+    // dispatch (startNext reuses it), closing the allocation cycle:
+    // scratchCmd_ -> event capture -> finishCommand -> scratchCmd_.
+    scratchCmd_ = std::move(done);
+    scratchCmd_.clear();
 
     busy_ = false;
     if (!queue_.empty()) {

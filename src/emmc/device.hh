@@ -220,6 +220,8 @@ class EmmcDevice
     TraceHook traceHook_;
 
     std::vector<ftl::PageGroup> scratchGroups_;
+    std::deque<IoRequest> scratchHead_;   ///< packCount argument reuse
+    std::vector<CompletedRequest> scratchCmd_; ///< command batch reuse
 };
 
 } // namespace emmcsim::emmc

@@ -29,55 +29,68 @@ Replayer::replay(const trace::Trace &input, const ReplayOptions &opts)
 
     // Per-request retry bookkeeping: attempts used so far and the
     // finish time of the first attempt (to price the retry penalty).
-    std::vector<std::uint32_t> attempts(input.size(), 0);
-    std::vector<sim::Time> firstFinish(input.size(), -1);
+    // One container, sized to the full in-flight population up front,
+    // so nothing reallocates mid-run.
+    struct RetryState
+    {
+        std::uint32_t attempts = 0;
+        sim::Time firstFinish = -1;
+    };
+    std::vector<RetryState> inflight(input.size());
 
     device_.setCompletionCallback(
-        [this, &out, &opts, &attempts,
-         &firstFinish](const emmc::CompletedRequest &c) {
+        [this, &out, &opts,
+         &inflight](const emmc::CompletedRequest &c) {
             const std::uint64_t id = c.request.id;
             trace::TraceRecord &r = out[id];
             r.serviceStart = c.serviceStart;
             r.finish = c.finish;
-            if (firstFinish[id] < 0)
-                firstFinish[id] = c.finish;
+            RetryState &rs = inflight[id];
+            if (rs.firstFinish < 0)
+                rs.firstFinish = c.finish;
 
             if (c.ok()) {
-                if (attempts[id] > 0) {
+                if (rs.attempts > 0) {
                     ++stats_.recoveredRequests;
-                    stats_.retryPenalty += c.finish - firstFinish[id];
+                    stats_.retryPenalty += c.finish - rs.firstFinish;
                 }
                 return;
             }
 
             ++stats_.errorCompletions;
-            if (attempts[id] >= opts.maxRetries) {
+            if (rs.attempts >= opts.maxRetries) {
                 ++stats_.failedRequests;
-                stats_.retryPenalty += c.finish - firstFinish[id];
+                stats_.retryPenalty += c.finish - rs.firstFinish;
                 EMMCSIM_LOG_DEBUG(
                     "replay", "request " + std::to_string(id) +
                                   " failed permanently after " +
-                                  std::to_string(attempts[id]) +
+                                  std::to_string(rs.attempts) +
                                   " retry attempt(s)");
                 return;
             }
 
             // Resubmit with exponential backoff, like the block
             // layer requeueing a failed bio.
-            const std::uint32_t shift = std::min(attempts[id], 20u);
+            const std::uint32_t shift = std::min(rs.attempts, 20u);
             const sim::Time delay = opts.retryBackoff << shift;
-            ++attempts[id];
+            ++rs.attempts;
             ++stats_.retriesScheduled;
             emmc::IoRequest retry = c.request;
             retry.arrival = c.finish + delay;
             EMMCSIM_LOG_DEBUG(
                 "replay", "request " + std::to_string(id) +
                               " errored; retry " +
-                              std::to_string(attempts[id]) + "/" +
+                              std::to_string(rs.attempts) + "/" +
                               std::to_string(opts.maxRetries) + " at " +
                               std::to_string(retry.arrival) + " ns");
-            sim_.schedule(retry.arrival,
-                          [this, retry] { device_.submit(retry); });
+            // Retry closure: {this, IoRequest} = 48 bytes — exactly
+            // the event arena's inline budget. If IoRequest grows,
+            // this assert fires before the hot path regresses to
+            // heap-allocating events.
+            auto resubmit = [this, retry] { device_.submit(retry); };
+            static_assert(sim::InlineAction::fits<decltype(resubmit)>(),
+                          "retry capture must stay inline");
+            sim_.schedule(retry.arrival, std::move(resubmit));
         });
 
     for (std::size_t i = 0; i < input.size(); ++i) {
@@ -102,8 +115,10 @@ Replayer::replay(const trace::Trace &input, const ReplayOptions &opts)
         }
         req.lbaSector = unit * sim::kSectorsPerUnit;
 
-        sim_.schedule(r.arrival,
-                      [this, req] { device_.submit(req); });
+        auto submit = [this, req] { device_.submit(req); };
+        static_assert(sim::InlineAction::fits<decltype(submit)>(),
+                      "submit capture must stay inline");
+        sim_.schedule(r.arrival, std::move(submit));
     }
 
     sim_.run();

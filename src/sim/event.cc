@@ -1,66 +1,180 @@
 #include "sim/event.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/logging.hh"
 
 namespace emmcsim::sim {
 
-EventId
-EventQueue::schedule(Time when, EventAction action)
-{
-    EMMCSIM_ASSERT(when >= 0, "event scheduled at negative time");
-    EventId id = nextId_++;
-    cancelled_.push_back(false);
-    actions_.push_back(std::move(action));
-    heap_.push(Entry{when, id});
-    ++liveCount_;
-    return id;
-}
-
 bool
 EventQueue::cancel(EventId id)
 {
-    if (id >= cancelled_.size() || cancelled_[id])
+    // A recycled slot carries a newer generation, so a stale handle
+    // (the ABA case) falls out here instead of killing the new event.
+    // A firing event's generation was bumped before its action ran,
+    // so it too lands here and cannot cancel itself mid-flight.
+    if (id.slot >= slotCount_ || slotAt(id.slot).gen != id.gen)
         return false;
-    cancelled_[id] = true;
-    actions_[id] = nullptr; // release captured state eagerly
-    if (liveCount_ > 0)
-        --liveCount_;
+    retireSlot(id.slot);
+    EMMCSIM_DCHECK(liveCount_ > 0,
+                   "cancel with zero live events (ledger drift)");
+    --liveCount_;
+    // The pending entry (heap or drain run) stays behind as a dead
+    // entry (lazy delete).
+    ++deadEntries_;
+    if (deadEntries_ > pendingEntries() / 2 &&
+        pendingEntries() >= kCompactMin)
+        compact();
     return true;
 }
 
 void
-EventQueue::skipDead() const
+EventQueue::retireSlot(std::uint32_t slot)
 {
-    while (!heap_.empty() && cancelled_[heap_.top().id])
-        heap_.pop();
+    slotAt(slot).action = nullptr; // release captured state eagerly
+    ++slotAt(slot).gen;            // invalidate outstanding handles
+    freelist_.push_back(slot);
+}
+
+void
+EventQueue::sortRunEntries() const
+{
+    // Bucket-distribution sort by (when, seq): interpolate each
+    // entry's time into ~n buckets, scatter once, std::sort the rare
+    // oversized bucket, and finish with one insertion pass (nearly
+    // sorted input, ~2 compares per element). On random times this is
+    // ~5x faster than std::sort, whose branchy partitioning
+    // mispredicts on every compare; on degenerate distributions it
+    // falls back to the per-bucket std::sort and stays O(n log n).
+    const std::size_t n = run_.size();
+    if (n < 2)
+        return;
+    Time lo = run_[0].when;
+    Time hi = run_[0].when;
+    for (const HeapEntry &e : run_) {
+        lo = std::min(lo, e.when);
+        hi = std::max(hi, e.when);
+    }
+    if (lo == hi) {
+        // Single tick: FIFO order is just the sequence number.
+        std::sort(run_.begin(), run_.end(),
+                  [](const HeapEntry &a, const HeapEntry &b) {
+                      return a.seq < b.seq;
+                  });
+        return;
+    }
+    std::size_t buckets = 1;
+    while (buckets < n)
+        buckets <<= 1;
+    // 128-bit intermediate: (hi - lo) can span the full Time range.
+    const unsigned __int128 range =
+        static_cast<unsigned __int128>(
+            static_cast<std::uint64_t>(hi - lo)) +
+        1;
+    auto bucketOf = [&](Time w) {
+        return static_cast<std::size_t>(
+            (static_cast<unsigned __int128>(
+                 static_cast<std::uint64_t>(w - lo)) *
+             buckets) /
+            range);
+    };
+    sortCounts_.assign(buckets + 1, 0);
+    for (const HeapEntry &e : run_)
+        ++sortCounts_[bucketOf(e.when)];
+    std::uint32_t sum = 0;
+    for (std::size_t i = 0; i <= buckets; ++i) {
+        const std::uint32_t c = sortCounts_[i];
+        sortCounts_[i] = sum;
+        sum += c;
+    }
+    // The run/heap/scratch buffers rotate through the final swap (and
+    // sortPendingIntoRun's); carry the largest capacity along so a
+    // sort over a front-trimmed set (n one less than peak) never
+    // plants an undersized buffer that reallocs when it rotates back
+    // into the heap at peak load.
+    if (sortScratch_.capacity() < run_.capacity())
+        sortScratch_.reserve(run_.capacity());
+    sortScratch_.resize(n);
+    for (const HeapEntry &e : run_)
+        sortScratch_[sortCounts_[bucketOf(e.when)]++] = e;
+    // sortCounts_[i] is now bucket i's end offset.
+    std::uint32_t start = 0;
+    for (std::size_t i = 0; i < buckets; ++i) {
+        const std::uint32_t end = sortCounts_[i];
+        if (end - start > 16)
+            std::sort(sortScratch_.begin() + start,
+                      sortScratch_.begin() + end, earlier);
+        start = end;
+    }
+    for (std::size_t i = 1; i < n; ++i) {
+        if (!earlier(sortScratch_[i], sortScratch_[i - 1]))
+            continue;
+        const HeapEntry x = sortScratch_[i];
+        std::size_t j = i;
+        while (j > 0 && earlier(x, sortScratch_[j - 1])) {
+            sortScratch_[j] = sortScratch_[j - 1];
+            --j;
+        }
+        sortScratch_[j] = x;
+    }
+    run_.swap(sortScratch_);
+}
+
+void
+EventQueue::compact()
+{
+    // Sweep every dead entry in place — the run keeps its sorted
+    // order, the heap is rebuilt bottom-up (Floyd): O(n) total,
+    // amortised O(1) per cancel by the > n/2 trigger.
+    std::size_t runKept = 0;
+    for (std::size_t i = runPos_; i < run_.size(); ++i) {
+        if (entryLive(run_[i]))
+            run_[runKept++] = run_[i];
+    }
+    run_.resize(runKept);
+    runPos_ = 0;
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < heap_.size(); ++i) {
+        if (entryLive(heap_[i]))
+            heap_[kept++] = heap_[i];
+    }
+    heap_.resize(kept);
+    deadEntries_ = 0;
+    for (std::size_t i = kept / kArity + 1; i-- > 0;) {
+        if (i < kept)
+            siftDown(i);
+    }
+    ++compactions_;
 }
 
 Time
 EventQueue::nextTime() const
 {
-    skipDead();
-    if (heap_.empty())
+    dropDeadFronts();
+    const bool haveRun = runPos_ < run_.size();
+    if (!haveRun && heap_.empty())
         return kTimeNever;
-    return heap_.top().when;
+    if (haveRun &&
+        (heap_.empty() || earlier(run_[runPos_], heap_.front())))
+        return run_[runPos_].when;
+    return heap_.front().when;
 }
 
 bool
 EventQueue::pop(Time &when_out, EventAction &action_out)
 {
-    skipDead();
-    if (heap_.empty())
+    HeapEntry e;
+    if (!takeEarliest(e))
         return false;
-    Entry e = heap_.top();
-    heap_.pop();
     EMMCSIM_DCHECK(e.when >= lastPopTime_, "event popped out of order");
     lastPopTime_ = e.when;
-    cancelled_[e.id] = true; // fired events cannot be cancelled later
-    --liveCount_;
     when_out = e.when;
-    action_out = std::move(actions_[e.id]);
-    actions_[e.id] = nullptr; // release captured state eagerly
+    action_out = std::move(slotAt(e.slot).action);
+    retireSlot(e.slot); // fired events cannot be cancelled later
+    EMMCSIM_DCHECK(liveCount_ > 0,
+                   "pop with zero live events (ledger drift)");
+    --liveCount_;
     return true;
 }
 
@@ -74,34 +188,115 @@ EventQueue::auditInvariants(std::vector<std::string> &violations) const
             violations.emplace_back(what);
     };
 
-    check(cancelled_.size() == nextId_,
-          "event queue: cancellation ledger does not cover issued ids");
-    check(actions_.size() == nextId_,
-          "event queue: action table does not cover issued ids");
+    // A dispatchNext() in flight holds one slot that is neither live
+    // nor freelisted (device audit hooks run inside actions).
+    const bool firingActive = firing_ != EventId::kNoSlot;
+    const std::size_t inFlight = firingActive ? 1 : 0;
 
-    // Live-count conservation: every issued id is either retired
-    // (fired or cancelled) or still live in the heap.
-    std::size_t live = 0;
-    for (EventId id = 0; id < nextId_; ++id) {
-        if (!cancelled_[id])
-            ++live;
-    }
-    check(live == liveCount_,
-          "event queue: live-event count disagrees with the ledger");
-    check(heap_.size() >= liveCount_,
-          "event queue: heap lost live entries");
+    // Slot conservation: every arena slot is either live (scheduled,
+    // unfired, uncancelled), parked on the freelist, or the one slot
+    // currently firing.
+    check(freelist_.size() + inFlight <= slotCount_,
+          "event queue: freelist longer than the arena");
+    check(liveCount_ == slotCount_ - freelist_.size() - inFlight,
+          "event queue: live-event count disagrees with the arena "
+          "ledger");
+    check(highWater_ >= liveCount_,
+          "event queue: high-water mark below the live count");
+    check(scheduledCount_ >= liveCount_,
+          "event queue: more live events than were ever scheduled");
 
-    // Stale handles: a retired id must not keep its action (captured
-    // state would leak and a late fire would run a dead callback).
-    bool stale = false;
-    for (EventId id = 0; id < nextId_ && id < actions_.size(); ++id) {
-        if (cancelled_[id] && actions_[id] != nullptr)
-            stale = true;
+    // Freelist hygiene: in range, no duplicates, no parked actions
+    // (captured state would leak past retirement), and the firing
+    // slot is not recycled while its action runs.
+    std::vector<bool> onFreelist(slotCount_, false);
+    bool freelistClean = true;
+    for (std::uint32_t s : freelist_) {
+        if (s >= slotCount_ || onFreelist[s] ||
+            (firingActive && s == firing_)) {
+            freelistClean = false;
+            break;
+        }
+        onFreelist[s] = true;
     }
-    check(!stale, "event queue: retired event still holds its action");
+    check(freelistClean,
+          "event queue: freelist holds an out-of-range, duplicate, "
+          "or in-flight slot");
+    bool parkedAction = false;
+    bool liveWithoutAction = false;
+    if (freelistClean) {
+        for (std::size_t s = 0; s < slotCount_; ++s) {
+            if (firingActive && s == firing_)
+                continue; // holds the executing action; neither state
+            const bool hasAction =
+                slotAt(static_cast<std::uint32_t>(s)).action != nullptr;
+            if (onFreelist[s] && hasAction)
+                parkedAction = true;
+            if (!onFreelist[s] && !hasAction)
+                liveWithoutAction = true;
+        }
+    }
+    check(!parkedAction,
+          "event queue: retired slot still holds its action");
+    check(!liveWithoutAction,
+          "event queue: live slot lost its action");
+
+    // Pending coverage: each live slot has exactly one live entry
+    // across the heap and the unconsumed tail of the drain run
+    // (generation match), and the dead-entry counter equals the
+    // recount.
+    std::size_t liveEntries = 0;
+    std::size_t deadEntries = 0;
+    std::vector<bool> seen(slotCount_, false);
+    bool duplicated = false;
+    bool seqSane = true;
+    auto visit = [&](const HeapEntry &e) {
+        if (e.seq >= nextSeq_)
+            seqSane = false;
+        if (!entryLive(e)) {
+            ++deadEntries;
+            return;
+        }
+        ++liveEntries;
+        if (seen[e.slot])
+            duplicated = true;
+        seen[e.slot] = true;
+    };
+    for (const HeapEntry &e : heap_)
+        visit(e);
+    for (std::size_t i = runPos_; i < run_.size(); ++i)
+        visit(run_[i]);
+    check(!duplicated,
+          "event queue: live slot appears twice in the pending set");
+    check(liveEntries == liveCount_,
+          "event queue: pending live-entry count disagrees with the "
+          "ledger");
+    check(deadEntries == deadEntries_,
+          "event queue: dead-entry counter disagrees with a recount");
+
+    // Structural order: the heap property ((when, seq) parent <=
+    // children) on the heap, sortedness on the drain run, and
+    // sequence-number sanity everywhere.
+    bool ordered = true;
+    for (std::size_t i = 1; i < heap_.size(); ++i) {
+        if (earlier(heap_[i], heap_[(i - 1) / kArity]))
+            ordered = false;
+    }
+    check(ordered, "event queue: heap ordering property violated");
+    bool runSorted = true;
+    for (std::size_t i = runPos_ + 1; i < run_.size(); ++i) {
+        if (earlier(run_[i], run_[i - 1]))
+            runSorted = false;
+    }
+    check(runSorted, "event queue: drain run lost its sort order");
+    check(runPos_ <= run_.size(),
+          "event queue: drain-run cursor past the end of the run");
+    check(seqSane,
+          "event queue: pending entry carries an unissued sequence "
+          "number");
 
     // Time monotonicity: nothing pending may fire before the last
-    // popped event (nextTime skips cancelled entries).
+    // popped event (nextTime skips dead entries).
     Time next = nextTime();
     check(next == kTimeNever || next >= lastPopTime_,
           "event queue: pending event earlier than last popped event");

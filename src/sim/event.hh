@@ -2,37 +2,100 @@
  * @file
  * Event and EventQueue: the discrete-event core of the simulator.
  *
- * Events are (time, sequence, action) triples kept in a binary heap.
- * The sequence number makes ordering deterministic for events scheduled
- * at the same tick: they fire in scheduling order (FIFO), which the
- * replayer relies on when a trace contains simultaneous arrivals.
+ * Design (see DESIGN.md §11):
+ *
+ *  - **Slot-recycling arena.** Event state lives in 64-byte slots
+ *    allocated in fixed-size chunks (stable addresses — growing the
+ *    arena never relocates a live action); a fired or cancelled event
+ *    returns its slot to a freelist, so peak memory tracks peak *live*
+ *    events, not lifetime events. Each slot carries a generation
+ *    counter bumped on retirement; an EventId is the pair {slot,
+ *    generation}, so a stale handle held across slot reuse fails the
+ *    generation match and cancel() safely returns false (no ABA).
+ *
+ *  - **Allocation-free actions.** Actions are InlineAction (48-byte
+ *    inline storage, compile-time capture-size check) built in place
+ *    inside the slot by the schedule() template, so the steady
+ *    state — scheduling into a recycled slot — performs zero heap
+ *    allocations and zero action moves.
+ *
+ *  - **4-ary heap with lazy delete.** Incoming events sit in an
+ *    explicit 4-ary heap ordered by (time, sequence); the per-schedule
+ *    sequence number keeps same-tick events firing in scheduling order
+ *    (FIFO), which the replayer relies on for simultaneous arrivals.
+ *    Cancellation leaves a dead entry behind (detected by generation
+ *    mismatch); when dead entries exceed half the pending set it is
+ *    compacted in place and re-heapified.
+ *
+ *  - **Sorted drain run.** Popping n events off a large heap touches
+ *    O(log n) scattered cache lines each; sorting the same entries
+ *    once costs the same O(n log n) compares but streams memory
+ *    sequentially. So when the heap grows past a threshold while no
+ *    run is active, the pop path sorts the whole heap into a run and
+ *    then serves events from a cursor. New events still enter the
+ *    4-ary heap; every pop takes the earlier of the two fronts under
+ *    the same (time, sequence) total order, so the firing order — and
+ *    byte-for-byte replay output — is identical to a pure heap.
+ *
+ *  - **In-place dispatch.** The simulator loop runs actions directly
+ *    out of the slot (dispatchNext()) — chunk addresses are stable, so
+ *    no move-out is needed. The slot's generation is bumped *before*
+ *    the action runs, so a firing event can no longer be cancelled,
+ *    and the slot is recycled only after the action returns.
  */
 
 #ifndef EMMCSIM_SIM_EVENT_HH
 #define EMMCSIM_SIM_EVENT_HH
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "sim/action.hh"
+#include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace emmcsim::sim {
 
-/** Callable body of a scheduled event. */
-using EventAction = std::function<void()>;
+/** Callable body of a scheduled event (heap-free; see action.hh). */
+using EventAction = InlineAction;
 
-/** Opaque handle identifying a scheduled event (used to cancel). */
-using EventId = std::uint64_t;
+/**
+ * Generation-tagged handle identifying a scheduled event (used to
+ * cancel). Value-semantic and cheap to copy; a default-constructed
+ * handle is never live.
+ */
+struct EventId
+{
+    /** Sentinel slot of a handle that was never issued. */
+    static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+    std::uint32_t slot = kNoSlot;
+    std::uint32_t gen = 0;
+
+    friend bool
+    operator==(const EventId &a, const EventId &b)
+    {
+        return a.slot == b.slot && a.gen == b.gen;
+    }
+    friend bool
+    operator!=(const EventId &a, const EventId &b)
+    {
+        return !(a == b);
+    }
+};
 
 /**
  * A time-ordered queue of events.
  *
  * This class owns no clock of its own; Simulator advances time by
  * popping the earliest event. Cancellation is lazy: cancelled events
- * stay in the heap but are skipped when popped.
+ * leave a dead heap entry behind that is skipped when popped and
+ * swept out wholesale once dead entries dominate the heap.
  */
 class EventQueue
 {
@@ -40,20 +103,60 @@ class EventQueue
     EventQueue() = default;
 
     /**
-     * Schedule an action at an absolute time.
+     * Schedule an action at an absolute time. The callable is built
+     * directly inside an arena slot (no InlineAction temporary); pass
+     * either a raw callable or a prebuilt EventAction.
      *
-     * @param when   Absolute simulated time; must not be in the past
-     *               relative to the last popped event.
-     * @param action Callback to run when the event fires.
+     * @param when Absolute simulated time; must not be in the past
+     *             relative to the last popped event (DCHECKed).
+     * @param fn   Callback to run when the event fires; its capture
+     *             must satisfy InlineAction::fits (compile-time).
      * @return Handle usable with cancel().
      */
-    EventId schedule(Time when, EventAction action);
+    template <typename F>
+    EventId
+    schedule(Time when, F &&fn)
+    {
+        EMMCSIM_ASSERT(when >= 0, "event scheduled at negative time");
+        // Documented contract: never behind the simulation clock.
+        // Cheap enough to check in debug on every schedule.
+        EMMCSIM_DCHECK(when >= lastPopTime_,
+                       "event scheduled before the last popped event");
+
+        std::uint32_t slot;
+        if (!freelist_.empty()) {
+            slot = freelist_.back();
+            freelist_.pop_back();
+        } else {
+            EMMCSIM_ASSERT(slotCount_ < EventId::kNoSlot,
+                           "event arena exhausted the slot space");
+            // for_overwrite: run the slot constructors (ops/gen) but
+            // skip zero-filling 16 KiB of capture storage per chunk.
+            if (slotCount_ == chunks_.size() * kChunkSlots)
+                chunks_.push_back(
+                    std::make_unique_for_overwrite<Slot[]>(kChunkSlots));
+            slot = static_cast<std::uint32_t>(slotCount_++);
+        }
+        Slot &sl = slotAt(slot);
+        if constexpr (std::is_same_v<std::decay_t<F>, EventAction>)
+            sl.action = std::forward<F>(fn);
+        else
+            sl.action.emplace(std::forward<F>(fn));
+
+        heapPush(HeapEntry{when, nextSeq_++, slot, sl.gen});
+        ++liveCount_;
+        if (liveCount_ > highWater_)
+            highWater_ = liveCount_;
+        ++scheduledCount_;
+        return EventId{slot, sl.gen};
+    }
 
     /**
      * Cancel a previously scheduled event.
      *
      * @retval true  The event existed and was cancelled.
-     * @retval false The event already fired or was already cancelled.
+     * @retval false The event already fired, was already cancelled,
+     *               or the handle is stale (its slot was recycled).
      */
     bool cancel(EventId id);
 
@@ -77,17 +180,100 @@ class EventQueue
      */
     bool pop(Time &when_out, EventAction &action_out);
 
+    /**
+     * Pop the earliest live event and run it in place (the simulator
+     * hot loop; avoids moving the action out of its slot).
+     *
+     * @p preInvoke is called with the event's firing time after the
+     * event is committed but before its action runs — the caller
+     * advances its clock there. The firing event's slot is recycled
+     * only after the action returns; the action may freely schedule
+     * or cancel other events (slot addresses are chunk-stable).
+     *
+     * @retval true  An event fired.
+     * @retval false The queue was empty.
+     */
+    template <typename PreInvoke>
+    bool
+    dispatchNext(PreInvoke &&preInvoke)
+    {
+        HeapEntry e;
+        if (!takeEarliest(e))
+            return false;
+        // Upcoming events' slots are random (cold) cache lines; start
+        // pulling them in while the current action runs. The drain run
+        // exposes the exact pop order, so prefetch several pops ahead.
+        if (runPos_ < run_.size()) {
+            const std::size_t ahead =
+                std::min(runPos_ + kPrefetchAhead, run_.size() - 1);
+            __builtin_prefetch(&slotAt(run_[ahead].slot));
+            __builtin_prefetch(&slotAt(run_[runPos_].slot));
+        } else if (!heap_.empty()) {
+            __builtin_prefetch(&slotAt(heap_.front().slot));
+        }
+        EMMCSIM_DCHECK(e.when >= lastPopTime_,
+                       "event popped out of order");
+        lastPopTime_ = e.when;
+        Slot &sl = slotAt(e.slot);
+        ++sl.gen; // a firing event can no longer be cancelled
+        EMMCSIM_DCHECK(liveCount_ > 0,
+                       "dispatch with zero live events (ledger drift)");
+        --liveCount_;
+        firing_ = e.slot;
+        preInvoke(e.when);
+        sl.action();
+        sl.action = nullptr; // release captured state eagerly
+        firing_ = EventId::kNoSlot;
+        freelist_.push_back(e.slot);
+        return true;
+    }
+
     /** Total number of events ever scheduled (for stats/tests). */
-    std::uint64_t scheduledCount() const { return nextId_; }
+    std::uint64_t scheduledCount() const { return scheduledCount_; }
 
     /** Firing time of the most recently popped event; 0 before any. */
     Time lastPopTime() const { return lastPopTime_; }
 
+    /** @name Arena / heap statistics (memory + perf accounting). @{ */
+
+    /** Slots ever created; the arena's memory footprint. */
+    std::size_t arenaSlots() const { return slotCount_; }
+
+    /** Most events simultaneously live (peak-RSS proxy). */
+    std::size_t arenaHighWater() const { return highWater_; }
+
+    /** Slots currently parked on the freelist. */
+    std::size_t freeSlots() const { return freelist_.size(); }
+
+    /**
+     * Slots held by an in-flight dispatchNext() (0 or 1): the firing
+     * event is no longer live but not yet recycled, so auditors
+     * running inside an action must count it separately.
+     */
+    std::size_t inFlightSlots() const
+    {
+        return firing_ != EventId::kNoSlot ? 1u : 0u;
+    }
+
+    /** Cancelled-but-unswept entries still sitting in the heap. */
+    std::size_t deadHeapEntries() const { return deadEntries_; }
+
+    /** Times the heap was compacted (dead entries swept wholesale). */
+    std::uint64_t heapCompactions() const { return compactions_; }
+
+    /** Times the heap was sorted wholesale into a drain run. */
+    std::uint64_t drainSorts() const { return drainSorts_; }
+
+    /** @} */
+
     /**
      * Append a description of every internal-consistency violation to
-     * @p violations: live-count bookkeeping vs the issued-id ledger,
-     * stale handles (retired ids still holding actions), and a heap
-     * front older than the last popped event (time went backwards).
+     * @p violations under the generation-ledger model: slot/freelist
+     * conservation, freelist hygiene (no duplicates, no parked
+     * actions), heap coverage of live slots, the 4-ary heap ordering
+     * property, dead-entry accounting, and time monotonicity. Safe to
+     * call from inside a firing action (device audit hooks do): the
+     * in-flight slot is accounted separately.
      *
      * @return number of individual predicates evaluated.
      */
@@ -100,33 +286,239 @@ class EventQueue
      */
     void corruptLiveCountForTest(std::int64_t delta);
 
+    /**
+     * Test hook: overwrite the last-pop watermark so tests can stage
+     * a "pending event older than the last pop" state without going
+     * through schedule() (whose DCHECK would reject it). Never call
+     * outside tests.
+     */
+    void corruptLastPopTimeForTest(Time t) { lastPopTime_ = t; }
+
   private:
-    struct Entry
+    /** Arena slot: the action plus its current generation. */
+    struct Slot
+    {
+        EventAction action;
+        std::uint32_t gen = 0;
+    };
+    static_assert(sizeof(Slot) == 64,
+                  "arena slot must stay one cache line; check "
+                  "InlineAction's layout before growing it");
+
+    /** One pending entry in the 4-ary heap. */
+    struct HeapEntry
     {
         Time when;
-        EventId id;
+        std::uint64_t seq; ///< schedule order; same-tick FIFO tie-break
+        std::uint32_t slot;
+        std::uint32_t gen;
     };
 
-    struct Later
+    /** Heap arity. 4 wins over 2 on sift-down cache behaviour. */
+    static constexpr std::size_t kArity = 4;
+
+    /** Don't bother compacting pending sets smaller than this. */
+    static constexpr std::size_t kCompactMin = 64;
+
+    /**
+     * Sort the heap into a drain run once it reaches this size with
+     * no active run. Small enough that the replayer's steady-state
+     * in-flight window benefits; large enough that a near-empty queue
+     * never pays a sort.
+     */
+    static constexpr std::size_t kDrainSortMin = 256;
+
+    /** How many pops ahead to prefetch slots in drain-run order. */
+    static constexpr std::size_t kPrefetchAhead = 8;
+
+    /** Slots per arena chunk (16 KiB chunks of 64-byte slots). */
+    static constexpr std::size_t kChunkShift = 8;
+    static constexpr std::size_t kChunkSlots = std::size_t{1}
+                                               << kChunkShift;
+
+    static bool
+    earlier(const HeapEntry &a, const HeapEntry &b)
     {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.id > b.id;
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
+
+    Slot &
+    slotAt(std::uint32_t i)
+    {
+        return chunks_[i >> kChunkShift][i & (kChunkSlots - 1)];
+    }
+    const Slot &
+    slotAt(std::uint32_t i) const
+    {
+        return chunks_[i >> kChunkShift][i & (kChunkSlots - 1)];
+    }
+
+    /** @return true when @p e still names a live event. */
+    bool
+    entryLive(const HeapEntry &e) const
+    {
+        return e.slot < slotCount_ && slotAt(e.slot).gen == e.gen;
+    }
+
+    void
+    heapPush(const HeapEntry &e)
+    {
+        heap_.push_back(e);
+        siftUp(heap_.size() - 1);
+    }
+
+    // heapPopFront/siftDown are const because nextTime() must be able
+    // to shed dead front entries; they touch only mutable members.
+    void
+    heapPopFront() const
+    {
+        heap_.front() = heap_.back();
+        heap_.pop_back();
+        if (!heap_.empty())
+            siftDown(0);
+    }
+
+    void
+    siftUp(std::size_t i)
+    {
+        const HeapEntry e = heap_[i];
+        while (i > 0) {
+            const std::size_t parent = (i - 1) / kArity;
+            if (!earlier(e, heap_[parent]))
+                break;
+            heap_[i] = heap_[parent];
+            i = parent;
         }
-    };
+        heap_[i] = e;
+    }
 
-    /** Skip cancelled entries at the heap top. */
-    void skipDead() const;
+    void
+    siftDown(std::size_t i) const
+    {
+        const std::size_t n = heap_.size();
+        const HeapEntry e = heap_[i];
+        while (true) {
+            const std::size_t first = i * kArity + 1;
+            if (first >= n)
+                break;
+            const std::size_t last = std::min(first + kArity, n);
+            std::size_t best = first;
+            for (std::size_t c = first + 1; c < last; ++c) {
+                if (earlier(heap_[c], heap_[best]))
+                    best = c;
+            }
+            if (!earlier(heap_[best], e))
+                break;
+            heap_[i] = heap_[best];
+            i = best;
+        }
+        heap_[i] = e;
+    }
 
-    mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-    std::vector<EventAction> actions_; ///< indexed by EventId
-    std::vector<bool> cancelled_;
-    EventId nextId_ = 0;
+    /** Drop dead (cancelled) entries off the run and heap fronts. */
+    void
+    dropDeadFronts() const
+    {
+        while (runPos_ < run_.size() && !entryLive(run_[runPos_])) {
+            ++runPos_;
+            EMMCSIM_DCHECK(deadEntries_ > 0,
+                           "dead run entry not accounted for");
+            --deadEntries_;
+        }
+        if (runPos_ == run_.size() && !run_.empty()) {
+            run_.clear(); // fully consumed; keep capacity
+            runPos_ = 0;
+        }
+        while (!heap_.empty() && !entryLive(heap_.front())) {
+            heapPopFront();
+            EMMCSIM_DCHECK(deadEntries_ > 0,
+                           "dead heap entry not accounted for");
+            --deadEntries_;
+        }
+    }
+
+    /**
+     * Sort the entire heap into the (empty) drain run. One sequential
+     * bucket-distribution sort replaces n cache-scattered O(log n)
+     * sift-downs; the swap also hands the retired run's capacity to
+     * the heap.
+     */
+    void
+    sortPendingIntoRun() const
+    {
+        run_.swap(heap_);
+        sortRunEntries();
+        runPos_ = 0;
+        ++drainSorts_;
+    }
+
+    /** Sort run_ ascending by (when, seq); see event.cc. */
+    void sortRunEntries() const;
+
+    /**
+     * Remove and return the earliest live pending entry, consulting
+     * both the drain run and the heap (whichever front is earlier
+     * under (when, seq) — the same total order a pure heap pops in).
+     */
+    bool
+    takeEarliest(HeapEntry &out)
+    {
+        dropDeadFronts();
+        if (run_.empty() && heap_.size() >= kDrainSortMin) {
+            sortPendingIntoRun();
+            dropDeadFronts();
+        }
+        const bool haveRun = runPos_ < run_.size();
+        if (!haveRun && heap_.empty())
+            return false;
+        if (haveRun &&
+            (heap_.empty() || earlier(run_[runPos_], heap_.front()))) {
+            out = run_[runPos_++];
+            if (runPos_ == run_.size()) {
+                run_.clear();
+                runPos_ = 0;
+            }
+        } else {
+            out = heap_.front();
+            heapPopFront();
+        }
+        return true;
+    }
+
+    /** Live entries still pending across the run and the heap. */
+    std::size_t
+    pendingEntries() const
+    {
+        return heap_.size() + (run_.size() - runPos_);
+    }
+
+    /** Sweep all dead entries and re-heapify (Floyd build). */
+    void compact();
+
+    /** Retire a slot: destroy its action, bump gen, recycle. */
+    void retireSlot(std::uint32_t slot);
+
+    mutable std::vector<HeapEntry> heap_;
+    mutable std::vector<HeapEntry> run_; ///< sorted drain run
+    mutable std::size_t runPos_ = 0;     ///< next unconsumed run entry
+    mutable std::size_t deadEntries_ = 0;
+    mutable std::uint64_t drainSorts_ = 0;
+    /// Reused scratch for sortRunEntries (alloc-free steady state).
+    mutable std::vector<HeapEntry> sortScratch_;
+    mutable std::vector<std::uint32_t> sortCounts_;
+    std::vector<std::unique_ptr<Slot[]>> chunks_;
+    std::size_t slotCount_ = 0;
+    std::vector<std::uint32_t> freelist_;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t scheduledCount_ = 0;
     std::size_t liveCount_ = 0;
+    std::size_t highWater_ = 0;
+    std::uint64_t compactions_ = 0;
     Time lastPopTime_ = 0;
+    /** Slot whose action is executing in dispatchNext(), if any. */
+    std::uint32_t firing_ = EventId::kNoSlot;
 };
 
 } // namespace emmcsim::sim

@@ -6,33 +6,21 @@
 
 namespace emmcsim::sim {
 
-EventId
-Simulator::schedule(Time when, EventAction action)
-{
-    EMMCSIM_ASSERT(when >= now_, "event scheduled in the past");
-    return events_.schedule(when, std::move(action));
-}
-
-EventId
-Simulator::scheduleAfter(Time delay, EventAction action)
-{
-    EMMCSIM_ASSERT(delay >= 0, "negative event delay");
-    return events_.schedule(now_ + delay, std::move(action));
-}
-
 std::uint64_t
 Simulator::run()
 {
+    // Events run in place out of their arena slot (dispatchNext);
+    // the clock advances in the pre-invoke callback, before the
+    // action observes now().
     std::uint64_t n = 0;
-    Time t;
-    EventAction action;
-    while (events_.pop(t, action)) {
+    while (events_.dispatchNext([this](Time t) {
         EMMCSIM_ASSERT(t >= now_, "event queue went backwards");
         now_ = t;
-        action();
+    })) {
         ++n;
         ++executed_;
-        firePostEventHooks();
+        if (!hooks_.empty())
+            firePostEventHooks();
     }
     return n;
 }
@@ -45,15 +33,14 @@ Simulator::runUntil(Time deadline)
         Time next = events_.nextTime();
         if (next == kTimeNever || next > deadline)
             break;
-        Time t;
-        EventAction action;
-        events_.pop(t, action);
-        EMMCSIM_ASSERT(t >= now_, "event queue went backwards");
-        now_ = t;
-        action();
+        events_.dispatchNext([this](Time t) {
+            EMMCSIM_ASSERT(t >= now_, "event queue went backwards");
+            now_ = t;
+        });
         ++n;
         ++executed_;
-        firePostEventHooks();
+        if (!hooks_.empty())
+            firePostEventHooks();
     }
     if (now_ < deadline)
         now_ = deadline;

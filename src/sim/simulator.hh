@@ -8,9 +8,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "sim/event.hh"
+#include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace emmcsim::sim {
@@ -31,13 +33,27 @@ class Simulator
     Time now() const { return now_; }
 
     /**
-     * Schedule an action at an absolute time (>= now()).
+     * Schedule an action at an absolute time (>= now()). Forwards the
+     * raw callable to the event queue, which builds it in place
+     * inside an arena slot (no temporaries on the hot path).
      * @return Handle usable with cancel().
      */
-    EventId schedule(Time when, EventAction action);
+    template <typename F>
+    EventId
+    schedule(Time when, F &&action)
+    {
+        EMMCSIM_ASSERT(when >= now_, "event scheduled in the past");
+        return events_.schedule(when, std::forward<F>(action));
+    }
 
     /** Schedule an action @p delay after now(). */
-    EventId scheduleAfter(Time delay, EventAction action);
+    template <typename F>
+    EventId
+    scheduleAfter(Time delay, F &&action)
+    {
+        EMMCSIM_ASSERT(delay >= 0, "negative event delay");
+        return events_.schedule(now_ + delay, std::forward<F>(action));
+    }
 
     /** Cancel a scheduled event; see EventQueue::cancel. */
     bool cancel(EventId id) { return events_.cancel(id); }

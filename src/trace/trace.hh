@@ -56,6 +56,9 @@ class Trace
     /** Append a record; arrivals must be non-decreasing. */
     void push(const TraceRecord &r);
 
+    /** Pre-allocate capacity for @p n records (no size change). */
+    void reserve(std::size_t n) { records_.reserve(n); }
+
     std::size_t size() const { return records_.size(); }
     bool empty() const { return records_.empty(); }
 

@@ -186,8 +186,11 @@ TEST(EventQueueAuditTest, CatchesTimeGoingBackwards)
     ASSERT_TRUE(q.pop(when, action));
     EXPECT_EQ(when, 100);
 
-    // Scheduling into the past is the bug this audit exists for.
-    q.schedule(50, [] {});
+    // A pending event older than the last pop is the bug this audit
+    // exists for. schedule() itself now DCHECKs against it, so stage
+    // the corrupt state through the test backdoor instead.
+    q.schedule(150, [] {});
+    q.corruptLastPopTimeForTest(200);
     std::vector<std::string> violations;
     q.auditInvariants(violations);
     EXPECT_FALSE(violations.empty());

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Byte-identity regression for the event core: replaying a generated
+ * app trace on the HPS scheme must serialize exactly as the golden
+ * file produced by the pre-arena event queue. Any change to event
+ * ordering (same-tick FIFO, heap tie-breaks, slot recycling) shows up
+ * here as a diff, not as a silently shifted figure.
+ *
+ * Regenerate the golden only for an intentional behaviour change:
+ * generate Twitter at scale 0.05 seed 7, replay on HPS, Trace::save.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/experiment.hh"
+#include "host/replayer.hh"
+#include "sim/simulator.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+
+using namespace emmcsim;
+
+namespace {
+
+TEST(ReplayGolden, TwitterHpsByteIdentical)
+{
+    const workload::AppProfile *p = workload::findProfile("Twitter");
+    ASSERT_NE(p, nullptr);
+    workload::TraceGenerator gen(*p, 7);
+    trace::Trace t = gen.generate(0.05);
+
+    sim::Simulator s;
+    auto dev = core::makeDevice(s, core::SchemeKind::HPS);
+    host::Replayer rep(s, *dev);
+    trace::Trace out = rep.replay(t);
+
+    std::ostringstream produced;
+    out.save(produced);
+
+    const std::string path = std::string(EMMCSIM_TEST_DATA_DIR) +
+                             "/golden_replay_twitter_hps.trace";
+    std::ifstream f(path);
+    ASSERT_TRUE(f.good()) << "missing golden file " << path;
+    std::ostringstream golden;
+    golden << f.rdbuf();
+
+    ASSERT_EQ(produced.str().size(), golden.str().size())
+        << "replay output length diverged from the golden replay";
+    EXPECT_EQ(produced.str(), golden.str())
+        << "replay output diverged from the golden replay";
+}
+
+} // namespace

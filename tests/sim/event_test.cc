@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/event.hh"
@@ -90,7 +92,171 @@ TEST(EventQueue, CancelTwiceFails)
 TEST(EventQueue, CancelUnknownIdFails)
 {
     EventQueue q;
-    EXPECT_FALSE(q.cancel(1234));
+    EXPECT_FALSE(q.cancel(EventId{}));          // never issued
+    EXPECT_FALSE(q.cancel(EventId{1234, 0}));   // out-of-range slot
+}
+
+TEST(EventQueue, CancelStaleHandleAfterSlotReuseFails)
+{
+    // The ABA case: a handle outlives its event, the slot is recycled
+    // for a new event, and the stale cancel must not kill the new one.
+    EventQueue q;
+    bool firstFired = false;
+    bool secondFired = false;
+    EventId a = q.schedule(10, [&] { firstFired = true; });
+    ASSERT_TRUE(q.cancel(a));
+    EventId b = q.schedule(20, [&] { secondFired = true; });
+    ASSERT_EQ(b.slot, a.slot); // the slot really was recycled
+    EXPECT_NE(b.gen, a.gen);   // ... under a newer generation
+    EXPECT_FALSE(q.cancel(a)); // stale handle bounces off
+    EXPECT_EQ(q.size(), 1u);   // live event unaffected
+
+    Time t;
+    EventAction act;
+    ASSERT_TRUE(q.pop(t, act));
+    act();
+    EXPECT_TRUE(secondFired);
+    EXPECT_FALSE(firstFired);
+    EXPECT_FALSE(q.pop(t, act));
+}
+
+TEST(EventQueue, FiredHandleCannotBeCancelled)
+{
+    EventQueue q;
+    EventId id = q.schedule(10, [] {});
+    Time t;
+    EventAction a;
+    ASSERT_TRUE(q.pop(t, a));
+    EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, ArenaRecyclesSlotsAndTracksHighWater)
+{
+    // Schedule/pop 1000 events one at a time: the arena must stay at
+    // one slot (peak live = 1), not grow with lifetime events.
+    EventQueue q;
+    Time t;
+    EventAction a;
+    for (int i = 0; i < 1000; ++i) {
+        q.schedule(i, [] {});
+        ASSERT_TRUE(q.pop(t, a));
+    }
+    EXPECT_EQ(q.arenaSlots(), 1u);
+    EXPECT_EQ(q.arenaHighWater(), 1u);
+    EXPECT_EQ(q.freeSlots(), 1u);
+    EXPECT_EQ(q.scheduledCount(), 1000u);
+
+    // Ten simultaneously live events push the high-water mark to 10;
+    // draining returns every slot to the freelist.
+    for (int i = 0; i < 10; ++i)
+        q.schedule(2000 + i, [] {});
+    EXPECT_EQ(q.arenaSlots(), 10u);
+    EXPECT_EQ(q.arenaHighWater(), 10u);
+    while (q.pop(t, a)) {
+    }
+    EXPECT_EQ(q.freeSlots(), 10u);
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, CancelStormTriggersHeapCompaction)
+{
+    // Cancel 3/4 of a large batch: dead heap entries cross the n/2
+    // threshold and the heap compacts instead of carrying the corpses
+    // to the pop path.
+    EventQueue q;
+    std::vector<EventId> ids;
+    ids.reserve(256);
+    int fired = 0;
+    for (int i = 0; i < 256; ++i)
+        ids.push_back(q.schedule(i, [&] { ++fired; }));
+    for (int i = 0; i < 256; ++i) {
+        if (i % 4 != 0) {
+            ASSERT_TRUE(q.cancel(ids[static_cast<std::size_t>(i)]));
+        }
+    }
+    EXPECT_GT(q.heapCompactions(), 0u);
+    EXPECT_LE(q.deadHeapEntries(), 128u); // bounded by the trigger
+    EXPECT_EQ(q.size(), 64u);
+
+    std::vector<std::string> violations;
+    q.auditInvariants(violations);
+    EXPECT_TRUE(violations.empty()) << violations.front();
+
+    Time t;
+    EventAction a;
+    Time last = -1;
+    while (q.pop(t, a)) {
+        EXPECT_GE(t, last);
+        last = t;
+        a();
+    }
+    EXPECT_EQ(fired, 64);
+}
+
+TEST(EventQueue, SameTickFifoSurvivesSlotRecycling)
+{
+    // Shuffle the freelist with an out-of-order cancel storm, then
+    // schedule same-tick events: they must still fire in scheduling
+    // order even though their slot numbers are no longer monotonic.
+    EventQueue q;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 8; ++i)
+        ids.push_back(q.schedule(5, [] {}));
+    for (int i : {3, 0, 6, 1, 7, 2, 5, 4})
+        ASSERT_TRUE(q.cancel(ids[static_cast<std::size_t>(i)]));
+
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    Time t;
+    EventAction a;
+    while (q.pop(t, a))
+        a();
+    ASSERT_EQ(order.size(), 8u);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(InlineAction, CaptureSizeLimits)
+{
+    // The event path must never fall back to the heap: captures up to
+    // kInlineBytes fit, anything bigger is rejected at compile time.
+    struct Fits
+    {
+        unsigned char pad[InlineAction::kInlineBytes];
+        void operator()() {}
+    };
+    struct TooBig
+    {
+        unsigned char pad[InlineAction::kInlineBytes + 1];
+        void operator()() {}
+    };
+    static_assert(InlineAction::fits<Fits>());
+    static_assert(!InlineAction::fits<TooBig>());
+    static_assert(InlineAction::kInlineBytes == 48);
+
+    // Move transfers the capture; the source goes empty.
+    int hits = 0;
+    InlineAction a = [&hits] { ++hits; };
+    InlineAction b = std::move(a);
+    EXPECT_FALSE(static_cast<bool>(a)); // NOLINT(bugprone-use-after-move)
+    ASSERT_TRUE(static_cast<bool>(b));
+    b();
+    EXPECT_EQ(hits, 1);
+    b = nullptr;
+    EXPECT_TRUE(b == nullptr);
+}
+
+TEST(InlineAction, DestroysCaptureWhenRetired)
+{
+    // Cancel must release captured state eagerly (shared_ptr capture
+    // observably drops its refcount).
+    auto token = std::make_shared<int>(42);
+    EventQueue q;
+    EventId id = q.schedule(10, [token] { (void)*token; });
+    EXPECT_EQ(token.use_count(), 2);
+    ASSERT_TRUE(q.cancel(id));
+    EXPECT_EQ(token.use_count(), 1);
 }
 
 TEST(EventQueue, CancelMiddleKeepsOthers)

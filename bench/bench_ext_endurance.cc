@@ -54,18 +54,15 @@ main(int argc, char **argv)
         r.arrival = now;
         r.op = trace::OpType::Write;
         if (i % 3 != 2) { // two 4KB writes ...
-            r.sizeBytes = sim::kib(4);
-            r.lbaSector = static_cast<std::uint64_t>(rng.uniformInt(
-                              0, kRegionUnits - 1)) *
-                          sim::kSectorsPerUnit;
+            r.sizeBytes = units::Bytes{sim::kib(4)};
+            r.lbaSector = units::unitToLba(units::UnitAddr{
+                rng.uniformInt(0, kRegionUnits - 1)});
             written_units += 1;
         } else { // ... then one aligned 8KB write
-            r.sizeBytes = sim::kib(8);
-            r.lbaSector =
-                static_cast<std::uint64_t>(
-                    kRegionUnits +
-                    2 * rng.uniformInt(0, kRegionUnits / 2 - 1)) *
-                sim::kSectorsPerUnit;
+            r.sizeBytes = units::Bytes{sim::kib(8)};
+            r.lbaSector = units::unitToLba(units::UnitAddr{
+                kRegionUnits +
+                2 * rng.uniformInt(0, kRegionUnits / 2 - 1)});
             written_units += 2;
         }
         t.push(r);

@@ -72,7 +72,7 @@ main()
                   core::fmt(std::uint64_t{c8.geometry.pagesPerBlock}),
                   core::fmt(std::uint64_t{ch.geometry.pagesPerBlock})});
     auto cap = [](const flash::Geometry &g) {
-        return core::fmt(std::uint64_t{g.capacityBytes() / sim::kGiB}) +
+        return core::fmt(g.capacityBytes().value() / sim::kGiB) +
                " GB";
     };
     table.addRow({"Total capacity", cap(c4.geometry), cap(c8.geometry),

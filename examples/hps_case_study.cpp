@@ -147,7 +147,7 @@ main(int argc, char **argv)
 
     std::cout << "HPS case study on \"" << app << "\" (" << t.size()
               << " requests, "
-              << core::fmt(static_cast<double>(t.totalBytes()) /
+              << core::fmt(static_cast<double>(t.totalBytes().value()) /
                                static_cast<double>(sim::kMiB), 1)
               << " MB accessed)\n\n";
 

@@ -1,16 +1,27 @@
 #!/usr/bin/env bash
-# Run clang-tidy over the emmcsim sources using the repo's .clang-tidy
-# profile and the compile database exported by CMake.
+# Run the project linters over the emmcsim sources:
+#   1. emmclint (scripts/emmclint.py) — project rules: unit-typed
+#      parameters, deterministic iteration, event-path allocation,
+#      wall-clock/randomness bans, header self-containment.  Needs
+#      only python3 + g++, so it always runs.
+#   2. clang-tidy with the repo's .clang-tidy profile and the compile
+#      database exported by CMake.
 #
 # Usage: scripts/lint.sh [build-dir]
 #
-# Exits 0 with a SKIPPED note when clang-tidy is not installed, so the
-# script is safe to call from environments without LLVM tooling; CI
-# installs clang-tidy explicitly and therefore gets the real run.
+# Exits 0 with a SKIPPED note for the clang-tidy half when clang-tidy
+# is not installed, so the script is safe to call from environments
+# without LLVM tooling; CI installs clang-tidy explicitly and
+# therefore gets the real run.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
+
+echo "lint.sh: emmclint self-test"
+python3 "$repo_root/scripts/emmclint.py" --self-test
+echo "lint.sh: emmclint over src/"
+python3 "$repo_root/scripts/emmclint.py"
 
 tidy_bin="${CLANG_TIDY:-}"
 if [[ -z "$tidy_bin" ]]; then

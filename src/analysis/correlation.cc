@@ -47,7 +47,7 @@ sizeTimingCorrelation(const trace::Trace &t, bool response)
     for (const auto &r : t.records()) {
         EMMCSIM_ASSERT(r.replayed(),
                        "correlation needs a replayed trace");
-        sizes.push_back(static_cast<double>(r.sizeBytes));
+        sizes.push_back(static_cast<double>(r.sizeBytes.value()));
         times.push_back(sim::toMilliseconds(
             response ? r.responseTime() : r.serviceTime()));
     }

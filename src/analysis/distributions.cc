@@ -26,7 +26,7 @@ sizeDistribution(const trace::Trace &t)
 {
     sim::Histogram h(sizeBucketBoundsKb());
     for (const auto &r : t.records())
-        h.add(static_cast<double>(r.sizeBytes) / 1024.0);
+        h.add(static_cast<double>(r.sizeBytes.value()) / 1024.0);
     return h;
 }
 
@@ -37,7 +37,7 @@ smallRequestFraction(const trace::Trace &t)
         return 0.0;
     std::uint64_t small = 0;
     for (const auto &r : t.records()) {
-        if (r.sizeBytes <= sim::kUnitBytes)
+        if (r.sizeBytes.value() <= sim::kUnitBytes)
             ++small;
     }
     return static_cast<double>(small) / static_cast<double>(t.size());

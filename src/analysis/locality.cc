@@ -11,10 +11,10 @@ computeLocality(const trace::Trace &t)
     if (t.empty())
         return res;
 
-    std::unordered_set<std::uint64_t> seen_starts;
+    std::unordered_set<units::Lba> seen_starts;
     seen_starts.reserve(t.size());
 
-    std::uint64_t prev_end = 0;
+    units::Lba prev_end{0};
     bool have_prev = false;
     for (const auto &r : t.records()) {
         if (have_prev && r.lbaSector == prev_end)

@@ -18,15 +18,16 @@ computeSizeStats(const trace::Trace &t)
     std::uint64_t read_bytes = 0;
     std::uint64_t max_bytes = 0;
     for (const auto &r : t.records()) {
-        total_bytes += r.sizeBytes;
+        total_bytes += r.sizeBytes.value();
         if (r.isWrite()) {
             ++writes;
-            write_bytes += r.sizeBytes;
+            write_bytes += r.sizeBytes.value();
         } else {
             ++reads;
-            read_bytes += r.sizeBytes;
+            read_bytes += r.sizeBytes.value();
         }
-        max_bytes = std::max<std::uint64_t>(max_bytes, r.sizeBytes);
+        max_bytes =
+            std::max<std::uint64_t>(max_bytes, r.sizeBytes.value());
     }
     const double kb = 1.0 / 1024.0;
     s.dataSizeKb = static_cast<double>(total_bytes) * kb;

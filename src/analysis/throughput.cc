@@ -18,7 +18,7 @@ meanRequestThroughputMBps(const trace::Trace &t, bool write)
         const double secs = sim::toSeconds(r.serviceTime());
         if (secs <= 0.0)
             continue;
-        mbps.add(static_cast<double>(r.sizeBytes) / 1e6 / secs);
+        mbps.add(static_cast<double>(r.sizeBytes.value()) / 1e6 / secs);
     }
     return mbps.mean();
 }
@@ -35,7 +35,7 @@ sustainedThroughputMBps(const trace::Trace &t)
         EMMCSIM_ASSERT(r.replayed(), "throughput needs a replayed trace");
         first = std::min(first, r.serviceStart);
         last = std::max(last, r.finish);
-        bytes += r.sizeBytes;
+        bytes += r.sizeBytes.value();
     }
     const double secs = sim::toSeconds(last - first);
     if (secs <= 0.0)

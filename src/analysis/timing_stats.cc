@@ -18,7 +18,7 @@ computeTimingStats(const trace::Trace &t)
     if (dur_s > 0.0) {
         s.arrivalRate = static_cast<double>(t.size()) / dur_s;
         s.accessRateKbps =
-            static_cast<double>(t.totalBytes()) / 1024.0 / dur_s;
+            static_cast<double>(t.totalBytes().value()) / 1024.0 / dur_s;
     }
 
     LocalityResult loc = computeLocality(t);

@@ -44,44 +44,45 @@ checkMappingBijection(const ftl::Ftl &ftl, CheckContext &ctx)
     const auto planes = geom.planeCount();
     const auto pool_count = static_cast<std::uint32_t>(geom.pools.size());
 
-    const std::uint64_t units = map.logicalUnits();
-    for (std::uint64_t lpn = 0; lpn < units; ++lpn) {
-        const ftl::MapEntry &e =
-            map.lookup(static_cast<flash::Lpn>(lpn));
+    const auto units =
+        static_cast<std::int64_t>(map.logicalUnits());
+    for (flash::Lpn lpn{0}; lpn.value() < units; ++lpn) {
+        const ftl::MapEntry &e = map.lookup(lpn);
         if (!e.mapped()) {
             ctx.pass();
             continue;
         }
         const auto plane = static_cast<std::uint32_t>(e.planeLinear);
         if (plane >= planes || e.pool >= pool_count) {
-            ctx.fail("lpn " + std::to_string(lpn) +
+            ctx.fail("lpn " + std::to_string(lpn.value()) +
                      " maps outside the array (plane " +
                      std::to_string(plane) + ", pool " +
                      std::to_string(e.pool) + ")");
             continue;
         }
         const flash::BlockPool &pool = array.plane(plane).pool(e.pool);
-        if (e.ppn >= pool.pageCount() || e.unit >= pool.unitsPerPage()) {
-            ctx.fail("lpn " + std::to_string(lpn) +
+        if (e.ppn.value() >= pool.pageCount() ||
+            e.unit >= pool.unitsPerPage()) {
+            ctx.fail("lpn " + std::to_string(lpn.value()) +
                      " maps outside its pool (ppn " +
-                     std::to_string(e.ppn) + ", unit " +
+                     std::to_string(e.ppn.value()) + ", unit " +
                      std::to_string(e.unit) + ")");
             continue;
         }
         if (!pool.unitValid(e.ppn, e.unit)) {
-            ctx.fail("lpn " + std::to_string(lpn) +
+            ctx.fail("lpn " + std::to_string(lpn.value()) +
                      " maps to a stale unit (plane " +
                      std::to_string(plane) + ", pool " +
                      std::to_string(e.pool) + ", ppn " +
-                     std::to_string(e.ppn) + ", unit " +
+                     std::to_string(e.ppn.value()) + ", unit " +
                      std::to_string(e.unit) + ")");
             continue;
         }
         const flash::Lpn stored = pool.lpnAt(e.ppn, e.unit);
         if (stored != static_cast<flash::Lpn>(lpn)) {
-            ctx.fail("lpn " + std::to_string(lpn) +
+            ctx.fail("lpn " + std::to_string(lpn.value()) +
                      " maps to a unit holding lpn " +
-                     std::to_string(stored));
+                     std::to_string(stored.value()));
             continue;
         }
         ctx.pass();
@@ -117,10 +118,11 @@ checkPoolAccounting(const flash::BlockPool &pool,
     std::uint32_t free_flags = 0;
     std::uint64_t valid_sum = 0;
     for (std::uint32_t b = 0; b < pool.blockCount(); ++b) {
-        const bool is_free = pool.blockFree(b);
+        const flash::BlockId bid{b};
+        const bool is_free = pool.blockFree(bid);
         if (is_free)
             ++free_flags;
-        const std::uint32_t wp = pool.writtenPages(b);
+        const std::uint32_t wp = pool.writtenPages(bid);
         if (wp > ppb)
             ctx.fail(label + ": block " + std::to_string(b) +
                      " write pointer " + std::to_string(wp) +
@@ -128,7 +130,7 @@ checkPoolAccounting(const flash::BlockPool &pool,
         else
             ctx.pass();
 
-        const std::uint32_t block_valid = pool.validUnitsInBlock(b);
+        const std::uint32_t block_valid = pool.validUnitsInBlock(bid);
         valid_sum += block_valid;
         if (is_free && (wp != 0 || block_valid != 0)) {
             ctx.fail(label + ": free block " + std::to_string(b) +
@@ -144,7 +146,7 @@ checkPoolAccounting(const flash::BlockPool &pool,
         bool beyond_wp = false;
         bool lpn_bad = false;
         for (std::uint32_t p = 0; p < ppb; ++p) {
-            const auto ppn = static_cast<flash::Ppn>(b) * ppb + p;
+            const flash::Ppn ppn = units::blockFirstPage(bid, ppb) + p;
             const std::uint32_t v = pool.validUnitsInPage(ppn);
             derived += v;
             if (p >= wp && v != 0)
@@ -152,7 +154,7 @@ checkPoolAccounting(const flash::BlockPool &pool,
             if (p < wp || v != 0) {
                 for (std::uint32_t u = 0; u < upp; ++u) {
                     if (pool.unitValid(ppn, u) &&
-                        pool.lpnAt(ppn, u) < 0)
+                        pool.lpnAt(ppn, u).value() < 0)
                         lpn_bad = true;
                 }
             }
@@ -192,15 +194,15 @@ checkPoolAccounting(const flash::BlockPool &pool,
         ctx.check(b < pool.blockCount(),
                   label + ": active block out of range");
         if (b < pool.blockCount())
-            ctx.check(!pool.blockFree(b),
+            ctx.check(!pool.blockFree(flash::BlockId{b}),
                       label + ": active block sits on the free list");
     }
     std::uint64_t expect_free =
         static_cast<std::uint64_t>(pool.freeBlockCount()) * ppb;
     if (active >= 0 &&
         static_cast<std::uint32_t>(active) < pool.blockCount()) {
-        expect_free +=
-            ppb - pool.writtenPages(static_cast<std::uint32_t>(active));
+        expect_free += ppb - pool.writtenPages(flash::BlockId{
+                                 static_cast<std::uint32_t>(active)});
     }
     ctx.check(pool.freePageCount() == expect_free,
               label + ": freePageCount " +
@@ -288,24 +290,26 @@ checkRetiredBlocks(const ftl::Ftl &ftl, CheckContext &ctx)
                                       " pool " + std::to_string(k);
             std::uint32_t flagged = 0;
             for (std::uint32_t b = 0; b < pool.blockCount(); ++b) {
-                if (!pool.blockRetired(b)) {
+                const flash::BlockId bid{b};
+                if (!pool.blockRetired(bid)) {
                     ctx.pass();
                     continue;
                 }
                 ++flagged;
                 const std::string where =
                     label + ": retired block " + std::to_string(b);
-                ctx.check(!pool.blockFree(b),
+                ctx.check(!pool.blockFree(bid),
                           where + " sits on the free list");
                 ctx.check(pool.activeBlock() !=
                               static_cast<std::int32_t>(b),
                           where + " is the active block");
-                ctx.check(pool.writtenPages(b) == pool.pagesPerBlock(),
+                ctx.check(pool.writtenPages(bid) ==
+                              pool.pagesPerBlock(),
                           where + " is not sealed (allocatable pages "
                                   "remain)");
-                ctx.check(pool.validUnitsInBlock(b) == 0,
+                ctx.check(pool.validUnitsInBlock(bid) == 0,
                           where + " still holds valid data");
-                ctx.check(!pool.blockSuspect(b),
+                ctx.check(!pool.blockSuspect(bid),
                           where + " is still flagged suspect");
             }
             ctx.check(flagged == pool.retiredBlockCount(),
@@ -365,7 +369,7 @@ checkSpareAccounting(const ftl::Ftl &ftl, CheckContext &ctx)
         }
         ctx.check(array.plane(e.planeLinear)
                       .pool(e.pool)
-                      .blockRetired(e.block),
+                      .blockRetired(flash::BlockId{e.block}),
                   "bad-block table names block " +
                       std::to_string(e.block) + " of plane " +
                       std::to_string(e.planeLinear) + " pool " +
@@ -406,19 +410,20 @@ checkTrace(const trace::Trace &trace, std::uint64_t logical_units,
             ctx.pass();
         prev_arrival = r.arrival;
 
-        if (r.sizeBytes == 0 || r.sizeBytes % sim::kUnitBytes != 0)
+        if (r.sizeBytes.value() == 0 ||
+            !units::isUnitAligned(r.sizeBytes))
             ctx.fail(where + ": size is not a positive 4KB multiple");
         else
             ctx.pass();
 
-        if (r.lbaSector % sim::kSectorsPerUnit != 0)
+        if (!units::isUnitAligned(r.lbaSector))
             ctx.fail(where + ": LBA is not 4KB-aligned");
         else
             ctx.pass();
 
         if (logical_units != 0) {
             const auto first =
-                static_cast<std::uint64_t>(r.firstUnit());
+                static_cast<std::uint64_t>(r.firstUnit().value());
             if (first + r.sizeUnits() > logical_units)
                 ctx.fail(where + ": request past logical capacity");
             else

@@ -31,10 +31,10 @@ EmmcDevice::EmmcDevice(sim::Simulator &simulator, const EmmcConfig &cfg,
 void
 EmmcDevice::submit(const IoRequest &request)
 {
-    EMMCSIM_ASSERT(request.sizeBytes > 0 &&
-                       request.sizeBytes % sim::kUnitBytes == 0,
+    EMMCSIM_ASSERT(request.sizeBytes.value() > 0 &&
+                       units::isUnitAligned(request.sizeBytes),
                    "request size must be a positive 4KB multiple");
-    EMMCSIM_ASSERT(request.lbaSector % sim::kSectorsPerUnit == 0,
+    EMMCSIM_ASSERT(units::isUnitAligned(request.lbaSector),
                    "request LBA must be 4KB-aligned");
     EMMCSIM_ASSERT(request.arrival == sim_.now(),
                    "submit must run at the request's arrival time");
@@ -42,10 +42,10 @@ EmmcDevice::submit(const IoRequest &request)
     ++stats_.requests;
     if (request.write) {
         ++stats_.writeRequests;
-        stats_.bytesWritten += request.sizeBytes;
+        stats_.bytesWritten += request.sizeBytes.value();
     } else {
         ++stats_.readRequests;
-        stats_.bytesRead += request.sizeBytes;
+        stats_.bytesRead += request.sizeBytes.value();
     }
 
     bool waited = busy_;

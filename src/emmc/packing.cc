@@ -12,7 +12,7 @@ WritePacker::packCount(const std::deque<IoRequest> &queue)
         return 1;
 
     std::size_t count = 0;
-    std::uint64_t bytes = 0;
+    units::Bytes bytes{0};
     for (const IoRequest &r : queue) {
         if (!r.write)
             break;

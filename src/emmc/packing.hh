@@ -25,8 +25,8 @@ struct PackingConfig
     bool enabled = true;
     /** Max write requests merged into one packed command. */
     std::uint32_t maxRequests = 32;
-    /** Max total bytes of one packed command. */
-    std::uint64_t maxBytes = 16 * sim::kMiB;
+    /** Max total size of one packed command. */
+    units::Bytes maxBytes{16 * sim::kMiB};
 };
 
 /** Packing counters. */

@@ -58,7 +58,7 @@ struct BufferStats
 /** A contiguous run of logical units. */
 struct UnitRun
 {
-    flash::Lpn first = 0;
+    flash::Lpn first{0};
     std::uint32_t count = 0;
 };
 

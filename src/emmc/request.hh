@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "core/units.hh"
 #include "sim/types.hh"
 
 namespace emmcsim::emmc {
@@ -20,18 +21,17 @@ struct IoRequest
     /** Arrival time at the device queue. */
     sim::Time arrival = 0;
     /** Starting address in 512-byte sectors (4KB-aligned). */
-    std::uint64_t lbaSector = 0;
+    units::Lba lbaSector{0};
     /** Size in bytes (multiple of 4KB). */
-    std::uint64_t sizeBytes = 0;
+    units::Bytes sizeBytes{0};
     /** True for writes. */
     bool write = false;
 
-    /** First logical 4KB unit. */
-    std::int64_t
+    /** First logical 4KB unit (submit() enforced 4KB alignment). */
+    units::UnitAddr
     firstUnit() const
     {
-        return static_cast<std::int64_t>(lbaSector /
-                                         sim::kSectorsPerUnit);
+        return units::lbaToUnit(lbaSector);
     }
 
     /** Size in logical 4KB units. */
@@ -39,7 +39,7 @@ struct IoRequest
     sizeUnits() const
     {
         return static_cast<std::uint32_t>(
-            (sizeBytes + sim::kUnitBytes - 1) / sim::kUnitBytes);
+            units::bytesToUnitsCeil(sizeBytes));
     }
 };
 

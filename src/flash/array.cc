@@ -60,20 +60,20 @@ FlashArray::evalReadFault(const PageAddr &addr)
         return {};
     const BlockPool &bp =
         planes_.at(planeLinear(geom_, addr)).pool(addr.pool);
-    return fault_->onRead(bp.eraseCount(addr.block),
-                          bp.blockAge(addr.block));
+    return fault_->onRead(bp.eraseCount(BlockId{addr.block}),
+                          bp.blockAge(BlockId{addr.block}));
 }
 
 OpResult
 FlashArray::read(const PageAddr &addr, sim::Time earliest,
-                 std::uint64_t transfer_bytes)
+                 units::Bytes transfer_bytes)
 {
     const auto &pt = timing_.pools.at(addr.pool);
     const std::uint32_t page_bytes = geom_.pools.at(addr.pool).pageBytes;
-    std::uint64_t bytes = transfer_bytes == 0
+    std::uint64_t bytes = transfer_bytes.value() == 0
                               ? page_bytes
-                              : std::min<std::uint64_t>(transfer_bytes,
-                                                        page_bytes);
+                              : std::min<std::uint64_t>(
+                                    transfer_bytes.value(), page_bytes);
 
     // Each retry level re-senses the page with shifted read voltages,
     // extending the array occupancy; the data crosses the channel once
@@ -125,7 +125,7 @@ FlashArray::program(const PageAddr &addr, sim::Time earliest)
 
     OpResult res{x_start, a_start + pt.programLatency};
     if (fault_ != nullptr && fault_->enabled() &&
-        fault_->programFails(poolAt(addr).eraseCount(addr.block)))
+        fault_->programFails(poolAt(addr).eraseCount(BlockId{addr.block})))
         res.status = OpStatus::ProgramFail;
     return notifyOp(OpKind::Program, addr, res);
 }
@@ -144,7 +144,7 @@ FlashArray::erase(const PageAddr &addr, sim::Time earliest)
 
     OpResult res{x_start, a_start + timing_.eraseLatency};
     if (fault_ != nullptr && fault_->enabled() &&
-        fault_->eraseFails(poolAt(addr).eraseCount(addr.block)))
+        fault_->eraseFails(poolAt(addr).eraseCount(BlockId{addr.block})))
         res.status = OpStatus::EraseFail;
     return notifyOp(OpKind::Erase, addr, res);
 }
@@ -190,7 +190,7 @@ FlashArray::copybackProgram(const PageAddr &addr, sim::Time earliest)
     ++stats_.at(addr.pool).copybackPrograms;
     OpResult res{x_start, a_start + pt.programLatency};
     if (fault_ != nullptr && fault_->enabled() &&
-        fault_->programFails(poolAt(addr).eraseCount(addr.block)))
+        fault_->programFails(poolAt(addr).eraseCount(BlockId{addr.block})))
         res.status = OpStatus::ProgramFail;
     return notifyOp(OpKind::CopybackProgram, addr, res);
 }

@@ -132,7 +132,7 @@ class FlashArray
      *        the physical page size. Zero keeps the full page.
      */
     OpResult read(const PageAddr &addr, sim::Time earliest,
-                  std::uint64_t transfer_bytes = 0);
+                  units::Bytes transfer_bytes = units::Bytes{0});
 
     /** Execute a page program on @p addr (full-page transfer). */
     OpResult program(const PageAddr &addr, sim::Time earliest);

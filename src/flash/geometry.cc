@@ -22,13 +22,12 @@ Geometry::dieCount() const
     return channels * chipsPerChannel * diesPerChip;
 }
 
-std::uint64_t
+units::Bytes
 Geometry::capacityBytes() const
 {
-    std::uint64_t per_plane = 0;
+    units::Bytes per_plane{0};
     for (std::size_t i = 0; i < pools.size(); ++i) {
-        per_plane += static_cast<std::uint64_t>(pools[i].blocksPerPlane) *
-                     poolPagesPerBlock(i) * pools[i].pageBytes;
+        per_plane += blockBytes(i) * pools[i].blocksPerPlane;
     }
     return per_plane * planeCount();
 }
@@ -44,13 +43,13 @@ Geometry::poolPagesPerBlock(std::size_t pool) const
 std::uint64_t
 Geometry::capacityUnits() const
 {
-    return capacityBytes() / sim::kUnitBytes;
+    return units::bytesToUnits(capacityBytes());
 }
 
-std::uint64_t
+units::Bytes
 Geometry::blockBytes(std::size_t pool) const
 {
-    return static_cast<std::uint64_t>(pools.at(pool).pageBytes) *
+    return units::Bytes{pools.at(pool).pageBytes} *
            poolPagesPerBlock(pool);
 }
 

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/units.hh"
 #include "sim/types.hh"
 
 namespace emmcsim::flash {
@@ -51,12 +52,12 @@ struct Geometry
     std::uint32_t planeCount() const;
     /** Total number of dies in the array. */
     std::uint32_t dieCount() const;
-    /** Raw capacity in bytes across all planes and pools. */
-    std::uint64_t capacityBytes() const;
+    /** Raw capacity across all planes and pools. */
+    units::Bytes capacityBytes() const;
     /** Raw capacity in 4KB units. */
     std::uint64_t capacityUnits() const;
-    /** Bytes in one block of pool @p pool. */
-    std::uint64_t blockBytes(std::size_t pool) const;
+    /** Size of one block of pool @p pool. */
+    units::Bytes blockBytes(std::size_t pool) const;
     /** Pages per block of pool @p pool (override-aware). */
     std::uint32_t poolPagesPerBlock(std::size_t pool) const;
 

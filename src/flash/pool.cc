@@ -83,105 +83,120 @@ BlockPool::allocatePage()
     std::uint32_t page = writePtr_[active_]++;
     ++programmed_;
     lastWriteSeq_[active_] = ++allocSeq_;
-    return static_cast<Ppn>(active_) * pagesPerBlock_ + page;
+    return units::blockFirstPage(
+               BlockId{static_cast<std::uint32_t>(active_)},
+               pagesPerBlock_) +
+           page;
 }
 
 void
-BlockPool::setUnit(Ppn ppn, std::uint32_t unit, Lpn lpn)
+BlockPool::setUnit(Ppn ppn, std::uint32_t slot, Lpn lpn)
 {
-    EMMCSIM_ASSERT(ppn < pageCount() && unit < unitsPerPage_,
+    const std::size_t p = pageIndex(ppn);
+    EMMCSIM_ASSERT(p < pageCount() && slot < unitsPerPage_,
                    "setUnit out of range");
-    EMMCSIM_ASSERT(lpn >= 0, "setUnit with invalid lpn");
-    std::uint8_t bit = static_cast<std::uint8_t>(1u << unit);
-    EMMCSIM_ASSERT(!(valid_[ppn] & bit), "setUnit on already-valid unit");
-    lpns_[ppn * unitsPerPage_ + unit] = lpn;
-    valid_[ppn] |= bit;
-    ++blockValid_[ppn / pagesPerBlock_];
+    EMMCSIM_ASSERT(lpn.value() >= 0, "setUnit with invalid lpn");
+    std::uint8_t bit = static_cast<std::uint8_t>(1u << slot);
+    EMMCSIM_ASSERT(!(valid_[p] & bit), "setUnit on already-valid unit");
+    lpns_[p * unitsPerPage_ + slot] = lpn;
+    valid_[p] |= bit;
+    ++blockValid_[blockIndex(units::pageToBlock(ppn, pagesPerBlock_))];
     ++validUnits_;
 }
 
 void
-BlockPool::invalidateUnit(Ppn ppn, std::uint32_t unit)
+BlockPool::invalidateUnit(Ppn ppn, std::uint32_t slot)
 {
-    EMMCSIM_ASSERT(ppn < pageCount() && unit < unitsPerPage_,
+    const std::size_t p = pageIndex(ppn);
+    EMMCSIM_ASSERT(p < pageCount() && slot < unitsPerPage_,
                    "invalidateUnit out of range");
-    std::uint8_t bit = static_cast<std::uint8_t>(1u << unit);
-    EMMCSIM_ASSERT(valid_[ppn] & bit, "invalidateUnit on stale unit");
-    valid_[ppn] &= static_cast<std::uint8_t>(~bit);
-    std::uint32_t b = static_cast<std::uint32_t>(ppn / pagesPerBlock_);
+    std::uint8_t bit = static_cast<std::uint8_t>(1u << slot);
+    EMMCSIM_ASSERT(valid_[p] & bit, "invalidateUnit on stale unit");
+    valid_[p] &= static_cast<std::uint8_t>(~bit);
+    std::uint32_t b =
+        blockIndex(units::pageToBlock(ppn, pagesPerBlock_));
     EMMCSIM_ASSERT(blockValid_[b] > 0, "block valid underflow");
     --blockValid_[b];
     --validUnits_;
 }
 
 Lpn
-BlockPool::lpnAt(Ppn ppn, std::uint32_t unit) const
+BlockPool::lpnAt(Ppn ppn, std::uint32_t slot) const
 {
-    EMMCSIM_ASSERT(ppn < pageCount() && unit < unitsPerPage_,
+    const std::size_t p = pageIndex(ppn);
+    EMMCSIM_ASSERT(p < pageCount() && slot < unitsPerPage_,
                    "lpnAt out of range");
-    return lpns_[ppn * unitsPerPage_ + unit];
+    return lpns_[p * unitsPerPage_ + slot];
 }
 
 bool
-BlockPool::unitValid(Ppn ppn, std::uint32_t unit) const
+BlockPool::unitValid(Ppn ppn, std::uint32_t slot) const
 {
-    EMMCSIM_ASSERT(ppn < pageCount() && unit < unitsPerPage_,
+    const std::size_t p = pageIndex(ppn);
+    EMMCSIM_ASSERT(p < pageCount() && slot < unitsPerPage_,
                    "unitValid out of range");
-    return (valid_[ppn] >> unit) & 1u;
+    return (valid_[p] >> slot) & 1u;
 }
 
 std::uint32_t
 BlockPool::validUnitsInPage(Ppn ppn) const
 {
-    EMMCSIM_ASSERT(ppn < pageCount(), "validUnitsInPage out of range");
-    return static_cast<std::uint32_t>(__builtin_popcount(valid_[ppn]));
+    const std::size_t p = pageIndex(ppn);
+    EMMCSIM_ASSERT(p < pageCount(), "validUnitsInPage out of range");
+    return static_cast<std::uint32_t>(__builtin_popcount(valid_[p]));
 }
 
 std::uint32_t
-BlockPool::validUnitsInBlock(std::uint32_t b) const
+BlockPool::validUnitsInBlock(BlockId b) const
 {
-    EMMCSIM_ASSERT(b < blocks_, "validUnitsInBlock out of range");
-    return blockValid_[b];
+    const std::uint32_t i = blockIndex(b);
+    EMMCSIM_ASSERT(i < blocks_, "validUnitsInBlock out of range");
+    return blockValid_[i];
 }
 
 std::uint32_t
-BlockPool::writtenPages(std::uint32_t b) const
+BlockPool::writtenPages(BlockId b) const
 {
-    EMMCSIM_ASSERT(b < blocks_, "writtenPages out of range");
-    return writePtr_[b];
+    const std::uint32_t i = blockIndex(b);
+    EMMCSIM_ASSERT(i < blocks_, "writtenPages out of range");
+    return writePtr_[i];
 }
 
 bool
-BlockPool::blockFull(std::uint32_t b) const
+BlockPool::blockFull(BlockId b) const
 {
     return writtenPages(b) >= pagesPerBlock_;
 }
 
 std::uint32_t
-BlockPool::eraseCount(std::uint32_t b) const
+BlockPool::eraseCount(BlockId b) const
 {
-    EMMCSIM_ASSERT(b < blocks_, "eraseCount out of range");
-    return eraseCnt_[b];
+    const std::uint32_t i = blockIndex(b);
+    EMMCSIM_ASSERT(i < blocks_, "eraseCount out of range");
+    return eraseCnt_[i];
 }
 
 std::uint64_t
-BlockPool::blockAge(std::uint32_t b) const
+BlockPool::blockAge(BlockId b) const
 {
-    EMMCSIM_ASSERT(b < blocks_, "blockAge out of range");
-    return allocSeq_ - lastWriteSeq_[b];
+    const std::uint32_t i = blockIndex(b);
+    EMMCSIM_ASSERT(i < blocks_, "blockAge out of range");
+    return allocSeq_ - lastWriteSeq_[i];
 }
 
 void
-BlockPool::eraseBlock(std::uint32_t b)
+BlockPool::eraseBlock(BlockId b)
 {
-    EMMCSIM_ASSERT(b < blocks_, "eraseBlock out of range");
-    EMMCSIM_ASSERT(!isFree_[b], "eraseBlock on free block");
-    EMMCSIM_ASSERT(!retired_[b], "eraseBlock on retired block");
-    EMMCSIM_ASSERT(blockValid_[b] == 0,
+    const std::uint32_t i = blockIndex(b);
+    EMMCSIM_ASSERT(i < blocks_, "eraseBlock out of range");
+    EMMCSIM_ASSERT(!isFree_[i], "eraseBlock on free block");
+    EMMCSIM_ASSERT(!retired_[i], "eraseBlock on retired block");
+    EMMCSIM_ASSERT(blockValid_[i] == 0,
                    "eraseBlock with live units; relocate first");
-    EMMCSIM_ASSERT(active_ != static_cast<std::int32_t>(b),
+    EMMCSIM_ASSERT(active_ != static_cast<std::int32_t>(i),
                    "eraseBlock on the active block");
-    Ppn first = static_cast<Ppn>(b) * pagesPerBlock_;
+    const std::size_t first =
+        pageIndex(units::blockFirstPage(b, pagesPerBlock_));
     std::fill(lpns_.begin() +
                   static_cast<std::ptrdiff_t>(first * unitsPerPage_),
               lpns_.begin() + static_cast<std::ptrdiff_t>(
@@ -191,51 +206,56 @@ BlockPool::eraseBlock(std::uint32_t b)
               valid_.begin() +
                   static_cast<std::ptrdiff_t>(first + pagesPerBlock_),
               std::uint8_t{0});
-    writePtr_[b] = 0;
-    ++eraseCnt_[b];
+    writePtr_[i] = 0;
+    ++eraseCnt_[i];
     ++totalErases_;
-    isFree_[b] = true;
+    isFree_[i] = true;
     ++freeCount_;
 }
 
 void
-BlockPool::markSuspect(std::uint32_t b)
+BlockPool::markSuspect(BlockId b)
 {
-    EMMCSIM_ASSERT(b < blocks_, "markSuspect out of range");
-    EMMCSIM_ASSERT(!retired_[b], "markSuspect on retired block");
-    EMMCSIM_ASSERT(!isFree_[b], "markSuspect on free block");
-    suspect_[b] = true;
+    const std::uint32_t i = blockIndex(b);
+    EMMCSIM_ASSERT(i < blocks_, "markSuspect out of range");
+    EMMCSIM_ASSERT(!retired_[i], "markSuspect on retired block");
+    EMMCSIM_ASSERT(!isFree_[i], "markSuspect on free block");
+    suspect_[i] = true;
 }
 
 bool
-BlockPool::blockSuspect(std::uint32_t b) const
+BlockPool::blockSuspect(BlockId b) const
 {
-    EMMCSIM_ASSERT(b < blocks_, "blockSuspect out of range");
-    return suspect_[b];
+    const std::uint32_t i = blockIndex(b);
+    EMMCSIM_ASSERT(i < blocks_, "blockSuspect out of range");
+    return suspect_[i];
 }
 
 void
-BlockPool::sealBlock(std::uint32_t b)
+BlockPool::sealBlock(BlockId b)
 {
-    EMMCSIM_ASSERT(b < blocks_, "sealBlock out of range");
-    EMMCSIM_ASSERT(!isFree_[b], "sealBlock on free block");
-    EMMCSIM_ASSERT(!retired_[b], "sealBlock on retired block");
-    writePtr_[b] = pagesPerBlock_;
-    if (active_ == static_cast<std::int32_t>(b))
+    const std::uint32_t i = blockIndex(b);
+    EMMCSIM_ASSERT(i < blocks_, "sealBlock out of range");
+    EMMCSIM_ASSERT(!isFree_[i], "sealBlock on free block");
+    EMMCSIM_ASSERT(!retired_[i], "sealBlock on retired block");
+    writePtr_[i] = pagesPerBlock_;
+    if (active_ == static_cast<std::int32_t>(i))
         active_ = -1;
 }
 
 void
-BlockPool::retireBlock(std::uint32_t b)
+BlockPool::retireBlock(BlockId b)
 {
-    EMMCSIM_ASSERT(b < blocks_, "retireBlock out of range");
-    EMMCSIM_ASSERT(!isFree_[b], "retireBlock on free block");
-    EMMCSIM_ASSERT(!retired_[b], "retireBlock on retired block");
-    EMMCSIM_ASSERT(blockValid_[b] == 0,
+    const std::uint32_t i = blockIndex(b);
+    EMMCSIM_ASSERT(i < blocks_, "retireBlock out of range");
+    EMMCSIM_ASSERT(!isFree_[i], "retireBlock on free block");
+    EMMCSIM_ASSERT(!retired_[i], "retireBlock on retired block");
+    EMMCSIM_ASSERT(blockValid_[i] == 0,
                    "retireBlock with live units; relocate first");
-    EMMCSIM_ASSERT(active_ != static_cast<std::int32_t>(b),
+    EMMCSIM_ASSERT(active_ != static_cast<std::int32_t>(i),
                    "retireBlock on the active block");
-    Ppn first = static_cast<Ppn>(b) * pagesPerBlock_;
+    const std::size_t first =
+        pageIndex(units::blockFirstPage(b, pagesPerBlock_));
     std::fill(lpns_.begin() +
                   static_cast<std::ptrdiff_t>(first * unitsPerPage_),
               lpns_.begin() + static_cast<std::ptrdiff_t>(
@@ -247,17 +267,18 @@ BlockPool::retireBlock(std::uint32_t b)
               std::uint8_t{0});
     // The write pointer stays at the end: a retired block is "full" of
     // nothing, keeping it out of every allocation and victim scan.
-    writePtr_[b] = pagesPerBlock_;
-    suspect_[b] = false;
-    retired_[b] = true;
+    writePtr_[i] = pagesPerBlock_;
+    suspect_[i] = false;
+    retired_[i] = true;
     ++retiredCount_;
 }
 
 bool
-BlockPool::blockRetired(std::uint32_t b) const
+BlockPool::blockRetired(BlockId b) const
 {
-    EMMCSIM_ASSERT(b < blocks_, "blockRetired out of range");
-    return retired_[b];
+    const std::uint32_t i = blockIndex(b);
+    EMMCSIM_ASSERT(i < blocks_, "blockRetired out of range");
+    return retired_[i];
 }
 
 std::uint32_t
@@ -268,24 +289,26 @@ BlockPool::eraseSpread() const
 }
 
 bool
-BlockPool::blockFree(std::uint32_t b) const
+BlockPool::blockFree(BlockId b) const
 {
-    EMMCSIM_ASSERT(b < blocks_, "blockFree out of range");
-    return isFree_[b];
+    const std::uint32_t i = blockIndex(b);
+    EMMCSIM_ASSERT(i < blocks_, "blockFree out of range");
+    return isFree_[i];
 }
 
 void
-BlockPool::corruptUnitForTest(Ppn ppn, std::uint32_t unit, Lpn lpn,
+BlockPool::corruptUnitForTest(Ppn ppn, std::uint32_t slot, Lpn lpn,
                               bool valid)
 {
-    EMMCSIM_ASSERT(ppn < pageCount() && unit < unitsPerPage_,
+    const std::size_t p = pageIndex(ppn);
+    EMMCSIM_ASSERT(p < pageCount() && slot < unitsPerPage_,
                    "corruptUnitForTest out of range");
-    lpns_[ppn * unitsPerPage_ + unit] = lpn;
-    std::uint8_t bit = static_cast<std::uint8_t>(1u << unit);
+    lpns_[p * unitsPerPage_ + slot] = lpn;
+    std::uint8_t bit = static_cast<std::uint8_t>(1u << slot);
     if (valid)
-        valid_[ppn] |= bit;
+        valid_[p] |= bit;
     else
-        valid_[ppn] &= static_cast<std::uint8_t>(~bit);
+        valid_[p] &= static_cast<std::uint8_t>(~bit);
 }
 
 void
@@ -303,10 +326,11 @@ BlockPool::corruptFreeCountForTest(std::int64_t delta)
 }
 
 void
-BlockPool::corruptRetiredForTest(std::uint32_t b, bool retired)
+BlockPool::corruptRetiredForTest(BlockId b, bool retired)
 {
-    EMMCSIM_ASSERT(b < blocks_, "corruptRetiredForTest out of range");
-    retired_[b] = retired;
+    const std::uint32_t i = blockIndex(b);
+    EMMCSIM_ASSERT(i < blocks_, "corruptRetiredForTest out of range");
+    retired_[i] = retired;
 }
 
 } // namespace emmcsim::flash

@@ -11,6 +11,13 @@
  * The pool implements the mechanics (write pointers, validity, erase
  * counts, free lists); policy (when to GC, which victim) lives in the
  * ftl module.
+ *
+ * Addressing is strongly typed (core/units.hh): logical units are
+ * flash::Lpn (= units::UnitAddr), physical pages are flash::Ppn
+ * (= units::PageNo), blocks are flash::BlockId. The only raw integer
+ * in the interface is the *slot* — the 0..unitsPerPage-1 position of a
+ * 4KB unit inside one physical page — which never leaves the pool's
+ * own domain.
  */
 
 #ifndef EMMCSIM_FLASH_POOL_HH
@@ -19,16 +26,20 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/units.hh"
 #include "flash/geometry.hh"
 
 namespace emmcsim::flash {
 
-/** Logical page number of a 4KB mapping unit; -1 when unmapped. */
-using Lpn = std::int64_t;
-constexpr Lpn kNoLpn = -1;
+/** Logical page number of a 4KB mapping unit; kNoLpn when unmapped. */
+using Lpn = units::UnitAddr;
+constexpr Lpn kNoLpn = units::kNoUnit;
 
 /** Physical page number within a pool: block * pagesPerBlock + page. */
-using Ppn = std::uint64_t;
+using Ppn = units::PageNo;
+
+/** Block index within one plane-pool. */
+using BlockId = units::BlockId;
 
 /** Page/block state for one pool of one plane. */
 class BlockPool
@@ -75,17 +86,17 @@ class BlockPool
 
     /** @name Unit state. @{ */
 
-    /** Record that @p unit of page @p ppn now holds @p lpn (valid). */
-    void setUnit(Ppn ppn, std::uint32_t unit, Lpn lpn);
+    /** Record that @p slot of page @p ppn now holds @p lpn (valid). */
+    void setUnit(Ppn ppn, std::uint32_t slot, Lpn lpn);
 
-    /** Mark @p unit of @p ppn stale. No-op counters stay consistent. */
-    void invalidateUnit(Ppn ppn, std::uint32_t unit);
+    /** Mark @p slot of @p ppn stale. No-op counters stay consistent. */
+    void invalidateUnit(Ppn ppn, std::uint32_t slot);
 
-    /** @return lpn stored in the unit, or kNoLpn when never written. */
-    Lpn lpnAt(Ppn ppn, std::uint32_t unit) const;
+    /** @return lpn stored in the slot, or kNoLpn when never written. */
+    Lpn lpnAt(Ppn ppn, std::uint32_t slot) const;
 
-    /** @return true when the unit holds live data. */
-    bool unitValid(Ppn ppn, std::uint32_t unit) const;
+    /** @return true when the slot holds live data. */
+    bool unitValid(Ppn ppn, std::uint32_t slot) const;
 
     /** Valid units remaining in page @p ppn. */
     std::uint32_t validUnitsInPage(Ppn ppn) const;
@@ -94,30 +105,30 @@ class BlockPool
     /** @name Block state. @{ */
 
     /** Valid units remaining in block @p b. */
-    std::uint32_t validUnitsInBlock(std::uint32_t b) const;
+    std::uint32_t validUnitsInBlock(BlockId b) const;
 
     /** Pages programmed so far in block @p b. */
-    std::uint32_t writtenPages(std::uint32_t b) const;
+    std::uint32_t writtenPages(BlockId b) const;
 
     /** @return true when every page of @p b has been programmed. */
-    bool blockFull(std::uint32_t b) const;
+    bool blockFull(BlockId b) const;
 
     /** Erase cycles block @p b has seen. */
-    std::uint32_t eraseCount(std::uint32_t b) const;
+    std::uint32_t eraseCount(BlockId b) const;
 
     /**
      * Age of block @p b: page-allocations elapsed since it was last
      * programmed. Cost-benefit GC victim selection favours old blocks
      * (their remaining valid data is cold and worth relocating).
      */
-    std::uint64_t blockAge(std::uint32_t b) const;
+    std::uint64_t blockAge(BlockId b) const;
 
     /**
      * Erase block @p b: clears all unit state and returns the block to
      * the free list. Panics if live units remain (callers relocate
      * valid data first) or if the block is the active block.
      */
-    void eraseBlock(std::uint32_t b);
+    void eraseBlock(BlockId b);
     /** @} */
 
     /** @name Reliability state (bad-block handling). @{ */
@@ -128,10 +139,10 @@ class BlockPool
      * must not be reused: the GC scrub path relocates their survivors
      * and retires them instead of erasing.
      */
-    void markSuspect(std::uint32_t b);
+    void markSuspect(BlockId b);
 
     /** @return true when @p b carries the suspect flag. */
-    bool blockSuspect(std::uint32_t b) const;
+    bool blockSuspect(BlockId b) const;
 
     /**
      * Seal @p b: advance its write pointer to the end so no further
@@ -140,7 +151,7 @@ class BlockPool
      * active block, the pool is left with no active block and the next
      * allocation opens a fresh one.
      */
-    void sealBlock(std::uint32_t b);
+    void sealBlock(BlockId b);
 
     /**
      * Retire @p b permanently (grown bad block): clears all unit state
@@ -148,10 +159,10 @@ class BlockPool
      * no longer counts toward free space and can never be allocated.
      * Panics if live units remain or the block is active or free.
      */
-    void retireBlock(std::uint32_t b);
+    void retireBlock(BlockId b);
 
     /** @return true when @p b has been retired. */
-    bool blockRetired(std::uint32_t b) const;
+    bool blockRetired(BlockId b) const;
 
     /** Number of retired (grown bad) blocks in this pool. */
     std::uint32_t retiredBlockCount() const { return retiredCount_; }
@@ -168,15 +179,15 @@ class BlockPool
     /** @name Audit support and test hooks. @{ */
 
     /** @return true when block @p b sits erased on the free list. */
-    bool blockFree(std::uint32_t b) const;
+    bool blockFree(BlockId b) const;
 
     /**
-     * Test hook: overwrite one unit's raw state (stored lpn + valid
+     * Test hook: overwrite one slot's raw state (stored lpn + valid
      * bit) without maintaining any counter, planting exactly the kind
      * of silent corruption the check/ subsystem must detect. Never
      * call outside tests.
      */
-    void corruptUnitForTest(Ppn ppn, std::uint32_t unit, Lpn lpn,
+    void corruptUnitForTest(Ppn ppn, std::uint32_t slot, Lpn lpn,
                             bool valid);
 
     /** Test hook: skew the pool-wide valid-unit counter. */
@@ -186,21 +197,35 @@ class BlockPool
     void corruptFreeCountForTest(std::int64_t delta);
 
     /** Test hook: raw retired flag without any state cleanup. */
-    void corruptRetiredForTest(std::uint32_t b, bool retired);
+    void corruptRetiredForTest(BlockId b, bool retired);
     /** @} */
 
   private:
     /** Pop the free block with the lowest erase count. */
     std::uint32_t takeFreeBlock();
 
+    /** Flat lpns_/valid_ index of @p ppn (audited domain exit). */
+    std::size_t
+    pageIndex(Ppn ppn) const
+    {
+        return static_cast<std::size_t>(ppn.value());
+    }
+
+    /** Internal block index of @p b (audited domain exit). */
+    std::uint32_t
+    blockIndex(BlockId b) const
+    {
+        return b.value();
+    }
+
     std::uint32_t pageBytes_;
     std::uint32_t unitsPerPage_;
     std::uint32_t blocks_;
     std::uint32_t pagesPerBlock_;
 
-    /** lpn per (page, unit); flat, kNoLpn when unwritten/erased. */
+    /** lpn per (page, slot); flat, kNoLpn when unwritten/erased. */
     std::vector<Lpn> lpns_;
-    /** valid bitmask per page (bit u = unit u live). */
+    /** valid bitmask per page (bit u = slot u live). */
     std::vector<std::uint8_t> valid_;
     /** write pointer per block (pages programmed so far). */
     std::vector<std::uint32_t> writePtr_;

@@ -37,7 +37,7 @@ PlaneAllocator::nextPlane(std::uint32_t pool, flash::Lpn lpn)
       }
       case AllocPolicy::StaticLpn:
         return static_cast<std::uint32_t>(
-            static_cast<std::uint64_t>(lpn) % planeCount_);
+            static_cast<std::uint64_t>(lpn.value()) % planeCount_);
     }
     sim::panic("unknown allocation policy");
 }

@@ -19,14 +19,15 @@ BadBlockManager::BadBlockManager(std::uint32_t planes,
 void
 BadBlockManager::recordRetirement(std::uint32_t plane_linear,
                                   std::uint32_t pool,
-                                  std::uint32_t block, RetireCause cause)
+                                  units::BlockId block, RetireCause cause)
 {
     const std::size_t idx =
         static_cast<std::size_t>(plane_linear) * pools_ + pool;
     EMMCSIM_ASSERT(idx < retired_.size(),
                    "retirement outside the managed array");
     ++retired_[idx];
-    table_.push_back(BadBlockEntry{plane_linear, pool, block, cause});
+    table_.push_back(
+        BadBlockEntry{plane_linear, pool, block.value(), cause});
     if (cause == RetireCause::ProgramFail)
         ++stats_.retiredProgram;
     else

@@ -17,6 +17,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/units.hh"
+
 namespace emmcsim::ftl {
 
 /** Why a block was retired. */
@@ -87,7 +89,7 @@ class BadBlockManager
      * device to read-only when the plane-pool's spare budget is spent.
      */
     void recordRetirement(std::uint32_t plane_linear, std::uint32_t pool,
-                          std::uint32_t block, RetireCause cause);
+                          units::BlockId block, RetireCause cause);
 
     /** Retired blocks in one plane-pool. */
     std::uint32_t retiredCount(std::uint32_t plane_linear,

@@ -120,8 +120,8 @@ Ftl::writeGroup(std::uint32_t pool, const std::vector<flash::Lpn> &lpns,
     flash::PageAddr addr = flash::addrFromPlaneLinear(geom, plane);
     addr.pool = pool;
     const std::uint32_t ppb = geom.poolPagesPerBlock(pool);
-    addr.block = static_cast<std::uint32_t>(ppn / ppb);
-    addr.page = static_cast<std::uint32_t>(ppn % ppb);
+    addr.block = units::pageToBlock(ppn, ppb).value();
+    addr.page = units::pageIndexInBlock(ppn, ppb);
     flash::OpResult res = array_.program(addr, t);
 
     // Program-failure relocation: flag the failed block suspect, seal
@@ -130,7 +130,7 @@ Ftl::writeGroup(std::uint32_t pool, const std::vector<flash::Lpn> &lpns,
     std::uint32_t attempts = 0;
     while (res.status == flash::OpStatus::ProgramFail) {
         bbm_.noteProgramFailure();
-        const auto bad = static_cast<std::uint32_t>(ppn / ppb);
+        const flash::BlockId bad = units::pageToBlock(ppn, ppb);
         bp.markSuspect(bad);
         bp.sealBlock(bad);
         EMMCSIM_ASSERT(++attempts <= 16,
@@ -147,8 +147,8 @@ Ftl::writeGroup(std::uint32_t pool, const std::vector<flash::Lpn> &lpns,
             return WriteResult{res.done, false};
         }
         ppn = bp.allocatePage();
-        addr.block = static_cast<std::uint32_t>(ppn / ppb);
-        addr.page = static_cast<std::uint32_t>(ppn % ppb);
+        addr.block = units::pageToBlock(ppn, ppb).value();
+        addr.page = units::pageIndexInBlock(ppn, ppb);
         res = array_.program(addr, t);
         ++stats_.relocatedPrograms;
         bbm_.noteRelocatedProgram();
@@ -186,8 +186,8 @@ Ftl::writeGroup(std::uint32_t pool, const std::vector<flash::Lpn> &lpns,
 ReadResult
 Ftl::readUnits(flash::Lpn start, std::uint32_t n, sim::Time earliest)
 {
-    EMMCSIM_ASSERT(start >= 0, "readUnits negative lpn");
-    EMMCSIM_ASSERT(static_cast<std::uint64_t>(start) + n <=
+    EMMCSIM_ASSERT(start.value() >= 0, "readUnits negative lpn");
+    EMMCSIM_ASSERT(static_cast<std::uint64_t>(start.value()) + n <=
                        map_.logicalUnits(),
                    "readUnits past logical capacity");
     if (n == 0)
@@ -207,7 +207,7 @@ Ftl::readUnits(flash::Lpn start, std::uint32_t n, sim::Time earliest)
             static_cast<std::uint64_t>(geom.pools[pool].blocksPerPlane) *
             ppb;
         const std::uint64_t pseudo =
-            static_cast<std::uint64_t>(first_lpn) / upp;
+            static_cast<std::uint64_t>(first_lpn.value()) / upp;
         // Spread consecutive pseudo pages over dies first, mirroring
         // the die-interleaved order the write allocator would have
         // used to lay this data out.
@@ -218,11 +218,10 @@ Ftl::readUnits(flash::Lpn start, std::uint32_t n, sim::Time earliest)
         flash::PageAddr a = flash::addrFromPlaneLinear(
             geom, die * geom.planesPerDie + plane_in_die);
         a.pool = pool;
-        const flash::Ppn ppn = pseudo % pool_pages;
-        a.block = static_cast<std::uint32_t>(ppn / ppb);
-        a.page = static_cast<std::uint32_t>(ppn % ppb);
-        const std::uint64_t bytes =
-            static_cast<std::uint64_t>(unit_count) * sim::kUnitBytes;
+        const flash::Ppn ppn{pseudo % pool_pages};
+        a.block = units::pageToBlock(ppn, ppb).value();
+        a.page = units::pageIndexInBlock(ppn, ppb);
+        const units::Bytes bytes = units::unitsToBytes(unit_count);
         flash::OpResult res = array_.read(a, earliest, bytes);
         if (res.status == flash::OpStatus::Uncorrectable)
             ++uncorrectable;
@@ -262,10 +261,15 @@ Ftl::readUnits(flash::Lpn start, std::uint32_t n, sim::Time earliest)
         flash::PageAddr addr;
         std::uint32_t units = 0;
     };
-    std::unordered_map<std::uint64_t, Group> groups;
+    // The groups are walked below to issue flash reads, so their order
+    // feeds the fault-injector RNG and the request tracer: keep them in
+    // first-touch order and use the hash map for key lookup only.
+    std::vector<Group> groups;
+    std::unordered_map<std::uint64_t, std::size_t> group_index;
     groups.reserve(n);
+    group_index.reserve(n);
 
-    flash::Lpn run_start = 0;
+    flash::Lpn run_start{0};
     std::uint32_t run_len = 0;
     for (std::uint32_t i = 0; i < n; ++i) {
         flash::Lpn lpn = start + i;
@@ -283,25 +287,23 @@ Ftl::readUnits(flash::Lpn start, std::uint32_t n, sim::Time earliest)
         const auto plane = static_cast<std::uint32_t>(e.planeLinear);
         std::uint64_t key = (static_cast<std::uint64_t>(plane) << 40) ^
                             (static_cast<std::uint64_t>(e.pool) << 36) ^
-                            e.ppn;
-        auto [it, fresh] = groups.try_emplace(key);
+                            e.ppn.value();
+        auto [it, fresh] = group_index.try_emplace(key, groups.size());
         if (fresh) {
             flash::PageAddr a = flash::addrFromPlaneLinear(geom, plane);
             a.pool = e.pool;
             const std::uint32_t eppb = geom.poolPagesPerBlock(e.pool);
-            a.block = static_cast<std::uint32_t>(e.ppn / eppb);
-            a.page = static_cast<std::uint32_t>(e.ppn % eppb);
-            it->second.addr = a;
+            a.block = units::pageToBlock(e.ppn, eppb).value();
+            a.page = units::pageIndexInBlock(e.ppn, eppb);
+            groups.push_back(Group{a, 0});
         }
-        ++it->second.units;
+        ++groups[it->second].units;
     }
     if (run_len > 0)
         read_unmapped_run(run_start, run_len);
 
-    for (const auto &[key, g] : groups) {
-        (void)key;
-        std::uint64_t bytes =
-            static_cast<std::uint64_t>(g.units) * sim::kUnitBytes;
+    for (const Group &g : groups) {
+        const units::Bytes bytes = units::unitsToBytes(g.units);
         flash::OpResult res = array_.read(g.addr, earliest, bytes);
         if (res.status == flash::OpStatus::Uncorrectable)
             ++uncorrectable;

@@ -26,7 +26,8 @@ GarbageCollector::pickVictim(const flash::BlockPool &pool) const
     std::int32_t victim = -1;
     double best_score = -1.0;
     for (std::uint32_t b = 0; b < pool.blockCount(); ++b) {
-        if (!pool.blockFull(b))
+        const flash::BlockId bid{b};
+        if (!pool.blockFull(bid))
             continue;
         if (static_cast<std::int32_t>(b) == pool.activeBlock())
             continue;
@@ -34,9 +35,9 @@ GarbageCollector::pickVictim(const flash::BlockPool &pool) const
         // suspect blocks are drained by the scrub path, whose
         // retirement nets no free block (space-driven GC would spin on
         // them).
-        if (pool.blockRetired(b) || pool.blockSuspect(b))
+        if (pool.blockRetired(bid) || pool.blockSuspect(bid))
             continue;
-        std::uint32_t valid = pool.validUnitsInBlock(b);
+        std::uint32_t valid = pool.validUnitsInBlock(bid);
         // Only blocks with at least one page worth of stale units net
         // free space after relocation; collecting anything fuller
         // would spin without progress.
@@ -51,7 +52,7 @@ GarbageCollector::pickVictim(const flash::BlockPool &pool) const
             break;
           case GcVictimPolicy::CostBenefit: {
             double invalid = static_cast<double>(full_valid - valid);
-            double age = static_cast<double>(pool.blockAge(b)) + 1.0;
+            double age = static_cast<double>(pool.blockAge(bid)) + 1.0;
             score = age * invalid /
                     (2.0 * static_cast<double>(valid) + 1.0);
             break;
@@ -75,7 +76,7 @@ GarbageCollector::collectOne(std::uint32_t plane_linear, std::uint32_t pool,
         sim::fatal("GC cannot find a victim block: device is full of "
                    "valid data (raise over-provisioning)");
     }
-    const std::uint32_t vb = static_cast<std::uint32_t>(victim);
+    const flash::BlockId vb{static_cast<std::uint32_t>(victim)};
     const std::uint32_t ppb = bp.pagesPerBlock();
     const std::uint32_t upp = bp.unitsPerPage();
 
@@ -93,11 +94,11 @@ GarbageCollector::collectOne(std::uint32_t plane_linear, std::uint32_t pool,
     std::vector<LiveUnit> live;
     sim::Time t = earliest;
     for (std::uint32_t pg = 0; pg < ppb; ++pg) {
-        flash::Ppn ppn = static_cast<flash::Ppn>(vb) * ppb + pg;
+        flash::Ppn ppn = units::blockFirstPage(vb, ppb) + pg;
         if (bp.validUnitsInPage(ppn) == 0)
             continue;
         flash::PageAddr src = base;
-        src.block = vb;
+        src.block = vb.value();
         src.page = pg;
         t = std::max(t, array_.copybackRead(src, t).done);
         for (std::uint32_t u = 0; u < upp; ++u) {
@@ -145,8 +146,8 @@ GarbageCollector::copybackProgramChecked(flash::BlockPool &bp,
     for (;;) {
         flash::Ppn dst = bp.allocatePage();
         flash::PageAddr dst_addr = base;
-        dst_addr.block = static_cast<std::uint32_t>(dst / ppb);
-        dst_addr.page = static_cast<std::uint32_t>(dst % ppb);
+        dst_addr.block = units::pageToBlock(dst, ppb).value();
+        dst_addr.page = units::pageIndexInBlock(dst, ppb);
         flash::OpResult pr = array_.copybackProgram(dst_addr, t);
         t = std::max(t, pr.done);
         if (pr.status != flash::OpStatus::ProgramFail)
@@ -157,7 +158,7 @@ GarbageCollector::copybackProgramChecked(flash::BlockPool &bp,
         // path, GC does not seal the block: sealing mid-collection
         // would burn the thin free reserve relocation depends on.
         bbm_.noteProgramFailure();
-        bp.markSuspect(dst_addr.block);
+        bp.markSuspect(flash::BlockId{dst_addr.block});
         bbm_.noteRelocatedProgram();
         EMMCSIM_ASSERT(++attempts <= 16,
                        "GC copyback relocation not converging under "
@@ -169,14 +170,14 @@ GarbageCollector::copybackProgramChecked(flash::BlockPool &bp,
 
 sim::Time
 GarbageCollector::reclaimBlock(std::uint32_t plane_linear,
-                               std::uint32_t pool, std::uint32_t b,
+                               std::uint32_t pool, flash::BlockId b,
                                sim::Time earliest)
 {
     auto &bp = array_.plane(plane_linear).pool(pool);
     flash::PageAddr vaddr =
         flash::addrFromPlaneLinear(array_.geometry(), plane_linear);
     vaddr.pool = pool;
-    vaddr.block = b;
+    vaddr.block = b.value();
     vaddr.page = 0;
     flash::OpResult er = array_.erase(vaddr, earliest);
     sim::Time t = std::max(earliest, er.done);
@@ -274,7 +275,8 @@ GarbageCollector::findNeedyPool(double min_invalid,
                 bp.pagesPerBlock() * bp.unitsPerPage());
             const double invalid =
                 full - static_cast<double>(bp.validUnitsInBlock(
-                           static_cast<std::uint32_t>(victim)));
+                           flash::BlockId{
+                               static_cast<std::uint32_t>(victim)}));
             if (invalid / full < min_invalid)
                 continue; // not worth the relocation traffic
             best_free = fr;
@@ -308,7 +310,7 @@ GarbageCollector::idleRound(sim::Time earliest, bool &did_work)
 
 sim::Time
 GarbageCollector::relocateSome(std::uint32_t plane_linear,
-                               std::uint32_t pool, std::uint32_t victim,
+                               std::uint32_t pool, flash::BlockId victim,
                                std::uint32_t max_pages,
                                sim::Time earliest)
 {
@@ -323,14 +325,14 @@ GarbageCollector::relocateSome(std::uint32_t plane_linear,
     sim::Time t = earliest;
     std::uint32_t moved = 0;
     for (std::uint32_t pg = 0; pg < ppb && moved < max_pages; ++pg) {
-        flash::Ppn src_ppn = static_cast<flash::Ppn>(victim) * ppb + pg;
+        flash::Ppn src_ppn = units::blockFirstPage(victim, ppb) + pg;
         if (bp.validUnitsInPage(src_ppn) == 0)
             continue;
         if (!bp.hasFreePage())
             break;
 
         flash::PageAddr src = base;
-        src.block = victim;
+        src.block = victim.value();
         src.page = pg;
         t = std::max(t, array_.copybackRead(src, t).done);
 
@@ -359,7 +361,7 @@ GarbageCollector::relocateSome(std::uint32_t plane_linear,
     }
 
     if (bp.blockFull(victim) && bp.validUnitsInBlock(victim) == 0 &&
-        static_cast<std::int32_t>(victim) != bp.activeBlock()) {
+        static_cast<std::int32_t>(victim.value()) != bp.activeBlock()) {
         t = reclaimBlock(plane_linear, pool, victim, t);
     }
     return t;
@@ -381,13 +383,14 @@ GarbageCollector::scrubStep(sim::Time earliest, bool &did_work)
             if (bp.freePageCount() <= reserve)
                 continue;
             for (std::uint32_t b = 0; b < bp.blockCount(); ++b) {
-                if (!bp.blockSuspect(b))
+                const flash::BlockId bid{b};
+                if (!bp.blockSuspect(bid))
                     continue;
-                if (!bp.blockFull(b) ||
+                if (!bp.blockFull(bid) ||
                     static_cast<std::int32_t>(b) == bp.activeBlock())
                     continue;
                 sim::Time done = relocateSome(
-                    p, k, b, cfg_.idleStepPages, earliest);
+                    p, k, bid, cfg_.idleStepPages, earliest);
                 if (done == earliest)
                     continue;
                 ++stats_.scrubSteps;
@@ -422,9 +425,9 @@ GarbageCollector::idleStep(sim::Time earliest, bool &did_work)
 
     std::int32_t victim = pickVictim(array_.plane(plane).pool(pool));
     EMMCSIM_ASSERT(victim >= 0, "needy pool without victim");
-    sim::Time done =
-        relocateSome(plane, pool, static_cast<std::uint32_t>(victim),
-                     cfg_.idleStepPages, earliest);
+    sim::Time done = relocateSome(
+        plane, pool, flash::BlockId{static_cast<std::uint32_t>(victim)},
+        cfg_.idleStepPages, earliest);
     if (done == earliest)
         return earliest;
     stats_.idleTime += done - earliest;

@@ -166,7 +166,7 @@ class GarbageCollector
      * @return Completion time of the last flash operation.
      */
     sim::Time relocateSome(std::uint32_t plane_linear,
-                           std::uint32_t pool, std::uint32_t victim,
+                           std::uint32_t pool, flash::BlockId victim,
                            std::uint32_t max_pages, sim::Time earliest);
 
     /**
@@ -188,7 +188,7 @@ class GarbageCollector
      * @return Completion time of the erase attempt.
      */
     sim::Time reclaimBlock(std::uint32_t plane_linear, std::uint32_t pool,
-                           std::uint32_t b, sim::Time earliest);
+                           flash::BlockId b, sim::Time earliest);
 
     /**
      * One incremental scrub step: find a full suspect block whose pool

@@ -12,8 +12,9 @@ PageMap::PageMap(std::uint64_t logical_units)
 void
 PageMap::checkRange(flash::Lpn lpn) const
 {
-    EMMCSIM_ASSERT(lpn >= 0 &&
-                       static_cast<std::uint64_t>(lpn) < entries_.size(),
+    EMMCSIM_ASSERT(lpn.value() >= 0 &&
+                       static_cast<std::uint64_t>(lpn.value()) <
+                           entries_.size(),
                    "lpn out of logical range");
 }
 
@@ -21,14 +22,14 @@ bool
 PageMap::mapped(flash::Lpn lpn) const
 {
     checkRange(lpn);
-    return entries_[static_cast<std::size_t>(lpn)].mapped();
+    return entries_[static_cast<std::size_t>(lpn.value())].mapped();
 }
 
 const MapEntry &
 PageMap::lookup(flash::Lpn lpn) const
 {
     checkRange(lpn);
-    return entries_[static_cast<std::size_t>(lpn)];
+    return entries_[static_cast<std::size_t>(lpn.value())];
 }
 
 void
@@ -36,7 +37,7 @@ PageMap::set(flash::Lpn lpn, const MapEntry &e)
 {
     checkRange(lpn);
     EMMCSIM_ASSERT(e.mapped(), "setting unmapped entry; use clear()");
-    auto &slot = entries_[static_cast<std::size_t>(lpn)];
+    auto &slot = entries_[static_cast<std::size_t>(lpn.value())];
     if (!slot.mapped())
         ++mappedCount_;
     slot = e;
@@ -46,7 +47,7 @@ void
 PageMap::clear(flash::Lpn lpn)
 {
     checkRange(lpn);
-    auto &slot = entries_[static_cast<std::size_t>(lpn)];
+    auto &slot = entries_[static_cast<std::size_t>(lpn.value())];
     if (slot.mapped()) {
         --mappedCount_;
         slot = MapEntry{};

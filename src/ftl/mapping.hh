@@ -24,8 +24,8 @@ struct MapEntry
 {
     std::int32_t planeLinear = -1; ///< -1 when unmapped
     std::uint16_t pool = 0;
-    std::uint16_t unit = 0;
-    flash::Ppn ppn = 0;
+    std::uint16_t unit = 0;        ///< 4KB slot within the page
+    flash::Ppn ppn{0};
 
     bool mapped() const { return planeLinear >= 0; }
     bool operator==(const MapEntry &o) const = default;

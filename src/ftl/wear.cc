@@ -21,7 +21,7 @@ computeWear(const flash::FlashArray &array)
             rep.worstSpread =
                 std::max(rep.worstSpread, pool.eraseSpread());
             for (std::uint32_t b = 0; b < pool.blockCount(); ++b) {
-                std::uint32_t e = pool.eraseCount(b);
+                std::uint32_t e = pool.eraseCount(flash::BlockId{b});
                 rep.maxEraseCount = std::max(rep.maxEraseCount, e);
                 rep.minEraseCount = std::min(rep.minEraseCount, e);
                 erase_sum += e;

@@ -32,9 +32,8 @@ instrumentTrace(const trace::Trace &input, const BioTracerConfig &cfg,
         for (std::uint32_t i = 0; i < cfg.flushOps; ++i) {
             trace::TraceRecord flush;
             flush.arrival = r.arrival;
-            flush.lbaSector = static_cast<std::uint64_t>(log_unit) *
-                              sim::kSectorsPerUnit;
-            flush.sizeBytes = cfg.flushOpBytes;
+            flush.lbaSector = units::unitToLba(units::UnitAddr{log_unit});
+            flush.sizeBytes = units::Bytes{cfg.flushOpBytes};
             flush.op = trace::OpType::Write;
             out.push(flush);
             log_unit += static_cast<std::int64_t>(flush_units);

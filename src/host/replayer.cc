@@ -104,8 +104,8 @@ Replayer::replay(const trace::Trace &input, const ReplayOptions &opts)
         req.lbaSector = r.lbaSector;
 
         const std::uint64_t units = req.sizeUnits();
-        std::uint64_t unit =
-            req.lbaSector / sim::kSectorsPerUnit;
+        std::uint64_t unit = static_cast<std::uint64_t>(
+            units::lbaToUnitFloor(req.lbaSector).value());
         if (unit + units > logical_units) {
             if (!opts.wrapAddresses) {
                 sim::fatal("trace addresses device beyond its logical "
@@ -113,7 +113,8 @@ Replayer::replay(const trace::Trace &input, const ReplayOptions &opts)
             }
             unit = unit % (logical_units - units + 1);
         }
-        req.lbaSector = unit * sim::kSectorsPerUnit;
+        req.lbaSector = units::unitToLba(
+            units::UnitAddr{static_cast<std::int64_t>(unit)});
 
         auto submit = [this, req] { device_.submit(req); };
         static_assert(sim::InlineAction::fits<decltype(submit)>(),

@@ -237,8 +237,8 @@ RequestTracer::exportChromeTrace(std::ostream &os) const
         w.field("tid", kRequestTid);
         w.key("args").beginObject();
         w.field("id", s.id);
-        w.field("lba_sector", s.lbaSector);
-        w.field("size_bytes", s.sizeBytes);
+        w.field("lba_sector", s.lbaSector.value());
+        w.field("size_bytes", s.sizeBytes.value());
         w.field("waited", s.waited);
         w.field("packed", s.packed);
         w.field("status", requestStatusName(s.status));

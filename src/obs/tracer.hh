@@ -101,8 +101,8 @@ class RequestTracer
         sim::Time arrival = 0;
         sim::Time serviceStart = 0;
         sim::Time finish = 0;
-        std::uint64_t lbaSector = 0;
-        std::uint64_t sizeBytes = 0;
+        units::Lba lbaSector{0};
+        units::Bytes sizeBytes{0};
         bool write = false;
         bool waited = false;
         bool packed = false;

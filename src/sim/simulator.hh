@@ -83,7 +83,10 @@ class Simulator
     /** Read-only view of the event queue (audit support). */
     const EventQueue &events() const { return events_; }
 
-    /** Hook invoked from the event loop (audit / observability). */
+    /** Hook invoked from the event loop (audit / observability).
+     *  Fires once per @p interval events, never per event, so the
+     *  type-erasure cost stays off the hot path. */
+    // emmclint: allow(event-path-alloc)
     using PostEventHook = std::function<void(const Simulator &)>;
 
     /** Identifies one registered post-event hook. */

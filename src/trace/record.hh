@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "core/units.hh"
 #include "sim/types.hh"
 
 namespace emmcsim::trace {
@@ -27,9 +28,9 @@ struct TraceRecord
     /** Arrival at the block layer, ns from trace start (step 1). */
     sim::Time arrival = 0;
     /** Starting logical block address in 512-byte sectors. */
-    std::uint64_t lbaSector = 0;
+    units::Lba lbaSector{0};
     /** Request size in bytes (4KB-aligned at file-system level). */
-    std::uint64_t sizeBytes = 0;
+    units::Bytes sizeBytes{0};
     /** Read or write. */
     OpType op = OpType::Read;
 
@@ -45,22 +46,21 @@ struct TraceRecord
     std::uint64_t
     sizeUnits() const
     {
-        return (sizeBytes + sim::kUnitBytes - 1) / sim::kUnitBytes;
+        return units::bytesToUnitsCeil(sizeBytes);
     }
 
     /** First 4KB logical unit covered by the request. */
-    std::int64_t
+    units::UnitAddr
     firstUnit() const
     {
-        return static_cast<std::int64_t>(lbaSector /
-                                         sim::kSectorsPerUnit);
+        return units::lbaToUnitFloor(lbaSector);
     }
 
     /** One-past-the-last sector (the successor's address if seq.). */
-    std::uint64_t
+    units::Lba
     endSector() const
     {
-        return lbaSector + sizeBytes / sim::kSectorBytes;
+        return lbaSector + units::bytesToSectors(sizeBytes);
     }
 
     /** Response time; requires replay timestamps. */

@@ -29,19 +29,19 @@ Trace::duration() const
     return end;
 }
 
-std::uint64_t
+units::Bytes
 Trace::totalBytes() const
 {
-    std::uint64_t n = 0;
+    units::Bytes n{0};
     for (const auto &r : records_)
         n += r.sizeBytes;
     return n;
 }
 
-std::uint64_t
+units::Bytes
 Trace::writtenBytes() const
 {
-    std::uint64_t n = 0;
+    units::Bytes n{0};
     for (const auto &r : records_)
         if (r.isWrite())
             n += r.sizeBytes;
@@ -58,10 +58,10 @@ Trace::writeCount() const
     return n;
 }
 
-std::uint64_t
+units::Bytes
 Trace::maxRequestBytes() const
 {
-    std::uint64_t n = 0;
+    units::Bytes n{0};
     for (const auto &r : records_)
         n = std::max(n, r.sizeBytes);
     return n;
@@ -76,13 +76,13 @@ Trace::validate() const
             return "record " + std::to_string(i) + ": negative arrival";
         if (i > 0 && r.arrival < records_[i - 1].arrival)
             return "record " + std::to_string(i) + ": arrival not sorted";
-        if (r.sizeBytes == 0)
+        if (r.sizeBytes.value() == 0)
             return "record " + std::to_string(i) + ": zero size";
-        if (r.sizeBytes % sim::kUnitBytes != 0) {
+        if (!units::isUnitAligned(r.sizeBytes)) {
             return "record " + std::to_string(i) +
                    ": size not 4KB-aligned";
         }
-        if (r.lbaSector % sim::kSectorsPerUnit != 0) {
+        if (!units::isUnitAligned(r.lbaSector)) {
             return "record " + std::to_string(i) +
                    ": lba not 4KB-aligned";
         }

@@ -75,16 +75,16 @@ class Trace
     sim::Time duration() const;
 
     /** Total bytes accessed (reads + writes). */
-    std::uint64_t totalBytes() const;
+    units::Bytes totalBytes() const;
 
     /** Total bytes written. */
-    std::uint64_t writtenBytes() const;
+    units::Bytes writtenBytes() const;
 
     /** Number of write requests. */
     std::uint64_t writeCount() const;
 
     /** Largest request in bytes. */
-    std::uint64_t maxRequestBytes() const;
+    units::Bytes maxRequestBytes() const;
 
     /**
      * Check structural invariants: sorted arrivals, positive 4KB-

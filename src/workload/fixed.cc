@@ -31,9 +31,9 @@ makeFixedStream(const FixedStreamSpec &spec)
         }
         trace::TraceRecord r;
         r.arrival = now;
-        r.lbaSector =
-            static_cast<std::uint64_t>(unit) * sim::kSectorsPerUnit;
-        r.sizeBytes = spec.sizeBytes;
+        r.lbaSector = emmcsim::units::unitToLba(
+            emmcsim::units::UnitAddr{unit});
+        r.sizeBytes = emmcsim::units::Bytes{spec.sizeBytes};
         r.op = spec.write ? trace::OpType::Write : trace::OpType::Read;
         t.push(r);
         now += spec.gap;

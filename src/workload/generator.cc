@@ -141,10 +141,10 @@ TraceGenerator::generate(double scale)
 
         trace::TraceRecord r;
         r.arrival = now;
-        r.lbaSector = static_cast<std::uint64_t>(start) *
-                      sim::kSectorsPerUnit;
-        r.sizeBytes = static_cast<std::uint64_t>(units) *
-                      sim::kUnitBytes;
+        r.lbaSector = emmcsim::units::unitToLba(
+            emmcsim::units::UnitAddr{start});
+        r.sizeBytes = emmcsim::units::unitsToBytes(
+            static_cast<std::uint64_t>(units));
         r.op = write ? trace::OpType::Write : trace::OpType::Read;
         t.push(r);
 

@@ -25,8 +25,9 @@ rec(sim::Time arrival_ms, std::uint64_t unit, std::uint64_t units,
 {
     trace::TraceRecord r;
     r.arrival = sim::milliseconds(arrival_ms);
-    r.lbaSector = unit * sim::kSectorsPerUnit;
-    r.sizeBytes = units * sim::kUnitBytes;
+    r.lbaSector = emmcsim::units::unitToLba(
+        emmcsim::units::UnitAddr{static_cast<std::int64_t>(unit)});
+    r.sizeBytes = emmcsim::units::unitsToBytes(units);
     r.op = write ? trace::OpType::Write : trace::OpType::Read;
     return r;
 }

@@ -60,7 +60,7 @@ class CheckTest : public ::testing::Test
                 return static_cast<flash::Lpn>(u);
         }
         ADD_FAILURE() << "replay left no mapped unit";
-        return 0;
+        return flash::Lpn{0};
     }
 
     sim::Simulator sim_;
@@ -148,7 +148,7 @@ TEST_F(CheckTest, PoolCheckerCatchesDataOnFreeBlock)
 
     std::int32_t free_block = -1;
     for (std::uint32_t b = 0; b < pool.blockCount(); ++b) {
-        if (pool.blockFree(b)) {
+        if (pool.blockFree(flash::BlockId{b})) {
             free_block = static_cast<std::int32_t>(b);
             break;
         }
@@ -158,9 +158,10 @@ TEST_F(CheckTest, PoolCheckerCatchesDataOnFreeBlock)
     // A valid unit on an erased block also sits beyond the write
     // pointer and skews the per-block valid sum: several predicates
     // must trip at once.
-    const flash::Ppn ppn = static_cast<flash::Ppn>(free_block) *
-                           pool.pagesPerBlock();
-    pool.corruptUnitForTest(ppn, 0, /*lpn=*/5, /*valid=*/true);
+    const flash::Ppn ppn = units::blockFirstPage(
+        flash::BlockId{static_cast<std::uint32_t>(free_block)},
+        pool.pagesPerBlock());
+    pool.corruptUnitForTest(ppn, 0, flash::Lpn{5}, /*valid=*/true);
 
     check::CheckContext ctx("test");
     check::checkPoolAccounting(pool, "plane 0 pool 0", ctx);
@@ -211,11 +212,11 @@ TEST(TraceCheckerTest, CatchesUnsortedArrivals)
     trace::Trace t("bad");
     trace::TraceRecord a;
     a.arrival = 100;
-    a.lbaSector = 0;
-    a.sizeBytes = 4096;
+    a.lbaSector = units::Lba{0};
+    a.sizeBytes = units::Bytes{4096};
     trace::TraceRecord b = a;
     b.arrival = 50; // out of order
-    b.lbaSector = 8;
+    b.lbaSector = units::Lba{8};
     // Bypass Trace::push, which would (rightly) refuse this.
     t.records().push_back(a);
     t.records().push_back(b);
@@ -230,8 +231,8 @@ TEST(TraceCheckerTest, CatchesReplayStepInversion)
     trace::Trace t("bad");
     trace::TraceRecord r;
     r.arrival = 0;
-    r.lbaSector = 0;
-    r.sizeBytes = 4096;
+    r.lbaSector = units::Lba{0};
+    r.sizeBytes = units::Bytes{4096};
     r.serviceStart = 10;
     r.finish = 5; // finished before service started
     t.records().push_back(r);
@@ -246,8 +247,8 @@ TEST(TraceCheckerTest, CatchesMisalignedRequest)
     trace::Trace t("bad");
     trace::TraceRecord r;
     r.arrival = 0;
-    r.lbaSector = 3;      // not 4KB-aligned
-    r.sizeBytes = 1024;   // not a 4KB multiple
+    r.lbaSector = units::Lba{3};      // not 4KB-aligned
+    r.sizeBytes = units::Bytes{1024};   // not a 4KB multiple
     t.records().push_back(r);
 
     check::CheckContext ctx("test");

@@ -85,7 +85,7 @@ TEST(Config, HslcExtensionLayout)
     EXPECT_EQ(cfg.geometry.poolPagesPerBlock(kHps4kPool), 512u);
     EXPECT_EQ(cfg.geometry.poolPagesPerBlock(kHps8kPool), 1024u);
     // 50% density loss on the 4KB pool: 32 GB -> 24 GB.
-    EXPECT_EQ(cfg.geometry.capacityBytes(), 24ull << 30);
+    EXPECT_EQ(cfg.geometry.capacityBytes().value(), 24ull << 30);
     // SLC-mode latencies are strictly faster than the MLC 4KB pool.
     auto mlc = makeHpsConfig().timing.pools[kHps4kPool];
     auto slc = cfg.timing.pools[kHps4kPool];

@@ -50,8 +50,9 @@ makeReq(std::uint64_t id, sim::Time arrival, std::uint64_t unit,
     IoRequest r;
     r.id = id;
     r.arrival = arrival;
-    r.lbaSector = unit * sim::kSectorsPerUnit;
-    r.sizeBytes = units * sim::kUnitBytes;
+    r.lbaSector = emmcsim::units::unitToLba(
+        emmcsim::units::UnitAddr{static_cast<std::int64_t>(unit)});
+    r.sizeBytes = emmcsim::units::unitsToBytes(units);
     r.write = write;
     return r;
 }
@@ -327,10 +328,10 @@ TEST(EmmcDeviceDeath, MisalignedRequestPanics)
     sim::Simulator s;
     EmmcDevice dev(s, tinyConfig(), tinyDistributor());
     IoRequest bad = makeReq(0, 0, 0, 1, false);
-    bad.sizeBytes = 1000;
+    bad.sizeBytes = emmcsim::units::Bytes{1000};
     EXPECT_DEATH(dev.submit(bad), "4KB multiple");
     IoRequest bad2 = makeReq(0, 0, 0, 1, false);
-    bad2.lbaSector = 3;
+    bad2.lbaSector = emmcsim::units::Lba{3};
     EXPECT_DEATH(dev.submit(bad2), "4KB-aligned");
 }
 

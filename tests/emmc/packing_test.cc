@@ -17,7 +17,7 @@ req(bool write, std::uint64_t size_bytes = 4096)
 {
     IoRequest r;
     r.write = write;
-    r.sizeBytes = size_bytes;
+    r.sizeBytes = emmcsim::units::Bytes{size_bytes};
     return r;
 }
 
@@ -67,7 +67,7 @@ TEST(WritePacker, RequestCapRespected)
 TEST(WritePacker, ByteCapRespected)
 {
     PackingConfig cfg;
-    cfg.maxBytes = 10 * 4096;
+    cfg.maxBytes = emmcsim::units::Bytes{10 * 4096};
     WritePacker p(cfg);
     std::deque<IoRequest> q(10, req(true, 4 * 4096));
     // 2 requests = 8 units; a third would exceed 10 units.
@@ -77,7 +77,7 @@ TEST(WritePacker, ByteCapRespected)
 TEST(WritePacker, OversizedFirstWriteStillDispatches)
 {
     PackingConfig cfg;
-    cfg.maxBytes = 4096;
+    cfg.maxBytes = emmcsim::units::Bytes{4096};
     WritePacker p(cfg);
     std::deque<IoRequest> q = {req(true, 1 << 20), req(true)};
     EXPECT_EQ(p.packCount(q), 1u);

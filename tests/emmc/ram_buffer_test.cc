@@ -28,12 +28,12 @@ TEST(RamBuffer, WriteThenReadHits)
 {
     RamBuffer b(cfg(16));
     std::vector<UnitRun> ev;
-    b.write(10, 4, ev);
+    b.write(flash::Lpn{10}, 4, ev);
     EXPECT_TRUE(ev.empty());
 
     std::vector<UnitRun> misses;
     std::vector<UnitRun> ev2;
-    EXPECT_EQ(b.read(10, 4, misses, ev2), 4u);
+    EXPECT_EQ(b.read(flash::Lpn{10}, 4, misses, ev2), 4u);
     EXPECT_TRUE(misses.empty());
     EXPECT_DOUBLE_EQ(b.stats().readHitRate(), 1.0);
 }
@@ -43,9 +43,9 @@ TEST(RamBuffer, ColdReadMisses)
     RamBuffer b(cfg(16));
     std::vector<UnitRun> misses;
     std::vector<UnitRun> ev;
-    EXPECT_EQ(b.read(0, 4, misses, ev), 0u);
+    EXPECT_EQ(b.read(flash::Lpn{0}, 4, misses, ev), 0u);
     ASSERT_EQ(misses.size(), 1u);
-    EXPECT_EQ(misses[0].first, 0);
+    EXPECT_EQ(misses[0].first, flash::Lpn{0});
     EXPECT_EQ(misses[0].count, 4u);
 }
 
@@ -54,9 +54,9 @@ TEST(RamBuffer, ReadAllocateMakesReReadHit)
     RamBuffer b(cfg(16));
     std::vector<UnitRun> misses;
     std::vector<UnitRun> ev;
-    b.read(0, 2, misses, ev);
+    b.read(flash::Lpn{0}, 2, misses, ev);
     misses.clear();
-    EXPECT_EQ(b.read(0, 2, misses, ev), 2u);
+    EXPECT_EQ(b.read(flash::Lpn{0}, 2, misses, ev), 2u);
     EXPECT_TRUE(misses.empty());
 }
 
@@ -65,9 +65,9 @@ TEST(RamBuffer, NoReadAllocateKeepsMissing)
     RamBuffer b(cfg(16, false));
     std::vector<UnitRun> misses;
     std::vector<UnitRun> ev;
-    b.read(0, 2, misses, ev);
+    b.read(flash::Lpn{0}, 2, misses, ev);
     misses.clear();
-    EXPECT_EQ(b.read(0, 2, misses, ev), 0u);
+    EXPECT_EQ(b.read(flash::Lpn{0}, 2, misses, ev), 0u);
     EXPECT_EQ(b.residentUnits(), 0u);
 }
 
@@ -75,13 +75,13 @@ TEST(RamBuffer, PartialHitSplitsMissRuns)
 {
     RamBuffer b(cfg(16));
     std::vector<UnitRun> ev;
-    b.write(2, 1, ev); // unit 2 cached
+    b.write(flash::Lpn{2}, 1, ev); // unit 2 cached
     std::vector<UnitRun> misses;
-    b.read(0, 5, misses, ev); // 0,1 miss; 2 hits; 3,4 miss
+    b.read(flash::Lpn{0}, 5, misses, ev); // 0,1 miss; 2 hits; 3,4 miss
     ASSERT_EQ(misses.size(), 2u);
-    EXPECT_EQ(misses[0].first, 0);
+    EXPECT_EQ(misses[0].first, flash::Lpn{0});
     EXPECT_EQ(misses[0].count, 2u);
-    EXPECT_EQ(misses[1].first, 3);
+    EXPECT_EQ(misses[1].first, flash::Lpn{3});
     EXPECT_EQ(misses[1].count, 2u);
 }
 
@@ -89,14 +89,14 @@ TEST(RamBuffer, EvictionIsLru)
 {
     RamBuffer b(cfg(4));
     std::vector<UnitRun> ev;
-    b.write(0, 4, ev); // fills capacity: 0,1,2,3
+    b.write(flash::Lpn{0}, 4, ev); // fills capacity: 0,1,2,3
     EXPECT_TRUE(ev.empty());
     // Touch 0 so 1 becomes LRU.
     std::vector<UnitRun> misses;
-    b.read(0, 1, misses, ev);
-    b.write(100, 1, ev); // evicts unit 1 (dirty)
+    b.read(flash::Lpn{0}, 1, misses, ev);
+    b.write(flash::Lpn{100}, 1, ev); // evicts unit 1 (dirty)
     ASSERT_EQ(ev.size(), 1u);
-    EXPECT_EQ(ev[0].first, 1);
+    EXPECT_EQ(ev[0].first, flash::Lpn{1});
     EXPECT_EQ(ev[0].count, 1u);
 }
 
@@ -104,10 +104,10 @@ TEST(RamBuffer, EvictionCoalescesRuns)
 {
     RamBuffer b(cfg(4));
     std::vector<UnitRun> ev;
-    b.write(0, 4, ev);
-    b.write(100, 4, ev); // evicts 0..3 as one run
+    b.write(flash::Lpn{0}, 4, ev);
+    b.write(flash::Lpn{100}, 4, ev); // evicts 0..3 as one run
     ASSERT_EQ(ev.size(), 1u);
-    EXPECT_EQ(ev[0].first, 0);
+    EXPECT_EQ(ev[0].first, flash::Lpn{0});
     EXPECT_EQ(ev[0].count, 4u);
     EXPECT_EQ(b.stats().evictedDirty, 4u);
 }
@@ -117,8 +117,8 @@ TEST(RamBuffer, CleanEvictionsAreSilent)
     RamBuffer b(cfg(2));
     std::vector<UnitRun> misses;
     std::vector<UnitRun> ev;
-    b.read(0, 2, misses, ev); // 0,1 cached clean
-    b.read(10, 2, misses, ev); // evicts 0,1 clean
+    b.read(flash::Lpn{0}, 2, misses, ev); // 0,1 cached clean
+    b.read(flash::Lpn{10}, 2, misses, ev); // evicts 0,1 clean
     EXPECT_TRUE(ev.empty());
 }
 
@@ -126,8 +126,8 @@ TEST(RamBuffer, OverwriteCountsWriteHit)
 {
     RamBuffer b(cfg(8));
     std::vector<UnitRun> ev;
-    b.write(0, 2, ev);
-    b.write(0, 2, ev);
+    b.write(flash::Lpn{0}, 2, ev);
+    b.write(flash::Lpn{0}, 2, ev);
     EXPECT_EQ(b.stats().writeHits, 2u);
     EXPECT_EQ(b.residentUnits(), 2u);
 }
@@ -137,12 +137,12 @@ TEST(RamBuffer, FlushAllReturnsDirtyOnly)
     RamBuffer b(cfg(8));
     std::vector<UnitRun> misses;
     std::vector<UnitRun> ev;
-    b.write(0, 2, ev);       // dirty 0,1
-    b.read(10, 2, misses, ev); // clean 10,11
+    b.write(flash::Lpn{0}, 2, ev);       // dirty 0,1
+    b.read(flash::Lpn{10}, 2, misses, ev); // clean 10,11
     std::vector<UnitRun> flushed;
     b.flushAll(flushed);
     ASSERT_EQ(flushed.size(), 1u);
-    EXPECT_EQ(flushed[0].first, 0);
+    EXPECT_EQ(flushed[0].first, flash::Lpn{0});
     EXPECT_EQ(flushed[0].count, 2u);
     EXPECT_EQ(b.residentUnits(), 0u);
 }

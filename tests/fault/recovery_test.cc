@@ -97,16 +97,16 @@ struct FaultRig
     sim::Time
     overwriteRound(sim::Time t)
     {
-        for (flash::Lpn lpn = 0; lpn < 8; ++lpn)
+        for (flash::Lpn lpn{0}; lpn.value() < 8; ++lpn)
             t = ftl.writeGroup(0, {lpn}, t).done;
         return t;
     }
 
     /** The first @p live logical units still resolve to their lpn. */
     void
-    expectDataIntact(flash::Lpn live = 8) const
+    expectDataIntact(std::int64_t live = 8) const
     {
-        for (flash::Lpn lpn = 0; lpn < live; ++lpn) {
+        for (flash::Lpn lpn{0}; lpn.value() < live; ++lpn) {
             ASSERT_TRUE(ftl.map().mapped(lpn)) << "lpn " << lpn;
             const MapEntry &e = ftl.map().lookup(lpn);
             const auto &pool =
@@ -140,7 +140,7 @@ TEST(FaultRecovery, ProgramFailureRelocatesWithoutLosingData)
     sim::Time t = rig.overwriteRound(0);
 
     rig.injector.forceProgramFailures(1);
-    const WriteResult res = rig.ftl.writeGroup(0, {0}, t);
+    const WriteResult res = rig.ftl.writeGroup(0, {flash::Lpn{0}}, t);
     EXPECT_TRUE(res.accepted);
     EXPECT_GT(res.done, t);
 
@@ -153,7 +153,7 @@ TEST(FaultRecovery, ProgramFailureRelocatesWithoutLosingData)
     const auto &pool = rig.array.plane(0).pool(0);
     std::uint32_t suspects = 0;
     for (std::uint32_t b = 0; b < pool.blockCount(); ++b)
-        suspects += pool.blockSuspect(b) ? 1 : 0;
+        suspects += pool.blockSuspect(flash::BlockId{b}) ? 1 : 0;
     EXPECT_EQ(suspects, 1u);
 
     rig.expectDataIntact();
@@ -166,10 +166,10 @@ TEST(FaultRecovery, SuspectBlockIsScrubbedAndRetired)
     // Keep the live footprint to one block so the scrub path has free
     // space to drain into even after the suspect block is sealed off.
     sim::Time t = 0;
-    for (flash::Lpn lpn = 0; lpn < 4; ++lpn)
+    for (flash::Lpn lpn{0}; lpn.value() < 4; ++lpn)
         t = rig.ftl.writeGroup(0, {lpn}, t).done;
     rig.injector.forceProgramFailures(1);
-    t = rig.ftl.writeGroup(0, {0}, t).done;
+    t = rig.ftl.writeGroup(0, {flash::Lpn{0}}, t).done;
 
     // Idle GC prioritizes scrubbing: it drains the suspect block's
     // survivors and retires it instead of erasing it.
@@ -180,7 +180,7 @@ TEST(FaultRecovery, SuspectBlockIsScrubbedAndRetired)
     const BadBlockEntry &e = rig.ftl.badBlocks().table().front();
     EXPECT_EQ(e.cause, RetireCause::ProgramFail);
     EXPECT_EQ(rig.array.plane(0).pool(0).retiredBlockCount(), 1u);
-    EXPECT_TRUE(rig.array.plane(0).pool(0).blockRetired(e.block));
+    EXPECT_TRUE(rig.array.plane(0).pool(0).blockRetired(flash::BlockId{e.block}));
     EXPECT_GT(rig.ftl.gcStats().scrubSteps, 0u);
     EXPECT_FALSE(rig.ftl.readOnly()) << "spare budget not exhausted";
 
@@ -228,12 +228,12 @@ TEST(FaultRecovery, SpareExhaustionDegradesToReadOnly)
 
     // Writes now fail with a structured rejection, not a panic.
     const std::uint64_t rejected_before = rig.ftl.stats().rejectedWrites;
-    const WriteResult res = rig.ftl.writeGroup(0, {3}, t);
+    const WriteResult res = rig.ftl.writeGroup(0, {flash::Lpn{3}}, t);
     EXPECT_FALSE(res.accepted);
     EXPECT_GT(rig.ftl.stats().rejectedWrites, rejected_before);
 
     // Reads keep working on the degraded device.
-    const ReadResult rd = rig.ftl.readUnits(0, 8, t);
+    const ReadResult rd = rig.ftl.readUnits(flash::Lpn{0}, 8, t);
     EXPECT_GE(rd.done, t);
     EXPECT_EQ(rd.uncorrectablePages, 0u);
     rig.expectDataIntact();
@@ -246,19 +246,19 @@ TEST(FaultRecovery, UncorrectableReadSurfacesAsStructuredError)
     sim::Time t = rig.overwriteRound(0);
 
     // A clean read first, to compare durations against.
-    const ReadResult clean = rig.ftl.readUnits(0, 1, t);
+    const ReadResult clean = rig.ftl.readUnits(flash::Lpn{0}, 1, t);
     EXPECT_EQ(clean.uncorrectablePages, 0u);
     const sim::Time clean_duration = clean.done - t;
 
     rig.injector.forceReadFailures(1);
-    const ReadResult bad = rig.ftl.readUnits(0, 1, clean.done);
+    const ReadResult bad = rig.ftl.readUnits(flash::Lpn{0}, 1, clean.done);
     EXPECT_EQ(bad.uncorrectablePages, 1u);
     EXPECT_EQ(rig.ftl.stats().uncorrectableReads, 1u);
     // The full retry ladder was charged before giving up.
     EXPECT_GT(bad.done - clean.done, clean_duration);
 
     // The mapping is untouched: the next read succeeds.
-    const ReadResult again = rig.ftl.readUnits(0, 1, bad.done);
+    const ReadResult again = rig.ftl.readUnits(flash::Lpn{0}, 1, bad.done);
     EXPECT_EQ(again.uncorrectablePages, 0u);
     rig.expectInvariantsClean();
 }
@@ -275,16 +275,16 @@ writeReadTrace(std::uint32_t units, sim::Time gap)
         trace::TraceRecord r;
         r.arrival = now;
         r.op = trace::OpType::Write;
-        r.lbaSector = i * sim::kSectorsPerUnit;
-        r.sizeBytes = sim::kUnitBytes;
+        r.lbaSector = units::unitToLba(units::UnitAddr{i});
+        r.sizeBytes = units::Bytes{sim::kUnitBytes};
         t.push(r);
     }
     for (std::uint32_t i = 0; i < units; ++i, now += gap) {
         trace::TraceRecord r;
         r.arrival = now;
         r.op = trace::OpType::Read;
-        r.lbaSector = i * sim::kSectorsPerUnit;
-        r.sizeBytes = sim::kUnitBytes;
+        r.lbaSector = units::unitToLba(units::UnitAddr{i});
+        r.sizeBytes = units::Bytes{sim::kUnitBytes};
         t.push(r);
     }
     return t;
@@ -372,8 +372,8 @@ TEST(FaultRecoveryDevice, WriteRejectionSurfacesOnDegradedDevice)
             trace::TraceRecord r;
             r.arrival = now;
             r.op = trace::OpType::Write;
-            r.lbaSector = lpn * sim::kSectorsPerUnit;
-            r.sizeBytes = sim::kUnitBytes;
+            r.lbaSector = units::unitToLba(units::UnitAddr{lpn});
+            r.sizeBytes = units::Bytes{sim::kUnitBytes};
             t.push(r);
         }
     }

@@ -71,7 +71,7 @@ TEST(FlashArrayTiming, PartialTransferShortensRead)
 
     OpResult full = arr.read(addrAtPlane(g, 0), 0);
     FlashArray arr2(g, t, true);
-    OpResult half = arr2.read(addrAtPlane(g, 0), 0, 4096);
+    OpResult half = arr2.read(addrAtPlane(g, 0), 0, emmcsim::units::Bytes{4096});
     EXPECT_LT(half.done, full.done);
     EXPECT_EQ(full.done - half.done, t.transferTime(4096));
 }
@@ -81,9 +81,9 @@ TEST(FlashArrayTiming, TransferClampedToPageSize)
     Geometry g = geom2x2();
     Timing t = timing4k();
     FlashArray arr(g, t, true);
-    OpResult a = arr.read(addrAtPlane(g, 0), 0, 1 << 20);
+    OpResult a = arr.read(addrAtPlane(g, 0), 0, emmcsim::units::Bytes{1 << 20});
     FlashArray arr2(g, t, true);
-    OpResult b = arr2.read(addrAtPlane(g, 0), 0, 4096);
+    OpResult b = arr2.read(addrAtPlane(g, 0), 0, emmcsim::units::Bytes{4096});
     EXPECT_EQ(a.done, b.done);
 }
 

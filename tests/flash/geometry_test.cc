@@ -46,7 +46,7 @@ TEST(Geometry, CapacitySinglePool)
 {
     Geometry g = smallGeom();
     // 8 planes * 8 blocks * 16 pages * 4KB
-    EXPECT_EQ(g.capacityBytes(), 8ull * 8 * 16 * 4096);
+    EXPECT_EQ(g.capacityBytes().value(), 8ull * 8 * 16 * 4096);
     EXPECT_EQ(g.capacityUnits(), 8ull * 8 * 16);
 }
 
@@ -55,15 +55,15 @@ TEST(Geometry, CapacityMultiPool)
     Geometry g = smallGeom();
     g.pools = {PoolConfig{4096, 8}, PoolConfig{8192, 4}};
     // per plane: 8*16*4KB + 4*16*8KB = 512KB + 512KB
-    EXPECT_EQ(g.capacityBytes(), 8ull * (512 + 512) * 1024);
+    EXPECT_EQ(g.capacityBytes().value(), 8ull * (512 + 512) * 1024);
 }
 
 TEST(Geometry, BlockBytes)
 {
     Geometry g = smallGeom();
     g.pools = {PoolConfig{4096, 8}, PoolConfig{8192, 4}};
-    EXPECT_EQ(g.blockBytes(0), 16ull * 4096);
-    EXPECT_EQ(g.blockBytes(1), 16ull * 8192);
+    EXPECT_EQ(g.blockBytes(0).value(), 16ull * 4096);
+    EXPECT_EQ(g.blockBytes(1).value(), 16ull * 8192);
 }
 
 TEST(Geometry, Table5CapacitiesAreAll32GB)
@@ -73,9 +73,9 @@ TEST(Geometry, Table5CapacitiesAreAll32GB)
     auto g8 = emmc::make8psConfig().geometry;
     auto gh = emmc::makeHpsConfig().geometry;
     const std::uint64_t gib32 = 32ull << 30;
-    EXPECT_EQ(g4.capacityBytes(), gib32);
-    EXPECT_EQ(g8.capacityBytes(), gib32);
-    EXPECT_EQ(gh.capacityBytes(), gib32);
+    EXPECT_EQ(g4.capacityBytes().value(), gib32);
+    EXPECT_EQ(g8.capacityBytes().value(), gib32);
+    EXPECT_EQ(gh.capacityBytes().value(), gib32);
 }
 
 TEST(Geometry, Table5Hierarchy)

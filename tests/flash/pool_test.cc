@@ -46,7 +46,7 @@ TEST(BlockPool, AllocateOpensNewBlockWhenFull)
     for (int i = 0; i < 4; ++i)
         p.allocatePage();
     std::int32_t first = p.activeBlock();
-    EXPECT_TRUE(p.blockFull(static_cast<std::uint32_t>(first)));
+    EXPECT_TRUE(p.blockFull(BlockId{static_cast<std::uint32_t>(first)}));
     p.allocatePage();
     EXPECT_NE(p.activeBlock(), first);
     EXPECT_EQ(p.freeBlockCount(), 0u);
@@ -56,9 +56,9 @@ TEST(BlockPool, SetAndInvalidateUnit)
 {
     BlockPool p = makePool();
     Ppn ppn = p.allocatePage();
-    p.setUnit(ppn, 0, 77);
+    p.setUnit(ppn, 0, Lpn{77});
     EXPECT_TRUE(p.unitValid(ppn, 0));
-    EXPECT_EQ(p.lpnAt(ppn, 0), 77);
+    EXPECT_EQ(p.lpnAt(ppn, 0), Lpn{77});
     EXPECT_EQ(p.validUnitsInPage(ppn), 1u);
     EXPECT_EQ(p.validUnitCount(), 1u);
 
@@ -67,7 +67,7 @@ TEST(BlockPool, SetAndInvalidateUnit)
     EXPECT_EQ(p.validUnitsInPage(ppn), 0u);
     EXPECT_EQ(p.validUnitCount(), 0u);
     // The lpn record remains until erase (useful for debugging).
-    EXPECT_EQ(p.lpnAt(ppn, 0), 77);
+    EXPECT_EQ(p.lpnAt(ppn, 0), Lpn{77});
 }
 
 TEST(BlockPool, MultiUnitPageTracksUnitsIndependently)
@@ -75,13 +75,13 @@ TEST(BlockPool, MultiUnitPageTracksUnitsIndependently)
     BlockPool p = makePool(8192); // 2 units per page
     EXPECT_EQ(p.unitsPerPage(), 2u);
     Ppn ppn = p.allocatePage();
-    p.setUnit(ppn, 0, 10);
-    p.setUnit(ppn, 1, 11);
+    p.setUnit(ppn, 0, Lpn{10});
+    p.setUnit(ppn, 1, Lpn{11});
     EXPECT_EQ(p.validUnitsInPage(ppn), 2u);
     p.invalidateUnit(ppn, 0);
     EXPECT_FALSE(p.unitValid(ppn, 0));
     EXPECT_TRUE(p.unitValid(ppn, 1));
-    EXPECT_EQ(p.lpnAt(ppn, 1), 11);
+    EXPECT_EQ(p.lpnAt(ppn, 1), Lpn{11});
     EXPECT_EQ(p.validUnitsInPage(ppn), 1u);
 }
 
@@ -90,11 +90,11 @@ TEST(BlockPool, BlockValidCounts)
     BlockPool p = makePool(4096, 2, 4);
     for (int i = 0; i < 4; ++i) {
         Ppn ppn = p.allocatePage();
-        p.setUnit(ppn, 0, i);
+        p.setUnit(ppn, 0, Lpn{i});
     }
-    EXPECT_EQ(p.validUnitsInBlock(0), 4u);
-    p.invalidateUnit(1, 0);
-    EXPECT_EQ(p.validUnitsInBlock(0), 3u);
+    EXPECT_EQ(p.validUnitsInBlock(BlockId{0}), 4u);
+    p.invalidateUnit(Ppn{1}, 0);
+    EXPECT_EQ(p.validUnitsInBlock(BlockId{0}), 3u);
 }
 
 TEST(BlockPool, EraseResetsBlock)
@@ -102,18 +102,18 @@ TEST(BlockPool, EraseResetsBlock)
     BlockPool p = makePool(4096, 2, 4);
     for (int i = 0; i < 4; ++i) {
         Ppn ppn = p.allocatePage();
-        p.setUnit(ppn, 0, i);
+        p.setUnit(ppn, 0, Lpn{i});
     }
     for (int i = 0; i < 4; ++i)
-        p.invalidateUnit(static_cast<Ppn>(i), 0);
+        p.invalidateUnit(Ppn{static_cast<std::uint64_t>(i)}, 0);
     // Open the other block so block 0 is not active.
     p.allocatePage();
-    p.eraseBlock(0);
+    p.eraseBlock(BlockId{0});
 
-    EXPECT_EQ(p.eraseCount(0), 1u);
+    EXPECT_EQ(p.eraseCount(BlockId{0}), 1u);
     EXPECT_EQ(p.totalErases(), 1u);
-    EXPECT_EQ(p.writtenPages(0), 0u);
-    EXPECT_EQ(p.lpnAt(0, 0), kNoLpn);
+    EXPECT_EQ(p.writtenPages(BlockId{0}), 0u);
+    EXPECT_EQ(p.lpnAt(Ppn{0}, 0), kNoLpn);
     EXPECT_EQ(p.freeBlockCount(), 1u);
 }
 
@@ -124,20 +124,17 @@ TEST(BlockPool, WearLevelingPicksLeastErasedFreeBlock)
     // a higher erase count than the untouched blocks.
     Ppn a0 = p.allocatePage();
     p.allocatePage();
-    std::uint32_t block_a =
-        static_cast<std::uint32_t>(a0 / p.pagesPerBlock());
+    BlockId block_a = emmcsim::units::pageToBlock(a0, p.pagesPerBlock());
     // Move active to a new block.
     Ppn b0 = p.allocatePage();
-    std::uint32_t block_b =
-        static_cast<std::uint32_t>(b0 / p.pagesPerBlock());
+    BlockId block_b = emmcsim::units::pageToBlock(b0, p.pagesPerBlock());
     EXPECT_NE(block_a, block_b);
     p.eraseBlock(block_a);
     // Fill block B and the rest of current blocks to force new opens.
     p.allocatePage(); // fills block B (2 pages/block)
     // Next allocate must open the least-erased free block, not A.
     Ppn c0 = p.allocatePage();
-    std::uint32_t block_c =
-        static_cast<std::uint32_t>(c0 / p.pagesPerBlock());
+    BlockId block_c = emmcsim::units::pageToBlock(c0, p.pagesPerBlock());
     EXPECT_NE(block_c, block_a);
     EXPECT_EQ(p.eraseCount(block_c), 0u);
 }
@@ -147,7 +144,7 @@ TEST(BlockPool, EraseSpread)
     BlockPool p = makePool(4096, 2, 1);
     p.allocatePage();           // block X active, full
     p.allocatePage();           // block Y active, full
-    p.eraseBlock(0);            // whichever; spread becomes 1
+    p.eraseBlock(BlockId{0});   // whichever; spread becomes 1
     EXPECT_EQ(p.eraseSpread(), 1u);
 }
 
@@ -164,8 +161,8 @@ TEST(BlockPoolDeath, SetUnitTwicePanics)
 {
     BlockPool p = makePool();
     Ppn ppn = p.allocatePage();
-    p.setUnit(ppn, 0, 1);
-    EXPECT_DEATH(p.setUnit(ppn, 0, 2), "already-valid");
+    p.setUnit(ppn, 0, Lpn{1});
+    EXPECT_DEATH(p.setUnit(ppn, 0, Lpn{2}), "already-valid");
 }
 
 TEST(BlockPoolDeath, InvalidateStaleUnitPanics)
@@ -179,11 +176,12 @@ TEST(BlockPoolDeath, EraseWithLiveUnitsPanics)
 {
     BlockPool p = makePool(4096, 2, 1);
     Ppn ppn = p.allocatePage(); // block full (1 page per block)
-    p.setUnit(ppn, 0, 5);
+    p.setUnit(ppn, 0, Lpn{5});
     p.allocatePage(); // move active elsewhere
-    EXPECT_DEATH(p.eraseBlock(static_cast<std::uint32_t>(
-                     ppn / p.pagesPerBlock())),
-                 "live units");
+    EXPECT_DEATH(
+        p.eraseBlock(emmcsim::units::pageToBlock(ppn,
+                                                 p.pagesPerBlock())),
+        "live units");
 }
 
 TEST(BlockPoolDeath, EraseActiveBlockPanics)
@@ -191,7 +189,8 @@ TEST(BlockPoolDeath, EraseActiveBlockPanics)
     BlockPool p = makePool();
     p.allocatePage();
     EXPECT_DEATH(
-        p.eraseBlock(static_cast<std::uint32_t>(p.activeBlock())),
+        p.eraseBlock(BlockId{
+            static_cast<std::uint32_t>(p.activeBlock())}),
         "active");
 }
 
@@ -216,7 +215,7 @@ TEST_P(BlockPoolPageSize, ConservationUnderChurn)
     const std::uint32_t upp = p.unitsPerPage();
     const std::uint64_t total_pages = p.pageCount();
 
-    Lpn next_lpn = 0;
+    Lpn next_lpn{0};
     std::vector<std::pair<Ppn, std::uint32_t>> live; // (ppn, unit)
 
     for (int round = 0; round < 5; ++round) {
@@ -233,15 +232,16 @@ TEST_P(BlockPoolPageSize, ConservationUnderChurn)
             p.invalidateUnit(ppn, u);
         live.clear();
         for (std::uint32_t b = 0; b < p.blockCount(); ++b) {
-            if (p.blockFull(b) && p.validUnitsInBlock(b) == 0 &&
+            const BlockId bid{b};
+            if (p.blockFull(bid) && p.validUnitsInBlock(bid) == 0 &&
                 static_cast<std::int32_t>(b) != p.activeBlock()) {
-                p.eraseBlock(b);
+                p.eraseBlock(bid);
             }
         }
         // Invariant: free + written pages == total pages.
         std::uint64_t written = 0;
         for (std::uint32_t b = 0; b < p.blockCount(); ++b)
-            written += p.writtenPages(b);
+            written += p.writtenPages(BlockId{b});
         EXPECT_EQ(written + p.freePageCount(), total_pages);
         EXPECT_EQ(p.validUnitCount(), 0u);
     }

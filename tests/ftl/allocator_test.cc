@@ -10,34 +10,35 @@
 #include "ftl/allocator.hh"
 
 using namespace emmcsim::ftl;
+using emmcsim::flash::Lpn;
 
 TEST(PlaneAllocator, RoundRobinCycles)
 {
     PlaneAllocator a(AllocPolicy::RoundRobin, 4, 1);
-    EXPECT_EQ(a.nextPlane(0, 100), 0u);
-    EXPECT_EQ(a.nextPlane(0, 100), 1u);
-    EXPECT_EQ(a.nextPlane(0, 100), 2u);
-    EXPECT_EQ(a.nextPlane(0, 100), 3u);
-    EXPECT_EQ(a.nextPlane(0, 100), 0u);
+    EXPECT_EQ(a.nextPlane(0, Lpn{100}), 0u);
+    EXPECT_EQ(a.nextPlane(0, Lpn{100}), 1u);
+    EXPECT_EQ(a.nextPlane(0, Lpn{100}), 2u);
+    EXPECT_EQ(a.nextPlane(0, Lpn{100}), 3u);
+    EXPECT_EQ(a.nextPlane(0, Lpn{100}), 0u);
 }
 
 TEST(PlaneAllocator, RoundRobinPerPoolCursors)
 {
     PlaneAllocator a(AllocPolicy::RoundRobin, 4, 2);
-    EXPECT_EQ(a.nextPlane(0, 0), 0u);
-    EXPECT_EQ(a.nextPlane(1, 0), 0u); // independent cursor
-    EXPECT_EQ(a.nextPlane(0, 0), 1u);
-    EXPECT_EQ(a.nextPlane(1, 0), 1u);
+    EXPECT_EQ(a.nextPlane(0, Lpn{0}), 0u);
+    EXPECT_EQ(a.nextPlane(1, Lpn{0}), 0u); // independent cursor
+    EXPECT_EQ(a.nextPlane(0, Lpn{0}), 1u);
+    EXPECT_EQ(a.nextPlane(1, Lpn{0}), 1u);
 }
 
 TEST(PlaneAllocator, StaticLpnIsDeterministic)
 {
     PlaneAllocator a(AllocPolicy::StaticLpn, 8, 1);
     for (int rep = 0; rep < 3; ++rep) {
-        EXPECT_EQ(a.nextPlane(0, 0), 0u);
-        EXPECT_EQ(a.nextPlane(0, 5), 5u);
-        EXPECT_EQ(a.nextPlane(0, 8), 0u);
-        EXPECT_EQ(a.nextPlane(0, 13), 5u);
+        EXPECT_EQ(a.nextPlane(0, Lpn{0}), 0u);
+        EXPECT_EQ(a.nextPlane(0, Lpn{5}), 5u);
+        EXPECT_EQ(a.nextPlane(0, Lpn{8}), 0u);
+        EXPECT_EQ(a.nextPlane(0, Lpn{13}), 5u);
     }
 }
 
@@ -45,7 +46,7 @@ TEST(PlaneAllocator, StaticLpnStripesSequentialLpns)
 {
     PlaneAllocator a(AllocPolicy::StaticLpn, 4, 1);
     for (std::int64_t lpn = 0; lpn < 16; ++lpn) {
-        EXPECT_EQ(a.nextPlane(0, lpn),
+        EXPECT_EQ(a.nextPlane(0, Lpn{lpn}),
                   static_cast<std::uint32_t>(lpn % 4));
     }
 }
@@ -53,7 +54,7 @@ TEST(PlaneAllocator, StaticLpnStripesSequentialLpns)
 TEST(PlaneAllocatorDeath, PoolOutOfRange)
 {
     PlaneAllocator a(AllocPolicy::RoundRobin, 2, 1);
-    EXPECT_DEATH(a.nextPlane(1, 0), "pool out of range");
+    EXPECT_DEATH(a.nextPlane(1, Lpn{0}), "pool out of range");
 }
 
 TEST(PlaneAllocator, RoundRobinInterleavesDies)
@@ -61,16 +62,16 @@ TEST(PlaneAllocator, RoundRobinInterleavesDies)
     // 8 planes over 4 dies (2 planes each): consecutive allocations
     // must land on 4 distinct dies before reusing one.
     PlaneAllocator a(AllocPolicy::RoundRobin, 8, 1, 4);
-    std::uint32_t p0 = a.nextPlane(0, 0);
-    std::uint32_t p1 = a.nextPlane(0, 0);
-    std::uint32_t p2 = a.nextPlane(0, 0);
-    std::uint32_t p3 = a.nextPlane(0, 0);
+    std::uint32_t p0 = a.nextPlane(0, Lpn{0});
+    std::uint32_t p1 = a.nextPlane(0, Lpn{0});
+    std::uint32_t p2 = a.nextPlane(0, Lpn{0});
+    std::uint32_t p3 = a.nextPlane(0, Lpn{0});
     EXPECT_NE(p0 / 2, p1 / 2);
     EXPECT_NE(p1 / 2, p2 / 2);
     EXPECT_NE(p2 / 2, p3 / 2);
     // A full cycle covers all 8 planes exactly once.
     std::set<std::uint32_t> seen = {p0, p1, p2, p3};
     for (int i = 0; i < 4; ++i)
-        seen.insert(a.nextPlane(0, 0));
+        seen.insert(a.nextPlane(0, Lpn{0}));
     EXPECT_EQ(seen.size(), 8u);
 }

@@ -17,10 +17,11 @@ using namespace emmcsim::ftl;
 namespace {
 
 std::vector<PageGroup>
-split(const RequestDistributor &d, flash::Lpn first, std::uint32_t n)
+split(const RequestDistributor &d, std::int64_t first,
+      std::uint32_t n)
 {
     std::vector<PageGroup> out;
-    d.splitWrite(first, n, out);
+    d.splitWrite(flash::Lpn{first}, n, out);
     return out;
 }
 
@@ -36,15 +37,15 @@ totalUnits(const std::vector<PageGroup> &groups)
 
 /** Check the groups cover exactly [first, first+n) in order. */
 void
-expectCovers(const std::vector<PageGroup> &groups, flash::Lpn first,
+expectCovers(const std::vector<PageGroup> &groups, std::int64_t first,
              std::uint32_t n)
 {
-    flash::Lpn expect = first;
+    flash::Lpn expect{first};
     for (const auto &g : groups) {
         for (flash::Lpn lpn : g.lpns)
             EXPECT_EQ(lpn, expect++);
     }
-    EXPECT_EQ(expect, first + n);
+    EXPECT_EQ(expect, flash::Lpn{first} + n);
 }
 
 } // namespace
@@ -101,7 +102,7 @@ TEST(HpsDistributor, SingleUnitGoesTo4kPool)
     auto groups = split(d, 42, 1);
     ASSERT_EQ(groups.size(), 1u);
     EXPECT_EQ(groups[0].pool, 0u);
-    EXPECT_EQ(groups[0].lpns, (std::vector<flash::Lpn>{42}));
+    EXPECT_EQ(groups[0].lpns, (std::vector<flash::Lpn>{flash::Lpn{42}}));
 }
 
 TEST(HpsDistributor, EvenRequestUsesOnly8kPool)

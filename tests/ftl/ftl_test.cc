@@ -12,6 +12,13 @@
 using namespace emmcsim;
 using namespace emmcsim::ftl;
 
+/** Shorthand: a typed logical unit number from a literal. */
+constexpr flash::Lpn
+L(std::int64_t v)
+{
+    return flash::Lpn{v};
+}
+
 namespace {
 
 flash::Geometry
@@ -77,10 +84,10 @@ TEST(Ftl, LogicalUnitsRespectOverProvisioning)
 TEST(Ftl, WriteThenReadMapsUnits)
 {
     FtlUnderTest t;
-    sim::Time w = t.ftl.writeGroup(0, {5}, 0).done;
+    sim::Time w = t.ftl.writeGroup(0, {L(5)}, 0).done;
     EXPECT_GT(w, 0);
-    EXPECT_TRUE(t.ftl.map().mapped(5));
-    sim::Time r = t.ftl.readUnits(5, 1, w).done;
+    EXPECT_TRUE(t.ftl.map().mapped(L(5)));
+    sim::Time r = t.ftl.readUnits(L(5), 1, w).done;
     EXPECT_GT(r, w);
     EXPECT_EQ(t.ftl.stats().hostUnitsWritten, 1u);
     EXPECT_EQ(t.ftl.stats().hostUnitsRead, 1u);
@@ -89,10 +96,10 @@ TEST(Ftl, WriteThenReadMapsUnits)
 TEST(Ftl, OverwriteInvalidatesOldLocation)
 {
     FtlUnderTest t;
-    t.ftl.writeGroup(0, {5}, 0);
-    MapEntry old = t.ftl.map().lookup(5);
-    t.ftl.writeGroup(0, {5}, 0);
-    MapEntry cur = t.ftl.map().lookup(5);
+    t.ftl.writeGroup(0, {L(5)}, 0);
+    MapEntry old = t.ftl.map().lookup(L(5));
+    t.ftl.writeGroup(0, {L(5)}, 0);
+    MapEntry cur = t.ftl.map().lookup(L(5));
     EXPECT_NE(old, cur);
     auto &pool = t.array
                      .plane(static_cast<std::uint32_t>(old.planeLinear))
@@ -103,9 +110,9 @@ TEST(Ftl, OverwriteInvalidatesOldLocation)
 TEST(Ftl, MultiUnitPageSharesPhysicalPage)
 {
     FtlUnderTest t({{8192, 4}});
-    t.ftl.writeGroup(0, {10, 11}, 0);
-    const MapEntry &a = t.ftl.map().lookup(10);
-    const MapEntry &b = t.ftl.map().lookup(11);
+    t.ftl.writeGroup(0, {L(10), L(11)}, 0);
+    const MapEntry &a = t.ftl.map().lookup(L(10));
+    const MapEntry &b = t.ftl.map().lookup(L(11));
     EXPECT_EQ(a.ppn, b.ppn);
     EXPECT_EQ(a.planeLinear, b.planeLinear);
     EXPECT_NE(a.unit, b.unit);
@@ -114,26 +121,52 @@ TEST(Ftl, MultiUnitPageSharesPhysicalPage)
 TEST(Ftl, ReadGroupsUnitsOfSamePage)
 {
     FtlUnderTest t({{8192, 4}});
-    t.ftl.writeGroup(0, {10, 11}, 0);
+    t.ftl.writeGroup(0, {L(10), L(11)}, 0);
     auto before = t.ftl.stats().hostReadOps;
-    t.ftl.readUnits(10, 2, 0);
+    t.ftl.readUnits(L(10), 2, 0);
     EXPECT_EQ(t.ftl.stats().hostReadOps, before + 1);
 }
 
 TEST(Ftl, ReadSplitAcrossPagesIssuesMultipleOps)
 {
     FtlUnderTest t;
-    t.ftl.writeGroup(0, {10}, 0);
-    t.ftl.writeGroup(0, {11}, 0);
+    t.ftl.writeGroup(0, {L(10)}, 0);
+    t.ftl.writeGroup(0, {L(11)}, 0);
     auto before = t.ftl.stats().hostReadOps;
-    t.ftl.readUnits(10, 2, 0);
+    t.ftl.readUnits(L(10), 2, 0);
     EXPECT_EQ(t.ftl.stats().hostReadOps, before + 2);
+}
+
+TEST(Ftl, FragmentedReadCompletionIsOrderStable)
+{
+    // Regression pin for the read-grouping determinism fix: grouped
+    // reads must issue in first-touch (logical) order. The grouping
+    // container used to be iterated in std::unordered_map hash
+    // order, which is unspecified — a different standard library
+    // could legally issue the same groups in another order and shift
+    // completion times, breaking cross-platform golden replays
+    // (ReplayGolden.TwitterHpsByteIdentical pins the end-to-end
+    // consequence; this test pins the mechanism in isolation).
+    // Interleave single-unit writes so consecutive lpns land on
+    // alternating planes: readUnits(0, 6) then needs six distinct
+    // groups spread over both planes.
+    auto run = [] {
+        FtlUnderTest t;
+        for (std::int64_t u : {0, 2, 4, 1, 3, 5})
+            t.ftl.writeGroup(0, {L(u)}, 0);
+        const sim::Time done = t.ftl.readUnits(L(0), 6, 0).done;
+        EXPECT_EQ(t.ftl.stats().hostReadOps, 6u);
+        return done;
+    };
+    // Two identically-built devices, identical sequence: the grouped
+    // read must complete at the identical instant.
+    EXPECT_EQ(run(), run());
 }
 
 TEST(Ftl, UnmappedReadStillCostsTime)
 {
     FtlUnderTest t;
-    sim::Time r = t.ftl.readUnits(0, 4, 0).done;
+    sim::Time r = t.ftl.readUnits(L(0), 4, 0).done;
     EXPECT_GT(r, 0);
     EXPECT_EQ(t.ftl.stats().hostReadOps, 4u);
 }
@@ -145,24 +178,24 @@ TEST(Ftl, UnmappedReadUsesPseudoDistributorSplit)
     FtlUnderTest t({{4096, 4}, {8192, 4}});
     core::HpsDistributor dist(0, 1);
     t.ftl.setPseudoReadDistributor(&dist);
-    t.ftl.readUnits(0, 4, 0);
+    t.ftl.readUnits(L(0), 4, 0);
     EXPECT_EQ(t.ftl.stats().hostReadOps, 2u);
 }
 
 TEST(Ftl, ZeroUnitReadIsFree)
 {
     FtlUnderTest t;
-    EXPECT_EQ(t.ftl.readUnits(0, 0, 77).done, 77);
+    EXPECT_EQ(t.ftl.readUnits(L(0), 0, 77).done, 77);
     EXPECT_EQ(t.ftl.stats().hostReadOps, 0u);
 }
 
 TEST(Ftl, TrimDropsMappingAndInvalidates)
 {
     FtlUnderTest t;
-    t.ftl.writeGroup(0, {3}, 0);
-    MapEntry e = t.ftl.map().lookup(3);
-    t.ftl.trim(3, 1);
-    EXPECT_FALSE(t.ftl.map().mapped(3));
+    t.ftl.writeGroup(0, {L(3)}, 0);
+    MapEntry e = t.ftl.map().lookup(L(3));
+    t.ftl.trim(L(3), 1);
+    EXPECT_FALSE(t.ftl.map().mapped(L(3)));
     auto &pool =
         t.array.plane(static_cast<std::uint32_t>(e.planeLinear))
             .pool(e.pool);
@@ -172,51 +205,51 @@ TEST(Ftl, TrimDropsMappingAndInvalidates)
 TEST(Ftl, TrimUnmappedIsNoop)
 {
     FtlUnderTest t;
-    t.ftl.trim(0, 8);
+    t.ftl.trim(L(0), 8);
     EXPECT_EQ(t.ftl.map().mappedCount(), 0u);
 }
 
 TEST(Ftl, SpaceAccountingChargesFullPage)
 {
     FtlUnderTest t({{4096, 4}, {8192, 4}});
-    t.ftl.writeGroup(1, {0}, 0); // one unit into an 8KB page
+    t.ftl.writeGroup(1, {L(0)}, 0); // one unit into an 8KB page
     EXPECT_EQ(t.ftl.stats().hostUnitsWritten, 1u);
     EXPECT_EQ(t.ftl.stats().hostBytesConsumed, 8192u);
-    t.ftl.writeGroup(0, {1}, 0); // one unit into a 4KB page
+    t.ftl.writeGroup(0, {L(1)}, 0); // one unit into a 4KB page
     EXPECT_EQ(t.ftl.stats().hostBytesConsumed, 8192u + 4096u);
 }
 
 TEST(Ftl, RoundRobinSpreadsPlanes)
 {
     FtlUnderTest t;
-    t.ftl.writeGroup(0, {0}, 0);
-    t.ftl.writeGroup(0, {1}, 0);
-    EXPECT_NE(t.ftl.map().lookup(0).planeLinear,
-              t.ftl.map().lookup(1).planeLinear);
+    t.ftl.writeGroup(0, {L(0)}, 0);
+    t.ftl.writeGroup(0, {L(1)}, 0);
+    EXPECT_NE(t.ftl.map().lookup(L(0)).planeLinear,
+              t.ftl.map().lookup(L(1)).planeLinear);
 }
 
 TEST(Ftl, InstallGroupIsStateOnly)
 {
     FtlUnderTest t;
-    t.ftl.installGroup(0, {7});
-    EXPECT_TRUE(t.ftl.map().mapped(7));
+    t.ftl.installGroup(0, {L(7)});
+    EXPECT_TRUE(t.ftl.map().mapped(L(7)));
     EXPECT_EQ(t.array.totalStats().programs, 0u);
     EXPECT_EQ(t.ftl.stats().hostUnitsWritten, 0u);
     // A later read of the installed unit is a normal mapped read.
-    t.ftl.readUnits(7, 1, 0);
+    t.ftl.readUnits(L(7), 1, 0);
     EXPECT_EQ(t.array.totalStats().reads, 1u);
 }
 
 TEST(FtlDeath, ReadPastLogicalCapacityPanics)
 {
     FtlUnderTest t;
-    EXPECT_DEATH(t.ftl.readUnits(23, 2, 0), "past logical capacity");
+    EXPECT_DEATH(t.ftl.readUnits(L(23), 2, 0), "past logical capacity");
 }
 
 TEST(FtlDeath, OversizedGroupPanics)
 {
     FtlUnderTest t;
-    EXPECT_DEATH(t.ftl.writeGroup(0, {0, 1}, 0), "unitsPerPage");
+    EXPECT_DEATH(t.ftl.writeGroup(0, {L(0), L(1)}, 0), "unitsPerPage");
 }
 
 TEST(Ftl, PoolOverflowRedirectsToOtherPool)
@@ -226,7 +259,7 @@ TEST(Ftl, PoolOverflowRedirectsToOtherPool)
     // instead of wedging the device.
     FtlUnderTest t({{4096, 8}, {8192, 2}});
     sim::Time now = 0;
-    flash::Lpn lpn = 0;
+    flash::Lpn lpn{0};
     // 8KB pool: 2 planes x 2 blocks x 4 pages x 2 units = 32 units.
     // Write 64 distinct pairs; beyond the pool's live capacity the
     // FTL must redirect.
@@ -234,6 +267,6 @@ TEST(Ftl, PoolOverflowRedirectsToOtherPool)
         now = t.ftl.writeGroup(1, {lpn, lpn + 1}, now).done;
     EXPECT_GT(t.ftl.stats().overflowRedirects, 0u);
     // All data remains addressable.
-    for (flash::Lpn u = 0; u < lpn; ++u)
-        EXPECT_TRUE(t.ftl.map().mapped(u)) << u;
+    for (flash::Lpn u{0}; u < lpn; ++u)
+        EXPECT_TRUE(t.ftl.map().mapped(u)) << u.value();
 }

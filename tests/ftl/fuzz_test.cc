@@ -124,7 +124,7 @@ TEST_P(FtlFuzz, RandomTrafficKeepsInvariants)
                : static_cast<const RequestDistributor &>(flat_dist);
 
     const auto logical =
-        static_cast<flash::Lpn>(rig.ftl.logicalUnits());
+        static_cast<std::int64_t>(rig.ftl.logicalUnits());
     ASSERT_GT(logical, 8);
 
     sim::Rng rng(static_cast<std::uint64_t>(seed));
@@ -136,8 +136,8 @@ TEST_P(FtlFuzz, RandomTrafficKeepsInvariants)
         const int op = static_cast<int>(rng.uniformInt(0, 9));
         const std::uint32_t n =
             static_cast<std::uint32_t>(rng.uniformInt(1, 8));
-        const flash::Lpn start =
-            rng.uniformInt(0, logical - static_cast<flash::Lpn>(n));
+        const flash::Lpn start{
+            rng.uniformInt(0, logical - static_cast<std::int64_t>(n))};
 
         if (op < 6) { // write
             groups.clear();

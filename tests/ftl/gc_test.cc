@@ -71,7 +71,7 @@ TEST(GarbageCollector, TriggersUnderWritePressure)
     // Repeatedly overwrite 8 logical units; raw space (16 pages) fills
     // and GC must reclaim stale pages.
     for (int round = 0; round < 10; ++round) {
-        for (flash::Lpn lpn = 0; lpn < 8; ++lpn)
+        for (flash::Lpn lpn{0}; lpn.value() < 8; ++lpn)
             t = rig.ftl.writeGroup(0, {lpn}, t).done;
     }
     EXPECT_GT(rig.ftl.gcStats().blockingRounds, 0u);
@@ -83,11 +83,11 @@ TEST(GarbageCollector, DataSurvivesRelocation)
     GcRig rig;
     sim::Time t = 0;
     for (int round = 0; round < 20; ++round) {
-        for (flash::Lpn lpn = 0; lpn < 8; ++lpn)
+        for (flash::Lpn lpn{0}; lpn.value() < 8; ++lpn)
             t = rig.ftl.writeGroup(0, {lpn}, t).done;
         // After each round every logical unit must still resolve to a
         // live physical unit holding its lpn.
-        for (flash::Lpn lpn = 0; lpn < 8; ++lpn) {
+        for (flash::Lpn lpn{0}; lpn.value() < 8; ++lpn) {
             ASSERT_TRUE(rig.ftl.map().mapped(lpn));
             const MapEntry &e = rig.ftl.map().lookup(lpn);
             auto &pool = rig.array
@@ -105,7 +105,7 @@ TEST(GarbageCollector, GcConsumesFlashTime)
     GcRig rig;
     sim::Time t = 0;
     for (int round = 0; round < 10; ++round) {
-        for (flash::Lpn lpn = 0; lpn < 8; ++lpn)
+        for (flash::Lpn lpn{0}; lpn.value() < 8; ++lpn)
             t = rig.ftl.writeGroup(0, {lpn}, t).done;
     }
     EXPECT_GT(rig.ftl.gcStats().blockingTime, 0);
@@ -116,7 +116,7 @@ TEST(GarbageCollector, RelocationCountsUnits)
     GcRig rig;
     sim::Time t = 0;
     for (int round = 0; round < 10; ++round) {
-        for (flash::Lpn lpn = 0; lpn < 8; ++lpn)
+        for (flash::Lpn lpn{0}; lpn.value() < 8; ++lpn)
             t = rig.ftl.writeGroup(0, {lpn}, t).done;
     }
     // Greedy victims of a cyclic overwrite pattern are mostly stale,
@@ -133,7 +133,7 @@ TEST(GarbageCollector, IdleGcRaisesFreeBlocks)
     // Dirty the device: fill ~all raw space with overwrites but stop
     // before blocking GC does all the work.
     for (int round = 0; round < 3; ++round) {
-        for (flash::Lpn lpn = 0; lpn < 8; ++lpn)
+        for (flash::Lpn lpn{0}; lpn.value() < 8; ++lpn)
             t = rig.ftl.writeGroup(0, {lpn}, t).done;
     }
     auto &pool = rig.array.plane(0).pool(0);
@@ -159,7 +159,7 @@ TEST(GarbageCollector, WearStaysBalanced)
     GcRig rig;
     sim::Time t = 0;
     for (int round = 0; round < 50; ++round) {
-        for (flash::Lpn lpn = 0; lpn < 8; ++lpn)
+        for (flash::Lpn lpn{0}; lpn.value() < 8; ++lpn)
             t = rig.ftl.writeGroup(0, {lpn}, t).done;
     }
     // Simple wear leveling (min-erase free-block pick) keeps the
@@ -214,16 +214,16 @@ TEST(GcVictimPolicy, CostBenefitPrefersOldBlocks)
         e.unit = 0;
         map.set(lpn, e);
     };
-    set(pages[0], 0); // survives in old block A (block 0)
-    set(pages[4], 1); // survives in young block B (block 1)
+    set(pages[0], flash::Lpn{0}); // survives in old block A (block 0)
+    set(pages[4], flash::Lpn{1}); // survives in young block B (block 1)
     // Trigger one collection round via idleRound.
     bool did = false;
     gc.idleRound(0, did);
     EXPECT_TRUE(did);
     // Block 0 (old) must have been erased; its survivor relocated.
-    EXPECT_EQ(bp.writtenPages(0), 0u);
-    EXPECT_TRUE(map.mapped(0));
-    EXPECT_TRUE(map.mapped(1));
+    EXPECT_EQ(bp.writtenPages(flash::BlockId{0}), 0u);
+    EXPECT_TRUE(map.mapped(flash::Lpn{0}));
+    EXPECT_TRUE(map.mapped(flash::Lpn{1}));
 }
 
 TEST(GcVictimPolicy, GreedyPrefersEmptierBlock)
@@ -252,16 +252,16 @@ TEST(GcVictimPolicy, GreedyPrefersEmptierBlock)
         map.set(lpn, e);
     };
     // Block 0 keeps 3 valid units, block 1 keeps 1.
-    set(pages[0], 0);
-    set(pages[1], 1);
-    set(pages[2], 2);
-    set(pages[4], 3);
+    set(pages[0], flash::Lpn{0});
+    set(pages[1], flash::Lpn{1});
+    set(pages[2], flash::Lpn{2});
+    set(pages[4], flash::Lpn{3});
     bool did = false;
     gc.idleRound(0, did);
     EXPECT_TRUE(did);
     // Greedy erases block 1 (fewest valid units).
-    EXPECT_EQ(bp.writtenPages(1), 0u);
-    EXPECT_GT(bp.writtenPages(0), 0u);
+    EXPECT_EQ(bp.writtenPages(flash::BlockId{1}), 0u);
+    EXPECT_GT(bp.writtenPages(flash::BlockId{0}), 0u);
 }
 
 TEST(Wear, ReportAggregatesPools)
@@ -269,7 +269,7 @@ TEST(Wear, ReportAggregatesPools)
     GcRig rig;
     sim::Time t = 0;
     for (int round = 0; round < 10; ++round) {
-        for (flash::Lpn lpn = 0; lpn < 8; ++lpn)
+        for (flash::Lpn lpn{0}; lpn.value() < 8; ++lpn)
             t = rig.ftl.writeGroup(0, {lpn}, t).done;
     }
     WearReport rep = computeWear(rig.array);
@@ -284,7 +284,7 @@ TEST(Wear, WriteAmplificationAtLeastOne)
     GcRig rig;
     sim::Time t = 0;
     for (int round = 0; round < 10; ++round) {
-        for (flash::Lpn lpn = 0; lpn < 8; ++lpn)
+        for (flash::Lpn lpn{0}; lpn.value() < 8; ++lpn)
             t = rig.ftl.writeGroup(0, {lpn}, t).done;
     }
     double wa = writeAmplification(rig.array, rig.ftl);

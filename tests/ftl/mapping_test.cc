@@ -8,18 +8,20 @@
 #include "ftl/mapping.hh"
 
 using namespace emmcsim::ftl;
+using emmcsim::flash::Lpn;
+using emmcsim::flash::Ppn;
 
 namespace {
 
 MapEntry
 entry(std::int32_t plane, std::uint16_t pool, std::uint64_t ppn,
-      std::uint16_t unit)
+      std::uint16_t slot)
 {
     MapEntry e;
     e.planeLinear = plane;
     e.pool = pool;
-    e.ppn = ppn;
-    e.unit = unit;
+    e.ppn = emmcsim::flash::Ppn{ppn};
+    e.unit = slot;
     return e;
 }
 
@@ -31,18 +33,18 @@ TEST(PageMap, StartsUnmapped)
     EXPECT_EQ(m.logicalUnits(), 100u);
     EXPECT_EQ(m.mappedCount(), 0u);
     for (int i = 0; i < 100; ++i)
-        EXPECT_FALSE(m.mapped(i));
+        EXPECT_FALSE(m.mapped(Lpn{i}));
 }
 
 TEST(PageMap, SetAndLookup)
 {
     PageMap m(10);
-    m.set(3, entry(2, 1, 42, 1));
-    EXPECT_TRUE(m.mapped(3));
-    const MapEntry &e = m.lookup(3);
+    m.set(Lpn{3}, entry(2, 1, 42, 1));
+    EXPECT_TRUE(m.mapped(Lpn{3}));
+    const MapEntry &e = m.lookup(Lpn{3});
     EXPECT_EQ(e.planeLinear, 2);
     EXPECT_EQ(e.pool, 1);
-    EXPECT_EQ(e.ppn, 42u);
+    EXPECT_EQ(e.ppn, Ppn{42});
     EXPECT_EQ(e.unit, 1);
     EXPECT_EQ(m.mappedCount(), 1u);
 }
@@ -50,25 +52,25 @@ TEST(PageMap, SetAndLookup)
 TEST(PageMap, OverwriteKeepsCount)
 {
     PageMap m(10);
-    m.set(3, entry(0, 0, 1, 0));
-    m.set(3, entry(1, 0, 2, 0));
+    m.set(Lpn{3}, entry(0, 0, 1, 0));
+    m.set(Lpn{3}, entry(1, 0, 2, 0));
     EXPECT_EQ(m.mappedCount(), 1u);
-    EXPECT_EQ(m.lookup(3).ppn, 2u);
+    EXPECT_EQ(m.lookup(Lpn{3}).ppn, Ppn{2});
 }
 
 TEST(PageMap, ClearUnmaps)
 {
     PageMap m(10);
-    m.set(5, entry(0, 0, 9, 0));
-    m.clear(5);
-    EXPECT_FALSE(m.mapped(5));
+    m.set(Lpn{5}, entry(0, 0, 9, 0));
+    m.clear(Lpn{5});
+    EXPECT_FALSE(m.mapped(Lpn{5}));
     EXPECT_EQ(m.mappedCount(), 0u);
 }
 
 TEST(PageMap, ClearUnmappedIsNoop)
 {
     PageMap m(10);
-    m.clear(7);
+    m.clear(Lpn{7});
     EXPECT_EQ(m.mappedCount(), 0u);
 }
 
@@ -83,29 +85,30 @@ TEST(PageMap, EntryMappedPredicate)
 TEST(PageMapDeath, OutOfRangePanics)
 {
     PageMap m(4);
-    EXPECT_DEATH(m.lookup(4), "out of logical range");
-    EXPECT_DEATH(m.lookup(-1), "out of logical range");
-    EXPECT_DEATH(m.set(4, entry(0, 0, 0, 0)), "out of logical range");
+    EXPECT_DEATH(m.lookup(Lpn{4}), "out of logical range");
+    EXPECT_DEATH(m.lookup(Lpn{-1}), "out of logical range");
+    EXPECT_DEATH(m.set(Lpn{4}, entry(0, 0, 0, 0)), "out of logical range");
 }
 
 TEST(PageMapDeath, SetUnmappedEntryPanics)
 {
     PageMap m(4);
     MapEntry unmapped;
-    EXPECT_DEATH(m.set(0, unmapped), "use clear");
+    EXPECT_DEATH(m.set(Lpn{0}, unmapped), "use clear");
 }
 
 TEST(PageMap, ManyEntriesIndependent)
 {
     PageMap m(1000);
     for (int i = 0; i < 1000; i += 3)
-        m.set(i, entry(i % 8, 0, static_cast<std::uint64_t>(i) * 7, 0));
+        m.set(Lpn{i}, entry(i % 8, 0, static_cast<std::uint64_t>(i) * 7, 0));
     for (int i = 0; i < 1000; ++i) {
         if (i % 3 == 0) {
-            ASSERT_TRUE(m.mapped(i));
-            EXPECT_EQ(m.lookup(i).ppn, static_cast<std::uint64_t>(i) * 7);
+            ASSERT_TRUE(m.mapped(Lpn{i}));
+            EXPECT_EQ(m.lookup(Lpn{i}).ppn,
+                      Ppn{static_cast<std::uint64_t>(i) * 7});
         } else {
-            EXPECT_FALSE(m.mapped(i));
+            EXPECT_FALSE(m.mapped(Lpn{i}));
         }
     }
 }

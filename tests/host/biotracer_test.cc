@@ -71,7 +71,7 @@ TEST(BioTracer, FlushWritesTargetLogRegion)
     ASSERT_EQ(out.size(), 10u + cfg.flushOps);
     for (std::size_t i = 10; i < out.size(); ++i) {
         EXPECT_TRUE(out[i].isWrite());
-        EXPECT_GE(out[i].firstUnit(), cfg.logRegionUnit);
+        EXPECT_GE(out[i].firstUnit().value(), cfg.logRegionUnit);
         // Flush shares the arrival of the triggering request.
         EXPECT_EQ(out[i].arrival, out[9].arrival);
     }
@@ -85,9 +85,9 @@ TEST(BioTracer, FlushRegionAdvancesLikeAppendingLog)
     // Two flushes of 6 appends each; log addresses strictly increase.
     std::int64_t last = -1;
     for (const auto &r : out.records()) {
-        if (r.firstUnit() >= cfg.logRegionUnit) {
-            EXPECT_GT(r.firstUnit(), last);
-            last = r.firstUnit();
+        if (r.firstUnit().value() >= cfg.logRegionUnit) {
+            EXPECT_GT(r.firstUnit().value(), last);
+            last = r.firstUnit().value();
         }
     }
 }

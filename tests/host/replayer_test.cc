@@ -101,8 +101,8 @@ TEST(Replayer, WrapsAddressesBeyondLogicalSpace)
     trace::Trace in("big-address");
     trace::TraceRecord r;
     r.arrival = 0;
-    r.lbaSector = 1'000'000 * sim::kSectorsPerUnit;
-    r.sizeBytes = sim::kUnitBytes;
+    r.lbaSector = units::unitToLba(units::UnitAddr{1'000'000});
+    r.sizeBytes = units::Bytes{sim::kUnitBytes};
     r.op = trace::OpType::Write;
     in.push(r);
     trace::Trace out = rep.replay(in);
@@ -143,9 +143,8 @@ TEST(Replayer, SimultaneousArrivalsServeInTraceOrder)
     for (int i = 0; i < 4; ++i) {
         trace::TraceRecord r;
         r.arrival = 0;
-        r.lbaSector =
-            static_cast<std::uint64_t>(i) * 8 * sim::kSectorsPerUnit;
-        r.sizeBytes = sim::kUnitBytes;
+        r.lbaSector = units::unitToLba(units::UnitAddr{i * 8});
+        r.sizeBytes = units::Bytes{sim::kUnitBytes};
         r.op = trace::OpType::Read;
         in.push(r);
     }

@@ -1,0 +1,14 @@
+// emmclint-expect: header-self-contained
+// Corpus header for emmclint --self-test: uses std::vector and
+// std::uint64_t without including <vector>/<cstdint>, so a
+// standalone compile probe must fail. Any file including something
+// else first would mask the missing includes — exactly the
+// include-order coupling the rule exists to catch.
+#ifndef EMMCSIM_TESTS_LINT_CORPUS_BAD_HEADER_HH
+#define EMMCSIM_TESTS_LINT_CORPUS_BAD_HEADER_HH
+
+struct LeakyInterface {
+    std::vector<std::uint64_t> history;
+};
+
+#endif

@@ -1,0 +1,34 @@
+// Corpus file for emmclint --self-test: a file with no findings.
+// Exercises the suppression comment and the false-positive guards;
+// any finding reported here fails the self-test.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+struct Units; // a *type* named like a domain is fine
+
+// Suppressed on the line above the offender.
+// emmclint: allow(raw-unit-param)
+void legacyEntryPoint(std::uint64_t lba);
+
+// Suppressed on the offending line itself.
+void legacyErase(std::uint32_t block); // emmclint: allow(raw-unit-param)
+
+long
+lookupOnly(const std::unordered_map<int, long> &m, int key)
+{
+    // Point lookups into hash containers are fine; only iteration
+    // has unspecified order.
+    auto it = m.find(key);
+    return it == m.end() ? 0 : it->second;
+}
+
+long
+iterateOrdered(const std::vector<long> &xs)
+{
+    long total = 0;
+    for (long x : xs)
+        total += x;
+    return total;
+}

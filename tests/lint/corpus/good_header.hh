@@ -1,0 +1,13 @@
+// Corpus header for emmclint --self-test: fully self-contained, so
+// the standalone compile probe must pass and report nothing.
+#ifndef EMMCSIM_TESTS_LINT_CORPUS_GOOD_HEADER_HH
+#define EMMCSIM_TESTS_LINT_CORPUS_GOOD_HEADER_HH
+
+#include <cstdint>
+#include <vector>
+
+struct TidyInterface {
+    std::vector<std::uint64_t> history;
+};
+
+#endif

@@ -1,0 +1,33 @@
+// Corpus file for emmclint --self-test: the raw-unit-param rule.
+// Parameters in the lba / lpn / ppn / unit / page / block / sector
+// domains must use the strong types from core/units.hh; a raw
+// integer reopens the door to sector-vs-unit mix-ups.
+
+#include <cstdint>
+
+void writeAt(std::uint64_t lba); // emmclint-expect: raw-unit-param
+
+void relocate(std::uint64_t ppn, // emmclint-expect: raw-unit-param
+              std::int64_t lpn); // emmclint-expect: raw-unit-param
+
+void erase(std::uint32_t block); // emmclint-expect: raw-unit-param
+
+void trim(int64_t unit, int n); // emmclint-expect: raw-unit-param
+
+// Fine: non-domain names, and domain names with non-integer types.
+struct Lba;
+void writeTyped(const Lba &lba);
+void resize(std::uint64_t count, std::uint32_t depth);
+
+// Fine: locals in the domain are allowed (the rule targets API
+// surfaces); so are suppressed parameters at a true domain boundary.
+void
+parseRaw(const char *text,
+         // emmclint: allow(raw-unit-param)
+         std::uint64_t lba)
+{
+    (void)text;
+    (void)lba;
+    std::uint64_t unit = 7;
+    (void)unit;
+}

@@ -1,0 +1,37 @@
+// Corpus file for emmclint --self-test.  The `simpath_` name prefix
+// opts this file into event-path scope, as if it lived in src/sim.
+// Each `emmclint-expect:` marker names the rule that must fire on
+// that exact line; anything else firing is a self-test failure.
+
+#include <functional>
+#include <memory>
+
+struct Event {
+    int payload;
+};
+
+void
+scheduleBad()
+{
+    Event *e = new Event{}; // emmclint-expect: event-path-alloc
+    delete e;
+    auto u = std::make_unique<Event>(); // emmclint-expect: event-path-alloc
+    auto s = std::make_shared<Event>(); // emmclint-expect: event-path-alloc
+    (void)u;
+    (void)s;
+}
+
+// A type-erased callback in the hot path costs an allocation per
+// capture plus an indirect call per event.
+std::function<void(Event &)> g_cb; // emmclint-expect: event-path-alloc
+
+void
+scheduleFine()
+{
+    // Words like "newline" or "renewal" must not trip the matcher,
+    // and neither must mentions of new in comments or strings.
+    const char *msg = "allocate with new"; // string literal, ignored
+    (void)msg;
+    int renewal = 0;
+    (void)renewal;
+}

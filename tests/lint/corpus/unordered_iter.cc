@@ -1,0 +1,39 @@
+// Corpus file for emmclint --self-test: the unordered-iter rule.
+// Iterating a hash container has unspecified order, so anything it
+// feeds (reports, traces, flash command streams) loses determinism.
+
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct Report {
+    std::unordered_map<int, long> byId;
+    std::unordered_set<int> seen;
+    std::map<int, long> ordered;
+    std::vector<int> order;
+};
+
+long
+sumBad(const Report &r)
+{
+    long total = 0;
+    for (const auto &kv : r.byId) // emmclint-expect: unordered-iter
+        total += kv.second;
+    for (int v : r.seen) // emmclint-expect: unordered-iter
+        total += v;
+    return total;
+}
+
+long
+sumGood(const Report &r)
+{
+    // Ordered mirror: iterate the insertion-ordered vector and look
+    // up in the hash map; or iterate a std::map.
+    long total = 0;
+    for (int id : r.order)
+        total += r.byId.at(id);
+    for (const auto &kv : r.ordered)
+        total += kv.second;
+    return total;
+}

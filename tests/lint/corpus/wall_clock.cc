@@ -1,0 +1,37 @@
+// Corpus file for emmclint --self-test: the wall-clock rule.
+// Simulated time comes from sim::Simulator and randomness from a
+// seeded sim::Rng; ambient time or entropy breaks replay.
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+long
+stampBad()
+{
+    auto t = std::chrono::steady_clock::now(); // emmclint-expect: wall-clock
+    (void)t;
+    auto w = std::chrono::system_clock::now(); // emmclint-expect: wall-clock
+    (void)w;
+    long secs = time(nullptr); // emmclint-expect: wall-clock
+    return secs + rand(); // emmclint-expect: wall-clock
+}
+
+int
+seedBad()
+{
+    std::random_device rd; // emmclint-expect: wall-clock
+    srand(42); // emmclint-expect: wall-clock
+    return static_cast<int>(rd());
+}
+
+long
+fine(long sim_now)
+{
+    // Identifiers containing the banned names must not trip: a
+    // member call like sim.time() or words like "brand" are fine.
+    long runtime = sim_now;
+    long rebrand = runtime;
+    return rebrand;
+}

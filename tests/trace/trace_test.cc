@@ -20,8 +20,9 @@ rec(sim::Time arrival, std::uint64_t unit, std::uint64_t units,
 {
     TraceRecord r;
     r.arrival = arrival;
-    r.lbaSector = unit * sim::kSectorsPerUnit;
-    r.sizeBytes = units * sim::kUnitBytes;
+    r.lbaSector = emmcsim::units::unitToLba(
+        emmcsim::units::UnitAddr{static_cast<std::int64_t>(unit)});
+    r.sizeBytes = emmcsim::units::unitsToBytes(units);
     r.op = op;
     return r;
 }
@@ -43,8 +44,8 @@ TEST(TraceRecord, DerivedFields)
     TraceRecord r = rec(10, 5, 3, OpType::Write);
     EXPECT_TRUE(r.isWrite());
     EXPECT_EQ(r.sizeUnits(), 3u);
-    EXPECT_EQ(r.firstUnit(), 5);
-    EXPECT_EQ(r.endSector(), (5 + 3) * sim::kSectorsPerUnit);
+    EXPECT_EQ(r.firstUnit().value(), 5);
+    EXPECT_EQ(r.endSector().value(), (5 + 3) * sim::kSectorsPerUnit);
     EXPECT_FALSE(r.replayed());
 }
 
@@ -62,10 +63,10 @@ TEST(Trace, AggregateQueries)
 {
     Trace t = sampleTrace();
     EXPECT_EQ(t.size(), 3u);
-    EXPECT_EQ(t.totalBytes(), 7 * sim::kUnitBytes);
-    EXPECT_EQ(t.writtenBytes(), 6 * sim::kUnitBytes);
+    EXPECT_EQ(t.totalBytes().value(), 7 * sim::kUnitBytes);
+    EXPECT_EQ(t.writtenBytes().value(), 6 * sim::kUnitBytes);
     EXPECT_EQ(t.writeCount(), 2u);
-    EXPECT_EQ(t.maxRequestBytes(), 4 * sim::kUnitBytes);
+    EXPECT_EQ(t.maxRequestBytes().value(), 4 * sim::kUnitBytes);
     EXPECT_EQ(t.duration(), 5000);
 }
 
@@ -92,10 +93,10 @@ TEST(Trace, ValidateCatchesUnsorted)
 TEST(Trace, ValidateCatchesMisalignment)
 {
     Trace t = sampleTrace();
-    t[0].sizeBytes = 1000;
+    t[0].sizeBytes = emmcsim::units::Bytes{1000};
     EXPECT_NE(t.validate().find("4KB-aligned"), std::string::npos);
     Trace t2 = sampleTrace();
-    t2[0].lbaSector = 1;
+    t2[0].lbaSector = emmcsim::units::Lba{1};
     EXPECT_NE(t2.validate().find("lba"), std::string::npos);
 }
 
@@ -114,9 +115,9 @@ TEST(Trace, SortByArrivalIsStable)
     t.records().push_back(rec(50, 2, 1, OpType::Read));
     t.records().push_back(rec(100, 3, 1, OpType::Read));
     t.sortByArrival();
-    EXPECT_EQ(t[0].firstUnit(), 2);
-    EXPECT_EQ(t[1].firstUnit(), 1);
-    EXPECT_EQ(t[2].firstUnit(), 3);
+    EXPECT_EQ(t[0].firstUnit().value(), 2);
+    EXPECT_EQ(t[1].firstUnit().value(), 1);
+    EXPECT_EQ(t[2].firstUnit().value(), 3);
 }
 
 TEST(TraceDeath, PushOutOfOrderPanics)

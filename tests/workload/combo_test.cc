@@ -116,7 +116,7 @@ TEST(FixedStream, RandomAddressesStayInRegion)
     spec.regionUnits = 64;
     trace::Trace t = makeFixedStream(spec);
     for (const auto &r : t.records())
-        EXPECT_LT(r.lbaSector / sim::kSectorsPerUnit, 64u);
+        EXPECT_LT(units::lbaToUnitFloor(r.lbaSector).value(), 64);
 }
 
 TEST(FixedStream, GapSpacingApplied)

@@ -113,7 +113,9 @@ TEST(TraceGenerator, AddressesStayInFootprint)
     const AppProfile *p = findProfile("Movie");
     trace::Trace t = gen("Movie", 0.5);
     for (const auto &r : t.records()) {
-        EXPECT_LE(r.lbaSector / sim::kSectorsPerUnit + r.sizeUnits(),
+        EXPECT_LE(static_cast<std::uint64_t>(
+                      units::lbaToUnitFloor(r.lbaSector).value()) +
+                      r.sizeUnits(),
                   p->footprintUnits);
     }
 }
@@ -123,7 +125,7 @@ TEST(TraceGenerator, SizesRespectProfileCaps)
     const AppProfile *p = findProfile("Messaging"); // max 128KB
     trace::Trace t = gen("Messaging", 1.0);
     (void)p;
-    EXPECT_LE(t.maxRequestBytes(), sim::kib(128));
+    EXPECT_LE(t.maxRequestBytes().value(), sim::kib(128));
 }
 
 /** Parameterized sweep: every one of the 25 profiles generates a

@@ -79,9 +79,9 @@ TEST_P(TraceProperties, SizesAreAlignedAndPositive)
 {
     trace::Trace t = make();
     for (const auto &r : t.records()) {
-        EXPECT_GT(r.sizeBytes, 0u);
-        EXPECT_EQ(r.sizeBytes % sim::kUnitBytes, 0u);
-        EXPECT_EQ(r.lbaSector % sim::kSectorsPerUnit, 0u);
+        EXPECT_GT(r.sizeBytes.value(), 0u);
+        EXPECT_TRUE(units::isUnitAligned(r.sizeBytes));
+        EXPECT_TRUE(units::isUnitAligned(r.lbaSector));
     }
 }
 

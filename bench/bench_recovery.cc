@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Power-up recovery and snapshot microbenchmarks (DESIGN.md §13).
+ *
+ * Reports, per dirty-state size:
+ *   - wall time of Ftl::powerFailAndRecover (the OOB scan dominates)
+ *   - sim_recovery_ms: the *simulated* recovery cost the model
+ *     charges (checkpoint read + journal replay + open-block scan +
+ *     re-erase + checkpoint write)
+ *   - scanned_pages / journal_pages_read for the cost breakdown
+ * plus the save/load throughput and image size of a full device
+ * snapshot. Runs with the micro suite into BENCH_simcore.json.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/binio.hh"
+#include "emmc/device.hh"
+#include "ftl/ftl.hh"
+#include "host/replayer.hh"
+#include "sim/simulator.hh"
+#include "workload/fixed.hh"
+
+using namespace emmcsim;
+
+namespace {
+
+/** Geometry big enough for the largest dirty-unit argument. */
+flash::Geometry
+benchGeom()
+{
+    flash::Geometry g;
+    g.channels = 1;
+    g.chipsPerChannel = 1;
+    g.diesPerChip = 1;
+    g.planesPerDie = 4;
+    g.pagesPerBlock = 64;
+    g.pools = {{4096, 256}}; // 65536 pages -> 49152 logical units
+    return g;
+}
+
+flash::Timing
+benchTiming()
+{
+    flash::Timing t;
+    t.pools = {flash::Timing::page4k()};
+    return t;
+}
+
+void
+BM_FtlPowerFailRecover(benchmark::State &state)
+{
+    const auto dirty = static_cast<std::int64_t>(state.range(0));
+    const flash::Geometry geom = benchGeom();
+    const flash::Timing timing = benchTiming();
+    ftl::FtlConfig cfg;
+    cfg.opRatio = 0.25;
+
+    ftl::RecoveryReport rep;
+    for (auto _ : state) {
+        state.PauseTiming();
+        flash::FlashArray array(geom, timing, true);
+        ftl::Ftl ftl(array, cfg);
+        sim::Time t = 0;
+        for (std::int64_t l = 0; l < dirty; ++l)
+            t = ftl.writeGroup(0, {flash::Lpn{l}}, t).done;
+        state.ResumeTiming();
+
+        rep = ftl.powerFailAndRecover(t + 1);
+        benchmark::DoNotOptimize(rep.recoveredUnits);
+    }
+
+    state.SetItemsProcessed(dirty * state.iterations());
+    state.counters["sim_recovery_ms"] =
+        sim::toMilliseconds(rep.totalTime);
+    state.counters["scanned_pages"] =
+        static_cast<double>(rep.scannedPages);
+    state.counters["journal_pages_read"] =
+        static_cast<double>(rep.journalPagesRead);
+    state.counters["checkpoint_pages_read"] =
+        static_cast<double>(rep.checkpointPagesRead);
+}
+BENCHMARK(BM_FtlPowerFailRecover)
+    ->Arg(1 << 10)
+    ->Arg(1 << 13)
+    ->Arg(1 << 15)
+    ->Unit(benchmark::kMillisecond);
+
+/** One replayed device at a quiescent point, ready to snapshot. */
+std::unique_ptr<emmc::EmmcDevice>
+replayedDevice(sim::Simulator &s)
+{
+    emmc::EmmcConfig cfg;
+    cfg.geometry = benchGeom();
+    cfg.timing = benchTiming();
+    cfg.ftl.opRatio = 0.25;
+    auto dev = std::make_unique<emmc::EmmcDevice>(
+        s, cfg, std::make_unique<ftl::SinglePoolDistributor>(0, 1,
+                                                             "4PS"));
+    workload::FixedStreamSpec spec;
+    spec.write = true;
+    spec.sizeBytes = sim::kib(16);
+    spec.count = 2000;
+    spec.gap = sim::microseconds(500);
+    host::Replayer rep(s, *dev);
+    rep.replay(workload::makeFixedStream(spec));
+    return dev;
+}
+
+void
+BM_DeviceSnapshotSave(benchmark::State &state)
+{
+    sim::Simulator s;
+    auto dev = replayedDevice(s);
+    std::size_t bytes = 0;
+    for (auto _ : state) {
+        core::BinWriter w;
+        dev->save(w);
+        bytes = w.data().size();
+        benchmark::DoNotOptimize(bytes);
+    }
+    state.counters["image_bytes"] = static_cast<double>(bytes);
+    state.SetBytesProcessed(static_cast<std::int64_t>(bytes) *
+                            state.iterations());
+}
+BENCHMARK(BM_DeviceSnapshotSave)->Unit(benchmark::kMillisecond);
+
+void
+BM_DeviceSnapshotLoad(benchmark::State &state)
+{
+    std::string image;
+    sim::Time capture = 0;
+    {
+        sim::Simulator s;
+        auto dev = replayedDevice(s);
+        core::BinWriter w;
+        dev->save(w);
+        image = w.take();
+        capture = s.now();
+    }
+    emmc::EmmcConfig cfg;
+    cfg.geometry = benchGeom();
+    cfg.timing = benchTiming();
+    cfg.ftl.opRatio = 0.25;
+    for (auto _ : state) {
+        sim::Simulator s;
+        s.restoreClock(capture);
+        emmc::EmmcDevice dev(
+            s, cfg, std::make_unique<ftl::SinglePoolDistributor>(
+                        0, 1, "4PS"));
+        core::BinReader r(image);
+        dev.load(r);
+        benchmark::DoNotOptimize(dev.ftl().logicalUnits());
+    }
+    state.counters["image_bytes"] = static_cast<double>(image.size());
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(image.size()) * state.iterations());
+}
+BENCHMARK(BM_DeviceSnapshotLoad)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

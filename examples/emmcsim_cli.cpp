@@ -16,11 +16,21 @@
  *   sweep [app ...] [--schemes=L] [--ablate=L] [--jobs=N] ...
  *                                      fan out app x scheme x ablation
  *                                      replays over a worker pool
+ *   snapshot <trace> <image> [scheme] --at=NS
+ *                                      replay until the first quiescent
+ *                                      point at/after NS and write a
+ *                                      resumable device image
+ *   restore <trace> <image> [scheme]   resume a snapshot to completion
+ *                                      (same options as the capture)
+ *
+ * replay also accepts --spo-at=NS[,NS...] / --spo-random=N,seed to cut
+ * device power mid-run and drive the FTL recovery path.
  */
 
 #include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -34,6 +44,7 @@
 #include "core/experiment.hh"
 #include "core/report.hh"
 #include "core/sweep.hh"
+#include "fault/spo.hh"
 #include "host/replayer.hh"
 #include "obs/report.hh"
 #include "workload/generator.hh"
@@ -168,9 +179,22 @@ writeFileOrReport(const std::string &path, const std::string &content)
     return true;
 }
 
+/** How cmdReplay drives the run: plain, capture, or resume. */
+enum class RunMode { Replay, Snapshot, Restore };
+
+/** Randomized SPO schedule requested via --spo-random=N,seed. */
+struct SpoRandomArgs
+{
+    std::uint64_t count = 0; ///< 0 = not requested
+    std::uint64_t seed = 1;
+};
+
 int
 cmdReplay(const std::string &path, const std::string &scheme,
-          const core::ExperimentOptions &opts, const ObsOutputs &outs)
+          core::ExperimentOptions opts, const ObsOutputs &outs,
+          const SpoRandomArgs &spo_random = {},
+          RunMode mode = RunMode::Replay,
+          const std::string &image_path = {})
 {
     trace::Trace t;
     if (!loadTraceOrReport(path, t))
@@ -182,7 +206,52 @@ cmdReplay(const std::string &path, const std::string &scheme,
                   << scheme << "\n";
         return 2;
     }
-    core::CaseResult res = core::runCase(t, kind, opts);
+    if (spo_random.count > 0) {
+        sim::Time horizon = 0;
+        for (const auto &r : t.records())
+            horizon = std::max(horizon, r.arrival);
+        if (horizon <= 0) {
+            std::cerr << "error: --spo-random needs a trace with "
+                         "nonzero arrival times\n";
+            return 2;
+        }
+        std::vector<sim::Time> drawn = fault::drawSpoTicks(
+            static_cast<std::uint32_t>(spo_random.count),
+            spo_random.seed, horizon);
+        opts.spo.ticks.insert(opts.spo.ticks.end(), drawn.begin(),
+                              drawn.end());
+        std::sort(opts.spo.ticks.begin(), opts.spo.ticks.end());
+    }
+
+    core::CaseResult res;
+    if (mode == RunMode::Restore) {
+        std::ifstream is(image_path, std::ios::binary);
+        std::ostringstream buf;
+        if (is)
+            buf << is.rdbuf();
+        if (!is) {
+            std::cerr << "error: cannot read snapshot " << image_path
+                      << "\n";
+            return 1;
+        }
+        res = core::resumeCase(t, kind, buf.str(), opts);
+    } else {
+        res = core::runCase(t, kind, opts);
+    }
+    if (mode == RunMode::Snapshot) {
+        std::ofstream os(image_path, std::ios::binary);
+        if (os)
+            os.write(res.snapshotImage.data(),
+                     static_cast<std::streamsize>(
+                         res.snapshotImage.size()));
+        if (!os) {
+            std::cerr << "error: cannot write snapshot " << image_path
+                      << "\n";
+            return 1;
+        }
+        std::cout << "wrote snapshot (" << res.snapshotImage.size()
+                  << " bytes) to " << image_path << "\n";
+    }
     std::cout << "Replayed \"" << t.name() << "\" on " << res.scheme
               << "\n\n";
     printStats(res.replayed);
@@ -210,6 +279,23 @@ cmdReplay(const std::string &path, const std::string &scheme,
                       core::fmt(res.hostRetryPenaltyMs, 2)});
         table.addRow(
             {"Device read-only", res.deviceReadOnly ? "yes" : "no"});
+        std::cout << "\n";
+        table.print(std::cout);
+    }
+    if (!opts.spo.ticks.empty()) {
+        core::TablePrinter table({"SPO metric", "Value"});
+        table.addRow({"Power cuts", core::fmt(res.spoEvents)});
+        table.addRow({"Torn pages", core::fmt(res.spoTornPages)});
+        table.addRow(
+            {"Lost dirty buffer units", core::fmt(res.spoLostDirtyUnits)});
+        table.addRow(
+            {"Re-issued requests", core::fmt(res.reissuedRequests)});
+        table.addRow(
+            {"Recovery time (ms)", core::fmt(res.recoveryTimeMs, 3)});
+        table.addRow(
+            {"Journal pages flushed", core::fmt(res.journalPagesFlushed)});
+        table.addRow(
+            {"Journal checkpoints", core::fmt(res.journalCheckpoints)});
         std::cout << "\n";
         table.print(std::cout);
     }
@@ -449,6 +535,23 @@ usage()
            "emmctrace text format\n"
            "      [--sample-window-ms=N]  record windowed metric "
            "series every N ms\n"
+           "      [--spo-at=NS[,NS...]]   cut device power at the "
+           "given simulated ns\n"
+           "      [--spo-random=N,SEED]   cut power at N seeded random "
+           "points in the run\n"
+           "      [--spo-notify]          send POWER_OFF_NOTIFICATION "
+           "before each cut\n"
+           "      [--spo-delay-ms=N]      power-off duration per cut "
+           "(default 100 ms)\n"
+           "  emmcsim_cli snapshot <trace-file> <image-out> "
+           "[4PS|8PS|HPS|HSLC] --at=NS\n"
+           "      capture a resumable image at the first quiescent "
+           "point at/after NS;\n"
+           "      accepts the replay flags except --spo-*\n"
+           "  emmcsim_cli restore <trace-file> <image-file> "
+           "[4PS|8PS|HPS|HSLC]\n"
+           "      resume a snapshot to completion; pass the same "
+           "flags as the capture\n"
            "  emmcsim_cli compare <app> [scale]\n"
            "  emmcsim_cli sweep [app ...]\n"
            "      [--schemes=4PS,8PS,HPS,HSLC] schemes to replay "
@@ -548,12 +651,22 @@ main(int argc, char **argv)
     // Per-subcommand flag tables; anything else is a usage error.
     std::vector<std::string> known;
     std::vector<std::string> valued;
-    if (cmd == "replay") {
+    if (cmd == "replay" || cmd == "snapshot" || cmd == "restore") {
         known = {"--audit", "--fault-rber", "--fault-seed",
                  "--fault-program-fail", "--fault-erase-fail",
                  "--retries", "--metrics-json", "--trace-out",
                  "--trace-csv", "--sample-window-ms"};
         valued = known;
+        if (cmd == "replay") {
+            known.insert(known.end(),
+                         {"--spo-at", "--spo-random", "--spo-notify",
+                          "--spo-delay-ms"});
+            valued.insert(valued.end(),
+                          {"--spo-at", "--spo-random", "--spo-delay-ms"});
+        } else if (cmd == "snapshot") {
+            known.push_back("--at");
+            valued.push_back("--at");
+        }
     } else if (cmd == "sweep") {
         known = {"--schemes", "--ablate", "--scale", "--seed",
                  "--jobs", "--metrics-json"};
@@ -587,12 +700,27 @@ main(int argc, char **argv)
             return usageError("analyze needs exactly <trace-file>");
         return cmdAnalyze(pos[0]);
     }
-    if (cmd == "replay") {
-        if (pos.empty() || pos.size() > 2)
-            return usageError(
-                "replay needs <trace-file> [4PS|8PS|HPS|HSLC]");
+    if (cmd == "replay" || cmd == "snapshot" || cmd == "restore") {
+        RunMode mode = cmd == "snapshot"  ? RunMode::Snapshot
+                       : cmd == "restore" ? RunMode::Restore
+                                          : RunMode::Replay;
+        std::string image_path;
+        if (mode == RunMode::Replay) {
+            if (pos.empty() || pos.size() > 2)
+                return usageError(
+                    "replay needs <trace-file> [4PS|8PS|HPS|HSLC]");
+        } else {
+            if (pos.size() < 2 || pos.size() > 3)
+                return usageError(
+                    cmd + " needs <trace-file> <image-file> "
+                          "[4PS|8PS|HPS|HSLC]");
+            image_path = pos[1];
+            pos.erase(pos.begin() + 1);
+        }
         core::ExperimentOptions opts;
         ObsOutputs outs;
+        SpoRandomArgs spo_random;
+        bool have_at = false;
         for (const auto &[name, value] : flags) {
             if (name == "--audit") {
                 opts.auditEveryEvents = 10000;
@@ -650,13 +778,53 @@ main(int argc, char **argv)
                                       value);
                 opts.obs.sampleWindow =
                     sim::milliseconds(static_cast<std::int64_t>(ms));
+            } else if (name == "--spo-at") {
+                for (const std::string &s : splitList(value)) {
+                    std::uint64_t ns = 0;
+                    if (!parseU64(s, ns) || ns == 0)
+                        return usageError("bad --spo-at tick: " + s);
+                    opts.spo.ticks.push_back(
+                        static_cast<sim::Time>(ns));
+                }
+                if (opts.spo.ticks.empty())
+                    return usageError("--spo-at needs a tick list");
+                std::sort(opts.spo.ticks.begin(),
+                          opts.spo.ticks.end());
+            } else if (name == "--spo-random") {
+                const std::vector<std::string> parts =
+                    splitList(value);
+                if (parts.size() != 2 ||
+                    !parseU64(parts[0], spo_random.count) ||
+                    spo_random.count == 0 ||
+                    spo_random.count > 100000 ||
+                    !parseU64(parts[1], spo_random.seed))
+                    return usageError(
+                        "bad --spo-random (want N,SEED): " + value);
+            } else if (name == "--spo-notify") {
+                if (!value.empty())
+                    return usageError("--spo-notify takes no value");
+                opts.spo.notify = true;
+            } else if (name == "--spo-delay-ms") {
+                std::uint64_t ms = 0;
+                if (!parseU64(value, ms) || ms == 0)
+                    return usageError("bad --spo-delay-ms: " + value);
+                opts.spo.powerOnDelay =
+                    sim::milliseconds(static_cast<std::int64_t>(ms));
+            } else if (name == "--at") {
+                std::uint64_t ns = 0;
+                if (!parseU64(value, ns))
+                    return usageError("bad --at: " + value);
+                opts.snapshotAt = static_cast<sim::Time>(ns);
+                have_at = true;
             }
         }
         if (opts.obs.sampleWindow > 0 && outs.metricsJson.empty())
             return usageError(
                 "--sample-window-ms requires --metrics-json");
+        if (mode == RunMode::Snapshot && !have_at)
+            return usageError("snapshot requires --at=NS");
         return cmdReplay(pos[0], pos.size() > 1 ? pos[1] : "HPS", opts,
-                         outs);
+                         outs, spo_random, mode, image_path);
     }
     if (cmd == "compare") {
         if (pos.empty() || pos.size() > 2)

@@ -24,6 +24,13 @@ clang-tidy check for us:
                        Simulated time comes from sim::Simulator and
                        randomness from seeded sim::Rng; anything else
                        breaks replay determinism.
+  durable-ftl-mutation No direct mutation of the durable mapping state
+                       (map_.set / map_.clear / map_.reset*) in
+                       src/ftl outside journal.cc.  Crash consistency
+                       hinges on every L2P change flowing through the
+                       MetaJournal gateway (recordWrite / recordTrim /
+                       installRecovered, ...); a direct map_ write is
+                       an update recovery can never replay.
   header-self-contained
                        Every header under src/ must compile on its
                        own (g++ -fsyntax-only).  Include-order
@@ -174,6 +181,14 @@ RAW_UNIT_PARAM = re.compile(
     r"(" + UNIT_NAMES + r")(?=\s*[,)=])"
 )
 
+# The MetaJournal gateway (src/ftl/journal.cc) is the single place
+# allowed to touch the mapping table directly; everything else in
+# src/ftl must journal its mutations so recovery can replay them.
+DURABLE_FTL_DIR = os.path.join("src", "ftl")
+DURABLE_GATEWAY_FILES = ("journal.cc",)
+DURABLE_MUTATION = re.compile(
+    r"\bmap_\s*\.\s*(set|clear|reset\w*)\s*\(")
+
 UNORDERED_DECL = re.compile(
     r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;{()]*>\s*"
     r"(\w+)\s*[;{=(]"
@@ -187,7 +202,8 @@ def in_event_path(path: str) -> bool:
 
 
 def lint_text(path: str, raw: str, scope_event_path: bool,
-              scope_units_hh: bool) -> list[Finding]:
+              scope_units_hh: bool,
+              scope_ftl_durable: bool = False) -> list[Finding]:
     findings: list[Finding] = []
     raw_lines = raw.splitlines()
     code = strip_comments_and_strings(raw)
@@ -215,6 +231,16 @@ def lint_text(path: str, raw: str, scope_event_path: bool,
                 add("wall-clock", lineno,
                     f"{what}: use sim::Simulator time / seeded sim::Rng")
                 break
+
+    # durable-ftl-mutation -------------------------------------------------
+    if scope_ftl_durable:
+        for lineno, line in enumerate(code_lines, 1):
+            m = DURABLE_MUTATION.search(line)
+            if m:
+                add("durable-ftl-mutation", lineno,
+                    f"direct map_.{m.group(1)}() bypasses the "
+                    f"MetaJournal gateway; record the mutation through "
+                    f"ftl/journal.hh so recovery can replay it")
 
     # raw-unit-param -------------------------------------------------------
     if not scope_units_hh:
@@ -256,10 +282,14 @@ def lint_file(path: str) -> list[Finding]:
             raw = f.read()
     except OSError as e:
         return [Finding("io-error", path, 0, str(e))]
+    rel = os.path.relpath(path, REPO_ROOT)
+    in_ftl = rel.startswith(DURABLE_FTL_DIR + os.sep)
+    gateway = os.path.basename(path) in DURABLE_GATEWAY_FILES
     return lint_text(
         path, raw,
         scope_event_path=in_event_path(path),
         scope_units_hh=os.path.basename(path) == "units.hh",
+        scope_ftl_durable=in_ftl and not gateway,
     )
 
 
@@ -370,11 +400,13 @@ def self_test(corpus_dir: str) -> int:
             if m:
                 expected.add((m.group(1), lineno))
         total_expected += len(expected)
-        # Corpus files opt into event-path scope by filename prefix.
+        # Corpus files opt into path-scoped rules by filename prefix.
         scoped = os.path.basename(path).startswith("simpath_")
+        ftl_scoped = os.path.basename(path).startswith("ftl_")
         got = {(f.rule, f.line)
                for f in lint_text(path, raw, scope_event_path=scoped,
-                                  scope_units_hh=False)}
+                                  scope_units_hh=False,
+                                  scope_ftl_durable=ftl_scoped)}
         # Corpus headers also go through the real compile probe, so
         # the header-self-contained rule is exercised end to end.
         if path.endswith(".hh"):
@@ -406,6 +438,8 @@ RULES_HELP = [
     ("unordered-iter", "no iteration over unordered containers"),
     ("raw-unit-param", "no raw int params named lba/lpn/ppn/unit/..."),
     ("wall-clock", "no wall-clock time or ambient randomness in src/"),
+    ("durable-ftl-mutation",
+     "L2P mutations in src/ftl go through the MetaJournal gateway"),
     ("header-self-contained", "every src/ header compiles standalone"),
 ]
 

@@ -2,12 +2,20 @@
 # Run the simulator-core micro-benchmark suite and write the result as
 # BENCH_simcore.json, the perf baseline subsequent PRs compare against.
 #
-# The JSON (google-benchmark format) carries, per benchmark:
+# Two google-benchmark binaries feed the file:
+#   bench_micro_sim   event-core throughput, trace generation, replay
+#   bench_recovery    power-up recovery vs dirty-state size, snapshot
+#                     save/load throughput and image size
+# Their JSON outputs are merged (benchmark lists concatenated under
+# the first binary's context block).
+#
+# The JSON carries, per benchmark:
 #   - items_per_second   events/sec through the event core
 #   - arena_high_water   peak live events (peak-RSS proxy: the arena's
 #                        memory footprint tracks this, not lifetime
 #                        events)
-#   - arena_slots / heap_compactions where the benchmark reports them
+#   - sim_recovery_ms / scanned_pages / image_bytes for the recovery
+#     and snapshot benches
 #
 # Usage: scripts/run_benchmarks.sh [output.json]
 #   BUILD_DIR=<dir>           build tree to use (default: build)
@@ -18,17 +26,36 @@ set -euo pipefail
 
 BUILD_DIR="${BUILD_DIR:-build}"
 OUT="${1:-BENCH_simcore.json}"
-BENCH="$BUILD_DIR/bench/bench_micro_sim"
+BENCHES=("$BUILD_DIR/bench/bench_micro_sim"
+         "$BUILD_DIR/bench/bench_recovery")
 
-if [ ! -x "$BENCH" ]; then
-    echo "error: $BENCH not built (cmake --build $BUILD_DIR --target bench_micro_sim)" >&2
-    exit 1
-fi
+PARTS=()
+for BENCH in "${BENCHES[@]}"; do
+    if [ ! -x "$BENCH" ]; then
+        echo "error: $BENCH not built (cmake --build $BUILD_DIR --target $(basename "$BENCH"))" >&2
+        exit 1
+    fi
+    PART="$OUT.$(basename "$BENCH").part"
+    # shellcheck disable=SC2086  # intentional word splitting of extra args
+    "$BENCH" \
+        --benchmark_out="$PART" \
+        --benchmark_out_format=json \
+        ${EMMCSIM_BENCH_ARGS:-}
+    PARTS+=("$PART")
+done
 
-# shellcheck disable=SC2086  # intentional word splitting of extra args
-"$BENCH" \
-    --benchmark_out="$OUT" \
-    --benchmark_out_format=json \
-    ${EMMCSIM_BENCH_ARGS:-}
+python3 - "$OUT" "${PARTS[@]}" <<'EOF'
+import json
+import sys
+
+out, first, *rest = sys.argv[1:]
+doc = json.load(open(first))
+for part in rest:
+    doc["benchmarks"].extend(json.load(open(part))["benchmarks"])
+with open(out, "w") as f:
+    json.dump(doc, f, indent=1)
+    f.write("\n")
+EOF
+rm -f "${PARTS[@]}"
 
 echo "wrote $OUT"

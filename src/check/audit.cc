@@ -85,6 +85,14 @@ registerDeviceCheckers(Auditor &auditor, const emmc::EmmcDevice &device)
                        [&device](CheckContext &ctx) {
                            checkSpareAccounting(device.ftl(), ctx);
                        });
+    auditor.addChecker("ftl.journal-accounting",
+                       [&device](CheckContext &ctx) {
+                           checkJournalAccounting(device.ftl(), ctx);
+                       });
+    auditor.addChecker("ftl.pageseq-consistency",
+                       [&device](CheckContext &ctx) {
+                           checkPageSeqConsistency(device.ftl(), ctx);
+                       });
 }
 
 void

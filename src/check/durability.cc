@@ -1,0 +1,73 @@
+#include "check/durability.hh"
+
+#include "ftl/ftl.hh"
+#include "ftl/mapping.hh"
+#include "sim/logging.hh"
+
+namespace emmcsim::check {
+
+WriteDurabilityLedger::WriteDurabilityLedger(std::uint64_t logical_units,
+                                             bool write_through)
+    : writeThrough_(write_through), state_(logical_units, 0)
+{
+}
+
+void
+WriteDurabilityLedger::noteAcked(flash::Lpn first, std::uint32_t n)
+{
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const auto u = static_cast<std::uint64_t>((first + i).value());
+        EMMCSIM_ASSERT(u < state_.size(),
+                       "acked write beyond the ledger's capacity");
+        state_[u] |= writeThrough_ ? kRequired : kPending;
+    }
+}
+
+void
+WriteDurabilityLedger::noteFlush()
+{
+    for (std::uint8_t &s : state_) {
+        if (s & kPending)
+            s = kRequired;
+    }
+}
+
+void
+WriteDurabilityLedger::notePowerLoss()
+{
+    for (std::uint8_t &s : state_)
+        s &= static_cast<std::uint8_t>(~kPending);
+}
+
+std::uint64_t
+WriteDurabilityLedger::requiredCount() const
+{
+    std::uint64_t n = 0;
+    for (std::uint8_t s : state_) {
+        if (s & kRequired)
+            ++n;
+    }
+    return n;
+}
+
+void
+WriteDurabilityLedger::verify(const ftl::Ftl &ftl,
+                              CheckContext &ctx) const
+{
+    const ftl::PageMap &map = ftl.map();
+    EMMCSIM_ASSERT(map.logicalUnits() == state_.size(),
+                   "ledger sized for a different device");
+    for (std::uint64_t u = 0; u < state_.size(); ++u) {
+        if (!(state_[u] & kRequired))
+            continue;
+        const flash::Lpn lpn{static_cast<std::int64_t>(u)};
+        if (map.lookup(lpn).mapped())
+            ctx.pass();
+        else
+            ctx.fail("acknowledged durable write to lpn " +
+                     std::to_string(u) +
+                     " is unmapped after recovery (lost write)");
+    }
+}
+
+} // namespace emmcsim::check

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * WriteDurabilityLedger: host-side model of which writes must survive
+ * a sudden power-off (DESIGN.md §13).
+ *
+ * The ledger shadows the acknowledgment stream the device emits. On a
+ * write-through device (no RAM buffer) an acknowledgment implies the
+ * data reached flash, so every acked write is immediately *required*:
+ * after any crash and recovery, the logical page must still be
+ * mapped. With a write-back RAM buffer an acknowledgment only means
+ * the data reached RAM; such writes stay *pending* until a cache
+ * flush promotes them, and a power cut legally forgets them (the gap
+ * the paper's flush barriers exist to close) — unless an earlier
+ * flushed write left durable data under the same LPN, which recovery
+ * must still resurface.
+ *
+ * The SPO torture test replays with crashes injected, then calls
+ * verify() against the recovered FTL: any required LPN that recovery
+ * left unmapped is an acknowledged-write loss, the exact failure the
+ * journal/OOB-scan protocol exists to rule out.
+ */
+
+#ifndef EMMCSIM_CHECK_DURABILITY_HH
+#define EMMCSIM_CHECK_DURABILITY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "check/invariants.hh"
+#include "flash/pool.hh"
+
+namespace emmcsim::check {
+
+/** Tracks acknowledged writes and the durability owed to each. */
+class WriteDurabilityLedger
+{
+  public:
+    /**
+     * @param logical_units Device capacity in 4KB units.
+     * @param write_through True when the device has no RAM buffer, so
+     *        acknowledgment implies flash durability.
+     */
+    WriteDurabilityLedger(std::uint64_t logical_units,
+                          bool write_through);
+
+    /** Record an acknowledged write of @p n units at @p first. */
+    void noteAcked(flash::Lpn first, std::uint32_t n);
+
+    /** A cache-flush barrier completed: pending writes become owed. */
+    void noteFlush();
+
+    /**
+     * Power was cut: pending (RAM-only) acknowledgments are forgiven.
+     * LPNs with an earlier flushed write stay required — the old
+     * durable copy must win recovery's scan.
+     */
+    void notePowerLoss();
+
+    /** LPNs currently owed durability. */
+    std::uint64_t requiredCount() const;
+
+    /**
+     * Check every owed LPN is mapped by @p ftl (post-recovery): one
+     * predicate per required LPN, failing with the LPN on loss.
+     */
+    void verify(const ftl::Ftl &ftl, CheckContext &ctx) const;
+
+  private:
+    enum : std::uint8_t
+    {
+        kPending = 1,  ///< acked into volatile RAM only
+        kRequired = 2, ///< acked and durable; must survive any crash
+    };
+    bool writeThrough_;
+    std::vector<std::uint8_t> state_; ///< flag set per LPN
+};
+
+} // namespace emmcsim::check
+
+#endif // EMMCSIM_CHECK_DURABILITY_HH

@@ -394,6 +394,86 @@ checkSpareAccounting(const ftl::Ftl &ftl, CheckContext &ctx)
 }
 
 void
+checkJournalAccounting(const ftl::Ftl &ftl, CheckContext &ctx)
+{
+    const ftl::MetaJournal &j = ftl.journal();
+    const ftl::JournalStats &st = j.stats();
+
+    const std::uint64_t records = st.writeRecords + st.relocRecords +
+                                  st.trimRecords + st.eraseRecords +
+                                  st.retireRecords;
+    ctx.check(records == j.seq(),
+              "journal: record counters sum to " +
+                  std::to_string(records) + " but the sequence is " +
+                  std::to_string(j.seq()));
+    ctx.check(j.durableSeq() <= j.seq(),
+              "journal: durable sequence leads the issued sequence");
+    ctx.check(j.seq() - j.durableSeq() == j.openPageRecords(),
+              "journal: durable lag " +
+                  std::to_string(j.seq() - j.durableSeq()) +
+                  " records disagrees with the open page holding " +
+                  std::to_string(j.openPageRecords()));
+    ctx.check(j.openPageRecords() < j.config().recordsPerPage,
+              "journal: open page holds a full page of records "
+              "without flushing");
+
+    const std::uint64_t upr = j.config().recordsPerPage;
+    const std::uint64_t expect_ckpt =
+        (ftl.map().logicalUnits() + upr - 1) / upr;
+    ctx.check(j.checkpointPages() == expect_ckpt,
+              "journal: checkpoint spans " +
+                  std::to_string(j.checkpointPages()) +
+                  " pages but the mapping table needs " +
+                  std::to_string(expect_ckpt));
+}
+
+void
+checkPageSeqConsistency(const ftl::Ftl &ftl, CheckContext &ctx)
+{
+    const ftl::MetaJournal &j = ftl.journal();
+    const flash::FlashArray &array = ftl.array();
+    const flash::Geometry &geom = array.geometry();
+
+    for (std::uint32_t pl = 0; pl < geom.planeCount(); ++pl) {
+        for (std::size_t k = 0; k < geom.pools.size(); ++k) {
+            const flash::BlockPool &pool = array.plane(pl).pool(k);
+            const std::string label = "plane " + std::to_string(pl) +
+                                      " pool " + std::to_string(k);
+            const std::uint32_t ppb = pool.pagesPerBlock();
+            for (std::uint64_t p = 0; p < pool.pageCount(); ++p) {
+                const flash::Ppn ppn{p};
+                const std::uint64_t seq = pool.pageSeq(ppn);
+                const std::string where =
+                    label + ": page " + std::to_string(p);
+                if (seq > j.seq()) {
+                    ctx.fail(where + " stamped with sequence " +
+                             std::to_string(seq) +
+                             " beyond the journal's " +
+                             std::to_string(j.seq()));
+                    continue;
+                }
+                if (pool.validUnitsInPage(ppn) > 0 && seq == 0) {
+                    ctx.fail(where + " holds valid units but was "
+                                     "never journaled");
+                    continue;
+                }
+                if (seq != 0) {
+                    const flash::BlockId bid =
+                        units::pageToBlock(ppn, ppb);
+                    if (units::pageIndexInBlock(ppn, ppb) >=
+                        pool.writtenPages(bid)) {
+                        ctx.fail(where + " is stamped beyond its "
+                                         "block's write pointer");
+                        continue;
+                    }
+                }
+                ctx.pass();
+            }
+        }
+    }
+}
+
+void
 checkTrace(const trace::Trace &trace, std::uint64_t logical_units,
            CheckContext &ctx)
 {

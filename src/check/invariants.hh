@@ -159,6 +159,26 @@ void checkRetiredBlocks(const ftl::Ftl &ftl, CheckContext &ctx);
 void checkSpareAccounting(const ftl::Ftl &ftl, CheckContext &ctx);
 
 /**
+ * Metadata-journal accounting (DESIGN.md §13): record counters sum to
+ * the sequence number, the durable sequence never leads the issued
+ * one and trails it by exactly the open-page record count, the open
+ * page never holds a full page's worth of records, and the checkpoint
+ * size matches the mapping-table footprint. These hold at every
+ * instant — including immediately after power-up recovery, which must
+ * leave the journal freshly checkpointed.
+ */
+void checkJournalAccounting(const ftl::Ftl &ftl, CheckContext &ctx);
+
+/**
+ * Out-of-band page-sequence consistency: every page holding a valid
+ * unit carries a nonzero program-sequence stamp (it passed through
+ * the journal gateway), no stamp exceeds the journal's issued
+ * sequence, and stamped pages lie below their block's write pointer.
+ * Recovery's winner election depends on exactly these properties.
+ */
+void checkPageSeqConsistency(const ftl::Ftl &ftl, CheckContext &ctx);
+
+/**
  * Trace record validation: monotone non-decreasing arrivals, nonzero
  * 4KB-multiple sizes, unit-aligned LBAs (in range of the device when
  * @p logical_units is nonzero), and — for replayed records — the

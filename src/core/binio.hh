@@ -1,0 +1,322 @@
+/**
+ * @file
+ * BinWriter / BinReader: the snapshot-image byte format.
+ *
+ * Snapshot/restore (DESIGN.md §13) serializes every piece of device
+ * state — flash pools, FTL durable state, RNG streams, statistics —
+ * into one flat byte string. The format is deliberately primitive:
+ * fixed-width little-ended host integers written with memcpy, length-
+ * prefixed containers, no pointers, no versioned records (the image
+ * header carries one global version). Images are an exact-resume
+ * artifact for the machine that wrote them, not an interchange format.
+ *
+ * The reader never throws and never trusts a length field: a truncated
+ * or corrupt image flips a sticky failure flag, every later read
+ * returns zeros/empties, and container reads are bounded by the bytes
+ * actually remaining. Callers deserialize into a throwaway object tree
+ * and check ok() once at the end.
+ */
+
+#ifndef EMMCSIM_CORE_BINIO_HH
+#define EMMCSIM_CORE_BINIO_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace emmcsim::core {
+
+/** Append-only serializer producing the snapshot byte string. */
+class BinWriter
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buf_.push_back(static_cast<char>(v));
+    }
+
+    void u32(std::uint32_t v) { raw(&v, sizeof v); }
+    void u64(std::uint64_t v) { raw(&v, sizeof v); }
+    void i32(std::int32_t v) { raw(&v, sizeof v); }
+    void i64(std::int64_t v) { raw(&v, sizeof v); }
+
+    /** Doubles are stored bit-exact (resume must not re-round). */
+    void
+    f64(double v)
+    {
+        static_assert(sizeof(double) == sizeof(std::uint64_t));
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &v, sizeof bits);
+        u64(bits);
+    }
+
+    void b(bool v) { u8(v ? 1 : 0); }
+
+    /** Length-prefixed byte string. */
+    void
+    str(std::string_view s)
+    {
+        u64(s.size());
+        buf_.append(s.data(), s.size());
+    }
+
+    /** One trivially-copyable value, raw. */
+    template <typename T>
+    void
+    pod(const T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        raw(&v, sizeof v);
+    }
+
+    /** Length-prefixed vector of trivially-copyable elements. */
+    template <typename T>
+    void
+    podVec(const std::vector<T> &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        u64(v.size());
+        if (!v.empty())
+            raw(v.data(), v.size() * sizeof(T));
+    }
+
+    /** std::vector<bool> packed 8 flags per byte. */
+    void
+    boolVec(const std::vector<bool> &v)
+    {
+        u64(v.size());
+        std::uint8_t acc = 0;
+        for (std::size_t i = 0; i < v.size(); ++i) {
+            if (v[i])
+                acc |= static_cast<std::uint8_t>(1u << (i % 8));
+            if (i % 8 == 7) {
+                u8(acc);
+                acc = 0;
+            }
+        }
+        if (v.size() % 8 != 0)
+            u8(acc);
+    }
+
+    /**
+     * u64 vector stored as (index, value) pairs when mostly zero —
+     * the durable-trim table is huge but almost always empty.
+     */
+    void
+    sparseU64(const std::vector<std::uint64_t> &v)
+    {
+        std::uint64_t nonzero = 0;
+        for (std::uint64_t x : v)
+            nonzero += x != 0;
+        u64(v.size());
+        if (nonzero * 4 < v.size()) {
+            u8(1); // sparse encoding
+            u64(nonzero);
+            for (std::uint64_t i = 0; i < v.size(); ++i) {
+                if (v[i] != 0) {
+                    u64(i);
+                    u64(v[i]);
+                }
+            }
+        } else {
+            u8(0); // dense encoding
+            if (!v.empty())
+                raw(v.data(), v.size() * sizeof(std::uint64_t));
+        }
+    }
+
+    const std::string &data() const { return buf_; }
+    std::string take() { return std::move(buf_); }
+
+  private:
+    void
+    raw(const void *p, std::size_t n)
+    {
+        buf_.append(static_cast<const char *>(p), n);
+    }
+
+    std::string buf_;
+};
+
+/** Bounds-checked deserializer over one snapshot byte string. */
+class BinReader
+{
+  public:
+    explicit BinReader(std::string_view bytes) : buf_(bytes) {}
+
+    /** Sticky success flag; false after any truncation/corruption. */
+    bool ok() const { return ok_; }
+
+    /** Flag the image corrupt (e.g. a failed semantic validation). */
+    void fail() { ok_ = false; }
+
+    /** Bytes not yet consumed. */
+    std::size_t remaining() const { return buf_.size() - pos_; }
+
+    std::uint8_t
+    u8()
+    {
+        std::uint8_t v = 0;
+        raw(&v, sizeof v);
+        return v;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        std::uint32_t v = 0;
+        raw(&v, sizeof v);
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        std::uint64_t v = 0;
+        raw(&v, sizeof v);
+        return v;
+    }
+
+    std::int32_t
+    i32()
+    {
+        std::int32_t v = 0;
+        raw(&v, sizeof v);
+        return v;
+    }
+
+    std::int64_t
+    i64()
+    {
+        std::int64_t v = 0;
+        raw(&v, sizeof v);
+        return v;
+    }
+
+    double
+    f64()
+    {
+        std::uint64_t bits = u64();
+        double v = 0.0;
+        std::memcpy(&v, &bits, sizeof v);
+        return v;
+    }
+
+    bool b() { return u8() != 0; }
+
+    std::string
+    str()
+    {
+        std::uint64_t n = u64();
+        if (n > remaining()) {
+            ok_ = false;
+            return {};
+        }
+        std::string s(buf_.substr(pos_, n));
+        pos_ += n;
+        return s;
+    }
+
+    template <typename T>
+    void
+    pod(T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        raw(&v, sizeof v);
+    }
+
+    template <typename T>
+    void
+    podVec(std::vector<T> &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        std::uint64_t n = u64();
+        if (n > remaining() / sizeof(T)) {
+            ok_ = false;
+            v.clear();
+            return;
+        }
+        v.resize(n);
+        if (n > 0)
+            raw(v.data(), n * sizeof(T));
+    }
+
+    void
+    boolVec(std::vector<bool> &v)
+    {
+        std::uint64_t n = u64();
+        const std::uint64_t bytes = (n + 7) / 8;
+        if (bytes > remaining()) {
+            ok_ = false;
+            v.clear();
+            return;
+        }
+        v.assign(n, false);
+        std::uint8_t acc = 0;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            if (i % 8 == 0)
+                acc = u8();
+            v[i] = (acc >> (i % 8)) & 1u;
+        }
+    }
+
+    void
+    sparseU64(std::vector<std::uint64_t> &v)
+    {
+        std::uint64_t n = u64();
+        std::uint8_t mode = u8();
+        if (mode == 1) {
+            std::uint64_t nonzero = u64();
+            if (n > (std::uint64_t{1} << 40) ||
+                nonzero * 16 > remaining()) {
+                ok_ = false;
+                v.clear();
+                return;
+            }
+            v.assign(n, 0);
+            for (std::uint64_t k = 0; k < nonzero && ok_; ++k) {
+                std::uint64_t i = u64();
+                std::uint64_t x = u64();
+                if (i >= n) {
+                    ok_ = false;
+                    return;
+                }
+                v[i] = x;
+            }
+        } else {
+            if (n > remaining() / sizeof(std::uint64_t)) {
+                ok_ = false;
+                v.clear();
+                return;
+            }
+            v.resize(n);
+            if (n > 0)
+                raw(v.data(), n * sizeof(std::uint64_t));
+        }
+    }
+
+  private:
+    void
+    raw(void *p, std::size_t n)
+    {
+        if (n > remaining()) {
+            ok_ = false;
+            std::memset(p, 0, n);
+            return;
+        }
+        std::memcpy(p, buf_.data() + pos_, n);
+        pos_ += n;
+    }
+
+    std::string_view buf_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+} // namespace emmcsim::core
+
+#endif // EMMCSIM_CORE_BINIO_HH

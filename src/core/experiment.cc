@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "check/audit.hh"
+#include "core/binio.hh"
 #include "ftl/wear.hh"
 #include "host/replayer.hh"
 #include "obs/observer.hh"
@@ -83,20 +84,47 @@ prefillDevice(emmc::EmmcDevice &device, double fraction,
     }
 }
 
-} // namespace
+/**
+ * Case-level snapshot wrapper: the replayer image plus the pre-replay
+ * FTL baseline runCase() needs to reproduce spaceUtilization exactly.
+ */
+constexpr const char *kCaseMagic = "emmcsim-case-snap";
+constexpr std::uint32_t kCaseVersion = 1;
 
 CaseResult
-runCase(const trace::Trace &t, SchemeKind kind,
-        const ExperimentOptions &opts)
+runCaseImpl(const trace::Trace &t, SchemeKind kind,
+            const ExperimentOptions &opts, const std::string *image)
 {
     sim::Simulator simulator;
     emmc::EmmcConfig cfg = applyOptions(schemeConfig(kind), opts);
     auto device = makeDevice(simulator, kind, cfg);
 
-    prefillDevice(*device, opts.prefill, opts.prefillSeed);
-
-    // Space utilization is measured over the replay only.
-    const ftl::FtlStats before = device->ftl().stats();
+    ftl::FtlStats before;
+    std::string inner;
+    if (image != nullptr) {
+        // Resume: the device state (including any prefill) lives in
+        // the image; re-aging it here would double the history.
+        EMMCSIM_ASSERT(opts.spo.ticks.empty() && opts.snapshotAt < 0,
+                       "resumeCase cannot inject SPO or re-snapshot");
+        BinReader header(*image);
+        if (header.str() != kCaseMagic ||
+            header.u32() != kCaseVersion) {
+            sim::fatal("not an emmcsim case snapshot");
+        }
+        header.pod(before);
+        inner = header.str();
+        if (!header.ok() || header.remaining() != 0)
+            sim::fatal("corrupt case snapshot header");
+    } else {
+        prefillDevice(*device, opts.prefill, opts.prefillSeed);
+        if (opts.prefill > 0.0) {
+            // Start the replay from a durable baseline so recovery
+            // cost reflects replay-time dirt, not the aging pattern.
+            device->ftl().journal().checkpoint();
+        }
+        // Space utilization is measured over the replay only.
+        before = device->ftl().stats();
+    }
 
     // Periodic invariant audits ride the simulator's post-event hook;
     // a final audit after the drain validates the end state.
@@ -125,7 +153,11 @@ runCase(const trace::Trace &t, SchemeKind kind,
 
     host::ReplayOptions replay_opts;
     replay_opts.maxRetries = opts.hostMaxRetries;
-    trace::Trace replayed = replayer.replay(t, replay_opts);
+    replay_opts.spo = opts.spo;
+    replay_opts.snapshotAt = opts.snapshotAt;
+    trace::Trace replayed =
+        image ? replayer.resume(t, inner, replay_opts)
+              : replayer.replay(t, replay_opts);
 
     const emmc::DeviceStats &ds = device->stats();
     const ftl::FtlStats after = device->ftl().stats();
@@ -194,6 +226,25 @@ runCase(const trace::Trace &t, SchemeKind kind,
         sim::toMilliseconds(replayer.stats().retryPenalty);
     res.deviceReadOnly = device->ftl().readOnly();
 
+    const emmc::SpoStats &sp = device->spoStats();
+    res.spoEvents = replayer.stats().spoEvents;
+    res.spoTornPages = sp.tornPages;
+    res.spoLostDirtyUnits = sp.lostDirtyUnits;
+    res.reissuedRequests = replayer.stats().reissuedRequests;
+    res.recoveryTimeMs = sim::toMilliseconds(sp.recoveryTime);
+    const ftl::JournalStats &jn = device->ftl().journal().stats();
+    res.journalPagesFlushed = jn.pagesFlushed;
+    res.journalCheckpoints = jn.checkpoints;
+
+    if (replayer.snapshotTaken()) {
+        BinWriter w;
+        w.str(kCaseMagic);
+        w.u32(kCaseVersion);
+        w.pod(before);
+        w.str(replayer.snapshotImage());
+        res.snapshotImage = w.take();
+    }
+
     res.replayed = std::move(replayed);
     if (observer) {
         observer->finish();
@@ -215,6 +266,22 @@ runCase(const trace::Trace &t, SchemeKind kind,
         res.audit = auditor->report();
     }
     return res;
+}
+
+} // namespace
+
+CaseResult
+runCase(const trace::Trace &t, SchemeKind kind,
+        const ExperimentOptions &opts)
+{
+    return runCaseImpl(t, kind, opts, nullptr);
+}
+
+CaseResult
+resumeCase(const trace::Trace &t, SchemeKind kind,
+           const std::string &image, const ExperimentOptions &opts)
+{
+    return runCaseImpl(t, kind, opts, &image);
 }
 
 } // namespace emmcsim::core

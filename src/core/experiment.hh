@@ -13,6 +13,7 @@
 #include "check/audit.hh"
 #include "core/scheme.hh"
 #include "emmc/device.hh"
+#include "fault/spo.hh"
 #include "ftl/gc.hh"
 #include "obs/metrics.hh"
 #include "obs/sampler.hh"
@@ -92,6 +93,19 @@ struct ExperimentOptions
      * default, leaving the replay byte-identical to the pre-obs code).
      */
     ObsRequest obs;
+    /**
+     * Sudden-power-off schedule injected by the host replayer (empty
+     * ticks = off; see fault/spo.hh). Mutually exclusive with
+     * snapshotAt.
+     */
+    fault::SpoConfig spo;
+    /**
+     * Capture a snapshot at the first quiescent point at or after
+     * this simulated time (negative = off). The image lands in
+     * CaseResult::snapshotImage; resumeCase() continues it in a
+     * fresh process with a byte-identical outcome.
+     */
+    sim::Time snapshotAt = -1;
 };
 
 /** Everything measured from one (trace, scheme) replay. */
@@ -144,6 +158,24 @@ struct CaseResult
     bool deviceReadOnly = false; ///< degraded before the replay ended
     /** @} */
 
+    /** @name Robustness columns (zero unless SPO was scheduled).
+     * @{ */
+    std::uint64_t spoEvents = 0;        ///< power cuts executed
+    std::uint64_t spoTornPages = 0;     ///< host pages torn by cuts
+    std::uint64_t spoLostDirtyUnits = 0; ///< RAM-buffer data lost
+    std::uint64_t reissuedRequests = 0; ///< re-sent after power-up
+    double recoveryTimeMs = 0.0;        ///< total power-up recovery
+    std::uint64_t journalPagesFlushed = 0;
+    std::uint64_t journalCheckpoints = 0;
+    /** @} */
+
+    /**
+     * Snapshot image (empty unless snapshotAt was set). Hand it to
+     * resumeCase() — or write it to disk for the CLI's restore
+     * subcommand — to continue the run elsewhere.
+     */
+    std::string snapshotImage;
+
     /** Replayed trace (timestamps filled) for further analysis. */
     trace::Trace replayed;
 
@@ -173,6 +205,17 @@ struct CaseResult
 /** Replay @p t on a fresh device of @p kind. */
 CaseResult runCase(const trace::Trace &t, SchemeKind kind,
                    const ExperimentOptions &opts = {});
+
+/**
+ * Continue a run captured by runCase() with snapshotAt set. @p opts
+ * must match the capturing run (the device is rebuilt from the same
+ * scheme + options; mismatched geometry fails the image load), except
+ * spo / snapshotAt which must be unset. The returned CaseResult is
+ * byte-for-byte the one the uninterrupted run produces.
+ */
+CaseResult resumeCase(const trace::Trace &t, SchemeKind kind,
+                      const std::string &image,
+                      const ExperimentOptions &opts = {});
 
 /** Apply @p opts to a scheme configuration. */
 emmc::EmmcConfig applyOptions(emmc::EmmcConfig cfg,

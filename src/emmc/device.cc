@@ -38,6 +38,9 @@ EmmcDevice::submit(const IoRequest &request)
                    "request LBA must be 4KB-aligned");
     EMMCSIM_ASSERT(request.arrival == sim_.now(),
                    "submit must run at the request's arrival time");
+    EMMCSIM_ASSERT(!poweredOff_,
+                   "submit to a powered-off device (the host must "
+                   "defer arrivals until powerOn)");
 
     ++stats_.requests;
     if (request.write) {
@@ -77,12 +80,14 @@ EmmcDevice::startNext()
     std::vector<CompletedRequest> cmd = std::move(scratchCmd_);
     cmd.clear();
     cmd.reserve(count);
+    inflight_.clear();
     for (std::size_t i = 0; i < count; ++i) {
         CompletedRequest c;
         c.request = queue_.front().request;
         c.waited = queue_.front().waited;
         c.packed = count > 1;
         queue_.pop_front();
+        inflight_.push_back(c.request);
         cmd.push_back(c);
     }
 
@@ -121,7 +126,10 @@ EmmcDevice::startNext()
     };
     static_assert(sim::InlineAction::fits<decltype(fire)>(),
                   "command-completion capture must stay inline");
-    sim_.schedule(done, std::move(fire));
+    // The handle lets powerFail() cancel the acknowledgment: a cut
+    // before `done` means these requests were never completed.
+    pendingCompletion_ = sim_.schedule(done, std::move(fire));
+    hasPendingCompletion_ = true;
 }
 
 sim::Time
@@ -209,6 +217,8 @@ EmmcDevice::flushRuns(const std::vector<UnitRun> &runs, sim::Time begin,
 void
 EmmcDevice::finishCommand(std::vector<CompletedRequest> done)
 {
+    hasPendingCompletion_ = false;
+    inflight_.clear();
     for (const CompletedRequest &c : done) {
         // BIOtracer step ordering: arrival (1) <= service start (2)
         // <= finish (3). A violation means the dispatch path mis-
@@ -243,6 +253,7 @@ EmmcDevice::finishCommand(std::vector<CompletedRequest> done)
         idle_ = true;
         power_.onIdle(sim_.now());
         if (cfg_.idleGcEnabled) {
+            pendingIdleTicks_.push_back(sim_.now() + cfg_.idleGcDelay);
             sim_.scheduleAfter(cfg_.idleGcDelay,
                                [this] { idleGcTick(); });
         }
@@ -256,8 +267,15 @@ EmmcDevice::finishCommand(std::vector<CompletedRequest> done)
 void
 EmmcDevice::idleGcTick()
 {
-    if (busy_ || !idle_)
-        return; // a request arrived before the idle window opened
+    // Each tick event carries one mirror entry; consume it whether or
+    // not the tick does work, keeping the mirror equal to the set of
+    // still-scheduled tick events (the snapshot re-arm list).
+    auto it = std::find(pendingIdleTicks_.begin(),
+                        pendingIdleTicks_.end(), sim_.now());
+    if (it != pendingIdleTicks_.end())
+        pendingIdleTicks_.erase(it);
+    if (poweredOff_ || busy_ || !idle_)
+        return; // power cut, or a request arrived before the window
     const sim::Time now = sim_.now();
     bool did_work = false;
     sim::Time done = ftl_.idleGcStep(now, did_work);
@@ -265,8 +283,135 @@ EmmcDevice::idleGcTick()
         gcBusyUntil_ = std::max(gcBusyUntil_, done);
         // More reclamation may remain; step again after a short gap
         // so arriving requests interleave freely.
+        pendingIdleTicks_.push_back(done + cfg_.idleGcStepGap);
         sim_.schedule(done + cfg_.idleGcStepGap,
                       [this] { idleGcTick(); });
+    }
+}
+
+void
+EmmcDevice::powerFail(sim::Time now, std::vector<IoRequest> &dropped)
+{
+    EMMCSIM_ASSERT(!poweredOff_, "powerFail on an already-dead device");
+    ++spoStats_.powerCuts;
+    poweredOff_ = true;
+    crashTime_ = now;
+
+    // The in-flight command never completes: cancel its completion
+    // event (the acknowledgment) and hand its requests — plus the
+    // whole queue — back for host-side re-issue after power-up.
+    if (hasPendingCompletion_) {
+        sim_.cancel(pendingCompletion_);
+        hasPendingCompletion_ = false;
+    }
+    spoStats_.droppedInFlight += inflight_.size();
+    for (const IoRequest &r : inflight_)
+        dropped.push_back(r);
+    inflight_.clear();
+    spoStats_.droppedQueued += queue_.size();
+    for (const Queued &q : queue_)
+        dropped.push_back(q.request);
+    queue_.clear();
+
+    // Volatile RAM vanishes with the rail; dirty units in it were
+    // acknowledged data the host will not re-send (the durability gap
+    // the paper's flush barriers exist to close).
+    spoStats_.lostDirtyUnits += buffer_.discardAll();
+
+    busy_ = false;
+    idle_ = true;
+}
+
+void
+EmmcDevice::powerOffNotify(sim::Time now)
+{
+    EMMCSIM_ASSERT(!poweredOff_, "notify after the power cut");
+    ++spoStats_.notifiedCuts;
+    flushCache(now);
+    ftl_.journal().checkpoint();
+    ftl_.markProgramsSettled();
+}
+
+ftl::RecoveryReport
+EmmcDevice::powerOn(sim::Time now)
+{
+    EMMCSIM_ASSERT(poweredOff_, "powerOn without a preceding powerFail");
+    ftl::RecoveryReport rep = ftl_.powerFailAndRecover(crashTime_);
+    spoStats_.tornPages += rep.tornPages;
+    spoStats_.recoveryTime += rep.totalTime;
+    // Recovery occupies the flash backend exactly like blocking GC:
+    // the first post-power-up command waits out the checkpoint load,
+    // journal replay and open-block scan.
+    gcBusyUntil_ = std::max(gcBusyUntil_, now + rep.totalTime);
+    poweredOff_ = false;
+    busy_ = false;
+    idle_ = true;
+    power_.onIdle(now);
+    return rep;
+}
+
+sim::Time
+EmmcDevice::flushCache(sim::Time now)
+{
+    sim::Time done = now;
+    if (buffer_.enabled()) {
+        std::vector<UnitRun> evicted;
+        buffer_.flushAll(evicted);
+        // Rejection only happens on a read-only device, which has no
+        // dirty data to lose; the barrier still completes.
+        bool accepted = true;
+        done = std::max(done, flushRuns(evicted, now, accepted));
+    }
+    ftl_.flushBarrier();
+    return done;
+}
+
+void
+EmmcDevice::save(core::BinWriter &w) const
+{
+    EMMCSIM_ASSERT(!busy_ && queue_.empty() && !hasPendingCompletion_ &&
+                       !poweredOff_,
+                   "snapshots are quiescent-point only");
+    injector_.save(w);
+    array_.save(w);
+    ftl_.save(w);
+    packer_.save(w);
+    power_.save(w);
+    buffer_.save(w);
+    w.b(idle_);
+    w.i64(gcBusyUntil_);
+    w.pod(stats_);
+    w.pod(spoStats_);
+    w.podVec(pendingIdleTicks_);
+}
+
+void
+EmmcDevice::load(core::BinReader &r)
+{
+    injector_.load(r);
+    array_.load(r);
+    ftl_.load(r);
+    packer_.load(r);
+    power_.load(r);
+    buffer_.load(r);
+    idle_ = r.b();
+    gcBusyUntil_ = r.i64();
+    r.pod(stats_);
+    r.pod(spoStats_);
+    r.podVec(pendingIdleTicks_);
+    busy_ = false;
+    poweredOff_ = false;
+    hasPendingCompletion_ = false;
+    queue_.clear();
+    inflight_.clear();
+    if (!r.ok())
+        return;
+    // Re-arm the idle-GC ticks that were pending at capture time; the
+    // caller restored the clock before loading, so the mirror entries
+    // are all in the future.
+    for (sim::Time t : pendingIdleTicks_) {
+        EMMCSIM_ASSERT(t >= sim_.now(), "stale idle tick in snapshot");
+        sim_.schedule(t, [this] { idleGcTick(); });
     }
 }
 

@@ -23,6 +23,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/binio.hh"
 #include "emmc/config.hh"
 #include "ftl/distributor.hh"
 #include "emmc/packing.hh"
@@ -68,6 +69,23 @@ struct DeviceStats
                               static_cast<double>(requests)
                         : 0.0;
     }
+};
+
+/** Sudden-power-off counters (device side; DESIGN.md §13). */
+struct SpoStats
+{
+    std::uint64_t powerCuts = 0;     ///< powerFail() invocations
+    std::uint64_t notifiedCuts = 0;  ///< cuts preceded by notification
+    /** Requests dropped mid-command (never acknowledged). */
+    std::uint64_t droppedInFlight = 0;
+    /** Requests dropped while still queued. */
+    std::uint64_t droppedQueued = 0;
+    /** Dirty RAM-buffer units lost with the power rail. */
+    std::uint64_t lostDirtyUnits = 0;
+    /** Host pages torn by the cuts (at most one per cut). */
+    std::uint64_t tornPages = 0;
+    /** Total simulated power-up recovery time across all cuts. */
+    sim::Time recoveryTime = 0;
 };
 
 /** The simulated eMMC device. */
@@ -116,6 +134,10 @@ class EmmcDevice
      */
     void setTraceHook(TraceHook hook) { traceHook_ = std::move(hook); }
 
+    /** Installed trace hook (null without an observer); the resume
+     * path re-feeds it with pre-capture completions. */
+    const TraceHook &traceHook() const { return traceHook_; }
+
     /**
      * Submit a request. Must be called at simulator time equal to
      * request.arrival (the replayer schedules arrivals as events).
@@ -124,6 +146,60 @@ class EmmcDevice
 
     /** @return true while a command is in flight. */
     bool busy() const { return busy_; }
+
+    /** @return true between powerFail() and powerOn(). */
+    bool poweredOff() const { return poweredOff_; }
+
+    /**
+     * Cut device power at @p now (DESIGN.md §13). The in-flight
+     * command's completion event is cancelled — those requests were
+     * never acknowledged — and together with everything still queued
+     * they are appended to @p dropped for host-side re-issue after
+     * power-up. The RAM buffer's contents (including acknowledged
+     * dirty data not yet flushed) are discarded. The device accepts
+     * no submissions until powerOn().
+     */
+    void powerFail(sim::Time now, std::vector<IoRequest> &dropped);
+
+    /**
+     * POWER_OFF_NOTIFICATION: the host warns the device before the
+     * cut. Flushes the RAM buffer, forces a journal flush barrier and
+     * checkpoint, and settles the open flash page, so the powerFail()
+     * that follows tears nothing and recovery replays no journal
+     * tail. Queued commands are still dropped (the notification
+     * covers cached data and metadata, not the queue).
+     */
+    void powerOffNotify(sim::Time now);
+
+    /**
+     * Restore power at @p now: run FTL power-up recovery (checkpoint
+     * load, journal replay, open-block scan) and charge its simulated
+     * cost like blocking GC — the first post-recovery command waits it
+     * out.
+     */
+    ftl::RecoveryReport powerOn(sim::Time now);
+
+    /**
+     * Cache-flush barrier (eMMC CACHE_FLUSH): write back all dirty
+     * RAM-buffer units and force journalled metadata durable. After
+     * the returned completion time, every acknowledged write survives
+     * a sudden power-off.
+     */
+    sim::Time flushCache(sim::Time now);
+
+    const SpoStats &spoStats() const { return spoStats_; }
+
+    /**
+     * @name Snapshot
+     * Serialize the full mutable device state. Only legal at a
+     * quiescent point: queue empty, no command in flight, powered on.
+     * load() additionally re-arms pending idle-GC ticks on the
+     * simulator, so the clock must already be restored.
+     * @{
+     */
+    void save(core::BinWriter &w) const;
+    void load(core::BinReader &r);
+    /** @} */
 
     /** Requests waiting behind the in-flight command. */
     std::size_t queueDepth() const { return queue_.size(); }
@@ -213,6 +289,22 @@ class EmmcDevice
     bool busy_ = false;
     bool idle_ = true;           ///< device has been idle since last work
     sim::Time gcBusyUntil_ = 0;  ///< idle GC occupies flash until here
+
+    /**
+     * Power-loss bookkeeping. The in-flight command's requests are
+     * mirrored in inflight_ because the completion event owns the only
+     * other copy — cancelling it on a power cut would lose them.
+     * pendingIdleTicks_ mirrors every scheduled idle-GC tick (one
+     * entry per event, consumed as the event fires) so a snapshot can
+     * re-arm them on restore.
+     */
+    bool poweredOff_ = false;
+    sim::Time crashTime_ = 0;           ///< valid while poweredOff_
+    sim::EventId pendingCompletion_;    ///< in-flight completion event
+    bool hasPendingCompletion_ = false;
+    std::vector<IoRequest> inflight_;
+    std::vector<sim::Time> pendingIdleTicks_;
+    SpoStats spoStats_;
 
     DeviceStats stats_;
     CompletionCallback onComplete_;

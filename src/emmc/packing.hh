@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <deque>
 
+#include "core/binio.hh"
 #include "emmc/request.hh"
 
 namespace emmcsim::emmc {
@@ -55,6 +56,11 @@ class WritePacker
 
     const PackingConfig &config() const { return cfg_; }
     const PackingStats &stats() const { return stats_; }
+
+    /** @name Snapshot (policy is config; only counters persist). @{ */
+    void save(core::BinWriter &w) const { w.pod(stats_); }
+    void load(core::BinReader &r) { r.pod(stats_); }
+    /** @} */
 
   private:
     PackingConfig cfg_;

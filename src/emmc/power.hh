@@ -17,6 +17,7 @@
 
 #include <cstdint>
 
+#include "core/binio.hh"
 #include "sim/types.hh"
 
 namespace emmcsim::emmc {
@@ -68,6 +69,21 @@ class PowerManager
 
     const PowerConfig &config() const { return cfg_; }
     const PowerStats &stats() const { return stats_; }
+
+    /** @name Snapshot (counters plus the idle timestamp). @{ */
+    void
+    save(core::BinWriter &w) const
+    {
+        w.pod(stats_);
+        w.i64(idleSince_);
+    }
+    void
+    load(core::BinReader &r)
+    {
+        r.pod(stats_);
+        idleSince_ = r.i64();
+    }
+    /** @} */
 
   private:
     PowerConfig cfg_;

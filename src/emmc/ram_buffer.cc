@@ -1,6 +1,7 @@
 #include "emmc/ram_buffer.hh"
 
 #include <algorithm>
+#include <iterator>
 
 #include "sim/logging.hh"
 
@@ -108,6 +109,50 @@ RamBuffer::flushAll(std::vector<UnitRun> &evicted)
     lru_.clear();
     map_.clear();
     runsFromUnits(dirty, evicted);
+}
+
+std::uint64_t
+RamBuffer::discardAll()
+{
+    std::uint64_t lost = 0;
+    for (const Entry &e : lru_) {
+        if (e.dirty)
+            ++lost;
+    }
+    lru_.clear();
+    map_.clear();
+    return lost;
+}
+
+void
+RamBuffer::save(core::BinWriter &w) const
+{
+    w.pod(stats_);
+    w.u64(lru_.size());
+    for (const Entry &e : lru_) {
+        w.pod(e.lpn);
+        w.b(e.dirty);
+    }
+}
+
+void
+RamBuffer::load(core::BinReader &r)
+{
+    r.pod(stats_);
+    lru_.clear();
+    map_.clear();
+    const std::uint64_t n = r.u64();
+    if (n > cfg_.capacityUnits || n > r.remaining()) {
+        r.fail();
+        return;
+    }
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+        Entry e{};
+        r.pod(e.lpn);
+        e.dirty = r.b();
+        lru_.push_back(e);
+        map_[e.lpn] = std::prev(lru_.end());
+    }
 }
 
 } // namespace emmcsim::emmc

@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/binio.hh"
 #include "flash/pool.hh"
 
 namespace emmcsim::emmc {
@@ -94,6 +95,20 @@ class RamBuffer
      * Evict everything; dirty units are returned as runs.
      */
     void flushAll(std::vector<UnitRun> &evicted);
+
+    /**
+     * Drop every cached unit with no write-back: RAM contents vanish
+     * with the power rail on a sudden power-off.
+     * @return Number of dirty units lost (acknowledged data that never
+     *         reached flash — the cost of running write-back caching
+     *         without a flush barrier).
+     */
+    std::uint64_t discardAll();
+
+    /** @name Snapshot (full LRU contents, most-recent first). @{ */
+    void save(core::BinWriter &w) const;
+    void load(core::BinReader &r);
+    /** @} */
 
     std::size_t residentUnits() const { return map_.size(); }
     const BufferStats &stats() const { return stats_; }

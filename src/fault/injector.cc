@@ -1,6 +1,7 @@
 #include "fault/injector.hh"
 
 #include <cmath>
+#include <sstream>
 
 #include "sim/logging.hh"
 
@@ -143,6 +144,33 @@ FaultInjector::eraseFails(std::uint32_t erase_count)
         return true;
     }
     return false;
+}
+
+void
+FaultInjector::save(core::BinWriter &w) const
+{
+    // mt19937_64 state round-trips exactly through its stream
+    // operators (decimal words, locale-independent "C" formatting).
+    std::ostringstream os;
+    os << engine_;
+    w.str(os.str());
+    w.pod(stats_);
+    w.u32(forcedReads_);
+    w.u32(forcedPrograms_);
+    w.u32(forcedErases_);
+}
+
+void
+FaultInjector::load(core::BinReader &r)
+{
+    std::istringstream is(r.str());
+    is >> engine_;
+    if (is.fail())
+        r.fail();
+    r.pod(stats_);
+    forcedReads_ = r.u32();
+    forcedPrograms_ = r.u32();
+    forcedErases_ = r.u32();
 }
 
 } // namespace emmcsim::fault

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <random>
 
+#include "core/binio.hh"
 #include "sim/types.hh"
 
 namespace emmcsim::fault {
@@ -172,6 +173,13 @@ class FaultInjector
     /** @} */
 
     const FaultStats &stats() const { return stats_; }
+
+    /** @name Snapshot image (core/binio.hh).
+     * The RNG engine state round-trips exactly (stream operators), so
+     * a restored run draws the identical fault sequence. @{ */
+    void save(core::BinWriter &w) const;
+    void load(core::BinReader &r);
+    /** @} */
 
   private:
     /** Uniform draw in [0, 1). */

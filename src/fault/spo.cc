@@ -1,0 +1,30 @@
+#include "fault/spo.hh"
+
+#include <algorithm>
+#include <random>
+
+#include "sim/logging.hh"
+
+namespace emmcsim::fault {
+
+std::vector<sim::Time>
+drawSpoTicks(std::uint32_t n, std::uint64_t seed, sim::Time horizon)
+{
+    EMMCSIM_ASSERT(horizon > 0, "SPO horizon must be positive");
+    std::mt19937_64 engine(seed);
+    std::vector<sim::Time> ticks;
+    ticks.reserve(n);
+    // Rejection-sample distinct ticks; the horizon (nanoseconds over a
+    // whole trace) dwarfs any realistic n, so collisions are rare.
+    while (ticks.size() < n) {
+        const auto u = static_cast<sim::Time>(
+            engine() % static_cast<std::uint64_t>(horizon));
+        const sim::Time t = u + 1;
+        if (std::find(ticks.begin(), ticks.end(), t) == ticks.end())
+            ticks.push_back(t);
+    }
+    std::sort(ticks.begin(), ticks.end());
+    return ticks;
+}
+
+} // namespace emmcsim::fault

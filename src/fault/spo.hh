@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Sudden-power-off (SPO) injection points (DESIGN.md §13).
+ *
+ * An SPO is a scheduled event, not a probabilistic one: the host-side
+ * replayer cuts device power at pre-drawn simulated ticks and powers
+ * it back up after a configurable delay, driving the FTL through its
+ * recovery path each time. Keeping the tick list a pure function of
+ * (count, seed, horizon) makes every torture run reproducible and lets
+ * a failing crash point be re-run in isolation.
+ */
+
+#ifndef EMMCSIM_FAULT_SPO_HH
+#define EMMCSIM_FAULT_SPO_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace emmcsim::fault {
+
+/** Sudden-power-off schedule for one replay. */
+struct SpoConfig
+{
+    /** Simulated times at which power is cut (sorted ascending). */
+    std::vector<sim::Time> ticks;
+
+    /**
+     * Honor POWER_OFF_NOTIFICATION: the host warns the device, which
+     * flushes its RAM buffer and checkpoints metadata before the cut
+     * (a graceful shutdown). False models a battery yank.
+     */
+    bool notify = false;
+
+    /** Wall time between the cut and power coming back. */
+    sim::Time powerOnDelay = sim::milliseconds(100);
+};
+
+/**
+ * Draw @p n distinct power-cut times uniformly over (0, @p horizon],
+ * sorted ascending. Pure: the result depends only on the arguments.
+ *
+ * @param n       Number of cut points to draw.
+ * @param seed    RNG seed (private stream; shared with nothing).
+ * @param horizon Latest allowed cut time (e.g. the trace's last
+ *                arrival). Must be positive.
+ */
+std::vector<sim::Time> drawSpoTicks(std::uint32_t n, std::uint64_t seed,
+                                    sim::Time horizon);
+
+} // namespace emmcsim::fault
+
+#endif // EMMCSIM_FAULT_SPO_HH

@@ -234,4 +234,42 @@ FlashArray::totalStats() const
     return total;
 }
 
+void
+FlashArray::save(core::BinWriter &w) const
+{
+    w.u32(static_cast<std::uint32_t>(planes_.size()));
+    for (const Plane &p : planes_)
+        for (std::size_t k = 0; k < p.poolCount(); ++k)
+            p.pool(k).save(w);
+    w.podVec(channelFree_);
+    w.podVec(arrayFree_);
+    w.u32(static_cast<std::uint32_t>(stats_.size()));
+    for (const ArrayStats &s : stats_)
+        w.pod(s);
+}
+
+void
+FlashArray::load(core::BinReader &r)
+{
+    if (r.u32() != planes_.size()) {
+        r.fail();
+        return;
+    }
+    for (Plane &p : planes_)
+        for (std::size_t k = 0; k < p.poolCount(); ++k)
+            p.pool(k).load(r);
+    const std::size_t channels = channelFree_.size();
+    const std::size_t arrays = arrayFree_.size();
+    r.podVec(channelFree_);
+    r.podVec(arrayFree_);
+    if (channelFree_.size() != channels || arrayFree_.size() != arrays)
+        r.fail();
+    if (r.u32() != stats_.size()) {
+        r.fail();
+        return;
+    }
+    for (ArrayStats &s : stats_)
+        r.pod(s);
+}
+
 } // namespace emmcsim::flash

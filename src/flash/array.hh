@@ -165,6 +165,15 @@ class FlashArray
     /** Aggregate counters across pools. */
     ArrayStats totalStats() const;
 
+    /** @name Snapshot image (core/binio.hh). @{ */
+
+    /** Serialize every pool plus timelines and counters. */
+    void save(core::BinWriter &w) const;
+
+    /** Restore; geometry must match the constructed shape. */
+    void load(core::BinReader &r);
+    /** @} */
+
   private:
     /** Index of the array-parallelism unit for @p addr. */
     std::size_t arrayIndex(const PageAddr &addr) const;

@@ -18,6 +18,7 @@ BlockPool::BlockPool(const PoolConfig &cfg, std::uint32_t pages_per_block)
     const std::uint64_t pages = pageCount();
     lpns_.assign(pages * unitsPerPage_, kNoLpn);
     valid_.assign(pages, 0);
+    pageSeq_.assign(pages, 0);
     writePtr_.assign(blocks_, 0);
     blockValid_.assign(blocks_, 0);
     eraseCnt_.assign(blocks_, 0);
@@ -206,6 +207,10 @@ BlockPool::eraseBlock(BlockId b)
               valid_.begin() +
                   static_cast<std::ptrdiff_t>(first + pagesPerBlock_),
               std::uint8_t{0});
+    std::fill(pageSeq_.begin() + static_cast<std::ptrdiff_t>(first),
+              pageSeq_.begin() +
+                  static_cast<std::ptrdiff_t>(first + pagesPerBlock_),
+              std::uint64_t{0});
     writePtr_[i] = 0;
     ++eraseCnt_[i];
     ++totalErases_;
@@ -265,6 +270,10 @@ BlockPool::retireBlock(BlockId b)
               valid_.begin() +
                   static_cast<std::ptrdiff_t>(first + pagesPerBlock_),
               std::uint8_t{0});
+    std::fill(pageSeq_.begin() + static_cast<std::ptrdiff_t>(first),
+              pageSeq_.begin() +
+                  static_cast<std::ptrdiff_t>(first + pagesPerBlock_),
+              std::uint64_t{0});
     // The write pointer stays at the end: a retired block is "full" of
     // nothing, keeping it out of every allocation and victim scan.
     writePtr_[i] = pagesPerBlock_;
@@ -331,6 +340,136 @@ BlockPool::corruptRetiredForTest(BlockId b, bool retired)
     const std::uint32_t i = blockIndex(b);
     EMMCSIM_ASSERT(i < blocks_, "corruptRetiredForTest out of range");
     retired_[i] = retired;
+}
+
+void
+BlockPool::stampPageSeq(Ppn ppn, std::uint64_t seq)
+{
+    const std::size_t p = pageIndex(ppn);
+    EMMCSIM_ASSERT(p < pageCount(), "stampPageSeq out of range");
+    EMMCSIM_ASSERT(seq > 0, "page seq stamps start at 1");
+    pageSeq_[p] = seq;
+}
+
+std::uint64_t
+BlockPool::pageSeq(Ppn ppn) const
+{
+    const std::size_t p = pageIndex(ppn);
+    EMMCSIM_ASSERT(p < pageCount(), "pageSeq out of range");
+    return pageSeq_[p];
+}
+
+void
+BlockPool::tearPage(Ppn ppn)
+{
+    const std::size_t p = pageIndex(ppn);
+    EMMCSIM_ASSERT(p < pageCount(), "tearPage out of range");
+    const std::uint32_t b =
+        blockIndex(units::pageToBlock(ppn, pagesPerBlock_));
+    for (std::uint32_t u = 0; u < unitsPerPage_; ++u) {
+        const std::uint8_t bit = static_cast<std::uint8_t>(1u << u);
+        if (valid_[p] & bit) {
+            EMMCSIM_ASSERT(blockValid_[b] > 0, "block valid underflow");
+            --blockValid_[b];
+            --validUnits_;
+        }
+        lpns_[p * unitsPerPage_ + u] = kNoLpn;
+    }
+    valid_[p] = 0;
+    pageSeq_[p] = 0;
+    ++tornPages_;
+}
+
+void
+BlockPool::beginRecoveryScan()
+{
+    std::fill(valid_.begin(), valid_.end(), std::uint8_t{0});
+    std::fill(blockValid_.begin(), blockValid_.end(), 0u);
+    validUnits_ = 0;
+}
+
+void
+BlockPool::revalidateUnit(Ppn ppn, std::uint32_t slot)
+{
+    const std::size_t p = pageIndex(ppn);
+    EMMCSIM_ASSERT(p < pageCount() && slot < unitsPerPage_,
+                   "revalidateUnit out of range");
+    EMMCSIM_ASSERT(lpns_[p * unitsPerPage_ + slot] != kNoLpn,
+                   "revalidateUnit on unwritten slot");
+    const std::uint8_t bit = static_cast<std::uint8_t>(1u << slot);
+    EMMCSIM_ASSERT(!(valid_[p] & bit), "revalidateUnit on live unit");
+    valid_[p] |= bit;
+    ++blockValid_[blockIndex(units::pageToBlock(ppn, pagesPerBlock_))];
+    ++validUnits_;
+}
+
+void
+BlockPool::sealOpenBlocks()
+{
+    if (active_ >= 0)
+        sealBlock(BlockId{static_cast<std::uint32_t>(active_)});
+}
+
+void
+BlockPool::save(core::BinWriter &w) const
+{
+    w.u32(pageBytes_);
+    w.u32(unitsPerPage_);
+    w.u32(blocks_);
+    w.u32(pagesPerBlock_);
+    w.podVec(lpns_);
+    w.podVec(valid_);
+    w.sparseU64(pageSeq_);
+    w.podVec(writePtr_);
+    w.podVec(blockValid_);
+    w.podVec(eraseCnt_);
+    w.podVec(lastWriteSeq_);
+    w.u64(allocSeq_);
+    w.boolVec(isFree_);
+    w.boolVec(suspect_);
+    w.boolVec(retired_);
+    w.u32(freeCount_);
+    w.u32(retiredCount_);
+    w.i32(active_);
+    w.u64(totalErases_);
+    w.u64(programmed_);
+    w.u64(validUnits_);
+    w.u64(tornPages_);
+}
+
+void
+BlockPool::load(core::BinReader &r)
+{
+    if (r.u32() != pageBytes_ || r.u32() != unitsPerPage_ ||
+        r.u32() != blocks_ || r.u32() != pagesPerBlock_) {
+        r.fail();
+        return;
+    }
+    r.podVec(lpns_);
+    r.podVec(valid_);
+    r.sparseU64(pageSeq_);
+    r.podVec(writePtr_);
+    r.podVec(blockValid_);
+    r.podVec(eraseCnt_);
+    r.podVec(lastWriteSeq_);
+    allocSeq_ = r.u64();
+    r.boolVec(isFree_);
+    r.boolVec(suspect_);
+    r.boolVec(retired_);
+    freeCount_ = r.u32();
+    retiredCount_ = r.u32();
+    active_ = r.i32();
+    totalErases_ = r.u64();
+    programmed_ = r.u64();
+    validUnits_ = r.u64();
+    tornPages_ = r.u64();
+    if (lpns_.size() != pageCount() * unitsPerPage_ ||
+        valid_.size() != pageCount() || pageSeq_.size() != pageCount() ||
+        writePtr_.size() != blocks_ || blockValid_.size() != blocks_ ||
+        eraseCnt_.size() != blocks_ || lastWriteSeq_.size() != blocks_ ||
+        isFree_.size() != blocks_ || suspect_.size() != blocks_ ||
+        retired_.size() != blocks_)
+        r.fail();
 }
 
 } // namespace emmcsim::flash

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/binio.hh"
 #include "core/units.hh"
 #include "flash/geometry.hh"
 
@@ -168,6 +169,58 @@ class BlockPool
     std::uint32_t retiredBlockCount() const { return retiredCount_; }
     /** @} */
 
+    /** @name Sudden-power-off state (DESIGN.md §13). @{ */
+
+    /**
+     * Stamp page @p ppn with a monotonically increasing write sequence.
+     * Models the sequence number the FTL writes into the page's
+     * out-of-band spare area together with the lpns; recovery uses it
+     * to order multiple physical copies of the same logical unit.
+     */
+    void stampPageSeq(Ppn ppn, std::uint64_t seq);
+
+    /** OOB sequence stamp of page @p ppn (0 = never stamped). */
+    std::uint64_t pageSeq(Ppn ppn) const;
+
+    /**
+     * Model a program torn by power loss: the page keeps its write-
+     * pointer slot (it was physically started) but its contents are
+     * garbage — lpns revert to kNoLpn, the seq stamp and all valid
+     * bits clear. Recovery's OOB scan skips it like an unwritten page.
+     */
+    void tearPage(Ppn ppn);
+
+    /** Pages destroyed mid-program by power loss, cumulative. */
+    std::uint64_t tornPages() const { return tornPages_; }
+
+    /**
+     * Drop all validity state ahead of an OOB recovery scan: the valid
+     * bitmap is controller RAM and did not survive the power cut. The
+     * on-flash lpns/seq stamps and per-block write pointers remain.
+     */
+    void beginRecoveryScan();
+
+    /** Re-mark @p slot of @p ppn live (recovery scan winner). */
+    void revalidateUnit(Ppn ppn, std::uint32_t slot);
+
+    /**
+     * Seal the active block (if any). After a power cut the FTL cannot
+     * trust partially-programmed blocks for further appends, so
+     * recovery closes them and starts fresh ones.
+     */
+    void sealOpenBlocks();
+    /** @} */
+
+    /** @name Snapshot image (core/binio.hh). @{ */
+    void save(core::BinWriter &w) const;
+
+    /**
+     * Restore from @p r. Geometry must match the constructed shape;
+     * mismatch marks the reader failed and leaves the pool unusable.
+     */
+    void load(core::BinReader &r);
+    /** @} */
+
     /** @name Pool-wide statistics. @{ */
     std::uint64_t totalErases() const { return totalErases_; }
     std::uint64_t totalProgrammedPages() const { return programmed_; }
@@ -227,6 +280,8 @@ class BlockPool
     std::vector<Lpn> lpns_;
     /** valid bitmask per page (bit u = slot u live). */
     std::vector<std::uint8_t> valid_;
+    /** OOB write-sequence stamp per page (0 = unstamped). */
+    std::vector<std::uint64_t> pageSeq_;
     /** write pointer per block (pages programmed so far). */
     std::vector<std::uint32_t> writePtr_;
     /** live units per block. */
@@ -251,6 +306,7 @@ class BlockPool
     std::uint64_t totalErases_ = 0;
     std::uint64_t programmed_ = 0;
     std::uint64_t validUnits_ = 0;
+    std::uint64_t tornPages_ = 0;
 };
 
 } // namespace emmcsim::flash

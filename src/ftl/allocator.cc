@@ -1,5 +1,7 @@
 #include "ftl/allocator.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace emmcsim::ftl {
@@ -40,6 +42,27 @@ PlaneAllocator::nextPlane(std::uint32_t pool, flash::Lpn lpn)
             static_cast<std::uint64_t>(lpn.value()) % planeCount_);
     }
     sim::panic("unknown allocation policy");
+}
+
+void
+PlaneAllocator::resetCursors()
+{
+    std::fill(cursor_.begin(), cursor_.end(), 0u);
+}
+
+void
+PlaneAllocator::save(core::BinWriter &w) const
+{
+    w.podVec(cursor_);
+}
+
+void
+PlaneAllocator::load(core::BinReader &r)
+{
+    const std::size_t pools = cursor_.size();
+    r.podVec(cursor_);
+    if (cursor_.size() != pools)
+        r.fail();
 }
 
 } // namespace emmcsim::ftl

@@ -54,6 +54,17 @@ class PlaneAllocator
     AllocPolicy policy() const { return policy_; }
     std::uint32_t planeCount() const { return planeCount_; }
 
+    /**
+     * Forget the round-robin cursors. Placement cursors are volatile
+     * controller RAM; power-up recovery restarts them from zero.
+     */
+    void resetCursors();
+
+    /** @name Snapshot image (core/binio.hh). @{ */
+    void save(core::BinWriter &w) const;
+    void load(core::BinReader &r);
+    /** @} */
+
   private:
     AllocPolicy policy_;
     std::uint32_t planeCount_;

@@ -64,4 +64,26 @@ BadBlockManager::declareSpaceExhausted()
                      "device is now read-only");
 }
 
+void
+BadBlockManager::save(core::BinWriter &w) const
+{
+    w.podVec(retired_);
+    w.podVec(table_);
+    w.pod(stats_);
+    w.u8(static_cast<std::uint8_t>(readOnlyCause_));
+}
+
+void
+BadBlockManager::load(core::BinReader &r)
+{
+    const std::size_t cells = retired_.size();
+    r.podVec(retired_);
+    r.podVec(table_);
+    r.pod(stats_);
+    readOnlyCause_ = static_cast<ReadOnlyCause>(r.u8());
+    if (retired_.size() != cells ||
+        readOnlyCause_ > ReadOnlyCause::SpaceExhaustion)
+        r.fail();
+}
+
 } // namespace emmcsim::ftl

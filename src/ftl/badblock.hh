@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/binio.hh"
 #include "core/units.hh"
 
 namespace emmcsim::ftl {
@@ -117,6 +118,11 @@ class BadBlockManager
 
     const BbmConfig &config() const { return cfg_; }
     const BbmStats &stats() const { return stats_; }
+
+    /** @name Snapshot image (core/binio.hh). @{ */
+    void save(core::BinWriter &w) const;
+    void load(core::BinReader &r);
+    /** @} */
 
   private:
     BbmConfig cfg_;

@@ -27,7 +27,8 @@ Ftl::Ftl(flash::FlashArray &array, const FtlConfig &cfg)
       bbm_(array.geometry().planeCount(),
            static_cast<std::uint32_t>(array.geometry().pools.size()),
            cfg.bbm),
-      gc_(array, map_, cfg.gc, bbm_)
+      journal_(map_, cfg.journal),
+      gc_(array, map_, cfg.gc, bbm_, journal_)
 {
     if (cfg_.defaultReadPool >= array.geometry().pools.size())
         sim::fatal("defaultReadPool out of range");
@@ -173,8 +174,16 @@ Ftl::writeGroup(std::uint32_t pool, const std::vector<flash::Lpn> &lpns,
         e.pool = static_cast<std::uint16_t>(pool);
         e.ppn = ppn;
         e.unit = static_cast<std::uint16_t>(u);
-        map_.set(lpns[u], e);
+        bp.stampPageSeq(ppn, journal_.recordWrite(lpns[u], e));
     }
+
+    // Remember the program so a power cut landing before res.done can
+    // tear exactly this page (the write was never acknowledged).
+    lastHostProgram_.valid = true;
+    lastHostProgram_.planeLinear = plane;
+    lastHostProgram_.pool = pool;
+    lastHostProgram_.ppn = ppn;
+    lastHostProgram_.done = res.done;
 
     stats_.hostUnitsWritten += lpns.size();
     stats_.hostBytesConsumed += geom.pools[pool].pageBytes;
@@ -360,7 +369,7 @@ Ftl::installGroup(std::uint32_t pool,
         e.pool = static_cast<std::uint16_t>(pool);
         e.ppn = ppn;
         e.unit = static_cast<std::uint16_t>(u);
-        map_.set(lpns[u], e);
+        bp.stampPageSeq(ppn, journal_.recordWrite(lpns[u], e));
     }
     notifyAudit();
     return true;
@@ -376,10 +385,16 @@ Ftl::trim(flash::Lpn start, std::uint32_t n)
             array_.plane(static_cast<std::uint32_t>(e.planeLinear))
                 .pool(e.pool)
                 .invalidateUnit(e.ppn, e.unit);
-            map_.clear(lpn);
+            journal_.recordTrim(lpn);
         }
     }
     notifyAudit();
+}
+
+void
+Ftl::flushBarrier()
+{
+    journal_.flushBarrier();
 }
 
 sim::Time
@@ -403,6 +418,30 @@ Ftl::idleGc(sim::Time now, sim::Time deadline)
         t = done;
     }
     return t - now;
+}
+
+void
+Ftl::save(core::BinWriter &w) const
+{
+    map_.save(w);
+    alloc_.save(w);
+    bbm_.save(w);
+    journal_.save(w);
+    gc_.save(w);
+    w.pod(stats_);
+    w.pod(lastHostProgram_);
+}
+
+void
+Ftl::load(core::BinReader &r)
+{
+    map_.load(r);
+    alloc_.load(r);
+    bbm_.load(r);
+    journal_.load(r);
+    gc_.load(r);
+    r.pod(stats_);
+    r.pod(lastHostProgram_);
 }
 
 } // namespace emmcsim::ftl

@@ -25,7 +25,9 @@
 #include "ftl/badblock.hh"
 #include "ftl/distributor.hh"
 #include "ftl/gc.hh"
+#include "ftl/journal.hh"
 #include "ftl/mapping.hh"
+#include "ftl/recovery.hh"
 #include "sim/types.hh"
 
 namespace emmcsim::ftl {
@@ -39,6 +41,8 @@ struct FtlConfig
     GcConfig gc;
     /** Grown-bad-block spare budget. */
     BbmConfig bbm;
+    /** Mapping journal/checkpoint protocol (crash consistency). */
+    JournalConfig journal;
     /** Fraction of raw capacity reserved as over-provisioning. */
     double opRatio = 0.07;
     /**
@@ -183,8 +187,39 @@ class Ftl
     /** @return true once the device stopped accepting writes. */
     bool readOnly() const { return bbm_.readOnly(); }
 
+    /**
+     * Cache-flush barrier: force all journal records to flash. After
+     * this returns, every mapping and trim issued so far survives a
+     * sudden power-off.
+     */
+    void flushBarrier();
+
+    /**
+     * Model a sudden power-off at @p crash_time followed by power-up
+     * recovery (DESIGN.md §13): tear the in-flight host program (if
+     * its flash operation had not completed by the cut), forget
+     * volatile trims, rebuild the mapping table from the out-of-band
+     * (lpn, seq) stamps of all written pages, seal open blocks, reset
+     * volatile placement state, re-run interrupted erases, and write a
+     * fresh checkpoint. The report carries a flash-time cost model the
+     * device charges before serving requests again.
+     */
+    RecoveryReport powerFailAndRecover(sim::Time crash_time);
+
+    /**
+     * Declare all in-flight host programs complete: a power-off
+     * notification gives the device time to finish the open page, so
+     * a subsequent powerFailAndRecover() tears nothing. Part of the
+     * graceful-shutdown path only.
+     */
+    void markProgramsSettled() { lastHostProgram_.valid = false; }
+
     /** Grown-bad-block bookkeeping. */
     const BadBlockManager &badBlocks() const { return bbm_; }
+
+    /** Crash-consistency journal (durable-metadata gateway). */
+    const MetaJournal &journal() const { return journal_; }
+    MetaJournal &journal() { return journal_; }
 
     const FtlStats &stats() const { return stats_; }
     const GcStats &gcStats() const { return gc_.stats(); }
@@ -212,6 +247,11 @@ class Ftl
      */
     PageMap &mapForTest() { return map_; }
 
+    /** @name Snapshot image (core/binio.hh). @{ */
+    void save(core::BinWriter &w) const;
+    void load(core::BinReader &r);
+    /** @} */
+
   private:
     /** Fire the audit hook after a mutating operation. */
     void
@@ -228,11 +268,31 @@ class Ftl
     FtlConfig cfg_;
     PageMap map_;
     PlaneAllocator alloc_;
-    BadBlockManager bbm_; ///< must precede gc_ (GC holds a reference)
+    BadBlockManager bbm_;  ///< must precede gc_ (GC holds a reference)
+    MetaJournal journal_;  ///< must precede gc_ (GC holds a reference)
     GarbageCollector gc_;
     FtlStats stats_;
     const RequestDistributor *pseudoDist_ = nullptr;
     AuditHook auditHook_;
+
+    /**
+     * The host page program most recently issued to the array. Flash
+     * state mutates eagerly at issue time, so a power cut landing
+     * before the program's completion time must undo it: recovery
+     * tears exactly this page. GC copyback programs follow the
+     * relocate-then-erase discipline and are crash-atomic by
+     * construction (both copies exist until the erase), so only host
+     * programs are tracked.
+     */
+    struct LastHostProgram
+    {
+        bool valid = false;
+        std::uint32_t planeLinear = 0;
+        std::uint32_t pool = 0;
+        flash::Ppn ppn{0};
+        sim::Time done = 0;
+    };
+    LastHostProgram lastHostProgram_;
 };
 
 } // namespace emmcsim::ftl

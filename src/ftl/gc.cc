@@ -9,8 +9,9 @@
 namespace emmcsim::ftl {
 
 GarbageCollector::GarbageCollector(flash::FlashArray &array, PageMap &map,
-                                   GcConfig cfg, BadBlockManager &bbm)
-    : array_(array), map_(map), cfg_(cfg), bbm_(bbm)
+                                   GcConfig cfg, BadBlockManager &bbm,
+                                   MetaJournal &journal)
+    : array_(array), map_(map), cfg_(cfg), bbm_(bbm), journal_(journal)
 {
     EMMCSIM_ASSERT(cfg_.hardFreeBlocks >= 1,
                    "GC needs at least one reserved free block");
@@ -128,7 +129,7 @@ GarbageCollector::collectOne(std::uint32_t plane_linear, std::uint32_t pool,
             e.pool = static_cast<std::uint16_t>(pool);
             e.ppn = dst;
             e.unit = static_cast<std::uint16_t>(u);
-            map_.set(lu.lpn, e);
+            bp.stampPageSeq(dst, journal_.recordRelocation(lu.lpn, e));
             ++stats_.relocatedUnits;
         }
     }
@@ -187,6 +188,7 @@ GarbageCollector::reclaimBlock(std::uint32_t plane_linear,
         bp.retireBlock(b);
         bbm_.recordRetirement(plane_linear, pool, b,
                               RetireCause::EraseFail);
+        journal_.recordRetire();
         ++stats_.retiredBlocks;
     } else if (bp.blockSuspect(b)) {
         // A program-failed block is retired even when its erase
@@ -195,9 +197,11 @@ GarbageCollector::reclaimBlock(std::uint32_t plane_linear,
         bp.retireBlock(b);
         bbm_.recordRetirement(plane_linear, pool, b,
                               RetireCause::ProgramFail);
+        journal_.recordRetire();
         ++stats_.retiredBlocks;
     } else {
         bp.eraseBlock(b);
+        journal_.recordErase(t);
         ++stats_.erasedBlocks;
     }
     return t;
@@ -353,7 +357,7 @@ GarbageCollector::relocateSome(std::uint32_t plane_linear,
             e.pool = static_cast<std::uint16_t>(pool);
             e.ppn = dst;
             e.unit = static_cast<std::uint16_t>(dst_unit);
-            map_.set(lpn, e);
+            bp.stampPageSeq(dst, journal_.recordRelocation(lpn, e));
             ++dst_unit;
             ++stats_.relocatedUnits;
         }
@@ -436,4 +440,17 @@ GarbageCollector::idleStep(sim::Time earliest, bool &did_work)
     return done;
 }
 
+void
+GarbageCollector::save(core::BinWriter &w) const
+{
+    w.pod(stats_);
+}
+
+void
+GarbageCollector::load(core::BinReader &r)
+{
+    r.pod(stats_);
+}
+
 } // namespace emmcsim::ftl
+

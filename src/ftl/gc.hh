@@ -17,6 +17,7 @@
 
 #include "flash/array.hh"
 #include "ftl/badblock.hh"
+#include "ftl/journal.hh"
 #include "ftl/mapping.hh"
 #include "sim/types.hh"
 
@@ -80,13 +81,16 @@ class GarbageCollector
 {
   public:
     /**
-     * @param array Flash array (state + timing).
-     * @param map   Page map updated as units are relocated.
-     * @param cfg   Thresholds.
-     * @param bbm   Grown-bad-block bookkeeping (shared with the FTL).
+     * @param array   Flash array (state + timing).
+     * @param map     Page map consulted as units are relocated.
+     * @param cfg     Thresholds.
+     * @param bbm     Grown-bad-block bookkeeping (shared with the FTL).
+     * @param journal Durable-metadata gateway: every relocation,
+     *        erase, and retirement is recorded through it so the
+     *        mapping stays crash-consistent.
      */
     GarbageCollector(flash::FlashArray &array, PageMap &map, GcConfig cfg,
-                     BadBlockManager &bbm);
+                     BadBlockManager &bbm, MetaJournal &journal);
 
     /**
      * Make sure pool @p pool of plane @p plane_linear can allocate a
@@ -133,6 +137,11 @@ class GarbageCollector
 
     const GcConfig &config() const { return cfg_; }
     const GcStats &stats() const { return stats_; }
+
+    /** @name Snapshot image (counters only; no other state). @{ */
+    void save(core::BinWriter &w) const;
+    void load(core::BinReader &r);
+    /** @} */
 
   private:
     /**
@@ -203,6 +212,7 @@ class GarbageCollector
     PageMap &map_;
     GcConfig cfg_;
     BadBlockManager &bbm_;
+    MetaJournal &journal_;
     GcStats stats_;
 };
 

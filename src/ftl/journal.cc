@@ -1,0 +1,171 @@
+#include "ftl/journal.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace emmcsim::ftl {
+
+MetaJournal::MetaJournal(PageMap &map, const JournalConfig &cfg)
+    : map_(map), cfg_(cfg)
+{
+    EMMCSIM_ASSERT(cfg_.recordsPerPage >= 1,
+                   "journal page must hold at least one record");
+    EMMCSIM_ASSERT(cfg_.checkpointEveryRecords >= cfg_.recordsPerPage,
+                   "checkpoint interval below one journal page");
+    // A device ships with a clean checkpoint of the (empty) table.
+    checkpointPages_ =
+        (map_.logicalUnits() + cfg_.recordsPerPage - 1) /
+        cfg_.recordsPerPage;
+}
+
+std::uint64_t
+MetaJournal::append()
+{
+    ++seq_;
+    if (++openRecords_ >= cfg_.recordsPerPage) {
+        // Page buffer full: it reaches flash piggybacked on the data
+        // stream (OOB), making everything up to here durable.
+        durableSeq_ = seq_;
+        openRecords_ = 0;
+        ++stats_.pagesFlushed;
+        ++pagesSinceCheckpoint_;
+    }
+    if (++recordsSinceCheckpoint_ >= cfg_.checkpointEveryRecords)
+        checkpoint();
+    return seq_;
+}
+
+std::uint64_t
+MetaJournal::recordWrite(flash::Lpn lpn, const MapEntry &e)
+{
+    map_.set(lpn, e);
+    ++stats_.writeRecords;
+    return append();
+}
+
+std::uint64_t
+MetaJournal::recordRelocation(flash::Lpn lpn, const MapEntry &e)
+{
+    map_.set(lpn, e);
+    ++stats_.relocRecords;
+    return append();
+}
+
+std::uint64_t
+MetaJournal::recordTrim(flash::Lpn lpn)
+{
+    map_.clear(lpn);
+    ++stats_.trimRecords;
+    const std::uint64_t s = append();
+    if (trimSeq_.empty())
+        trimSeq_.assign(map_.logicalUnits(), 0);
+    trimSeq_[static_cast<std::size_t>(lpn.value())] = s;
+    return s;
+}
+
+void
+MetaJournal::recordErase(sim::Time done)
+{
+    ++stats_.eraseRecords;
+    lastEraseDone_ = std::max(lastEraseDone_, done);
+    append();
+}
+
+void
+MetaJournal::recordRetire()
+{
+    ++stats_.retireRecords;
+    append();
+    // Spare/bad-block accounting must never roll back across a crash.
+    flushBarrier();
+}
+
+void
+MetaJournal::flushBarrier()
+{
+    if (openRecords_ > 0) {
+        openRecords_ = 0;
+        ++stats_.barrierFlushes;
+        ++pagesSinceCheckpoint_;
+    }
+    durableSeq_ = seq_;
+}
+
+void
+MetaJournal::checkpoint()
+{
+    flushBarrier();
+    checkpointPages_ =
+        (map_.logicalUnits() + cfg_.recordsPerPage - 1) /
+        cfg_.recordsPerPage;
+    pagesSinceCheckpoint_ = 0;
+    recordsSinceCheckpoint_ = 0;
+    ++stats_.checkpoints;
+}
+
+std::uint64_t
+MetaJournal::dropVolatileTrims()
+{
+    std::uint64_t dropped = 0;
+    for (std::uint64_t &s : trimSeq_) {
+        if (s > durableSeq_) {
+            s = 0;
+            ++dropped;
+        }
+    }
+    stats_.droppedTrims += dropped;
+    return dropped;
+}
+
+void
+MetaJournal::resetMapForRecovery()
+{
+    map_.reset();
+}
+
+void
+MetaJournal::installRecovered(flash::Lpn lpn, const MapEntry &e)
+{
+    map_.set(lpn, e);
+}
+
+std::uint64_t
+MetaJournal::durableTrimSeq(flash::Lpn lpn) const
+{
+    if (trimSeq_.empty())
+        return 0;
+    return trimSeq_[static_cast<std::size_t>(lpn.value())];
+}
+
+void
+MetaJournal::save(core::BinWriter &w) const
+{
+    w.pod(stats_);
+    w.u64(seq_);
+    w.u64(durableSeq_);
+    w.u32(openRecords_);
+    w.u64(recordsSinceCheckpoint_);
+    w.u64(pagesSinceCheckpoint_);
+    w.u64(checkpointPages_);
+    w.i64(lastEraseDone_);
+    w.sparseU64(trimSeq_);
+}
+
+void
+MetaJournal::load(core::BinReader &r)
+{
+    r.pod(stats_);
+    seq_ = r.u64();
+    durableSeq_ = r.u64();
+    openRecords_ = r.u32();
+    recordsSinceCheckpoint_ = r.u64();
+    pagesSinceCheckpoint_ = r.u64();
+    checkpointPages_ = r.u64();
+    lastEraseDone_ = r.i64();
+    r.sparseU64(trimSeq_);
+    if (!trimSeq_.empty() && trimSeq_.size() != map_.logicalUnits())
+        r.fail();
+}
+
+} // namespace emmcsim::ftl

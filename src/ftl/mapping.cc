@@ -1,5 +1,7 @@
 #include "ftl/mapping.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace emmcsim::ftl {
@@ -52,6 +54,30 @@ PageMap::clear(flash::Lpn lpn)
         --mappedCount_;
         slot = MapEntry{};
     }
+}
+
+void
+PageMap::reset()
+{
+    std::fill(entries_.begin(), entries_.end(), MapEntry{});
+    mappedCount_ = 0;
+}
+
+void
+PageMap::save(core::BinWriter &w) const
+{
+    w.podVec(entries_);
+    w.u64(mappedCount_);
+}
+
+void
+PageMap::load(core::BinReader &r)
+{
+    const std::uint64_t logical = entries_.size();
+    r.podVec(entries_);
+    mappedCount_ = r.u64();
+    if (entries_.size() != logical)
+        r.fail();
 }
 
 } // namespace emmcsim::ftl

@@ -56,6 +56,18 @@ class PageMap
     /** Count of currently mapped units. */
     std::uint64_t mappedCount() const { return mappedCount_; }
 
+    /**
+     * Drop every mapping. Power-fail recovery rebuilds the table from
+     * scratch out of the flash OOB scan (DESIGN.md §13); the pre-crash
+     * RAM copy is exactly what did not survive.
+     */
+    void reset();
+
+    /** @name Snapshot image (core/binio.hh). @{ */
+    void save(core::BinWriter &w) const;
+    void load(core::BinReader &r);
+    /** @} */
+
   private:
     void checkRange(flash::Lpn lpn) const;
 

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Ftl::powerFailAndRecover: the power-up recovery procedure.
+ *
+ * Lives in its own translation unit (with journal.cc) on the other
+ * side of the emmclint `durable-ftl-mutation` fence: recovery is the
+ * one consumer allowed to rebuild the mapping table wholesale, and it
+ * does so exclusively through the MetaJournal recovery API.
+ *
+ * State rebuild vs cost model: the simulator rebuilds the mapping by
+ * scanning the OOB (lpn, seq) stamps of *every* written page — a
+ * shortcut that is exact because those stamps are the ground truth a
+ * real controller's checkpoint+journal merely caches. The *time*
+ * charged, however, follows the realistic protocol: read the last
+ * checkpoint, replay the journal pages written since, OOB-scan only
+ * the blocks that were open at the cut, re-run interrupted erases,
+ * and write a fresh checkpoint.
+ */
+
+#include <vector>
+
+#include "ftl/ftl.hh"
+#include "sim/logging.hh"
+
+namespace emmcsim::ftl {
+
+RecoveryReport
+Ftl::powerFailAndRecover(sim::Time crash_time)
+{
+    RecoveryReport rep;
+    const auto &geom = array_.geometry();
+    const auto &timing = array_.timing();
+
+    // 1. Tear the in-flight host program. The flash array mutates
+    // state eagerly at issue time, so a program whose completion lies
+    // beyond the cut left a half-programmed page: its OOB stamps are
+    // unreadable and the data is gone. Event ordering guarantees the
+    // command's completion had not fired, so the host never saw an
+    // acknowledgment for it (rolling back is legal).
+    if (lastHostProgram_.valid && lastHostProgram_.done > crash_time) {
+        auto &bp = array_.plane(lastHostProgram_.planeLinear)
+                       .pool(lastHostProgram_.pool);
+        bp.tearPage(lastHostProgram_.ppn);
+        ++rep.tornPages;
+    }
+    lastHostProgram_.valid = false;
+
+    // 2. Volatile trims (journaled but never flushed) are forgotten:
+    // the trimmed data legally resurrects.
+    rep.droppedTrims = journal_.dropVolatileTrims();
+
+    // 3. An erase whose completion lies beyond the cut is re-run at
+    // power-up. Block state already reads as erased (the simulator
+    // committed it eagerly); only the re-erase time is charged.
+    if (journal_.lastEraseDone() > crash_time) {
+        ++rep.reErasedBlocks;
+        rep.reEraseTime = timing.eraseLatency;
+    }
+
+    // 4. Rebuild the mapping from the OOB stamps. RAM validity state
+    // is gone; collect the highest-seq copy of every logical unit.
+    struct Winner
+    {
+        std::uint64_t seq = 0;
+        std::uint32_t planeLinear = 0;
+        std::uint16_t pool = 0;
+        std::uint16_t unit = 0;
+        flash::Ppn ppn{0};
+    };
+    std::vector<Winner> winners(map_.logicalUnits());
+
+    journal_.resetMapForRecovery();
+    for (std::uint32_t pl = 0; pl < geom.planeCount(); ++pl) {
+        for (std::uint32_t k = 0; k < geom.pools.size(); ++k) {
+            auto &bp = array_.plane(pl).pool(k);
+            const bool open = bp.activeBlock() >= 0;
+            bp.beginRecoveryScan();
+            const std::uint32_t ppb = bp.pagesPerBlock();
+            for (std::uint32_t b = 0; b < bp.blockCount(); ++b) {
+                const flash::BlockId bid{b};
+                if (bp.blockFree(bid) || bp.blockRetired(bid))
+                    continue;
+                const std::uint32_t written =
+                    std::min(bp.writtenPages(bid), ppb);
+                for (std::uint32_t pg = 0; pg < written; ++pg) {
+                    const flash::Ppn ppn =
+                        units::blockFirstPage(bid, ppb) + pg;
+                    ++rep.scannedPages;
+                    const std::uint64_t seq = bp.pageSeq(ppn);
+                    if (seq == 0)
+                        continue; // torn or sealed-over page
+                    for (std::uint32_t u = 0; u < bp.unitsPerPage();
+                         ++u) {
+                        const flash::Lpn lpn = bp.lpnAt(ppn, u);
+                        if (lpn == flash::kNoLpn)
+                            continue;
+                        auto &win = winners[static_cast<std::size_t>(
+                            lpn.value())];
+                        if (seq > win.seq) {
+                            if (win.seq != 0)
+                                ++rep.staleCopies;
+                            win.seq = seq;
+                            win.planeLinear = pl;
+                            win.pool = static_cast<std::uint16_t>(k);
+                            win.unit = static_cast<std::uint16_t>(u);
+                            win.ppn = ppn;
+                        } else {
+                            ++rep.staleCopies;
+                        }
+                    }
+                }
+            }
+            // Cost model: a real controller OOB-scans only the blocks
+            // its checkpoint had not sealed — the ones open at the cut.
+            if (open) {
+                const flash::BlockId ab{static_cast<std::uint32_t>(
+                    bp.activeBlock())};
+                rep.openBlockScanPages +=
+                    std::min(bp.writtenPages(ab), ppb);
+            }
+            bp.sealOpenBlocks();
+            if (open)
+                ++rep.sealedBlocks;
+        }
+    }
+
+    // 5. Install the winners, honouring durable trims: a trim recorded
+    // after the winner was written voids it.
+    for (std::uint64_t l = 0; l < winners.size(); ++l) {
+        const Winner &win = winners[l];
+        if (win.seq == 0)
+            continue;
+        const flash::Lpn lpn{static_cast<std::int64_t>(l)};
+        if (journal_.durableTrimSeq(lpn) > win.seq) {
+            ++rep.trimmedWinners;
+            continue;
+        }
+        MapEntry e;
+        e.planeLinear = static_cast<std::int32_t>(win.planeLinear);
+        e.pool = win.pool;
+        e.ppn = win.ppn;
+        e.unit = win.unit;
+        journal_.installRecovered(lpn, e);
+        array_.plane(win.planeLinear)
+            .pool(win.pool)
+            .revalidateUnit(win.ppn, win.unit);
+        ++rep.recoveredUnits;
+    }
+
+    // 6. Volatile placement state restarts from scratch.
+    alloc_.resetCursors();
+
+    // 7. Time the realistic protocol. Metadata pages live in the
+    // default-read pool; open-block OOB scans and torn-page probes pay
+    // that block's pool read latency.
+    const auto &meta = timing.pools[cfg_.defaultReadPool];
+    rep.checkpointPagesRead = journal_.checkpointPages();
+    rep.journalPagesRead = journal_.pagesSinceCheckpoint() +
+                           (journal_.openPageRecords() > 0 ? 1 : 0);
+    rep.checkpointReadTime =
+        static_cast<sim::Time>(rep.checkpointPagesRead) *
+        meta.readLatency;
+    rep.journalReplayTime =
+        static_cast<sim::Time>(rep.journalPagesRead) * meta.readLatency;
+    rep.scanTime =
+        static_cast<sim::Time>(rep.openBlockScanPages + rep.tornPages) *
+        meta.readLatency;
+
+    // 8. A fresh checkpoint closes recovery so a second crash never
+    // replays this one's work.
+    journal_.checkpoint();
+    rep.checkpointWriteTime =
+        static_cast<sim::Time>(journal_.checkpointPages()) *
+        meta.programLatency;
+
+    rep.totalTime = rep.checkpointReadTime + rep.journalReplayTime +
+                    rep.scanTime + rep.reEraseTime +
+                    rep.checkpointWriteTime;
+
+    EMMCSIM_LOG_DEBUG(
+        "ftl", "power-up recovery: " +
+                   std::to_string(rep.recoveredUnits) + " units, " +
+                   std::to_string(rep.tornPages) + " torn, " +
+                   std::to_string(rep.droppedTrims) + " trims dropped, " +
+                   std::to_string(rep.totalTime) + " ns");
+    notifyAudit();
+    return rep;
+}
+
+} // namespace emmcsim::ftl

@@ -3,9 +3,18 @@
 #include <algorithm>
 #include <vector>
 
+#include "core/binio.hh"
 #include "sim/logging.hh"
 
 namespace emmcsim::host {
+
+namespace {
+
+/** Snapshot-image identification (bumped on any layout change). */
+const char kSnapshotMagic[] = "emmcsim-snap";
+constexpr std::uint32_t kSnapshotVersion = 1;
+
+} // namespace
 
 Replayer::Replayer(sim::Simulator &simulator, emmc::EmmcDevice &device)
     : sim_(simulator), device_(device)
@@ -15,28 +24,194 @@ Replayer::Replayer(sim::Simulator &simulator, emmc::EmmcDevice &device)
 trace::Trace
 Replayer::replay(const trace::Trace &input, const ReplayOptions &opts)
 {
+    return run(input, opts, nullptr);
+}
+
+trace::Trace
+Replayer::resume(const trace::Trace &input, const std::string &image,
+                 const ReplayOptions &opts)
+{
+    if (!opts.spo.ticks.empty() || opts.snapshotAt >= 0)
+        sim::fatal("resume: SPO injection and re-snapshotting are not "
+                   "supported on a resumed replay");
+    return run(input, opts, &image);
+}
+
+void
+Replayer::submitNow(const emmc::IoRequest &req)
+{
+    if (device_.poweredOff()) {
+        // The host sees a dead device: hold the request and re-issue
+        // it when power returns.
+        ++stats_.deferredSubmissions;
+        parked_.push_back(req);
+        return;
+    }
+    emmc::IoRequest r = req;
+    r.arrival = sim_.now(); // re-issues arrive when submitted
+    device_.submit(r);
+}
+
+void
+Replayer::spoCut()
+{
+    if (device_.poweredOff()) {
+        ++stats_.spoSkipped; // cut landed inside an ongoing outage
+        return;
+    }
+    const sim::Time now = sim_.now();
+    if (spoNotify_)
+        device_.powerOffNotify(now);
+    device_.powerFail(now, parked_);
+    ++stats_.spoEvents;
+    sim_.schedule(now + spoPowerOnDelay_, [this] { spoPowerUp(); });
+}
+
+void
+Replayer::spoPowerUp()
+{
+    const ftl::RecoveryReport rep = device_.powerOn(sim_.now());
+    stats_.recoveryTime += rep.totalTime;
+    // Re-issue everything the outage swallowed — dropped in-flight and
+    // queued requests plus arrivals parked mid-outage — in submission
+    // order, like the block layer requeueing its outstanding bios.
+    std::vector<emmc::IoRequest> again;
+    again.swap(parked_);
+    std::sort(again.begin(), again.end(),
+              [](const emmc::IoRequest &a, const emmc::IoRequest &b) {
+                  return a.id < b.id;
+              });
+    for (const emmc::IoRequest &r : again) {
+        ++stats_.reissuedRequests;
+        submitNow(r);
+    }
+}
+
+void
+Replayer::maybeCapture(const trace::Trace &out)
+{
+    if (snapshotDone_ || sim_.now() < snapshotAt_)
+        return;
+    // Quiescent point: nothing in flight anywhere — device idle with
+    // an empty queue, no retry resubmission scheduled, nothing parked.
+    // Pending arrivals and idle-GC ticks are fine; both are re-armed
+    // from the image on resume.
+    if (device_.busy() || device_.queueDepth() > 0 ||
+        device_.poweredOff() || pendingRetries_ > 0 || !parked_.empty())
+        return;
+
+    core::BinWriter w;
+    w.str(kSnapshotMagic);
+    w.u32(kSnapshotVersion);
+    w.i64(sim_.now());
+    w.u64(nextArrival_);
+    w.u64(out.size());
+    for (const trace::TraceRecord &r : out.records()) {
+        w.i64(r.serviceStart);
+        w.i64(r.finish);
+    }
+    w.pod(stats_);
+    device_.save(w);
+    snapshotImage_ = w.take();
+    snapshotDone_ = true;
+    EMMCSIM_LOG_DEBUG(
+        "replay", "snapshot captured at " + std::to_string(sim_.now()) +
+                      " ns (" + std::to_string(snapshotImage_.size()) +
+                      " bytes, " + std::to_string(nextArrival_) +
+                      " arrivals in)");
+}
+
+trace::Trace
+Replayer::run(const trace::Trace &input, const ReplayOptions &opts,
+              const std::string *image)
+{
     // Validate before scheduling anything: a malformed trace (arrivals
     // out of order, zero-sized or misaligned requests) would fail deep
     // inside the device with a far less actionable message.
     std::string problem = input.validate();
     if (!problem.empty())
         sim::fatal("replay: invalid input trace: " + problem);
+    if (!opts.spo.ticks.empty() && opts.snapshotAt >= 0)
+        sim::fatal("replay: SPO injection and snapshotting are "
+                   "mutually exclusive in one replay");
+    if (!std::is_sorted(opts.spo.ticks.begin(), opts.spo.ticks.end()))
+        sim::fatal("replay: SPO ticks must be sorted ascending");
 
     trace::Trace out = input;
     stats_ = ReplayStats{};
+    parked_.clear();
+    spoNotify_ = opts.spo.notify;
+    spoPowerOnDelay_ = opts.spo.powerOnDelay;
+    pendingRetries_ = 0;
+    nextArrival_ = 0;
+    snapshotAt_ = opts.snapshotAt;
+    snapshotDone_ = false;
+    snapshotImage_.clear();
 
     const std::uint64_t logical_units = device_.ftl().logicalUnits();
 
     // Per-request retry bookkeeping: attempts used so far and the
     // finish time of the first attempt (to price the retry penalty).
     // One container, sized to the full in-flight population up front,
-    // so nothing reallocates mid-run.
+    // so nothing reallocates mid-run. A resumed replay starts from
+    // defaults: the capture point had no retry in flight, and records
+    // completed before it are never resubmitted.
     struct RetryState
     {
         std::uint32_t attempts = 0;
         sim::Time firstFinish = -1;
     };
     std::vector<RetryState> inflight(input.size());
+
+    // Restore the captured clock and bookkeeping before scheduling
+    // anything; the device state itself loads after the arrivals so
+    // re-armed idle-GC ticks sort behind same-tick arrivals, exactly
+    // as in the capturing run (arrivals were all scheduled up front
+    // there and so carry smaller sequence numbers).
+    core::BinReader reader(image ? std::string_view(*image)
+                                 : std::string_view());
+    if (image) {
+        if (sim_.pending() || sim_.now() != 0)
+            sim::fatal("resume: needs a fresh simulator");
+        if (reader.str() != kSnapshotMagic ||
+            reader.u32() != kSnapshotVersion)
+            sim::fatal("resume: not a snapshot image (or wrong "
+                       "version)");
+        const sim::Time capture_time = reader.i64();
+        nextArrival_ = reader.u64();
+        if (reader.u64() != out.size())
+            sim::fatal("resume: snapshot was captured for a different "
+                       "trace");
+        for (trace::TraceRecord &r : out.records()) {
+            r.serviceStart = reader.i64();
+            r.finish = reader.i64();
+        }
+        reader.pod(stats_);
+        if (!reader.ok() || nextArrival_ > out.size())
+            sim::fatal("resume: truncated snapshot image");
+        sim_.restoreClock(capture_time);
+
+        // Re-feed the completions the capturing run already delivered
+        // through the device trace hook, so observer-side accumulators
+        // (the latency histograms) converge to the uninterrupted run's
+        // values. The capture point is quiescent: every record before
+        // nextArrival_ has final timestamps.
+        if (device_.traceHook()) {
+            for (std::uint64_t i = 0; i < nextArrival_; ++i) {
+                const trace::TraceRecord &r = out[i];
+                emmc::CompletedRequest c;
+                c.request.id = i;
+                c.request.arrival = r.arrival;
+                c.request.lbaSector = r.lbaSector;
+                c.request.sizeBytes = r.sizeBytes;
+                c.request.write = r.isWrite();
+                c.serviceStart = r.serviceStart;
+                c.finish = r.finish;
+                c.waited = r.serviceStart > r.arrival;
+                device_.traceHook()(c);
+            }
+        }
+    }
 
     device_.setCompletionCallback(
         [this, &out, &opts,
@@ -75,6 +250,7 @@ Replayer::replay(const trace::Trace &input, const ReplayOptions &opts)
             const sim::Time delay = opts.retryBackoff << shift;
             ++rs.attempts;
             ++stats_.retriesScheduled;
+            ++pendingRetries_;
             emmc::IoRequest retry = c.request;
             retry.arrival = c.finish + delay;
             EMMCSIM_LOG_DEBUG(
@@ -87,13 +263,16 @@ Replayer::replay(const trace::Trace &input, const ReplayOptions &opts)
             // the event arena's inline budget. If IoRequest grows,
             // this assert fires before the hot path regresses to
             // heap-allocating events.
-            auto resubmit = [this, retry] { device_.submit(retry); };
+            auto resubmit = [this, retry] {
+                --pendingRetries_;
+                submitNow(retry);
+            };
             static_assert(sim::InlineAction::fits<decltype(resubmit)>(),
                           "retry capture must stay inline");
             sim_.schedule(retry.arrival, std::move(resubmit));
         });
 
-    for (std::size_t i = 0; i < input.size(); ++i) {
+    for (std::size_t i = nextArrival_; i < input.size(); ++i) {
         const trace::TraceRecord &r = input[i];
 
         emmc::IoRequest req;
@@ -106,6 +285,16 @@ Replayer::replay(const trace::Trace &input, const ReplayOptions &opts)
         const std::uint64_t units = req.sizeUnits();
         std::uint64_t unit = static_cast<std::uint64_t>(
             units::lbaToUnitFloor(req.lbaSector).value());
+        if (units > logical_units) {
+            // Wrapping cannot help: the request alone is larger than
+            // the device. Without this check the fold below would
+            // underflow its unsigned modulus.
+            sim::fatal("trace record " + std::to_string(i) + " spans " +
+                       std::to_string(units) +
+                       " units but the device only exports " +
+                       std::to_string(logical_units) +
+                       "; use a larger device or a scaled-down trace");
+        }
         if (unit + units > logical_units) {
             if (!opts.wrapAddresses) {
                 sim::fatal("trace addresses device beyond its logical "
@@ -116,14 +305,40 @@ Replayer::replay(const trace::Trace &input, const ReplayOptions &opts)
         req.lbaSector = units::unitToLba(
             units::UnitAddr{static_cast<std::int64_t>(unit)});
 
-        auto submit = [this, req] { device_.submit(req); };
+        auto submit = [this, req] {
+            ++nextArrival_;
+            submitNow(req);
+        };
         static_assert(sim::InlineAction::fits<decltype(submit)>(),
                       "submit capture must stay inline");
         sim_.schedule(r.arrival, std::move(submit));
     }
 
+    if (image) {
+        device_.load(reader);
+        if (!reader.ok() || reader.remaining() != 0)
+            sim::fatal("resume: corrupt snapshot image");
+    }
+
+    for (sim::Time tick : opts.spo.ticks) {
+        EMMCSIM_ASSERT(tick > 0, "SPO tick must be positive");
+        sim_.schedule(tick, [this] { spoCut(); });
+    }
+
+    sim::Simulator::HookId hook = 0;
+    if (snapshotAt_ >= 0) {
+        hook = sim_.addPostEventHook(
+            [this, &out](const sim::Simulator &) { maybeCapture(out); });
+    }
+
     sim_.run();
     device_.setCompletionCallback(nullptr);
+    if (snapshotAt_ >= 0) {
+        sim_.removePostEventHook(hook);
+        if (!snapshotDone_)
+            sim::fatal("replay: no quiescent point reached at or after "
+                       "the requested snapshot tick");
+    }
 
     for (const auto &r : out.records()) {
         EMMCSIM_ASSERT(r.replayed(),

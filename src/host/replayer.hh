@@ -8,12 +8,32 @@
  * role of BIOtracer in reverse: it stamps each completed request with
  * the step-2 (service start) and step-3 (finish) times the device
  * reports.
+ *
+ * Two robustness extensions ride on the same loop (DESIGN.md §13):
+ *
+ *  - **Sudden power-off.** ReplayOptions::spo schedules power cuts at
+ *    pre-drawn ticks. A cut cancels the in-flight command, drops the
+ *    device queue, and discards the RAM buffer; the replayer parks
+ *    every swallowed request plus any arrival landing during the
+ *    outage, and re-issues them in submission order once the device
+ *    powers back up through FTL recovery.
+ *
+ *  - **Snapshot / resume.** ReplayOptions::snapshotAt captures the
+ *    full mutable simulation state into a binary image at the first
+ *    quiescent point (device idle, queue empty, no pending retries)
+ *    at or after the requested tick. resume() reconstructs the run in
+ *    a fresh simulator/device pair and continues it; the completed
+ *    replay is byte-identical to the uninterrupted one.
  */
 
 #ifndef EMMCSIM_HOST_REPLAYER_HH
 #define EMMCSIM_HOST_REPLAYER_HH
 
+#include <string>
+#include <vector>
+
 #include "emmc/device.hh"
+#include "fault/spo.hh"
 #include "sim/simulator.hh"
 #include "trace/trace.hh"
 
@@ -35,6 +55,21 @@ struct ReplayOptions
     std::uint32_t maxRetries = 3;
     /** First retry delay; doubles per attempt (exponential backoff). */
     sim::Time retryBackoff = sim::milliseconds(1);
+
+    /**
+     * Sudden-power-off schedule; empty ticks disable injection.
+     * Mutually exclusive with snapshotAt (a cut while capturing would
+     * make the image ill-defined).
+     */
+    fault::SpoConfig spo;
+
+    /**
+     * Capture a snapshot at the first quiescent point at or after
+     * this simulated time; negative disables. The image is available
+     * from snapshotImage() after replay() returns, and the replay
+     * itself continues to completion unperturbed.
+     */
+    sim::Time snapshotAt = -1;
 };
 
 /** Host-side error-recovery counters for one replay. */
@@ -50,6 +85,19 @@ struct ReplayStats
     std::uint64_t failedRequests = 0;
     /** Extra latency requests accrued across their retry attempts. */
     sim::Time retryPenalty = 0;
+
+    /** @name Sudden-power-off (all zero unless SPO is scheduled). @{ */
+    /** Power cuts executed. */
+    std::uint64_t spoEvents = 0;
+    /** Cuts skipped because they landed inside an ongoing outage. */
+    std::uint64_t spoSkipped = 0;
+    /** Dropped or deferred requests re-issued after power-up. */
+    std::uint64_t reissuedRequests = 0;
+    /** Submissions parked because the device was off. */
+    std::uint64_t deferredSubmissions = 0;
+    /** Total simulated power-up recovery time. */
+    sim::Time recoveryTime = 0;
+    /** @} */
 };
 
 /** Drives one device with one trace. */
@@ -72,13 +120,59 @@ class Replayer
     trace::Trace replay(const trace::Trace &input,
                         const ReplayOptions &opts = {});
 
+    /**
+     * Continue a replay of @p input from a snapshot @p image captured
+     * by an earlier replay() with snapshotAt set. The simulator and
+     * device must be freshly constructed with the configuration of
+     * the capturing run (mismatched geometry fails the image load;
+     * other config divergence is the caller's responsibility).
+     * opts.spo and opts.snapshotAt must be unset.
+     */
+    trace::Trace resume(const trace::Trace &input,
+                        const std::string &image,
+                        const ReplayOptions &opts = {});
+
     /** Error/retry counters of the most recent replay() call. */
     const ReplayStats &stats() const { return stats_; }
 
+    /** @return true once the requested snapshot was captured. */
+    bool snapshotTaken() const { return snapshotDone_; }
+
+    /** The captured image (empty until snapshotTaken()). */
+    const std::string &snapshotImage() const { return snapshotImage_; }
+
   private:
+    /** Shared body of replay() and resume(). */
+    trace::Trace run(const trace::Trace &input,
+                     const ReplayOptions &opts,
+                     const std::string *image);
+
+    /** Submit @p req now, or park it while the device is off. */
+    void submitNow(const emmc::IoRequest &req);
+
+    /** Power-cut event body (one per scheduled SPO tick). */
+    void spoCut();
+
+    /** Power-restore event body; re-issues parked requests. */
+    void spoPowerUp();
+
+    /** Post-event hook body: capture once quiescent past snapshotAt_. */
+    void maybeCapture(const trace::Trace &out);
+
     sim::Simulator &sim_;
     emmc::EmmcDevice &device_;
     ReplayStats stats_;
+
+    /** @name Per-replay orchestration state (reset by run()). @{ */
+    std::vector<emmc::IoRequest> parked_; ///< awaiting power-up re-issue
+    bool spoNotify_ = false;
+    sim::Time spoPowerOnDelay_ = 0;
+    std::uint64_t pendingRetries_ = 0; ///< scheduled, not yet re-submitted
+    std::uint64_t nextArrival_ = 0;    ///< trace records submitted so far
+    sim::Time snapshotAt_ = -1;
+    bool snapshotDone_ = false;
+    std::string snapshotImage_;
+    /** @} */
 };
 
 } // namespace emmcsim::host

@@ -95,6 +95,40 @@ registerDeviceMetrics(Registry &registry, const emmc::EmmcDevice &device,
                 f.uncorrectableReads);
     bindCounter(registry, p + "ftl.rejected_writes", f.rejectedWrites);
 
+    const emmc::SpoStats &sp = device.spoStats();
+    bindCounter(registry, p + "emmc.spo.power_cuts", sp.powerCuts);
+    bindCounter(registry, p + "emmc.spo.notified_cuts", sp.notifiedCuts);
+    bindCounter(registry, p + "emmc.spo.dropped_in_flight",
+                sp.droppedInFlight);
+    bindCounter(registry, p + "emmc.spo.dropped_queued",
+                sp.droppedQueued);
+    bindCounter(registry, p + "emmc.spo.lost_dirty_units",
+                sp.lostDirtyUnits);
+    bindCounter(registry, p + "emmc.spo.torn_pages", sp.tornPages);
+    bindTimeCounter(registry, p + "emmc.spo.recovery_time_ns",
+                    sp.recoveryTime);
+
+    const ftl::JournalStats &jn = device.ftl().journal().stats();
+    bindCounter(registry, p + "ftl.journal.write_records",
+                jn.writeRecords);
+    bindCounter(registry, p + "ftl.journal.reloc_records",
+                jn.relocRecords);
+    bindCounter(registry, p + "ftl.journal.trim_records",
+                jn.trimRecords);
+    bindCounter(registry, p + "ftl.journal.pages_flushed",
+                jn.pagesFlushed);
+    bindCounter(registry, p + "ftl.journal.barrier_flushes",
+                jn.barrierFlushes);
+    bindCounter(registry, p + "ftl.journal.checkpoints", jn.checkpoints);
+    bindCounter(registry, p + "ftl.journal.dropped_trims",
+                jn.droppedTrims);
+    registry.counter(p + "ftl.journal.seq", [&device] {
+        return device.ftl().journal().seq();
+    });
+    registry.counter(p + "ftl.journal.durable_seq", [&device] {
+        return device.ftl().journal().durableSeq();
+    });
+
     const ftl::GcStats &gc = device.ftl().gcStats();
     bindCounter(registry, p + "ftl.gc.blocking_rounds",
                 gc.blockingRounds);
@@ -223,6 +257,15 @@ registerReplayerMetrics(Registry &registry,
                 stats.failedRequests);
     bindTimeCounter(registry, p + "host.replay.retry_penalty_ns",
                     stats.retryPenalty);
+    bindCounter(registry, p + "host.replay.spo_events", stats.spoEvents);
+    bindCounter(registry, p + "host.replay.spo_skipped",
+                stats.spoSkipped);
+    bindCounter(registry, p + "host.replay.reissued_requests",
+                stats.reissuedRequests);
+    bindCounter(registry, p + "host.replay.deferred_submissions",
+                stats.deferredSubmissions);
+    bindTimeCounter(registry, p + "host.replay.recovery_time_ns",
+                    stats.recoveryTime);
 }
 
 } // namespace emmcsim::obs

@@ -59,6 +59,21 @@ class Simulator
     bool cancel(EventId id) { return events_.cancel(id); }
 
     /**
+     * Set the clock to @p when without running events — the snapshot
+     * restore path uses this to resume a fresh simulator at the image's
+     * capture time before re-scheduling the remaining arrivals. Only
+     * legal on an empty queue: jumping the clock with events pending
+     * would reorder them against their timestamps.
+     */
+    void
+    restoreClock(Time when)
+    {
+        EMMCSIM_ASSERT(!pending(), "restoreClock with events pending");
+        EMMCSIM_ASSERT(when >= now_, "clock may only move forward");
+        now_ = when;
+    }
+
+    /**
      * Run until the event queue drains.
      * @return number of events executed.
      */

@@ -74,8 +74,8 @@ TEST_F(CheckTest, CleanDeviceAuditsClean)
     check::AuditReport report = check::auditNow(sim_, *dev_);
     EXPECT_TRUE(report.clean());
     EXPECT_GT(report.totalChecks(), 0u);
-    // The standard registration covers all seven checker families.
-    EXPECT_EQ(report.checkers.size(), 7u);
+    // The standard registration covers all nine checker families.
+    EXPECT_EQ(report.checkers.size(), 9u);
 }
 
 TEST_F(CheckTest, BijectionCheckerCatchesMapCorruption)

@@ -173,14 +173,15 @@ TEST(GarbageCollectorDeath, ThresholdsValidated)
     flash::FlashArray arr(GcRig::makeGeom(), GcRig::makeTiming(), true);
     PageMap map(8);
     BadBlockManager bbm(1, 1, BbmConfig{});
+    MetaJournal journal(map, JournalConfig{});
     GcConfig bad;
     bad.hardFreeBlocks = 0;
-    EXPECT_DEATH(GarbageCollector(arr, map, bad, bbm),
+    EXPECT_DEATH(GarbageCollector(arr, map, bad, bbm, journal),
                  "reserved free block");
     GcConfig inverted;
     inverted.hardFreeBlocks = 4;
     inverted.softFreeBlocks = 2;
-    EXPECT_DEATH(GarbageCollector(arr, map, inverted, bbm),
+    EXPECT_DEATH(GarbageCollector(arr, map, inverted, bbm, journal),
                  "soft GC threshold");
 }
 
@@ -197,7 +198,8 @@ TEST(GcVictimPolicy, CostBenefitPrefersOldBlocks)
     cfg.softFreeBlocks = 4;
     cfg.victimPolicy = GcVictimPolicy::CostBenefit;
     BadBlockManager bbm(1, 1, BbmConfig{});
-    GarbageCollector gc(arr, map, cfg, bbm);
+    MetaJournal journal(map, JournalConfig{});
+    GarbageCollector gc(arr, map, cfg, bbm, journal);
 
     auto &bp = arr.plane(0).pool(0);
     // Fill block A (old) and block B (young), then open block C so
@@ -236,7 +238,8 @@ TEST(GcVictimPolicy, GreedyPrefersEmptierBlock)
     cfg.hardFreeBlocks = 1;
     cfg.softFreeBlocks = 4;
     BadBlockManager bbm(1, 1, BbmConfig{});
-    GarbageCollector gc(arr, map, cfg, bbm);
+    MetaJournal journal(map, JournalConfig{});
+    GarbageCollector gc(arr, map, cfg, bbm, journal);
 
     auto &bp = arr.plane(0).pool(0);
     std::vector<flash::Ppn> pages;

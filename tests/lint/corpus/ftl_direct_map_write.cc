@@ -1,0 +1,53 @@
+// Corpus: durable-ftl-mutation. The "ftl_" filename prefix puts this
+// file in the src/ftl (non-gateway) scope, where touching the mapping
+// table directly — instead of journalling the change — must fire.
+
+struct FakeMap
+{
+    void set(int lpn, int ppn);
+    void clear(int lpn);
+    void resetForRecovery();
+};
+
+struct FakeJournal
+{
+    void recordWrite(int lpn, int ppn);
+    void recordTrim(int lpn);
+};
+
+struct FakeFtl
+{
+    FakeMap map_;
+    FakeJournal journal_;
+
+    void
+    writeDirect()
+    {
+        map_.set(1, 2); // emmclint-expect: durable-ftl-mutation
+    }
+
+    void
+    trimDirect()
+    {
+        map_.clear(1); // emmclint-expect: durable-ftl-mutation
+    }
+
+    void
+    wipeDirect()
+    {
+        map_.resetForRecovery(); // emmclint-expect: durable-ftl-mutation
+    }
+
+    void
+    writeJournalled()
+    {
+        journal_.recordWrite(1, 2); // clean: the gateway records it
+    }
+
+    void
+    suppressedDirect()
+    {
+        // emmclint: allow(durable-ftl-mutation)
+        map_.set(3, 4); // clean: explicitly suppressed
+    }
+};

@@ -17,15 +17,28 @@
  *
  * Accepts --metrics-json=FILE to dump every replay's full snapshot as
  * one emmcsim-run-report-v1 document (two runs per application).
+ *
+ * A second section measures the latency-attribution recorder the same
+ * way: replay with and without --attribution, report the wall-clock
+ * overhead, and prove the simulated result is bit-identical (the
+ * ledger arithmetic is always on; only the recorder is opt-in).
+ * --bench-json=FILE writes those numbers as a google-benchmark-format
+ * JSON part for scripts/run_benchmarks.sh to merge into
+ * BENCH_simcore.json.
  */
 
+#include <algorithm>
+#include <chrono>
+#include <fstream>
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hh"
 #include "core/report.hh"
 #include "core/scheme.hh"
 #include "host/biotracer.hh"
 #include "host/replayer.hh"
+#include "obs/json.hh"
 #include "obs/observer.hh"
 #include "obs/report.hh"
 
@@ -108,6 +121,119 @@ main(int argc, char **argv)
                  "response times is expected to stay in the same "
                  "low-single-digit band.\n";
 
+    // Attribution overhead: the phase-ledger arithmetic always runs;
+    // the opt-in part is the recorder (one vector push per request)
+    // and the end-of-run summary. Wall-clock both configurations
+    // (min-of-3 to shed scheduler noise) and require the simulated
+    // MRT to be bit-identical — attribution must observe, not perturb.
+    struct AttrRow
+    {
+        std::string app;
+        double bareNs = 0.0; ///< replay wall-clock, attribution off
+        double attrNs = 0.0; ///< replay wall-clock, attribution on
+        double mrtMs = 0.0;  ///< attributed MRT (== bare MRT)
+    };
+    std::vector<AttrRow> attr_rows;
+    bool attr_identical = true;
+
+    for (const char *app : {"Twitter", "Messaging"}) {
+        const trace::Trace t = bench::makeAppTrace(app, args.scale);
+        auto run_once = [&](bool attribution, double &mrt_ms) {
+            sim::Simulator s;
+            auto dev = core::makeDevice(s, core::SchemeKind::PS4);
+            host::Replayer rep(s, *dev);
+            obs::ObserverOptions obs_opts;
+            obs_opts.metrics = true;
+            obs_opts.attribution = attribution;
+            obs_opts.replayStats = &rep.stats();
+            obs::DeviceObserver observer(s, *dev, obs_opts);
+            const auto t0 = std::chrono::steady_clock::now();
+            rep.replay(t);
+            const auto t1 = std::chrono::steady_clock::now();
+            observer.finish();
+            const auto *mrt =
+                observer.snapshot().findSummary("emmc.response_ms");
+            mrt_ms = mrt ? mrt->mean : 0.0;
+            if (attribution &&
+                observer.attribution().ledgerViolations != 0) {
+                std::cerr << "LEDGER VIOLATIONS for " << app << "\n";
+                attr_identical = false;
+            }
+            return std::chrono::duration<double, std::nano>(t1 - t0)
+                .count();
+        };
+        AttrRow row;
+        row.app = app;
+        double mrt_off = 0.0;
+        double mrt_on = 0.0;
+        row.bareNs = row.attrNs = 1e300;
+        for (int i = 0; i < 3; ++i) {
+            row.bareNs = std::min(row.bareNs, run_once(false, mrt_off));
+            row.attrNs = std::min(row.attrNs, run_once(true, mrt_on));
+        }
+        if (mrt_off != mrt_on) {
+            std::cerr << "ATTRIBUTION PERTURBED THE RUN for " << app
+                      << ": MRT " << mrt_off << " vs " << mrt_on
+                      << "\n";
+            attr_identical = false;
+        }
+        row.mrtMs = mrt_on;
+        attr_rows.push_back(std::move(row));
+    }
+
+    core::TablePrinter attr_table({"Application", "Replay (ms)",
+                                   "With attribution (ms)",
+                                   "Overhead (%)", "MRT identical"});
+    for (const AttrRow &r : attr_rows) {
+        attr_table.addRow(
+            {r.app, core::fmt(r.bareNs / 1e6, 1),
+             core::fmt(r.attrNs / 1e6, 1),
+             core::fmt(100.0 * (r.attrNs - r.bareNs) /
+                           std::max(r.bareNs, 1.0),
+                       2),
+             attr_identical ? "yes" : "NO"});
+    }
+    std::cout << "\n== Attribution recorder overhead ==\n\n";
+    attr_table.print(std::cout);
+
+    if (!args.benchJson.empty()) {
+        std::ofstream os(args.benchJson);
+        if (!os) {
+            std::cerr << "error: cannot write " << args.benchJson
+                      << "\n";
+            return 1;
+        }
+        obs::JsonWriter w(os);
+        w.beginObject();
+        w.key("context").beginObject();
+        w.field("executable", "bench_biotracer_overhead");
+        w.field("scale", args.scale);
+        w.endObject();
+        w.key("benchmarks").beginArray();
+        for (const AttrRow &r : attr_rows) {
+            w.beginObject();
+            w.field("name", "attribution_overhead/" + r.app);
+            w.field("run_name", "attribution_overhead/" + r.app);
+            w.field("run_type", "iteration");
+            w.field("repetitions", std::uint64_t{3});
+            w.field("iterations", std::uint64_t{1});
+            w.field("real_time", r.attrNs);
+            w.field("cpu_time", r.attrNs);
+            w.field("time_unit", "ns");
+            w.field("bare_real_time", r.bareNs);
+            w.field("attribution_overhead_pct",
+                    100.0 * (r.attrNs - r.bareNs) /
+                        std::max(r.bareNs, 1.0));
+            w.field("attributed_mrt_ms", r.mrtMs);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        os << "\n";
+        std::cout << "\nwrote bench JSON part to " << args.benchJson
+                  << "\n";
+    }
+
     if (!args.metricsJson.empty()) {
         report.setMeta("tool", "bench_biotracer_overhead");
         report.setMeta("scale", args.scale);
@@ -118,6 +244,10 @@ main(int argc, char **argv)
 
     if (!cross_check_ok) {
         std::cerr << "\nobs cross-check failed\n";
+        return 1;
+    }
+    if (!attr_identical) {
+        std::cerr << "\nattribution overhead check failed\n";
         return 1;
     }
     return 0;

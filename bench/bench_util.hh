@@ -36,6 +36,12 @@ struct BenchArgs
     std::string metricsJson;
     /** Chrome trace output (--trace-out=FILE; empty = off). */
     std::string traceOut;
+    /**
+     * google-benchmark-format JSON part (--bench-json=FILE; empty =
+     * off) for scripts/run_benchmarks.sh to merge into
+     * BENCH_simcore.json alongside the real google-benchmark binaries.
+     */
+    std::string benchJson;
 };
 
 /**
@@ -60,6 +66,10 @@ parseBenchArgs(int argc, char **argv, double fallback_scale = 1.0)
             args.traceOut = a.substr(12);
             if (args.traceOut.empty())
                 sim::fatal("--trace-out needs a file");
+        } else if (a.rfind("--bench-json=", 0) == 0) {
+            args.benchJson = a.substr(13);
+            if (args.benchJson.empty())
+                sim::fatal("--bench-json needs a file");
         } else if (a.rfind("--jobs=", 0) == 0) {
             if (!core::parseJobs(a.substr(7), args.jobs))
                 sim::fatal("bad --jobs: " + a.substr(7));

@@ -22,6 +22,12 @@
  *                                      resumable device image
  *   restore <trace> <image> [scheme]   resume a snapshot to completion
  *                                      (same options as the capture)
+ *   explain <report.json>              attribute run latency to phases
+ *                                      (needs a report written with
+ *                                      --attribution)
+ *   diff <a.json> <b.json>             attribute the response-time
+ *                                      change between two reports to
+ *                                      the phases that moved
  *
  * replay also accepts --spo-at=NS[,NS...] / --spo-random=N,seed to cut
  * device power mid-run and drive the FTL recovery path.
@@ -46,6 +52,8 @@
 #include "core/sweep.hh"
 #include "fault/spo.hh"
 #include "host/replayer.hh"
+#include "obs/explain.hh"
+#include "obs/json_read.hh"
 #include "obs/report.hh"
 #include "workload/generator.hh"
 #include "workload/profile.hh"
@@ -142,6 +150,56 @@ cmdAnalyze(const std::string &path)
     }
     std::cout << "Trace \"" << t.name() << "\" (" << path << ")\n\n";
     printStats(t);
+    return 0;
+}
+
+/** Read and parse @p path as a run-report JSON document. */
+bool
+loadJsonReport(const std::string &path, obs::JsonValue &out)
+{
+    std::ifstream is(path);
+    std::ostringstream buf;
+    if (is)
+        buf << is.rdbuf();
+    if (!is) {
+        std::cerr << "error: cannot read " << path << "\n";
+        return false;
+    }
+    std::string err;
+    if (!obs::JsonValue::parse(buf.str(), out, err)) {
+        std::cerr << "error: " << path << ": " << err << "\n";
+        return false;
+    }
+    return true;
+}
+
+int
+cmdExplain(const std::string &path)
+{
+    obs::JsonValue report;
+    if (!loadJsonReport(path, report))
+        return 1;
+    std::string err;
+    if (!obs::explainReport(report, std::cout, err)) {
+        std::cerr << "error: " << path << ": " << err << "\n";
+        return 1;
+    }
+    return 0;
+}
+
+int
+cmdDiff(const std::string &path_a, const std::string &path_b)
+{
+    obs::JsonValue before;
+    obs::JsonValue after;
+    if (!loadJsonReport(path_a, before) || !loadJsonReport(path_b, after))
+        return 1;
+    std::cout << "diff " << path_a << " -> " << path_b << "\n";
+    std::string err;
+    if (!obs::diffReports(before, after, std::cout, err)) {
+        std::cerr << "error: " << err << "\n";
+        return 1;
+    }
     return 0;
 }
 
@@ -314,7 +372,8 @@ cmdReplay(const std::string &path, const std::string &scheme,
         report.setMeta("trace_file", path);
         report.setMeta("scheme", res.scheme);
         report.setMeta("requests", res.requests);
-        report.addRun("replay", res.obs.metrics, res.obs.series);
+        report.addRun("replay", res.obs.metrics, res.obs.series,
+                      res.obs.attribution);
         report.writeJsonFile(outs.metricsJson);
         std::cout << "\nwrote metrics report to " << outs.metricsJson
                   << "\n";
@@ -415,6 +474,7 @@ struct SweepArgs
     std::uint64_t seed = 1;
     unsigned jobs = 0; ///< 0 = one worker per hardware thread
     std::string metricsJson;
+    bool attribution = false; ///< per-run attribution in the report
 };
 
 /**
@@ -461,6 +521,7 @@ cmdSweep(const SweepArgs &sa)
                 c.kind = kind;
                 c.opts = variant.opts;
                 c.opts.obs.metrics = !sa.metricsJson.empty();
+                c.opts.obs.attribution = sa.attribution;
                 cases.push_back(std::move(c));
             }
         }
@@ -499,7 +560,8 @@ cmdSweep(const SweepArgs &sa)
         report.setMeta("cases",
                        static_cast<std::uint64_t>(cases.size()));
         for (std::size_t i = 0; i < results.size(); ++i)
-            report.addRun(cases[i].label, results[i].obs.metrics);
+            report.addRun(cases[i].label, results[i].obs.metrics, {},
+                          results[i].obs.attribution);
         report.writeJsonFile(sa.metricsJson);
         std::cout << "\nwrote metrics report (" << report.runCount()
                   << " runs) to " << sa.metricsJson << "\n";
@@ -535,6 +597,8 @@ usage()
            "emmctrace text format\n"
            "      [--sample-window-ms=N]  record windowed metric "
            "series every N ms\n"
+           "      [--attribution]         per-request phase ledgers -> "
+           "report \"attribution\" section\n"
            "      [--spo-at=NS[,NS...]]   cut device power at the "
            "given simulated ns\n"
            "      [--spo-random=N,SEED]   cut power at N seeded random "
@@ -570,6 +634,16 @@ usage()
            "for every N\n"
            "      [--metrics-json=FILE]   run-report JSON, one run per "
            "case\n"
+           "      [--attribution]         per-run attribution sections "
+           "in the report\n"
+           "  emmcsim_cli explain <report.json>\n"
+           "      print where the time went: phase breakdown, tail "
+           "composition,\n"
+           "      slowest requests and mount cost (needs "
+           "--attribution data)\n"
+           "  emmcsim_cli diff <before.json> <after.json>\n"
+           "      attribute the response-time change between two "
+           "reports to phases\n"
            "\n"
            "  EMMCSIM_LOG=[level][,comp=level...] controls logging "
            "(debug|info|warn), e.g. EMMCSIM_LOG=warn,gc=debug\n";
@@ -657,6 +731,7 @@ main(int argc, char **argv)
                  "--retries", "--metrics-json", "--trace-out",
                  "--trace-csv", "--sample-window-ms"};
         valued = known;
+        known.push_back("--attribution");
         if (cmd == "replay") {
             known.insert(known.end(),
                          {"--spo-at", "--spo-random", "--spo-notify",
@@ -671,6 +746,7 @@ main(int argc, char **argv)
         known = {"--schemes", "--ablate", "--scale", "--seed",
                  "--jobs", "--metrics-json"};
         valued = known;
+        known.push_back("--attribution");
     }
     std::vector<std::string> pos;
     std::vector<std::pair<std::string, std::string>> flags;
@@ -778,6 +854,10 @@ main(int argc, char **argv)
                                       value);
                 opts.obs.sampleWindow =
                     sim::milliseconds(static_cast<std::int64_t>(ms));
+            } else if (name == "--attribution") {
+                if (!value.empty())
+                    return usageError("--attribution takes no value");
+                opts.obs.attribution = true;
             } else if (name == "--spo-at") {
                 for (const std::string &s : splitList(value)) {
                     std::uint64_t ns = 0;
@@ -821,10 +901,23 @@ main(int argc, char **argv)
         if (opts.obs.sampleWindow > 0 && outs.metricsJson.empty())
             return usageError(
                 "--sample-window-ms requires --metrics-json");
+        if (opts.obs.attribution && outs.metricsJson.empty())
+            return usageError("--attribution requires --metrics-json");
         if (mode == RunMode::Snapshot && !have_at)
             return usageError("snapshot requires --at=NS");
         return cmdReplay(pos[0], pos.size() > 1 ? pos[1] : "HPS", opts,
                          outs, spo_random, mode, image_path);
+    }
+    if (cmd == "explain") {
+        if (pos.size() != 1 || !flags.empty())
+            return usageError("explain needs exactly <report.json>");
+        return cmdExplain(pos[0]);
+    }
+    if (cmd == "diff") {
+        if (pos.size() != 2 || !flags.empty())
+            return usageError(
+                "diff needs exactly <before.json> <after.json>");
+        return cmdDiff(pos[0], pos[1]);
     }
     if (cmd == "compare") {
         if (pos.empty() || pos.size() > 2)
@@ -869,8 +962,14 @@ main(int argc, char **argv)
                 if (value.empty())
                     return usageError("--metrics-json needs a file");
                 sa.metricsJson = value;
+            } else if (name == "--attribution") {
+                if (!value.empty())
+                    return usageError("--attribution takes no value");
+                sa.attribution = true;
             }
         }
+        if (sa.attribution && sa.metricsJson.empty())
+            return usageError("--attribution requires --metrics-json");
         if (sa.schemes.empty())
             sa.schemes.assign(core::allSchemes().begin(),
                               core::allSchemes().end());

@@ -2,10 +2,13 @@
 # Run the simulator-core micro-benchmark suite and write the result as
 # BENCH_simcore.json, the perf baseline subsequent PRs compare against.
 #
-# Two google-benchmark binaries feed the file:
+# Three binaries feed the file:
 #   bench_micro_sim   event-core throughput, trace generation, replay
 #   bench_recovery    power-up recovery vs dirty-state size, snapshot
 #                     save/load throughput and image size
+#   bench_biotracer_overhead (via --bench-json): wall-clock overhead
+#                     of the latency-attribution recorder, plus the
+#                     bit-identical-MRT cross-check
 # Their JSON outputs are merged (benchmark lists concatenated under
 # the first binary's context block).
 #
@@ -43,6 +46,19 @@ for BENCH in "${BENCHES[@]}"; do
         ${EMMCSIM_BENCH_ARGS:-}
     PARTS+=("$PART")
 done
+
+# bench_biotracer_overhead is not a google-benchmark binary; its
+# --bench-json flag emits a compatible part with the attribution
+# overhead numbers (and fails the run if attribution perturbs the
+# simulated MRT).
+BIO="$BUILD_DIR/bench/bench_biotracer_overhead"
+if [ ! -x "$BIO" ]; then
+    echo "error: $BIO not built (cmake --build $BUILD_DIR --target bench_biotracer_overhead)" >&2
+    exit 1
+fi
+PART="$OUT.bench_biotracer_overhead.part"
+"$BIO" 0.2 --bench-json="$PART" > /dev/null
+PARTS+=("$PART")
 
 python3 - "$OUT" "${PARTS[@]}" <<'EOF'
 import json

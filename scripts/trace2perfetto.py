@@ -14,7 +14,11 @@ Usage:
         Validate that FILE.json is a structurally sound Chrome trace:
         parses as JSON, has a traceEvents list, every event carries
         the required keys for its phase, and "b"/"e" pairs balance.
-        Exits non-zero with a diagnostic on the first violation.
+        For simulator exports with attribution sub-spans (cat
+        "phase"), additionally checks that each request's phase
+        slices stay inside its service span and never sum past its
+        duration. Exits non-zero with a diagnostic on the first
+        violation.
 
 Only the Python standard library is used.
 """
@@ -119,6 +123,8 @@ def check(path):
         raise ValueError(f"{path}: traceEvents is not a list")
     open_async = {}
     counts = {}
+    request_spans = {}  # args.id -> (ts, dur) of the request X slice
+    phase_spans = {}    # args.id -> [(ts, dur), ...] of its phases
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
             raise ValueError(f"{path}: event {i} is not an object")
@@ -132,6 +138,13 @@ def check(path):
                     f"{path}: event {i} (ph={ph}): missing key {k!r}")
         if ph == "X" and ev["dur"] < 0:
             raise ValueError(f"{path}: event {i}: negative duration")
+        if ph == "X" and "args" in ev and "id" in ev.get("args", {}):
+            rid = ev["args"]["id"]
+            if ev.get("cat") == "request":
+                request_spans[rid] = (ev["ts"], ev["dur"])
+            elif ev.get("cat") == "phase":
+                phase_spans.setdefault(rid, []).append(
+                    (ev["ts"], ev["dur"]))
         if ph in ("b", "e"):
             key = (ev.get("cat"), ev["name"], ev["id"])
             if ph == "b":
@@ -147,6 +160,27 @@ def check(path):
         raise ValueError(
             f"{path}: {len(dangling)} unclosed async span(s), "
             f"e.g. {next(iter(dangling))}")
+    # Attribution tiling: phase slices live inside their request's
+    # service span and sum to at most its duration (exactly equal when
+    # no slice was dropped; zero-length phases are never emitted).
+    # Timestamps are ns-precise microseconds, so allow 1 ns of slack.
+    eps = 1e-3
+    for rid, phases in phase_spans.items():
+        if rid not in request_spans:
+            raise ValueError(
+                f"{path}: phase slices for unknown request id {rid}")
+        ts, dur = request_spans[rid]
+        total = sum(d for _, d in phases)
+        if total > dur + eps:
+            raise ValueError(
+                f"{path}: request id {rid}: phase slices sum to "
+                f"{total} us > span {dur} us")
+        for pts, pdur in phases:
+            if pts < ts - eps or pts + pdur > ts + dur + eps:
+                raise ValueError(
+                    f"{path}: request id {rid}: phase slice "
+                    f"[{pts}, {pts + pdur}] outside span "
+                    f"[{ts}, {ts + dur}]")
     summary = ", ".join(f"{n} {ph}" for ph, n in sorted(counts.items()))
     print(f"{path}: OK ({len(events)} events: {summary})")
 

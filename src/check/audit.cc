@@ -77,6 +77,10 @@ registerDeviceCheckers(Auditor &auditor, const emmc::EmmcDevice &device)
                        [&device](CheckContext &ctx) {
                            checkDeviceLifecycle(device, ctx);
                        });
+    auditor.addChecker("emmc.phase-conservation",
+                       [&device](CheckContext &ctx) {
+                           checkPhaseConservation(device, ctx);
+                       });
     auditor.addChecker("flash.retired-blocks",
                        [&device](CheckContext &ctx) {
                            checkRetiredBlocks(device.ftl(), ctx);

@@ -279,6 +279,16 @@ checkDeviceLifecycle(const emmc::EmmcDevice &device, CheckContext &ctx)
 }
 
 void
+checkPhaseConservation(const emmc::EmmcDevice &device, CheckContext &ctx)
+{
+    const emmc::DeviceStats &st = device.stats();
+    ctx.check(st.ledgerViolations == 0,
+              std::to_string(st.ledgerViolations) +
+                  " completed request(s) whose phase ledger does not "
+                  "sum to finish - arrival");
+}
+
+void
 checkRetiredBlocks(const ftl::Ftl &ftl, CheckContext &ctx)
 {
     const flash::FlashArray &array = ftl.array();

@@ -139,6 +139,17 @@ void checkDeviceLifecycle(const emmc::EmmcDevice &device,
                           CheckContext &ctx);
 
 /**
+ * Latency-attribution conservation: the device increments
+ * DeviceStats::ledgerViolations whenever a completed request's phase
+ * ledger (emmc/phases.hh) does not sum exactly to finish − arrival.
+ * The counter must stay zero — the attribution report and
+ * `emmcsim_cli explain` are only trustworthy if every nanosecond of
+ * every response time is accounted to exactly one phase.
+ */
+void checkPhaseConservation(const emmc::EmmcDevice &device,
+                            CheckContext &ctx);
+
+/**
  * Retired-block hygiene: every block the pools flag retired is off the
  * free list, not the active block, fully sealed (write pointer at the
  * block end, so the allocator can never hand out a page in it) and

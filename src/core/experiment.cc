@@ -146,6 +146,7 @@ runCaseImpl(const trace::Trace &t, SchemeKind kind,
         obs_opts.metrics = opts.obs.metrics;
         obs_opts.trace = opts.obs.traceSpans;
         obs_opts.sampleWindow = opts.obs.sampleWindow;
+        obs_opts.attribution = opts.obs.attribution;
         obs_opts.replayStats = &replayer.stats();
         observer = std::make_unique<obs::DeviceObserver>(
             simulator, *device, obs_opts);
@@ -259,6 +260,8 @@ runCaseImpl(const trace::Trace &t, SchemeKind kind,
             observer->tracer().exportBiotracerCsv(bt, t.name());
             res.obs.biotracerTrace = bt.str();
         }
+        if (opts.obs.attribution)
+            res.obs.attribution = observer->attribution();
     }
     if (auditor) {
         auditor->runFullAudit();

@@ -15,6 +15,7 @@
 #include "emmc/device.hh"
 #include "fault/spo.hh"
 #include "ftl/gc.hh"
+#include "obs/attribution.hh"
 #include "obs/metrics.hh"
 #include "obs/sampler.hh"
 #include "sim/stats.hh"
@@ -31,10 +32,12 @@ struct ObsRequest
     bool traceSpans = false;
     /** Sampler window in ns; > 0 records windowed series. */
     sim::Time sampleWindow = 0;
+    /** Aggregate per-request phase ledgers (report "attribution"). */
+    bool attribution = false;
 
     bool any() const
     {
-        return metrics || traceSpans || sampleWindow > 0;
+        return metrics || traceSpans || attribution || sampleWindow > 0;
     }
 };
 
@@ -192,6 +195,8 @@ struct CaseResult
         std::string chromeTrace;
         /** emmctrace text with BIOtracer timestamps (traceSpans). */
         std::string biotracerTrace;
+        /** Latency attribution (attribution mode). */
+        obs::AttributionSummary attribution;
     };
     ObsArtifacts obs;
 

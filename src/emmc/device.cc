@@ -95,7 +95,8 @@ EmmcDevice::startNext()
     // warm-up is part of *service* time (BIOtracer's step 2 fires when
     // the command is issued, before the device is warm), which is why
     // the paper's low-rate apps show long mean service times.
-    const sim::Time service_start = std::max(now, gcBusyUntil_);
+    const sim::Time busy_until = std::max(gcBusyUntil_, mountBusyUntil_);
+    const sim::Time service_start = std::max(now, busy_until);
     sim::Time penalty = 0;
     if (idle_) {
         penalty = power_.wakePenalty(service_start);
@@ -104,16 +105,35 @@ EmmcDevice::startNext()
     const sim::Time begin =
         service_start + penalty + cfg_.commandOverhead;
 
+    // Attribution (DESIGN.md §14): split the pre-dispatch interval.
+    // Recovery occupancy is charged before idle-GC occupancy when both
+    // hold the flash (mount_part covers [now, mountBusyUntil_], GC the
+    // remainder); the queue share is the wait behind earlier commands.
+    const sim::Time stall = service_start - now;
+    const sim::Time mount_part = std::min(
+        stall, std::max<sim::Time>(0, mountBusyUntil_ - now));
+
     sim::Time done = begin;
     for (CompletedRequest &c : cmd) {
         c.serviceStart = service_start;
-        sim::Time t = c.request.write
-                          ? serveWrite(c.request, begin, c.status)
-                          : serveRead(c.request, begin, c.status);
+        c.phases.add(Phase::QueueWait, now - c.request.arrival);
+        c.phases.add(Phase::MountStall, mount_part);
+        c.phases.add(Phase::GcWait, stall - mount_part);
+        c.phases.add(Phase::Wakeup, penalty);
+        c.phases.add(Phase::CmdOverhead, cfg_.commandOverhead);
+        sim::Time t =
+            c.request.write
+                ? serveWrite(c.request, begin, c.status, c.phases)
+                : serveRead(c.request, begin, c.status, c.phases);
+        // Park the request's own flash-done time in `finish` so the
+        // alignment pass below can charge the packed-batch slack.
+        c.finish = t;
         done = std::max(done, t);
     }
-    for (CompletedRequest &c : cmd)
+    for (CompletedRequest &c : cmd) {
+        c.phases.add(Phase::PackAlign, done - c.finish);
         c.finish = done;
+    }
 
     ++stats_.commands;
     stats_.busyTime += done - service_start;
@@ -132,9 +152,32 @@ EmmcDevice::startNext()
     hasPendingCompletion_ = true;
 }
 
+namespace {
+
+/**
+ * Charge an FTL critical-chain breakdown (covering done − begin of
+ * the call it came from) to a request's phase ledger. @p cell_phase
+ * names the cell time: NandRead for read chains, NandProgram for
+ * write chains.
+ */
+void
+chargeChain(PhaseLedger &phases, const ftl::FlashBreakdown &chain,
+            Phase cell_phase)
+{
+    phases.add(Phase::GcStall, chain.gcStall);
+    phases.add(Phase::BusWait, chain.busWait);
+    phases.add(Phase::BusXfer, chain.busXfer);
+    phases.add(Phase::NandWait, chain.nandWait);
+    phases.add(cell_phase, chain.nandCell);
+    phases.add(Phase::Retry, chain.retry);
+    phases.add(Phase::Reloc, chain.reloc);
+}
+
+} // namespace
+
 sim::Time
 EmmcDevice::serveRead(const IoRequest &r, sim::Time begin,
-                      RequestStatus &status)
+                      RequestStatus &status, PhaseLedger &phases)
 {
     const flash::Lpn first = r.firstUnit();
     const std::uint32_t n = r.sizeUnits();
@@ -144,20 +187,34 @@ EmmcDevice::serveRead(const IoRequest &r, sim::Time begin,
         ftl::ReadResult res = ftl_.readUnits(first, n, begin);
         lost = res.uncorrectablePages;
         done = res.done;
+        chargeChain(phases, res.chain, Phase::NandRead);
     } else {
         std::vector<UnitRun> misses;
         std::vector<UnitRun> evicted;
         buffer_.read(first, n, misses, evicted);
+        // Attribution: the miss run finishing last carries the chain;
+        // if the eviction write-back outlasts every miss, the whole
+        // flash interval is buffer-flush time instead.
+        ftl::FlashBreakdown chain;
+        sim::Time read_done = begin;
         for (const UnitRun &m : misses) {
             ftl::ReadResult res = ftl_.readUnits(m.first, m.count, begin);
             lost += res.uncorrectablePages;
-            done = std::max(done, res.done);
+            if (res.done > read_done) {
+                read_done = res.done;
+                chain = res.chain;
+            }
         }
         // Eviction write-backs piggyback on the read; their rejection
         // (read-only device) is reported on the evicted writes' own
         // requests, not on this read.
         bool accepted = true;
-        done = std::max(done, flushRuns(evicted, begin, accepted));
+        sim::Time flush_done = flushRuns(evicted, begin, accepted);
+        done = std::max(read_done, flush_done);
+        if (flush_done > read_done)
+            phases.add(Phase::BufferFlush, flush_done - begin);
+        else
+            chargeChain(phases, chain, Phase::NandRead);
     }
     if (lost > 0) {
         status = RequestStatus::ReadError;
@@ -168,27 +225,37 @@ EmmcDevice::serveRead(const IoRequest &r, sim::Time begin,
 
 sim::Time
 EmmcDevice::serveWrite(const IoRequest &r, sim::Time begin,
-                       RequestStatus &status)
+                       RequestStatus &status, PhaseLedger &phases)
 {
     const flash::Lpn first = r.firstUnit();
     const std::uint32_t n = r.sizeUnits();
     bool accepted = true;
     sim::Time done = begin;
     if (!buffer_.enabled()) {
+        // Attribution: the page group finishing last is the critical
+        // chain; the others overlapped it on other planes/channels.
+        ftl::FlashBreakdown chain;
         scratchGroups_.clear();
         dist_->splitWrite(first, n, scratchGroups_);
         for (const ftl::PageGroup &g : scratchGroups_) {
             ftl::WriteResult w = ftl_.writeGroup(g.pool, g.lpns, begin);
             accepted = accepted && w.accepted;
-            done = std::max(done, w.done);
+            if (w.done > done) {
+                done = w.done;
+                chain = w.chain;
+            }
         }
+        chargeChain(phases, chain, Phase::NandProgram);
     } else if (ftl_.readOnly()) {
         // Refuse to buffer data that can never reach flash.
         accepted = false;
     } else {
+        // Buffered writes land in RAM instantly; any flash time is
+        // eviction write-back, charged wholesale as buffer flush.
         std::vector<UnitRun> evicted;
         buffer_.write(first, n, evicted);
         done = flushRuns(evicted, begin, accepted);
+        phases.add(Phase::BufferFlush, done - begin);
     }
     if (!accepted) {
         status = RequestStatus::WriteRejected;
@@ -234,6 +301,13 @@ EmmcDevice::finishCommand(std::vector<CompletedRequest> done)
         stats_.responseMs.add(resp);
         stats_.serviceMs.add(serv);
         stats_.waitMs.add(wait);
+        // Attribution conservation (DESIGN.md §14): the phase ledger
+        // must decompose the response time exactly. Counted (not just
+        // asserted) so the release-build audit checker sees breakage.
+        if (c.phases.total() != c.finish - c.request.arrival)
+            ++stats_.ledgerViolations;
+        EMMCSIM_DCHECK(c.phases.total() == c.finish - c.request.arrival,
+                       "phase ledger does not conserve response time");
         if (traceHook_)
             traceHook_(c);
         if (onComplete_)
@@ -339,10 +413,16 @@ EmmcDevice::powerOn(sim::Time now)
     ftl::RecoveryReport rep = ftl_.powerFailAndRecover(crashTime_);
     spoStats_.tornPages += rep.tornPages;
     spoStats_.recoveryTime += rep.totalTime;
+    spoStats_.recoveryCheckpointLoad += rep.checkpointReadTime;
+    spoStats_.recoveryJournalReplay += rep.journalReplayTime;
+    spoStats_.recoveryScan += rep.scanTime;
+    spoStats_.recoveryReErase += rep.reEraseTime;
+    spoStats_.recoveryCheckpointWrite += rep.checkpointWriteTime;
     // Recovery occupies the flash backend exactly like blocking GC:
     // the first post-power-up command waits out the checkpoint load,
-    // journal replay and open-block scan.
-    gcBusyUntil_ = std::max(gcBusyUntil_, now + rep.totalTime);
+    // journal replay and open-block scan. Tracked apart from
+    // gcBusyUntil_ so the stall attributes to MountStall, not GcWait.
+    mountBusyUntil_ = std::max(mountBusyUntil_, now + rep.totalTime);
     poweredOff_ = false;
     busy_ = false;
     idle_ = true;
@@ -380,6 +460,7 @@ EmmcDevice::save(core::BinWriter &w) const
     buffer_.save(w);
     w.b(idle_);
     w.i64(gcBusyUntil_);
+    w.i64(mountBusyUntil_);
     w.pod(stats_);
     w.pod(spoStats_);
     w.podVec(pendingIdleTicks_);
@@ -396,6 +477,7 @@ EmmcDevice::load(core::BinReader &r)
     buffer_.load(r);
     idle_ = r.b();
     gcBusyUntil_ = r.i64();
+    mountBusyUntil_ = r.i64();
     r.pod(stats_);
     r.pod(spoStats_);
     r.podVec(pendingIdleTicks_);

@@ -55,6 +55,13 @@ struct DeviceStats
     std::uint64_t commands = 0;
     /** Total device busy time (sum of command service intervals). */
     sim::Time busyTime = 0;
+    /**
+     * Completed requests whose phase ledger did not sum exactly to
+     * finish − arrival. Always zero unless the attribution
+     * decomposition (emmc/phases.hh) is broken; the phase-conservation
+     * audit checker fails on any non-zero value.
+     */
+    std::uint64_t ledgerViolations = 0;
 
     sim::OnlineStats responseMs; ///< per-request response times (ms)
     sim::OnlineStats serviceMs;  ///< per-request service times (ms)
@@ -86,6 +93,20 @@ struct SpoStats
     std::uint64_t tornPages = 0;
     /** Total simulated power-up recovery time across all cuts. */
     sim::Time recoveryTime = 0;
+
+    /**
+     * @name Mount-time phase totals
+     * recoveryTime split along the RecoveryReport cost model, summed
+     * across all power cuts; surfaced through the attribution report
+     * schema so mount cost shows up in `emmcsim_cli explain`.
+     * @{
+     */
+    sim::Time recoveryCheckpointLoad = 0;  ///< checkpoint page reads
+    sim::Time recoveryJournalReplay = 0;   ///< journal tail replay
+    sim::Time recoveryScan = 0;            ///< open-block OOB scan
+    sim::Time recoveryReErase = 0;         ///< interrupted-erase redo
+    sim::Time recoveryCheckpointWrite = 0; ///< fresh checkpoint write
+    /** @} */
 };
 
 /** The simulated eMMC device. */
@@ -236,6 +257,16 @@ class EmmcDevice
     flash::FlashArray &array() { return array_; }
     const flash::FlashArray &array() const { return array_; }
 
+    /**
+     * Test backdoor: skew the ledger-violation counter without a real
+     * conservation break, so the phase-conservation audit checker can
+     * be proven to fire (see tests/check/invariants_test.cc).
+     */
+    void corruptLedgerViolationsForTest(std::uint64_t n)
+    {
+        stats_.ledgerViolations += n;
+    }
+
   private:
     /** Dispatch the next command from the queue head. */
     void startNext();
@@ -246,18 +277,20 @@ class EmmcDevice
     /**
      * Serve one read request; returns its flash completion time and
      * reports ReadError through @p status when any page stayed
-     * uncorrectable after the retry ladder.
+     * uncorrectable after the retry ladder. Charges the flash phases
+     * of the request's critical chain to @p phases.
      */
     sim::Time serveRead(const IoRequest &r, sim::Time begin,
-                        RequestStatus &status);
+                        RequestStatus &status, PhaseLedger &phases);
 
     /**
      * Serve one write request; returns its flash completion time and
      * reports WriteRejected through @p status when the device is
-     * read-only.
+     * read-only. Charges the flash phases of the request's critical
+     * chain to @p phases.
      */
     sim::Time serveWrite(const IoRequest &r, sim::Time begin,
-                         RequestStatus &status);
+                         RequestStatus &status, PhaseLedger &phases);
 
     /**
      * Flush a run of dirty buffer units to flash. Clears @p accepted
@@ -289,6 +322,13 @@ class EmmcDevice
     bool busy_ = false;
     bool idle_ = true;           ///< device has been idle since last work
     sim::Time gcBusyUntil_ = 0;  ///< idle GC occupies flash until here
+    /**
+     * Power-up recovery occupies flash until here. Kept separate from
+     * gcBusyUntil_ (dispatch waits for the max of both, so timing is
+     * unchanged) so the attribution ledger can split a post-power-up
+     * dispatch stall into MountStall vs GcWait.
+     */
+    sim::Time mountBusyUntil_ = 0;
 
     /**
      * Power-loss bookkeeping. The in-flight command's requests are

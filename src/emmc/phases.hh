@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Latency-attribution phase taxonomy and the per-request phase ledger.
+ *
+ * Every completed request carries an exact decomposition of its
+ * response time (finish − arrival) into the named phases below. The
+ * decomposition follows the request's *critical chain*: the sequence
+ * of waits and operations whose completion determined the request's
+ * finish time. Work that overlapped the chain but did not extend it
+ * (e.g. the faster page reads of a multi-page request) is not charged,
+ * so the ledger obeys a conservation invariant the audit subsystem
+ * enforces per request:
+ *
+ *     sum over phases == finish − arrival        (exact, integer ns)
+ *
+ * Requests sharing a packed command each carry the full shared
+ * interval (elapsed-time semantics, matching responseMs); the
+ * co-request alignment slack is its own phase (PackAlign) so the sum
+ * still closes. Filling the ledger is always on — pure integer adds
+ * on state the dispatch path already computes, no allocation, no
+ * output change — while aggregation and export are opt-in through the
+ * observability layer (DESIGN.md §14).
+ */
+
+#ifndef EMMCSIM_EMMC_PHASES_HH
+#define EMMCSIM_EMMC_PHASES_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+#include "sim/types.hh"
+
+namespace emmcsim::emmc {
+
+/**
+ * Response-time phases, in canonical (reporting) order.
+ *
+ * NandErase and Journal are structurally zero on the host data path
+ * in the current model: erases happen inside garbage collection
+ * (charged wholesale as GcWait/GcStall) or at mount time (surfaced
+ * through the mount attribution section), and the metadata journal
+ * piggybacks on data pages without charging extra flash time
+ * (DESIGN.md §13.2). They stay in the taxonomy so the schema is
+ * stable when either acquires a cost of its own.
+ */
+enum class Phase : std::uint8_t
+{
+    /** Waiting behind earlier commands (arrival → dispatch). */
+    QueueWait = 0,
+    /** Dispatch held by power-up recovery (mount) occupancy. */
+    MountStall,
+    /** Dispatch held by idle-GC flash occupancy. */
+    GcWait,
+    /** Low-power exit warm-up charged to this command. */
+    Wakeup,
+    /** Fixed per-command protocol overhead. */
+    CmdOverhead,
+    /** Blocking garbage collection inside the command (free-page). */
+    GcStall,
+    /** Channel contention before the data/command transfer. */
+    BusWait,
+    /** Channel occupancy: command cycles + data transfer. */
+    BusXfer,
+    /** Array-unit (die/plane) contention before the cell op. */
+    NandWait,
+    /** Cell sensing time of the deciding page read (base sense). */
+    NandRead,
+    /** Cell program time of the deciding page program. */
+    NandProgram,
+    /** Cell erase time (zero on the host data path; see above). */
+    NandErase,
+    /** Extra sensing charged by the read-retry ladder. */
+    Retry,
+    /** Program-failure relocation re-issues on the critical chain. */
+    Reloc,
+    /** RAM-buffer eviction/flush write-back (charged wholesale). */
+    BufferFlush,
+    /** Journal/checkpoint overhead (zero by design; see above). */
+    Journal,
+    /** Waiting for packed co-requests after own flash work finished. */
+    PackAlign,
+};
+
+/** Number of phases in the taxonomy (== highest enumerator + 1). */
+inline constexpr std::size_t kPhaseCount = 17;
+
+/** Stable snake_case phase name used across reports and traces. */
+inline const char *
+phaseName(Phase p)
+{
+    static constexpr const char *names[kPhaseCount] = {
+        "queue_wait", "mount_stall", "gc_wait",      "wakeup",
+        "cmd_overhead", "gc_stall",  "bus_wait",     "bus_xfer",
+        "nand_wait",  "nand_read",   "nand_program", "nand_erase",
+        "retry",      "reloc",       "buffer_flush", "journal",
+        "pack_align",
+    };
+    return names[static_cast<std::size_t>(p)];
+}
+
+/** Fixed-size per-request phase account (integer nanoseconds). */
+struct PhaseLedger
+{
+    std::array<sim::Time, kPhaseCount> ns{};
+
+    void
+    add(Phase p, sim::Time t)
+    {
+        ns[static_cast<std::size_t>(p)] += t;
+    }
+
+    sim::Time
+    get(Phase p) const
+    {
+        return ns[static_cast<std::size_t>(p)];
+    }
+
+    /** Sum of all phases; conservation demands == finish − arrival. */
+    sim::Time
+    total() const
+    {
+        sim::Time sum = 0;
+        for (sim::Time t : ns)
+            sum += t;
+        return sum;
+    }
+};
+
+static_assert(std::is_trivially_copyable_v<PhaseLedger>,
+              "the ledger rides the completion event by value");
+
+/**
+ * Phases in the temporal order they occur on the service side of a
+ * @p write request's critical chain (reads sense before transferring,
+ * writes transfer before programming). Used by the Chrome-trace
+ * exporter to tile [serviceStart, finish] with phase sub-spans; the
+ * queue side [arrival, serviceStart] is always QueueWait, MountStall,
+ * GcWait in that order.
+ */
+inline const std::array<Phase, 14> &
+serviceChainOrder(bool write)
+{
+    static constexpr std::array<Phase, 14> write_order = {
+        Phase::Wakeup,   Phase::CmdOverhead, Phase::GcStall,
+        Phase::BusWait,  Phase::BusXfer,     Phase::NandWait,
+        Phase::NandProgram, Phase::NandErase, Phase::NandRead,
+        Phase::Retry,    Phase::Reloc,       Phase::BufferFlush,
+        Phase::Journal,  Phase::PackAlign,
+    };
+    static constexpr std::array<Phase, 14> read_order = {
+        Phase::Wakeup,   Phase::CmdOverhead, Phase::GcStall,
+        Phase::NandWait, Phase::NandRead,    Phase::Retry,
+        Phase::NandErase, Phase::NandProgram, Phase::BusWait,
+        Phase::BusXfer,  Phase::Reloc,       Phase::BufferFlush,
+        Phase::Journal,  Phase::PackAlign,
+    };
+    return write ? write_order : read_order;
+}
+
+} // namespace emmcsim::emmc
+
+#endif // EMMCSIM_EMMC_PHASES_HH

@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "core/units.hh"
+#include "emmc/phases.hh"
 #include "sim/types.hh"
 
 namespace emmcsim::emmc {
@@ -67,6 +68,13 @@ struct CompletedRequest
     bool packed = false;
     /** Outcome (Ok unless fault injection is active). */
     RequestStatus status = RequestStatus::Ok;
+    /**
+     * Latency attribution: exact decomposition of finish − arrival
+     * into named phases (emmc/phases.hh). Always filled by the
+     * dispatch path; phases.total() == finish − arrival is the
+     * conservation invariant the audit subsystem enforces.
+     */
+    PhaseLedger phases;
 
     bool ok() const { return status == RequestStatus::Ok; }
 };

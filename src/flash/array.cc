@@ -97,6 +97,9 @@ FlashArray::read(const PageAddr &addr, sim::Time earliest,
 
     OpResult res{a_start, x_start + xfer};
     res.retries = rf.retries;
+    res.busTime = xfer;
+    res.cellTime = sense;
+    res.retryTime = sense - pt.readLatency;
     if (rf.uncorrectable)
         res.status = OpStatus::Uncorrectable;
     else if (rf.retries > 0)
@@ -124,6 +127,8 @@ FlashArray::program(const PageAddr &addr, sim::Time earliest)
     st.bytesProgrammed += page_bytes;
 
     OpResult res{x_start, a_start + pt.programLatency};
+    res.busTime = xfer;
+    res.cellTime = pt.programLatency;
     if (fault_ != nullptr && fault_->enabled() &&
         fault_->programFails(poolAt(addr).eraseCount(BlockId{addr.block})))
         res.status = OpStatus::ProgramFail;
@@ -143,6 +148,8 @@ FlashArray::erase(const PageAddr &addr, sim::Time earliest)
     ++stats_.at(addr.pool).erases;
 
     OpResult res{x_start, a_start + timing_.eraseLatency};
+    res.busTime = timing_.pageCmdOverhead;
+    res.cellTime = timing_.eraseLatency;
     if (fault_ != nullptr && fault_->enabled() &&
         fault_->eraseFails(poolAt(addr).eraseCount(BlockId{addr.block})))
         res.status = OpStatus::EraseFail;
@@ -170,6 +177,9 @@ FlashArray::copybackRead(const PageAddr &addr, sim::Time earliest)
     ++stats_.at(addr.pool).copybackReads;
     OpResult res{x_start, a_start + sense};
     res.retries = rf.retries;
+    res.busTime = timing_.pageCmdOverhead;
+    res.cellTime = sense;
+    res.retryTime = sense - pt.readLatency;
     if (rf.uncorrectable)
         res.status = OpStatus::Uncorrectable;
     else if (rf.retries > 0)
@@ -189,6 +199,8 @@ FlashArray::copybackProgram(const PageAddr &addr, sim::Time earliest)
 
     ++stats_.at(addr.pool).copybackPrograms;
     OpResult res{x_start, a_start + pt.programLatency};
+    res.busTime = timing_.pageCmdOverhead;
+    res.cellTime = pt.programLatency;
     if (fault_ != nullptr && fault_->enabled() &&
         fault_->programFails(poolAt(addr).eraseCount(BlockId{addr.block})))
         res.status = OpStatus::ProgramFail;

@@ -47,13 +47,26 @@ enum class OpStatus : std::uint8_t
     EraseFail,     ///< erase failed; block must be retired
 };
 
-/** Timed outcome of one flash operation. */
+/**
+ * Timed outcome of one flash operation.
+ *
+ * Besides the start/done envelope, the result carries the occupancy
+ * split the latency-attribution ledger needs (DESIGN.md §14): how
+ * long the operation held the channel (busTime), how long it held the
+ * array unit (cellTime, including any retry re-sensing), and how much
+ * of the array occupancy was retry-ladder overhead (retryTime). The
+ * remainder of done − start is resource contention — waiting for the
+ * channel or the array unit to come free.
+ */
 struct OpResult
 {
     sim::Time start = 0;  ///< when the operation began occupying resources
     sim::Time done = 0;   ///< when its last resource was released
     OpStatus status = OpStatus::Ok;
     std::uint32_t retries = 0; ///< read-retry rounds charged (reads)
+    sim::Time busTime = 0;   ///< channel occupancy (cmd + transfer)
+    sim::Time cellTime = 0;  ///< array occupancy (sense/program/erase)
+    sim::Time retryTime = 0; ///< retry-ladder share of cellTime (reads)
 
     bool ok() const { return status == OpStatus::Ok ||
                              status == OpStatus::Corrected; }

@@ -49,7 +49,7 @@ Ftl::writeGroup(std::uint32_t pool, const std::vector<flash::Lpn> &lpns,
     // stays mapped and readable.
     if (bbm_.readOnly()) {
         ++stats_.rejectedWrites;
-        return WriteResult{earliest, false};
+        return WriteResult{earliest, false, {}};
     }
 
     // A plane-pool can serve the write if it has pages beyond the GC
@@ -96,7 +96,7 @@ Ftl::writeGroup(std::uint32_t pool, const std::vector<flash::Lpn> &lpns,
             ++stats_.overflowRedirects;
             const std::uint32_t other_upp =
                 geom.pools[k].unitsPerPage();
-            WriteResult out{earliest, true};
+            WriteResult out{earliest, true, {}};
             for (std::size_t i = 0; i < lpns.size(); i += other_upp) {
                 std::vector<flash::Lpn> chunk(
                     lpns.begin() + static_cast<std::ptrdiff_t>(i),
@@ -104,7 +104,13 @@ Ftl::writeGroup(std::uint32_t pool, const std::vector<flash::Lpn> &lpns,
                         static_cast<std::ptrdiff_t>(std::min(
                             i + other_upp, lpns.size())));
                 WriteResult w = writeGroup(k, chunk, earliest);
-                out.done = std::max(out.done, w.done);
+                // The chunk finishing last is the critical chain; its
+                // breakdown is the group's breakdown (conservation:
+                // it sums to out.done − earliest by induction).
+                if (w.done > out.done) {
+                    out.done = w.done;
+                    out.chain = w.chain;
+                }
                 out.accepted = out.accepted && w.accepted;
             }
             return out;
@@ -112,7 +118,7 @@ Ftl::writeGroup(std::uint32_t pool, const std::vector<flash::Lpn> &lpns,
         bbm_.declareSpaceExhausted();
         ++stats_.rejectedWrites;
         notifyAudit();
-        return WriteResult{earliest, false};
+        return WriteResult{earliest, false, {}};
     }
 
     auto &bp = array_.plane(plane).pool(pool);
@@ -124,6 +130,18 @@ Ftl::writeGroup(std::uint32_t pool, const std::vector<flash::Lpn> &lpns,
     addr.block = units::pageToBlock(ppn, ppb).value();
     addr.page = units::pageIndexInBlock(ppn, ppb);
     flash::OpResult res = array_.program(addr, t);
+
+    // Attribution critical chain: GC held the write until t, the
+    // first program decomposes into channel wait/transfer and array
+    // wait/program, and any relocation below lumps into one phase.
+    // The pieces sum exactly to done − earliest (DESIGN.md §14).
+    FlashBreakdown chain;
+    chain.gcStall = t - earliest;
+    chain.busWait = res.start - t;
+    chain.busXfer = res.busTime;
+    chain.nandWait = (res.done - res.start) - res.busTime - res.cellTime;
+    chain.nandCell = res.cellTime;
+    const sim::Time first_done = res.done;
 
     // Program-failure relocation: flag the failed block suspect, seal
     // it (no further page may land there; the GC scrub path drains and
@@ -145,7 +163,8 @@ Ftl::writeGroup(std::uint32_t pool, const std::vector<flash::Lpn> &lpns,
             bbm_.declareSpaceExhausted();
             ++stats_.rejectedWrites;
             notifyAudit();
-            return WriteResult{res.done, false};
+            chain.reloc = res.done - first_done;
+            return WriteResult{res.done, false, chain};
         }
         ppn = bp.allocatePage();
         addr.block = units::pageToBlock(ppn, ppb).value();
@@ -189,7 +208,8 @@ Ftl::writeGroup(std::uint32_t pool, const std::vector<flash::Lpn> &lpns,
     stats_.hostBytesConsumed += geom.pools[pool].pageBytes;
     ++stats_.hostProgramOps;
     notifyAudit();
-    return WriteResult{res.done, true};
+    chain.reloc = res.done - first_done;
+    return WriteResult{res.done, true, chain};
 }
 
 ReadResult
@@ -200,11 +220,29 @@ Ftl::readUnits(flash::Lpn start, std::uint32_t n, sim::Time earliest)
                        map_.logicalUnits(),
                    "readUnits past logical capacity");
     if (n == 0)
-        return ReadResult{earliest, 0};
+        return ReadResult{earliest, 0, {}};
 
     const auto &geom = array_.geometry();
     sim::Time done = earliest;
     std::uint32_t uncorrectable = 0;
+
+    // Attribution critical chain: the page read finishing last (ties
+    // keep the first) determines the request's flash time; decompose
+    // exactly that op into array wait, sensing (base + retry ladder)
+    // and channel wait/transfer. The pieces sum to done − earliest.
+    FlashBreakdown chain;
+    auto charge = [&](const flash::OpResult &res) {
+        if (res.done <= done)
+            return;
+        done = res.done;
+        chain = FlashBreakdown{};
+        chain.nandWait = res.start - earliest;
+        chain.nandCell = res.cellTime - res.retryTime;
+        chain.retry = res.retryTime;
+        chain.busWait =
+            (res.done - res.busTime) - (res.start + res.cellTime);
+        chain.busXfer = res.busTime;
+    };
 
     // Time one pseudo page read: a deterministic location in the pool
     // holding unit_count units of never-written data.
@@ -234,7 +272,7 @@ Ftl::readUnits(flash::Lpn start, std::uint32_t n, sim::Time earliest)
         flash::OpResult res = array_.read(a, earliest, bytes);
         if (res.status == flash::OpStatus::Uncorrectable)
             ++uncorrectable;
-        done = std::max(done, res.done);
+        charge(res);
         ++stats_.hostReadOps;
     };
 
@@ -316,12 +354,12 @@ Ftl::readUnits(flash::Lpn start, std::uint32_t n, sim::Time earliest)
         flash::OpResult res = array_.read(g.addr, earliest, bytes);
         if (res.status == flash::OpStatus::Uncorrectable)
             ++uncorrectable;
-        done = std::max(done, res.done);
+        charge(res);
         ++stats_.hostReadOps;
     }
     stats_.hostUnitsRead += n;
     stats_.uncorrectableReads += uncorrectable;
-    return ReadResult{done, uncorrectable};
+    return ReadResult{done, uncorrectable, chain};
 }
 
 bool

@@ -71,6 +71,40 @@ struct FtlStats
     std::uint64_t rejectedWrites = 0;
 };
 
+/**
+ * Critical-chain decomposition of one FTL call's elapsed time.
+ *
+ * The breakdown follows the operation whose completion determined the
+ * call's returned `done` time (ties keep the first); overlapping work
+ * on other channels/planes does not extend the chain and is not
+ * charged. Invariant (the attribution ledger's conservation fence,
+ * DESIGN.md §14): the fields sum exactly to `done − earliest`.
+ */
+struct FlashBreakdown
+{
+    /** Blocking garbage collection before placement (writes). */
+    sim::Time gcStall = 0;
+    /** Channel contention before the transfer. */
+    sim::Time busWait = 0;
+    /** Channel occupancy (command cycles + data transfer). */
+    sim::Time busXfer = 0;
+    /** Array-unit contention before the cell operation. */
+    sim::Time nandWait = 0;
+    /** Cell time: base sense (reads) or program (writes). */
+    sim::Time nandCell = 0;
+    /** Retry-ladder share of the sensing time (reads). */
+    sim::Time retry = 0;
+    /** Program-failure relocation re-issues (writes). */
+    sim::Time reloc = 0;
+
+    sim::Time
+    total() const
+    {
+        return gcStall + busWait + busXfer + nandWait + nandCell +
+               retry + reloc;
+    }
+};
+
 /** Timed outcome of one write group. */
 struct WriteResult
 {
@@ -78,6 +112,8 @@ struct WriteResult
     sim::Time done = 0;
     /** False when the device is read-only and the data did not land. */
     bool accepted = true;
+    /** Critical-chain split of done − earliest (attribution feed). */
+    FlashBreakdown chain;
 };
 
 /** Timed outcome of one multi-unit read. */
@@ -87,6 +123,8 @@ struct ReadResult
     sim::Time done = 0;
     /** Page reads whose data was lost (ECC + retry ladder failed). */
     std::uint32_t uncorrectablePages = 0;
+    /** Critical-chain split of done − earliest (attribution feed). */
+    FlashBreakdown chain;
 };
 
 /** The flash translation layer. */

@@ -1,0 +1,329 @@
+#include "obs/explain.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hh"
+#include "obs/json_read.hh"
+#include "obs/report.hh"
+
+namespace emmcsim::obs {
+
+namespace {
+
+/** Fixed-point shorthand: milliseconds with 4 decimals. */
+std::string
+ms(double v)
+{
+    return JsonWriter::formatFixed(v, 4);
+}
+
+/** Percent with one decimal (of @p whole; "-" when whole is 0). */
+std::string
+pct(double part, double whole)
+{
+    if (whole <= 0.0)
+        return "-";
+    return JsonWriter::formatFixed(100.0 * part / whole, 1) + "%";
+}
+
+/** Signed delta in ms ("+0.1234" / "-0.1234"). */
+std::string
+signedMs(double v)
+{
+    std::string out = ms(v);
+    if (v >= 0.0)
+        out.insert(out.begin(), '+');
+    return out;
+}
+
+bool
+checkSchema(const JsonValue &report, const char *label, std::string &err)
+{
+    if (!report.isObject()) {
+        err = std::string(label) + ": not a JSON object";
+        return false;
+    }
+    const JsonValue *schema = report.find("schema");
+    if (schema == nullptr || !schema->isString() ||
+        schema->asString() != kRunReportSchema) {
+        err = std::string(label) + ": not a \"" +
+              std::string(kRunReportSchema) + "\" document";
+        return false;
+    }
+    const JsonValue *runs = report.find("runs");
+    if (runs == nullptr || !runs->isArray()) {
+        err = std::string(label) + ": missing \"runs\" array";
+        return false;
+    }
+    return true;
+}
+
+/** (phase name, mean ms) in document order = phase order. */
+std::vector<std::pair<std::string, double>>
+phaseMeans(const JsonValue &attr)
+{
+    std::vector<std::pair<std::string, double>> out;
+    for (const auto &m : attr.at("phases").members())
+        out.emplace_back(m.first, m.second.numberOr("mean_ms", 0.0));
+    return out;
+}
+
+/** Indices of @p phases sorted by value desc, document order on ties. */
+std::vector<std::size_t>
+orderByValue(const std::vector<std::pair<std::string, double>> &phases)
+{
+    std::vector<std::size_t> order(phases.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&phases](std::size_t a, std::size_t b) {
+                         return phases[a].second > phases[b].second;
+                     });
+    return order;
+}
+
+/** "a 50.0%, b 25.0%, c 10.0%" for the top @p k nonzero entries. */
+std::string
+topContributors(const std::vector<std::pair<std::string, double>> &phases,
+                double whole, std::size_t k)
+{
+    std::string out;
+    std::size_t shown = 0;
+    for (std::size_t i : orderByValue(phases)) {
+        if (phases[i].second <= 0.0 || shown == k)
+            break;
+        if (shown > 0)
+            out += ", ";
+        out += phases[i].first + " " + pct(phases[i].second, whole);
+        ++shown;
+    }
+    return out.empty() ? "(all phases zero)" : out;
+}
+
+void
+explainRun(const JsonValue &run, std::ostream &os)
+{
+    const std::string &name = run.at("name").asString();
+    const JsonValue *attr = run.find("attribution");
+    if (attr == nullptr) {
+        os << "run \"" << name
+           << "\": no attribution section (re-run with --attribution)\n";
+        return;
+    }
+
+    const JsonValue &resp = attr->at("response");
+    const double mean = resp.numberOr("mean_ms", 0.0);
+    os << "run \"" << name << "\": " << attr->at("requests").asUInt()
+       << " requests, mean response " << ms(mean) << " ms, p99 "
+       << ms(resp.numberOr("p99_ms", 0.0)) << " ms, max "
+       << ms(resp.numberOr("max_ms", 0.0)) << " ms\n";
+
+    const auto violations = attr->at("ledger_violations").asUInt();
+    os << "  conservation: "
+       << (violations == 0 ? "OK (every request's phases sum to its "
+                             "response time)"
+                           : std::to_string(violations) +
+                                 " VIOLATIONS — attribution untrustworthy")
+       << "\n";
+
+    const auto phases = phaseMeans(*attr);
+    os << "  phases (mean ms per request, share of mean response):\n";
+    bool any = false;
+    for (std::size_t i : orderByValue(phases)) {
+        if (phases[i].second <= 0.0)
+            break;
+        any = true;
+        os << "    " << phases[i].first;
+        for (std::size_t pad = phases[i].first.size(); pad < 14; ++pad)
+            os << ' ';
+        os << ' ' << ms(phases[i].second) << "  "
+           << pct(phases[i].second, mean) << "\n";
+    }
+    if (!any)
+        os << "    (all phases zero)\n";
+
+    const JsonValue *tails = attr->find("tails");
+    if (tails != nullptr && !tails->items().empty()) {
+        os << "  tails (requests at/above each response quantile):\n";
+        for (const JsonValue &t : tails->items()) {
+            const double threshold = t.numberOr("threshold_ms", 0.0);
+            std::vector<std::pair<std::string, double>> slice;
+            double whole = 0.0;
+            for (const auto &m : t.at("mean_phase_ms").members()) {
+                slice.emplace_back(m.first, m.second.asDouble());
+                whole += m.second.asDouble();
+            }
+            os << "    p" << JsonWriter::formatFixed(
+                      t.numberOr("quantile", 0.0), 1)
+               << " >= " << ms(threshold) << " ms ("
+               << t.at("requests").asUInt() << " reqs): "
+               << topContributors(slice, whole, 3) << "\n";
+        }
+    }
+
+    const JsonValue *slowest = attr->find("slowest");
+    if (slowest != nullptr && !slowest->items().empty()) {
+        os << "  slowest requests:\n";
+        for (const JsonValue &s : slowest->items()) {
+            std::vector<std::pair<std::string, double>> ledger;
+            for (const auto &m : s.at("phase_ms").members())
+                ledger.emplace_back(m.first, m.second.asDouble());
+            const double resp_ms = s.numberOr("response_ms", 0.0);
+            os << "    id " << s.at("id").asUInt() << " "
+               << s.at("op").asString() << " response " << ms(resp_ms)
+               << " ms: " << topContributors(ledger, resp_ms, 3) << "\n";
+        }
+    }
+
+    const JsonValue *mount = attr->find("mount");
+    if (mount != nullptr && mount->at("power_cuts").asUInt() > 0) {
+        os << "  mount (power-up recovery, " << mount->at("power_cuts").asUInt()
+           << " cut(s)): total " << ms(mount->numberOr("total_ms", 0.0))
+           << " ms: checkpoint_load "
+           << ms(mount->numberOr("checkpoint_load_ms", 0.0))
+           << ", journal_replay "
+           << ms(mount->numberOr("journal_replay_ms", 0.0)) << ", scan "
+           << ms(mount->numberOr("scan_ms", 0.0)) << ", re_erase "
+           << ms(mount->numberOr("re_erase_ms", 0.0))
+           << ", checkpoint_write "
+           << ms(mount->numberOr("checkpoint_write_ms", 0.0)) << "\n";
+    }
+}
+
+} // namespace
+
+bool
+explainReport(const JsonValue &report, std::ostream &os, std::string &err)
+{
+    if (!checkSchema(report, "report", err))
+        return false;
+    const auto &runs = report.at("runs").items();
+    if (runs.empty()) {
+        os << "report contains no runs\n";
+        return true;
+    }
+    for (const JsonValue &run : runs)
+        explainRun(run, os);
+    return true;
+}
+
+bool
+diffReports(const JsonValue &before, const JsonValue &after,
+            std::ostream &os, std::string &err)
+{
+    if (!checkSchema(before, "before", err) ||
+        !checkSchema(after, "after", err))
+        return false;
+
+    const auto &runsA = before.at("runs").items();
+    const auto &runsB = after.at("runs").items();
+
+    auto findRun = [](const std::vector<JsonValue> &runs,
+                      const std::string &name) -> const JsonValue * {
+        for (const JsonValue &r : runs) {
+            if (r.at("name").asString() == name)
+                return &r;
+        }
+        return nullptr;
+    };
+
+    for (const JsonValue &a : runsA) {
+        const std::string &name = a.at("name").asString();
+        const JsonValue *b = findRun(runsB, name);
+        if (b == nullptr) {
+            os << "run \"" << name << "\": only in before\n";
+            continue;
+        }
+        const JsonValue *attrA = a.find("attribution");
+        const JsonValue *attrB = b->find("attribution");
+        if (attrA == nullptr || attrB == nullptr) {
+            os << "run \"" << name
+               << "\": missing attribution on one side, cannot attribute "
+                  "the change\n";
+            continue;
+        }
+
+        const double meanA = attrA->at("response").numberOr("mean_ms", 0.0);
+        const double meanB = attrB->at("response").numberOr("mean_ms", 0.0);
+        const double delta = meanB - meanA;
+        os << "run \"" << name << "\": mean response " << ms(meanA)
+           << " -> " << ms(meanB) << " ms (" << signedMs(delta) << " ms";
+        if (meanA > 0.0) {
+            os << ", "
+               << (delta >= 0.0 ? "+" : "")
+               << JsonWriter::formatFixed(100.0 * delta / meanA, 1) << "%";
+        }
+        os << ")"
+           << (delta > 0.0 ? "  [regression]"
+                           : (delta < 0.0 ? "  [improvement]" : ""))
+           << "\n";
+
+        const double p99A = attrA->at("response").numberOr("p99_ms", 0.0);
+        const double p99B = attrB->at("response").numberOr("p99_ms", 0.0);
+        os << "  p99: " << ms(p99A) << " -> " << ms(p99B) << " ms ("
+           << signedMs(p99B - p99A) << ")\n";
+
+        // Per-phase movement of the mean, largest absolute delta
+        // first. Phases absent on one side (schema growth) diff
+        // against zero.
+        const auto phasesA = phaseMeans(*attrA);
+        const auto phasesB = phaseMeans(*attrB);
+        auto meanOf = [](const std::vector<std::pair<std::string, double>>
+                             &phases,
+                         const std::string &key) {
+            for (const auto &p : phases) {
+                if (p.first == key)
+                    return p.second;
+            }
+            return 0.0;
+        };
+        std::vector<std::pair<std::string, double>> names = phasesB;
+        for (const auto &p : phasesA) {
+            if (meanOf(names, p.first) == 0.0 &&
+                std::none_of(names.begin(), names.end(),
+                             [&p](const auto &q) {
+                                 return q.first == p.first;
+                             }))
+                names.push_back(p);
+        }
+        std::vector<std::pair<std::string, double>> deltas;
+        for (const auto &p : names) {
+            deltas.emplace_back(p.first, meanOf(phasesB, p.first) -
+                                             meanOf(phasesA, p.first));
+        }
+        std::stable_sort(deltas.begin(), deltas.end(),
+                         [](const auto &x, const auto &y) {
+                             return std::fabs(x.second) >
+                                    std::fabs(y.second);
+                         });
+        os << "  phase movement (mean ms per request):\n";
+        bool any = false;
+        for (const auto &d : deltas) {
+            if (d.second == 0.0)
+                continue;
+            any = true;
+            os << "    " << d.first;
+            for (std::size_t pad = d.first.size(); pad < 14; ++pad)
+                os << ' ';
+            os << ' ' << signedMs(d.second) << "  ("
+               << ms(meanOf(phasesA, d.first)) << " -> "
+               << ms(meanOf(phasesB, d.first)) << ")\n";
+        }
+        if (!any)
+            os << "    (no phase moved)\n";
+    }
+
+    for (const JsonValue &b : runsB) {
+        if (findRun(runsA, b.at("name").asString()) == nullptr)
+            os << "run \"" << b.at("name").asString()
+               << "\": only in after\n";
+    }
+    return true;
+}
+
+} // namespace emmcsim::obs

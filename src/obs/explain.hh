@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Human-facing renderers over run-report attribution sections:
+ * `emmcsim_cli explain` (where did the time go in one run) and
+ * `emmcsim_cli diff` (which phases moved between two runs).
+ *
+ * Both work purely on parsed report JSON — no live device — so they
+ * apply to any artifact the simulator ever produced, and both are
+ * library functions so the golden-output tests can drive them without
+ * spawning the CLI. All numbers render through JsonWriter::formatFixed
+ * and stay byte-stable across host locales.
+ */
+
+#ifndef EMMCSIM_OBS_EXPLAIN_HH
+#define EMMCSIM_OBS_EXPLAIN_HH
+
+#include <iosfwd>
+#include <string>
+
+namespace emmcsim::obs {
+
+class JsonValue;
+
+/**
+ * Print a latency explanation of @p report: per-run phase breakdown,
+ * tail-slice composition (p50/p95/p99/p99.9), slowest requests and
+ * mount cost. Runs without an "attribution" section are listed but
+ * marked as not attributed.
+ *
+ * @return false with @p err set when @p report is not a run report.
+ */
+bool explainReport(const JsonValue &report, std::ostream &os,
+                   std::string &err);
+
+/**
+ * Compare two run reports and attribute the response-time movement
+ * between them to phases. Runs are matched by name; runs present on
+ * only one side are listed as added/removed.
+ *
+ * @return false with @p err set when either document is not a run
+ *         report.
+ */
+bool diffReports(const JsonValue &before, const JsonValue &after,
+                 std::ostream &os, std::string &err);
+
+} // namespace emmcsim::obs
+
+#endif // EMMCSIM_OBS_EXPLAIN_HH

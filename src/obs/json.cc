@@ -1,5 +1,7 @@
 #include "obs/json.hh"
 
+#include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <ostream>
@@ -119,11 +121,29 @@ JsonWriter::value(double d)
     return *this;
 }
 
+namespace {
+
+/**
+ * Integers go through to_chars as well: ostream integer insertion
+ * honours the stream's imbued locale (digit grouping), which would
+ * corrupt artifacts on a grouping locale.
+ */
+template <typename Int>
+void
+writeInt(std::ostream &os, Int v)
+{
+    char buf[24];
+    auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    os.write(buf, res.ptr - buf);
+}
+
+} // namespace
+
 JsonWriter &
 JsonWriter::value(std::uint64_t v)
 {
     preValue();
-    os_ << v;
+    writeInt(os_, v);
     if (stack_.empty())
         rootDone_ = true;
     return *this;
@@ -133,7 +153,7 @@ JsonWriter &
 JsonWriter::value(std::int64_t v)
 {
     preValue();
-    os_ << v;
+    writeInt(os_, v);
     if (stack_.empty())
         rootDone_ = true;
     return *this;
@@ -163,16 +183,25 @@ JsonWriter::formatNumber(double d)
     // the artifact stays parseable. Callers filter where it matters.
     if (!std::isfinite(d))
         return "0";
+    // std::to_chars: shortest round-trip decimal, and — unlike the
+    // printf %g family — immune to LC_NUMERIC (always '.').
     char buf[40];
-    std::snprintf(buf, sizeof(buf), "%.9g", d);
-    // %.9g covers every value the simulator produces (ns fit in 2^63
-    // only via the integer overloads); widen when it does not
-    // round-trip closely enough.
-    double back = 0.0;
-    std::sscanf(buf, "%lf", &back);
-    if (back != d)
-        std::snprintf(buf, sizeof(buf), "%.17g", d);
-    return buf;
+    auto res = std::to_chars(buf, buf + sizeof(buf), d);
+    EMMCSIM_ASSERT(res.ec == std::errc{}, "formatNumber buffer");
+    return std::string(buf, res.ptr);
+}
+
+std::string
+JsonWriter::formatFixed(double d, int decimals)
+{
+    if (!std::isfinite(d))
+        return "0";
+    decimals = std::clamp(decimals, 0, 17);
+    char buf[64];
+    auto res = std::to_chars(buf, buf + sizeof(buf), d,
+                             std::chars_format::fixed, decimals);
+    EMMCSIM_ASSERT(res.ec == std::errc{}, "formatFixed buffer");
+    return std::string(buf, res.ptr);
 }
 
 std::string

@@ -63,11 +63,23 @@ class JsonWriter
     bool done() const;
 
     /**
-     * Format @p d the way value(double) does: shortest round-trippable
-     * decimal via %.17g probing down from %.9g; non-finite values
-     * (invalid JSON) become 0 with a "inf"/"nan" guard upstream.
+     * Format @p d the way value(double) does: the shortest decimal
+     * that round-trips to the same double, via std::to_chars — which
+     * is locale-independent by specification, unlike printf %g /
+     * std::to_string whose decimal separator follows LC_NUMERIC. All
+     * obs number formatting funnels through here (or formatFixed) so
+     * artifacts parse identically under any host locale. Non-finite
+     * values (invalid JSON) become 0; callers guard where it matters.
      */
     static std::string formatNumber(double d);
+
+    /**
+     * Locale-independent fixed-point formatting with @p decimals
+     * digits after the '.' (clamped to [0, 17]). For human-facing
+     * tables (explain/diff) that must stay byte-stable across hosts;
+     * non-finite values render as "0".
+     */
+    static std::string formatFixed(double d, int decimals);
 
     /** JSON-escape @p s (without surrounding quotes). */
     static std::string escape(std::string_view s);

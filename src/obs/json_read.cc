@@ -1,0 +1,339 @@
+#include "obs/json_read.hh"
+
+#include <charconv>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace emmcsim::obs {
+
+bool
+JsonValue::asBool() const
+{
+    EMMCSIM_ASSERT(isBool(), "JsonValue: not a bool");
+    return bool_;
+}
+
+double
+JsonValue::asDouble() const
+{
+    EMMCSIM_ASSERT(isNumber(), "JsonValue: not a number");
+    return num_;
+}
+
+std::uint64_t
+JsonValue::asUInt() const
+{
+    EMMCSIM_ASSERT(isNumber(), "JsonValue: not a number");
+    EMMCSIM_ASSERT(num_ >= 0.0, "JsonValue: negative where uint expected");
+    return static_cast<std::uint64_t>(num_);
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    EMMCSIM_ASSERT(isString(), "JsonValue: not a string");
+    return str_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::items() const
+{
+    EMMCSIM_ASSERT(isArray(), "JsonValue: not an array");
+    return items_;
+}
+
+const std::vector<JsonValue::Member> &
+JsonValue::members() const
+{
+    EMMCSIM_ASSERT(isObject(), "JsonValue: not an object");
+    return members_;
+}
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (!isObject())
+        return nullptr;
+    for (const Member &m : members_) {
+        if (m.first == key)
+            return &m.second;
+    }
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(std::string_view key) const
+{
+    const JsonValue *v = find(key);
+    EMMCSIM_ASSERT(v != nullptr, "JsonValue: missing required key \"" +
+                                     std::string(key) + "\"");
+    return *v;
+}
+
+double
+JsonValue::numberOr(std::string_view key, double fallback) const
+{
+    const JsonValue *v = find(key);
+    return v != nullptr ? v->asDouble() : fallback;
+}
+
+/** Recursive-descent parser over a complete in-memory document. */
+class JsonParser
+{
+  public:
+    JsonParser(std::string_view text, std::string &err)
+        : text_(text), err_(err)
+    {
+    }
+
+    bool
+    parseDocument(JsonValue &out)
+    {
+        if (!parseValue(out, 0))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing content after document root");
+        return true;
+    }
+
+  private:
+    /** Nesting bound: a report is ~8 deep; 64 rejects garbage input. */
+    static constexpr int kMaxDepth = 64;
+
+    bool
+    fail(const std::string &what)
+    {
+        err_ = "JSON parse error at byte " + std::to_string(pos_) + ": " +
+               what;
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    parseValue(JsonValue &out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        switch (text_[pos_]) {
+          case '{':
+            return parseObject(out, depth);
+          case '[':
+            return parseArray(out, depth);
+          case '"':
+            out.kind_ = JsonValue::Kind::String;
+            return parseString(out.str_);
+          case 't':
+            if (text_.substr(pos_, 4) != "true")
+                return fail("invalid literal");
+            pos_ += 4;
+            out.kind_ = JsonValue::Kind::Bool;
+            out.bool_ = true;
+            return true;
+          case 'f':
+            if (text_.substr(pos_, 5) != "false")
+                return fail("invalid literal");
+            pos_ += 5;
+            out.kind_ = JsonValue::Kind::Bool;
+            out.bool_ = false;
+            return true;
+          case 'n':
+            if (text_.substr(pos_, 4) != "null")
+                return fail("invalid literal");
+            pos_ += 4;
+            out.kind_ = JsonValue::Kind::Null;
+            return true;
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out, int depth)
+    {
+        ++pos_; // '{'
+        out.kind_ = JsonValue::Kind::Object;
+        skipWs();
+        if (consume('}'))
+            return true;
+        for (;;) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key");
+            JsonValue::Member m;
+            if (!parseString(m.first))
+                return false;
+            skipWs();
+            if (!consume(':'))
+                return fail("expected ':' after key");
+            if (!parseValue(m.second, depth + 1))
+                return false;
+            out.members_.push_back(std::move(m));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return true;
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out, int depth)
+    {
+        ++pos_; // '['
+        out.kind_ = JsonValue::Kind::Array;
+        skipWs();
+        if (consume(']'))
+            return true;
+        for (;;) {
+            JsonValue v;
+            if (!parseValue(v, depth + 1))
+                return false;
+            out.items_.push_back(std::move(v));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return true;
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        ++pos_; // '"'
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("invalid \\u escape digit");
+                }
+                // The writer only \u-escapes control bytes; decode
+                // the BMP code point as UTF-8 for completeness.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                return fail("invalid escape character");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        // from_chars covers the JSON number grammar (no leading '+',
+        // locale-independent by specification) but is laxer on two
+        // points JSON forbids: leading zeros and a bare leading '.'.
+        // Reject those up front; "inf"/"nan" parse but fail the
+        // finiteness check below.
+        {
+            std::size_t p = pos_;
+            if (p < text_.size() && text_[p] == '-')
+                ++p;
+            if (p < text_.size() && text_[p] == '.')
+                return fail("invalid number");
+            if (p + 1 < text_.size() && text_[p] == '0' &&
+                text_[p + 1] >= '0' && text_[p + 1] <= '9') {
+                return fail("leading zero in number");
+            }
+        }
+        const char *begin = text_.data() + pos_;
+        const char *end = text_.data() + text_.size();
+        double d = 0.0;
+        auto res = std::from_chars(begin, end, d);
+        if (res.ec != std::errc{} || res.ptr == begin)
+            return fail("invalid number");
+        if (!std::isfinite(d))
+            return fail("number out of range");
+        pos_ += static_cast<std::size_t>(res.ptr - begin);
+        out.kind_ = JsonValue::Kind::Number;
+        out.num_ = d;
+        return true;
+    }
+
+    std::string_view text_;
+    std::string &err_;
+    std::size_t pos_ = 0;
+};
+
+bool
+JsonValue::parse(std::string_view text, JsonValue &out, std::string &err)
+{
+    out = JsonValue{};
+    err.clear();
+    JsonParser parser(text, err);
+    if (parser.parseDocument(out))
+        return true;
+    out = JsonValue{};
+    return false;
+}
+
+} // namespace emmcsim::obs

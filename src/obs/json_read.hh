@@ -1,0 +1,93 @@
+/**
+ * @file
+ * JsonValue: a minimal JSON reader for the run-report tooling.
+ *
+ * `emmcsim_cli explain` and `diff` consume run-report files the
+ * simulator itself produced, so this parser only needs to cover what
+ * JsonWriter emits (and be strict about it): objects, arrays, strings
+ * with the writer's escape set, finite numbers, booleans and null.
+ * Numbers parse through std::from_chars — like the writer's to_chars,
+ * locale-independent by specification.
+ *
+ * Objects keep their members as an insertion-ordered vector of
+ * (key, value) pairs rather than a hash map: report keys are few,
+ * lookups are linear scans, and iteration order is the document order
+ * (the project bans iteration over unordered containers anywhere
+ * output is derived).
+ */
+
+#ifndef EMMCSIM_OBS_JSON_READ_HH
+#define EMMCSIM_OBS_JSON_READ_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace emmcsim::obs {
+
+/** One parsed JSON value (recursive). */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    using Member = std::pair<std::string, JsonValue>;
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** @name Accessors (asserting on kind mismatch). @{ */
+    bool asBool() const;
+    double asDouble() const;
+    /** Number truncated to uint64 (asserted non-negative). */
+    std::uint64_t asUInt() const;
+    const std::string &asString() const;
+    const std::vector<JsonValue> &items() const;
+    const std::vector<Member> &members() const;
+    /** @} */
+
+    /** Object member by key; nullptr when absent or not an object. */
+    const JsonValue *find(std::string_view key) const;
+
+    /**
+     * Object member by key, asserting presence — for schema fields
+     * whose absence means the file is not a run report.
+     */
+    const JsonValue &at(std::string_view key) const;
+
+    /**
+     * Convenience: numeric member of an object, or @p fallback when
+     * the key is absent. Asserts when present but non-numeric.
+     */
+    double numberOr(std::string_view key, double fallback) const;
+
+    /**
+     * Parse @p text as one JSON document.
+     * @param err On failure, receives a one-line diagnostic with the
+     *        byte offset.
+     * @return parsed root, or Null kind with @p err set.
+     */
+    static bool parse(std::string_view text, JsonValue &out,
+                      std::string &err);
+
+  private:
+    friend class JsonParser;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<JsonValue> items_;
+    std::vector<Member> members_;
+};
+
+} // namespace emmcsim::obs
+
+#endif // EMMCSIM_OBS_JSON_READ_HH

@@ -34,7 +34,10 @@ DeviceObserver::DeviceObserver(sim::Simulator &simulator,
             opts_.prefix + "emmc.latency.service_ms", latencyBoundsMs());
     }
 
-    if (metricsEnabled() || opts_.trace) {
+    if (opts_.attribution)
+        recorder_ = std::make_unique<AttributionRecorder>(opts_.slowestK);
+
+    if (metricsEnabled() || opts_.trace || opts_.attribution) {
         device_.setTraceHook([this](const emmc::CompletedRequest &c) {
             onRequest(c);
         });
@@ -76,6 +79,8 @@ DeviceObserver::onRequest(const emmc::CompletedRequest &completed)
     }
     if (opts_.trace)
         tracer_.onRequest(completed);
+    if (recorder_)
+        recorder_->onRequest(completed);
 }
 
 void
@@ -100,6 +105,11 @@ DeviceObserver::finish()
 
     if (metricsEnabled())
         snapshot_ = registry_.snapshot();
+
+    if (recorder_) {
+        recorder_->noteDevice(device_.stats(), device_.spoStats());
+        attribution_ = recorder_->summarize();
+    }
 }
 
 SeriesSet

@@ -22,6 +22,7 @@
 
 #include <string>
 
+#include "obs/attribution.hh"
 #include "obs/device_metrics.hh"
 #include "obs/metrics.hh"
 #include "obs/sampler.hh"
@@ -54,10 +55,20 @@ struct ObserverOptions
      * (borrowed; may be null).
      */
     const host::ReplayStats *replayStats = nullptr;
+    /**
+     * Record per-request phase ledgers and aggregate them into the
+     * report's "attribution" section.
+     */
+    bool attribution = false;
+    /** Slowest-request count kept by the attribution summary. */
+    std::size_t slowestK = 10;
     /** Metric name prefix (must end with '.' when non-empty). */
     std::string prefix;
 
-    bool any() const { return metrics || trace || sampleWindow > 0; }
+    bool any() const
+    {
+        return metrics || trace || attribution || sampleWindow > 0;
+    }
 };
 
 /** Wires registry + sampler + tracer to one simulator and device. */
@@ -94,6 +105,12 @@ class DeviceObserver
     /** End-of-run values; valid after finish(). */
     const MetricsSnapshot &snapshot() const { return snapshot_; }
 
+    /**
+     * Aggregated latency attribution; enabled only in attribution
+     * mode, and fully populated after finish().
+     */
+    const AttributionSummary &attribution() const { return attribution_; }
+
     /** Windowed series; empty when no sampler ran. */
     SeriesSet series() const;
 
@@ -114,6 +131,8 @@ class DeviceObserver
     Registry registry_;
     RequestTracer tracer_;
     std::unique_ptr<Sampler> sampler_;
+    std::unique_ptr<AttributionRecorder> recorder_;
+    AttributionSummary attribution_;
     sim::Simulator::HookId simHook_ = 0;
     bool hooked_ = false;
     bool finished_ = false;

@@ -52,7 +52,7 @@ RunReport::setMeta(std::string key, double value)
 
 void
 RunReport::addRun(std::string name, MetricsSnapshot metrics,
-                  SeriesSet series)
+                  SeriesSet series, AttributionSummary attribution)
 {
     for (const Run &r : runs_) {
         EMMCSIM_ASSERT(r.name != name,
@@ -62,8 +62,97 @@ RunReport::addRun(std::string name, MetricsSnapshot metrics,
     run.name = std::move(name);
     run.metrics = std::move(metrics);
     run.series = std::move(series);
+    run.attribution = std::move(attribution);
     runs_.push_back(std::move(run));
 }
+
+namespace {
+
+/** Serialize one PhaseDist object. */
+void
+writeDist(JsonWriter &w, const PhaseDist &d)
+{
+    w.beginObject();
+    w.field("hits", d.hits);
+    w.field("total_ms", d.totalMs);
+    w.field("mean_ms", d.meanMs);
+    w.field("max_ms", d.maxMs);
+    w.field("p50_ms", d.p50Ms);
+    w.field("p95_ms", d.p95Ms);
+    w.field("p99_ms", d.p99Ms);
+    w.field("p999_ms", d.p999Ms);
+    w.endObject();
+}
+
+/** Serialize a full per-phase map keyed by phase name. */
+void
+writePhaseMap(JsonWriter &w,
+              const std::array<double, emmc::kPhaseCount> &ms)
+{
+    w.beginObject();
+    for (std::size_t p = 0; p < emmc::kPhaseCount; ++p)
+        w.field(emmc::phaseName(static_cast<emmc::Phase>(p)), ms[p]);
+    w.endObject();
+}
+
+/** Serialize the "attribution" run section. */
+void
+writeAttribution(JsonWriter &w, const AttributionSummary &a)
+{
+    w.key("attribution").beginObject();
+    w.field("version", static_cast<std::uint64_t>(a.version));
+    w.field("requests", a.requests);
+    w.field("ledger_violations", a.ledgerViolations);
+
+    w.key("response");
+    writeDist(w, a.response);
+
+    w.key("phases").beginObject();
+    for (std::size_t p = 0; p < emmc::kPhaseCount; ++p) {
+        w.key(emmc::phaseName(static_cast<emmc::Phase>(p)));
+        writeDist(w, a.phases[p]);
+    }
+    w.endObject();
+
+    w.key("tails").beginArray();
+    for (const TailSlice &t : a.tails) {
+        w.beginObject();
+        w.field("quantile", t.quantile);
+        w.field("threshold_ms", t.thresholdMs);
+        w.field("requests", t.requests);
+        w.key("mean_phase_ms");
+        writePhaseMap(w, t.meanPhaseMs);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("slowest").beginArray();
+    for (const SlowRequest &s : a.slowest) {
+        w.beginObject();
+        w.field("id", s.id);
+        w.field("arrival_ns", static_cast<std::int64_t>(s.arrival));
+        w.field("op", s.write ? "write" : "read");
+        w.field("response_ms", s.responseMs);
+        w.key("phase_ms");
+        writePhaseMap(w, s.phaseMs);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("mount").beginObject();
+    w.field("power_cuts", a.mount.powerCuts);
+    w.field("total_ms", a.mount.totalMs);
+    w.field("checkpoint_load_ms", a.mount.checkpointLoadMs);
+    w.field("journal_replay_ms", a.mount.journalReplayMs);
+    w.field("scan_ms", a.mount.scanMs);
+    w.field("re_erase_ms", a.mount.reEraseMs);
+    w.field("checkpoint_write_ms", a.mount.checkpointWriteMs);
+    w.endObject();
+
+    w.endObject();
+}
+
+} // namespace
 
 void
 RunReport::writeJson(std::ostream &os) const
@@ -149,6 +238,9 @@ RunReport::writeJson(std::ostream &os) const
             w.endObject();
             w.endObject();
         }
+
+        if (r.attribution.enabled)
+            writeAttribution(w, r.attribution);
 
         w.endObject();
     }

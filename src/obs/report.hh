@@ -22,11 +22,21 @@
  *     "histograms": { "...": {"upper_bounds":[..],"counts":[..],
  *                             "total":..,"p50":..,"p95":..,"p99":..} },
  *     "series":     { "window_ns": ..,
- *                     "metrics": { "emmc.requests": [..], ... } }
+ *                     "metrics": { "emmc.requests": [..], ... } },
+ *     "attribution": { "version": 1, "requests": ..,
+ *                      "ledger_violations": 0,
+ *                      "response": { "hits":..,"total_ms":..,... },
+ *                      "phases":   { "queue_wait": {..}, ... },
+ *                      "tails":    [ { "quantile": 99.0, ... } ],
+ *                      "slowest":  [ { "id":..,"phase_ms":{..} } ],
+ *                      "mount":    { "power_cuts":..,... } }
  *   } ]
  * }
  * @endcode
- * The "series" key is omitted for runs sampled with no window.
+ * The "series" key is omitted for runs sampled with no window, and
+ * "attribution" for runs without --attribution — so reports produced
+ * with attribution off stay byte-identical to the pre-attribution
+ * schema.
  */
 
 #ifndef EMMCSIM_OBS_REPORT_HH
@@ -37,6 +47,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/attribution.hh"
 #include "obs/metrics.hh"
 #include "obs/sampler.hh"
 
@@ -65,9 +76,12 @@ class RunReport
      * @param metrics Value snapshot taken at end of run.
      * @param series  Sampler output; an empty SeriesSet (window 0)
      *        omits the "series" key.
+     * @param attribution Latency-attribution summary; a disabled
+     *        summary omits the "attribution" key.
      */
     void addRun(std::string name, MetricsSnapshot metrics,
-                SeriesSet series = {});
+                SeriesSet series = {},
+                AttributionSummary attribution = {});
 
     std::size_t runCount() const { return runs_.size(); }
 
@@ -93,6 +107,7 @@ class RunReport
         std::string name;
         MetricsSnapshot metrics;
         SeriesSet series;
+        AttributionSummary attribution;
     };
 
     /** Insert-or-replace slot for @p key. */

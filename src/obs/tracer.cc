@@ -105,6 +105,7 @@ RequestTracer::onRequest(const emmc::CompletedRequest &completed)
     s.waited = completed.waited;
     s.packed = completed.packed;
     s.status = completed.status;
+    s.phases = completed.phases;
     requests_.push_back(s);
 }
 
@@ -244,6 +245,53 @@ RequestTracer::exportChromeTrace(std::ostream &os) const
         w.field("status", requestStatusName(s.status));
         w.endObject();
         w.endObject();
+
+        // Phase sub-spans from the attribution ledger. Queue-side
+        // phases tile [arrival, serviceStart] as async pairs (drawn
+        // on the same track row as "queued"); the service chain tiles
+        // [serviceStart, finish] as nested "X" events. Conservation
+        // makes both tilings exact; zero-length phases are skipped.
+        constexpr emmc::Phase kQueuePhases[] = {emmc::Phase::QueueWait,
+                                                emmc::Phase::MountStall,
+                                                emmc::Phase::GcWait};
+        sim::Time cursor = s.arrival;
+        for (emmc::Phase p : kQueuePhases) {
+            const sim::Time dur = s.phases.get(p);
+            if (dur <= 0)
+                continue;
+            for (const char *ph : {"b", "e"}) {
+                w.beginObject();
+                w.field("name", emmc::phaseName(p));
+                w.field("cat", "phase");
+                w.field("ph", ph);
+                w.field("id", s.id);
+                w.field("ts", toMicros(ph[0] == 'b' ? cursor
+                                                    : cursor + dur));
+                w.field("pid", kPid);
+                w.field("tid", kRequestTid);
+                w.endObject();
+            }
+            cursor += dur;
+        }
+        cursor = s.serviceStart;
+        for (emmc::Phase p : emmc::serviceChainOrder(s.write)) {
+            const sim::Time dur = s.phases.get(p);
+            if (dur <= 0)
+                continue;
+            w.beginObject();
+            w.field("name", emmc::phaseName(p));
+            w.field("cat", "phase");
+            w.field("ph", "X");
+            w.field("ts", toMicros(cursor));
+            w.field("dur", toMicros(dur));
+            w.field("pid", kPid);
+            w.field("tid", kRequestTid);
+            w.key("args").beginObject();
+            w.field("id", s.id);
+            w.endObject();
+            w.endObject();
+            cursor += dur;
+        }
     }
 
     for (const FlashSpan &s : ops_) {

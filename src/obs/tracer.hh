@@ -17,6 +17,11 @@
  * Span model:
  *  - request span: arrival (step 1) -> serviceStart (step 2) ->
  *    finish (step 3), with waited / packed / status annotations;
+ *  - phase sub-spans: the request's attribution ledger
+ *    (emmc/phases.hh) tiled under its span — queue-side phases
+ *    (queue_wait / mount_stall / gc_wait) across [arrival,
+ *    serviceStart] and the service chain across [serviceStart,
+ *    finish], exact because the ledger conserves the response time;
  *  - flash-op span: start -> done for each read / program / erase /
  *    copyback, bucketed into per-die lanes, with fault status and
  *    read-retry counts.
@@ -107,6 +112,8 @@ class RequestTracer
         bool waited = false;
         bool packed = false;
         emmc::RequestStatus status = emmc::RequestStatus::Ok;
+        /** Attribution ledger; tiles the span as phase sub-spans. */
+        emmc::PhaseLedger phases;
     };
 
     /** One flash operation on its die lane. */

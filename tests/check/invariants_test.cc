@@ -74,8 +74,27 @@ TEST_F(CheckTest, CleanDeviceAuditsClean)
     check::AuditReport report = check::auditNow(sim_, *dev_);
     EXPECT_TRUE(report.clean());
     EXPECT_GT(report.totalChecks(), 0u);
-    // The standard registration covers all nine checker families.
-    EXPECT_EQ(report.checkers.size(), 9u);
+    // The standard registration covers all ten checker families.
+    EXPECT_EQ(report.checkers.size(), 10u);
+}
+
+TEST_F(CheckTest, PhaseConservationCheckerCatchesLedgerDrift)
+{
+    buildAndReplay();
+
+    // Healthy replay: every completed request's ledger summed exactly.
+    check::CheckContext clean("test");
+    check::checkPhaseConservation(*dev_, clean);
+    EXPECT_EQ(clean.failures(), 0u);
+
+    // Plant a violation count without an actual conservation break
+    // (the device DCHECKs the real thing per completion in debug
+    // builds, so the counter is the only stageable state).
+    dev_->corruptLedgerViolationsForTest(2);
+    check::CheckContext ctx("test");
+    check::checkPhaseConservation(*dev_, ctx);
+    EXPECT_GT(ctx.failures(), 0u);
+    ASSERT_FALSE(ctx.violations().empty());
 }
 
 TEST_F(CheckTest, BijectionCheckerCatchesMapCorruption)

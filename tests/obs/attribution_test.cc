@@ -1,0 +1,590 @@
+/**
+ * @file
+ * Tests for latency attribution (DESIGN.md §14): the per-request
+ * conservation invariant under plain, fault-injected and power-cut
+ * traffic; the AttributionRecorder's aggregation; the report schema
+ * contract (the "attribution" key only exists when the mode is on);
+ * the Chrome-trace phase tiling; the JSON reader; locale-independent
+ * number formatting; and the explain/diff golden outputs on a
+ * checked-in report pair.
+ */
+
+#include <gtest/gtest.h>
+
+#include <clocale>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/scheme.hh"
+#include "emmc/device.hh"
+#include "fault/spo.hh"
+#include "host/replayer.hh"
+#include "obs/attribution.hh"
+#include "obs/explain.hh"
+#include "obs/json.hh"
+#include "obs/json_read.hh"
+#include "obs/report.hh"
+#include "sim/simulator.hh"
+#include "trace/trace.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+
+namespace emmcsim {
+namespace {
+
+trace::Trace
+makeTrace(const char *profile, std::uint64_t seed, double scale)
+{
+    const workload::AppProfile *p = workload::findProfile(profile);
+    EXPECT_NE(p, nullptr);
+    workload::TraceGenerator gen(*p, seed);
+    return gen.generate(scale);
+}
+
+// ---------------------------------------------------------------------
+// Conservation: phases sum exactly to finish - arrival, per request
+// ---------------------------------------------------------------------
+
+/** Replay with a hook asserting conservation on every completion. */
+void
+replayCheckingEveryCompletion(core::SchemeKind kind,
+                              const core::ExperimentOptions &opts,
+                              const trace::Trace &t)
+{
+    sim::Simulator s;
+    emmc::EmmcConfig cfg =
+        core::applyOptions(core::schemeConfig(kind), opts);
+    auto dev = core::makeDevice(s, kind, cfg);
+    std::uint64_t seen = 0;
+    dev->setTraceHook([&seen](const emmc::CompletedRequest &c) {
+        ++seen;
+        EXPECT_EQ(c.phases.total(), c.finish - c.request.arrival)
+            << "request " << c.request.id;
+        EXPECT_GE(c.finish, c.serviceStart);
+        EXPECT_GE(c.serviceStart, c.request.arrival);
+    });
+    host::Replayer rep(s, *dev);
+    rep.replay(t);
+    EXPECT_GT(seen, 0u);
+    EXPECT_EQ(dev->stats().ledgerViolations, 0u);
+}
+
+TEST(PhaseConservationTest, EveryCompletionSumsExactly)
+{
+    const trace::Trace t = makeTrace("Twitter", 7, 0.05);
+    for (core::SchemeKind kind :
+         {core::SchemeKind::HPS, core::SchemeKind::PS4}) {
+        core::ExperimentOptions opts;
+        opts.capacityScale = 0.05;
+        replayCheckingEveryCompletion(kind, opts, t);
+    }
+}
+
+TEST(PhaseConservationTest, HoldsUnderFaultInjection)
+{
+    // RBER above the ECC threshold so the retry ladder (and its Retry
+    // phase) actually runs on the critical chain.
+    const trace::Trace t = makeTrace("GoogleMaps", 11, 0.05);
+    core::ExperimentOptions opts;
+    opts.capacityScale = 0.05;
+    opts.fault.enabled = true;
+    opts.fault.baseRber = 5e-4;
+    replayCheckingEveryCompletion(core::SchemeKind::HPS, opts, t);
+}
+
+TEST(PhaseConservationTest, HoldsWithPowerModeAndBuffer)
+{
+    const trace::Trace t = makeTrace("Messaging", 13, 0.05);
+    core::ExperimentOptions opts;
+    opts.capacityScale = 0.05;
+    opts.powerMode = true;
+    opts.ramBuffer = true;
+    replayCheckingEveryCompletion(core::SchemeKind::PS4, opts, t);
+}
+
+/**
+ * Property sweep through runCase: plain, aged (GC), fault-injected and
+ * power-cut replays must all keep the audit (which includes the
+ * phase-conservation checker) clean and the violation counter at zero.
+ */
+TEST(PhaseConservationTest, RunCasePropertySweep)
+{
+    struct Config
+    {
+        const char *name;
+        const char *profile;
+        std::uint64_t seed;
+        void (*tweak)(core::ExperimentOptions &, const trace::Trace &);
+    };
+    const Config configs[] = {
+        {"plain", "Twitter", 7,
+         [](core::ExperimentOptions &, const trace::Trace &) {}},
+        {"aged", "Booting", 3,
+         [](core::ExperimentOptions &o, const trace::Trace &) {
+             o.prefill = 0.5;
+             o.idleGc = true;
+         }},
+        {"fault", "GoogleMaps", 5,
+         [](core::ExperimentOptions &o, const trace::Trace &) {
+             o.fault.enabled = true;
+             o.fault.baseRber = 5e-4;
+         }},
+        {"spo", "Messaging", 9,
+         [](core::ExperimentOptions &o, const trace::Trace &t) {
+             o.spo.ticks = fault::drawSpoTicks(3, 21, t.duration());
+             o.spo.powerOnDelay = sim::milliseconds(1);
+         }},
+    };
+
+    for (const Config &c : configs) {
+        SCOPED_TRACE(c.name);
+        const trace::Trace t = makeTrace(c.profile, c.seed, 0.05);
+        core::ExperimentOptions opts;
+        opts.capacityScale = 0.05;
+        opts.auditEveryEvents = 5000;
+        opts.obs.attribution = true;
+        c.tweak(opts, t);
+        const core::CaseResult res =
+            core::runCase(t, core::SchemeKind::HPS, opts);
+
+        EXPECT_TRUE(res.audit.clean())
+            << res.audit.totalViolations() << " violation(s)";
+        ASSERT_TRUE(res.obs.attribution.enabled);
+        EXPECT_EQ(res.obs.attribution.ledgerViolations, 0u);
+        EXPECT_GT(res.obs.attribution.requests, 0u);
+
+        // Conservation in aggregate: the per-phase means sum to the
+        // mean response time (to fp rounding of the ns -> ms divides).
+        double phase_mean_sum = 0.0;
+        for (const obs::PhaseDist &d : res.obs.attribution.phases)
+            phase_mean_sum += d.meanMs;
+        const double resp = res.obs.attribution.response.meanMs;
+        EXPECT_NEAR(phase_mean_sum, resp,
+                    1e-9 * std::max(1.0, resp));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Recorder aggregation invariants
+// ---------------------------------------------------------------------
+
+core::CaseResult
+replayAttributed(const trace::Trace &t,
+                 core::SchemeKind kind = core::SchemeKind::PS4)
+{
+    core::ExperimentOptions opts;
+    opts.obs.metrics = true;
+    opts.obs.attribution = true;
+    return core::runCase(t, kind, opts);
+}
+
+TEST(AttributionSummaryTest, AggregatesMatchMetrics)
+{
+    const trace::Trace t = makeTrace("Twitter", 7, 0.05);
+    const core::CaseResult res = replayAttributed(t);
+    const obs::AttributionSummary &a = res.obs.attribution;
+
+    ASSERT_TRUE(a.enabled);
+    EXPECT_EQ(a.version, obs::kAttributionVersion);
+    EXPECT_EQ(a.requests, res.requests);
+    EXPECT_EQ(a.response.hits, res.requests);
+    EXPECT_NEAR(a.response.meanMs, res.meanResponseMs,
+                1e-9 * std::max(1.0, res.meanResponseMs));
+    EXPECT_GE(a.response.maxMs, a.response.p999Ms);
+    EXPECT_GE(a.response.p999Ms, a.response.p99Ms);
+    EXPECT_GE(a.response.p99Ms, a.response.p95Ms);
+    EXPECT_GE(a.response.p95Ms, a.response.p50Ms);
+    EXPECT_EQ(a.mount.powerCuts, 0u);
+    EXPECT_EQ(a.mount.totalMs, 0.0);
+}
+
+TEST(AttributionSummaryTest, TailSlicesNestAndStayPopulated)
+{
+    const trace::Trace t = makeTrace("Twitter", 7, 0.05);
+    const obs::AttributionSummary &a =
+        replayAttributed(t).obs.attribution;
+
+    ASSERT_EQ(a.tails.size(), 4u);
+    EXPECT_EQ(a.tails[0].quantile, 50.0);
+    EXPECT_EQ(a.tails[3].quantile, 99.9);
+    for (std::size_t i = 0; i < a.tails.size(); ++i) {
+        const obs::TailSlice &s = a.tails[i];
+        EXPECT_GT(s.requests, 0u);
+        // Tail means decompose the tail's response time: their sum is
+        // at least the slice threshold.
+        double sum = 0.0;
+        for (double m : s.meanPhaseMs)
+            sum += m;
+        EXPECT_GE(sum, s.thresholdMs - 1e-9);
+        if (i > 0) {
+            EXPECT_GE(s.thresholdMs, a.tails[i - 1].thresholdMs);
+            EXPECT_LE(s.requests, a.tails[i - 1].requests);
+        }
+    }
+}
+
+TEST(AttributionSummaryTest, SlowestRequestsSortedWithExactLedgers)
+{
+    const trace::Trace t = makeTrace("Twitter", 7, 0.05);
+    const obs::AttributionSummary &a =
+        replayAttributed(t).obs.attribution;
+
+    ASSERT_FALSE(a.slowest.empty());
+    EXPECT_LE(a.slowest.size(), 10u);
+    EXPECT_NEAR(a.slowest.front().responseMs, a.response.maxMs,
+                1e-12);
+    for (std::size_t i = 0; i < a.slowest.size(); ++i) {
+        const obs::SlowRequest &s = a.slowest[i];
+        double sum = 0.0;
+        for (double m : s.phaseMs)
+            sum += m;
+        EXPECT_NEAR(sum, s.responseMs,
+                    1e-9 * std::max(1.0, s.responseMs))
+            << "slowest[" << i << "] id " << s.id;
+        if (i > 0) {
+            EXPECT_LE(s.responseMs, a.slowest[i - 1].responseMs);
+        }
+    }
+}
+
+TEST(AttributionSummaryTest, MountCostSurfacesAfterPowerCuts)
+{
+    const trace::Trace t = makeTrace("Messaging", 9, 0.05);
+    core::ExperimentOptions opts;
+    opts.capacityScale = 0.05;
+    opts.obs.attribution = true;
+    opts.spo.ticks = fault::drawSpoTicks(3, 21, t.duration());
+    opts.spo.powerOnDelay = sim::milliseconds(1);
+    const core::CaseResult res =
+        core::runCase(t, core::SchemeKind::HPS, opts);
+
+    const obs::MountSummary &m = res.obs.attribution.mount;
+    EXPECT_EQ(m.powerCuts, res.spoEvents);
+    EXPECT_GT(m.powerCuts, 0u);
+    EXPECT_GT(m.totalMs, 0.0);
+    EXPECT_NEAR(m.totalMs, res.recoveryTimeMs,
+                1e-9 * std::max(1.0, res.recoveryTimeMs));
+    // The recovery phases decompose the mount total.
+    const double parts = m.checkpointLoadMs + m.journalReplayMs +
+                         m.scanMs + m.reEraseMs + m.checkpointWriteMs;
+    EXPECT_NEAR(parts, m.totalMs, 1e-9 * std::max(1.0, m.totalMs));
+}
+
+TEST(AttributionSummaryTest, RecorderIsDeterministic)
+{
+    const trace::Trace t = makeTrace("Twitter", 7, 0.05);
+    const obs::AttributionSummary a =
+        replayAttributed(t).obs.attribution;
+    const obs::AttributionSummary b =
+        replayAttributed(t).obs.attribution;
+    ASSERT_EQ(a.slowest.size(), b.slowest.size());
+    for (std::size_t i = 0; i < a.slowest.size(); ++i)
+        EXPECT_EQ(a.slowest[i].id, b.slowest[i].id);
+    for (std::size_t p = 0; p < emmc::kPhaseCount; ++p)
+        EXPECT_EQ(a.phases[p].totalMs, b.phases[p].totalMs);
+}
+
+// ---------------------------------------------------------------------
+// Zero cost when off: no schema change, no perturbation
+// ---------------------------------------------------------------------
+
+TEST(AttributionOffTest, ReplayIsByteIdentical)
+{
+    const trace::Trace t = makeTrace("Twitter", 7, 0.05);
+    const core::CaseResult off =
+        core::runCase(t, core::SchemeKind::PS4, {});
+    const core::CaseResult on = replayAttributed(t);
+
+    std::ostringstream so;
+    std::ostringstream sn;
+    off.replayed.save(so);
+    on.replayed.save(sn);
+    EXPECT_EQ(so.str(), sn.str());
+    EXPECT_DOUBLE_EQ(off.meanResponseMs, on.meanResponseMs);
+    EXPECT_EQ(off.totalErases, on.totalErases);
+}
+
+TEST(AttributionOffTest, ReportOmitsAttributionSection)
+{
+    const trace::Trace t = makeTrace("Twitter", 7, 0.02);
+    core::ExperimentOptions opts;
+    opts.obs.metrics = true;
+
+    // attribution off: the report must not even mention the key, so
+    // pre-attribution consumers see byte-identical documents.
+    core::CaseResult res = core::runCase(t, core::SchemeKind::PS4, opts);
+    obs::RunReport report;
+    report.addRun("run", res.obs.metrics);
+    std::ostringstream off;
+    report.writeJson(off);
+    EXPECT_EQ(off.str().find("attribution"), std::string::npos);
+
+    // attribution on: the versioned section appears.
+    opts.obs.attribution = true;
+    res = core::runCase(t, core::SchemeKind::PS4, opts);
+    obs::RunReport report_on;
+    report_on.addRun("run", res.obs.metrics, {}, res.obs.attribution);
+    std::ostringstream on;
+    report_on.writeJson(on);
+    EXPECT_NE(on.str().find("\"attribution\":{\"version\":1"),
+              std::string::npos);
+    EXPECT_NE(on.str().find("\"ledger_violations\":0"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Chrome trace: phase sub-spans tile the request spans exactly
+// ---------------------------------------------------------------------
+
+TEST(TracerPhaseSpanTest, PhaseSlicesTileServiceSpans)
+{
+    const trace::Trace t = makeTrace("Twitter", 7, 0.05);
+    core::ExperimentOptions opts;
+    opts.obs.traceSpans = true;
+    const core::CaseResult res =
+        core::runCase(t, core::SchemeKind::PS4, opts);
+    ASSERT_FALSE(res.obs.chromeTrace.empty());
+
+    obs::JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(obs::JsonValue::parse(res.obs.chromeTrace, doc, err))
+        << err;
+    const obs::JsonValue &events = doc.at("traceEvents");
+
+    struct Span
+    {
+        double ts = 0.0;
+        double dur = 0.0;
+        double phaseSum = 0.0;
+        bool seen = false;
+    };
+    std::vector<Span> spans;
+    auto spanFor = [&spans](std::uint64_t id) -> Span & {
+        if (id >= spans.size())
+            spans.resize(id + 1);
+        return spans[id];
+    };
+
+    std::size_t phase_slices = 0;
+    for (const obs::JsonValue &ev : events.items()) {
+        const obs::JsonValue *cat = ev.find("cat");
+        if (cat == nullptr || ev.at("ph").asString() != "X")
+            continue;
+        if (cat->asString() == "request") {
+            Span &s = spanFor(ev.at("args").at("id").asUInt());
+            s.ts = ev.at("ts").asDouble();
+            s.dur = ev.at("dur").asDouble();
+            s.seen = true;
+        } else if (cat->asString() == "phase") {
+            ++phase_slices;
+            Span &s = spanFor(ev.at("args").at("id").asUInt());
+            s.phaseSum += ev.at("dur").asDouble();
+            EXPECT_GT(ev.at("dur").asDouble(), 0.0);
+        }
+    }
+    EXPECT_GT(phase_slices, 0u);
+
+    // Conservation makes the service-side tiling exact: per request,
+    // the phase slices sum to the span duration (timestamps are
+    // ns-precise microseconds, so allow 1 ns of fp slack per request).
+    std::size_t checked = 0;
+    for (const Span &s : spans) {
+        if (!s.seen || s.dur <= 0.0)
+            continue;
+        ++checked;
+        EXPECT_NEAR(s.phaseSum, s.dur, 1e-3);
+    }
+    EXPECT_GT(checked, 0u);
+}
+
+// ---------------------------------------------------------------------
+// JsonValue reader
+// ---------------------------------------------------------------------
+
+TEST(JsonReadTest, ParsesWriterOutput)
+{
+    std::ostringstream os;
+    obs::JsonWriter w(os);
+    w.beginObject();
+    w.field("name", "run \"a\"\n");
+    w.field("count", std::uint64_t{42});
+    w.field("mean", 2.5);
+    w.field("on", true);
+    w.key("list").beginArray();
+    w.value(std::uint64_t{1}).value(std::uint64_t{2});
+    w.endArray();
+    w.endObject();
+
+    obs::JsonValue v;
+    std::string err;
+    ASSERT_TRUE(obs::JsonValue::parse(os.str(), v, err)) << err;
+    EXPECT_EQ(v.at("name").asString(), "run \"a\"\n");
+    EXPECT_EQ(v.at("count").asUInt(), 42u);
+    EXPECT_DOUBLE_EQ(v.at("mean").asDouble(), 2.5);
+    EXPECT_TRUE(v.at("on").asBool());
+    ASSERT_EQ(v.at("list").items().size(), 2u);
+    EXPECT_EQ(v.at("list").items()[1].asUInt(), 2u);
+    // Member order is document order.
+    ASSERT_EQ(v.members().size(), 5u);
+    EXPECT_EQ(v.members()[0].first, "name");
+    EXPECT_EQ(v.members()[4].first, "list");
+    EXPECT_EQ(v.find("missing"), nullptr);
+    EXPECT_DOUBLE_EQ(v.numberOr("mean", 0.0), 2.5);
+    EXPECT_DOUBLE_EQ(v.numberOr("missing", 7.0), 7.0);
+}
+
+TEST(JsonReadTest, ParsesEscapesAndLiterals)
+{
+    obs::JsonValue v;
+    std::string err;
+    ASSERT_TRUE(obs::JsonValue::parse(
+        R"({"s":"aA\t\\","n":null,"f":false,"neg":-1.5e2})", v,
+        err))
+        << err;
+    EXPECT_EQ(v.at("s").asString(), "aA\t\\");
+    EXPECT_TRUE(v.at("n").isNull());
+    EXPECT_FALSE(v.at("f").asBool());
+    EXPECT_DOUBLE_EQ(v.at("neg").asDouble(), -150.0);
+}
+
+TEST(JsonReadTest, RejectsMalformedDocuments)
+{
+    const char *bad[] = {
+        "",            // empty
+        "{",           // unterminated object
+        "[1,]",        // trailing comma
+        "{\"a\":}",    // missing value
+        "{\"a\":1} x", // trailing content
+        "tru",         // broken literal
+        "\"ab",        // unterminated string
+        "01",          // leading zero
+        "nan",         // non-finite
+    };
+    for (const char *text : bad) {
+        obs::JsonValue v;
+        std::string err;
+        EXPECT_FALSE(obs::JsonValue::parse(text, v, err)) << text;
+        EXPECT_FALSE(err.empty()) << text;
+        // Diagnostics carry a byte offset.
+        EXPECT_NE(err.find("byte"), std::string::npos) << err;
+    }
+}
+
+TEST(JsonReadTest, EnforcesDepthBound)
+{
+    std::string deep;
+    for (int i = 0; i < 100; ++i)
+        deep += "[";
+    obs::JsonValue v;
+    std::string err;
+    EXPECT_FALSE(obs::JsonValue::parse(deep, v, err));
+    EXPECT_NE(err.find("deep"), std::string::npos) << err;
+}
+
+// ---------------------------------------------------------------------
+// Locale-independent number formatting
+// ---------------------------------------------------------------------
+
+TEST(NumberFormatTest, FixedPointIsStable)
+{
+    EXPECT_EQ(obs::JsonWriter::formatFixed(1.23456, 2), "1.23");
+    EXPECT_EQ(obs::JsonWriter::formatFixed(-0.5, 1), "-0.5");
+    EXPECT_EQ(obs::JsonWriter::formatFixed(2.0, 0), "2");
+    EXPECT_EQ(obs::JsonWriter::formatFixed(0.0, 4), "0.0000");
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_EQ(obs::JsonWriter::formatFixed(inf, 2), "0");
+}
+
+TEST(NumberFormatTest, IgnoresHostLocale)
+{
+    // Under a comma-decimal locale, printf-family formatting would
+    // emit "2,5"; the to_chars funnel must not.
+    const char *prev = std::setlocale(LC_ALL, nullptr);
+    const std::string saved = prev != nullptr ? prev : "C";
+    const bool have_locale =
+        std::setlocale(LC_ALL, "de_DE.UTF-8") != nullptr ||
+        std::setlocale(LC_ALL, "fr_FR.UTF-8") != nullptr;
+    EXPECT_EQ(obs::JsonWriter::formatNumber(2.5), "2.5");
+    EXPECT_EQ(obs::JsonWriter::formatFixed(2.5, 2), "2.50");
+    std::ostringstream os;
+    {
+        obs::JsonWriter w(os);
+        w.beginObject();
+        w.field("v", 1234.5);
+        w.endObject();
+    }
+    EXPECT_EQ(os.str(), "{\"v\":1234.5}");
+    std::setlocale(LC_ALL, saved.c_str());
+    if (!have_locale)
+        GTEST_LOG_(INFO) << "no comma-decimal locale installed; "
+                            "checked the C locale only";
+}
+
+// ---------------------------------------------------------------------
+// explain / diff golden outputs (checked-in report pair)
+// ---------------------------------------------------------------------
+
+std::string
+readDataFile(const std::string &name)
+{
+    const std::string path =
+        std::string(EMMCSIM_TEST_DATA_DIR) + "/" + name;
+    std::ifstream is(path, std::ios::binary);
+    EXPECT_TRUE(is.is_open()) << "missing " << path;
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+obs::JsonValue
+loadReport(const std::string &name)
+{
+    obs::JsonValue v;
+    std::string err;
+    EXPECT_TRUE(obs::JsonValue::parse(readDataFile(name), v, err))
+        << err;
+    return v;
+}
+
+TEST(ExplainGoldenTest, ExplainMatchesGolden)
+{
+    const obs::JsonValue report = loadReport("attr_report_hps.json");
+    std::ostringstream os;
+    std::string err;
+    ASSERT_TRUE(obs::explainReport(report, os, err)) << err;
+    EXPECT_EQ(os.str(), readDataFile("attr_explain_hps.golden.txt"));
+}
+
+TEST(ExplainGoldenTest, DiffMatchesGolden)
+{
+    const obs::JsonValue a = loadReport("attr_report_hps.json");
+    const obs::JsonValue b = loadReport("attr_report_4ps.json");
+    std::ostringstream os;
+    std::string err;
+    ASSERT_TRUE(obs::diffReports(a, b, os, err)) << err;
+    EXPECT_EQ(os.str(),
+              readDataFile("attr_diff_hps_4ps.golden.txt"));
+}
+
+TEST(ExplainGoldenTest, RejectsNonReportDocuments)
+{
+    obs::JsonValue v;
+    std::string parse_err;
+    ASSERT_TRUE(
+        obs::JsonValue::parse("{\"schema\":\"nope\"}", v, parse_err))
+        << parse_err;
+    std::ostringstream os;
+    std::string err;
+    EXPECT_FALSE(obs::explainReport(v, os, err));
+    EXPECT_FALSE(err.empty());
+    err.clear();
+    EXPECT_FALSE(obs::diffReports(v, v, os, err));
+    EXPECT_FALSE(err.empty());
+}
+
+} // namespace
+} // namespace emmcsim

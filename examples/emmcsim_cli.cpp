@@ -28,9 +28,17 @@
  *   diff <a.json> <b.json>             attribute the response-time
  *                                      change between two reports to
  *                                      the phases that moved
+ *   ingest <format> <in> <out>         import a foreign block trace
+ *                                      (blktrace, biosnoop, alibaba,
+ *                                      tencent, emmctrace) and write it
+ *                                      normalized as emmctrace-bin v1
+ *   trace-info <file>                  header + streamed statistics of
+ *                                      a text or binary trace
  *
  * replay also accepts --spo-at=NS[,NS...] / --spo-random=N,seed to cut
- * device power mid-run and drive the FTL recovery path.
+ * device power mid-run and drive the FTL recovery path. A replay of an
+ * emmctrace-bin file streams it chunk by chunk (bounded memory for
+ * multi-GB traces); SPO / snapshot / restore need a text trace.
  */
 
 #include <algorithm>
@@ -55,6 +63,9 @@
 #include "obs/explain.hh"
 #include "obs/json_read.hh"
 #include "obs/report.hh"
+#include "trace/binfmt.hh"
+#include "trace/ingest/ingest.hh"
+#include "trace/source.hh"
 #include "workload/generator.hh"
 #include "workload/profile.hh"
 
@@ -254,9 +265,6 @@ cmdReplay(const std::string &path, const std::string &scheme,
           RunMode mode = RunMode::Replay,
           const std::string &image_path = {})
 {
-    trace::Trace t;
-    if (!loadTraceOrReport(path, t))
-        return 1;
     core::SchemeKind kind = core::SchemeKind::HPS;
     if (!parseScheme(scheme, kind)) {
         std::cerr << "error: unknown scheme (use 4PS, 8PS, HPS, or "
@@ -264,55 +272,104 @@ cmdReplay(const std::string &path, const std::string &scheme,
                   << scheme << "\n";
         return 2;
     }
-    if (spo_random.count > 0) {
-        sim::Time horizon = 0;
-        for (const auto &r : t.records())
-            horizon = std::max(horizon, r.arrival);
-        if (horizon <= 0) {
-            std::cerr << "error: --spo-random needs a trace with "
-                         "nonzero arrival times\n";
+
+    // emmctrace-bin replays stream (bounded memory); everything that
+    // needs the whole trace in hand is text-path only.
+    const bool binary = trace::BinTraceSource::isBinTraceFile(path);
+    core::CaseResult res;
+    if (binary) {
+        if (mode != RunMode::Replay) {
+            std::cerr << "error: " << (mode == RunMode::Snapshot
+                                           ? "snapshot"
+                                           : "restore")
+                      << " needs a text trace (emmctrace-bin streams "
+                         "and cannot capture/resume)\n";
             return 2;
         }
-        std::vector<sim::Time> drawn = fault::drawSpoTicks(
-            static_cast<std::uint32_t>(spo_random.count),
-            spo_random.seed, horizon);
-        opts.spo.ticks.insert(opts.spo.ticks.end(), drawn.begin(),
-                              drawn.end());
-        std::sort(opts.spo.ticks.begin(), opts.spo.ticks.end());
-    }
-
-    core::CaseResult res;
-    if (mode == RunMode::Restore) {
-        std::ifstream is(image_path, std::ios::binary);
-        std::ostringstream buf;
-        if (is)
-            buf << is.rdbuf();
-        if (!is) {
-            std::cerr << "error: cannot read snapshot " << image_path
+        if (!opts.spo.ticks.empty() || spo_random.count > 0) {
+            std::cerr << "error: --spo-* needs a text trace "
+                         "(emmctrace-bin streams and cannot inject "
+                         "power cuts)\n";
+            return 2;
+        }
+        trace::BinTraceSource src(path);
+        if (src.failed()) {
+            std::cerr << "error: cannot load trace " << path << ": "
+                      << src.error().message() << "\n";
+            return 1;
+        }
+        res = core::runCaseStream(src, kind, opts);
+        if (src.failed()) {
+            std::cerr << "error: trace " << path
+                      << " failed mid-stream: " << src.error().message()
                       << "\n";
             return 1;
         }
-        res = core::resumeCase(t, kind, buf.str(), opts);
+        std::cout << "Replayed \"" << res.traceName << "\" on "
+                  << res.scheme << " (streamed)\n\n";
+        core::TablePrinter table({"Metric", "Value"});
+        table.addRow({"Requests", core::fmt(res.requests)});
+        table.addRow(
+            {"Mean response (ms)", core::fmt(res.meanResponseMs, 2)});
+        table.addRow(
+            {"Mean service (ms)", core::fmt(res.meanServiceMs, 2)});
+        table.addRow({"NoWait ratio (%)", core::fmt(res.noWaitPct, 1)});
+        table.addRow(
+            {"p99 response est (ms)", core::fmt(res.p99ResponseMs, 2)});
+        table.print(std::cout);
     } else {
-        res = core::runCase(t, kind, opts);
-    }
-    if (mode == RunMode::Snapshot) {
-        std::ofstream os(image_path, std::ios::binary);
-        if (os)
-            os.write(res.snapshotImage.data(),
-                     static_cast<std::streamsize>(
-                         res.snapshotImage.size()));
-        if (!os) {
-            std::cerr << "error: cannot write snapshot " << image_path
-                      << "\n";
+        trace::Trace t;
+        if (!loadTraceOrReport(path, t))
             return 1;
+        if (spo_random.count > 0) {
+            sim::Time horizon = 0;
+            for (const auto &r : t.records())
+                horizon = std::max(horizon, r.arrival);
+            if (horizon <= 0) {
+                std::cerr << "error: --spo-random needs a trace with "
+                             "nonzero arrival times\n";
+                return 2;
+            }
+            std::vector<sim::Time> drawn = fault::drawSpoTicks(
+                static_cast<std::uint32_t>(spo_random.count),
+                spo_random.seed, horizon);
+            opts.spo.ticks.insert(opts.spo.ticks.end(), drawn.begin(),
+                                  drawn.end());
+            std::sort(opts.spo.ticks.begin(), opts.spo.ticks.end());
         }
-        std::cout << "wrote snapshot (" << res.snapshotImage.size()
-                  << " bytes) to " << image_path << "\n";
+
+        if (mode == RunMode::Restore) {
+            std::ifstream is(image_path, std::ios::binary);
+            std::ostringstream buf;
+            if (is)
+                buf << is.rdbuf();
+            if (!is) {
+                std::cerr << "error: cannot read snapshot " << image_path
+                          << "\n";
+                return 1;
+            }
+            res = core::resumeCase(t, kind, buf.str(), opts);
+        } else {
+            res = core::runCase(t, kind, opts);
+        }
+        if (mode == RunMode::Snapshot) {
+            std::ofstream os(image_path, std::ios::binary);
+            if (os)
+                os.write(res.snapshotImage.data(),
+                         static_cast<std::streamsize>(
+                             res.snapshotImage.size()));
+            if (!os) {
+                std::cerr << "error: cannot write snapshot " << image_path
+                          << "\n";
+                return 1;
+            }
+            std::cout << "wrote snapshot (" << res.snapshotImage.size()
+                      << " bytes) to " << image_path << "\n";
+        }
+        std::cout << "Replayed \"" << t.name() << "\" on " << res.scheme
+                  << "\n\n";
+        printStats(res.replayed);
     }
-    std::cout << "Replayed \"" << t.name() << "\" on " << res.scheme
-              << "\n\n";
-    printStats(res.replayed);
     std::cout << "\nSpace utilization: "
               << core::fmt(res.spaceUtilization, 3) << "\n";
     if (opts.fault.enabled) {
@@ -368,7 +425,7 @@ cmdReplay(const std::string &path, const std::string &scheme,
         obs::RunReport report;
         report.setMeta("tool", "emmcsim_cli");
         report.setMeta("command", "replay");
-        report.setMeta("trace", t.name());
+        report.setMeta("trace", res.traceName);
         report.setMeta("trace_file", path);
         report.setMeta("scheme", res.scheme);
         report.setMeta("requests", res.requests);
@@ -389,6 +446,180 @@ cmdReplay(const std::string &path, const std::string &scheme,
             return 1;
         std::cout << "wrote replayed trace to " << outs.biotracerCsv
                   << "\n";
+    }
+    return 0;
+}
+
+int
+cmdIngest(const std::string &format_name, const std::string &in_path,
+          const std::string &out_path,
+          const trace::ingest::IngestOptions &iopts,
+          const std::string &metrics_json)
+{
+    trace::ingest::Format format;
+    if (!trace::ingest::formatFromName(format_name, format)) {
+        std::cerr << "error: unknown format (use "
+                  << trace::ingest::formatNames() << "): " << format_name
+                  << "\n";
+        return 2;
+    }
+    trace::Trace t;
+    trace::ingest::IngestStats st;
+    std::string err;
+    if (!trace::ingest::ingestFile(format, in_path, iopts, t, st, err)) {
+        std::cerr << "error: cannot ingest " << in_path << ": " << err
+                  << "\n";
+        return 1;
+    }
+    trace::saveBinTraceFile(t, out_path);
+
+    std::cout << "Ingested \"" << t.name() << "\" (" << format_name
+              << ") -> " << out_path << "\n\n";
+    core::TablePrinter table({"Ingest metric", "Value"});
+    table.addRow({"Lines read", core::fmt(st.linesTotal)});
+    table.addRow({"Lines skipped", core::fmt(st.linesSkipped)});
+    table.addRow({"Records parsed", core::fmt(st.parsed)});
+    table.addRow({"Records kept", core::fmt(st.kept)});
+    table.addRow({"Dropped (volume filter)", core::fmt(st.droppedVolume)});
+    table.addRow({"Dropped (zero size)", core::fmt(st.droppedZeroSize)});
+    table.addRow({"Dropped (oversize)", core::fmt(st.droppedOversize)});
+    table.addRow({"4KB re-aligned", core::fmt(st.aligned)});
+    table.addRow({"Address-remapped", core::fmt(st.remapped)});
+    table.addRow({"Reads / writes",
+                  core::fmt(st.reads) + " / " + core::fmt(st.writes)});
+    table.addRow({"Read data (KB)", core::fmt(st.readBytes / 1024)});
+    table.addRow({"Write data (KB)", core::fmt(st.writeBytes / 1024)});
+    table.addRow({"Span (s)", core::fmt(sim::toSeconds(st.spanNs), 3)});
+    table.addRow({"Volumes seen", core::fmt(st.volumesSeen)});
+    table.print(std::cout);
+
+    if (!metrics_json.empty()) {
+        obs::MetricsSnapshot snap;
+        auto counter = [&snap](const char *name, std::uint64_t v) {
+            snap.counters.push_back({name, v});
+        };
+        counter("ingest.lines_total", st.linesTotal);
+        counter("ingest.lines_skipped", st.linesSkipped);
+        counter("ingest.records_parsed", st.parsed);
+        counter("ingest.records_kept", st.kept);
+        counter("ingest.dropped_volume", st.droppedVolume);
+        counter("ingest.dropped_zero_size", st.droppedZeroSize);
+        counter("ingest.dropped_oversize", st.droppedOversize);
+        counter("ingest.aligned", st.aligned);
+        counter("ingest.remapped", st.remapped);
+        counter("ingest.reads", st.reads);
+        counter("ingest.writes", st.writes);
+        counter("ingest.read_bytes", st.readBytes);
+        counter("ingest.write_bytes", st.writeBytes);
+        counter("ingest.span_ns", static_cast<std::uint64_t>(st.spanNs));
+        counter("ingest.volumes_seen", st.volumesSeen);
+
+        obs::RunReport report;
+        report.setMeta("tool", "emmcsim_cli");
+        report.setMeta("command", "ingest");
+        report.setMeta("format", format_name);
+        report.setMeta("input", in_path);
+        report.setMeta("output", out_path);
+        report.setMeta("trace", t.name());
+        report.addRun("ingest", std::move(snap));
+        report.writeJsonFile(metrics_json);
+        std::cout << "\nwrote ingest report to " << metrics_json << "\n";
+    }
+    return 0;
+}
+
+int
+cmdTraceInfo(const std::string &path, const std::string &metrics_json)
+{
+    // Both encodings stream through the same cursor interface, so a
+    // multi-GB trace is summarized in bounded memory.
+    const bool binary = trace::BinTraceSource::isBinTraceFile(path);
+    trace::BinTraceSource bin_src(binary ? path : std::string());
+    trace::TextTraceSource text_src(binary ? std::string() : path);
+    trace::TraceSource &src =
+        binary ? static_cast<trace::TraceSource &>(bin_src) : text_src;
+    if (src.failed()) {
+        std::cerr << "error: cannot load trace " << path << ": "
+                  << src.error().message() << "\n";
+        return 1;
+    }
+
+    std::uint64_t records = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t read_bytes = 0;
+    std::uint64_t write_bytes = 0;
+    sim::Time span = 0;
+    bool replayed = true;
+    std::vector<trace::TraceRecord> chunk(4096);
+    while (true) {
+        const std::size_t n = src.next(chunk.data(), chunk.size());
+        if (n == 0)
+            break;
+        records += n;
+        for (std::size_t i = 0; i < n; ++i) {
+            const trace::TraceRecord &r = chunk[i];
+            if (r.isWrite()) {
+                ++writes;
+                write_bytes += r.sizeBytes.value();
+            } else {
+                ++reads;
+                read_bytes += r.sizeBytes.value();
+            }
+            span = std::max(span, r.arrival);
+            replayed = replayed && r.replayed();
+        }
+    }
+    if (src.failed()) {
+        std::cerr << "error: trace " << path << " is corrupt: "
+                  << src.error().message() << "\n";
+        return 1;
+    }
+
+    std::cout << "Trace \"" << src.name() << "\" (" << path << ")\n\n";
+    core::TablePrinter table({"Field", "Value"});
+    table.addRow({"Format", binary ? "emmctrace-bin v1"
+                                   : "emmctrace v1 (text)"});
+    if (binary) {
+        const trace::BinTraceInfo &info = bin_src.info();
+        table.addRow({"Header records", core::fmt(info.records)});
+        table.addRow({"Block records", core::fmt(std::uint64_t{
+                         info.blockRecords})});
+        table.addRow({"Checksum", "verified"});
+        table.addRow({"Replay timestamps",
+                      info.hasReplayTimes ? "yes" : "no"});
+    } else {
+        table.addRow({"Replay timestamps",
+                      records > 0 && replayed ? "yes" : "no"});
+    }
+    table.addRow({"Records", core::fmt(records)});
+    table.addRow({"Reads / writes",
+                  core::fmt(reads) + " / " + core::fmt(writes)});
+    table.addRow({"Read data (KB)", core::fmt(read_bytes / 1024)});
+    table.addRow({"Write data (KB)", core::fmt(write_bytes / 1024)});
+    table.addRow({"Span (s)", core::fmt(sim::toSeconds(span), 3)});
+    table.print(std::cout);
+
+    if (!metrics_json.empty()) {
+        obs::MetricsSnapshot snap;
+        snap.counters.push_back({"trace.records", records});
+        snap.counters.push_back({"trace.reads", reads});
+        snap.counters.push_back({"trace.writes", writes});
+        snap.counters.push_back({"trace.read_bytes", read_bytes});
+        snap.counters.push_back({"trace.write_bytes", write_bytes});
+        snap.counters.push_back(
+            {"trace.span_ns", static_cast<std::uint64_t>(span)});
+
+        obs::RunReport report;
+        report.setMeta("tool", "emmcsim_cli");
+        report.setMeta("command", "trace-info");
+        report.setMeta("trace", src.name());
+        report.setMeta("trace_file", path);
+        report.setMeta("format",
+                       binary ? "emmctrace-bin v1" : "emmctrace v1");
+        report.addRun("trace-info", std::move(snap));
+        report.writeJsonFile(metrics_json);
+        std::cout << "\nwrote trace report to " << metrics_json << "\n";
     }
     return 0;
 }
@@ -644,6 +875,23 @@ usage()
            "  emmcsim_cli diff <before.json> <after.json>\n"
            "      attribute the response-time change between two "
            "reports to phases\n"
+           "  emmcsim_cli ingest <format> <in-file> <out-file>\n"
+           "      import a foreign block trace as normalized "
+           "emmctrace-bin v1;\n"
+           "      formats: emmctrace, blktrace, biosnoop, alibaba, "
+           "tencent\n"
+           "      [--volume=ID]           keep only this device/volume "
+           "id\n"
+           "      [--target-units=N]      fold addresses into an "
+           "N-unit (4KB) device\n"
+           "      [--name=NAME]           workload name for the "
+           "output trace\n"
+           "      [--metrics-json=FILE]   write ingest statistics as "
+           "a run report\n"
+           "  emmcsim_cli trace-info <trace-file> "
+           "[--metrics-json=FILE]\n"
+           "      header + streamed statistics of a text or "
+           "emmctrace-bin trace\n"
            "\n"
            "  EMMCSIM_LOG=[level][,comp=level...] controls logging "
            "(debug|info|warn), e.g. EMMCSIM_LOG=warn,gc=debug\n";
@@ -747,6 +995,13 @@ main(int argc, char **argv)
                  "--jobs", "--metrics-json"};
         valued = known;
         known.push_back("--attribution");
+    } else if (cmd == "ingest") {
+        known = {"--volume", "--target-units", "--name",
+                 "--metrics-json"};
+        valued = known;
+    } else if (cmd == "trace-info") {
+        known = {"--metrics-json"};
+        valued = known;
     }
     std::vector<std::string> pos;
     std::vector<std::pair<std::string, std::string>> flags;
@@ -907,6 +1162,46 @@ main(int argc, char **argv)
             return usageError("snapshot requires --at=NS");
         return cmdReplay(pos[0], pos.size() > 1 ? pos[1] : "HPS", opts,
                          outs, spo_random, mode, image_path);
+    }
+    if (cmd == "ingest") {
+        if (pos.size() != 3)
+            return usageError(
+                "ingest needs <format> <in-file> <out-file>");
+        trace::ingest::IngestOptions iopts;
+        std::string metrics_json;
+        for (const auto &[name, value] : flags) {
+            if (name == "--volume") {
+                if (value.empty())
+                    return usageError("--volume needs an id");
+                iopts.volume = value;
+            } else if (name == "--target-units") {
+                if (!parseU64(value, iopts.targetUnits) ||
+                    iopts.targetUnits == 0)
+                    return usageError("bad --target-units: " + value);
+            } else if (name == "--name") {
+                if (value.empty())
+                    return usageError("--name needs a value");
+                iopts.name = value;
+            } else if (name == "--metrics-json") {
+                if (value.empty())
+                    return usageError("--metrics-json needs a file");
+                metrics_json = value;
+            }
+        }
+        return cmdIngest(pos[0], pos[1], pos[2], iopts, metrics_json);
+    }
+    if (cmd == "trace-info") {
+        if (pos.size() != 1)
+            return usageError("trace-info needs exactly <trace-file>");
+        std::string metrics_json;
+        for (const auto &[name, value] : flags) {
+            if (name == "--metrics-json") {
+                if (value.empty())
+                    return usageError("--metrics-json needs a file");
+                metrics_json = value;
+            }
+        }
+        return cmdTraceInfo(pos[0], metrics_json);
     }
     if (cmd == "explain") {
         if (pos.size() != 1 || !flags.empty())

@@ -2,10 +2,12 @@
 # Run the simulator-core micro-benchmark suite and write the result as
 # BENCH_simcore.json, the perf baseline subsequent PRs compare against.
 #
-# Three binaries feed the file:
+# Four binaries feed the file:
 #   bench_micro_sim   event-core throughput, trace generation, replay
 #   bench_recovery    power-up recovery vs dirty-state size, snapshot
 #                     save/load throughput and image size
+#   bench_ingest      trace ingestion: text parse vs emmctrace-bin
+#                     decode records/s, binary encode, CSV import
 #   bench_biotracer_overhead (via --bench-json): wall-clock overhead
 #                     of the latency-attribution recorder, plus the
 #                     bit-identical-MRT cross-check
@@ -30,7 +32,8 @@ set -euo pipefail
 BUILD_DIR="${BUILD_DIR:-build}"
 OUT="${1:-BENCH_simcore.json}"
 BENCHES=("$BUILD_DIR/bench/bench_micro_sim"
-         "$BUILD_DIR/bench/bench_recovery")
+         "$BUILD_DIR/bench/bench_recovery"
+         "$BUILD_DIR/bench/bench_ingest")
 
 PARTS=()
 for BENCH in "${BENCHES[@]}"; do

@@ -29,6 +29,40 @@
 
 namespace emmcsim::core {
 
+/**
+ * Incremental FNV-1a (64-bit) checksum. Not cryptographic — it exists
+ * to catch truncation and bit rot in binary trace files, where a
+ * silent short read would quietly shrink an experiment's workload.
+ */
+class Fnv1a
+{
+  public:
+    void
+    update(const void *data, std::size_t n)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        std::uint64_t h = hash_;
+        for (std::size_t i = 0; i < n; ++i) {
+            h ^= p[i];
+            h *= kPrime;
+        }
+        hash_ = h;
+    }
+
+    void update(std::string_view s) { update(s.data(), s.size()); }
+
+    std::uint64_t value() const { return hash_; }
+
+    void reset() { hash_ = kOffsetBasis; }
+
+  private:
+    static constexpr std::uint64_t kOffsetBasis =
+        14695981039346656037ull;
+    static constexpr std::uint64_t kPrime = 1099511628211ull;
+
+    std::uint64_t hash_ = kOffsetBasis;
+};
+
 /** Append-only serializer producing the snapshot byte string. */
 class BinWriter
 {
@@ -55,6 +89,30 @@ class BinWriter
     }
 
     void b(bool v) { u8(v ? 1 : 0); }
+
+    /**
+     * LEB128 varint: 7 value bits per byte, high bit = continuation.
+     * Small values (delta-encoded timestamps, sizes in units) cost
+     * one or two bytes instead of eight — the compression that makes
+     * the columnar trace format compact.
+     */
+    void
+    vu64(std::uint64_t v)
+    {
+        while (v >= 0x80) {
+            u8(static_cast<std::uint8_t>(v) | 0x80);
+            v >>= 7;
+        }
+        u8(static_cast<std::uint8_t>(v));
+    }
+
+    /** Zigzag-mapped signed varint (small magnitudes stay small). */
+    void
+    vi64(std::int64_t v)
+    {
+        vu64((static_cast<std::uint64_t>(v) << 1) ^
+             static_cast<std::uint64_t>(v >> 63));
+    }
 
     /** Length-prefixed byte string. */
     void
@@ -207,6 +265,31 @@ class BinReader
     }
 
     bool b() { return u8() != 0; }
+
+    /** LEB128 varint; a malformed (>10-byte) encoding fails the read. */
+    std::uint64_t
+    vu64()
+    {
+        std::uint64_t v = 0;
+        for (unsigned shift = 0; shift < 70; shift += 7) {
+            const std::uint8_t byte = u8();
+            if (!ok_)
+                return 0;
+            v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+            if ((byte & 0x80) == 0)
+                return v;
+        }
+        ok_ = false; // continuation bit never dropped: corrupt
+        return 0;
+    }
+
+    /** Zigzag-mapped signed varint. */
+    std::int64_t
+    vi64()
+    {
+        const std::uint64_t z = vu64();
+        return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
+    }
 
     std::string
     str()

@@ -91,6 +91,112 @@ prefillDevice(emmc::EmmcDevice &device, double fraction,
 constexpr const char *kCaseMagic = "emmcsim-case-snap";
 constexpr std::uint32_t kCaseVersion = 1;
 
+/**
+ * Fill every device-side CaseResult column from the post-replay
+ * device + replayer state. Shared by the in-memory and streaming
+ * paths so a column added for one cannot silently miss the other.
+ * Excluded: p99ResponseMs (each path has its own latency store),
+ * snapshot / obs / audit artifacts, scheme and traceName.
+ */
+void
+collectDeviceColumns(CaseResult &res, emmc::EmmcDevice &device,
+                     const host::Replayer &replayer,
+                     const ftl::FtlStats &before)
+{
+    const emmc::DeviceStats &ds = device.stats();
+    const ftl::FtlStats after = device.ftl().stats();
+    const ftl::GcStats &gs = device.ftl().gcStats();
+
+    res.requests = ds.requests;
+    res.meanResponseMs = ds.responseMs.mean();
+    res.meanServiceMs = ds.serviceMs.mean();
+    res.noWaitPct = 100.0 * ds.noWaitRatio();
+
+    const std::uint64_t d_units =
+        after.hostUnitsWritten - before.hostUnitsWritten;
+    const std::uint64_t d_bytes =
+        after.hostBytesConsumed - before.hostBytesConsumed;
+    res.spaceUtilization =
+        d_bytes ? static_cast<double>(d_units * sim::kUnitBytes) /
+                      static_cast<double>(d_bytes)
+                : 1.0;
+
+    res.gcBlockingRounds = gs.blockingRounds;
+    res.gcIdleRounds = gs.idleRounds + gs.idleSteps;
+    res.gcRelocatedUnits = gs.relocatedUnits;
+    res.gcErasedBlocks = gs.erasedBlocks;
+    ftl::WearReport wear = ftl::computeWear(device.array());
+    res.totalErases = wear.totalErases;
+    res.wearSpread = wear.worstSpread;
+    res.writeAmplification =
+        ftl::writeAmplification(device.array(), device.ftl());
+    res.powerWakeups = device.powerStats().wakeups;
+    res.packedCommands = device.packingStats().packedCommands;
+    res.bufferReadHitRate = device.bufferStats().readHitRate();
+
+    const flash::Geometry &geom = device.array().geometry();
+    for (std::size_t pool = 0; pool < geom.pools.size(); ++pool) {
+        const flash::ArrayStats &pst = device.array().stats(pool);
+        if (geom.pools[pool].pageBytes == 4096) {
+            res.programs4kPool += pst.programs;
+        } else {
+            res.programs8kPool += pst.programs;
+        }
+    }
+    const flash::ArrayStats total_ops = device.array().totalStats();
+    res.pageReads = total_ops.reads;
+    res.pagePrograms = total_ops.programs;
+
+    // Reliability columns: injector / FTL / host error-path counters
+    // (all zero when injection is off).
+    const fault::FaultStats &fstats = device.faultInjector().stats();
+    res.correctedReads = fstats.correctedReads;
+    res.uncorrectableReads = fstats.uncorrectableReads;
+    res.readRetryRounds = fstats.retryRounds;
+    res.programFailures = fstats.programFailures;
+    res.eraseFailures = fstats.eraseFailures;
+    res.relocatedPrograms = after.relocatedPrograms;
+    res.retiredBlocks = device.ftl().badBlocks().totalRetired();
+    res.hostRetries = replayer.stats().retriesScheduled;
+    res.hostFailedRequests = replayer.stats().failedRequests;
+    res.hostRetryPenaltyMs =
+        sim::toMilliseconds(replayer.stats().retryPenalty);
+    res.deviceReadOnly = device.ftl().readOnly();
+
+    const emmc::SpoStats &sp = device.spoStats();
+    res.spoEvents = replayer.stats().spoEvents;
+    res.spoTornPages = sp.tornPages;
+    res.spoLostDirtyUnits = sp.lostDirtyUnits;
+    res.reissuedRequests = replayer.stats().reissuedRequests;
+    res.recoveryTimeMs = sim::toMilliseconds(sp.recoveryTime);
+    const ftl::JournalStats &jn = device.ftl().journal().stats();
+    res.journalPagesFlushed = jn.pagesFlushed;
+    res.journalCheckpoints = jn.checkpoints;
+}
+
+/** Finish the observer and move its artifacts into @p res. */
+void
+collectObsArtifacts(CaseResult &res, obs::DeviceObserver *observer,
+                    const ObsRequest &req, const std::string &trace_name)
+{
+    if (observer == nullptr)
+        return;
+    observer->finish();
+    res.obs.enabled = true;
+    res.obs.metrics = observer->snapshot();
+    res.obs.series = observer->series();
+    if (req.traceSpans) {
+        std::ostringstream chrome;
+        observer->tracer().exportChromeTrace(chrome);
+        res.obs.chromeTrace = chrome.str();
+        std::ostringstream bt;
+        observer->tracer().exportBiotracerCsv(bt, trace_name);
+        res.obs.biotracerTrace = bt.str();
+    }
+    if (req.attribution)
+        res.obs.attribution = observer->attribution();
+}
+
 CaseResult
 runCaseImpl(const trace::Trace &t, SchemeKind kind,
             const ExperimentOptions &opts, const std::string *image)
@@ -160,82 +266,17 @@ runCaseImpl(const trace::Trace &t, SchemeKind kind,
         image ? replayer.resume(t, inner, replay_opts)
               : replayer.replay(t, replay_opts);
 
-    const emmc::DeviceStats &ds = device->stats();
-    const ftl::FtlStats after = device->ftl().stats();
-    const ftl::GcStats &gs = device->ftl().gcStats();
-
     CaseResult res;
     res.scheme = schemeName(kind);
     res.traceName = t.name();
-    res.requests = ds.requests;
-    res.meanResponseMs = ds.responseMs.mean();
-    res.meanServiceMs = ds.serviceMs.mean();
-    res.noWaitPct = 100.0 * ds.noWaitRatio();
+    collectDeviceColumns(res, *device, replayer, before);
 
-    const std::uint64_t d_units =
-        after.hostUnitsWritten - before.hostUnitsWritten;
-    const std::uint64_t d_bytes =
-        after.hostBytesConsumed - before.hostBytesConsumed;
-    res.spaceUtilization =
-        d_bytes ? static_cast<double>(d_units * sim::kUnitBytes) /
-                      static_cast<double>(d_bytes)
-                : 1.0;
-
-    res.gcBlockingRounds = gs.blockingRounds;
-    res.gcIdleRounds = gs.idleRounds + gs.idleSteps;
-    res.gcRelocatedUnits = gs.relocatedUnits;
-    res.gcErasedBlocks = gs.erasedBlocks;
-    ftl::WearReport wear = ftl::computeWear(device->array());
-    res.totalErases = wear.totalErases;
-    res.wearSpread = wear.worstSpread;
-    res.writeAmplification =
-        ftl::writeAmplification(device->array(), device->ftl());
-    res.powerWakeups = device->powerStats().wakeups;
-    res.packedCommands = device->packingStats().packedCommands;
-    res.bufferReadHitRate = device->bufferStats().readHitRate();
-
-    const flash::Geometry &geom = device->array().geometry();
-    for (std::size_t pool = 0; pool < geom.pools.size(); ++pool) {
-        const flash::ArrayStats &pst = device->array().stats(pool);
-        if (geom.pools[pool].pageBytes == 4096) {
-            res.programs4kPool += pst.programs;
-        } else {
-            res.programs8kPool += pst.programs;
-        }
-    }
-    const flash::ArrayStats total_ops = device->array().totalStats();
-    res.pageReads = total_ops.reads;
-    res.pagePrograms = total_ops.programs;
-
-    // Reliability columns: tail latency plus injector / FTL / host
-    // error-path counters (all zero when injection is off).
+    // Tail latency from the replayed per-record timestamps (exact
+    // nearest-rank; the streaming path estimates from a histogram).
     sim::Percentiles resp;
     for (const auto &r : replayed.records())
         resp.add(sim::toMilliseconds(r.finish - r.arrival));
     res.p99ResponseMs = resp.percentile(99.0);
-    const fault::FaultStats &fstats = device->faultInjector().stats();
-    res.correctedReads = fstats.correctedReads;
-    res.uncorrectableReads = fstats.uncorrectableReads;
-    res.readRetryRounds = fstats.retryRounds;
-    res.programFailures = fstats.programFailures;
-    res.eraseFailures = fstats.eraseFailures;
-    res.relocatedPrograms = after.relocatedPrograms;
-    res.retiredBlocks = device->ftl().badBlocks().totalRetired();
-    res.hostRetries = replayer.stats().retriesScheduled;
-    res.hostFailedRequests = replayer.stats().failedRequests;
-    res.hostRetryPenaltyMs =
-        sim::toMilliseconds(replayer.stats().retryPenalty);
-    res.deviceReadOnly = device->ftl().readOnly();
-
-    const emmc::SpoStats &sp = device->spoStats();
-    res.spoEvents = replayer.stats().spoEvents;
-    res.spoTornPages = sp.tornPages;
-    res.spoLostDirtyUnits = sp.lostDirtyUnits;
-    res.reissuedRequests = replayer.stats().reissuedRequests;
-    res.recoveryTimeMs = sim::toMilliseconds(sp.recoveryTime);
-    const ftl::JournalStats &jn = device->ftl().journal().stats();
-    res.journalPagesFlushed = jn.pagesFlushed;
-    res.journalCheckpoints = jn.checkpoints;
 
     if (replayer.snapshotTaken()) {
         BinWriter w;
@@ -247,22 +288,7 @@ runCaseImpl(const trace::Trace &t, SchemeKind kind,
     }
 
     res.replayed = std::move(replayed);
-    if (observer) {
-        observer->finish();
-        res.obs.enabled = true;
-        res.obs.metrics = observer->snapshot();
-        res.obs.series = observer->series();
-        if (opts.obs.traceSpans) {
-            std::ostringstream chrome;
-            observer->tracer().exportChromeTrace(chrome);
-            res.obs.chromeTrace = chrome.str();
-            std::ostringstream bt;
-            observer->tracer().exportBiotracerCsv(bt, t.name());
-            res.obs.biotracerTrace = bt.str();
-        }
-        if (opts.obs.attribution)
-            res.obs.attribution = observer->attribution();
-    }
+    collectObsArtifacts(res, observer.get(), opts.obs, t.name());
     if (auditor) {
         auditor->runFullAudit();
         auditor->detach();
@@ -278,6 +304,68 @@ runCase(const trace::Trace &t, SchemeKind kind,
         const ExperimentOptions &opts)
 {
     return runCaseImpl(t, kind, opts, nullptr);
+}
+
+CaseResult
+runCaseStream(trace::TraceSource &src, SchemeKind kind,
+              const ExperimentOptions &opts)
+{
+    EMMCSIM_ASSERT(opts.spo.ticks.empty() && opts.snapshotAt < 0,
+                   "runCaseStream cannot inject SPO or snapshot (both "
+                   "need the in-memory path)");
+
+    sim::Simulator simulator;
+    emmc::EmmcConfig cfg = applyOptions(schemeConfig(kind), opts);
+    auto device = makeDevice(simulator, kind, cfg);
+
+    prefillDevice(*device, opts.prefill, opts.prefillSeed);
+    if (opts.prefill > 0.0)
+        device->ftl().journal().checkpoint();
+    const ftl::FtlStats before = device->ftl().stats();
+
+    std::unique_ptr<check::DeviceAuditor> auditor;
+    if (opts.auditEveryEvents > 0) {
+        check::AuditOptions audit_opts;
+        audit_opts.everyEvents = opts.auditEveryEvents;
+        auditor = std::make_unique<check::DeviceAuditor>(
+            simulator, *device, audit_opts);
+    }
+
+    host::Replayer replayer(simulator, *device);
+
+    std::unique_ptr<obs::DeviceObserver> observer;
+    if (opts.obs.any()) {
+        obs::ObserverOptions obs_opts;
+        obs_opts.metrics = opts.obs.metrics;
+        obs_opts.trace = opts.obs.traceSpans;
+        obs_opts.sampleWindow = opts.obs.sampleWindow;
+        obs_opts.attribution = opts.obs.attribution;
+        obs_opts.replayStats = &replayer.stats();
+        observer = std::make_unique<obs::DeviceObserver>(
+            simulator, *device, obs_opts);
+    }
+
+    host::ReplayOptions replay_opts;
+    replay_opts.maxRetries = opts.hostMaxRetries;
+    host::StreamReplayResult sres =
+        replayer.replayStream(src, replay_opts);
+
+    CaseResult res;
+    res.scheme = schemeName(kind);
+    res.traceName = src.name();
+    collectDeviceColumns(res, *device, replayer, before);
+
+    // Histogram-estimated tail (the stream keeps no per-record
+    // timestamps); res.replayed stays empty by design.
+    res.p99ResponseMs = sres.responseHistMs.percentileEstimate(99.0);
+
+    collectObsArtifacts(res, observer.get(), opts.obs, src.name());
+    if (auditor) {
+        auditor->runFullAudit();
+        auditor->detach();
+        res.audit = auditor->report();
+    }
+    return res;
 }
 
 CaseResult

@@ -19,6 +19,7 @@
 #include "obs/metrics.hh"
 #include "obs/sampler.hh"
 #include "sim/stats.hh"
+#include "trace/source.hh"
 #include "trace/trace.hh"
 
 namespace emmcsim::core {
@@ -210,6 +211,17 @@ struct CaseResult
 /** Replay @p t on a fresh device of @p kind. */
 CaseResult runCase(const trace::Trace &t, SchemeKind kind,
                    const ExperimentOptions &opts = {});
+
+/**
+ * Replay a streaming source on a fresh device of @p kind without
+ * materializing the trace (multi-GB inputs replay in bounded memory).
+ * Device-side columns and observability artifacts are identical to
+ * runCase() on the same records; differences: replayed stays empty,
+ * p99ResponseMs is histogram-estimated rather than exact, and
+ * opts.spo / opts.snapshotAt must be unset.
+ */
+CaseResult runCaseStream(trace::TraceSource &src, SchemeKind kind,
+                         const ExperimentOptions &opts = {});
 
 /**
  * Continue a run captured by runCase() with snapshotAt set. @p opts

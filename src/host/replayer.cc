@@ -14,7 +14,48 @@ namespace {
 const char kSnapshotMagic[] = "emmcsim-snap";
 constexpr std::uint32_t kSnapshotVersion = 1;
 
+/**
+ * Fold a request's address into the device's logical space (traces
+ * can address a larger region than one device exports). Shared by the
+ * in-memory and streaming paths so their remapping cannot diverge —
+ * byte-identity between them depends on it.
+ */
+void
+foldAddress(emmc::IoRequest &req, std::uint64_t logical_units,
+            bool wrap, std::uint64_t record_index)
+{
+    const std::uint64_t units = req.sizeUnits();
+    std::uint64_t unit = static_cast<std::uint64_t>(
+        units::lbaToUnitFloor(req.lbaSector).value());
+    if (units > logical_units) {
+        // Wrapping cannot help: the request alone is larger than
+        // the device. Without this check the fold below would
+        // underflow its unsigned modulus.
+        sim::fatal("trace record " + std::to_string(record_index) +
+                   " spans " + std::to_string(units) +
+                   " units but the device only exports " +
+                   std::to_string(logical_units) +
+                   "; use a larger device or a scaled-down trace");
+    }
+    if (unit + units > logical_units) {
+        if (!wrap) {
+            sim::fatal("trace addresses device beyond its logical "
+                       "capacity; enable wrapAddresses");
+        }
+        unit = unit % (logical_units - units + 1);
+    }
+    req.lbaSector = units::unitToLba(
+        units::UnitAddr{static_cast<std::int64_t>(unit)});
+}
+
 } // namespace
+
+std::vector<double>
+StreamReplayResult::latencyBoundsMs()
+{
+    return {0.05, 0.1, 0.2,  0.5,  1.0,   2.0,   5.0,   10.0,
+            20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0};
+}
 
 Replayer::Replayer(sim::Simulator &simulator, emmc::EmmcDevice &device)
     : sim_(simulator), device_(device)
@@ -282,28 +323,7 @@ Replayer::run(const trace::Trace &input, const ReplayOptions &opts,
         req.write = r.isWrite();
         req.lbaSector = r.lbaSector;
 
-        const std::uint64_t units = req.sizeUnits();
-        std::uint64_t unit = static_cast<std::uint64_t>(
-            units::lbaToUnitFloor(req.lbaSector).value());
-        if (units > logical_units) {
-            // Wrapping cannot help: the request alone is larger than
-            // the device. Without this check the fold below would
-            // underflow its unsigned modulus.
-            sim::fatal("trace record " + std::to_string(i) + " spans " +
-                       std::to_string(units) +
-                       " units but the device only exports " +
-                       std::to_string(logical_units) +
-                       "; use a larger device or a scaled-down trace");
-        }
-        if (unit + units > logical_units) {
-            if (!opts.wrapAddresses) {
-                sim::fatal("trace addresses device beyond its logical "
-                           "capacity; enable wrapAddresses");
-            }
-            unit = unit % (logical_units - units + 1);
-        }
-        req.lbaSector = units::unitToLba(
-            units::UnitAddr{static_cast<std::int64_t>(unit)});
+        foldAddress(req, logical_units, opts.wrapAddresses, i);
 
         auto submit = [this, req] {
             ++nextArrival_;
@@ -311,7 +331,10 @@ Replayer::run(const trace::Trace &input, const ReplayOptions &opts,
         };
         static_assert(sim::InlineAction::fits<decltype(submit)>(),
                       "submit capture must stay inline");
-        sim_.schedule(r.arrival, std::move(submit));
+        // Front band: arrivals win every same-tick tie against
+        // completions / GC ticks, matching the streaming path (which
+        // schedules arrivals mid-run and would otherwise lose them).
+        sim_.scheduleFront(r.arrival, std::move(submit));
     }
 
     if (image) {
@@ -349,6 +372,209 @@ Replayer::run(const trace::Trace &input, const ReplayOptions &opts,
                        "timestamps");
     }
     return out;
+}
+
+StreamReplayResult
+Replayer::replayStream(trace::TraceSource &src, const ReplayOptions &opts)
+{
+    if (!opts.spo.ticks.empty() || opts.snapshotAt >= 0)
+        sim::fatal("stream replay: SPO injection and snapshotting need "
+                   "the in-memory path");
+    if (src.failed())
+        sim::fatal("stream replay: source failed before the first "
+                   "record: " + src.error().message());
+
+    stats_ = ReplayStats{};
+    parked_.clear();
+    spoNotify_ = false;
+    spoPowerOnDelay_ = 0;
+    pendingRetries_ = 0;
+    nextArrival_ = 0;
+    snapshotAt_ = -1;
+    snapshotDone_ = false;
+    snapshotImage_.clear();
+
+    StreamReplayResult result;
+    streamSrc_ = &src;
+    streamResult_ = &result;
+    streamChunk_.resize(kStreamChunk);
+    streamNextId_ = 0;
+    streamChunkLastId_ = 0;
+    // Sized for a deep in-flight window up front; streamGrowRing()
+    // handles deeper ones, so this is a latency hint, not a limit.
+    streamRing_.assign(2 * kStreamChunk, StreamRetry{});
+    streamLogicalUnits_ = device_.ftl().logicalUnits();
+    streamWrap_ = opts.wrapAddresses;
+
+    device_.setCompletionCallback(
+        [this, &opts](const emmc::CompletedRequest &c) {
+            StreamRetry &rs = streamEntryFor(c.request.id);
+            if (rs.firstFinish < 0)
+                rs.firstFinish = c.finish;
+
+            if (c.ok()) {
+                if (rs.attempts > 0) {
+                    ++stats_.recoveredRequests;
+                    stats_.retryPenalty += c.finish - rs.firstFinish;
+                }
+                streamFinish(rs, c);
+                return;
+            }
+
+            ++stats_.errorCompletions;
+            if (rs.attempts >= opts.maxRetries) {
+                ++stats_.failedRequests;
+                stats_.retryPenalty += c.finish - rs.firstFinish;
+                streamFinish(rs, c);
+                return;
+            }
+
+            // Same resubmission policy as the in-memory path — the
+            // two must stay byte-identical per record sequence.
+            const std::uint32_t shift = std::min(rs.attempts, 20u);
+            const sim::Time delay = opts.retryBackoff << shift;
+            ++rs.attempts;
+            ++stats_.retriesScheduled;
+            ++pendingRetries_;
+            emmc::IoRequest retry = c.request;
+            retry.arrival = c.finish + delay;
+            auto resubmit = [this, retry] {
+                --pendingRetries_;
+                submitNow(retry);
+            };
+            static_assert(sim::InlineAction::fits<decltype(resubmit)>(),
+                          "retry capture must stay inline");
+            sim_.schedule(retry.arrival, std::move(resubmit));
+        });
+
+    scheduleNextChunk();
+    sim_.run();
+    device_.setCompletionCallback(nullptr);
+
+    if (streamSrc_->failed())
+        sim::fatal("stream replay: source failed mid-stream: " +
+                   streamSrc_->error().message());
+    for (const StreamRetry &e : streamRing_)
+        EMMCSIM_ASSERT(!e.active,
+                       "stream replay finished with incomplete requests");
+    EMMCSIM_ASSERT(result.requests == streamNextId_,
+                   "stream replay lost completions");
+    streamSrc_ = nullptr;
+    streamResult_ = nullptr;
+    return result;
+}
+
+void
+Replayer::scheduleNextChunk()
+{
+    const std::size_t n =
+        streamSrc_->next(streamChunk_.data(), kStreamChunk);
+    if (n == 0) {
+        if (streamSrc_->failed())
+            sim::fatal("stream replay: source failed mid-stream: " +
+                       streamSrc_->error().message());
+        return; // clean EOF: the run drains what is already scheduled
+    }
+    streamChunkLastId_ = streamNextId_ + n - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+        const trace::TraceRecord &r = streamChunk_[i];
+
+        emmc::IoRequest req;
+        req.id = streamNextId_++;
+        req.arrival = r.arrival;
+        req.sizeBytes = r.sizeBytes;
+        req.write = r.isWrite();
+        req.lbaSector = r.lbaSector;
+
+        foldAddress(req, streamLogicalUnits_, streamWrap_, req.id);
+        streamInsert(req.id, r.arrival);
+
+        // The chunk's last arrival pulls the next chunk in: refills
+        // piggyback on an arrival event already being scheduled, so
+        // the event count (and thus simulator bookkeeping) matches the
+        // in-memory path exactly. Comparing against the member instead
+        // of capturing a flag keeps the closure at the 48-byte inline
+        // budget ({this, IoRequest}); it is correct because front-band
+        // events pop in schedule order, so the last arrival of chunk k
+        // always runs before any arrival of chunk k+1 exists.
+        auto submit = [this, req] {
+            ++nextArrival_;
+            submitNow(req);
+            if (req.id == streamChunkLastId_)
+                scheduleNextChunk();
+        };
+        static_assert(sim::InlineAction::fits<decltype(submit)>(),
+                      "stream submit capture must stay inline");
+        sim_.scheduleFront(r.arrival, std::move(submit));
+    }
+}
+
+Replayer::StreamRetry &
+Replayer::streamEntryFor(std::uint64_t id)
+{
+    StreamRetry &e = streamRing_[id & (streamRing_.size() - 1)];
+    EMMCSIM_ASSERT(e.active && e.id == id,
+                   "stream retry ring lost a request");
+    return e;
+}
+
+void
+Replayer::streamInsert(std::uint64_t id, sim::Time arrival)
+{
+    if (streamRing_[id & (streamRing_.size() - 1)].active)
+        streamGrowRing(id);
+    StreamRetry &e = streamRing_[id & (streamRing_.size() - 1)];
+    e.id = id;
+    e.arrival = arrival;
+    e.firstFinish = -1;
+    e.attempts = 0;
+    e.active = true;
+}
+
+void
+Replayer::streamGrowRing(std::uint64_t id)
+{
+    // Ids are assigned consecutively, so the live set fits in
+    // [lo, id]. Any power-of-two size covering that span gives every
+    // live id a distinct residue — the rehash below cannot collide.
+    std::uint64_t lo = id;
+    for (const StreamRetry &e : streamRing_)
+        if (e.active)
+            lo = std::min(lo, e.id);
+    std::size_t need = streamRing_.size();
+    while (need < id - lo + 2 || need < 2 * streamRing_.size())
+        need *= 2;
+    std::vector<StreamRetry> bigger(need);
+    for (const StreamRetry &e : streamRing_) {
+        if (!e.active)
+            continue;
+        StreamRetry &slot = bigger[e.id & (need - 1)];
+        EMMCSIM_ASSERT(!slot.active, "stream ring rehash collision");
+        slot = e;
+    }
+    streamRing_.swap(bigger);
+}
+
+void
+Replayer::streamFinish(StreamRetry &rs, const emmc::CompletedRequest &c)
+{
+    StreamReplayResult &res = *streamResult_;
+    ++res.requests;
+    if (c.request.write) {
+        ++res.writeRequests;
+        res.writeBytes += c.request.sizeBytes;
+    } else {
+        res.readBytes += c.request.sizeBytes;
+    }
+    if (res.firstArrival < 0)
+        res.firstArrival = rs.arrival;
+    res.lastArrival = std::max(res.lastArrival, rs.arrival);
+    res.lastFinish = std::max(res.lastFinish, c.finish);
+    const double resp_ms = sim::toMilliseconds(c.finish - rs.arrival);
+    res.responseMs.add(resp_ms);
+    res.responseHistMs.add(resp_ms);
+    res.serviceMs.add(sim::toMilliseconds(c.finish - c.serviceStart));
+    rs.active = false;
 }
 
 } // namespace emmcsim::host

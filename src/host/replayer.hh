@@ -35,6 +35,8 @@
 #include "emmc/device.hh"
 #include "fault/spo.hh"
 #include "sim/simulator.hh"
+#include "sim/stats.hh"
+#include "trace/source.hh"
 #include "trace/trace.hh"
 
 namespace emmcsim::host {
@@ -100,6 +102,33 @@ struct ReplayStats
     /** @} */
 };
 
+/**
+ * Aggregate measurements of one streaming replay. replayStream()
+ * cannot hand back a timestamp-filled Trace — materializing one would
+ * defeat the point of streaming — so it folds every completion into
+ * bounded accumulators instead: Welford means plus a fixed-bucket
+ * histogram (percentileEstimate for tails), never per-record storage.
+ */
+struct StreamReplayResult
+{
+    /** Latency-histogram bucket bounds, in ms (mirrors src/obs). */
+    static std::vector<double> latencyBoundsMs();
+
+    std::uint64_t requests = 0;
+    std::uint64_t writeRequests = 0;
+    units::Bytes readBytes{0};
+    units::Bytes writeBytes{0};
+    sim::Time firstArrival = -1;
+    sim::Time lastArrival = 0;
+    sim::Time lastFinish = 0;
+    /** Response time (finish - original arrival), ms. */
+    sim::OnlineStats responseMs;
+    /** Service time of the final attempt, ms. */
+    sim::OnlineStats serviceMs;
+    /** Response-time distribution for tail estimates, ms. */
+    sim::Histogram responseHistMs{latencyBoundsMs()};
+};
+
 /** Drives one device with one trace. */
 class Replayer
 {
@@ -132,6 +161,21 @@ class Replayer
                         const std::string &image,
                         const ReplayOptions &opts = {});
 
+    /**
+     * Replay a streaming source to completion without materializing
+     * the trace: arrivals are scheduled one chunk at a time (the
+     * chunk's last submit event pulls the next chunk in), so memory
+     * holds one chunk plus the in-flight window regardless of trace
+     * length. Byte-identical device behaviour to replay() on the same
+     * records — both paths schedule arrivals in the front sequence
+     * band, so every same-tick tie resolves the same way.
+     *
+     * SPO injection and snapshotting need the in-memory path and are
+     * rejected (sim::fatal), as is a source that fails mid-stream.
+     */
+    StreamReplayResult replayStream(trace::TraceSource &src,
+                                    const ReplayOptions &opts = {});
+
     /** Error/retry counters of the most recent replay() call. */
     const ReplayStats &stats() const { return stats_; }
 
@@ -158,6 +202,46 @@ class Replayer
 
     /** Post-event hook body: capture once quiescent past snapshotAt_. */
     void maybeCapture(const trace::Trace &out);
+
+    /** @name Streaming-replay machinery (see replayStream). @{ */
+
+    /** Records pulled from the source per refill. */
+    static constexpr std::size_t kStreamChunk = 4096;
+
+    /** Per-request retry bookkeeping, addressed id mod ring size. */
+    struct StreamRetry
+    {
+        std::uint64_t id = 0;
+        sim::Time arrival = 0;     ///< original trace arrival
+        sim::Time firstFinish = -1;
+        std::uint32_t attempts = 0;
+        bool active = false;
+    };
+
+    /** Pull + schedule the next chunk of arrivals from streamSrc_. */
+    void scheduleNextChunk();
+
+    /** Ring slot for an in-flight id (asserts it is tracked). */
+    StreamRetry &streamEntryFor(std::uint64_t id);
+
+    /** Track a newly scheduled id; grows the ring if its slot is busy. */
+    void streamInsert(std::uint64_t id, sim::Time arrival);
+
+    /** Double the ring until every active id keeps a distinct slot. */
+    void streamGrowRing(std::uint64_t id);
+
+    /** Fold a finally-completed request into streamResult_. */
+    void streamFinish(StreamRetry &rs, const emmc::CompletedRequest &c);
+
+    trace::TraceSource *streamSrc_ = nullptr;
+    StreamReplayResult *streamResult_ = nullptr;
+    std::vector<trace::TraceRecord> streamChunk_;
+    std::vector<StreamRetry> streamRing_;
+    std::uint64_t streamNextId_ = 0;
+    std::uint64_t streamChunkLastId_ = 0;
+    std::uint64_t streamLogicalUnits_ = 0;
+    bool streamWrap_ = true;
+    /** @} */
 
     sim::Simulator &sim_;
     emmc::EmmcDevice &device_;

@@ -251,7 +251,10 @@ EventQueue::auditInvariants(std::vector<std::string> &violations) const
     bool duplicated = false;
     bool seqSane = true;
     auto visit = [&](const HeapEntry &e) {
-        if (e.seq >= nextSeq_)
+        // Each band has its own counter: a pending entry must carry a
+        // sequence number its band already issued.
+        if (e.seq < kNormalSeqBase ? e.seq >= nextFrontSeq_
+                                   : e.seq >= nextSeq_)
             seqSane = false;
         if (!entryLive(e)) {
             ++deadEntries;

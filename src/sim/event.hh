@@ -117,6 +117,38 @@ class EventQueue
     EventId
     schedule(Time when, F &&fn)
     {
+        return scheduleSeq(when, nextSeq_++, std::forward<F>(fn));
+    }
+
+    /**
+     * Schedule in the *front sequence band*: at a tied tick, a
+     * front-band event fires before every normal-band event, no matter
+     * when either was scheduled.
+     *
+     * Replay arrivals use this. The in-memory replayer schedules all
+     * arrivals before anything else, so they historically won every
+     * same-tick tie against completions by holding the lowest sequence
+     * numbers; a streaming replayer schedules arrivals chunk by chunk
+     * *during* the run and would lose those ties. Putting arrivals in
+     * their own low band makes both paths pop in the same order — the
+     * byte-identity contract between them rests on this.
+     *
+     * Front-band events are FIFO among themselves (their own counter).
+     */
+    template <typename F>
+    EventId
+    scheduleFront(Time when, F &&fn)
+    {
+        EMMCSIM_ASSERT(nextFrontSeq_ + 1 < kNormalSeqBase,
+                       "front sequence band exhausted");
+        return scheduleSeq(when, nextFrontSeq_++, std::forward<F>(fn));
+    }
+
+  private:
+    template <typename F>
+    EventId
+    scheduleSeq(Time when, std::uint64_t seq, F &&fn)
+    {
         EMMCSIM_ASSERT(when >= 0, "event scheduled at negative time");
         // Documented contract: never behind the simulation clock.
         // Cheap enough to check in debug on every schedule.
@@ -143,7 +175,7 @@ class EventQueue
         else
             sl.action.emplace(std::forward<F>(fn));
 
-        heapPush(HeapEntry{when, nextSeq_++, slot, sl.gen});
+        heapPush(HeapEntry{when, seq, slot, sl.gen});
         ++liveCount_;
         if (liveCount_ > highWater_)
             highWater_ = liveCount_;
@@ -151,6 +183,7 @@ class EventQueue
         return EventId{slot, sl.gen};
     }
 
+  public:
     /**
      * Cancel a previously scheduled event.
      *
@@ -313,6 +346,15 @@ class EventQueue
         std::uint32_t slot;
         std::uint32_t gen;
     };
+
+    /**
+     * First sequence number of the normal band. scheduleFront() draws
+     * from [0, kNormalSeqBase), schedule() from [kNormalSeqBase, 2^64);
+     * the split is what lets a front-band event win every same-tick
+     * tie regardless of scheduling order.
+     */
+    static constexpr std::uint64_t kNormalSeqBase = std::uint64_t{1}
+                                                    << 63;
 
     /** Heap arity. 4 wins over 2 on sift-down cache behaviour. */
     static constexpr std::size_t kArity = 4;
@@ -511,7 +553,8 @@ class EventQueue
     std::vector<std::unique_ptr<Slot[]>> chunks_;
     std::size_t slotCount_ = 0;
     std::vector<std::uint32_t> freelist_;
-    std::uint64_t nextSeq_ = 0;
+    std::uint64_t nextSeq_ = kNormalSeqBase;
+    std::uint64_t nextFrontSeq_ = 0;
     std::uint64_t scheduledCount_ = 0;
     std::size_t liveCount_ = 0;
     std::size_t highWater_ = 0;

@@ -46,6 +46,19 @@ class Simulator
         return events_.schedule(when, std::forward<F>(action));
     }
 
+    /**
+     * Schedule in the front sequence band (see
+     * EventQueue::scheduleFront): wins every same-tick tie against
+     * normally scheduled events. Replay arrivals only.
+     */
+    template <typename F>
+    EventId
+    scheduleFront(Time when, F &&action)
+    {
+        EMMCSIM_ASSERT(when >= now_, "event scheduled in the past");
+        return events_.scheduleFront(when, std::forward<F>(action));
+    }
+
     /** Schedule an action @p delay after now(). */
     template <typename F>
     EventId

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Trace ingestion: import foreign block-trace formats and normalize
+ * them into the simulator's canonical form (DESIGN.md §15).
+ *
+ * The pipeline is the same for every importer:
+ *
+ *   parse -> volume filter -> 4KB alignment -> sort by arrival
+ *         -> timestamp rebase (ns from start) -> address remap
+ *
+ * Alignment floors the start offset and ceils the end offset to the
+ * 4KB unit the paper's eMMC model operates in; zero-length records
+ * are dropped. Remapping (optional, IngestOptions::targetUnits) folds
+ * addresses into a target device's logical space with the same
+ * modulo-of-legal-positions formula host/replayer uses at replay
+ * time, so a pre-remapped trace replays identically to remap-at-
+ * replay. Requests larger than the whole target are dropped and
+ * counted, never silently truncated.
+ *
+ * Ingested records carry arrival timestamps only: replay timestamps
+ * in the input (emmctrace passthrough) are stripped — they describe
+ * the device the trace was captured on, not the one simulated next.
+ */
+
+#ifndef EMMCSIM_TRACE_INGEST_INGEST_HH
+#define EMMCSIM_TRACE_INGEST_INGEST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+#include "trace/trace.hh"
+
+namespace emmcsim::trace::ingest {
+
+/** Supported input formats. */
+enum class Format
+{
+    EmmcTrace, ///< emmctrace v1 text (normalize / re-remap pass)
+    Blktrace,  ///< blkparse default text output
+    Biosnoop,  ///< bcc/bpftrace biosnoop text output
+    Alibaba,   ///< Alibaba cloud block-trace CSV
+    Tencent,   ///< Tencent CBS block-trace CSV
+};
+
+/** Parse a format name ("blktrace", ...). @return false if unknown. */
+bool formatFromName(const std::string &name, Format &out);
+
+/** Canonical lower-case name of @p f. */
+const char *formatName(Format f);
+
+/** All format names, comma-separated (for usage strings). */
+std::string formatNames();
+
+/** Ingestion knobs. */
+struct IngestOptions
+{
+    /**
+     * Keep only records of this volume / device id; empty keeps all.
+     * Matched against "maj,min" (blktrace), DISK (biosnoop),
+     * device_id (Alibaba), volume_id (Tencent).
+     */
+    std::string volume;
+    /**
+     * Remap addresses into a device exporting this many 4KB units;
+     * 0 leaves addresses untouched (the replayer folds at replay).
+     */
+    std::uint64_t targetUnits = 0;
+    /** Workload name for the output trace; empty derives a default. */
+    std::string name;
+};
+
+/** Counters describing what one ingest run did. */
+struct IngestStats
+{
+    std::uint64_t linesTotal = 0;      ///< lines read from the input
+    std::uint64_t linesSkipped = 0;    ///< blank / comment / header
+    std::uint64_t parsed = 0;          ///< records parsed successfully
+    std::uint64_t kept = 0;            ///< records in the output trace
+    std::uint64_t droppedVolume = 0;   ///< filtered by volume
+    std::uint64_t droppedZeroSize = 0; ///< zero-length after parse
+    std::uint64_t droppedOversize = 0; ///< larger than the target device
+    std::uint64_t aligned = 0;         ///< records 4KB-alignment changed
+    std::uint64_t remapped = 0;        ///< records address-folded
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t readBytes = 0;  ///< after alignment
+    std::uint64_t writeBytes = 0; ///< after alignment
+    sim::Time spanNs = 0;         ///< last arrival after rebase
+    std::uint64_t volumesSeen = 0; ///< distinct volume ids in the input
+};
+
+/**
+ * Ingest @p in_path as @p format into @p out.
+ *
+ * @return true on success; false sets @p error (with a line number
+ *         where one applies) and leaves @p out unspecified.
+ */
+bool ingestFile(Format format, const std::string &in_path,
+                const IngestOptions &opts, Trace &out, IngestStats &stats,
+                std::string &error);
+
+} // namespace emmcsim::trace::ingest
+
+#endif // EMMCSIM_TRACE_INGEST_INGEST_HH

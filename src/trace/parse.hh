@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Shared per-line parsing for the emmctrace text format.
+ *
+ * Trace::tryLoad (whole-file, in-memory) and TextTraceSource
+ * (streaming cursor) must accept and reject exactly the same lines;
+ * both call these helpers so the two paths cannot drift. Every
+ * function reports failure as a reason string (empty = success) that
+ * the caller wraps in its own error type with a line number.
+ */
+
+#ifndef EMMCSIM_TRACE_PARSE_HH
+#define EMMCSIM_TRACE_PARSE_HH
+
+#include <sstream>
+#include <string>
+
+#include "trace/record.hh"
+
+namespace emmcsim::trace {
+
+/**
+ * Strip one trailing '\r' in place. std::getline splits on '\n' only,
+ * so a CRLF file otherwise leaks the '\r' into the last token of every
+ * line — most visibly the "# name:" value, which then corrupts report
+ * labels.
+ */
+inline void
+stripCr(std::string &line)
+{
+    if (!line.empty() && line.back() == '\r')
+        line.pop_back();
+}
+
+/**
+ * Enforce the per-record subset of Trace::validate() invariants:
+ * positive 4KB-aligned size, unit-aligned LBA, ordered replay
+ * timestamps. (Arrival ordering is a cross-record property the caller
+ * owns: tryLoad restores it by sorting, a streaming source requires
+ * the file to be pre-sorted.)
+ *
+ * @return empty string when valid, else the reason.
+ */
+inline std::string
+checkRecord(const TraceRecord &r)
+{
+    if (r.arrival < 0)
+        return "negative arrival time";
+    if (r.sizeBytes.value() == 0)
+        return "zero size";
+    if (!units::isUnitAligned(r.sizeBytes))
+        return "size not 4KB-aligned";
+    if (!units::isUnitAligned(r.lbaSector))
+        return "lba not 4KB-aligned";
+    if (r.replayed() &&
+        (r.serviceStart < r.arrival || r.finish < r.serviceStart))
+        return "timestamps out of order";
+    return "";
+}
+
+/**
+ * Parse one non-comment, non-empty record line into @p r and check the
+ * per-record invariants. The line must already be '\r'-stripped.
+ *
+ * @return empty string on success, else the reason.
+ */
+inline std::string
+parseRecordLine(const std::string &line, TraceRecord &r)
+{
+    std::istringstream ss(line);
+    r = TraceRecord{};
+    char op = 0;
+    if (!(ss >> r.arrival >> r.lbaSector >> r.sizeBytes >> op)) {
+        return "malformed record (expected \"<arrival_ns> "
+               "<lba_sector> <size_bytes> <R|W>\"): " +
+               line;
+    }
+    if (op == 'W' || op == 'w') {
+        r.op = OpType::Write;
+    } else if (op == 'R' || op == 'r') {
+        r.op = OpType::Read;
+    } else {
+        return std::string("bad op '") + op + "' (expected R or W)";
+    }
+    sim::Time svc = sim::kTimeNever;
+    sim::Time fin = sim::kTimeNever;
+    if (ss >> svc) {
+        if (!(ss >> fin))
+            return "service timestamp without a finish timestamp";
+        r.serviceStart = svc;
+        r.finish = fin;
+    } else {
+        ss.clear();
+    }
+    std::string extra;
+    if (ss >> extra)
+        return "trailing garbage after record: " + extra;
+    return checkRecord(r);
+}
+
+} // namespace emmcsim::trace
+
+#endif // EMMCSIM_TRACE_PARSE_HH

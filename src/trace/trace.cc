@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "sim/logging.hh"
+#include "trace/parse.hh"
 
 namespace emmcsim::trace {
 
@@ -147,62 +148,49 @@ Trace::tryLoad(std::istream &is, Trace &out, TraceLoadError &err)
     Trace t;
     std::string line;
     std::size_t lineno = 0;
+    bool have_count = false;
+    std::uint64_t declared = 0;
     while (std::getline(is, line)) {
         ++lineno;
+        stripCr(line);
         if (line.empty())
             continue;
         if (line[0] == '#') {
             const std::string name_key = "# name: ";
-            if (line.rfind(name_key, 0) == 0)
+            const std::string count_key = "# records: ";
+            if (line.rfind(name_key, 0) == 0) {
                 t.setName(line.substr(name_key.size()));
+            } else if (line.rfind(count_key, 0) == 0) {
+                std::istringstream ss(line.substr(count_key.size()));
+                if (ss >> declared)
+                    have_count = true;
+            }
             continue;
         }
-        std::istringstream ss(line);
         TraceRecord r;
-        char op = 0;
-        if (!(ss >> r.arrival >> r.lbaSector >> r.sizeBytes >> op)) {
+        std::string reason = parseRecordLine(line, r);
+        if (!reason.empty()) {
             err.line = lineno;
-            err.reason = "malformed record (expected \"<arrival_ns> "
-                         "<lba_sector> <size_bytes> <R|W>\"): " +
-                         line;
-            return false;
-        }
-        if (op == 'W' || op == 'w') {
-            r.op = OpType::Write;
-        } else if (op == 'R' || op == 'r') {
-            r.op = OpType::Read;
-        } else {
-            err.line = lineno;
-            err.reason = std::string("bad op '") + op +
-                         "' (expected R or W)";
-            return false;
-        }
-        if (r.arrival < 0) {
-            err.line = lineno;
-            err.reason = "negative arrival time";
-            return false;
-        }
-        sim::Time svc = sim::kTimeNever;
-        sim::Time fin = sim::kTimeNever;
-        if (ss >> svc) {
-            if (!(ss >> fin)) {
-                err.line = lineno;
-                err.reason =
-                    "service timestamp without a finish timestamp";
-                return false;
-            }
-            r.serviceStart = svc;
-            r.finish = fin;
-        } else {
-            ss.clear();
-        }
-        std::string extra;
-        if (ss >> extra) {
-            err.line = lineno;
-            err.reason = "trailing garbage after record: " + extra;
+            err.reason = std::move(reason);
             return false;
         }
         t.records_.push_back(r);
+    }
+    // getline stops on either EOF or an I/O error; only the former is
+    // a complete trace. A read error mid-file must not silently pass
+    // for a shorter workload.
+    if (is.bad()) {
+        err.line = lineno;
+        err.reason = "I/O error while reading trace";
+        return false;
+    }
+    if (have_count && declared != t.records_.size()) {
+        err.line = 0;
+        err.reason = "record count mismatch: header declares " +
+                     std::to_string(declared) + " records, file has " +
+                     std::to_string(t.records_.size()) +
+                     " (truncated or corrupt trace?)";
+        return false;
     }
     t.sortByArrival();
     out = std::move(t);

@@ -293,6 +293,99 @@ TEST(TraceIoErrors, FailedLoadLeavesOutputUntouched)
     EXPECT_EQ(t.name(), "Sample");
 }
 
+TEST(TraceIoErrors, CrlfLinesParseCleanly)
+{
+    // CRLF input used to embed the '\r' in the parsed name and feed
+    // "4096\r" to the size parser; both must strip cleanly.
+    std::stringstream ss;
+    ss << "# emmctrace v1\r\n# name: Win\r\n# records: 1\r\n"
+          "0 0 4096 R\r\n";
+    Trace t;
+    TraceLoadError err;
+    ASSERT_TRUE(Trace::tryLoad(ss, t, err)) << err.message();
+    EXPECT_EQ(t.name(), "Win");
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t[0].sizeBytes.value(), 4096u);
+}
+
+TEST(TraceIoErrors, ZeroSizeRecordRejectedAtLoad)
+{
+    std::stringstream ss;
+    ss << "0 0 0 R\n";
+    Trace t;
+    TraceLoadError err;
+    EXPECT_FALSE(Trace::tryLoad(ss, t, err));
+    EXPECT_EQ(err.line, 1u);
+    EXPECT_NE(err.reason.find("zero size"), std::string::npos);
+}
+
+TEST(TraceIoErrors, MisalignedSizeRejectedAtLoad)
+{
+    std::stringstream ss;
+    ss << "0 0 1000 R\n";
+    Trace t;
+    TraceLoadError err;
+    EXPECT_FALSE(Trace::tryLoad(ss, t, err));
+    EXPECT_NE(err.reason.find("4KB-aligned"), std::string::npos);
+}
+
+TEST(TraceIoErrors, MisalignedLbaRejectedAtLoad)
+{
+    std::stringstream ss;
+    ss << "0 3 4096 R\n";
+    Trace t;
+    TraceLoadError err;
+    EXPECT_FALSE(Trace::tryLoad(ss, t, err));
+    EXPECT_NE(err.reason.find("lba"), std::string::npos);
+}
+
+TEST(TraceIoErrors, InvertedReplayTimestampsRejectedAtLoad)
+{
+    std::stringstream ss;
+    ss << "100 0 4096 R 90 80\n";
+    Trace t;
+    TraceLoadError err;
+    EXPECT_FALSE(Trace::tryLoad(ss, t, err));
+    EXPECT_NE(err.reason.find("timestamps"), std::string::npos);
+}
+
+TEST(TraceIoErrors, RecordCountMismatchRejected)
+{
+    // A declared count catches truncation that leaves whole lines
+    // intact (e.g. a partial download losing the tail).
+    std::stringstream ss;
+    ss << "# records: 3\n0 0 4096 R\n10 0 4096 W\n";
+    Trace t;
+    TraceLoadError err;
+    EXPECT_FALSE(Trace::tryLoad(ss, t, err));
+    EXPECT_NE(err.reason.find("record count mismatch"),
+              std::string::npos);
+    EXPECT_NE(err.reason.find("declares 3"), std::string::npos);
+    EXPECT_NE(err.reason.find("has 2"), std::string::npos);
+}
+
+TEST(TraceIoErrors, RecordCountMatchAccepted)
+{
+    std::stringstream ss;
+    ss << "# records: 2\n0 0 4096 R\n10 0 4096 W\n";
+    Trace t;
+    TraceLoadError err;
+    EXPECT_TRUE(Trace::tryLoad(ss, t, err)) << err.message();
+}
+
+TEST(TraceIoErrors, StreamIoErrorReported)
+{
+    // A stream that dies mid-read (badbit) must not be mistaken for
+    // clean EOF. tryLoad checks is.bad() after the loop.
+    std::stringstream ss;
+    ss << "0 0 4096 R\n";
+    ss.setstate(std::ios::badbit);
+    Trace t;
+    TraceLoadError err;
+    EXPECT_FALSE(Trace::tryLoad(ss, t, err));
+    EXPECT_NE(err.reason.find("I/O error"), std::string::npos);
+}
+
 TEST(TraceIoDeath, MalformedLineFatal)
 {
     std::stringstream ss;

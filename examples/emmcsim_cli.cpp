@@ -306,7 +306,9 @@ cmdReplay(const std::string &path, const std::string &scheme,
             return 1;
         }
         std::cout << "Replayed \"" << res.traceName << "\" on "
-                  << res.scheme << " (streamed)\n\n";
+                  << res.scheme
+                  << (src.mapped() ? " (memory-mapped)" : " (streamed)")
+                  << "\n\n";
         core::TablePrinter table({"Metric", "Value"});
         table.addRow({"Requests", core::fmt(res.requests)});
         table.addRow(
@@ -586,6 +588,8 @@ cmdTraceInfo(const std::string &path, const std::string &metrics_json)
         table.addRow({"Block records", core::fmt(std::uint64_t{
                          info.blockRecords})});
         table.addRow({"Checksum", "verified"});
+        table.addRow({"Backing", bin_src.mapped() ? "memory-mapped"
+                                                  : "streamed"});
         table.addRow({"Replay timestamps",
                       info.hasReplayTimes ? "yes" : "no"});
     } else {

@@ -9,6 +9,14 @@ clang-tidy check for us:
                        the simulator event path (src/sim).  The event
                        core promises flat per-event cost; a stray
                        allocation there is a performance bug.
+  event-path-container No node-based or adapter containers (std::map
+                       / multimap / set / multiset / list /
+                       forward_list / deque / priority_queue /
+                       unordered_*) in src/sim.  The two-tier event
+                       queue is flat vectors (arena, calendar wheel,
+                       4-ary heap) precisely to avoid per-node
+                       allocation and pointer chasing; a node-based
+                       container smuggles both back in.
   unordered-iter       No iteration over std::unordered_map/set.
                        Hash-table iteration order is unspecified, and
                        anything it feeds (reports, traces, flash ops)
@@ -164,6 +172,17 @@ ALLOC_PATTERNS = [
     (re.compile(r"\bstd::function\b"), "std::function"),
 ]
 
+# The event core is flat vectors by design (arena + calendar wheel +
+# 4-ary heap over contiguous storage, DESIGN.md §11/§16). Node-based
+# and adapter containers reintroduce the per-event allocation and
+# pointer-chasing the two-tier queue exists to avoid; std::deque is
+# included because its chunk map defeats the prefetcher the dispatch
+# batch relies on.
+NODE_CONTAINER = re.compile(
+    r"\bstd::(map|multimap|set|multiset|list|forward_list|deque|"
+    r"priority_queue|unordered_map|unordered_multimap|unordered_set|"
+    r"unordered_multiset)\b")
+
 WALL_CLOCK_PATTERNS = [
     (re.compile(r"\bstd::chrono::(?:system|steady|high_resolution)"
                 r"_clock\b"), "std::chrono clock"),
@@ -223,6 +242,19 @@ def lint_text(path: str, raw: str, scope_event_path: bool,
                     add("event-path-alloc", lineno,
                         f"{what} in the simulator event path")
                     break
+
+    # event-path-container -------------------------------------------------
+    if scope_event_path:
+        for lineno, line in enumerate(code_lines, 1):
+            if line.lstrip().startswith("#"):
+                continue
+            m = NODE_CONTAINER.search(line)
+            if m:
+                add("event-path-container", lineno,
+                    f"std::{m.group(1)} in the simulator event path: "
+                    f"the event core is flat storage (arena, calendar "
+                    f"wheel, 4-ary heap); use a vector-backed "
+                    f"structure instead")
 
     # wall-clock -----------------------------------------------------------
     for lineno, line in enumerate(code_lines, 1):
@@ -435,6 +467,9 @@ def self_test(corpus_dir: str) -> int:
 
 RULES_HELP = [
     ("event-path-alloc", "no heap alloc / std::function in src/sim"),
+    ("event-path-container",
+     "no node-based/adapter containers (map/set/list/deque/"
+     "priority_queue/unordered_*) in src/sim"),
     ("unordered-iter", "no iteration over unordered containers"),
     ("raw-unit-param", "no raw int params named lba/lpn/ppn/unit/..."),
     ("wall-clock", "no wall-clock time or ambient randomness in src/"),

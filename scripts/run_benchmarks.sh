@@ -22,15 +22,28 @@
 #   - sim_recovery_ms / scanned_pages / image_bytes for the recovery
 #     and snapshot benches
 #
+# After merging, the event-core benchmarks (BM_EventQueueScheduleRun
+# and its Clustered variant) are gated against the committed baseline
+# bench/BENCH_simcore.json: a drop of more than 25% in
+# items_per_second fails the run. The wide tolerance absorbs
+# machine-to-machine noise while still catching a real event-core
+# regression (the two-tier queue's reason to exist).
+#
 # Usage: scripts/run_benchmarks.sh [output.json]
 #   BUILD_DIR=<dir>           build tree to use (default: build)
 #   EMMCSIM_BENCH_ARGS=...    extra google-benchmark flags (e.g.
 #                             --benchmark_repetitions=5)
+#   EMMCSIM_BENCH_BASELINE=<file>  baseline to gate against
+#                             (default: bench/BENCH_simcore.json)
+#   EMMCSIM_BENCH_NO_GATE=1   skip the regression gate (e.g. when
+#                             regenerating the baseline itself)
 
 set -euo pipefail
 
 BUILD_DIR="${BUILD_DIR:-build}"
 OUT="${1:-BENCH_simcore.json}"
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+BASELINE="${EMMCSIM_BENCH_BASELINE:-$SCRIPT_DIR/../bench/BENCH_simcore.json}"
 BENCHES=("$BUILD_DIR/bench/bench_micro_sim"
          "$BUILD_DIR/bench/bench_recovery"
          "$BUILD_DIR/bench/bench_ingest")
@@ -78,3 +91,57 @@ EOF
 rm -f "${PARTS[@]}"
 
 echo "wrote $OUT"
+
+if [ "${EMMCSIM_BENCH_NO_GATE:-0}" = "1" ]; then
+    echo "regression gate skipped (EMMCSIM_BENCH_NO_GATE=1)"
+elif [ ! -f "$BASELINE" ]; then
+    echo "regression gate skipped (no baseline at $BASELINE)"
+else
+    python3 - "$OUT" "$BASELINE" <<'EOF'
+import json
+import sys
+
+# Gate the event-core benchmarks on items_per_second: >25% below the
+# committed baseline fails. Only the schedule/run benches are gated —
+# they are pure CPU loops; the replay/recovery benches touch the
+# filesystem and are too noisy for a hard gate.
+GATED_PREFIXES = ("BM_EventQueueScheduleRun",)
+TOLERANCE = 0.75
+
+out_path, base_path = sys.argv[1:]
+
+def rates(path):
+    doc = json.load(open(path))
+    return {
+        b["name"]: b["items_per_second"]
+        for b in doc["benchmarks"]
+        if b["name"].startswith(GATED_PREFIXES)
+        and "items_per_second" in b
+    }
+
+current = rates(out_path)
+baseline = rates(base_path)
+failures = []
+for name, base_rate in sorted(baseline.items()):
+    cur = current.get(name)
+    if cur is None:
+        failures.append(f"{name}: benchmark disappeared from {out_path}")
+        continue
+    ratio = cur / base_rate
+    marker = "FAIL" if ratio < TOLERANCE else "ok"
+    print(f"  gate {name}: {cur / 1e6:.1f}M/s vs baseline "
+          f"{base_rate / 1e6:.1f}M/s ({ratio:.2f}x) {marker}")
+    if ratio < TOLERANCE:
+        failures.append(
+            f"{name}: {cur / 1e6:.1f}M items/s is "
+            f"{ratio:.2f}x the baseline {base_rate / 1e6:.1f}M "
+            f"(threshold {TOLERANCE}x)")
+if failures:
+    print("event-core benchmark regression:", file=sys.stderr)
+    for f in failures:
+        print(f"  {f}", file=sys.stderr)
+    sys.exit(1)
+print("regression gate passed "
+      f"({len(baseline)} benchmarks within {TOLERANCE}x)")
+EOF
+fi

@@ -253,6 +253,7 @@ runCaseImpl(const trace::Trace &t, SchemeKind kind,
         obs_opts.trace = opts.obs.traceSpans;
         obs_opts.sampleWindow = opts.obs.sampleWindow;
         obs_opts.attribution = opts.obs.attribution;
+        obs_opts.eventCore = opts.obs.eventCore;
         obs_opts.replayStats = &replayer.stats();
         observer = std::make_unique<obs::DeviceObserver>(
             simulator, *device, obs_opts);
@@ -340,6 +341,7 @@ runCaseStream(trace::TraceSource &src, SchemeKind kind,
         obs_opts.trace = opts.obs.traceSpans;
         obs_opts.sampleWindow = opts.obs.sampleWindow;
         obs_opts.attribution = opts.obs.attribution;
+        obs_opts.eventCore = opts.obs.eventCore;
         obs_opts.replayStats = &replayer.stats();
         observer = std::make_unique<obs::DeviceObserver>(
             simulator, *device, obs_opts);

@@ -1,0 +1,79 @@
+#include "core/mmapfile.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define EMMCSIM_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace emmcsim::core {
+
+#ifdef EMMCSIM_HAVE_MMAP
+
+MappedFile
+MappedFile::open(const std::string &path)
+{
+    MappedFile m;
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return m;
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode) ||
+        st.st_size <= 0) {
+        ::close(fd);
+        return m;
+    }
+    const auto len = static_cast<std::size_t>(st.st_size);
+    void *addr = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd); // the mapping keeps its own reference
+    if (addr == MAP_FAILED)
+        return m;
+#ifdef MADV_SEQUENTIAL
+    ::madvise(addr, len, MADV_SEQUENTIAL);
+#endif
+    m.addr_ = addr;
+    m.len_ = len;
+    return m;
+}
+
+bool
+MappedFile::supported()
+{
+    return true;
+}
+
+void
+MappedFile::unmap()
+{
+    if (addr_ != nullptr)
+        ::munmap(addr_, len_);
+    addr_ = nullptr;
+    len_ = 0;
+}
+
+#else // !EMMCSIM_HAVE_MMAP
+
+MappedFile
+MappedFile::open(const std::string &)
+{
+    return MappedFile{};
+}
+
+bool
+MappedFile::supported()
+{
+    return false;
+}
+
+void
+MappedFile::unmap()
+{
+    addr_ = nullptr;
+    len_ = 0;
+}
+
+#endif
+
+} // namespace emmcsim::core

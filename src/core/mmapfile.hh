@@ -1,0 +1,86 @@
+/**
+ * @file
+ * MappedFile: a read-only memory mapping of a whole file.
+ *
+ * The binary trace reader wants to decode blocks straight out of the
+ * page cache instead of copying every block through an ifstream
+ * buffer (DESIGN.md §15). POSIX mmap gives exactly that; platforms
+ * without it (or files that refuse to map — pipes, zero-length
+ * files) simply get an invalid mapping and callers fall back to
+ * streaming. Mapping never becomes a correctness requirement.
+ *
+ * The mapping is advised MADV_SEQUENTIAL: trace replay is one
+ * front-to-back pass, so aggressive readahead is the right hint.
+ */
+
+#ifndef EMMCSIM_CORE_MMAPFILE_HH
+#define EMMCSIM_CORE_MMAPFILE_HH
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace emmcsim::core {
+
+/** Move-only owner of one read-only file mapping; see file comment. */
+class MappedFile
+{
+  public:
+    MappedFile() = default;
+    ~MappedFile() { unmap(); }
+
+    MappedFile(MappedFile &&other) noexcept
+        : addr_(other.addr_), len_(other.len_)
+    {
+        other.addr_ = nullptr;
+        other.len_ = 0;
+    }
+
+    MappedFile &
+    operator=(MappedFile &&other) noexcept
+    {
+        if (this != &other) {
+            unmap();
+            addr_ = other.addr_;
+            len_ = other.len_;
+            other.addr_ = nullptr;
+            other.len_ = 0;
+        }
+        return *this;
+    }
+
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+
+    /**
+     * Map @p path read-only. Returns an invalid MappedFile on any
+     * failure (missing file, unmappable object, unsupported
+     * platform) — callers must be prepared to stream instead.
+     */
+    static MappedFile open(const std::string &path);
+
+    /** Does the build have a real mmap implementation at all? */
+    static bool supported();
+
+    bool valid() const { return addr_ != nullptr; }
+
+    /** The whole file; empty when !valid(). */
+    std::string_view
+    bytes() const
+    {
+        return valid()
+                   ? std::string_view(static_cast<const char *>(addr_),
+                                      len_)
+                   : std::string_view{};
+    }
+
+  private:
+    void unmap();
+
+    void *addr_ = nullptr;
+    std::size_t len_ = 0;
+};
+
+} // namespace emmcsim::core
+
+#endif // EMMCSIM_CORE_MMAPFILE_HH

@@ -9,18 +9,25 @@ namespace emmcsim::sim {
 std::uint64_t
 Simulator::run()
 {
-    // Events run in place out of their arena slot (dispatchNext);
-    // the clock advances in the pre-invoke callback, before the
-    // action observes now().
+    // Events run in place out of their arena slots; dispatchTick
+    // drains the whole current tick per call (batched same-tick
+    // dispatch), advancing the clock in the pre-invoke callback
+    // before each action observes now(). Post-event hooks still fire
+    // once per event, between batch entries, exactly as the
+    // one-at-a-time loop did.
     std::uint64_t n = 0;
-    while (events_.dispatchNext([this](Time t) {
-        EMMCSIM_ASSERT(t >= now_, "event queue went backwards");
-        now_ = t;
-    })) {
-        ++n;
-        ++executed_;
-        if (!hooks_.empty())
-            firePostEventHooks();
+    while (events_.dispatchTick(
+               [this](Time t) {
+                   EMMCSIM_ASSERT(t >= now_,
+                                  "event queue went backwards");
+                   now_ = t;
+               },
+               [this, &n](Time) {
+                   ++n;
+                   ++executed_;
+                   if (!hooks_.empty())
+                       firePostEventHooks();
+               }) != 0) {
     }
     return n;
 }
@@ -33,14 +40,19 @@ Simulator::runUntil(Time deadline)
         Time next = events_.nextTime();
         if (next == kTimeNever || next > deadline)
             break;
-        events_.dispatchNext([this](Time t) {
-            EMMCSIM_ASSERT(t >= now_, "event queue went backwards");
-            now_ = t;
-        });
-        ++n;
-        ++executed_;
-        if (!hooks_.empty())
-            firePostEventHooks();
+        // A batch never crosses the deadline: every event it fires
+        // sits at exactly `next`, which was just checked.
+        events_.dispatchTick(
+            [this](Time t) {
+                EMMCSIM_ASSERT(t >= now_, "event queue went backwards");
+                now_ = t;
+            },
+            [this, &n](Time) {
+                ++n;
+                ++executed_;
+                if (!hooks_.empty())
+                    firePostEventHooks();
+            });
     }
     if (now_ < deadline)
         now_ = deadline;

@@ -72,6 +72,19 @@ class Simulator
     bool cancel(EventId id) { return events_.cancel(id); }
 
     /**
+     * Size the event queue's calendar-wheel tier from the device's
+     * fixed operation latencies (see EventQueue::tuneWheel). The
+     * device constructor calls this with its NAND timing so that the
+     * completion-heavy steady state schedules in O(1); an untuned
+     * simulator runs on the pure heap with identical output.
+     */
+    void
+    tuneEventHorizon(Time shortestLatency, Time longestLatency)
+    {
+        events_.tuneWheel(shortestLatency, longestLatency);
+    }
+
+    /**
      * Set the clock to @p when without running events — the snapshot
      * restore path uses this to resume a fresh simulator at the image's
      * capture time before re-scheduling the remaining arrivals. Only
